@@ -1,0 +1,77 @@
+//! The comparison managers the paper evaluates RankMap against (§V):
+//!
+//! * [`BaselineGpu`] — everything on the GPU, the traditional default.
+//! * [`Mosaic`] — linear-regression latency model trained on single-DNN
+//!   profiles, greedy self-optimizing slicing (Han et al., PACT 2019).
+//! * [`Odmdef`] — linear regression + k-NN over a corpus of profiled
+//!   multi-DNN samples, candidate sampling (Lim & Kim, IEEE Access 2021).
+//! * [`Ga`] — evolutionary search whose fitness is measured *on the
+//!   board* (Kang et al., IEEE Access 2020): accurate but very slow and
+//!   unable to reuse knowledge across workloads.
+//! * [`OmniBoost`] — the same MCTS machinery as RankMap but rewarded by
+//!   mean throughput with no priorities and no starvation guard
+//!   (Karatzas & Anagnostopoulos, DAC 2023).
+//!
+//! All of them implement [`WorkloadMapper`], so the experiment harness
+//! treats every manager uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ga;
+pub mod linreg;
+pub mod mosaic;
+pub mod odmdef;
+pub mod omniboost;
+
+pub use ga::{Ga, GaConfig};
+pub use mosaic::Mosaic;
+pub use odmdef::Odmdef;
+pub use omniboost::OmniBoost;
+
+use rankmap_core::runtime::WorkloadMapper;
+use rankmap_platform::{ComponentId, ComponentKind, Platform};
+use rankmap_sim::{Mapping, Workload};
+
+/// The paper's baseline: map every DNN entirely onto the GPU.
+#[derive(Debug, Clone)]
+pub struct BaselineGpu {
+    gpu: ComponentId,
+}
+
+impl BaselineGpu {
+    /// Creates the baseline for a platform (falls back to component 0 when
+    /// no GPU exists).
+    pub fn new(platform: &Platform) -> Self {
+        Self { gpu: platform.id_of_kind(ComponentKind::Gpu).unwrap_or(ComponentId::new(0)) }
+    }
+}
+
+impl WorkloadMapper for BaselineGpu {
+    fn name(&self) -> String {
+        "Baseline".into()
+    }
+
+    fn remap(&mut self, workload: &Workload) -> Mapping {
+        Mapping::uniform(workload, self.gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmap_models::ModelId;
+
+    #[test]
+    fn baseline_maps_everything_to_gpu() {
+        let p = Platform::orange_pi_5();
+        let mut b = BaselineGpu::new(&p);
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::ResNet50]);
+        let m = b.remap(&w);
+        for d in 0..w.len() {
+            assert_eq!(m.stages(d).len(), 1);
+            assert_eq!(m.stages(d)[0].component, ComponentId::new(0));
+        }
+        assert_eq!(b.name(), "Baseline");
+    }
+}

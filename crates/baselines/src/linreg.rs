@@ -1,0 +1,119 @@
+//! Tiny ordinary-least-squares helper shared by MOSAIC and ODMDEF.
+
+/// Fits `y ≈ Xβ` by solving the normal equations with ridge damping.
+/// `x` is row-major with `dims` features per row (a 1-column of ones is
+/// appended internally for the intercept).
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len() * dims` or the system is empty.
+pub fn fit(x: &[f64], y: &[f64], dims: usize) -> Vec<f64> {
+    let n = y.len();
+    assert!(n > 0 && x.len() == n * dims, "linreg dimension mismatch");
+    let d = dims + 1; // + intercept
+    // Build XᵀX and Xᵀy.
+    let mut xtx = vec![0.0f64; d * d];
+    let mut xty = vec![0.0f64; d];
+    let row = |i: usize, j: usize| -> f64 {
+        if j < dims {
+            x[i * dims + j]
+        } else {
+            1.0
+        }
+    };
+    for i in 0..n {
+        for a in 0..d {
+            xty[a] += row(i, a) * y[i];
+            for b in 0..d {
+                xtx[a * d + b] += row(i, a) * row(i, b);
+            }
+        }
+    }
+    for a in 0..d {
+        xtx[a * d + a] += 1e-6; // ridge
+    }
+    solve(&mut xtx, &mut xty, d);
+    xty
+}
+
+/// Predicts with a fitted coefficient vector.
+pub fn predict(beta: &[f64], features: &[f64]) -> f64 {
+    let dims = beta.len() - 1;
+    assert_eq!(features.len(), dims, "feature length mismatch");
+    features.iter().zip(beta).map(|(f, b)| f * b).sum::<f64>() + beta[dims]
+}
+
+/// In-place Gaussian elimination with partial pivoting: solves `A·x = b`,
+/// leaving the solution in `b`.
+fn solve(a: &mut [f64], b: &mut [f64], n: usize) {
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..n {
+            if a[r * n + col].abs() > a[piv * n + col].abs() {
+                piv = r;
+            }
+        }
+        if piv != col {
+            for c in 0..n {
+                a.swap(col * n + c, piv * n + c);
+            }
+            b.swap(col, piv);
+        }
+        let diag = a[col * n + col];
+        if diag.abs() < 1e-12 {
+            continue;
+        }
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let k = a[r * n + col] / diag;
+            for c in 0..n {
+                a[r * n + c] -= k * a[col * n + c];
+            }
+            b[r] -= k * b[col];
+        }
+    }
+    for i in 0..n {
+        let diag = a[i * n + i];
+        if diag.abs() > 1e-12 {
+            b[i] /= diag;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_linear_function() {
+        // y = 3x₀ − 2x₁ + 1
+        let x = vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 3.0];
+        let y = vec![1.0, 4.0, -1.0, 2.0, 1.0];
+        let beta = fit(&x, &y, 2);
+        assert!((beta[0] - 3.0).abs() < 1e-4, "slope 0: {:?}", beta);
+        assert!((beta[1] + 2.0).abs() < 1e-4, "slope 1: {:?}", beta);
+        assert!((beta[2] - 1.0).abs() < 1e-4, "intercept: {:?}", beta);
+    }
+
+    #[test]
+    fn prediction_matches_fit() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let y = vec![3.0, 7.0, 11.0, 15.0];
+        let beta = fit(&x, &y, 2);
+        for i in 0..4 {
+            let p = predict(&beta, &x[i * 2..(i + 1) * 2]);
+            assert!((p - y[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn handles_constant_target() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![5.0, 5.0, 5.0, 5.0];
+        let beta = fit(&x, &y, 1);
+        assert!((predict(&beta, &[10.0]) - 5.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,158 @@
+//! MOSAIC (Han et al., PACT 2019): model slicing driven by a linear
+//! regression that "correlates layer input sizes with computational
+//! needs, trained on single DNN cases".
+
+use crate::linreg;
+use rankmap_core::runtime::WorkloadMapper;
+use rankmap_models::ModelId;
+use rankmap_platform::{ComponentId, Platform};
+use rankmap_sim::{CostModel, Mapping, Workload};
+
+/// The MOSAIC manager.
+///
+/// Offline, it profiles *single* units in isolation and fits, per
+/// component, a linear model `latency ≈ β·(input volume, weight count)`.
+/// Online, it slices each DNN into one stage per component (balancing
+/// *predicted* latency) and assigns slices so the biggest slice lands on
+/// the fastest component. Because its model ignores contention entirely,
+/// concurrent DNNs pile up on the GPU — the failure mode the paper
+/// documents.
+pub struct Mosaic {
+    /// Per-component regression coefficients.
+    betas: Vec<Vec<f64>>,
+    fastest_order: Vec<ComponentId>,
+}
+
+impl Mosaic {
+    /// Profiles the given pool on the platform and fits the latency models.
+    pub fn new(platform: &Platform, pool: &[ModelId]) -> Self {
+        let cost = CostModel::new(platform);
+        let mut betas = Vec::new();
+        for c in platform.component_ids() {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for id in pool {
+                let model = id.build();
+                for unit in model.units() {
+                    let volume: f64 =
+                        unit.layers.iter().map(|l| l.ifm.elements() as f64).sum();
+                    let weights: f64 = unit.weight_bytes() as f64;
+                    xs.push(volume / 1e6);
+                    xs.push(weights / 1e6);
+                    ys.push(cost.unit_seconds(unit, c) * 1e3);
+                }
+            }
+            betas.push(linreg::fit(&xs, &ys, 2));
+        }
+        // Fastest component = smallest predicted latency on a reference
+        // large unit: rank by peak GFLOPS instead (simple and faithful to
+        // "GPU preferred").
+        let mut order = platform.component_ids();
+        order.sort_by(|&a, &b| {
+            platform
+                .component(b)
+                .peak_gflops
+                .total_cmp(&platform.component(a).peak_gflops)
+        });
+        Self { betas, fastest_order: order }
+    }
+
+    /// Predicted latency (ms) of a unit on a component.
+    fn predict_unit(&self, volume_m: f64, weights_m: f64, c: ComponentId) -> f64 {
+        linreg::predict(&self.betas[c.index()], &[volume_m, weights_m]).max(1e-6)
+    }
+}
+
+impl WorkloadMapper for Mosaic {
+    fn name(&self) -> String {
+        "MOSAIC".into()
+    }
+
+    fn remap(&mut self, workload: &Workload) -> Mapping {
+        let components = self.betas.len();
+        let mut per_dnn = Vec::with_capacity(workload.len());
+        for model in workload.models() {
+            let feats: Vec<(f64, f64)> = model
+                .units()
+                .iter()
+                .map(|u| {
+                    (
+                        u.layers.iter().map(|l| l.ifm.elements() as f64).sum::<f64>() / 1e6,
+                        u.weight_bytes() as f64 / 1e6,
+                    )
+                })
+                .collect();
+            // Total predicted work on the fastest component.
+            let fastest = self.fastest_order[0];
+            let total: f64 =
+                feats.iter().map(|&(v, w)| self.predict_unit(v, w, fastest)).sum();
+            // Slice into `components` contiguous chunks of ~equal predicted
+            // latency; chunk i runs on the i-th fastest component, so the
+            // big early convolutional body gravitates to the GPU.
+            let per_slice = total / components as f64;
+            let mut assign = Vec::with_capacity(model.unit_count());
+            let mut acc = 0.0;
+            let mut slice = 0usize;
+            for &(v, w) in &feats {
+                assign.push(self.fastest_order[slice.min(components - 1)]);
+                acc += self.predict_unit(v, w, fastest);
+                if acc > per_slice * (slice + 1) as f64 && slice + 1 < components {
+                    slice += 1;
+                }
+            }
+            per_dnn.push(assign);
+        }
+        Mapping::new(per_dnn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mosaic() -> Mosaic {
+        let p = Platform::orange_pi_5();
+        Mosaic::new(&p, &[ModelId::AlexNet, ModelId::ResNet50, ModelId::SqueezeNetV2])
+    }
+
+    #[test]
+    fn produces_valid_mappings() {
+        let p = Platform::orange_pi_5();
+        let mut m = mosaic();
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        let map = m.remap(&w);
+        assert!(map.validate(&w, p.component_count()).is_ok());
+    }
+
+    #[test]
+    fn front_of_network_goes_to_gpu() {
+        let mut m = mosaic();
+        let w = Workload::from_ids([ModelId::Vgg16]);
+        let map = m.remap(&w);
+        // The first unit must sit on the fastest (GPU) component.
+        assert_eq!(map.assignment(0)[0], ComponentId::new(0));
+    }
+
+    #[test]
+    fn slices_are_contiguous() {
+        let mut m = mosaic();
+        let w = Workload::from_ids([ModelId::ResNet50]);
+        let map = m.remap(&w);
+        // At most `components` stages per DNN by construction.
+        assert!(map.stages(0).len() <= 3);
+    }
+
+    #[test]
+    fn ignores_workload_size_same_slicing() {
+        // MOSAIC's contention blindness: a DNN is sliced identically alone
+        // or with co-runners.
+        let mut m = mosaic();
+        let alone = m.remap(&Workload::from_ids([ModelId::ResNet50]));
+        let crowded = m.remap(&Workload::from_ids([
+            ModelId::ResNet50,
+            ModelId::Vgg16,
+            ModelId::InceptionV4,
+        ]));
+        assert_eq!(alone.assignment(0), crowded.assignment(0));
+    }
+}

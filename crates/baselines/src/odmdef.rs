@@ -1,0 +1,178 @@
+//! ODMDEF (Lim & Kim, IEEE Access 2021): adaptive layer allocation with a
+//! linear regression + k-NN hybrid predictor over profiled multi-DNN
+//! samples.
+
+use crate::linreg;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rankmap_core::runtime::WorkloadMapper;
+use rankmap_models::ModelId;
+use rankmap_platform::Platform;
+use rankmap_sim::{AnalyticalEngine, CostModel, Mapping, Workload};
+
+/// The ODMDEF manager.
+///
+/// Offline it profiles a corpus of random multi-DNN mappings (the paper
+/// notes it "needs a considerable amount of data to achieve reliable
+/// accuracy"). Online it samples random candidate mappings, predicts each
+/// one's average throughput with a k-NN over the corpus blended with a
+/// linear regression, and picks the best candidate. Priority-unaware.
+pub struct Odmdef {
+    corpus: Vec<(Vec<f64>, f64)>,
+    beta: Vec<f64>,
+    k: usize,
+    candidates: usize,
+    seed: u64,
+    feature_dims: usize,
+    /// Owned profiling engine (same contention model as the platform).
+    engine_platform: Platform,
+}
+
+impl Odmdef {
+    /// Builds the manager, profiling `corpus_size` random workload/mapping
+    /// pairs drawn from `pool`.
+    pub fn new(platform: &Platform, pool: &[ModelId], corpus_size: usize, seed: u64) -> Self {
+        let engine = AnalyticalEngine::new(platform);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut corpus = Vec::with_capacity(corpus_size);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let dims = platform.component_count() * 2;
+        for _ in 0..corpus_size {
+            use rand::Rng;
+            let n = rng.gen_range(1..=5.min(pool.len()));
+            let ids: Vec<ModelId> = (0..n).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            let w = Workload::from_ids(ids);
+            let m = Mapping::random(&w, platform.component_count(), &mut rng);
+            let f = Self::featurize(platform, &w, &m);
+            let avg = engine.evaluate(&w, &m).average();
+            xs.extend_from_slice(&f);
+            ys.push(avg);
+            corpus.push((f, avg));
+        }
+        let beta = linreg::fit(&xs, &ys, dims);
+        Self {
+            corpus,
+            beta,
+            k: 5,
+            candidates: 64,
+            seed: seed ^ 0x0DA7A,
+            feature_dims: dims,
+            engine_platform: platform.clone(),
+        }
+    }
+
+    /// Features of a mapping: per component, (total GFLOPs assigned, stage
+    /// count) — the utilization summary ODMDEF's predictor keys on.
+    fn featurize(platform: &Platform, workload: &Workload, mapping: &Mapping) -> Vec<f64> {
+        let cost = CostModel::new(platform);
+        let _ = &cost;
+        let n = platform.component_count();
+        let mut flops = vec![0.0f64; n];
+        let mut stages = vec![0.0f64; n];
+        for (d, model) in workload.models().iter().enumerate() {
+            for spec in mapping.stages(d) {
+                stages[spec.component.index()] += 1.0;
+                flops[spec.component.index()] += model.units()[spec.unit_range.clone()]
+                    .iter()
+                    .map(|u| u.flops())
+                    .sum::<f64>()
+                    / 1e9;
+            }
+        }
+        flops.into_iter().chain(stages).collect()
+    }
+
+    fn knn_predict(&self, f: &[f64]) -> f64 {
+        let mut dists: Vec<(f64, f64)> = self
+            .corpus
+            .iter()
+            .map(|(cf, y)| {
+                let d: f64 = cf.iter().zip(f).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d, *y)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let k = self.k.min(dists.len()).max(1);
+        dists[..k].iter().map(|(_, y)| y).sum::<f64>() / k as f64
+    }
+
+    fn predict(&self, f: &[f64]) -> f64 {
+        // Hybrid: average the k-NN estimate and the regression estimate.
+        0.5 * self.knn_predict(f) + 0.5 * linreg::predict(&self.beta, f)
+    }
+
+    /// Number of profiled samples in the corpus.
+    pub fn corpus_len(&self) -> usize {
+        self.corpus.len()
+    }
+}
+
+impl WorkloadMapper for Odmdef {
+    fn name(&self) -> String {
+        "ODMDEF".into()
+    }
+
+    fn remap(&mut self, workload: &Workload) -> Mapping {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n_comp = self.feature_dims / 2;
+        let mut best: Option<(f64, Mapping)> = None;
+        for _ in 0..self.candidates {
+            let m = Mapping::random(workload, n_comp, &mut rng);
+            let f = Self::featurize(&self.engine_platform, workload, &m);
+            let score = self.predict(&f);
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                best = Some((score, m));
+            }
+        }
+        best.expect("candidates > 0").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn odmdef() -> Odmdef {
+        let p = Platform::orange_pi_5();
+        Odmdef::new(
+            &p,
+            &[ModelId::AlexNet, ModelId::SqueezeNetV2, ModelId::MobileNet],
+            40,
+            3,
+        )
+    }
+
+    #[test]
+    fn produces_valid_mapping() {
+        let mut o = odmdef();
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        let m = o.remap(&w);
+        assert!(m.validate(&w, 3).is_ok());
+        assert_eq!(o.name(), "ODMDEF");
+    }
+
+    #[test]
+    fn corpus_is_populated() {
+        assert_eq!(odmdef().corpus_len(), 40);
+    }
+
+    #[test]
+    fn knn_interpolates_corpus() {
+        let o = odmdef();
+        let (f, y) = o.corpus[0].clone();
+        let pred = o.knn_predict(&f);
+        // Exact corpus point: nearest neighbour distance 0 participates.
+        assert!(pred > 0.0);
+        assert!((pred - y).abs() < y.abs() * 3.0 + 1.0);
+    }
+
+    #[test]
+    fn deterministic_candidates() {
+        let mut o = odmdef();
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let a = o.remap(&w);
+        let b = o.remap(&w);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks for the pieces every figure is built from:
+//! the board simulators, the estimator, the VQ-VAE, MCTS, and one
+//! end-to-end manager decision per comparison manager (§V-D's run-time
+//! trade-off in benchmark form).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rankmap_baselines::{BaselineGpu, Ga, GaConfig, Mosaic, Odmdef, OmniBoost};
+use rankmap_core::manager::{ManagerConfig, RankMapManager};
+use rankmap_core::oracle::AnalyticalOracle;
+use rankmap_core::priority::PriorityMode;
+use rankmap_core::runtime::WorkloadMapper;
+use rankmap_estimator::{EmbeddingTable, Estimator, EstimatorConfig, QTensorSpec, VqVae, VqVaeConfig};
+use rankmap_models::ModelId;
+use rankmap_platform::{ComponentId, Platform};
+use rankmap_sim::{AnalyticalEngine, EventEngine, Mapping, Workload};
+
+fn mix() -> Workload {
+    Workload::from_ids([
+        ModelId::AlexNet,
+        ModelId::MobileNetV2,
+        ModelId::ResNet50,
+        ModelId::SqueezeNetV2,
+    ])
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let platform = Platform::orange_pi_5();
+    let w = mix();
+    let m = Mapping::uniform(&w, ComponentId::new(0));
+    let analytical = AnalyticalEngine::new(&platform);
+    c.bench_function("sim/analytical_eval_4dnn", |b| {
+        b.iter(|| analytical.evaluate(&w, &m))
+    });
+    let event = EventEngine::quick(&platform);
+    c.bench_function("sim/event_eval_4dnn_quick", |b| b.iter(|| event.evaluate(&w, &m)));
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut vqvae = VqVae::new(VqVaeConfig::default(), 0);
+    let w = mix();
+    let table = EmbeddingTable::build(&mut vqvae, w.models());
+    let spec = QTensorSpec::default();
+    let m = Mapping::uniform(&w, ComponentId::new(0));
+    let q = table.q_tensor(&spec, &w, &m);
+    let mut est = Estimator::new(EstimatorConfig::quick(), 0);
+    c.bench_function("estimator/predict", |b| b.iter(|| est.predict(&q)));
+    let alexnet = ModelId::AlexNet.build();
+    c.bench_function("estimator/vqvae_encode_alexnet", |b| {
+        b.iter(|| vqvae.encode(&alexnet))
+    });
+    c.bench_function("estimator/q_tensor_assembly", |b| {
+        b.iter(|| table.q_tensor(&spec, &w, &m))
+    });
+}
+
+fn bench_managers(c: &mut Criterion) {
+    let platform = Platform::orange_pi_5();
+    let pool = vec![
+        ModelId::AlexNet,
+        ModelId::MobileNetV2,
+        ModelId::ResNet50,
+        ModelId::SqueezeNetV2,
+    ];
+    let w = mix();
+    let oracle = AnalyticalOracle::new(&platform);
+    let mut group = c.benchmark_group("manager_decision");
+    group.sample_size(10);
+    group.bench_function("baseline", |b| {
+        b.iter_batched(
+            || BaselineGpu::new(&platform),
+            |mut m| m.remap(&w),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut mosaic = Mosaic::new(&platform, &pool);
+    group.bench_function("mosaic", |b| b.iter(|| mosaic.remap(&w)));
+    let mut odmdef = Odmdef::new(&platform, &pool, 60, 0);
+    group.bench_function("odmdef", |b| b.iter(|| odmdef.remap(&w)));
+    group.bench_function("ga_small", |b| {
+        b.iter_batched(
+            || Ga::new(&platform, GaConfig { population: 8, generations: 2, ..Default::default() }),
+            |mut ga| ga.remap(&w),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("omniboost_300", |b| {
+        b.iter_batched(
+            || OmniBoost::new(&platform, &oracle, 300, 0),
+            |mut ob| ob.remap(&w),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("rankmap_d_300", |b| {
+        b.iter_batched(
+            || {
+                RankMapManager::new(
+                    &platform,
+                    &oracle,
+                    ManagerConfig { mcts_iterations: 300, ..Default::default() },
+                )
+            },
+            |mgr| mgr.map(&w, &PriorityMode::Dynamic),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    c.bench_function("models/build_resnet50", |b| b.iter(|| ModelId::ResNet50.build()));
+    c.bench_function("models/build_inception_v4", |b| {
+        b.iter(|| ModelId::InceptionV4.build())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_simulators, bench_estimator, bench_managers, bench_models
+}
+criterion_main!(benches);

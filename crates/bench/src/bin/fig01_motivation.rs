@@ -1,0 +1,122 @@
+//! Figs. 1 & 2 (motivation): 300 random mappings of the 4-DNN mix
+//! {SqueezeNet-V2, Inception-V4, ResNet-50, VGG-16} vs the all-GPU
+//! baseline on the simulated Orange Pi 5.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rankmap_bench::{print_table, results_dir};
+use rankmap_core::metrics;
+use rankmap_models::ModelId;
+use rankmap_platform::{ComponentId, Platform};
+use rankmap_sim::{EventEngine, Mapping, Workload, STARVATION_POTENTIAL};
+
+fn main() {
+    let platform = Platform::orange_pi_5();
+    let engine = EventEngine::new(&platform);
+    let ids = [ModelId::SqueezeNetV2, ModelId::InceptionV4, ModelId::ResNet50, ModelId::Vgg16];
+    let workload = Workload::from_ids(ids);
+    let ideals: Vec<f64> =
+        ids.iter().map(|&id| engine.ideal_rate(id, ComponentId::new(0))).collect();
+
+    let baseline = engine.evaluate(&workload, &Mapping::uniform(&workload, ComponentId::new(0)));
+    let base_t = baseline.average().max(1e-6);
+    println!("baseline (all-GPU) average throughput: {:.3} inf/s", baseline.average());
+
+    let mut rng = StdRng::seed_from_u64(rankmap_bench::EXPERIMENT_SEED);
+    let mut norm_t = Vec::new();
+    let mut starved_flags = Vec::new();
+    let mut per_dnn_p: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for _ in 0..300 {
+        let m = Mapping::random(&workload, 3, &mut rng);
+        let r = engine.evaluate(&workload, &m);
+        let pots = r.potentials(&ideals);
+        norm_t.push(r.average() / base_t);
+        starved_flags.push(pots.iter().any(|&p| p < STARVATION_POTENTIAL));
+        for (d, &p) in pots.iter().enumerate() {
+            per_dnn_p[d].push(p);
+        }
+    }
+
+    // Fig. 1: histogram of normalized T split by starvation.
+    let hi = norm_t.iter().copied().fold(1.0f64, f64::max).max(4.0);
+    let bins = 16;
+    let mut hist_ok = vec![0usize; bins];
+    let mut hist_starved = vec![0usize; bins];
+    for (&t, &s) in norm_t.iter().zip(&starved_flags) {
+        let idx = (((t / hi) * bins as f64).floor() as usize).min(bins - 1);
+        if s {
+            hist_starved[idx] += 1;
+        } else {
+            hist_ok[idx] += 1;
+        }
+    }
+    let header = vec!["T bin".to_string(), "no starvation".into(), ">=1 starved".into()];
+    let rows: Vec<Vec<String>> = (0..bins)
+        .map(|i| {
+            vec![
+                format!("{:.2}-{:.2}", hi * i as f64 / bins as f64, hi * (i + 1) as f64 / bins as f64),
+                hist_ok[i].to_string(),
+                hist_starved[i].to_string(),
+            ]
+        })
+        .collect();
+    print_table("Fig. 1 — normalized average throughput T of 300 random mappings", &header, &rows);
+
+    let better = norm_t.iter().filter(|&&t| t > 1.0).count();
+    let starved_frac =
+        starved_flags.iter().filter(|&&s| s).count() as f64 / starved_flags.len() as f64;
+    println!(
+        "\nKey observations: {}% of random mappings beat the baseline (paper: 91%),",
+        better * 100 / norm_t.len()
+    );
+    println!(
+        "{:.1}% of mappings starve at least one DNN (paper: 30.2%).",
+        100.0 * starved_frac
+    );
+
+    // Fig. 2: quartiles of potential throughput P per DNN.
+    let header = vec![
+        "DNN".to_string(),
+        "min".into(),
+        "q1".into(),
+        "median".into(),
+        "q3".into(),
+        "max".into(),
+        "mean".into(),
+    ];
+    let rows: Vec<Vec<String>> = ids
+        .iter()
+        .enumerate()
+        .map(|(d, id)| {
+            let (min, q1, med, q3, max) = metrics::quartiles(&per_dnn_p[d]);
+            vec![
+                id.name().to_string(),
+                format!("{min:.3}"),
+                format!("{q1:.3}"),
+                format!("{med:.3}"),
+                format!("{q3:.3}"),
+                format!("{max:.3}"),
+                format!("{:.3}", metrics::mean(&per_dnn_p[d])),
+            ]
+        })
+        .collect();
+    print_table("Fig. 2 — potential throughput P distribution per DNN", &header, &rows);
+
+    let low_p = per_dnn_p
+        .iter()
+        .flatten()
+        .filter(|&&p| p <= 0.2)
+        .count() as f64
+        / (4.0 * 300.0);
+    println!("\n{:.0}% of per-DNN samples at P <= 0.2 (paper: >60%).", low_p * 100.0);
+
+    // CSV dump.
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let mut csv = String::from("norm_t,starved\n");
+    for (t, s) in norm_t.iter().zip(&starved_flags) {
+        csv.push_str(&format!("{t:.4},{}\n", *s as u8));
+    }
+    let _ = std::fs::write(dir.join("fig01_motivation.csv"), csv);
+    println!("\nwrote {}", dir.join("fig01_motivation.csv").display());
+}

@@ -1,0 +1,43 @@
+//! Fig. 5: normalized average throughput `T` for 6 random mixes of 3, 4,
+//! and 5 concurrent DNNs across all seven managers.
+
+use rankmap_bench::{load_or_compute_matrix, normalized_t, print_table, results_dir, MANAGERS};
+use rankmap_platform::Platform;
+
+fn main() {
+    let platform = Platform::orange_pi_5();
+    let rows = load_or_compute_matrix(&platform, &results_dir());
+    for size in [3usize, 4, 5] {
+        let header: Vec<String> = std::iter::once("Manager".to_string())
+            .chain((0..6).map(|m| format!("Mix-{}", m + 1)))
+            .chain(std::iter::once("Average".to_string()))
+            .collect();
+        let table: Vec<Vec<String>> = MANAGERS
+            .iter()
+            .map(|mgr| {
+                let ts: Vec<f64> =
+                    (0..6).map(|mix| normalized_t(&rows, size, mix, mgr)).collect();
+                let avg = ts.iter().sum::<f64>() / ts.len() as f64;
+                std::iter::once(mgr.to_string())
+                    .chain(ts.iter().map(|t| format!("{t:.2}")))
+                    .chain(std::iter::once(format!("{avg:.2}")))
+                    .collect()
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 5 — normalized throughput T, {size} concurrent DNNs"),
+            &header,
+            &table,
+        );
+    }
+    // Headline ratio at 4 DNNs: RankMapD vs Baseline (paper: x3.6).
+    let avg = |mgr: &str, size: usize| -> f64 {
+        (0..6).map(|m| normalized_t(&rows, size, m, mgr)).sum::<f64>() / 6.0
+    };
+    println!(
+        "\nheadline: RankMapD vs Baseline at 4 DNNs = x{:.2} (paper: x3.6); \
+         RankMapS trails RankMapD by {:.0}% (paper: ~14%)",
+        avg("RankMapD", 4),
+        100.0 * (1.0 - avg("RankMapS", 4) / avg("RankMapD", 4).max(1e-9)),
+    );
+}

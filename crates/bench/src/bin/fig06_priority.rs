@@ -1,0 +1,54 @@
+//! Fig. 6: potential throughput `P` of the high-priority (critical) DNN
+//! across mixes of 3, 4, and 5 concurrent DNNs, per manager.
+
+use rankmap_bench::{load_or_compute_matrix, print_table, results_dir, MANAGERS};
+use rankmap_core::metrics;
+use rankmap_platform::Platform;
+
+fn main() {
+    let platform = Platform::orange_pi_5();
+    let rows = load_or_compute_matrix(&platform, &results_dir());
+    let header: Vec<String> = std::iter::once("Manager".to_string())
+        .chain([3usize, 4, 5].iter().map(|s| format!("{s} DNNs (avg P)")))
+        .chain(std::iter::once("floor".to_string()))
+        .chain(std::iter::once("peak".to_string()))
+        .collect();
+    let mut table = Vec::new();
+    for mgr in MANAGERS {
+        let mut cells = vec![mgr.to_string()];
+        let mut all: Vec<f64> = Vec::new();
+        for size in [3usize, 4, 5] {
+            let ps: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.size == size && r.manager == mgr && r.critical)
+                .map(|r| r.potential)
+                .collect();
+            all.extend(&ps);
+            cells.push(format!("{:.3}", metrics::mean(&ps)));
+        }
+        let floor = all.iter().copied().fold(f64::INFINITY, f64::min);
+        let peak = all.iter().copied().fold(0.0f64, f64::max);
+        cells.push(format!("{floor:.3}"));
+        cells.push(format!("{peak:.3}"));
+        table.push(cells);
+    }
+    print_table("Fig. 6 — potential P of the high-priority DNN", &header, &table);
+
+    // Headline: RankMapS vs Baseline at 4 DNNs (paper: x57.5).
+    let mean_p = |mgr: &str, size: usize| -> f64 {
+        metrics::mean(
+            &rows
+                .iter()
+                .filter(|r| r.size == size && r.manager == mgr && r.critical)
+                .map(|r| r.potential)
+                .collect::<Vec<_>>(),
+        )
+    };
+    let base = mean_p("Baseline", 4).max(1e-4);
+    println!(
+        "\nheadline: RankMapS lifts the critical DNN's P by x{:.1} over Baseline at 4 DNNs \
+         (paper: x57.5) and x{:.1} over OmniBoost (paper: x2.2)",
+        mean_p("RankMapS", 4) / base,
+        mean_p("RankMapS", 4) / mean_p("OmniBoost", 4).max(1e-4),
+    );
+}

@@ -1,0 +1,66 @@
+//! Fig. 7: distribution of potential throughput `P` over all 72
+//! (DNN, mix) samples per manager, and the starvation counts.
+
+use rankmap_bench::{load_or_compute_matrix, print_table, results_dir, MANAGERS};
+use rankmap_core::metrics;
+use rankmap_platform::Platform;
+
+fn main() {
+    let platform = Platform::orange_pi_5();
+    let rows = load_or_compute_matrix(&platform, &results_dir());
+    let bins = [0.0, 0.25, 0.5, 0.75, 1.01];
+    let header: Vec<String> = std::iter::once("Manager".to_string())
+        .chain(vec![
+            "P=0 (starved)".to_string(),
+            "0-0.25".into(),
+            "0.25-0.5".into(),
+            "0.5-0.75".into(),
+            ">=0.75".into(),
+            "total".into(),
+        ])
+        .collect();
+    let mut table = Vec::new();
+    for mgr in MANAGERS {
+        let ps: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.manager == mgr)
+            .map(|r| r.potential)
+            .collect();
+        let starved = metrics::starved_count(&ps);
+        let mut counts = [0usize; 4];
+        for &p in &ps {
+            if metrics::is_starved(p) {
+                continue;
+            }
+            for b in 0..4 {
+                if p >= bins[b] && p < bins[b + 1] {
+                    counts[b] += 1;
+                    break;
+                }
+                if b == 3 && p >= bins[4] {
+                    counts[3] += 1;
+                }
+            }
+        }
+        table.push(vec![
+            mgr.to_string(),
+            starved.to_string(),
+            counts[0].to_string(),
+            counts[1].to_string(),
+            counts[2].to_string(),
+            counts[3].to_string(),
+            ps.len().to_string(),
+        ]);
+    }
+    print_table("Fig. 7 — P histogram across all experiment samples", &header, &table);
+    println!(
+        "\npaper starvation counts out of 72: Baseline 19, MOSAIC 9, ODMDEF 13, GA 11, \
+         OmniBoost 5, RankMapS 0, RankMapD 0"
+    );
+    let rk_starved: usize = rows
+        .iter()
+        .filter(|r| r.manager.starts_with("RankMap"))
+        .filter(|r| metrics::is_starved(r.potential))
+        .count();
+    println!("RankMap starved DNNs in this run: {rk_starved} (must be 0)");
+}

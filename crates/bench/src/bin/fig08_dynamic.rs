@@ -1,0 +1,84 @@
+//! Fig. 8: the 4-DNN dynamic workload — Inception-ResNet-V1, then AlexNet
+//! (t=150), SqueezeNet (t=300), ResNet-50 (t=450) — comparing RankMap-D
+//! against OmniBoost on starvation behaviour.
+
+use rankmap_baselines::OmniBoost;
+use rankmap_bench::{print_table, results_dir};
+use rankmap_core::manager::{ManagerConfig, RankMapManager};
+use rankmap_core::oracle::AnalyticalOracle;
+use rankmap_core::priority::PriorityMode;
+use rankmap_core::runtime::{DynamicEvent, DynamicRuntime, RankMapMapper, WorkloadMapper};
+use rankmap_models::ModelId;
+use rankmap_platform::Platform;
+use rankmap_sim::STARVATION_POTENTIAL;
+
+fn events() -> Vec<DynamicEvent> {
+    vec![
+        DynamicEvent::Arrive { at: 0.0, model: ModelId::InceptionResnetV1 },
+        DynamicEvent::Arrive { at: 150.0, model: ModelId::AlexNet },
+        DynamicEvent::Arrive { at: 300.0, model: ModelId::SqueezeNet },
+        DynamicEvent::Arrive { at: 450.0, model: ModelId::ResNet50 },
+    ]
+}
+
+fn run(mapper: &mut dyn WorkloadMapper, platform: &Platform) -> Vec<(f64, Vec<f64>, f64)> {
+    let rt = DynamicRuntime::new(platform, 75.0);
+    rt.run(&events(), mapper, 600.0)
+        .into_iter()
+        .map(|p| {
+            let avg_t =
+                p.throughputs.iter().sum::<f64>() / p.throughputs.len().max(1) as f64;
+            (p.time, p.potentials, avg_t)
+        })
+        .collect()
+}
+
+fn main() {
+    let platform = Platform::orange_pi_5();
+    let oracle = AnalyticalOracle::new(&platform);
+    let mgr = RankMapManager::new(
+        &platform,
+        &oracle,
+        ManagerConfig { mcts_iterations: 1_000, ..Default::default() },
+    );
+    let mut rankmap = RankMapMapper::new(mgr, PriorityMode::Dynamic, "RankMapD");
+    let mut omni = OmniBoost::new(&platform, &oracle, 1_000, 7);
+
+    let names = ["Inception-RN-V1", "AlexNet", "SqueezeNet", "ResNet-50"];
+    for (label, timeline) in [
+        ("RankMapD", run(&mut rankmap, &platform)),
+        ("OmniBoost", run(&mut omni, &platform)),
+    ] {
+        let header: Vec<String> = std::iter::once("time (s)".to_string())
+            .chain(names.iter().map(|n| format!("P {n}")))
+            .chain(std::iter::once("avg T (inf/s)".to_string()))
+            .collect();
+        let rows: Vec<Vec<String>> = timeline
+            .iter()
+            .map(|(t, pots, avg)| {
+                let mut cells = vec![format!("{t:.0}")];
+                for i in 0..4 {
+                    cells.push(match pots.get(i) {
+                        Some(&p) if p < STARVATION_POTENTIAL => format!("{p:.3} (STARVED)"),
+                        Some(&p) => format!("{p:.3}"),
+                        None => "-".to_string(),
+                    });
+                }
+                cells.push(format!("{avg:.2}"));
+                cells
+            })
+            .collect();
+        print_table(&format!("Fig. 8 — dynamic workload under {label}"), &header, &rows);
+        let starved_points: usize = timeline
+            .iter()
+            .flat_map(|(_, pots, _)| pots.iter())
+            .filter(|&&p| p < STARVATION_POTENTIAL)
+            .count();
+        println!("{label}: {starved_points} starved samples across the timeline");
+    }
+    println!(
+        "\npaper: OmniBoost ends with Inception and ResNet-50 starved (higher average T), \
+         RankMapD starves nobody (T = 14 vs 18 on the board)."
+    );
+    let _ = std::fs::create_dir_all(results_dir());
+}

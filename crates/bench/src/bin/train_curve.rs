@@ -1,0 +1,61 @@
+//! §V setup: estimator training — dataset generation on the board,
+//! VQ-VAE pre-training, estimator L2 curves with and without the
+//! channel-shuffling augmentation (paper: 0.14 → 0.08).
+
+use rankmap_core::dataset::{self, DatasetConfig};
+use rankmap_core::train::Fidelity;
+use rankmap_estimator::{
+    EmbeddingTable, Estimator, QTensorSpec, Trainer, TrainerConfig, VqVae, VqVaeConfig,
+};
+use rankmap_models::ModelId;
+use rankmap_platform::Platform;
+
+fn main() {
+    let fidelity = if std::env::args().any(|a| a == "--paper") {
+        Fidelity::Paper
+    } else {
+        Fidelity::Quick
+    };
+    let platform = Platform::orange_pi_5();
+    eprintln!("[train] generating {} labelled samples on the board simulator...", fidelity.dataset_samples());
+    let cfg = DatasetConfig {
+        samples: fidelity.dataset_samples(),
+        ..Default::default()
+    };
+    let labelled = dataset::generate(&platform, &cfg);
+
+    eprintln!("[train] training VQ-VAE on the 23-model pool...");
+    let mut vqvae = VqVae::new(VqVaeConfig::default(), 11);
+    let pool: Vec<_> = ModelId::paper_pool().iter().map(|id| id.build()).collect();
+    let recon =
+        rankmap_estimator::vqvae::train_on_pool(&mut vqvae, &pool, fidelity.vqvae_epochs());
+    println!("VQ-VAE final reconstruction MSE: {recon:.4}");
+
+    let spec = QTensorSpec::default();
+    let mut table = EmbeddingTable::build(&mut vqvae, &pool);
+    let samples = dataset::to_samples(&labelled, &mut vqvae, &mut table, &spec);
+    let split = samples.len() * 9 / 10;
+    let (train, val) = samples.split_at(split);
+
+    for shuffle in [false, true] {
+        let mut estimator = Estimator::new(fidelity.estimator_config(), 21);
+        let tc = TrainerConfig {
+            channel_shuffle: shuffle,
+            ..fidelity.trainer_config()
+        };
+        let report = Trainer::new(tc).train(&mut estimator, train, val);
+        println!(
+            "\nchannel_shuffle={shuffle}: per-epoch validation L2 = {:?}",
+            report
+                .val_loss
+                .iter()
+                .map(|v| (v * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        );
+        println!("final L2 = {:.4}", report.final_loss());
+    }
+    println!(
+        "\npaper: L2 ≈ 0.14 after 50 epochs, ≈ 0.08 with random channel shuffling \
+         (10 K samples, 90/10 split). Run with --paper for the full protocol."
+    );
+}

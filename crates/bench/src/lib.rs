@@ -1,0 +1,395 @@
+//! Shared harness for the experiment binaries: mix generation, the
+//! manager roster, the evaluation matrix behind Figs. 5/6/7/9, and small
+//! CSV/table helpers.
+//!
+//! Every figure and table of the paper's evaluation section has a binary
+//! in `src/bin/` (see DESIGN.md's experiment index). The expensive
+//! manager-comparison matrix is computed once and cached under
+//! `results/matrix_cache.csv` so the per-figure binaries stay fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rankmap_baselines::{BaselineGpu, Ga, GaConfig, Mosaic, Odmdef, OmniBoost};
+use rankmap_core::manager::{ManagerConfig, RankMapManager};
+use rankmap_core::oracle::AnalyticalOracle;
+use rankmap_core::priority::PriorityMode;
+use rankmap_core::runtime::WorkloadMapper;
+use rankmap_models::ModelId;
+use rankmap_platform::{ComponentId, ComponentKind, Platform};
+use rankmap_sim::{EventEngine, Mapping, Workload};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Seed shared by all experiment binaries (reproducible figures).
+pub const EXPERIMENT_SEED: u64 = 2025;
+
+/// Manager names in the paper's column order.
+pub const MANAGERS: [&str; 7] =
+    ["Baseline", "MOSAIC", "ODMDEF", "GA", "OmniBoost", "RankMapS", "RankMapD"];
+
+/// The 6 random mixes of a given size used across Figs. 5–9.
+pub fn mixes(size: usize, seed: u64) -> Vec<Vec<ModelId>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (size as u64) << 8);
+    let pool = ModelId::paper_pool();
+    (0..6)
+        .map(|_| {
+            let mut p = pool.clone();
+            p.shuffle(&mut rng);
+            p.truncate(size);
+            p
+        })
+        .collect()
+}
+
+/// Index of the designated high-priority (critical) DNN in a mix: the most
+/// computationally demanding one, matching the paper's focus on supporting
+/// the critical DNN.
+pub fn critical_index(ids: &[ModelId]) -> usize {
+    ids.iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.build()
+                .total_flops()
+                .total_cmp(&b.1.build().total_flops())
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// One row of the evaluation matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixRow {
+    /// Mix size (3, 4, or 5 concurrent DNNs).
+    pub size: usize,
+    /// Mix index (0..6).
+    pub mix: usize,
+    /// Manager name.
+    pub manager: String,
+    /// DNN index within the mix.
+    pub dnn: usize,
+    /// Model name.
+    pub model: String,
+    /// Whether this DNN is the designated critical one.
+    pub critical: bool,
+    /// Priority assigned to this DNN (RankMapD's dynamic vector; for
+    /// ranking-insensitive managers this is informational).
+    pub priority: f64,
+    /// Isolated-on-GPU ideal rate.
+    pub ideal: f64,
+    /// Measured throughput under the manager's mapping (inf/s).
+    pub throughput: f64,
+    /// Potential throughput `P`.
+    pub potential: f64,
+}
+
+/// Measures isolated-on-GPU ideal rates with the full-window engine.
+pub fn ideal_rates(platform: &Platform, ids: &[ModelId]) -> HashMap<ModelId, f64> {
+    let engine = EventEngine::new(platform);
+    let gpu = platform.id_of_kind(ComponentKind::Gpu).unwrap_or(ComponentId::new(0));
+    let mut out = HashMap::new();
+    for &id in ids {
+        out.entry(id).or_insert_with(|| engine.ideal_rate(id, gpu));
+    }
+    out
+}
+
+/// Evaluates one manager on one mix, returning its rows.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_mapper(
+    platform: &Platform,
+    engine: &EventEngine<'_>,
+    ideals: &HashMap<ModelId, f64>,
+    ids: &[ModelId],
+    size: usize,
+    mix: usize,
+    mapper: &mut dyn WorkloadMapper,
+    priorities: &[f64],
+) -> Vec<MatrixRow> {
+    let workload = Workload::from_ids(ids.iter().copied());
+    let mapping = mapper.remap(&workload);
+    rows_for_mapping(platform, engine, ideals, ids, size, mix, &mapper.name(), &mapping, priorities)
+}
+
+/// Builds matrix rows for an explicit mapping.
+#[allow(clippy::too_many_arguments)]
+pub fn rows_for_mapping(
+    _platform: &Platform,
+    engine: &EventEngine<'_>,
+    ideals: &HashMap<ModelId, f64>,
+    ids: &[ModelId],
+    size: usize,
+    mix: usize,
+    manager: &str,
+    mapping: &Mapping,
+    priorities: &[f64],
+) -> Vec<MatrixRow> {
+    let workload = Workload::from_ids(ids.iter().copied());
+    let report = engine.evaluate(&workload, mapping);
+    let crit = critical_index(ids);
+    ids.iter()
+        .enumerate()
+        .map(|(d, id)| {
+            let ideal = ideals[id];
+            let t = report.per_dnn[d];
+            MatrixRow {
+                size,
+                mix,
+                manager: manager.to_string(),
+                dnn: d,
+                model: id.name().to_string(),
+                critical: d == crit,
+                priority: priorities[d],
+                ideal,
+                throughput: t,
+                potential: if ideal > 0.0 { t / ideal } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// Computes the full Figs. 5–9 evaluation matrix: 3 sizes × 6 mixes × 7
+/// managers, measured on the event-driven board simulator.
+pub fn compute_matrix(platform: &Platform) -> Vec<MatrixRow> {
+    let pool = ModelId::paper_pool();
+    let ideals = ideal_rates(platform, &pool);
+    let engine = EventEngine::new(platform);
+    let oracle = AnalyticalOracle::new(platform);
+    let mut mosaic = Mosaic::new(platform, &pool);
+    let mut odmdef = Odmdef::new(platform, &pool, 300, EXPERIMENT_SEED);
+    let mut rows = Vec::new();
+    for size in [3usize, 4, 5] {
+        for (mix_idx, ids) in mixes(size, EXPERIMENT_SEED).into_iter().enumerate() {
+            let workload = Workload::from_ids(ids.iter().copied());
+            let crit = critical_index(&ids);
+            let dyn_p = PriorityMode::Dynamic.vector(&workload);
+            let static_p = PriorityMode::critical(ids.len(), crit).vector(&workload);
+            let mut run = |mapper: &mut dyn WorkloadMapper, p: &[f64]| {
+                rows.extend(evaluate_mapper(
+                    platform, &engine, &ideals, &ids, size, mix_idx, mapper, p,
+                ));
+            };
+            run(&mut BaselineGpu::new(platform), &dyn_p);
+            run(&mut mosaic, &dyn_p);
+            run(&mut odmdef, &dyn_p);
+            let mut ga = Ga::new(
+                platform,
+                GaConfig { seed: EXPERIMENT_SEED ^ mix_idx as u64, ..Default::default() },
+            );
+            run(&mut ga, &dyn_p);
+            let mut omni = OmniBoost::new(platform, &oracle, 1_200, EXPERIMENT_SEED);
+            run(&mut omni, &dyn_p);
+            // RankMap-S: static priorities with the critical DNN at 0.7.
+            let mgr_s = RankMapManager::new(
+                platform,
+                &oracle,
+                ManagerConfig { mcts_iterations: 1_200, seed: EXPERIMENT_SEED, ..Default::default() },
+            );
+            let plan_s = mgr_s.map(&workload, &PriorityMode::critical(ids.len(), crit));
+            rows.extend(rows_for_mapping(
+                platform, &engine, &ideals, &ids, size, mix_idx, "RankMapS", &plan_s.mapping,
+                &static_p,
+            ));
+            // RankMap-D: dynamic (demand-derived) priorities.
+            let mgr_d = RankMapManager::new(
+                platform,
+                &oracle,
+                ManagerConfig { mcts_iterations: 1_200, seed: EXPERIMENT_SEED ^ 1, ..Default::default() },
+            );
+            let plan_d = mgr_d.map(&workload, &PriorityMode::Dynamic);
+            rows.extend(rows_for_mapping(
+                platform, &engine, &ideals, &ids, size, mix_idx, "RankMapD", &plan_d.mapping,
+                &dyn_p,
+            ));
+        }
+    }
+    rows
+}
+
+/// CSV header of the matrix cache.
+const MATRIX_HEADER: &str =
+    "size,mix,manager,dnn,model,critical,priority,ideal,throughput,potential";
+
+/// Serializes matrix rows to CSV.
+pub fn matrix_to_csv(rows: &[MatrixRow]) -> String {
+    let mut s = String::from(MATRIX_HEADER);
+    s.push('\n');
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{:.6},{:.4},{:.4},{:.6}",
+            r.size,
+            r.mix,
+            r.manager,
+            r.dnn,
+            r.model,
+            r.critical as u8,
+            r.priority,
+            r.ideal,
+            r.throughput,
+            r.potential
+        );
+    }
+    s
+}
+
+/// Parses the matrix cache CSV.
+pub fn matrix_from_csv(text: &str) -> Option<Vec<MatrixRow>> {
+    let mut lines = text.lines();
+    if lines.next()? != MATRIX_HEADER {
+        return None;
+    }
+    let mut rows = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 10 {
+            return None;
+        }
+        rows.push(MatrixRow {
+            size: f[0].parse().ok()?,
+            mix: f[1].parse().ok()?,
+            manager: f[2].to_string(),
+            dnn: f[3].parse().ok()?,
+            model: f[4].to_string(),
+            critical: f[5] == "1",
+            priority: f[6].parse().ok()?,
+            ideal: f[7].parse().ok()?,
+            throughput: f[8].parse().ok()?,
+            potential: f[9].parse().ok()?,
+        });
+    }
+    Some(rows)
+}
+
+/// Loads the cached matrix or computes and caches it.
+pub fn load_or_compute_matrix(platform: &Platform, results_dir: &Path) -> Vec<MatrixRow> {
+    let cache = results_dir.join("matrix_cache.csv");
+    if let Ok(text) = std::fs::read_to_string(&cache) {
+        if let Some(rows) = matrix_from_csv(&text) {
+            eprintln!("[matrix] loaded {} rows from {}", rows.len(), cache.display());
+            return rows;
+        }
+    }
+    eprintln!("[matrix] computing evaluation matrix (3 sizes x 6 mixes x 7 managers)...");
+    let rows = compute_matrix(platform);
+    let _ = std::fs::create_dir_all(results_dir);
+    let _ = std::fs::write(&cache, matrix_to_csv(&rows));
+    rows
+}
+
+/// Normalized average throughput `T` of a manager on one mix (baseline-
+/// relative, the paper's Fig. 5 metric).
+pub fn normalized_t(rows: &[MatrixRow], size: usize, mix: usize, manager: &str) -> f64 {
+    let avg = |m: &str| -> f64 {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.size == size && r.mix == mix && r.manager == m)
+            .map(|r| r.throughput)
+            .collect();
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let base = avg("Baseline");
+    if base <= 0.0 {
+        // The baseline can measure 0 completions on a saturated window;
+        // fall back to a tiny epsilon so ratios stay meaningful.
+        return avg(manager) / 0.02;
+    }
+    avg(manager) / base
+}
+
+/// The default results directory (`results/` at the workspace root).
+pub fn results_dir() -> std::path::PathBuf {
+    let here = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    here.parent()
+        .and_then(Path::parent)
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| std::path::PathBuf::from("results"))
+}
+
+/// Prints an ASCII table: header row + rows of cells.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, c) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(line, "{:>width$}  ", c, width = widths[i]);
+        }
+        line
+    };
+    println!("{}", fmt_row(header));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_are_reproducible_and_distinct_models() {
+        let a = mixes(4, 1);
+        let b = mixes(4, 1);
+        assert_eq!(a, b);
+        for mix in &a {
+            assert_eq!(mix.len(), 4);
+            let mut sorted = mix.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "mix models must be distinct");
+        }
+    }
+
+    #[test]
+    fn critical_is_heaviest() {
+        let ids = vec![ModelId::SqueezeNetV2, ModelId::Vgg16, ModelId::MobileNet];
+        assert_eq!(critical_index(&ids), 1);
+    }
+
+    #[test]
+    fn matrix_csv_roundtrip() {
+        let rows = vec![MatrixRow {
+            size: 3,
+            mix: 1,
+            manager: "GA".into(),
+            dnn: 0,
+            model: "AlexNet".into(),
+            critical: true,
+            priority: 0.5,
+            ideal: 40.0,
+            throughput: 12.5,
+            potential: 0.3125,
+        }];
+        let csv = matrix_to_csv(&rows);
+        let parsed = matrix_from_csv(&csv).expect("roundtrip");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].manager, "GA");
+        assert!(parsed[0].critical);
+        assert!((parsed[0].potential - 0.3125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_csv_rejected() {
+        assert!(matrix_from_csv("nonsense").is_none());
+    }
+}

@@ -1,0 +1,179 @@
+//! Training-set generation on the simulated board (§V).
+//!
+//! "We created a dataset of 10K workloads. Each workload consists of a mix
+//! of up to 5 concurrent DNNs randomly selected from a pool of 23 DNNs. We
+//! randomly partitioned each DNN and mapped the sub-DNNs across the
+//! device's computing components. We executed each workload on the board,
+//! recording the inferences per second for each DNN."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rankmap_estimator::{EmbeddingTable, QTensorSpec, Sample, VqVae};
+use rankmap_models::ModelId;
+use rankmap_platform::{ComponentId, ComponentKind, Platform};
+use rankmap_sim::{EventEngine, Mapping, Workload};
+use std::collections::HashMap;
+
+/// Dataset-generation configuration.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Number of labelled workload/mapping samples.
+    pub samples: usize,
+    /// Maximum concurrent DNNs per workload (5 in the paper).
+    pub max_dnns: usize,
+    /// The model pool to draw from.
+    pub pool: Vec<ModelId>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self { samples: 1_000, max_dnns: 5, pool: ModelId::paper_pool(), seed: 0 }
+    }
+}
+
+/// One labelled example: a workload, a mapping, and board measurements.
+#[derive(Debug, Clone)]
+pub struct LabeledMapping {
+    /// Models in the workload.
+    pub ids: Vec<ModelId>,
+    /// The random mapping that was executed.
+    pub mapping: Mapping,
+    /// Measured inferences/second per DNN.
+    pub throughputs: Vec<f64>,
+    /// Potential throughput per DNN (`t / t_ideal`).
+    pub potentials: Vec<f64>,
+}
+
+/// Measures isolated-on-GPU ideal rates for a set of models, memoized.
+pub fn ideal_rates(platform: &Platform, ids: &[ModelId]) -> HashMap<ModelId, f64> {
+    let engine = EventEngine::quick(platform);
+    let gpu = platform.id_of_kind(ComponentKind::Gpu).unwrap_or(ComponentId::new(0));
+    let mut out = HashMap::new();
+    for &id in ids {
+        out.entry(id).or_insert_with(|| engine.ideal_rate(id, gpu));
+    }
+    out
+}
+
+/// Generates a labelled dataset by executing random mappings of random
+/// workloads on the event-driven board simulator.
+pub fn generate(platform: &Platform, cfg: &DatasetConfig) -> Vec<LabeledMapping> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let engine = EventEngine::quick(platform);
+    let ideals = ideal_rates(platform, &cfg.pool);
+    let mut out = Vec::with_capacity(cfg.samples);
+    for _ in 0..cfg.samples {
+        let n = rng.gen_range(1..=cfg.max_dnns);
+        let ids: Vec<ModelId> =
+            (0..n).map(|_| cfg.pool[rng.gen_range(0..cfg.pool.len())]).collect();
+        let workload = Workload::from_ids(ids.iter().copied());
+        let mapping = Mapping::random(&workload, platform.component_count(), &mut rng);
+        let throughputs = engine.evaluate(&workload, &mapping).per_dnn;
+        let potentials = throughputs
+            .iter()
+            .zip(&ids)
+            .map(|(&t, id)| t / ideals[id].max(1e-9))
+            .collect();
+        out.push(LabeledMapping { ids, mapping, throughputs, potentials });
+    }
+    out
+}
+
+/// Converts labelled mappings into estimator training samples (targets are
+/// potentials; inactive slots masked out).
+pub fn to_samples(
+    labelled: &[LabeledMapping],
+    vqvae: &mut VqVae,
+    table: &mut EmbeddingTable,
+    spec: &QTensorSpec,
+) -> Vec<Sample> {
+    labelled
+        .iter()
+        .map(|l| {
+            let workload = Workload::from_ids(l.ids.iter().copied());
+            for m in workload.models() {
+                table.ensure(vqvae, m);
+            }
+            let q = table.q_tensor(spec, &workload, &l.mapping);
+            let mut target = vec![0.0f32; spec.max_dnns];
+            let mut mask = vec![false; spec.max_dnns];
+            for (i, &p) in l.potentials.iter().enumerate() {
+                target[i] = p as f32;
+                mask[i] = true;
+            }
+            Sample::new(q, target, mask)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmap_estimator::VqVaeConfig;
+
+    fn tiny_cfg() -> DatasetConfig {
+        DatasetConfig {
+            samples: 12,
+            max_dnns: 3,
+            pool: vec![ModelId::AlexNet, ModelId::SqueezeNetV2, ModelId::MobileNet],
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let p = Platform::orange_pi_5();
+        let data = generate(&p, &tiny_cfg());
+        assert_eq!(data.len(), 12);
+        for l in &data {
+            assert!(!l.ids.is_empty() && l.ids.len() <= 3);
+            assert_eq!(l.ids.len(), l.throughputs.len());
+        }
+    }
+
+    #[test]
+    fn potentials_are_bounded_sane() {
+        let p = Platform::orange_pi_5();
+        let data = generate(&p, &tiny_cfg());
+        for l in &data {
+            for &pot in &l.potentials {
+                // Pipelining across components can legitimately beat the
+                // single-GPU ideal (P > 1), but not by an absurd factor.
+                assert!((0.0..=5.0).contains(&pot), "potential out of range: {pot}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = Platform::orange_pi_5();
+        let a = generate(&p, &tiny_cfg());
+        let b = generate(&p, &tiny_cfg());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.ids, y.ids);
+            assert_eq!(x.mapping, y.mapping);
+            assert_eq!(x.throughputs, y.throughputs);
+        }
+    }
+
+    #[test]
+    fn samples_have_masked_padding() {
+        let p = Platform::orange_pi_5();
+        let data = generate(&p, &tiny_cfg());
+        let mut vq = VqVae::new(VqVaeConfig::default(), 0);
+        let mut table = EmbeddingTable::build(&mut vq, &[]);
+        let spec = QTensorSpec::default();
+        let samples = to_samples(&data, &mut vq, &mut table, &spec);
+        assert_eq!(samples.len(), data.len());
+        for (s, l) in samples.iter().zip(&data) {
+            assert_eq!(s.active(), l.ids.len());
+            for i in l.ids.len()..spec.max_dnns {
+                assert!(!s.mask[i]);
+                assert_eq!(s.target[i], 0.0);
+            }
+        }
+    }
+}

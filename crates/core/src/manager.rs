@@ -1,0 +1,255 @@
+//! The RankMap manager: MCTS over the mapping space with an oracle in the
+//! loop (§IV-E).
+
+use crate::oracle::ThroughputOracle;
+use crate::priority::PriorityMode;
+use crate::reward::{RewardSpec, StarvationThreshold, DISQUALIFIED};
+use rankmap_platform::{ComponentId, Platform};
+use rankmap_search::{DecisionProblem, Mcts, MctsConfig};
+use rankmap_sim::{EventEngine, Mapping, Workload};
+
+/// Manager configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManagerConfig {
+    /// MCTS iteration budget.
+    pub mcts_iterations: usize,
+    /// UCT exploration constant.
+    pub exploration: f64,
+    /// Starvation threshold.
+    pub threshold: StarvationThreshold,
+    /// Search seed.
+    pub seed: u64,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        Self {
+            mcts_iterations: 1_500,
+            exploration: 1.3,
+            threshold: StarvationThreshold::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a mapping search.
+#[derive(Debug, Clone)]
+pub struct MappingPlan {
+    /// The chosen mapping `M*`.
+    pub mapping: Mapping,
+    /// The oracle's per-DNN throughput prediction for it.
+    pub predicted: Vec<f64>,
+    /// Its reward (finite ⇔ it clears the starvation threshold).
+    pub reward: f64,
+    /// Number of oracle evaluations spent.
+    pub evaluations: usize,
+}
+
+impl MappingPlan {
+    /// Whether the plan satisfies the starvation threshold.
+    pub fn qualified(&self) -> bool {
+        self.reward.is_finite()
+    }
+}
+
+/// The priority-aware multi-DNN manager.
+pub struct RankMapManager<'p, O: ThroughputOracle> {
+    platform: &'p Platform,
+    oracle: &'p O,
+    config: ManagerConfig,
+}
+
+/// The mapping decision problem: one component choice per schedulable unit
+/// (DNN-major order), rewarded through the oracle + reward spec.
+struct MappingProblem<'a, O: ThroughputOracle> {
+    workload: &'a Workload,
+    oracle: &'a O,
+    spec: &'a RewardSpec,
+    components: usize,
+    total_units: usize,
+}
+
+impl<O: ThroughputOracle> DecisionProblem for MappingProblem<'_, O> {
+    type State = Vec<ComponentId>;
+
+    fn root(&self) -> Self::State {
+        Vec::new()
+    }
+
+    fn action_count(&self, state: &Self::State) -> usize {
+        if state.len() >= self.total_units {
+            0
+        } else {
+            self.components
+        }
+    }
+
+    fn apply(&self, state: &Self::State, a: usize) -> Self::State {
+        let mut s = state.clone();
+        s.push(ComponentId::new(a));
+        s
+    }
+
+    fn evaluate(&self, state: &Self::State) -> f64 {
+        let mapping = Mapping::from_flat(self.workload, state);
+        let throughputs = self.oracle.predict(self.workload, &mapping);
+        let r = self.spec.reward(&throughputs);
+        if r == DISQUALIFIED {
+            // Shift fallback scores far below any qualified reward so the
+            // search keeps a best-effort answer when nothing qualifies,
+            // while the tree still prefers qualified regions.
+            -1.0e6 + self.spec.fallback_score(&throughputs)
+        } else {
+            r
+        }
+    }
+}
+
+impl<'p, O: ThroughputOracle> RankMapManager<'p, O> {
+    /// Creates a manager over a platform and oracle.
+    pub fn new(platform: &'p Platform, oracle: &'p O, config: ManagerConfig) -> Self {
+        Self { platform, oracle, config }
+    }
+
+    /// The manager's configuration.
+    pub fn config(&self) -> ManagerConfig {
+        self.config
+    }
+
+    /// Measures per-DNN ideal rates (isolated on the GPU, or the fastest
+    /// component when no GPU exists).
+    pub fn ideal_rates(&self, workload: &Workload) -> Vec<f64> {
+        let engine = EventEngine::quick(self.platform);
+        let gpu = self
+            .platform
+            .id_of_kind(rankmap_platform::ComponentKind::Gpu)
+            .unwrap_or(ComponentId::new(0));
+        workload.models().iter().map(|m| engine.ideal_rate(m.id(), gpu)).collect()
+    }
+
+    /// Searches for the best mapping of `workload` under `priorities`
+    /// (`M* = argmax O(M)ᵀ·p subject to O(M)ᵢ > th`).
+    pub fn map(&self, workload: &Workload, priorities: &PriorityMode) -> MappingPlan {
+        let p = priorities.vector(workload);
+        let ideals = self.ideal_rates(workload);
+        let spec = RewardSpec::new(p, self.config.threshold, ideals);
+        let problem = MappingProblem {
+            workload,
+            oracle: self.oracle,
+            spec: &spec,
+            components: self.platform.component_count(),
+            total_units: workload.total_units(),
+        };
+        let result = Mcts::new(MctsConfig {
+            iterations: self.config.mcts_iterations,
+            exploration: self.config.exploration,
+            seed: self.config.seed,
+        })
+        .search(&problem);
+        let mapping = Mapping::from_flat(workload, &result.best_state);
+        let predicted = self.oracle.predict(workload, &mapping);
+        let reward = spec.reward(&predicted);
+        MappingPlan { mapping, predicted, reward, evaluations: result.evaluations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::AnalyticalOracle;
+    use rankmap_models::ModelId;
+    use rankmap_sim::AnalyticalEngine;
+
+    fn quick_config() -> ManagerConfig {
+        ManagerConfig { mcts_iterations: 300, ..Default::default() }
+    }
+
+    #[test]
+    fn produces_valid_mapping() {
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let mgr = RankMapManager::new(&platform, &oracle, quick_config());
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNetV2]);
+        let plan = mgr.map(&w, &PriorityMode::Dynamic);
+        assert!(plan.mapping.validate(&w, 3).is_ok());
+        assert_eq!(plan.predicted.len(), 2);
+        assert!(plan.evaluations > 0);
+    }
+
+    #[test]
+    fn beats_all_gpu_baseline() {
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let mgr = RankMapManager::new(&platform, &oracle, quick_config());
+        let w = Workload::from_ids([
+            ModelId::SqueezeNetV2,
+            ModelId::ResNet50,
+            ModelId::MobileNet,
+        ]);
+        let plan = mgr.map(&w, &PriorityMode::Dynamic);
+        let engine = AnalyticalEngine::new(&platform);
+        let baseline = engine
+            .evaluate(&w, &Mapping::uniform(&w, ComponentId::new(0)))
+            .average();
+        let found = engine.evaluate(&w, &plan.mapping).average();
+        assert!(
+            found > baseline,
+            "search should beat the GPU pileup: {found} vs {baseline}"
+        );
+    }
+
+    #[test]
+    fn static_priority_lifts_critical_dnn() {
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let mgr = RankMapManager::new(
+            &platform,
+            &oracle,
+            ManagerConfig { mcts_iterations: 600, seed: 5, ..Default::default() },
+        );
+        let w = Workload::from_ids([
+            ModelId::InceptionV4,
+            ModelId::SqueezeNetV2,
+            ModelId::MobileNet,
+            ModelId::ResNet50,
+        ]);
+        let ideals = mgr.ideal_rates(&w);
+        // Prioritize the demanding Inception-V4.
+        let plan_hi = mgr.map(&w, &PriorityMode::critical(4, 0));
+        // Prioritize SqueezeNet instead.
+        let plan_lo = mgr.map(&w, &PriorityMode::critical(4, 1));
+        let engine = AnalyticalEngine::new(&platform);
+        let p_hi = engine.evaluate(&w, &plan_hi.mapping).potentials(&ideals)[0];
+        let p_lo = engine.evaluate(&w, &plan_lo.mapping).potentials(&ideals)[0];
+        assert!(
+            p_hi >= p_lo,
+            "raising Inception's rank should not lower its potential: {p_hi} vs {p_lo}"
+        );
+    }
+
+    #[test]
+    fn qualified_plans_have_no_starvation() {
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let mgr = RankMapManager::new(&platform, &oracle, quick_config());
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNetV2, ModelId::GoogleNet]);
+        let plan = mgr.map(&w, &PriorityMode::Dynamic);
+        if plan.qualified() {
+            let ideals = mgr.ideal_rates(&w);
+            for (t, i) in plan.predicted.iter().zip(&ideals) {
+                assert!(t / i > 0.04, "qualified plan must clear the floor: {t}/{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let mgr = RankMapManager::new(&platform, &oracle, quick_config());
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::ShuffleNet]);
+        let a = mgr.map(&w, &PriorityMode::Dynamic);
+        let b = mgr.map(&w, &PriorityMode::Dynamic);
+        assert_eq!(a.mapping, b.mapping);
+    }
+}

@@ -1,0 +1,161 @@
+//! Evaluation metrics: normalized throughput `T`, potential `P`, Pearson
+//! correlation, histograms, starvation counting.
+
+use rankmap_sim::STARVATION_POTENTIAL;
+
+/// Pearson correlation coefficient `r ∈ [−1, 1]` between two series
+/// (Fig. 9 correlates potential throughput with priorities).
+///
+/// Returns 0 when either series is constant (undefined correlation).
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson length mismatch");
+    assert!(!a.is_empty(), "pearson of empty series");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 1e-15 || vb <= 1e-15 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets; values
+/// outside the range clamp to the edge buckets (Figs. 1 and 7).
+pub fn histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0 && hi > lo, "invalid histogram spec");
+    let mut out = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &v in values {
+        let idx = (((v - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        out[idx] += 1;
+    }
+    out
+}
+
+/// Whether a potential-throughput value counts as starved (the paper's
+/// `P = 0` histogram bin).
+pub fn is_starved(potential: f64) -> bool {
+    potential < STARVATION_POTENTIAL
+}
+
+/// Number of starved DNNs in a potential vector.
+pub fn starved_count(potentials: &[f64]) -> usize {
+    potentials.iter().filter(|&&p| is_starved(p)).count()
+}
+
+/// Mean of a series (0 for empty input).
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Population standard deviation.
+pub fn std_dev(v: &[f64]) -> f64 {
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(v);
+    (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+/// Quartiles `(min, q1, median, q3, max)` of a series (Fig. 2's box plot).
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn quartiles(v: &[f64]) -> (f64, f64, f64, f64, f64) {
+    assert!(!v.is_empty(), "quartiles of empty series");
+    let mut s = v.to_vec();
+    s.sort_by(f64::total_cmp);
+    let q = |f: f64| -> f64 {
+        let pos = f * (s.len() - 1) as f64;
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        if i + 1 < s.len() {
+            s[i] * (1.0 - frac) + s[i + 1] * frac
+        } else {
+            s[i]
+        }
+    };
+    (s[0], q(0.25), q(0.5), q(0.75), s[s.len() - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_small() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&a, &b).abs() < 0.5);
+    }
+
+    #[test]
+    fn histogram_counts_all_values() {
+        let h = histogram(&[0.1, 0.5, 0.9, 1.5, -0.2], 0.0, 1.0, 4);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h[0], 2); // 0.1 and clamped -0.2
+        assert_eq!(h[3], 2); // 0.9 and clamped 1.5
+    }
+
+    #[test]
+    fn starvation_threshold_matches_sim() {
+        assert!(is_starved(0.0));
+        assert!(is_starved(0.019));
+        assert!(!is_starved(0.05));
+        assert_eq!(starved_count(&[0.0, 0.5, 0.01, 0.3]), 2);
+    }
+
+    #[test]
+    fn quartiles_of_uniform_grid() {
+        let v: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        let (min, q1, med, q3, max) = quartiles(&v);
+        assert_eq!(min, 0.0);
+        assert!((q1 - 0.25).abs() < 1e-9);
+        assert!((med - 0.5).abs() < 1e-9);
+        assert!((q3 - 0.75).abs() < 1e-9);
+        assert_eq!(max, 1.0);
+    }
+
+    #[test]
+    fn stats_basics() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

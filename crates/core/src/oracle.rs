@@ -1,0 +1,178 @@
+//! Throughput oracles: what the search consults to score a mapping.
+
+use rankmap_estimator::{EmbeddingTable, Estimator, QTensorSpec, VqVae};
+use rankmap_platform::Platform;
+use rankmap_sim::{AnalyticalEngine, EventEngine, Mapping, Workload};
+use std::cell::RefCell;
+
+/// Predicts per-DNN throughput (inferences/second) for a candidate mapping.
+///
+/// The paper's RankMap uses the trained multi-task CNN
+/// ([`LearnedOracle`]); [`AnalyticalOracle`] swaps in the closed-form
+/// contention model (an ablation), and [`BoardOracle`] queries the
+/// discrete-event simulator directly (ground truth — what the paper's GA
+/// baseline does on the real board, slowly).
+pub trait ThroughputOracle {
+    /// Predicted throughput of every DNN in `workload` under `mapping`.
+    fn predict(&self, workload: &Workload, mapping: &Mapping) -> Vec<f64>;
+
+    /// Human-readable oracle name (for run-time reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Oracle backed by the analytical contention solver.
+#[derive(Debug, Clone)]
+pub struct AnalyticalOracle<'p> {
+    engine: AnalyticalEngine<'p>,
+}
+
+impl<'p> AnalyticalOracle<'p> {
+    /// Creates the oracle over a platform.
+    pub fn new(platform: &'p Platform) -> Self {
+        Self { engine: AnalyticalEngine::new(platform) }
+    }
+}
+
+impl ThroughputOracle for AnalyticalOracle<'_> {
+    fn predict(&self, workload: &Workload, mapping: &Mapping) -> Vec<f64> {
+        self.engine.evaluate(workload, mapping).per_dnn
+    }
+
+    fn name(&self) -> &'static str {
+        "analytical"
+    }
+}
+
+/// Oracle that runs the discrete-event simulator for every query — exact
+/// but orders of magnitude slower; this is what "evaluating on the board"
+/// costs the GA baseline.
+#[derive(Debug, Clone)]
+pub struct BoardOracle<'p> {
+    engine: EventEngine<'p>,
+}
+
+impl<'p> BoardOracle<'p> {
+    /// Creates the oracle over a platform (quick simulation window).
+    pub fn new(platform: &'p Platform) -> Self {
+        Self { engine: EventEngine::quick(platform) }
+    }
+
+    /// Uses a custom engine (e.g. longer windows).
+    pub fn with_engine(engine: EventEngine<'p>) -> Self {
+        Self { engine }
+    }
+}
+
+impl ThroughputOracle for BoardOracle<'_> {
+    fn predict(&self, workload: &Workload, mapping: &Mapping) -> Vec<f64> {
+        self.engine.evaluate(workload, mapping).per_dnn
+    }
+
+    fn name(&self) -> &'static str {
+        "board"
+    }
+}
+
+/// Oracle backed by the trained VQ-VAE + multi-task estimator: the paper's
+/// configuration. Predicts potential throughput per slot and scales by the
+/// per-model ideal rates.
+pub struct LearnedOracle {
+    vqvae: RefCell<VqVae>,
+    embeddings: RefCell<EmbeddingTable>,
+    estimator: RefCell<Estimator>,
+    spec: QTensorSpec,
+    /// Ideal (isolated-on-GPU) rates per model id, resolved lazily.
+    ideal_fn: Box<dyn Fn(rankmap_models::ModelId) -> f64>,
+}
+
+impl LearnedOracle {
+    /// Assembles the oracle from trained parts and an ideal-rate lookup.
+    pub fn new(
+        vqvae: VqVae,
+        embeddings: EmbeddingTable,
+        estimator: Estimator,
+        ideal_fn: Box<dyn Fn(rankmap_models::ModelId) -> f64>,
+    ) -> Self {
+        let spec = estimator.config().spec;
+        Self {
+            vqvae: RefCell::new(vqvae),
+            embeddings: RefCell::new(embeddings),
+            estimator: RefCell::new(estimator),
+            spec,
+            ideal_fn,
+        }
+    }
+
+    /// The estimator's input geometry.
+    pub fn spec(&self) -> QTensorSpec {
+        self.spec
+    }
+}
+
+impl ThroughputOracle for LearnedOracle {
+    fn predict(&self, workload: &Workload, mapping: &Mapping) -> Vec<f64> {
+        let mut emb = self.embeddings.borrow_mut();
+        let mut vq = self.vqvae.borrow_mut();
+        for m in workload.models() {
+            emb.ensure(&mut vq, m);
+        }
+        let q = emb.q_tensor(&self.spec, workload, mapping);
+        let preds = self.estimator.borrow_mut().predict(&q);
+        workload
+            .models()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let ideal = (self.ideal_fn)(m.id());
+                (preds[i].max(0.0) as f64) * ideal
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "learned"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmap_estimator::{EstimatorConfig, VqVaeConfig};
+    use rankmap_models::ModelId;
+    use rankmap_platform::ComponentId;
+
+    #[test]
+    fn analytical_oracle_positive() {
+        let p = Platform::orange_pi_5();
+        let o = AnalyticalOracle::new(&p);
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let m = Mapping::uniform(&w, ComponentId::new(0));
+        let t = o.predict(&w, &m);
+        assert_eq!(t.len(), 1);
+        assert!(t[0] > 0.0);
+        assert_eq!(o.name(), "analytical");
+    }
+
+    #[test]
+    fn board_oracle_matches_event_engine() {
+        let p = Platform::orange_pi_5();
+        let o = BoardOracle::new(&p);
+        let w = Workload::from_ids([ModelId::SqueezeNetV2]);
+        let m = Mapping::uniform(&w, ComponentId::new(0));
+        let direct = EventEngine::quick(&p).evaluate(&w, &m).per_dnn;
+        assert_eq!(o.predict(&w, &m), direct);
+    }
+
+    #[test]
+    fn learned_oracle_scales_by_ideal() {
+        let mut vq = VqVae::new(VqVaeConfig::default(), 0);
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let emb = EmbeddingTable::build(&mut vq, w.models());
+        let est = Estimator::new(EstimatorConfig::quick(), 0);
+        let oracle = LearnedOracle::new(vq, emb, est, Box::new(|_| 40.0));
+        let m = Mapping::uniform(&w, ComponentId::new(0));
+        let t = oracle.predict(&w, &m);
+        assert_eq!(t.len(), 1);
+        assert!(t[0] >= 0.0, "negative predictions must be clamped");
+    }
+}

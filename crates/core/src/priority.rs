@@ -1,0 +1,117 @@
+//! Static and dynamic DNN prioritization (§IV-B).
+
+use rankmap_sim::Workload;
+
+/// How the priority vector `p` is derived.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PriorityMode {
+    /// RankMap-S: user-supplied ranks (normalized to sum to 1). "Designed
+    /// for scenarios where a specific, critical DNN is prioritized above
+    /// others."
+    Static(Vec<f64>),
+    /// RankMap-D: ranks derived from each DNN's computational profile, so
+    /// demanding networks get the resources they need. "Facilitates more
+    /// balanced resource distribution across all DNNs."
+    Dynamic,
+}
+
+impl PriorityMode {
+    /// A static mode giving one DNN a dominant rank (the paper's usual
+    /// setup: `0.7` for the critical DNN, the rest shared equally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `critical >= n`.
+    pub fn critical(n: usize, critical: usize) -> Self {
+        assert!(n > 0 && critical < n, "invalid critical index");
+        let mut p = vec![if n > 1 { 0.3 / (n - 1) as f64 } else { 1.0 }; n];
+        p[critical] = if n > 1 { 0.7 } else { 1.0 };
+        PriorityMode::Static(p)
+    }
+
+    /// Resolves the mode into a normalized priority vector for a workload.
+    ///
+    /// Dynamic priorities are proportional to each DNN's total FLOPs —
+    /// its computational demand as characterized by the layer profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a static vector's length does not match the workload, or
+    /// contains negative/non-finite entries.
+    pub fn vector(&self, workload: &Workload) -> Vec<f64> {
+        match self {
+            PriorityMode::Static(p) => {
+                assert_eq!(p.len(), workload.len(), "priority vector length mismatch");
+                assert!(
+                    p.iter().all(|v| v.is_finite() && *v >= 0.0),
+                    "priorities must be non-negative"
+                );
+                normalize(p.clone())
+            }
+            PriorityMode::Dynamic => {
+                let flops: Vec<f64> =
+                    workload.models().iter().map(|m| m.total_flops()).collect();
+                normalize(flops)
+            }
+        }
+    }
+}
+
+fn normalize(mut v: Vec<f64>) -> Vec<f64> {
+    let sum: f64 = v.iter().sum();
+    if sum <= 0.0 {
+        let n = v.len().max(1);
+        return vec![1.0 / n as f64; n];
+    }
+    for x in &mut v {
+        *x /= sum;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmap_models::ModelId;
+
+    #[test]
+    fn static_normalizes() {
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::ResNet50]);
+        let p = PriorityMode::Static(vec![6.0, 2.0]).vector(&w);
+        assert!((p[0] - 0.75).abs() < 1e-12);
+        assert!((p[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_favors_demanding_models() {
+        let w = Workload::from_ids([ModelId::SqueezeNetV2, ModelId::Vgg16]);
+        let p = PriorityMode::Dynamic.vector(&w);
+        assert!(p[1] > p[0] * 5.0, "VGG-16 should dominate SqueezeNet in demand");
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_helper_shapes() {
+        let p = match PriorityMode::critical(4, 1) {
+            PriorityMode::Static(p) => p,
+            _ => unreachable!(),
+        };
+        assert_eq!(p.len(), 4);
+        assert!((p[1] - 0.7).abs() < 1e-12);
+        assert!((p[0] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_panics() {
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let _ = PriorityMode::Static(vec![0.5, 0.5]).vector(&w);
+    }
+
+    #[test]
+    fn all_zero_static_degrades_to_uniform() {
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::ResNet50]);
+        let p = PriorityMode::Static(vec![0.0, 0.0]).vector(&w);
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,173 @@
+//! The priority-weighted reward with starvation disqualification (Fig. 4).
+
+/// The starvation threshold `th`: any mapping whose predicted throughput
+/// for some DNN falls below it is disqualified from the solution space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StarvationThreshold {
+    /// Absolute floor in inferences/second (the paper's Fig. 4 example
+    /// uses `th = 3 inf/s`).
+    Absolute(f64),
+    /// Per-DNN floor as a fraction of its isolated-on-GPU ideal rate —
+    /// scales sanely across models whose ideals span 4–70 inf/s.
+    FractionOfIdeal(f64),
+}
+
+impl Default for StarvationThreshold {
+    fn default() -> Self {
+        StarvationThreshold::FractionOfIdeal(0.05)
+    }
+}
+
+impl StarvationThreshold {
+    /// The floor for DNN `i`, given its ideal rate.
+    pub fn floor(&self, ideal: f64) -> f64 {
+        match self {
+            StarvationThreshold::Absolute(v) => *v,
+            StarvationThreshold::FractionOfIdeal(f) => f * ideal,
+        }
+    }
+}
+
+/// Reward specification: priority vector + threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewardSpec {
+    /// Normalized priority vector `p`.
+    pub priorities: Vec<f64>,
+    /// Starvation threshold `th`.
+    pub threshold: StarvationThreshold,
+    /// Per-DNN ideal rates (needed by fractional thresholds and to weight
+    /// throughputs comparably).
+    pub ideals: Vec<f64>,
+}
+
+/// The value used for disqualified mappings (a "large negative reward").
+pub const DISQUALIFIED: f64 = f64::NEG_INFINITY;
+
+impl RewardSpec {
+    /// Creates a reward spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    pub fn new(priorities: Vec<f64>, threshold: StarvationThreshold, ideals: Vec<f64>) -> Self {
+        assert_eq!(priorities.len(), ideals.len(), "priority/ideal length mismatch");
+        Self { priorities, threshold, ideals }
+    }
+
+    /// Whether a throughput vector passes the starvation check
+    /// (`O(M)ᵢ > th ∀ i`).
+    pub fn qualifies(&self, throughputs: &[f64]) -> bool {
+        throughputs
+            .iter()
+            .zip(&self.ideals)
+            .all(|(&t, &ideal)| t > self.threshold.floor(ideal))
+    }
+
+    /// The paper's reward: `O(M)ᵀ · p` if all DNNs clear the threshold,
+    /// else [`DISQUALIFIED`]. Throughputs are first normalized by the
+    /// ideal rates (potential throughput), so one 60-inf/s SqueezeNet
+    /// cannot drown out four starved heavyweights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `throughputs` length mismatches the spec.
+    pub fn reward(&self, throughputs: &[f64]) -> f64 {
+        assert_eq!(throughputs.len(), self.priorities.len(), "throughput length mismatch");
+        if !self.qualifies(throughputs) {
+            return DISQUALIFIED;
+        }
+        throughputs
+            .iter()
+            .zip(&self.ideals)
+            .zip(&self.priorities)
+            .map(|((&t, &ideal), &p)| {
+                let potential = if ideal > 0.0 { t / ideal } else { 0.0 };
+                potential * p
+            })
+            .sum()
+    }
+
+    /// Fallback score when *no* qualifying mapping exists: the minimum
+    /// potential across DNNs (maximizing it fights starvation first), with
+    /// the weighted sum as a tie-breaker.
+    pub fn fallback_score(&self, throughputs: &[f64]) -> f64 {
+        let min_pot = throughputs
+            .iter()
+            .zip(&self.ideals)
+            .map(|(&t, &i)| if i > 0.0 { t / i } else { 0.0 })
+            .fold(f64::INFINITY, f64::min);
+        let weighted: f64 = throughputs
+            .iter()
+            .zip(&self.ideals)
+            .zip(&self.priorities)
+            .map(|((&t, &i), &p)| if i > 0.0 { t / i * p } else { 0.0 })
+            .sum();
+        min_pot * 1e3 + weighted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> RewardSpec {
+        RewardSpec::new(
+            vec![0.6, 0.1, 0.2, 0.1],
+            StarvationThreshold::Absolute(3.0),
+            vec![10.0, 10.0, 10.0, 10.0],
+        )
+    }
+
+    #[test]
+    fn figure4_disqualification() {
+        // Mapping 1 from Fig. 4: one DNN below th=3 → -∞.
+        let s = spec();
+        let r = s.reward(&[6.0, 9.0, 2.0, 8.0]);
+        assert_eq!(r, DISQUALIFIED);
+    }
+
+    #[test]
+    fn figure4_qualified_weighted_sum() {
+        // Mapping 2 from Fig. 4: all above th → weighted sum.
+        let s = spec();
+        let r = s.reward(&[5.0, 7.0, 4.0, 7.0]);
+        // Potentials: .5,.7,.4,.7 weighted by p: .3+.07+.08+.07 = .52
+        assert!((r - 0.52).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_is_exclusive() {
+        let s = spec();
+        assert_eq!(s.reward(&[3.0, 7.0, 4.0, 7.0]), DISQUALIFIED, "th is strict");
+        assert!(s.reward(&[3.01, 7.0, 4.0, 7.0]).is_finite());
+    }
+
+    #[test]
+    fn higher_priority_dnn_dominates_reward() {
+        let s = spec();
+        let a = s.reward(&[9.0, 4.0, 4.0, 4.0]); // fast critical DNN
+        let b = s.reward(&[4.0, 9.0, 4.0, 4.0]); // fast low-priority DNN
+        assert!(a > b, "boosting the critical DNN must score higher");
+    }
+
+    #[test]
+    fn fractional_threshold_scales_with_ideal() {
+        let s = RewardSpec::new(
+            vec![0.5, 0.5],
+            StarvationThreshold::FractionOfIdeal(0.1),
+            vec![100.0, 4.0],
+        );
+        // 8 inf/s is fine for the 4-ideal model, 8 is starvation for the
+        // 100-ideal model.
+        assert!(s.qualifies(&[11.0, 0.5]));
+        assert!(!s.qualifies(&[8.0, 0.5]));
+    }
+
+    #[test]
+    fn fallback_prefers_less_starved() {
+        let s = spec();
+        let bad = s.fallback_score(&[0.1, 9.0, 9.0, 9.0]);
+        let better = s.fallback_score(&[2.0, 5.0, 5.0, 5.0]);
+        assert!(better > bad);
+    }
+}

@@ -1,0 +1,280 @@
+//! Dynamic-workload runtime: arrivals, departures, and priority changes
+//! over time, with re-mapping at every event (Figs. 8 and 10).
+
+use crate::dataset::ideal_rates;
+use crate::manager::RankMapManager;
+use crate::oracle::ThroughputOracle;
+use crate::priority::PriorityMode;
+use rankmap_models::ModelId;
+use rankmap_platform::Platform;
+use rankmap_sim::{EventEngine, Mapping, Workload};
+
+/// A scheduled change to the running workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynamicEvent {
+    /// A new DNN is submitted at `at` seconds.
+    Arrive {
+        /// Arrival time (seconds).
+        at: f64,
+        /// The arriving model.
+        model: ModelId,
+    },
+    /// The `index`-th currently running DNN leaves.
+    Depart {
+        /// Departure time (seconds).
+        at: f64,
+        /// Index into the current model list.
+        index: usize,
+    },
+    /// The user changes priorities (Fig. 10's rank rotation).
+    SetPriorities {
+        /// Time of the change (seconds).
+        at: f64,
+        /// The new priority mode.
+        mode: PriorityMode,
+    },
+}
+
+impl DynamicEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> f64 {
+        match self {
+            DynamicEvent::Arrive { at, .. }
+            | DynamicEvent::Depart { at, .. }
+            | DynamicEvent::SetPriorities { at, .. } => *at,
+        }
+    }
+}
+
+/// Anything that can produce a mapping for a workload — RankMap variants
+/// and every baseline implement this so the dynamic runtime and the figure
+/// harness can treat them uniformly.
+pub trait WorkloadMapper {
+    /// Display name (column label in the figures).
+    fn name(&self) -> String;
+
+    /// Produces a mapping for the workload.
+    fn remap(&mut self, workload: &Workload) -> Mapping;
+}
+
+/// RankMap as a [`WorkloadMapper`] with a fixed priority mode.
+pub struct RankMapMapper<'p, O: ThroughputOracle> {
+    manager: RankMapManager<'p, O>,
+    mode: PriorityMode,
+    label: String,
+}
+
+impl<'p, O: ThroughputOracle> RankMapMapper<'p, O> {
+    /// Wraps a manager with a priority mode.
+    pub fn new(manager: RankMapManager<'p, O>, mode: PriorityMode, label: impl Into<String>) -> Self {
+        Self { manager, mode, label: label.into() }
+    }
+
+    /// Replaces the priority mode (Fig. 10's user rank changes).
+    pub fn set_mode(&mut self, mode: PriorityMode) {
+        self.mode = mode;
+    }
+}
+
+impl<O: ThroughputOracle> WorkloadMapper for RankMapMapper<'_, O> {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn remap(&mut self, workload: &Workload) -> Mapping {
+        // Static priority vectors are pinned to a specific workload size;
+        // fall back to dynamic ranks while the size disagrees (e.g. during
+        // a Fig. 8 arrival ramp).
+        let mode = match &self.mode {
+            PriorityMode::Static(p) if p.len() != workload.len() => PriorityMode::Dynamic,
+            m => m.clone(),
+        };
+        self.manager.map(workload, &mode).mapping
+    }
+}
+
+/// One timeline sample: the state of every running DNN at `time`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelinePoint {
+    /// Sample time in seconds.
+    pub time: f64,
+    /// Models running at this time (arrival order).
+    pub models: Vec<ModelId>,
+    /// Potential throughput of each running DNN.
+    pub potentials: Vec<f64>,
+    /// Raw throughput (inf/s) of each running DNN.
+    pub throughputs: Vec<f64>,
+}
+
+/// Executes a dynamic scenario against a mapper, measuring steady-state
+/// behaviour between events on the board simulator.
+pub struct DynamicRuntime<'p> {
+    platform: &'p Platform,
+    sample_dt: f64,
+}
+
+impl<'p> DynamicRuntime<'p> {
+    /// Creates a runtime sampling the timeline every `sample_dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_dt <= 0`.
+    pub fn new(platform: &'p Platform, sample_dt: f64) -> Self {
+        assert!(sample_dt > 0.0, "sample_dt must be positive");
+        Self { platform, sample_dt }
+    }
+
+    /// Runs `events` (sorted by time) until `horizon` seconds, re-mapping
+    /// at every event and recording the per-DNN potential throughput.
+    pub fn run(
+        &self,
+        events: &[DynamicEvent],
+        mapper: &mut dyn WorkloadMapper,
+        horizon: f64,
+    ) -> Vec<TimelinePoint> {
+        let engine = EventEngine::quick(self.platform);
+        let all_ids: Vec<ModelId> = ModelId::all();
+        let ideals = ideal_rates(self.platform, &all_ids);
+        let mut timeline = Vec::new();
+        let mut current: Vec<ModelId> = Vec::new();
+        let mut boundaries: Vec<f64> = events.iter().map(DynamicEvent::at).collect();
+        boundaries.push(horizon);
+        let mut idx = 0usize;
+        let mut t = 0.0;
+        while t < horizon {
+            // Apply all events at or before t.
+            while idx < events.len() && events[idx].at() <= t + 1e-9 {
+                match &events[idx] {
+                    DynamicEvent::Arrive { model, .. } => current.push(*model),
+                    DynamicEvent::Depart { index, .. } => {
+                        if *index < current.len() {
+                            current.remove(*index);
+                        }
+                    }
+                    DynamicEvent::SetPriorities { .. } => {}
+                }
+                idx += 1;
+            }
+            let next_boundary = boundaries
+                .iter()
+                .copied()
+                .filter(|&b| b > t + 1e-9)
+                .fold(horizon, f64::min);
+            if current.is_empty() {
+                t = next_boundary;
+                continue;
+            }
+            let workload = Workload::from_ids(current.iter().copied());
+            let mapping = mapper.remap(&workload);
+            let report = engine.evaluate(&workload, &mapping);
+            let potentials: Vec<f64> = report
+                .per_dnn
+                .iter()
+                .zip(&current)
+                .map(|(&thr, id)| thr / ideals[id].max(1e-9))
+                .collect();
+            // Steady state holds until the next event: emit sampled points.
+            let mut s = t;
+            while s < next_boundary - 1e-9 {
+                timeline.push(TimelinePoint {
+                    time: s,
+                    models: current.clone(),
+                    potentials: potentials.clone(),
+                    throughputs: report.per_dnn.clone(),
+                });
+                s += self.sample_dt;
+            }
+            t = next_boundary;
+        }
+        timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::ManagerConfig;
+    use crate::oracle::AnalyticalOracle;
+
+    struct GpuOnly;
+
+    impl WorkloadMapper for GpuOnly {
+        fn name(&self) -> String {
+            "all-gpu".into()
+        }
+        fn remap(&mut self, workload: &Workload) -> Mapping {
+            Mapping::uniform(workload, rankmap_platform::ComponentId::new(0))
+        }
+    }
+
+    fn arrivals() -> Vec<DynamicEvent> {
+        vec![
+            DynamicEvent::Arrive { at: 0.0, model: ModelId::AlexNet },
+            DynamicEvent::Arrive { at: 100.0, model: ModelId::SqueezeNetV2 },
+            DynamicEvent::Arrive { at: 200.0, model: ModelId::ResNet50 },
+        ]
+    }
+
+    #[test]
+    fn timeline_grows_with_arrivals() {
+        let p = Platform::orange_pi_5();
+        let rt = DynamicRuntime::new(&p, 50.0);
+        let mut mapper = GpuOnly;
+        let tl = rt.run(&arrivals(), &mut mapper, 300.0);
+        assert!(!tl.is_empty());
+        assert_eq!(tl.first().unwrap().models.len(), 1);
+        assert_eq!(tl.last().unwrap().models.len(), 3);
+        // Times strictly increase.
+        for w in tl.windows(2) {
+            assert!(w[1].time > w[0].time);
+        }
+    }
+
+    #[test]
+    fn first_dnn_alone_runs_near_ideal() {
+        let p = Platform::orange_pi_5();
+        let rt = DynamicRuntime::new(&p, 100.0);
+        let mut mapper = GpuOnly;
+        let tl = rt.run(&arrivals(), &mut mapper, 100.0);
+        let first = &tl[0];
+        assert!(
+            first.potentials[0] > 0.9,
+            "a lone DNN on the GPU should run near ideal: {}",
+            first.potentials[0]
+        );
+    }
+
+    #[test]
+    fn departures_shrink_workload() {
+        let p = Platform::orange_pi_5();
+        let rt = DynamicRuntime::new(&p, 50.0);
+        let mut events = arrivals();
+        events.push(DynamicEvent::Depart { at: 250.0, index: 0 });
+        let mut mapper = GpuOnly;
+        let tl = rt.run(&events, &mut mapper, 300.0);
+        assert_eq!(tl.last().unwrap().models.len(), 2);
+        assert_eq!(tl.last().unwrap().models[0], ModelId::SqueezeNetV2);
+    }
+
+    #[test]
+    fn rankmap_mapper_integrates() {
+        let p = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&p);
+        let mgr = RankMapManager::new(
+            &p,
+            &oracle,
+            ManagerConfig { mcts_iterations: 150, ..Default::default() },
+        );
+        let mut mapper = RankMapMapper::new(mgr, PriorityMode::Dynamic, "RankMapD");
+        let rt = DynamicRuntime::new(&p, 100.0);
+        let tl = rt.run(&arrivals(), &mut mapper, 300.0);
+        assert_eq!(mapper.name(), "RankMapD");
+        assert!(!tl.is_empty());
+        // No DNN should be starved by RankMap in this light scenario.
+        for point in &tl {
+            for &pot in &point.potentials {
+                assert!(pot > rankmap_sim::STARVATION_POTENTIAL, "starved at {pot}");
+            }
+        }
+    }
+}

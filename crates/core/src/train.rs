@@ -1,0 +1,173 @@
+//! End-to-end training pipeline: dataset → VQ-VAE → estimator → oracle.
+
+use crate::dataset::{self, DatasetConfig};
+use crate::oracle::LearnedOracle;
+use rankmap_estimator::{
+    EmbeddingTable, Estimator, EstimatorConfig, QTensorSpec, Trainer, TrainerConfig,
+    TrainReport, VqVae, VqVaeConfig,
+};
+use rankmap_models::ModelId;
+use rankmap_platform::Platform;
+
+/// Scale of the training pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Small dataset / few epochs: minutes on a laptop, used by tests,
+    /// examples, and the default benchmark harness.
+    Quick,
+    /// Paper-scale protocol (large dataset, full epochs). Slow; behind a
+    /// flag in the experiment binaries.
+    Paper,
+}
+
+impl Fidelity {
+    /// Dataset size (the paper uses 10 K).
+    pub fn dataset_samples(self) -> usize {
+        match self {
+            Fidelity::Quick => 600,
+            Fidelity::Paper => 10_000,
+        }
+    }
+
+    /// VQ-VAE training epochs over the model pool.
+    pub fn vqvae_epochs(self) -> usize {
+        match self {
+            Fidelity::Quick => 30,
+            Fidelity::Paper => 120,
+        }
+    }
+
+    /// Estimator configuration.
+    pub fn estimator_config(self) -> EstimatorConfig {
+        match self {
+            Fidelity::Quick => EstimatorConfig::quick(),
+            Fidelity::Paper => EstimatorConfig::paper(),
+        }
+    }
+
+    /// Estimator trainer configuration (the paper trains 50 epochs).
+    pub fn trainer_config(self) -> TrainerConfig {
+        match self {
+            Fidelity::Quick => TrainerConfig { epochs: 10, ..Default::default() },
+            Fidelity::Paper => TrainerConfig { epochs: 50, ..Default::default() },
+        }
+    }
+
+    /// MCTS budget for the manager at this fidelity.
+    pub fn mcts_iterations(self) -> usize {
+        match self {
+            Fidelity::Quick => 1_200,
+            Fidelity::Paper => 12_000,
+        }
+    }
+}
+
+/// Everything the training pipeline produces.
+pub struct TrainedArtifacts {
+    /// The ready-to-search oracle (VQ-VAE + embeddings + estimator +
+    /// ideal-rate lookup).
+    pub oracle: LearnedOracle,
+    /// Estimator loss curves (train + 10% held-out validation).
+    pub report: TrainReport,
+    /// Final VQ-VAE reconstruction loss.
+    pub vqvae_loss: f32,
+    /// Number of labelled samples used.
+    pub dataset_size: usize,
+}
+
+/// Runs the full §V protocol: generate a labelled dataset on the board
+/// simulator, train the VQ-VAE on the model pool, embed units, train the
+/// multi-task estimator (90/10 split, channel shuffling), and wrap it all
+/// into a [`LearnedOracle`].
+pub fn train_pipeline(platform: &Platform, fidelity: Fidelity, seed: u64) -> TrainedArtifacts {
+    let pool = ModelId::paper_pool();
+    let cfg = DatasetConfig {
+        samples: fidelity.dataset_samples(),
+        max_dnns: 5,
+        pool: pool.clone(),
+        seed,
+    };
+    let labelled = dataset::generate(platform, &cfg);
+
+    // VQ-VAE over the pool's layer sequences.
+    let mut vqvae = VqVae::new(VqVaeConfig::default(), seed ^ 0xAA);
+    let built: Vec<_> = pool.iter().map(|id| id.build()).collect();
+    let vqvae_loss =
+        rankmap_estimator::vqvae::train_on_pool(&mut vqvae, &built, fidelity.vqvae_epochs());
+
+    // Frozen unit embeddings + Q tensors.
+    let spec = QTensorSpec::default();
+    let mut table = EmbeddingTable::build(&mut vqvae, &built);
+    let samples = dataset::to_samples(&labelled, &mut vqvae, &mut table, &spec);
+
+    // 90/10 split, as in the paper.
+    let split = samples.len() * 9 / 10;
+    let (train_set, val_set) = samples.split_at(split);
+
+    let mut estimator = Estimator::new(fidelity.estimator_config(), seed ^ 0xBB);
+    let report =
+        Trainer::new(fidelity.trainer_config()).train(&mut estimator, train_set, val_set);
+
+    // Ideal-rate lookup for converting potentials back to inf/s.
+    let ideals = dataset::ideal_rates(platform, &ModelId::all());
+    let oracle = LearnedOracle::new(
+        vqvae,
+        table,
+        estimator,
+        Box::new(move |id| ideals.get(&id).copied().unwrap_or(1.0)),
+    );
+    TrainedArtifacts { oracle, report, vqvae_loss, dataset_size: labelled.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ThroughputOracle;
+    use rankmap_platform::ComponentId;
+    use rankmap_sim::{Mapping, Workload};
+
+    /// A miniature end-to-end run: tiny dataset, few epochs — checks the
+    /// plumbing, not the accuracy.
+    #[test]
+    fn pipeline_produces_usable_oracle() {
+        let platform = Platform::orange_pi_5();
+        // Shrink everything below even Quick fidelity for test speed.
+        let cfg = DatasetConfig {
+            samples: 30,
+            max_dnns: 3,
+            pool: vec![ModelId::AlexNet, ModelId::SqueezeNetV2, ModelId::MobileNet],
+            seed: 3,
+        };
+        let labelled = dataset::generate(&platform, &cfg);
+        let mut vqvae = VqVae::new(VqVaeConfig::default(), 1);
+        let built: Vec<_> = cfg.pool.iter().map(|id| id.build()).collect();
+        let _ = rankmap_estimator::vqvae::train_on_pool(&mut vqvae, &built, 5);
+        let spec = QTensorSpec::default();
+        let mut table = EmbeddingTable::build(&mut vqvae, &built);
+        let samples = dataset::to_samples(&labelled, &mut vqvae, &mut table, &spec);
+        let mut estimator = Estimator::new(EstimatorConfig::quick(), 2);
+        let report = Trainer::new(TrainerConfig { epochs: 2, ..Default::default() })
+            .train(&mut estimator, &samples, &[]);
+        assert_eq!(report.train_loss.len(), 2);
+        let ideals = dataset::ideal_rates(&platform, &cfg.pool);
+        let oracle = LearnedOracle::new(
+            vqvae,
+            table,
+            estimator,
+            Box::new(move |id| ideals.get(&id).copied().unwrap_or(1.0)),
+        );
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        let t = oracle.predict(&w, &Mapping::uniform(&w, ComponentId::new(0)));
+        assert_eq!(t.len(), 2);
+        assert!(t.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn fidelity_scales_monotonically() {
+        assert!(Fidelity::Paper.dataset_samples() > Fidelity::Quick.dataset_samples());
+        assert!(Fidelity::Paper.mcts_iterations() > Fidelity::Quick.mcts_iterations());
+        assert!(
+            Fidelity::Paper.trainer_config().epochs > Fidelity::Quick.trainer_config().epochs
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for reward semantics and priorities.
+
+use proptest::prelude::*;
+use rankmap_core::metrics;
+use rankmap_core::priority::PriorityMode;
+use rankmap_core::reward::{RewardSpec, StarvationThreshold, DISQUALIFIED};
+use rankmap_models::ModelId;
+use rankmap_sim::Workload;
+
+prop_compose! {
+    fn spec_and_throughputs()(
+        n in 2usize..=5,
+        seed in any::<u64>(),
+    ) -> (RewardSpec, Vec<f64>) {
+        use rand::Rng;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let mut p: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..1.0)).collect();
+        let sum: f64 = p.iter().sum();
+        for x in &mut p { *x /= sum; }
+        let ideals: Vec<f64> = (0..n).map(|_| rng.gen_range(4.0..70.0)).collect();
+        let t: Vec<f64> = ideals.iter().map(|&i| rng.gen_range(0.0..i)).collect();
+        (RewardSpec::new(p, StarvationThreshold::FractionOfIdeal(0.05), ideals), t)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reward is monotone: raising any DNN's throughput never lowers it.
+    #[test]
+    fn reward_monotone_in_throughput((spec, t) in spec_and_throughputs()) {
+        let r0 = spec.reward(&t);
+        for i in 0..t.len() {
+            let mut t2 = t.clone();
+            t2[i] *= 1.5;
+            t2[i] += 1.0;
+            let r1 = spec.reward(&t2);
+            if r0 != DISQUALIFIED {
+                prop_assert!(r1 >= r0, "raising t[{}] lowered reward", i);
+            }
+        }
+    }
+
+    /// Disqualification is exactly the threshold predicate.
+    #[test]
+    fn disqualified_iff_below_threshold((spec, t) in spec_and_throughputs()) {
+        let r = spec.reward(&t);
+        prop_assert_eq!(r == DISQUALIFIED, !spec.qualifies(&t));
+    }
+
+    /// Dropping a DNN below its floor always disqualifies.
+    #[test]
+    fn starving_one_disqualifies((spec, mut t) in spec_and_throughputs()) {
+        t[0] = 0.0;
+        prop_assert_eq!(spec.reward(&t), DISQUALIFIED);
+    }
+
+    /// Priority vectors are normalized distributions.
+    #[test]
+    fn priority_vectors_normalized(seed in any::<u64>(), n in 1usize..=4) {
+        use rand::Rng;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let pool = [
+            ModelId::AlexNet,
+            ModelId::SqueezeNetV2,
+            ModelId::MobileNet,
+            ModelId::ResNet12,
+        ];
+        let ids: Vec<ModelId> = (0..n).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+        let w = Workload::from_ids(ids);
+        let p = PriorityMode::Dynamic.vector(&w);
+        prop_assert_eq!(p.len(), n);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for &x in &p {
+            prop_assert!(x > 0.0);
+        }
+    }
+
+    /// Pearson is symmetric and bounded.
+    #[test]
+    fn pearson_properties(seed in any::<u64>(), n in 2usize..10) {
+        use rand::Rng;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let r1 = metrics::pearson(&a, &b);
+        let r2 = metrics::pearson(&b, &a);
+        prop_assert!((r1 - r2).abs() < 1e-12);
+        prop_assert!((-1.0001..=1.0001).contains(&r1));
+    }
+
+    /// Histograms conserve the sample count.
+    #[test]
+    fn histogram_conserves(seed in any::<u64>(), n in 1usize..50) {
+        use rand::Rng;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let v: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..3.0)).collect();
+        let h = metrics::histogram(&v, 0.0, 1.0, 7);
+        prop_assert_eq!(h.iter().sum::<usize>(), n);
+    }
+}

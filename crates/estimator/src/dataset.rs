@@ -1,0 +1,107 @@
+//! Training samples and the channel-shuffling augmentation.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rankmap_nn::tensor::Tensor;
+
+/// One supervised example: a `Q` tensor, per-slot potential-throughput
+/// targets, and an activity mask (workloads smaller than `max_dnns` leave
+/// trailing slots inactive).
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Input mapping tensor `[max_dnns, max_units, width]`.
+    pub q: Tensor,
+    /// Target potential throughput per slot.
+    pub target: Vec<f32>,
+    /// Which slots hold real DNNs.
+    pub mask: Vec<bool>,
+}
+
+impl Sample {
+    /// Creates a sample; inactive slots must carry zero targets.
+    pub fn new(q: Tensor, target: Vec<f32>, mask: Vec<bool>) -> Self {
+        assert_eq!(target.len(), mask.len(), "target/mask length mismatch");
+        Self { q, target, mask }
+    }
+
+    /// Channel-shuffling augmentation (§V): permutes the DNN slots of `Q`
+    /// together with targets and masks. The channels of `Q` are
+    /// statistically independent, so shuffling teaches the decoder streams
+    /// slot symmetry and (per the paper) nearly halves the validation L2.
+    pub fn shuffled<R: Rng + ?Sized>(&self, rng: &mut R) -> Sample {
+        let n = self.target.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(rng);
+        let chan = self.q.len() / n;
+        let mut q = Tensor::zeros(self.q.shape().to_vec());
+        let mut target = vec![0.0; n];
+        let mut mask = vec![false; n];
+        for (dst, &src) in perm.iter().enumerate() {
+            q.data_mut()[dst * chan..(dst + 1) * chan]
+                .copy_from_slice(&self.q.data()[src * chan..(src + 1) * chan]);
+            target[dst] = self.target[src];
+            mask[dst] = self.mask[src];
+        }
+        Sample { q, target, mask }
+    }
+
+    /// Number of active slots.
+    pub fn active(&self) -> usize {
+        self.mask.iter().filter(|&&m| m).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Sample {
+        let mut q = Tensor::zeros(vec![3, 2, 4]);
+        for (i, v) in q.data_mut().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        Sample::new(q, vec![0.1, 0.2, 0.3], vec![true, true, false])
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let s = sample();
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = s.shuffled(&mut rng);
+        let mut a = s.target.clone();
+        let mut b = t.target.clone();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        assert_eq!(a, b);
+        assert_eq!(s.active(), t.active());
+        let mut qa = s.q.data().to_vec();
+        let mut qb = t.q.data().to_vec();
+        qa.sort_by(f32::total_cmp);
+        qb.sort_by(f32::total_cmp);
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn shuffle_moves_channels_together() {
+        let s = sample();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = s.shuffled(&mut rng);
+        // Find where slot 0 (values 0..8) went; its target must follow.
+        let chan = 8;
+        for dst in 0..3 {
+            if t.q.data()[dst * chan] == 0.0 && t.q.data()[dst * chan + 7] == 7.0 {
+                assert_eq!(t.target[dst], 0.1);
+                assert!(t.mask[dst]);
+                return;
+            }
+        }
+        panic!("slot 0 channel not found after shuffle");
+    }
+
+    #[test]
+    fn active_counts_mask() {
+        assert_eq!(sample().active(), 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Mapping featurization: assembling the paper's input tensor `Q`.
+
+use crate::vqvae::VqVae;
+use rankmap_models::{DnnModel, ModelId};
+use rankmap_nn::tensor::Tensor;
+use rankmap_sim::{Mapping, Workload};
+use std::collections::HashMap;
+
+/// Geometry of the `Q` tensor: `[max_dnns, max_units, components × embed]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QTensorSpec {
+    /// Maximum concurrent DNNs (channels of `Q`); 5 in the paper.
+    pub max_dnns: usize,
+    /// Maximum schedulable units per DNN (rows of `Q`).
+    pub max_units: usize,
+    /// Computing components (column blocks of `Q`).
+    pub components: usize,
+    /// Per-unit embedding width within a column block.
+    pub embed_dim: usize,
+}
+
+impl Default for QTensorSpec {
+    fn default() -> Self {
+        Self { max_dnns: 5, max_units: 32, components: 3, embed_dim: 16 }
+    }
+}
+
+impl QTensorSpec {
+    /// Width of a `Q` row: `components × embed_dim`.
+    pub fn width(&self) -> usize {
+        self.components * self.embed_dim
+    }
+
+    /// Full tensor shape.
+    pub fn shape(&self) -> Vec<usize> {
+        vec![self.max_dnns, self.max_units, self.width()]
+    }
+}
+
+/// Frozen per-unit embeddings computed once per model through the VQ-VAE
+/// (mean of the quantized per-layer embeddings within each unit).
+#[derive(Debug, Clone, Default)]
+pub struct EmbeddingTable {
+    per_model: HashMap<ModelId, Vec<Vec<f32>>>,
+    embed_dim: usize,
+}
+
+impl EmbeddingTable {
+    /// Builds the table for the given models through a trained VQ-VAE.
+    pub fn build(vqvae: &mut VqVae, models: &[DnnModel]) -> Self {
+        let embed_dim = vqvae.config().embed_dim;
+        let mut per_model = HashMap::new();
+        for m in models {
+            per_model.insert(m.id(), Self::embed_model(vqvae, m));
+        }
+        Self { per_model, embed_dim }
+    }
+
+    fn embed_model(vqvae: &mut VqVae, model: &DnnModel) -> Vec<Vec<f32>> {
+        let embedded = vqvae.encode(model); // [E, L]
+        let e = embedded.shape()[0];
+        let l = embedded.shape()[1];
+        let mut out = Vec::with_capacity(model.unit_count());
+        let mut layer_off = 0usize;
+        for unit in model.units() {
+            let n = unit.layers.len();
+            let mut mean = vec![0.0f32; e];
+            for p in layer_off..layer_off + n {
+                for (d, m) in mean.iter_mut().enumerate() {
+                    *m += embedded.data()[d * l + p];
+                }
+            }
+            for m in &mut mean {
+                *m /= n as f32;
+            }
+            out.push(mean);
+            layer_off += n;
+        }
+        out
+    }
+
+    /// Ensures a model's embeddings exist (builds them on demand).
+    pub fn ensure(&mut self, vqvae: &mut VqVae, model: &DnnModel) {
+        self.per_model
+            .entry(model.id())
+            .or_insert_with(|| Self::embed_model(vqvae, model));
+    }
+
+    /// Unit embeddings of a model, if present.
+    pub fn get(&self, id: ModelId) -> Option<&Vec<Vec<f32>>> {
+        self.per_model.get(&id)
+    }
+
+    /// Embedding dimensionality.
+    pub fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    /// Number of models in the table.
+    pub fn len(&self) -> usize {
+        self.per_model.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.per_model.is_empty()
+    }
+
+    /// Assembles the `Q` tensor for a workload+mapping: channel `d` row `u`
+    /// holds the unit's embedding in the column block of its assigned
+    /// component, zeros elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload exceeds the spec bounds or a model is missing
+    /// from the table.
+    pub fn q_tensor(&self, spec: &QTensorSpec, workload: &Workload, mapping: &Mapping) -> Tensor {
+        assert!(workload.len() <= spec.max_dnns, "workload exceeds Q channel count");
+        assert_eq!(spec.embed_dim, self.embed_dim, "embedding width mismatch");
+        let mut q = Tensor::zeros(spec.shape());
+        let width = spec.width();
+        for (d, model) in workload.models().iter().enumerate() {
+            let embeds = self
+                .per_model
+                .get(&model.id())
+                .unwrap_or_else(|| panic!("model {} missing from embedding table", model.id()));
+            assert!(model.unit_count() <= spec.max_units, "model exceeds Q row count");
+            let assign = mapping.assignment(d);
+            for (u, emb) in embeds.iter().enumerate() {
+                let comp = assign[u].index();
+                assert!(comp < spec.components, "component exceeds Q column blocks");
+                let base = (d * spec.max_units + u) * width + comp * spec.embed_dim;
+                q.data_mut()[base..base + spec.embed_dim].copy_from_slice(emb);
+            }
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vqvae::VqVaeConfig;
+    use rankmap_platform::ComponentId;
+
+    fn table_for(ids: &[ModelId]) -> (EmbeddingTable, Workload) {
+        let mut v = VqVae::new(VqVaeConfig::default(), 1);
+        let w = Workload::from_ids(ids.iter().copied());
+        let t = EmbeddingTable::build(&mut v, w.models());
+        (t, w)
+    }
+
+    #[test]
+    fn q_tensor_shape_matches_spec() {
+        let (t, w) = table_for(&[ModelId::AlexNet, ModelId::SqueezeNetV2]);
+        let spec = QTensorSpec::default();
+        let m = Mapping::uniform(&w, ComponentId::new(0));
+        let q = t.q_tensor(&spec, &w, &m);
+        assert_eq!(q.shape(), &[5, 32, 48]);
+    }
+
+    #[test]
+    fn q_blocks_follow_assignment() {
+        let (t, w) = table_for(&[ModelId::AlexNet]);
+        let spec = QTensorSpec::default();
+        let gpu = Mapping::uniform(&w, ComponentId::new(0));
+        let little = Mapping::uniform(&w, ComponentId::new(2));
+        let qg = t.q_tensor(&spec, &w, &gpu);
+        let ql = t.q_tensor(&spec, &w, &little);
+        // Unit 0 row: GPU block non-zero for gpu mapping, zero for little.
+        let row = &qg.data()[0..16];
+        assert!(row.iter().any(|&v| v != 0.0), "GPU block should be populated");
+        let row_l = &ql.data()[0..16];
+        assert!(row_l.iter().all(|&v| v == 0.0), "GPU block should be empty");
+        let block2 = &ql.data()[32..48];
+        assert!(block2.iter().any(|&v| v != 0.0), "LITTLE block should be populated");
+    }
+
+    #[test]
+    fn unused_channels_are_zero() {
+        let (t, w) = table_for(&[ModelId::AlexNet]);
+        let spec = QTensorSpec::default();
+        let q = t.q_tensor(&spec, &w, &Mapping::uniform(&w, ComponentId::new(1)));
+        let per_chan = 32 * 48;
+        assert!(q.data()[per_chan..].iter().all(|&v| v == 0.0), "channels 1.. must be zero");
+    }
+
+    #[test]
+    fn embeddings_differ_between_models() {
+        let (t, _) = table_for(&[ModelId::AlexNet, ModelId::Vgg16]);
+        let a = &t.get(ModelId::AlexNet).unwrap()[0];
+        let v = &t.get(ModelId::Vgg16).unwrap()[0];
+        assert_ne!(a, v, "different architectures should embed differently");
+    }
+
+    #[test]
+    fn width_and_shape_helpers() {
+        let spec = QTensorSpec::default();
+        assert_eq!(spec.width(), 48);
+        assert_eq!(spec.shape(), vec![5, 32, 48]);
+    }
+}

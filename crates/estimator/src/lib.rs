@@ -1,0 +1,35 @@
+//! Learned throughput estimation for multi-DNN mappings.
+//!
+//! Reproduces §IV-C and §IV-D of the paper:
+//!
+//! 1. A **VQ-VAE** ([`vqvae::VqVae`]) compresses each layer's raw
+//!    22-dimensional descriptor (Equation 1) into a 16-dimensional
+//!    embedding through 1-D convolutions over the layer sequence and
+//!    Grouped Residual Vector Quantization, cutting the estimator's
+//!    multiply-accumulate cost (see [`macs`]).
+//! 2. A **multi-task attention CNN** ([`model::Estimator`]) consumes the
+//!    mapping tensor `Q` — one channel per DNN, one row per schedulable
+//!    unit, one column block per computing component — through a shared
+//!    residual backbone (depthwise convolutions + self-attention) and
+//!    per-DNN decoder streams (linear attention + two fully connected
+//!    layers), predicting each DNN's throughput for any candidate mapping.
+//!
+//! Targets are *potential throughputs* `P = t/t_ideal ∈ [0, ~1]` rather
+//! than raw inferences/second, which puts every DNN on a comparable scale;
+//! the conversion back to inf/s multiplies by the per-model ideal rate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod features;
+pub mod macs;
+pub mod model;
+pub mod trainer;
+pub mod vqvae;
+
+pub use dataset::Sample;
+pub use features::{EmbeddingTable, QTensorSpec};
+pub use model::{Estimator, EstimatorConfig};
+pub use trainer::{TrainReport, Trainer, TrainerConfig};
+pub use vqvae::{VqVae, VqVaeConfig};

@@ -1,0 +1,379 @@
+//! The multi-task, attention-based CNN throughput estimator (§IV-D).
+
+use crate::features::QTensorSpec;
+use rankmap_nn::attention::{AttnPool, LinearAttention, SelfAttention};
+use rankmap_nn::conv::Conv2d;
+use rankmap_nn::layer::{Layer, Linear, Param, Relu};
+use rankmap_nn::norm::BatchNorm;
+use rankmap_nn::tensor::Tensor;
+
+/// Estimator hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EstimatorConfig {
+    /// Backbone channel width.
+    pub channels: usize,
+    /// Number of residual backbone blocks (3 in the paper).
+    pub blocks: usize,
+    /// Hidden width of each decoder stream's MLP.
+    pub decoder_hidden: usize,
+    /// Geometry of the input `Q` tensor.
+    pub spec: QTensorSpec,
+}
+
+impl EstimatorConfig {
+    /// Small configuration for tests and quick experiments.
+    pub fn quick() -> Self {
+        Self {
+            channels: 12,
+            blocks: 2,
+            decoder_hidden: 24,
+            spec: QTensorSpec::default(),
+        }
+    }
+
+    /// Paper-structured configuration (3 shared residual blocks, wider
+    /// channels). The parameter count is far below the paper's 3.7 M —
+    /// sized for CPU training on the simulated board — but the topology
+    /// (depthwise conv + self-attention backbone, linear-attention + 2·FC
+    /// decoder streams) matches §IV-D exactly.
+    pub fn paper() -> Self {
+        Self {
+            channels: 32,
+            blocks: 3,
+            decoder_hidden: 48,
+            spec: QTensorSpec::default(),
+        }
+    }
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// Converts `[C, H, W]` feature maps to `[H·W, C]` token matrices.
+fn to_tokens(x: &Tensor) -> Tensor {
+    let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    x.clone().reshape(vec![c, h * w]).transpose()
+}
+
+/// Converts `[T, C]` tokens back to `[C, H, W]`.
+fn from_tokens(x: &Tensor, h: usize, w: usize) -> Tensor {
+    let c = x.shape()[1];
+    x.transpose().reshape(vec![c, h, w])
+}
+
+/// One shared residual backbone block: two depthwise convolutions, spatial
+/// self-attention, a 1×1 mixing convolution, and batch normalization —
+/// "a stack of ×2 depth-wise 2D convolutional layers and self-attention
+/// modules, and a 2D convolutional layer followed by batch normalization".
+struct BackboneBlock {
+    dw1: Conv2d,
+    act1: Relu,
+    dw2: Conv2d,
+    attn: SelfAttention,
+    mix: Conv2d,
+    bn: BatchNorm,
+    hw: Option<(usize, usize)>,
+}
+
+impl BackboneBlock {
+    fn new(c: usize, seed: u64) -> Self {
+        Self {
+            dw1: Conv2d::new(c, c, 3, 1, 1, c, seed ^ 0x10),
+            act1: Relu::new(),
+            dw2: Conv2d::new(c, c, 3, 1, 1, c, seed ^ 0x20),
+            attn: SelfAttention::new(c, seed ^ 0x30),
+            mix: Conv2d::new(c, c, 1, 1, 0, 1, seed ^ 0x40),
+            bn: BatchNorm::new(c),
+            hw: None,
+        }
+    }
+}
+
+impl Layer for BackboneBlock {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        self.hw = Some((h, w));
+        let y = self.dw1.forward(x, train);
+        let y = self.act1.forward(&y, train);
+        let y = self.dw2.forward(&y, train);
+        let tokens = to_tokens(&y);
+        let attended = self.attn.forward(&tokens, train);
+        let y = from_tokens(&attended, h, w);
+        let y = self.mix.forward(&y, train);
+        let y = self.bn.forward(&y, train);
+        y.add(x) // residual
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (h, w) = self.hw.expect("BackboneBlock::backward without forward");
+        let g = self.bn.backward(grad_out);
+        let g = self.mix.backward(&g);
+        let g_tokens = to_tokens(&g);
+        let g = self.attn.backward(&g_tokens);
+        let g = from_tokens(&g, h, w);
+        let g = self.dw2.backward(&g);
+        let g = self.act1.backward(&g);
+        let g = self.dw1.backward(&g);
+        g.add(grad_out) // residual path
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.dw1.visit_params(f);
+        self.dw2.visit_params(f);
+        self.attn.visit_params(f);
+        self.mix.visit_params(f);
+        self.bn.visit_params(f);
+    }
+}
+
+/// One per-DNN decoder stream: linear attention over the shared features,
+/// attention pooling, and two fully connected layers producing the
+/// throughput estimate for that DNN slot.
+struct DecoderStream {
+    attn: LinearAttention,
+    pool: AttnPool,
+    fc1: Linear,
+    act: Relu,
+    fc2: Linear,
+}
+
+impl DecoderStream {
+    fn new(c: usize, hidden: usize, seed: u64) -> Self {
+        Self {
+            attn: LinearAttention::new(c, seed ^ 0x100),
+            pool: AttnPool::new(c, seed ^ 0x200),
+            fc1: Linear::new(c, hidden, seed ^ 0x300),
+            act: Relu::new(),
+            fc2: Linear::new(hidden, 1, seed ^ 0x400),
+        }
+    }
+
+    fn forward(&mut self, tokens: &Tensor, train: bool) -> f32 {
+        let a = self.attn.forward(tokens, train);
+        let p = self.pool.forward(&a, train);
+        let h = self.fc1.forward(&p, train);
+        let h = self.act.forward(&h, train);
+        self.fc2.forward(&h, train).data()[0]
+    }
+
+    fn backward(&mut self, dloss: f32) -> Tensor {
+        let g = Tensor::from_vec(vec![dloss], vec![1]);
+        let g = self.fc2.backward(&g);
+        let g = self.act.backward(&g);
+        let g = self.fc1.backward(&g);
+        let g = self.pool.backward(&g);
+        self.attn.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.attn.visit_params(f);
+        self.pool.visit_params(f);
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+}
+
+/// The multi-task throughput estimator: shared residual backbone + one
+/// decoder stream per DNN slot. Predicts the *potential throughput* `P` of
+/// every slot for a candidate mapping tensor `Q`.
+pub struct Estimator {
+    cfg: EstimatorConfig,
+    stem: Conv2d,
+    stem_act: Relu,
+    down: Conv2d,
+    blocks: Vec<BackboneBlock>,
+    decoders: Vec<DecoderStream>,
+    feat_hw: (usize, usize),
+    cache_tokens: bool,
+}
+
+impl Estimator {
+    /// Creates an estimator with the given configuration and seed.
+    pub fn new(cfg: EstimatorConfig, seed: u64) -> Self {
+        let c = cfg.channels;
+        let stem = Conv2d::new(cfg.spec.max_dnns, c, 3, 3, 1, 1, seed ^ 1);
+        let down = Conv2d::new(c, c, 3, 2, 1, 1, seed ^ 2);
+        let h1 = (cfg.spec.max_units + 2 - 3) / 3 + 1;
+        let w1 = (cfg.spec.width() + 2 - 3) / 3 + 1;
+        let h2 = (h1 + 2 - 3) / 2 + 1;
+        let w2 = (w1 + 2 - 3) / 2 + 1;
+        let blocks = (0..cfg.blocks)
+            .map(|i| BackboneBlock::new(c, seed ^ ((i as u64 + 3) << 8)))
+            .collect();
+        let decoders = (0..cfg.spec.max_dnns)
+            .map(|i| DecoderStream::new(c, cfg.decoder_hidden, seed ^ ((i as u64 + 77) << 16)))
+            .collect();
+        Self {
+            cfg,
+            stem,
+            stem_act: Relu::new(),
+            down,
+            blocks,
+            decoders,
+            feat_hw: (h2, w2),
+            cache_tokens: false,
+        }
+    }
+
+    /// The configuration this estimator was built with.
+    pub fn config(&self) -> EstimatorConfig {
+        self.cfg
+    }
+
+    /// Spatial size of the shared feature map after the stem.
+    pub fn feature_hw(&self) -> (usize, usize) {
+        self.feat_hw
+    }
+
+    /// Predicts per-slot potential throughput from a `Q` tensor.
+    pub fn predict(&mut self, q: &Tensor) -> Vec<f32> {
+        self.forward_internal(q, false)
+    }
+
+    fn forward_internal(&mut self, q: &Tensor, train: bool) -> Vec<f32> {
+        assert_eq!(q.shape(), &self.cfg.spec.shape()[..], "Q tensor shape mismatch");
+        let y = self.stem.forward(q, train);
+        let y = self.stem_act.forward(&y, train);
+        let mut y = self.down.forward(&y, train);
+        for b in &mut self.blocks {
+            y = b.forward(&y, train);
+        }
+        let tokens = to_tokens(&y);
+        self.cache_tokens = train;
+        self.decoders
+            .iter_mut()
+            .map(|d| d.forward(&tokens, train))
+            .collect()
+    }
+
+    /// One training sample: forward, masked MSE against `target`, backward.
+    /// Returns the masked loss. Gradients accumulate until the caller steps
+    /// an optimizer and zeroes them.
+    pub fn train_sample(&mut self, q: &Tensor, target: &[f32], mask: &[bool]) -> f32 {
+        assert_eq!(target.len(), self.decoders.len(), "target length mismatch");
+        assert_eq!(mask.len(), self.decoders.len(), "mask length mismatch");
+        let preds = self.forward_internal(q, true);
+        let active = mask.iter().filter(|&&m| m).count().max(1) as f32;
+        let mut loss = 0.0;
+        let (h, w) = self.feat_hw;
+        let mut g_tokens = Tensor::zeros(vec![h * w, self.cfg.channels]);
+        for (i, d) in self.decoders.iter_mut().enumerate() {
+            // Every decoder ran a training forward; every decoder must
+            // backward to clear its caches. Masked slots get zero gradient.
+            let dl = if mask[i] {
+                let err = preds[i] - target[i];
+                loss += err * err;
+                2.0 * err / active
+            } else {
+                0.0
+            };
+            g_tokens.add_assign(&d.backward(dl));
+        }
+        let g = from_tokens(&g_tokens, h, w);
+        let mut g = g;
+        for b in self.blocks.iter_mut().rev() {
+            g = b.backward(&g);
+        }
+        let g = self.down.backward(&g);
+        let g = self.stem_act.backward(&g);
+        let _ = self.stem.backward(&g);
+        loss / active
+    }
+}
+
+impl Layer for Estimator {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let preds = self.forward_internal(x, train);
+        Tensor::from_vec(preds, vec![self.cfg.spec.max_dnns])
+    }
+
+    fn backward(&mut self, _grad_out: &Tensor) -> Tensor {
+        unimplemented!("use Estimator::train_sample; the multi-head backward needs masks")
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.stem.visit_params(f);
+        self.down.visit_params(f);
+        for b in &mut self.blocks {
+            b.visit_params(f);
+        }
+        for d in &mut self.decoders {
+            d.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rankmap_nn::optim::Adam;
+
+    #[test]
+    fn predict_shape() {
+        let mut e = Estimator::new(EstimatorConfig::quick(), 0);
+        let q = Tensor::zeros(e.config().spec.shape());
+        let p = e.predict(&q);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn param_count_reasonable() {
+        let mut e = Estimator::new(EstimatorConfig::quick(), 0);
+        let n = e.param_count();
+        assert!(n > 3_000, "quick estimator should have >3k params, got {n}");
+        let mut p = Estimator::new(EstimatorConfig::paper(), 0);
+        assert!(p.param_count() > n, "paper config must be larger");
+    }
+
+    #[test]
+    fn overfits_single_sample() {
+        // Sanity: the net + masked loss can drive one sample's loss down.
+        let mut e = Estimator::new(EstimatorConfig::quick(), 42);
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = Tensor::rand_uniform(e.config().spec.shape(), 0.5, &mut rng);
+        let target = [0.3f32, 0.7, 0.1, 0.0, 0.0];
+        let mask = [true, true, true, false, false];
+        let mut opt = Adam::new(3e-3);
+        let first = e.train_sample(&q, &target, &mask);
+        opt.step(&mut e);
+        e.zero_grad();
+        let mut last = first;
+        for _ in 0..60 {
+            last = e.train_sample(&q, &target, &mask);
+            opt.step(&mut e);
+            e.zero_grad();
+        }
+        assert!(
+            last < first * 0.25,
+            "estimator failed to overfit one sample: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn masked_slots_do_not_contribute() {
+        let mut e = Estimator::new(EstimatorConfig::quick(), 3);
+        let q = Tensor::zeros(e.config().spec.shape());
+        let loss_all_masked =
+            e.train_sample(&q, &[9.0; 5], &[false; 5]);
+        e.zero_grad();
+        assert_eq!(loss_all_masked, 0.0, "fully masked sample must be lossless");
+    }
+
+    #[test]
+    fn decoders_are_independent_heads() {
+        let mut e = Estimator::new(EstimatorConfig::quick(), 11);
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = Tensor::rand_uniform(e.config().spec.shape(), 0.5, &mut rng);
+        let p = e.predict(&q);
+        // Heads have different random init → different outputs.
+        assert!(
+            (p[0] - p[1]).abs() > 1e-6 || (p[1] - p[2]).abs() > 1e-6,
+            "decoder streams should not be identical"
+        );
+    }
+}

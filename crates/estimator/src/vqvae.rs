@@ -1,0 +1,363 @@
+//! Vector Quantized-Variational AutoEncoder over layer descriptors.
+//!
+//! Encoder: 1-D convolutions over a model's layer-feature sequence
+//! (`[22, L] → [E, L]`). The latent at each position is quantized with
+//! **Grouped Residual Vector Quantization** (HiFi-Codec style): the
+//! embedding is split into groups, each group quantized by a short
+//! residual cascade of EMA-updated codebooks. The decoder mirrors the
+//! encoder and reconstructs the raw features; training uses
+//! reconstruction + commitment loss with straight-through gradients.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rankmap_models::{DnnModel, FEATURE_DIM};
+use rankmap_nn::conv::Conv1d;
+use rankmap_nn::layer::{Layer, Relu};
+use rankmap_nn::tensor::Tensor;
+
+/// VQ-VAE hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VqVaeConfig {
+    /// Latent embedding dimension (16 in the paper).
+    pub embed_dim: usize,
+    /// Encoder hidden channels.
+    pub hidden: usize,
+    /// Number of quantizer groups (embedding split).
+    pub groups: usize,
+    /// Residual quantization depth per group.
+    pub residual_depth: usize,
+    /// Codebook entries per (group, depth).
+    pub codebook_size: usize,
+    /// EMA decay for codebook updates.
+    pub ema_decay: f32,
+    /// Commitment loss weight β.
+    pub beta: f32,
+}
+
+impl Default for VqVaeConfig {
+    fn default() -> Self {
+        Self {
+            embed_dim: 16,
+            hidden: 32,
+            groups: 2,
+            residual_depth: 2,
+            codebook_size: 32,
+            ema_decay: 0.97,
+            beta: 0.25,
+        }
+    }
+}
+
+/// One EMA-updated codebook for a (group, depth) slot.
+#[derive(Debug, Clone)]
+struct Codebook {
+    /// `[size, dim]` code vectors.
+    codes: Vec<Vec<f32>>,
+    ema_count: Vec<f32>,
+    ema_sum: Vec<Vec<f32>>,
+}
+
+impl Codebook {
+    fn new(size: usize, dim: usize, rng: &mut StdRng) -> Self {
+        let codes: Vec<Vec<f32>> = (0..size)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-0.5..0.5)).collect())
+            .collect();
+        Self {
+            ema_count: vec![1.0; size],
+            ema_sum: codes.iter().map(|c| c.clone()).collect(),
+            codes,
+        }
+    }
+
+    fn nearest(&self, v: &[f32]) -> usize {
+        let mut best = 0;
+        let mut best_d = f32::MAX;
+        for (i, c) in self.codes.iter().enumerate() {
+            let d: f32 = c.iter().zip(v).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn ema_update(&mut self, assignments: &[(usize, Vec<f32>)], decay: f32) {
+        for (count, sum) in self.ema_count.iter_mut().zip(&mut self.ema_sum) {
+            *count *= decay;
+            for s in sum.iter_mut() {
+                *s *= decay;
+            }
+        }
+        for (idx, v) in assignments {
+            self.ema_count[*idx] += 1.0 - decay;
+            for (s, x) in self.ema_sum[*idx].iter_mut().zip(v) {
+                *s += (1.0 - decay) * x;
+            }
+        }
+        for ((code, count), sum) in
+            self.codes.iter_mut().zip(&self.ema_count).zip(&self.ema_sum)
+        {
+            if *count > 1e-5 {
+                for (c, s) in code.iter_mut().zip(sum) {
+                    *c = s / count;
+                }
+            }
+        }
+    }
+}
+
+/// The VQ-VAE model: encoder, grouped residual quantizer, decoder.
+pub struct VqVae {
+    cfg: VqVaeConfig,
+    enc1: Conv1d,
+    enc_act: Relu,
+    enc2: Conv1d,
+    dec1: Conv1d,
+    dec_act: Relu,
+    dec2: Conv1d,
+    /// `books[group][depth]`.
+    books: Vec<Vec<Codebook>>,
+}
+
+impl VqVae {
+    /// Creates a VQ-VAE with the given configuration and seed.
+    pub fn new(cfg: VqVaeConfig, seed: u64) -> Self {
+        assert_eq!(cfg.embed_dim % cfg.groups, 0, "groups must divide embed_dim");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gdim = cfg.embed_dim / cfg.groups;
+        let books = (0..cfg.groups)
+            .map(|_| {
+                (0..cfg.residual_depth)
+                    .map(|_| Codebook::new(cfg.codebook_size, gdim, &mut rng))
+                    .collect()
+            })
+            .collect();
+        Self {
+            cfg,
+            enc1: Conv1d::new(FEATURE_DIM, cfg.hidden, 3, 1, 1, seed ^ 1),
+            enc_act: Relu::new(),
+            enc2: Conv1d::new(cfg.hidden, cfg.embed_dim, 3, 1, 1, seed ^ 2),
+            dec1: Conv1d::new(cfg.embed_dim, cfg.hidden, 3, 1, 1, seed ^ 3),
+            dec_act: Relu::new(),
+            dec2: Conv1d::new(cfg.hidden, FEATURE_DIM, 3, 1, 1, seed ^ 4),
+            books,
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> VqVaeConfig {
+        self.cfg
+    }
+
+    /// Builds the `[22, L]` feature sequence of a model (normalized
+    /// Equation-1 vectors, one column per layer).
+    pub fn feature_sequence(model: &DnnModel) -> Tensor {
+        let layers: Vec<&rankmap_models::LayerDesc> = model.layers().collect();
+        let l = layers.len();
+        let mut data = vec![0.0f32; FEATURE_DIM * l];
+        for (j, layer) in layers.iter().enumerate() {
+            for (f, v) in layer.normalized_features().iter().enumerate() {
+                data[f * l + j] = *v;
+            }
+        }
+        Tensor::from_vec(data, vec![FEATURE_DIM, l])
+    }
+
+    fn encode_raw(&mut self, seq: &Tensor, train: bool) -> Tensor {
+        let h = self.enc1.forward(seq, train);
+        let h = self.enc_act.forward(&h, train);
+        self.enc2.forward(&h, train)
+    }
+
+    /// Quantizes a `[E, L]` latent, returning `(quantized, codes_used)`.
+    /// When `update`, EMA-updates the codebooks with the assignments.
+    fn quantize(&mut self, z: &Tensor, update: bool) -> (Tensor, usize) {
+        let e = z.shape()[0];
+        let l = z.shape()[1];
+        let gdim = e / self.cfg.groups;
+        let mut q = Tensor::zeros(vec![e, l]);
+        let mut used = std::collections::HashSet::new();
+        for g in 0..self.cfg.groups {
+            // Collect per-position group vectors.
+            let mut residuals: Vec<Vec<f32>> = (0..l)
+                .map(|p| (0..gdim).map(|d| z.data()[(g * gdim + d) * l + p]).collect())
+                .collect();
+            for depth in 0..self.cfg.residual_depth {
+                let mut assignments = Vec::with_capacity(l);
+                for r in residuals.iter() {
+                    let idx = self.books[g][depth].nearest(r);
+                    used.insert((g, depth, idx));
+                    assignments.push((idx, r.clone()));
+                }
+                for (p, (idx, _)) in assignments.iter().enumerate() {
+                    let code = self.books[g][depth].codes[*idx].clone();
+                    for d in 0..gdim {
+                        q.data_mut()[(g * gdim + d) * l + p] += code[d];
+                        residuals[p][d] -= code[d];
+                    }
+                }
+                if update {
+                    self.books[g][depth].ema_update(&assignments, self.cfg.ema_decay);
+                }
+            }
+        }
+        (q, used.len())
+    }
+
+    /// Encodes a model into per-layer quantized embeddings `[E, L]`
+    /// (inference path — codebooks frozen).
+    pub fn encode(&mut self, model: &DnnModel) -> Tensor {
+        let seq = Self::feature_sequence(model);
+        let z = self.encode_raw(&seq, false);
+        self.quantize(&z, false).0
+    }
+
+    /// One training step on a model's layer sequence. Returns
+    /// `(reconstruction_mse, commitment_loss)`.
+    pub fn train_step(&mut self, model: &DnnModel, opt: &mut rankmap_nn::optim::Adam) -> (f32, f32) {
+        let seq = Self::feature_sequence(model);
+        let z = self.encode_raw(&seq, true);
+        let (q, _) = self.quantize(&z, true);
+        // Commitment: pull encoder output toward codes.
+        let mut commit = 0.0f32;
+        let n = z.len() as f32;
+        let mut commit_grad = Tensor::zeros(z.shape().to_vec());
+        for i in 0..z.len() {
+            let d = z.data()[i] - q.data()[i];
+            commit += d * d;
+            commit_grad.data_mut()[i] = 2.0 * self.cfg.beta * d / n;
+        }
+        commit /= n;
+        // Decode from quantized latent (straight-through: decoder grads
+        // flow into the encoder as if q were z).
+        let h = self.dec1.forward(&q, true);
+        let h = self.dec_act.forward(&h, true);
+        let recon = self.dec2.forward(&h, true);
+        let (loss, dloss) = rankmap_nn::loss::mse(&recon, &seq);
+        let g = self.dec2.backward(&dloss);
+        let g = self.dec_act.backward(&g);
+        let g_dec_in = self.dec1.backward(&g);
+        // Straight-through + commitment into the encoder.
+        let mut g_enc_out = g_dec_in;
+        g_enc_out.add_assign(&commit_grad);
+        let g = self.enc2.backward(&g_enc_out);
+        let g = self.enc_act.backward(&g);
+        let _ = self.enc1.backward(&g);
+        opt.step(self);
+        self.zero_grad();
+        (loss, commit)
+    }
+
+    /// Number of distinct codes used when encoding `model` (codebook
+    /// utilization diagnostic).
+    pub fn codes_used(&mut self, model: &DnnModel) -> usize {
+        let seq = Self::feature_sequence(model);
+        let z = self.encode_raw(&seq, false);
+        self.quantize(&z, false).1
+    }
+}
+
+impl Layer for VqVae {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        // Encoder-only view (used by Layer-generic utilities).
+        let h = self.enc1.forward(x, train);
+        let h = self.enc_act.forward(&h, train);
+        self.enc2.forward(&h, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.enc2.backward(grad_out);
+        let g = self.enc_act.backward(&g);
+        self.enc1.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut rankmap_nn::Param)) {
+        self.enc1.visit_params(f);
+        self.enc2.visit_params(f);
+        self.dec1.visit_params(f);
+        self.dec2.visit_params(f);
+    }
+}
+
+/// Trains a VQ-VAE on the whole model pool for `epochs` passes, returning
+/// the final mean reconstruction loss.
+pub fn train_on_pool(vqvae: &mut VqVae, pool: &[DnnModel], epochs: usize) -> f32 {
+    let mut opt = rankmap_nn::optim::Adam::new(2e-3);
+    let mut last = f32::MAX;
+    for _ in 0..epochs {
+        let mut total = 0.0;
+        for m in pool {
+            let (recon, _) = vqvae.train_step(m, &mut opt);
+            total += recon;
+        }
+        last = total / pool.len() as f32;
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmap_models::ModelId;
+
+    fn small_pool() -> Vec<DnnModel> {
+        vec![
+            ModelId::AlexNet.build(),
+            ModelId::SqueezeNetV2.build(),
+            ModelId::MobileNet.build(),
+        ]
+    }
+
+    #[test]
+    fn feature_sequence_shape() {
+        let m = ModelId::AlexNet.build();
+        let s = VqVae::feature_sequence(&m);
+        assert_eq!(s.shape(), &[FEATURE_DIM, m.layer_count()]);
+    }
+
+    #[test]
+    fn encode_produces_embed_dim() {
+        let mut v = VqVae::new(VqVaeConfig::default(), 7);
+        let m = ModelId::AlexNet.build();
+        let e = v.encode(&m);
+        assert_eq!(e.shape(), &[16, m.layer_count()]);
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_loss() {
+        let mut v = VqVae::new(VqVaeConfig::default(), 3);
+        let pool = small_pool();
+        let first = train_on_pool(&mut v, &pool, 1);
+        let later = train_on_pool(&mut v, &pool, 25);
+        assert!(
+            later < first * 0.8,
+            "VQ-VAE should learn to reconstruct: {first} -> {later}"
+        );
+    }
+
+    #[test]
+    fn quantization_is_deterministic_frozen() {
+        let mut v = VqVae::new(VqVaeConfig::default(), 5);
+        let m = ModelId::SqueezeNetV2.build();
+        let a = v.encode(&m);
+        let b = v.encode(&m);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn codebook_is_actually_used() {
+        let mut v = VqVae::new(VqVaeConfig::default(), 9);
+        let pool = small_pool();
+        train_on_pool(&mut v, &pool, 5);
+        let used = v.codes_used(&pool[0]);
+        assert!(used >= 4, "expected several codes in use, got {used}");
+    }
+
+    #[test]
+    fn groups_must_divide_embed_dim() {
+        let cfg = VqVaeConfig { groups: 3, ..Default::default() };
+        let r = std::panic::catch_unwind(|| VqVae::new(cfg, 0));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,379 @@
+//! Fluent construction of layer-level network descriptions.
+
+use crate::layer::{
+    Activation, LayerDesc, LayerType, PadStride, TensorShape, WeightShape,
+};
+use crate::model::{DnnModel, ModelId, Unit};
+
+/// Output spatial size of a conv/pool window:
+/// `(in + pad_a + pad_b - k) / s + 1` (floor).
+pub fn conv_out(input: u32, k: u32, s: u32, pad: u32) -> u32 {
+    let padded = input + 2 * pad;
+    assert!(padded >= k, "kernel {k} larger than padded input {padded}");
+    (padded - k) / s + 1
+}
+
+/// Incrementally builds a [`DnnModel`], tracking the current tensor shape
+/// and the global layer index.
+///
+/// Layers accumulate into a *pending* buffer; [`NetBuilder::end_unit`] seals
+/// them into a schedulable [`Unit`]. Branchy cells (inception, fire, SE)
+/// are linearized: branch layers are emitted with explicitly set shapes and
+/// followed by a `Concat`/`Add` layer with the fused output shape — the
+/// scheduler never splits inside a unit, so only per-layer costs matter,
+/// not intra-unit topology.
+#[derive(Debug, Clone)]
+pub struct NetBuilder {
+    input: TensorShape,
+    cur: TensorShape,
+    next_index: u32,
+    pending: Vec<LayerDesc>,
+    units: Vec<Unit>,
+}
+
+impl NetBuilder {
+    /// Starts building a network whose input is `c×h×w`.
+    pub fn new(c: u32, h: u32, w: u32) -> Self {
+        let input = TensorShape::chw(c, h, w);
+        Self { input, cur: input, next_index: 0, pending: Vec::new(), units: Vec::new() }
+    }
+
+    /// The current tensor shape flowing through the network.
+    pub fn shape(&self) -> TensorShape {
+        self.cur
+    }
+
+    /// Overrides the current shape (used when linearizing branches).
+    pub fn set_shape(&mut self, s: TensorShape) -> &mut Self {
+        self.cur = s;
+        self
+    }
+
+    /// Pushes a fully specified layer, advancing shape and index.
+    pub fn push(&mut self, mut layer: LayerDesc) -> &mut Self {
+        layer.index = self.next_index;
+        self.next_index += 1;
+        self.cur = layer.ofm;
+        self.pending.push(layer);
+        self
+    }
+
+    /// Standard convolution with square kernel `k`, stride `s`, symmetric
+    /// padding `p` and fused activation.
+    pub fn conv(&mut self, out_c: u32, k: u32, s: u32, p: u32, act: Activation) -> &mut Self {
+        let ifm = self.cur;
+        let oh = conv_out(ifm.h, k, s, p);
+        let ow = conv_out(ifm.w, k, s, p);
+        self.push(LayerDesc {
+            index: 0,
+            ty: LayerType::Conv,
+            ifm,
+            ofm: TensorShape::chw(out_c, oh, ow),
+            weights: WeightShape::new(out_c, ifm.c, k, k),
+            biases: out_c,
+            act,
+            pad_stride: PadStride::symmetric(p, s),
+        })
+    }
+
+    /// Grouped convolution: weights store `in_c / groups` input channels.
+    pub fn gconv(
+        &mut self,
+        out_c: u32,
+        k: u32,
+        s: u32,
+        p: u32,
+        groups: u32,
+        act: Activation,
+    ) -> &mut Self {
+        let ifm = self.cur;
+        assert!(groups >= 1 && ifm.c % groups == 0, "channels must divide groups");
+        let oh = conv_out(ifm.h, k, s, p);
+        let ow = conv_out(ifm.w, k, s, p);
+        self.push(LayerDesc {
+            index: 0,
+            ty: LayerType::Conv,
+            ifm,
+            ofm: TensorShape::chw(out_c, oh, ow),
+            weights: WeightShape::new(out_c, ifm.c / groups, k, k),
+            biases: out_c,
+            act,
+            pad_stride: PadStride::symmetric(p, s),
+        })
+    }
+
+    /// Rectangular convolution (e.g. the 1×7 / 7×1 factorized kernels of
+    /// Inception).
+    pub fn conv_rect(
+        &mut self,
+        out_c: u32,
+        (kh, kw): (u32, u32),
+        s: u32,
+        (ph, pw): (u32, u32),
+        act: Activation,
+    ) -> &mut Self {
+        let ifm = self.cur;
+        let oh = (ifm.h + 2 * ph - kh) / s + 1;
+        let ow = (ifm.w + 2 * pw - kw) / s + 1;
+        self.push(LayerDesc {
+            index: 0,
+            ty: LayerType::Conv,
+            ifm,
+            ofm: TensorShape::chw(out_c, oh, ow),
+            weights: WeightShape::new(out_c, ifm.c, kh, kw),
+            biases: out_c,
+            act,
+            pad_stride: PadStride {
+                pad_top: ph,
+                pad_bottom: ph,
+                pad_left: pw,
+                pad_right: pw,
+                stride_h: s,
+                stride_w: s,
+            },
+        })
+    }
+
+    /// Depth-wise convolution (`k×k`, stride `s`, SAME-ish padding `k/2`).
+    pub fn dwconv(&mut self, k: u32, s: u32, act: Activation) -> &mut Self {
+        let ifm = self.cur;
+        let p = k / 2;
+        let oh = conv_out(ifm.h, k, s, p);
+        let ow = conv_out(ifm.w, k, s, p);
+        self.push(LayerDesc {
+            index: 0,
+            ty: LayerType::DwConv,
+            ifm,
+            ofm: TensorShape::chw(ifm.c, oh, ow),
+            weights: WeightShape::new(ifm.c, 1, k, k),
+            biases: ifm.c,
+            act,
+            pad_stride: PadStride::symmetric(p, s),
+        })
+    }
+
+    /// Max pooling.
+    pub fn pool_max(&mut self, k: u32, s: u32, p: u32) -> &mut Self {
+        self.pool(LayerType::MaxPool, k, s, p)
+    }
+
+    /// Average pooling.
+    pub fn pool_avg(&mut self, k: u32, s: u32, p: u32) -> &mut Self {
+        self.pool(LayerType::AvgPool, k, s, p)
+    }
+
+    fn pool(&mut self, ty: LayerType, k: u32, s: u32, p: u32) -> &mut Self {
+        let ifm = self.cur;
+        let oh = conv_out(ifm.h, k, s, p);
+        let ow = conv_out(ifm.w, k, s, p);
+        self.push(LayerDesc {
+            index: 0,
+            ty,
+            ifm,
+            ofm: TensorShape::chw(ifm.c, oh, ow),
+            weights: WeightShape::new(0, 0, k, k),
+            biases: 0,
+            act: Activation::None,
+            pad_stride: PadStride::symmetric(p, s),
+        })
+    }
+
+    /// Global average pooling down to `c×1×1`.
+    pub fn global_avg_pool(&mut self) -> &mut Self {
+        let ifm = self.cur;
+        self.push(LayerDesc {
+            index: 0,
+            ty: LayerType::AvgPool,
+            ifm,
+            ofm: TensorShape::chw(ifm.c, 1, 1),
+            weights: WeightShape::new(0, 0, ifm.h, ifm.w),
+            biases: 0,
+            act: Activation::None,
+            pad_stride: PadStride::unit(),
+        })
+    }
+
+    /// Fully connected layer over the flattened current tensor.
+    pub fn fc(&mut self, out: u32, act: Activation) -> &mut Self {
+        let ifm = self.cur;
+        let fan_in = ifm.elements() as u32;
+        self.push(LayerDesc {
+            index: 0,
+            ty: LayerType::Fc,
+            ifm,
+            ofm: TensorShape::chw(out, 1, 1),
+            weights: WeightShape::new(out, fan_in, 1, 1),
+            biases: out,
+            act,
+            pad_stride: PadStride::unit(),
+        })
+    }
+
+    /// Batch-normalization layer over the current tensor.
+    pub fn bn(&mut self, act: Activation) -> &mut Self {
+        let ifm = self.cur;
+        self.push(LayerDesc {
+            index: 0,
+            ty: LayerType::BatchNorm,
+            ifm,
+            ofm: ifm,
+            weights: WeightShape::none(),
+            biases: 2 * ifm.c,
+            act,
+            pad_stride: PadStride::unit(),
+        })
+    }
+
+    /// Residual element-wise addition (shape preserved).
+    pub fn add(&mut self, act: Activation) -> &mut Self {
+        self.elementwise(LayerType::Add, act)
+    }
+
+    /// Squeeze-and-excite style element-wise multiply (shape preserved).
+    pub fn mul(&mut self) -> &mut Self {
+        self.elementwise(LayerType::Mul, Activation::None)
+    }
+
+    /// ShuffleNet channel shuffle (shape preserved).
+    pub fn shuffle(&mut self) -> &mut Self {
+        self.elementwise(LayerType::Shuffle, Activation::None)
+    }
+
+    fn elementwise(&mut self, ty: LayerType, act: Activation) -> &mut Self {
+        let ifm = self.cur;
+        self.push(LayerDesc {
+            index: 0,
+            ty,
+            ifm,
+            ofm: ifm,
+            weights: WeightShape::none(),
+            biases: 0,
+            act,
+            pad_stride: PadStride::unit(),
+        })
+    }
+
+    /// Channel concatenation producing `out_c` channels at the current
+    /// spatial size (the inputs are the just-emitted branch layers).
+    pub fn concat_to(&mut self, out_c: u32) -> &mut Self {
+        let ifm = self.cur;
+        self.push(LayerDesc {
+            index: 0,
+            ty: LayerType::Concat,
+            ifm,
+            ofm: TensorShape::chw(out_c, ifm.h, ifm.w),
+            weights: WeightShape::none(),
+            biases: 0,
+            act: Activation::None,
+            pad_stride: PadStride::unit(),
+        })
+    }
+
+    /// Nearest-neighbour 2× upsample (YOLO neck).
+    pub fn upsample2(&mut self) -> &mut Self {
+        let ifm = self.cur;
+        self.push(LayerDesc {
+            index: 0,
+            ty: LayerType::Upsample,
+            ifm,
+            ofm: TensorShape::chw(ifm.c, ifm.h * 2, ifm.w * 2),
+            weights: WeightShape::none(),
+            biases: 0,
+            act: Activation::None,
+            pad_stride: PadStride::unit(),
+        })
+    }
+
+    /// Seals all pending layers into a named schedulable unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layers are pending.
+    pub fn end_unit(&mut self, name: impl Into<String>) -> &mut Self {
+        assert!(!self.pending.is_empty(), "end_unit with no pending layers");
+        let layers = std::mem::take(&mut self.pending);
+        self.units.push(Unit::new(name, layers));
+        self
+    }
+
+    /// Number of sealed units so far.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Finalizes the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layers are pending (missing `end_unit`) or no unit exists.
+    pub fn finish(self, id: ModelId, name: impl Into<String>) -> DnnModel {
+        assert!(self.pending.is_empty(), "finish() with pending layers; call end_unit");
+        DnnModel::new(id, name, self.input, self.units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_out_matches_known_cases() {
+        assert_eq!(conv_out(227, 11, 4, 0), 55); // AlexNet conv1
+        assert_eq!(conv_out(224, 7, 2, 3), 112); // ResNet stem
+        assert_eq!(conv_out(56, 3, 1, 1), 56); // SAME conv
+        assert_eq!(conv_out(55, 3, 2, 0), 27); // AlexNet pool1
+    }
+
+    #[test]
+    fn builder_tracks_shapes() {
+        let mut b = NetBuilder::new(3, 224, 224);
+        b.conv(64, 7, 2, 3, Activation::Relu).pool_max(3, 2, 1).end_unit("stem");
+        assert_eq!(b.shape(), TensorShape::chw(64, 56, 56));
+        let m = b.finish(ModelId::ResNet50, "toy");
+        assert_eq!(m.unit_count(), 1);
+        assert_eq!(m.layer_count(), 2);
+    }
+
+    #[test]
+    fn indices_assigned_sequentially() {
+        let mut b = NetBuilder::new(3, 32, 32);
+        b.conv(8, 3, 1, 1, Activation::Relu).end_unit("a");
+        b.conv(8, 3, 1, 1, Activation::Relu).bn(Activation::None).end_unit("b");
+        let m = b.finish(ModelId::AlexNet, "toy");
+        let idx: Vec<u32> = m.layers().map(|l| l.index).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fc_flattens_input() {
+        let mut b = NetBuilder::new(256, 6, 6);
+        b.fc(4096, Activation::Relu).end_unit("fc");
+        let m = b.finish(ModelId::AlexNet, "toy");
+        let l = m.layers().next().unwrap();
+        assert_eq!(l.weights.in_c, 256 * 6 * 6);
+        assert_eq!(l.weights.out_c, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "pending layers")]
+    fn finish_with_pending_panics() {
+        let mut b = NetBuilder::new(3, 32, 32);
+        b.conv(8, 3, 1, 1, Activation::Relu);
+        let _ = b.finish(ModelId::AlexNet, "bad");
+    }
+
+    #[test]
+    fn gconv_divides_fanin() {
+        let mut b = NetBuilder::new(240, 28, 28);
+        b.gconv(240, 1, 1, 0, 3, Activation::None).end_unit("g");
+        let m = b.finish(ModelId::ShuffleNet, "toy");
+        assert_eq!(m.layers().next().unwrap().weights.in_c, 80);
+    }
+
+    #[test]
+    fn upsample_doubles_spatial() {
+        let mut b = NetBuilder::new(256, 13, 13);
+        b.upsample2().end_unit("u");
+        assert_eq!(b.shape(), TensorShape::chw(256, 26, 26));
+    }
+}

@@ -1,0 +1,471 @@
+//! Layer descriptors and the paper's 22-dimensional feature vector.
+
+use std::fmt;
+
+/// Length of the per-layer feature vector of Equation 1 in the paper:
+/// index (1) + type (1) + ifm (4) + ofm (4) + weights (4) + biases (1) +
+/// activation (1) + pad-stride (6) = 22.
+pub const FEATURE_DIM: usize = 22;
+
+/// Shape of an activation tensor: `(minibatch, channels, height, width)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TensorShape {
+    /// Minibatch size (always 1 for edge inference in this reproduction).
+    pub n: u32,
+    /// Number of channels.
+    pub c: u32,
+    /// Feature-map height.
+    pub h: u32,
+    /// Feature-map width.
+    pub w: u32,
+}
+
+impl TensorShape {
+    /// Creates a shape.
+    pub const fn new(n: u32, c: u32, h: u32, w: u32) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// A conventional `1×c×h×w` inference shape.
+    pub const fn chw(c: u32, h: u32, w: u32) -> Self {
+        Self { n: 1, c, h, w }
+    }
+
+    /// Total number of elements.
+    pub fn elements(&self) -> u64 {
+        self.n as u64 * self.c as u64 * self.h as u64 * self.w as u64
+    }
+
+    /// Size in bytes assuming `f32` storage.
+    pub fn bytes(&self) -> u64 {
+        self.elements() * 4
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+/// Shape of a weight tensor: `(out_channels, in_channels_per_group, kh, kw)`.
+///
+/// For fully connected layers `kh = kw = 1` and the channel fields carry the
+/// fan-in/fan-out. For weight-less layers all fields are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct WeightShape {
+    /// Output channels (or FC output features).
+    pub out_c: u32,
+    /// Input channels per group (or FC input features).
+    pub in_c: u32,
+    /// Kernel height.
+    pub kh: u32,
+    /// Kernel width.
+    pub kw: u32,
+}
+
+impl WeightShape {
+    /// Creates a weight shape.
+    pub const fn new(out_c: u32, in_c: u32, kh: u32, kw: u32) -> Self {
+        Self { out_c, in_c, kh, kw }
+    }
+
+    /// The all-zero shape used by weight-less layers.
+    pub const fn none() -> Self {
+        Self { out_c: 0, in_c: 0, kh: 0, kw: 0 }
+    }
+
+    /// Number of weight parameters.
+    pub fn elements(&self) -> u64 {
+        self.out_c as u64 * self.in_c as u64 * self.kh as u64 * self.kw as u64
+    }
+}
+
+/// 6-dimensional padding/stride descriptor (`ps` in Equation 1):
+/// `(pad_top, pad_bottom, pad_left, pad_right, stride_h, stride_w)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PadStride {
+    /// Top padding rows.
+    pub pad_top: u32,
+    /// Bottom padding rows.
+    pub pad_bottom: u32,
+    /// Left padding columns.
+    pub pad_left: u32,
+    /// Right padding columns.
+    pub pad_right: u32,
+    /// Vertical stride.
+    pub stride_h: u32,
+    /// Horizontal stride.
+    pub stride_w: u32,
+}
+
+impl PadStride {
+    /// Symmetric padding `p` with stride `s` in both dimensions.
+    pub const fn symmetric(p: u32, s: u32) -> Self {
+        Self { pad_top: p, pad_bottom: p, pad_left: p, pad_right: p, stride_h: s, stride_w: s }
+    }
+
+    /// No padding, unit stride — the default for FC-like layers.
+    pub const fn unit() -> Self {
+        Self::symmetric(0, 1)
+    }
+}
+
+/// Operator class of a layer (`t` in Equation 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerType {
+    /// Standard (possibly grouped) 2D convolution.
+    Conv,
+    /// Depth-wise 2D convolution.
+    DwConv,
+    /// Max pooling.
+    MaxPool,
+    /// Average pooling (incl. global average pooling).
+    AvgPool,
+    /// Fully connected / linear.
+    Fc,
+    /// Batch normalization (inference-folded or standalone).
+    BatchNorm,
+    /// Standalone activation layer.
+    Act,
+    /// Element-wise residual addition.
+    Add,
+    /// Channel concatenation.
+    Concat,
+    /// Channel shuffle (ShuffleNet).
+    Shuffle,
+    /// Nearest-neighbour upsampling (YOLO necks).
+    Upsample,
+    /// Element-wise multiply (squeeze-and-excite gating).
+    Mul,
+}
+
+impl LayerType {
+    /// Stable numeric code used in the feature vector.
+    pub fn code(self) -> u32 {
+        match self {
+            LayerType::Conv => 1,
+            LayerType::DwConv => 2,
+            LayerType::MaxPool => 3,
+            LayerType::AvgPool => 4,
+            LayerType::Fc => 5,
+            LayerType::BatchNorm => 6,
+            LayerType::Act => 7,
+            LayerType::Add => 8,
+            LayerType::Concat => 9,
+            LayerType::Shuffle => 10,
+            LayerType::Upsample => 11,
+            LayerType::Mul => 12,
+        }
+    }
+
+    /// All layer types, in code order.
+    pub fn all() -> [LayerType; 12] {
+        [
+            LayerType::Conv,
+            LayerType::DwConv,
+            LayerType::MaxPool,
+            LayerType::AvgPool,
+            LayerType::Fc,
+            LayerType::BatchNorm,
+            LayerType::Act,
+            LayerType::Add,
+            LayerType::Concat,
+            LayerType::Shuffle,
+            LayerType::Upsample,
+            LayerType::Mul,
+        ]
+    }
+}
+
+impl fmt::Display for LayerType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LayerType::Conv => "conv",
+            LayerType::DwConv => "dwconv",
+            LayerType::MaxPool => "maxpool",
+            LayerType::AvgPool => "avgpool",
+            LayerType::Fc => "fc",
+            LayerType::BatchNorm => "bn",
+            LayerType::Act => "act",
+            LayerType::Add => "add",
+            LayerType::Concat => "concat",
+            LayerType::Shuffle => "shuffle",
+            LayerType::Upsample => "upsample",
+            LayerType::Mul => "mul",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Fused activation function (`a` in Equation 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// No activation.
+    #[default]
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// ReLU clipped at 6 (mobile nets).
+    Relu6,
+    /// Swish / SiLU (EfficientNet).
+    Swish,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Softmax (classifier heads).
+    Softmax,
+    /// Leaky ReLU (YOLO).
+    LeakyRelu,
+}
+
+impl Activation {
+    /// Stable numeric code used in the feature vector.
+    pub fn code(self) -> u32 {
+        match self {
+            Activation::None => 0,
+            Activation::Relu => 1,
+            Activation::Relu6 => 2,
+            Activation::Swish => 3,
+            Activation::Sigmoid => 4,
+            Activation::Softmax => 5,
+            Activation::LeakyRelu => 6,
+        }
+    }
+}
+
+/// A single DNN layer, carrying everything Equation 1 encodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDesc {
+    /// Layer index `j` within its DNN (0-based, global across units).
+    pub index: u32,
+    /// Operator class `t`.
+    pub ty: LayerType,
+    /// Input feature-map shape.
+    pub ifm: TensorShape,
+    /// Output feature-map shape.
+    pub ofm: TensorShape,
+    /// Weight tensor shape (zeros when the layer has no weights).
+    pub weights: WeightShape,
+    /// Number of bias parameters `b`.
+    pub biases: u32,
+    /// Fused activation `a`.
+    pub act: Activation,
+    /// Padding and stride information `ps`.
+    pub pad_stride: PadStride,
+}
+
+impl LayerDesc {
+    /// Floating-point operations for one inference through this layer.
+    ///
+    /// Convolutions and FC count multiply-accumulates as 2 FLOPs; pooling
+    /// counts one op per kernel element; element-wise layers count one or
+    /// two ops per output element.
+    pub fn flops(&self) -> f64 {
+        let out = self.ofm.elements() as f64;
+        match self.ty {
+            LayerType::Conv | LayerType::DwConv => {
+                let per_out =
+                    self.weights.in_c as f64 * self.weights.kh as f64 * self.weights.kw as f64;
+                2.0 * out * per_out.max(1.0)
+            }
+            LayerType::Fc => 2.0 * self.weights.out_c as f64 * self.weights.in_c as f64,
+            LayerType::MaxPool | LayerType::AvgPool => {
+                let k = (self.weights.kh.max(1) * self.weights.kw.max(1)) as f64;
+                out * k
+            }
+            LayerType::BatchNorm => 2.0 * out,
+            LayerType::Act | LayerType::Add | LayerType::Mul | LayerType::Shuffle => out,
+            LayerType::Concat | LayerType::Upsample => out,
+        }
+    }
+
+    /// Bytes of weights + biases (f32).
+    pub fn weight_bytes(&self) -> u64 {
+        self.weights.elements() * 4 + self.biases as u64 * 4
+    }
+
+    /// Bytes of input activations (f32).
+    pub fn ifm_bytes(&self) -> u64 {
+        self.ifm.bytes()
+    }
+
+    /// Bytes of output activations (f32).
+    pub fn ofm_bytes(&self) -> u64 {
+        self.ofm.bytes()
+    }
+
+    /// Total bytes touched by one inference: weights + input + output.
+    pub fn memory_bytes(&self) -> u64 {
+        self.weight_bytes() + self.ifm_bytes() + self.ofm_bytes()
+    }
+
+    /// The raw 22-dimensional feature vector of Equation 1:
+    /// `[j, t, ifm(4), ofm(4), w(4), b, a, ps(6)]`.
+    pub fn feature_vec(&self) -> [f32; FEATURE_DIM] {
+        [
+            self.index as f32,
+            self.ty.code() as f32,
+            self.ifm.n as f32,
+            self.ifm.c as f32,
+            self.ifm.h as f32,
+            self.ifm.w as f32,
+            self.ofm.n as f32,
+            self.ofm.c as f32,
+            self.ofm.h as f32,
+            self.ofm.w as f32,
+            self.weights.out_c as f32,
+            self.weights.in_c as f32,
+            self.weights.kh as f32,
+            self.weights.kw as f32,
+            self.biases as f32,
+            self.act.code() as f32,
+            self.pad_stride.pad_top as f32,
+            self.pad_stride.pad_bottom as f32,
+            self.pad_stride.pad_left as f32,
+            self.pad_stride.pad_right as f32,
+            self.pad_stride.stride_h as f32,
+            self.pad_stride.stride_w as f32,
+        ]
+    }
+
+    /// Log-scaled, roughly unit-range version of [`LayerDesc::feature_vec`],
+    /// suitable as neural-network input. Dimension-like entries are mapped
+    /// through `ln(1+x)` and divided by `ln(1+cap)` of a generous cap;
+    /// categorical codes are divided by their maximum code.
+    pub fn normalized_features(&self) -> [f32; FEATURE_DIM] {
+        let raw = self.feature_vec();
+        let mut out = [0.0f32; FEATURE_DIM];
+        // Per-position caps for log normalization; codes handled separately.
+        const DIM_CAP: f32 = 4096.0;
+        const IDX_CAP: f32 = 256.0;
+        for (i, &v) in raw.iter().enumerate() {
+            out[i] = match i {
+                0 => norm_log(v, IDX_CAP),
+                1 => v / 12.0,
+                15 => v / 6.0,
+                16..=21 => norm_log(v, 16.0),
+                _ => norm_log(v, DIM_CAP),
+            };
+        }
+        out
+    }
+}
+
+fn norm_log(v: f32, cap: f32) -> f32 {
+    (1.0 + v.max(0.0)).ln() / (1.0 + cap).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_layer() -> LayerDesc {
+        LayerDesc {
+            index: 3,
+            ty: LayerType::Conv,
+            ifm: TensorShape::chw(64, 56, 56),
+            ofm: TensorShape::chw(128, 28, 28),
+            weights: WeightShape::new(128, 64, 3, 3),
+            biases: 128,
+            act: Activation::Relu,
+            pad_stride: PadStride::symmetric(1, 2),
+        }
+    }
+
+    #[test]
+    fn feature_vec_has_22_dims() {
+        assert_eq!(conv_layer().feature_vec().len(), FEATURE_DIM);
+        assert_eq!(FEATURE_DIM, 22);
+    }
+
+    #[test]
+    fn conv_flops_formula() {
+        let l = conv_layer();
+        let expected = 2.0 * 128.0 * 28.0 * 28.0 * 64.0 * 9.0;
+        assert_eq!(l.flops(), expected);
+    }
+
+    #[test]
+    fn fc_flops_formula() {
+        let l = LayerDesc {
+            index: 0,
+            ty: LayerType::Fc,
+            ifm: TensorShape::chw(4096, 1, 1),
+            ofm: TensorShape::chw(1000, 1, 1),
+            weights: WeightShape::new(1000, 4096, 1, 1),
+            biases: 1000,
+            act: Activation::Softmax,
+            pad_stride: PadStride::unit(),
+        };
+        assert_eq!(l.flops(), 2.0 * 1000.0 * 4096.0);
+        assert_eq!(l.weight_bytes(), (1000 * 4096 + 1000) * 4);
+    }
+
+    #[test]
+    fn dwconv_flops_are_per_channel() {
+        let l = LayerDesc {
+            index: 0,
+            ty: LayerType::DwConv,
+            ifm: TensorShape::chw(32, 112, 112),
+            ofm: TensorShape::chw(32, 112, 112),
+            weights: WeightShape::new(32, 1, 3, 3),
+            biases: 32,
+            act: Activation::Relu6,
+            pad_stride: PadStride::symmetric(1, 1),
+        };
+        let expected = 2.0 * 32.0 * 112.0 * 112.0 * 9.0;
+        assert_eq!(l.flops(), expected);
+    }
+
+    #[test]
+    fn weightless_layer_zero_weight_bytes() {
+        let l = LayerDesc {
+            index: 1,
+            ty: LayerType::Add,
+            ifm: TensorShape::chw(256, 14, 14),
+            ofm: TensorShape::chw(256, 14, 14),
+            weights: WeightShape::none(),
+            biases: 0,
+            act: Activation::Relu,
+            pad_stride: PadStride::unit(),
+        };
+        assert_eq!(l.weight_bytes(), 0);
+        assert!(l.flops() > 0.0);
+    }
+
+    #[test]
+    fn feature_positions_match_equation1() {
+        let f = conv_layer().feature_vec();
+        assert_eq!(f[0], 3.0); // index j
+        assert_eq!(f[1], LayerType::Conv.code() as f32); // type t
+        assert_eq!(f[2..6], [1.0, 64.0, 56.0, 56.0]); // ifm
+        assert_eq!(f[6..10], [1.0, 128.0, 28.0, 28.0]); // ofm
+        assert_eq!(f[10..14], [128.0, 64.0, 3.0, 3.0]); // weights
+        assert_eq!(f[14], 128.0); // biases
+        assert_eq!(f[15], Activation::Relu.code() as f32); // activation
+        assert_eq!(f[16..22], [1.0, 1.0, 1.0, 1.0, 2.0, 2.0]); // pad-stride
+    }
+
+    #[test]
+    fn normalized_features_bounded() {
+        for v in conv_layer().normalized_features() {
+            assert!((0.0..=1.5).contains(&v), "normalized feature out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn layer_type_codes_unique() {
+        let mut codes: Vec<u32> = LayerType::all().iter().map(|t| t.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), LayerType::all().len());
+    }
+
+    #[test]
+    fn tensor_shape_accounting() {
+        let s = TensorShape::chw(3, 224, 224);
+        assert_eq!(s.elements(), 3 * 224 * 224);
+        assert_eq!(s.bytes(), 3 * 224 * 224 * 4);
+        assert_eq!(s.to_string(), "1x3x224x224");
+    }
+}

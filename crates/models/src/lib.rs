@@ -1,0 +1,35 @@
+//! DNN model zoo for the RankMap reproduction.
+//!
+//! The paper trains and evaluates on a pool of 23 computer-vision DNNs (plus
+//! Inception-ResNet-V1 in its dynamic-workload experiment). This crate
+//! provides layer-accurate *descriptions* of those architectures — not
+//! runnable networks: what the scheduler needs is, per layer, the paper's
+//! 22-dimensional feature vector (Equation 1) together with FLOPs and byte
+//! counts, and a segmentation of each network into *schedulable units*
+//! (the valid partition points between pipeline stages).
+//!
+//! Unit counts match the paper where it states them (AlexNet 8,
+//! MobileNet 20, ResNet-50 18, ShuffleNet 18).
+//!
+//! # Example
+//!
+//! ```
+//! use rankmap_models::ModelId;
+//!
+//! let resnet = ModelId::ResNet50.build();
+//! assert_eq!(resnet.unit_count(), 18);
+//! let gflops = resnet.total_flops() / 1e9;
+//! assert!(gflops > 6.0 && gflops < 10.0, "ResNet-50 ≈ 8 GFLOPs, got {gflops}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod layer;
+pub mod model;
+pub mod zoo;
+
+pub use builder::NetBuilder;
+pub use layer::{Activation, LayerDesc, LayerType, PadStride, TensorShape, WeightShape, FEATURE_DIM};
+pub use model::{DnnModel, ModelId, Unit};

@@ -1,0 +1,51 @@
+//! AlexNet (Krizhevsky et al., 2012) — 8 schedulable units, matching the
+//! paper's "8 valid partition points" for AlexNet.
+
+use crate::builder::NetBuilder;
+use crate::layer::Activation::{Relu, Softmax};
+use crate::model::{DnnModel, ModelId};
+
+/// Builds AlexNet at its canonical 227×227 input.
+pub fn build(id: ModelId) -> DnnModel {
+    let mut b = NetBuilder::new(3, 227, 227);
+    b.conv(96, 11, 4, 0, Relu).pool_max(3, 2, 0).end_unit("conv1");
+    // conv2/4/5 use the original two-tower grouping (groups = 2).
+    b.gconv(256, 5, 1, 2, 2, Relu).pool_max(3, 2, 0).end_unit("conv2");
+    b.conv(384, 3, 1, 1, Relu).end_unit("conv3");
+    b.gconv(384, 3, 1, 1, 2, Relu).end_unit("conv4");
+    b.gconv(256, 3, 1, 1, 2, Relu).pool_max(3, 2, 0).end_unit("conv5");
+    b.fc(4096, Relu).end_unit("fc6");
+    b.fc(4096, Relu).end_unit("fc7");
+    b.fc(1000, Softmax).end_unit("fc8");
+    b.finish(id, "AlexNet")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_has_8_units() {
+        assert_eq!(build(ModelId::AlexNet).unit_count(), 8);
+    }
+
+    #[test]
+    fn alexnet_flops_near_1_4_gflops() {
+        let g = build(ModelId::AlexNet).total_flops() / 1e9;
+        assert!((1.0..2.2).contains(&g), "AlexNet ≈ 1.4 GFLOPs, got {g}");
+    }
+
+    #[test]
+    fn alexnet_params_near_60m() {
+        let mb = build(ModelId::AlexNet).total_weight_bytes() as f64 / 1e6;
+        assert!((200.0..280.0).contains(&mb), "AlexNet ≈ 240 MB f32 weights, got {mb}");
+    }
+
+    #[test]
+    fn conv1_output_is_55x55() {
+        let m = build(ModelId::AlexNet);
+        let first = m.layers().next().unwrap();
+        assert_eq!((first.ofm.h, first.ofm.w), (55, 55));
+        assert_eq!(first.ofm.c, 96);
+    }
+}

@@ -1,0 +1,94 @@
+//! DenseNet-121 / DenseNet-169 (Huang et al., 2017), growth rate 32.
+//!
+//! Dense blocks are grouped into units (large blocks split in two) so the
+//! unit count stays in the same regime as the rest of the pool.
+
+use crate::builder::NetBuilder;
+use crate::layer::Activation::{self, Relu, Softmax};
+use crate::model::{DnnModel, ModelId};
+
+const GROWTH: u32 = 32;
+
+/// One dense layer: BN → 1×1 conv (4·growth) → 3×3 conv (growth) → concat.
+fn dense_layer(b: &mut NetBuilder) {
+    let cin = b.shape();
+    b.bn(Relu);
+    b.conv(4 * GROWTH, 1, 1, 0, Relu);
+    b.conv(GROWTH, 3, 1, 1, Activation::None);
+    b.concat_to(cin.c + GROWTH);
+}
+
+/// Transition: BN → 1×1 conv halving channels → 2×2 average pool.
+fn transition(b: &mut NetBuilder, name: &str) {
+    let cin = b.shape();
+    b.bn(Relu);
+    b.conv(cin.c / 2, 1, 1, 0, Activation::None);
+    b.pool_avg(2, 2, 0);
+    b.end_unit(name);
+}
+
+fn build(id: ModelId, name: &str, blocks: [usize; 4]) -> DnnModel {
+    let mut b = NetBuilder::new(3, 224, 224);
+    b.conv(64, 7, 2, 3, Relu).pool_max(3, 2, 1).end_unit("stem");
+    for (bi, &layers) in blocks.iter().enumerate() {
+        // Split blocks with more than 12 layers into two units.
+        let halves: Vec<usize> =
+            if layers > 12 { vec![layers / 2, layers - layers / 2] } else { vec![layers] };
+        for (hi, &n) in halves.iter().enumerate() {
+            for _ in 0..n {
+                dense_layer(&mut b);
+            }
+            let suffix = if halves.len() > 1 { format!("{}", (b'a' + hi as u8) as char) } else { String::new() };
+            b.end_unit(format!("dense{}{}", bi + 1, suffix));
+        }
+        if bi < 3 {
+            transition(&mut b, &format!("trans{}", bi + 1));
+        }
+    }
+    b.bn(Relu).global_avg_pool().fc(1000, Softmax).end_unit("head");
+    b.finish(id, name)
+}
+
+/// Builds DenseNet-121 (blocks 6/12/24/16).
+pub fn build_121(id: ModelId) -> DnnModel {
+    build(id, "DenseNet-121", [6, 12, 24, 16])
+}
+
+/// Builds DenseNet-169 (blocks 6/12/32/32).
+pub fn build_169(id: ModelId) -> DnnModel {
+    build(id, "DenseNet-169", [6, 12, 32, 32])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densenet121_unit_count() {
+        // stem + 1 + t + 1 + t + 2 + t + 2 + head = 11
+        assert_eq!(build_121(ModelId::DenseNet121).unit_count(), 11);
+    }
+
+    #[test]
+    fn densenet169_deeper_than_121() {
+        let d121 = build_121(ModelId::DenseNet121);
+        let d169 = build_169(ModelId::DenseNet169);
+        assert!(d169.layer_count() > d121.layer_count());
+        assert!(d169.total_flops() > d121.total_flops());
+    }
+
+    #[test]
+    fn densenet121_flops_plausible() {
+        let g = build_121(ModelId::DenseNet121).total_flops() / 1e9;
+        // Reference ≈ 5.7 GFLOPs (2×MAC).
+        assert!((4.0..8.0).contains(&g), "DenseNet-121 ≈ 5.7 GFLOPs, got {g}");
+    }
+
+    #[test]
+    fn channels_grow_by_growth_rate() {
+        let m = build_121(ModelId::DenseNet121);
+        // First dense block: 64 input + 6 layers × 32 growth = 256 channels.
+        let db1 = &m.units()[1];
+        assert_eq!(db1.output_shape().c, 64 + 6 * GROWTH);
+    }
+}

@@ -1,0 +1,126 @@
+//! Detection models: SSD with MobileNet backbone and YOLO-V3.
+
+use crate::builder::NetBuilder;
+use crate::layer::Activation::{self, LeakyRelu, Relu6, Sigmoid};
+use crate::model::{DnnModel, ModelId};
+use crate::zoo::mobilenet;
+
+/// Builds SSD-MobileNet at 300×300 (20 units: backbone + extras + heads).
+pub fn build_ssd_mobilenet(id: ModelId) -> DnnModel {
+    let mut b = NetBuilder::new(3, 300, 300);
+    mobilenet::v1_backbone(&mut b, false);
+    // Extra feature layers pyramid: 1×1 reduce + 3×3 stride-2 expand.
+    let extras: [(u32, u32); 4] = [(256, 512), (128, 256), (128, 256), (64, 128)];
+    for (i, &(reduce, out)) in extras.iter().enumerate() {
+        b.conv(reduce, 1, 1, 0, Relu6).conv(out, 3, 2, 1, Relu6);
+        b.end_unit(format!("extra{}", i + 1));
+    }
+    // Detection heads over two of the scales (class + box convs).
+    let head_in = b.shape();
+    b.conv(24, 3, 1, 1, Activation::None).conv(546, 3, 1, 1, Sigmoid);
+    b.end_unit("head_cls");
+    b.set_shape(head_in);
+    b.conv(24, 3, 1, 1, Activation::None).conv(24, 3, 1, 1, Activation::None);
+    b.end_unit("head_box");
+    b.finish(id, "SSD-MobileNet")
+}
+
+/// Darknet residual block: 1×1 halve → 3×3 restore → add.
+fn darknet_res(b: &mut NetBuilder, c: u32) {
+    b.conv(c / 2, 1, 1, 0, LeakyRelu);
+    b.conv(c, 3, 1, 1, LeakyRelu);
+    b.add(Activation::None);
+}
+
+/// YOLO conv-set: alternating 1×1/3×3 convolutions ending at `c` channels.
+fn conv_set(b: &mut NetBuilder, c: u32) {
+    b.conv(c, 1, 1, 0, LeakyRelu);
+    b.conv(c * 2, 3, 1, 1, LeakyRelu);
+    b.conv(c, 1, 1, 0, LeakyRelu);
+    b.conv(c * 2, 3, 1, 1, LeakyRelu);
+    b.conv(c, 1, 1, 0, LeakyRelu);
+}
+
+/// Builds YOLO-V3 (Darknet-53 backbone) at 416×416 (14 units).
+pub fn build_yolo_v3(id: ModelId) -> DnnModel {
+    let mut b = NetBuilder::new(3, 416, 416);
+    b.conv(32, 3, 1, 1, LeakyRelu).end_unit("stem");
+    // Downsample stages with residual blocks: (channels, blocks, units).
+    let stages: [(u32, usize, usize); 5] =
+        [(64, 1, 1), (128, 2, 1), (256, 8, 2), (512, 8, 2), (1024, 4, 1)];
+    for (si, &(c, blocks, units)) in stages.iter().enumerate() {
+        b.conv(c, 3, 2, 1, LeakyRelu);
+        let per_unit = blocks.div_ceil(units);
+        let mut emitted = 0;
+        for ui in 0..units {
+            let n = per_unit.min(blocks - emitted);
+            for _ in 0..n {
+                darknet_res(&mut b, c);
+            }
+            emitted += n;
+            b.end_unit(format!("dark{}_{}", si + 1, ui + 1));
+        }
+    }
+    // Head 1 at 13×13.
+    conv_set(&mut b, 512);
+    b.end_unit("convset1");
+    let route1 = b.shape();
+    b.conv(1024, 3, 1, 1, LeakyRelu).conv(255, 1, 1, 0, Activation::None);
+    b.end_unit("detect1");
+    // Neck to 26×26.
+    b.set_shape(route1);
+    b.conv(256, 1, 1, 0, LeakyRelu).upsample2().concat_to(256 + 512);
+    b.end_unit("neck1");
+    conv_set(&mut b, 256);
+    let route2 = b.shape();
+    b.conv(512, 3, 1, 1, LeakyRelu).conv(255, 1, 1, 0, Activation::None);
+    b.end_unit("detect2");
+    // Neck to 52×52.
+    b.set_shape(route2);
+    b.conv(128, 1, 1, 0, LeakyRelu).upsample2().concat_to(128 + 256);
+    b.end_unit("neck2");
+    conv_set(&mut b, 128);
+    b.conv(256, 3, 1, 1, LeakyRelu).conv(255, 1, 1, 0, Activation::None);
+    b.end_unit("detect3");
+    b.finish(id, "YOLO-V3")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssd_unit_count() {
+        assert_eq!(build_ssd_mobilenet(ModelId::SsdMobileNet).unit_count(), 20);
+    }
+
+    #[test]
+    fn yolo_unit_count() {
+        assert_eq!(build_yolo_v3(ModelId::YoloV3).unit_count(), 14);
+    }
+
+    #[test]
+    fn yolo_is_heavy() {
+        let g = build_yolo_v3(ModelId::YoloV3).total_flops() / 1e9;
+        assert!(g > 40.0, "YOLO-V3 at 416 ≈ 65 GFLOPs (2×MAC), got {g}");
+    }
+
+    #[test]
+    fn ssd_multiscale_pyramid_shrinks() {
+        let m = build_ssd_mobilenet(ModelId::SsdMobileNet);
+        let e1 = m.units().iter().find(|u| u.name == "extra1").unwrap();
+        let e4 = m.units().iter().find(|u| u.name == "extra4").unwrap();
+        assert!(e4.output_shape().h < e1.output_shape().h);
+    }
+
+    #[test]
+    fn yolo_has_three_detect_heads() {
+        let m = build_yolo_v3(ModelId::YoloV3);
+        let heads =
+            m.units().iter().filter(|u| u.name.starts_with("detect")).count();
+        assert_eq!(heads, 3);
+        for u in m.units().iter().filter(|u| u.name.starts_with("detect")) {
+            assert_eq!(u.output_shape().c, 255);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! EfficientNet B0–B2 (Tan & Le, 2019) with squeeze-and-excite MBConv
+//! blocks. One unit per MBConv block plus stem and head units.
+
+use crate::builder::NetBuilder;
+use crate::layer::Activation::{self, Sigmoid, Softmax, Swish};
+use crate::model::{DnnModel, ModelId};
+
+/// Mobile inverted bottleneck with squeeze-and-excite.
+fn mbconv(b: &mut NetBuilder, name: &str, out: u32, expand: u32, k: u32, s: u32) {
+    let cell_in = b.shape();
+    let mid = cell_in.c * expand;
+    if expand > 1 {
+        b.conv(mid, 1, 1, 0, Swish);
+    }
+    b.dwconv(k, s, Swish);
+    let main = b.shape();
+    // Squeeze-and-excite: pool to 1×1, bottleneck FCs, channel-wise gate.
+    let se = (cell_in.c / 4).max(4);
+    b.global_avg_pool();
+    b.fc(se, Swish);
+    b.fc(mid, Sigmoid);
+    b.set_shape(main);
+    b.mul();
+    b.conv(out, 1, 1, 0, Activation::None);
+    if s == 1 && cell_in.c == out {
+        b.add(Activation::None);
+    }
+    b.end_unit(name);
+}
+
+/// Stage configuration: `(expand, out_c, repeats, stride, kernel)`.
+type Stage = (u32, u32, usize, u32, u32);
+
+fn build(id: ModelId, name: &str, input: u32, stem: u32, head: u32, stages: &[Stage]) -> DnnModel {
+    let mut b = NetBuilder::new(3, input, input);
+    b.conv(stem, 3, 2, 1, Swish).end_unit("stem");
+    let mut idx = 1;
+    for &(e, c, n, s, k) in stages {
+        for r in 0..n {
+            let stride = if r == 0 { s } else { 1 };
+            mbconv(&mut b, &format!("mbconv{}", idx), c, e, k, stride);
+            idx += 1;
+        }
+    }
+    b.conv(head, 1, 1, 0, Swish).end_unit("conv_head");
+    b.global_avg_pool().fc(1000, Softmax).end_unit("fc");
+    b.finish(id, name)
+}
+
+/// Builds EfficientNet-B0 at 224×224 (19 units).
+pub fn build_b0(id: ModelId) -> DnnModel {
+    let stages: [Stage; 7] = [
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 40, 2, 2, 5),
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ];
+    build(id, "EfficientNet-B0", 224, 32, 1280, &stages)
+}
+
+/// Builds EfficientNet-B1 at 240×240 (26 units).
+pub fn build_b1(id: ModelId) -> DnnModel {
+    let stages: [Stage; 7] = [
+        (1, 16, 2, 1, 3),
+        (6, 24, 3, 2, 3),
+        (6, 40, 3, 2, 5),
+        (6, 80, 4, 2, 3),
+        (6, 112, 4, 1, 5),
+        (6, 192, 5, 2, 5),
+        (6, 320, 2, 1, 3),
+    ];
+    build(id, "EfficientNet-B1", 240, 32, 1280, &stages)
+}
+
+/// Builds EfficientNet-B2 at 260×260 (26 units, wider than B1).
+pub fn build_b2(id: ModelId) -> DnnModel {
+    let stages: [Stage; 7] = [
+        (1, 16, 2, 1, 3),
+        (6, 24, 3, 2, 3),
+        (6, 48, 3, 2, 5),
+        (6, 88, 4, 2, 3),
+        (6, 120, 4, 1, 5),
+        (6, 208, 5, 2, 5),
+        (6, 352, 2, 1, 3),
+    ];
+    build(id, "EfficientNet-B2", 260, 32, 1408, &stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b0_unit_count() {
+        assert_eq!(build_b0(ModelId::EfficientNetB0).unit_count(), 19);
+    }
+
+    #[test]
+    fn b1_b2_unit_count() {
+        assert_eq!(build_b1(ModelId::EfficientNetB1).unit_count(), 26);
+        assert_eq!(build_b2(ModelId::EfficientNetB2).unit_count(), 26);
+    }
+
+    #[test]
+    fn scaling_increases_cost() {
+        let b0 = build_b0(ModelId::EfficientNetB0).total_flops();
+        let b1 = build_b1(ModelId::EfficientNetB1).total_flops();
+        let b2 = build_b2(ModelId::EfficientNetB2).total_flops();
+        assert!(b0 < b1 && b1 < b2, "B0 < B1 < B2 FLOPs expected");
+    }
+
+    #[test]
+    fn b0_flops_near_0_8g() {
+        let g = build_b0(ModelId::EfficientNetB0).total_flops() / 1e9;
+        assert!((0.5..1.5).contains(&g), "EfficientNet-B0 ≈ 0.8 GFLOPs, got {g}");
+    }
+
+    #[test]
+    fn se_blocks_present() {
+        let m = build_b0(ModelId::EfficientNetB0);
+        let gates = m.layers().filter(|l| l.ty == crate::LayerType::Mul).count();
+        assert_eq!(gates, 16, "one SE gate per MBConv block");
+    }
+}

@@ -1,0 +1,418 @@
+//! The Inception family: GoogleNet, Inception-V3, Inception-V4, and the
+//! residual variants Inception-ResNet-V1/V2.
+//!
+//! Cells are linearized (branch layers emitted sequentially, fused with a
+//! `Concat`/`Add` layer) since units are scheduled atomically.
+
+use crate::builder::NetBuilder;
+use crate::layer::Activation::{self, Relu, Softmax};
+use crate::layer::TensorShape;
+use crate::model::{DnnModel, ModelId};
+
+/// Classic GoogLeNet inception cell with four branches.
+fn googlenet_cell(b: &mut NetBuilder, b1: u32, b3r: u32, b3: u32, b5r: u32, b5: u32, pp: u32) {
+    let cin = b.shape();
+    b.conv(b1, 1, 1, 0, Relu);
+    b.set_shape(cin);
+    b.conv(b3r, 1, 1, 0, Relu).conv(b3, 3, 1, 1, Relu);
+    b.set_shape(cin);
+    b.conv(b5r, 1, 1, 0, Relu).conv(b5, 5, 1, 2, Relu);
+    b.set_shape(cin);
+    b.pool_max(3, 1, 1).conv(pp, 1, 1, 0, Relu);
+    b.concat_to(b1 + b3 + b5 + pp);
+}
+
+/// Builds GoogLeNet (Inception-V1) at 224×224 (12 units).
+pub fn build_googlenet(id: ModelId) -> DnnModel {
+    let mut b = NetBuilder::new(3, 224, 224);
+    b.conv(64, 7, 2, 3, Relu).pool_max(3, 2, 1).end_unit("stem_a");
+    b.conv(64, 1, 1, 0, Relu).conv(192, 3, 1, 1, Relu).pool_max(3, 2, 1).end_unit("stem_b");
+    googlenet_cell(&mut b, 64, 96, 128, 16, 32, 32);
+    b.end_unit("inception3a");
+    googlenet_cell(&mut b, 128, 128, 192, 32, 96, 64);
+    b.pool_max(3, 2, 1);
+    b.end_unit("inception3b");
+    googlenet_cell(&mut b, 192, 96, 208, 16, 48, 64);
+    b.end_unit("inception4a");
+    googlenet_cell(&mut b, 160, 112, 224, 24, 64, 64);
+    b.end_unit("inception4b");
+    googlenet_cell(&mut b, 128, 128, 256, 24, 64, 64);
+    b.end_unit("inception4c");
+    googlenet_cell(&mut b, 112, 144, 288, 32, 64, 64);
+    b.end_unit("inception4d");
+    googlenet_cell(&mut b, 256, 160, 320, 32, 128, 128);
+    b.pool_max(3, 2, 1);
+    b.end_unit("inception4e");
+    googlenet_cell(&mut b, 256, 160, 320, 32, 128, 128);
+    b.end_unit("inception5a");
+    googlenet_cell(&mut b, 384, 192, 384, 48, 128, 128);
+    b.end_unit("inception5b");
+    b.global_avg_pool().fc(1000, Softmax).end_unit("head");
+    b.finish(id, "GoogleNet")
+}
+
+/// Builds Inception-V3 at 299×299 (14 units).
+pub fn build_v3(id: ModelId) -> DnnModel {
+    let mut b = NetBuilder::new(3, 299, 299);
+    b.conv(32, 3, 2, 0, Relu).conv(32, 3, 1, 0, Relu).conv(64, 3, 1, 1, Relu).pool_max(3, 2, 0);
+    b.end_unit("stem_a");
+    b.conv(80, 1, 1, 0, Relu).conv(192, 3, 1, 0, Relu).pool_max(3, 2, 0).end_unit("stem_b");
+    // 3 × InceptionA at 35×35.
+    for (i, pp) in [32u32, 64, 64].iter().enumerate() {
+        let cin = b.shape();
+        b.conv(64, 1, 1, 0, Relu);
+        b.set_shape(cin);
+        b.conv(48, 1, 1, 0, Relu).conv(64, 5, 1, 2, Relu);
+        b.set_shape(cin);
+        b.conv(64, 1, 1, 0, Relu).conv(96, 3, 1, 1, Relu).conv(96, 3, 1, 1, Relu);
+        b.set_shape(cin);
+        b.pool_avg(3, 1, 1).conv(*pp, 1, 1, 0, Relu);
+        b.concat_to(64 + 64 + 96 + pp);
+        b.end_unit(format!("mixed5{}", (b'b' + i as u8) as char));
+    }
+    // Reduction A: 35 → 17.
+    {
+        let cin = b.shape();
+        b.conv(384, 3, 2, 0, Relu);
+        b.set_shape(cin);
+        b.conv(64, 1, 1, 0, Relu).conv(96, 3, 1, 1, Relu).conv(96, 3, 2, 0, Relu);
+        b.set_shape(cin);
+        b.pool_max(3, 2, 0);
+        b.concat_to(cin.c + 384 + 96);
+        b.end_unit("mixed6a");
+    }
+    // 4 × InceptionB at 17×17 with factorized 7×1/1×7 convolutions.
+    for (i, mid) in [128u32, 160, 160, 192].iter().enumerate() {
+        let cin = b.shape();
+        let m = *mid;
+        b.conv(192, 1, 1, 0, Relu);
+        b.set_shape(cin);
+        b.conv(m, 1, 1, 0, Relu)
+            .conv_rect(m, (1, 7), 1, (0, 3), Relu)
+            .conv_rect(192, (7, 1), 1, (3, 0), Relu);
+        b.set_shape(cin);
+        b.conv(m, 1, 1, 0, Relu)
+            .conv_rect(m, (7, 1), 1, (3, 0), Relu)
+            .conv_rect(m, (1, 7), 1, (0, 3), Relu)
+            .conv_rect(m, (7, 1), 1, (3, 0), Relu)
+            .conv_rect(192, (1, 7), 1, (0, 3), Relu);
+        b.set_shape(cin);
+        b.pool_avg(3, 1, 1).conv(192, 1, 1, 0, Relu);
+        b.concat_to(768);
+        b.end_unit(format!("mixed6{}", (b'b' + i as u8) as char));
+    }
+    // Reduction B: 17 → 8.
+    {
+        let cin = b.shape();
+        b.conv(192, 1, 1, 0, Relu).conv(320, 3, 2, 0, Relu);
+        b.set_shape(cin);
+        b.conv(192, 1, 1, 0, Relu)
+            .conv_rect(192, (1, 7), 1, (0, 3), Relu)
+            .conv_rect(192, (7, 1), 1, (3, 0), Relu)
+            .conv(192, 3, 2, 0, Relu);
+        b.set_shape(cin);
+        b.pool_max(3, 2, 0);
+        b.concat_to(cin.c + 320 + 192);
+        b.end_unit("mixed7a");
+    }
+    // 2 × InceptionC at 8×8.
+    for i in 0..2 {
+        let cin = b.shape();
+        b.conv(320, 1, 1, 0, Relu);
+        b.set_shape(cin);
+        b.conv(384, 1, 1, 0, Relu);
+        let mid = b.shape();
+        b.conv_rect(384, (1, 3), 1, (0, 1), Relu);
+        b.set_shape(mid);
+        b.conv_rect(384, (3, 1), 1, (1, 0), Relu);
+        b.set_shape(cin);
+        b.conv(448, 1, 1, 0, Relu).conv(384, 3, 1, 1, Relu);
+        let mid2 = b.shape();
+        b.conv_rect(384, (1, 3), 1, (0, 1), Relu);
+        b.set_shape(mid2);
+        b.conv_rect(384, (3, 1), 1, (1, 0), Relu);
+        b.set_shape(cin);
+        b.pool_avg(3, 1, 1).conv(192, 1, 1, 0, Relu);
+        b.concat_to(320 + 768 + 768 + 192);
+        b.end_unit(format!("mixed7{}", (b'b' + i as u8) as char));
+    }
+    b.global_avg_pool().fc(1000, Softmax).end_unit("head");
+    b.finish(id, "Inception-V3")
+}
+
+/// Builds Inception-V4 at 299×299 (20 units).
+pub fn build_v4(id: ModelId) -> DnnModel {
+    let mut b = NetBuilder::new(3, 299, 299);
+    b.conv(32, 3, 2, 0, Relu).conv(32, 3, 1, 0, Relu).conv(64, 3, 1, 1, Relu);
+    b.end_unit("stem_a");
+    // Mixed 3a: pool + conv 96, concat to 160 at 73×73.
+    {
+        let cin = b.shape();
+        b.pool_max(3, 2, 0);
+        b.set_shape(cin);
+        b.conv(96, 3, 2, 0, Relu);
+        b.concat_to(160);
+        b.end_unit("stem_b");
+    }
+    // Mixed 4a/5a: factorized branches down to 384 at 35×35.
+    {
+        let cin = b.shape();
+        b.conv(64, 1, 1, 0, Relu).conv(96, 3, 1, 0, Relu);
+        b.set_shape(cin);
+        b.conv(64, 1, 1, 0, Relu)
+            .conv_rect(64, (1, 7), 1, (0, 3), Relu)
+            .conv_rect(64, (7, 1), 1, (3, 0), Relu)
+            .conv(96, 3, 1, 0, Relu);
+        b.concat_to(192);
+        b.conv(192, 3, 2, 0, Relu);
+        b.concat_to(384);
+        b.end_unit("stem_c");
+    }
+    // 4 × InceptionA.
+    for i in 0..4 {
+        let cin = b.shape();
+        b.conv(96, 1, 1, 0, Relu);
+        b.set_shape(cin);
+        b.conv(64, 1, 1, 0, Relu).conv(96, 3, 1, 1, Relu);
+        b.set_shape(cin);
+        b.conv(64, 1, 1, 0, Relu).conv(96, 3, 1, 1, Relu).conv(96, 3, 1, 1, Relu);
+        b.set_shape(cin);
+        b.pool_avg(3, 1, 1).conv(96, 1, 1, 0, Relu);
+        b.concat_to(384);
+        b.end_unit(format!("inceptionA{}", i + 1));
+    }
+    // Reduction A: 35 → 17, 384 → 1024.
+    {
+        let cin = b.shape();
+        b.conv(384, 3, 2, 0, Relu);
+        b.set_shape(cin);
+        b.conv(192, 1, 1, 0, Relu).conv(224, 3, 1, 1, Relu).conv(256, 3, 2, 0, Relu);
+        b.set_shape(cin);
+        b.pool_max(3, 2, 0);
+        b.concat_to(cin.c + 384 + 256);
+        b.end_unit("reductionA");
+    }
+    // 7 × InceptionB.
+    for i in 0..7 {
+        let cin = b.shape();
+        b.conv(384, 1, 1, 0, Relu);
+        b.set_shape(cin);
+        b.conv(192, 1, 1, 0, Relu)
+            .conv_rect(224, (1, 7), 1, (0, 3), Relu)
+            .conv_rect(256, (7, 1), 1, (3, 0), Relu);
+        b.set_shape(cin);
+        b.conv(192, 1, 1, 0, Relu)
+            .conv_rect(192, (7, 1), 1, (3, 0), Relu)
+            .conv_rect(224, (1, 7), 1, (0, 3), Relu)
+            .conv_rect(224, (7, 1), 1, (3, 0), Relu)
+            .conv_rect(256, (1, 7), 1, (0, 3), Relu);
+        b.set_shape(cin);
+        b.pool_avg(3, 1, 1).conv(128, 1, 1, 0, Relu);
+        b.concat_to(1024);
+        b.end_unit(format!("inceptionB{}", i + 1));
+    }
+    // Reduction B: 17 → 8, 1024 → 1536.
+    {
+        let cin = b.shape();
+        b.conv(192, 1, 1, 0, Relu).conv(192, 3, 2, 0, Relu);
+        b.set_shape(cin);
+        b.conv(256, 1, 1, 0, Relu)
+            .conv_rect(256, (1, 7), 1, (0, 3), Relu)
+            .conv_rect(320, (7, 1), 1, (3, 0), Relu)
+            .conv(320, 3, 2, 0, Relu);
+        b.set_shape(cin);
+        b.pool_max(3, 2, 0);
+        b.concat_to(cin.c + 192 + 320);
+        b.end_unit("reductionB");
+    }
+    // 3 × InceptionC.
+    for i in 0..3 {
+        let cin = b.shape();
+        b.conv(256, 1, 1, 0, Relu);
+        b.set_shape(cin);
+        b.conv(384, 1, 1, 0, Relu);
+        let mid = b.shape();
+        b.conv_rect(256, (1, 3), 1, (0, 1), Relu);
+        b.set_shape(mid);
+        b.conv_rect(256, (3, 1), 1, (1, 0), Relu);
+        b.set_shape(cin);
+        b.conv(384, 1, 1, 0, Relu)
+            .conv_rect(448, (1, 3), 1, (0, 1), Relu)
+            .conv_rect(512, (3, 1), 1, (1, 0), Relu);
+        let mid2 = b.shape();
+        b.conv_rect(256, (3, 1), 1, (1, 0), Relu);
+        b.set_shape(mid2);
+        b.conv_rect(256, (1, 3), 1, (0, 1), Relu);
+        b.set_shape(cin);
+        b.pool_avg(3, 1, 1).conv(256, 1, 1, 0, Relu);
+        b.concat_to(1536);
+        b.end_unit(format!("inceptionC{}", i + 1));
+    }
+    b.global_avg_pool().fc(1000, Softmax).end_unit("head");
+    b.finish(id, "Inception-V4")
+}
+
+/// Residual inception block: parallel small branches concatenated, projected
+/// back to `out` channels by a linear 1×1 conv, then residual-added.
+fn resnet_block(
+    b: &mut NetBuilder,
+    cin: TensorShape,
+    branches: &[&[(u32, (u32, u32), (u32, u32))]],
+    out: u32,
+) {
+    let mut concat_c = 0;
+    for branch in branches {
+        b.set_shape(cin);
+        for &(c, (kh, kw), (ph, pw)) in *branch {
+            b.conv_rect(c, (kh, kw), 1, (ph, pw), Relu);
+        }
+        concat_c += branch.last().unwrap().0;
+    }
+    b.concat_to(concat_c);
+    b.conv(out, 1, 1, 0, Activation::None);
+    b.add(Relu);
+}
+
+fn build_inception_resnet(id: ModelId, name: &str, v2: bool) -> DnnModel {
+    let mut b = NetBuilder::new(3, 299, 299);
+    // Stem.
+    b.conv(32, 3, 2, 0, Relu).conv(32, 3, 1, 0, Relu).conv(64, 3, 1, 1, Relu).pool_max(3, 2, 0);
+    b.end_unit("stem_a");
+    let stem_c: u32 = if v2 { 384 } else { 256 };
+    b.conv(80, 1, 1, 0, Relu).conv(192, 3, 1, 0, Relu).conv(stem_c, 3, 2, 0, Relu);
+    b.end_unit("stem_b");
+    // 5 × block35 (Inception-ResNet-A).
+    let a_out = stem_c;
+    for i in 0..5 {
+        let cin = b.shape();
+        let b3: &[(u32, (u32, u32), (u32, u32))] =
+            &[(32, (1, 1), (0, 0)), (32, (3, 3), (1, 1))];
+        let b3b: &[(u32, (u32, u32), (u32, u32))] = if v2 {
+            &[(32, (1, 1), (0, 0)), (48, (3, 3), (1, 1)), (64, (3, 3), (1, 1))]
+        } else {
+            &[(32, (1, 1), (0, 0)), (32, (3, 3), (1, 1)), (32, (3, 3), (1, 1))]
+        };
+        let b1: &[(u32, (u32, u32), (u32, u32))] = &[(32, (1, 1), (0, 0))];
+        resnet_block(&mut b, cin, &[b1, b3, b3b], a_out);
+        b.end_unit(format!("block35_{}", i + 1));
+    }
+    // Reduction A.
+    {
+        let cin = b.shape();
+        b.conv(384, 3, 2, 0, Relu);
+        b.set_shape(cin);
+        b.conv(192, 1, 1, 0, Relu).conv(192, 3, 1, 1, Relu).conv(256, 3, 2, 0, Relu);
+        b.set_shape(cin);
+        b.pool_max(3, 2, 0);
+        b.concat_to(cin.c + 384 + 256);
+        b.end_unit("reductionA");
+    }
+    let b_out = b.shape().c;
+    // 10 × block17 (Inception-ResNet-B).
+    for i in 0..10 {
+        let cin = b.shape();
+        let (c1, c2, c3) = if v2 { (128, 160, 192) } else { (128, 128, 128) };
+        let br1: &[(u32, (u32, u32), (u32, u32))] = &[(c3, (1, 1), (0, 0))];
+        let br2: Vec<(u32, (u32, u32), (u32, u32))> =
+            vec![(c1, (1, 1), (0, 0)), (c2, (1, 7), (0, 3)), (c3, (7, 1), (3, 0))];
+        resnet_block(&mut b, cin, &[br1, &br2], b_out);
+        b.end_unit(format!("block17_{}", i + 1));
+    }
+    // Reduction B.
+    {
+        let cin = b.shape();
+        b.conv(256, 1, 1, 0, Relu).conv(384, 3, 2, 0, Relu);
+        b.set_shape(cin);
+        b.conv(256, 1, 1, 0, Relu).conv(256, 3, 2, 0, Relu);
+        b.set_shape(cin);
+        b.conv(256, 1, 1, 0, Relu).conv(256, 3, 1, 1, Relu).conv(256, 3, 2, 0, Relu);
+        b.set_shape(cin);
+        b.pool_max(3, 2, 0);
+        b.concat_to(cin.c + 384 + 256 + 256);
+        b.end_unit("reductionB");
+    }
+    let c_out = b.shape().c;
+    // 5 × block8 (Inception-ResNet-C).
+    for i in 0..5 {
+        let cin = b.shape();
+        let (c1, c2, c3) = if v2 { (192, 224, 256) } else { (192, 192, 192) };
+        let br1: &[(u32, (u32, u32), (u32, u32))] = &[(c3, (1, 1), (0, 0))];
+        let br2: Vec<(u32, (u32, u32), (u32, u32))> =
+            vec![(c1, (1, 1), (0, 0)), (c2, (1, 3), (0, 1)), (c3, (3, 1), (1, 0))];
+        resnet_block(&mut b, cin, &[br1, &br2], c_out);
+        b.end_unit(format!("block8_{}", i + 1));
+    }
+    b.global_avg_pool().fc(1000, Softmax).end_unit("head");
+    b.finish(id, name)
+}
+
+/// Builds Inception-ResNet-V1 at 299×299 (25 units) — the heavyweight model
+/// of the paper's Fig. 8 dynamic-workload experiment.
+pub fn build_inception_resnet_v1(id: ModelId) -> DnnModel {
+    build_inception_resnet(id, "Inception-ResNet-V1", false)
+}
+
+/// Builds Inception-ResNet-V2 at 299×299 (25 units).
+pub fn build_inception_resnet_v2(id: ModelId) -> DnnModel {
+    build_inception_resnet(id, "Inception-ResNet-V2", true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn googlenet_unit_count() {
+        assert_eq!(build_googlenet(ModelId::GoogleNet).unit_count(), 12);
+    }
+
+    #[test]
+    fn v3_unit_count() {
+        assert_eq!(build_v3(ModelId::InceptionV3).unit_count(), 14);
+    }
+
+    #[test]
+    fn v4_unit_count() {
+        assert_eq!(build_v4(ModelId::InceptionV4).unit_count(), 20);
+    }
+
+    #[test]
+    fn inception_resnet_unit_count() {
+        assert_eq!(build_inception_resnet_v1(ModelId::InceptionResnetV1).unit_count(), 25);
+        assert_eq!(build_inception_resnet_v2(ModelId::InceptionResnetV2).unit_count(), 25);
+    }
+
+    #[test]
+    fn v4_heavier_than_v3() {
+        let v3 = build_v3(ModelId::InceptionV3).total_flops();
+        let v4 = build_v4(ModelId::InceptionV4).total_flops();
+        assert!(v4 > v3, "Inception-V4 should out-cost V3");
+    }
+
+    #[test]
+    fn v3_flops_near_11g() {
+        let g = build_v3(ModelId::InceptionV3).total_flops() / 1e9;
+        assert!((8.0..15.0).contains(&g), "Inception-V3 ≈ 11 GFLOPs (2×MAC), got {g}");
+    }
+
+    #[test]
+    fn resnet_v2_wider_than_v1() {
+        let v1 = build_inception_resnet_v1(ModelId::InceptionResnetV1).total_flops();
+        let v2 = build_inception_resnet_v2(ModelId::InceptionResnetV2).total_flops();
+        assert!(v2 > v1);
+    }
+
+    #[test]
+    fn googlenet_final_channels_1024() {
+        let m = build_googlenet(ModelId::GoogleNet);
+        let b5 = m.units().iter().find(|u| u.name == "inception5b").unwrap();
+        assert_eq!(b5.output_shape().c, 1024);
+    }
+
+    #[test]
+    fn inception_models_have_many_small_kernels() {
+        // The defining property for scheduling: lots of kernel launches.
+        let v4 = build_v4(ModelId::InceptionV4);
+        assert!(v4.layer_count() > 100, "Inception-V4 has >100 layers");
+    }
+}

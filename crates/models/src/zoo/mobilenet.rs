@@ -1,0 +1,133 @@
+//! MobileNet V1 / V2 (Howard et al. 2017, Sandler et al. 2018).
+//!
+//! MobileNet V1 exposes 20 schedulable units (stride-2 separable blocks are
+//! split into depthwise and pointwise units), matching the paper's
+//! "20 valid partition points".
+
+use crate::builder::NetBuilder;
+use crate::layer::Activation::{self, Relu6, Softmax};
+use crate::model::{DnnModel, ModelId};
+
+/// The 13 depthwise-separable blocks of MobileNet V1: `(out_c, stride)`.
+pub const V1_BLOCKS: [(u32, u32); 13] = [
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+];
+
+/// Emits the MobileNet V1 backbone (conv1 + 13 separable blocks) into `b`.
+/// When `split_stride2` is set, stride-2 blocks become two units (dw + pw).
+/// Returns the number of units emitted.
+pub fn v1_backbone(b: &mut NetBuilder, split_stride2: bool) -> usize {
+    let mut units = 0;
+    b.conv(32, 3, 2, 1, Relu6).end_unit("conv1");
+    units += 1;
+    for (i, &(out, s)) in V1_BLOCKS.iter().enumerate() {
+        if split_stride2 && s == 2 {
+            b.dwconv(3, s, Relu6).end_unit(format!("sep{}_dw", i + 2));
+            b.conv(out, 1, 1, 0, Relu6).end_unit(format!("sep{}_pw", i + 2));
+            units += 2;
+        } else {
+            b.dwconv(3, s, Relu6).conv(out, 1, 1, 0, Relu6).end_unit(format!("sep{}", i + 2));
+            units += 1;
+        }
+    }
+    units
+}
+
+/// Builds MobileNet V1 at 224×224 (20 units).
+pub fn build_v1(id: ModelId) -> DnnModel {
+    let mut b = NetBuilder::new(3, 224, 224);
+    v1_backbone(&mut b, true);
+    b.global_avg_pool().end_unit("gap");
+    b.fc(1000, Softmax).end_unit("fc");
+    b.finish(id, "MobileNet")
+}
+
+/// Inverted-residual bottleneck of MobileNet V2.
+fn inverted_residual(b: &mut NetBuilder, name: &str, out: u32, expand: u32, s: u32) {
+    let cell_in = b.shape();
+    if expand > 1 {
+        b.conv(cell_in.c * expand, 1, 1, 0, Relu6);
+    }
+    b.dwconv(3, s, Relu6);
+    b.conv(out, 1, 1, 0, Activation::None);
+    if s == 1 && cell_in.c == out {
+        b.add(Activation::None);
+    }
+    b.end_unit(name);
+}
+
+/// Builds MobileNet V2 at 224×224 (20 units).
+pub fn build_v2(id: ModelId) -> DnnModel {
+    let mut b = NetBuilder::new(3, 224, 224);
+    b.conv(32, 3, 2, 1, Relu6).end_unit("conv1");
+    // (expand, out_c, repeats, first_stride)
+    let cfg: [(u32, u32, usize, u32); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut idx = 1;
+    for &(e, c, n, s) in &cfg {
+        for r in 0..n {
+            let stride = if r == 0 { s } else { 1 };
+            inverted_residual(&mut b, &format!("bottleneck{}", idx), c, e, stride);
+            idx += 1;
+        }
+    }
+    b.conv(1280, 1, 1, 0, Relu6).end_unit("conv_last");
+    b.global_avg_pool().fc(1000, Softmax).end_unit("head");
+    b.finish(id, "MobileNet-V2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobilenet_v1_has_20_units() {
+        assert_eq!(build_v1(ModelId::MobileNet).unit_count(), 20);
+    }
+
+    #[test]
+    fn mobilenet_v2_has_20_units() {
+        assert_eq!(build_v2(ModelId::MobileNetV2).unit_count(), 20);
+    }
+
+    #[test]
+    fn v1_flops_near_1_1g() {
+        let g = build_v1(ModelId::MobileNet).total_flops() / 1e9;
+        assert!((0.8..1.6).contains(&g), "MobileNet ≈ 1.1 GFLOPs, got {g}");
+    }
+
+    #[test]
+    fn v2_lighter_than_v1() {
+        assert!(
+            build_v2(ModelId::MobileNetV2).total_flops()
+                < build_v1(ModelId::MobileNet).total_flops()
+        );
+    }
+
+    #[test]
+    fn v1_final_spatial_is_7x7() {
+        let m = build_v1(ModelId::MobileNet);
+        let gap = m.units().iter().find(|u| u.name == "gap").unwrap();
+        assert_eq!(gap.layers[0].ifm.h, 7);
+        assert_eq!(gap.layers[0].ifm.c, 1024);
+    }
+}

@@ -1,0 +1,18 @@
+//! Architecture builders for the paper's model pool.
+//!
+//! Each family module exposes `build*` functions consumed by
+//! [`crate::ModelId::build`]. The descriptions use canonical layer
+//! configurations (channel widths, kernel sizes, strides) of the published
+//! architectures; branchy cells are linearized as documented in
+//! [`crate::NetBuilder`].
+
+pub mod alexnet;
+pub mod densenet;
+pub mod detection;
+pub mod efficientnet;
+pub mod inception;
+pub mod mobilenet;
+pub mod resnet;
+pub mod shufflenet;
+pub mod squeezenet;
+pub mod vgg;

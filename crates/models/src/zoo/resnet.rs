@@ -1,0 +1,158 @@
+//! ResNet family: ResNet-12, ResNet-50, ResNet-50-V2, ResNeXt-50.
+//!
+//! ResNet-50 exposes 18 schedulable units (stem + 16 bottlenecks + head),
+//! matching the paper's "18 valid partition points".
+
+use crate::builder::NetBuilder;
+use crate::layer::Activation::{self, Relu, Softmax};
+use crate::model::{DnnModel, ModelId};
+
+/// Emits one bottleneck unit: 1×1 reduce → 3×3 (stride `s`) → 1×1 expand,
+/// with a projection shortcut when the shape changes. `groups > 1` gives the
+/// ResNeXt variant; `pre_act` emits the V2 pre-activation BN layers.
+#[allow(clippy::too_many_arguments)]
+fn bottleneck(
+    b: &mut NetBuilder,
+    name: &str,
+    mid: u32,
+    out: u32,
+    s: u32,
+    groups: u32,
+    pre_act: bool,
+) {
+    let cell_in = b.shape();
+    if pre_act {
+        b.bn(Relu);
+    }
+    b.conv(mid, 1, 1, 0, Relu);
+    if groups > 1 {
+        b.gconv(mid, 3, s, 1, groups, Relu);
+    } else {
+        b.conv(mid, 3, s, 1, Relu);
+    }
+    b.conv(out, 1, 1, 0, Activation::None);
+    let main_out = b.shape();
+    if cell_in.c != out || s != 1 {
+        b.set_shape(cell_in);
+        b.conv(out, 1, s, 0, Activation::None);
+    }
+    b.set_shape(main_out);
+    b.add(Relu);
+    b.end_unit(name);
+}
+
+fn build_50_family(id: ModelId, name: &str, groups: u32, width_factor: u32, pre_act: bool) -> DnnModel {
+    let mut b = NetBuilder::new(3, 224, 224);
+    b.conv(64, 7, 2, 3, Relu).pool_max(3, 2, 1).end_unit("stem");
+    let stages: [(usize, u32, u32); 4] =
+        [(3, 64, 256), (4, 128, 512), (6, 256, 1024), (3, 512, 2048)];
+    for (si, &(blocks, mid, out)) in stages.iter().enumerate() {
+        for bi in 0..blocks {
+            let s = if si > 0 && bi == 0 { 2 } else { 1 };
+            bottleneck(
+                &mut b,
+                &format!("bottleneck{}_{}", si + 2, bi + 1),
+                mid * width_factor,
+                out,
+                s,
+                groups,
+                pre_act,
+            );
+        }
+    }
+    b.global_avg_pool().fc(1000, Softmax).end_unit("head");
+    b.finish(id, name)
+}
+
+/// Builds ResNet-50 (18 units).
+pub fn build_50(id: ModelId) -> DnnModel {
+    build_50_family(id, "ResNet-50", 1, 1, false)
+}
+
+/// Builds ResNet-50-V2 (pre-activation variant, 18 units).
+pub fn build_50_v2(id: ModelId) -> DnnModel {
+    build_50_family(id, "ResNet-50-V2", 1, 1, true)
+}
+
+/// Builds ResNeXt-50 32×4d (18 units).
+pub fn build_resnext_50(id: ModelId) -> DnnModel {
+    build_50_family(id, "ResNeXt-50", 32, 2, false)
+}
+
+/// Builds the compact ResNet-12 used in few-shot learning (84×84 input,
+/// 4 residual blocks of three 3×3 convolutions + classifier head).
+pub fn build_12(id: ModelId) -> DnnModel {
+    let mut b = NetBuilder::new(3, 84, 84);
+    let channels = [64u32, 160, 320, 640];
+    for (i, &c) in channels.iter().enumerate() {
+        let cell_in = b.shape();
+        b.conv(c, 3, 1, 1, Relu).conv(c, 3, 1, 1, Relu).conv(c, 3, 1, 1, Activation::None);
+        let main_out = b.shape();
+        if cell_in.c != c {
+            b.set_shape(cell_in);
+            b.conv(c, 1, 1, 0, Activation::None);
+        }
+        b.set_shape(main_out);
+        b.add(Relu).pool_max(2, 2, 0);
+        b.end_unit(format!("block{}", i + 1));
+    }
+    b.global_avg_pool().fc(1000, Softmax).end_unit("head");
+    b.finish(id, "ResNet-12")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_has_18_units() {
+        assert_eq!(build_50(ModelId::ResNet50).unit_count(), 18);
+    }
+
+    #[test]
+    fn resnet50_flops_near_8g() {
+        let g = build_50(ModelId::ResNet50).total_flops() / 1e9;
+        assert!((6.0..10.0).contains(&g), "ResNet-50 ≈ 8 GFLOPs (2×MAC), got {g}");
+    }
+
+    #[test]
+    fn resnet50_params_near_25m() {
+        let mb = build_50(ModelId::ResNet50).total_weight_bytes() as f64 / 1e6;
+        assert!((90.0..120.0).contains(&mb), "ResNet-50 ≈ 102 MB f32 weights, got {mb}");
+    }
+
+    #[test]
+    fn resnext_heavier_mid_but_grouped() {
+        let r = build_50(ModelId::ResNet50);
+        let x = build_resnext_50(ModelId::ResNext50);
+        assert_eq!(x.unit_count(), 18);
+        // ResNeXt-50 32x4d has similar total FLOPs to ResNet-50.
+        let ratio = x.total_flops() / r.total_flops();
+        assert!((0.7..1.4).contains(&ratio), "ResNeXt/ResNet FLOP ratio {ratio}");
+    }
+
+    #[test]
+    fn v2_has_extra_bn_layers() {
+        let v1 = build_50(ModelId::ResNet50);
+        let v2 = build_50_v2(ModelId::ResNet50V2);
+        assert!(v2.layer_count() > v1.layer_count());
+        assert_eq!(v2.unit_count(), 18);
+    }
+
+    #[test]
+    fn resnet12_is_small() {
+        let m = build_12(ModelId::ResNet12);
+        assert_eq!(m.unit_count(), 5);
+        assert!(m.total_flops() < build_50(ModelId::ResNet50).total_flops());
+    }
+
+    #[test]
+    fn stage_spatial_sizes() {
+        let m = build_50(ModelId::ResNet50);
+        // After stem: 56x56; final bottleneck output: 7x7 with 2048 channels.
+        assert_eq!(m.units()[0].output_shape().h, 56);
+        let last_bn = &m.units()[m.unit_count() - 2];
+        assert_eq!(last_bn.output_shape().c, 2048);
+        assert_eq!(last_bn.output_shape().h, 7);
+    }
+}

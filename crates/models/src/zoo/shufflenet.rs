@@ -1,0 +1,86 @@
+//! ShuffleNet V1 with 3 groups (Zhang et al., 2018) — 18 schedulable units,
+//! matching the paper's "18 valid partition points".
+
+use crate::builder::NetBuilder;
+use crate::layer::Activation::{self, Relu, Softmax};
+use crate::model::{DnnModel, ModelId};
+
+const GROUPS: u32 = 3;
+
+/// One ShuffleNet unit: 1×1 gconv → shuffle → 3×3 dw (stride `s`) → 1×1
+/// gconv, fused by residual add (stride 1) or pool-shortcut concat
+/// (stride 2).
+fn shuffle_unit(b: &mut NetBuilder, name: &str, out: u32, s: u32, first: bool) {
+    let cell_in = b.shape();
+    let mid = out / 4;
+    // The very first unit takes 24 channels which 3 groups do not divide
+    // evenly in the reference net either; it uses a plain conv there.
+    if first {
+        b.conv(mid, 1, 1, 0, Relu);
+    } else {
+        b.gconv(mid, 1, 1, 0, GROUPS, Relu);
+    }
+    b.shuffle();
+    b.dwconv(3, s, Activation::None);
+    let branch_out = if s == 2 { out - cell_in.c } else { out };
+    b.gconv(branch_out, 1, 1, 0, GROUPS, Activation::None);
+    if s == 2 {
+        b.concat_to(out);
+    } else {
+        b.add(Relu);
+    }
+    b.end_unit(name);
+}
+
+/// Builds ShuffleNet V1 (g = 3) at 224×224 (18 units).
+pub fn build(id: ModelId) -> DnnModel {
+    let mut b = NetBuilder::new(3, 224, 224);
+    b.conv(24, 3, 2, 1, Relu).pool_max(3, 2, 1).end_unit("stem");
+    let stages: [(u32, usize); 3] = [(240, 4), (480, 8), (960, 4)];
+    let mut first = true;
+    for (si, &(out, n)) in stages.iter().enumerate() {
+        for ui in 0..n {
+            let s = if ui == 0 { 2 } else { 1 };
+            shuffle_unit(&mut b, &format!("stage{}_{}", si + 2, ui + 1), out, s, first);
+            first = false;
+        }
+    }
+    b.global_avg_pool().fc(1000, Softmax).end_unit("head");
+    b.finish(id, "ShuffleNet")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shufflenet_has_18_units() {
+        assert_eq!(build(ModelId::ShuffleNet).unit_count(), 18);
+    }
+
+    #[test]
+    fn shufflenet_is_light() {
+        let g = build(ModelId::ShuffleNet).total_flops() / 1e9;
+        assert!(g < 1.5, "ShuffleNet should be well under 1.5 GFLOPs, got {g}");
+    }
+
+    #[test]
+    fn stage_channels() {
+        let m = build(ModelId::ShuffleNet);
+        let s2_last = m.units().iter().find(|u| u.name == "stage2_4").unwrap();
+        assert_eq!(s2_last.output_shape().c, 240);
+        let s4_last = m.units().iter().find(|u| u.name == "stage4_4").unwrap();
+        assert_eq!(s4_last.output_shape().c, 960);
+        assert_eq!(s4_last.output_shape().h, 7);
+    }
+
+    #[test]
+    fn contains_shuffle_layers() {
+        let m = build(ModelId::ShuffleNet);
+        let shuffles = m
+            .layers()
+            .filter(|l| l.ty == crate::LayerType::Shuffle)
+            .count();
+        assert_eq!(shuffles, 16);
+    }
+}

@@ -1,0 +1,84 @@
+//! SqueezeNet V1.0 and the lighter V1.1 revision (the paper's
+//! "SqueezeNet-V2") — 10 schedulable units each.
+
+use crate::builder::NetBuilder;
+use crate::layer::Activation::Relu;
+use crate::model::{DnnModel, ModelId};
+
+/// Fire module: 1×1 squeeze, then parallel 1×1 / 3×3 expands, concatenated.
+fn fire(b: &mut NetBuilder, name: &str, squeeze: u32, e1: u32, e3: u32, pool_after: bool) {
+    b.conv(squeeze, 1, 1, 0, Relu);
+    let sq = b.shape();
+    b.conv(e1, 1, 1, 0, Relu);
+    b.set_shape(sq);
+    b.conv(e3, 3, 1, 1, Relu);
+    b.concat_to(e1 + e3);
+    if pool_after {
+        b.pool_max(3, 2, 0);
+    }
+    b.end_unit(name);
+}
+
+/// Builds SqueezeNet V1.0 at 224×224 (10 units).
+pub fn build_v1(id: ModelId) -> DnnModel {
+    let mut b = NetBuilder::new(3, 224, 224);
+    b.conv(96, 7, 2, 0, Relu).pool_max(3, 2, 0).end_unit("conv1");
+    fire(&mut b, "fire2", 16, 64, 64, false);
+    fire(&mut b, "fire3", 16, 64, 64, false);
+    fire(&mut b, "fire4", 32, 128, 128, true);
+    fire(&mut b, "fire5", 32, 128, 128, false);
+    fire(&mut b, "fire6", 48, 192, 192, false);
+    fire(&mut b, "fire7", 48, 192, 192, false);
+    fire(&mut b, "fire8", 64, 256, 256, true);
+    fire(&mut b, "fire9", 64, 256, 256, false);
+    b.conv(1000, 1, 1, 0, Relu).global_avg_pool().end_unit("conv10");
+    b.finish(id, "SqueezeNet")
+}
+
+/// Builds SqueezeNet V1.1 ("SqueezeNet-V2" in the paper's pool): 3×3 stem,
+/// earlier pooling, ~2.4× cheaper than V1.0 at matched accuracy (10 units).
+pub fn build_v2(id: ModelId) -> DnnModel {
+    let mut b = NetBuilder::new(3, 224, 224);
+    b.conv(64, 3, 2, 0, Relu).pool_max(3, 2, 0).end_unit("conv1");
+    fire(&mut b, "fire2", 16, 64, 64, false);
+    fire(&mut b, "fire3", 16, 64, 64, true);
+    fire(&mut b, "fire4", 32, 128, 128, false);
+    fire(&mut b, "fire5", 32, 128, 128, true);
+    fire(&mut b, "fire6", 48, 192, 192, false);
+    fire(&mut b, "fire7", 48, 192, 192, false);
+    fire(&mut b, "fire8", 64, 256, 256, false);
+    fire(&mut b, "fire9", 64, 256, 256, false);
+    b.conv(1000, 1, 1, 0, Relu).global_avg_pool().end_unit("conv10");
+    b.finish(id, "SqueezeNet-V2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_have_10_units() {
+        assert_eq!(build_v1(ModelId::SqueezeNet).unit_count(), 10);
+        assert_eq!(build_v2(ModelId::SqueezeNetV2).unit_count(), 10);
+    }
+
+    #[test]
+    fn v2_cheaper_than_v1() {
+        let v1 = build_v1(ModelId::SqueezeNet).total_flops();
+        let v2 = build_v2(ModelId::SqueezeNetV2).total_flops();
+        assert!(v2 < v1 * 0.7, "V1.1 should be much cheaper: {v2} vs {v1}");
+    }
+
+    #[test]
+    fn tiny_weight_footprint() {
+        let mb = build_v1(ModelId::SqueezeNet).total_weight_bytes() as f64 / 1e6;
+        assert!(mb < 8.0, "SqueezeNet ≈ 5 MB f32 weights, got {mb}");
+    }
+
+    #[test]
+    fn fire_output_channels_concatenate() {
+        let m = build_v1(ModelId::SqueezeNet);
+        let f2 = m.units().iter().find(|u| u.name == "fire2").unwrap();
+        assert_eq!(f2.output_shape().c, 128);
+    }
+}

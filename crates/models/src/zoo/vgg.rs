@@ -1,0 +1,73 @@
+//! VGG-16 / VGG-19 (Simonyan & Zisserman, 2014).
+//!
+//! Each convolution is its own schedulable unit (pools attach to the
+//! preceding conv), giving 16 and 19 units respectively.
+
+use crate::builder::NetBuilder;
+use crate::layer::Activation::{Relu, Softmax};
+use crate::model::{DnnModel, ModelId};
+
+fn build_vgg(id: ModelId, name: &str, blocks: &[(u32, usize)]) -> DnnModel {
+    let mut b = NetBuilder::new(3, 224, 224);
+    let mut unit = 0;
+    for (bi, &(channels, convs)) in blocks.iter().enumerate() {
+        for ci in 0..convs {
+            b.conv(channels, 3, 1, 1, Relu);
+            if ci == convs - 1 {
+                b.pool_max(2, 2, 0);
+            }
+            unit += 1;
+            b.end_unit(format!("conv{}_{}", bi + 1, ci + 1));
+        }
+    }
+    let _ = unit;
+    b.fc(4096, Relu).end_unit("fc6");
+    b.fc(4096, Relu).end_unit("fc7");
+    b.fc(1000, Softmax).end_unit("fc8");
+    b.finish(id, name)
+}
+
+/// Builds VGG-16 (13 conv units + 3 FC units).
+pub fn build_16(id: ModelId) -> DnnModel {
+    build_vgg(id, "VGG-16", &[(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)])
+}
+
+/// Builds VGG-19 (16 conv units + 3 FC units).
+pub fn build_19(id: ModelId) -> DnnModel {
+    build_vgg(id, "VGG-19", &[(64, 2), (128, 2), (256, 4), (512, 4), (512, 4)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_unit_count() {
+        assert_eq!(build_16(ModelId::Vgg16).unit_count(), 16);
+    }
+
+    #[test]
+    fn vgg19_unit_count() {
+        assert_eq!(build_19(ModelId::Vgg19).unit_count(), 19);
+    }
+
+    #[test]
+    fn vgg16_flops_near_31g() {
+        let g = build_16(ModelId::Vgg16).total_flops() / 1e9;
+        assert!((25.0..36.0).contains(&g), "VGG-16 ≈ 31 GFLOPs, got {g}");
+    }
+
+    #[test]
+    fn vgg19_heavier_than_vgg16() {
+        assert!(
+            build_19(ModelId::Vgg19).total_flops() > build_16(ModelId::Vgg16).total_flops()
+        );
+    }
+
+    #[test]
+    fn vgg16_fc6_fanin() {
+        let m = build_16(ModelId::Vgg16);
+        let fc6 = m.units().iter().find(|u| u.name == "fc6").unwrap();
+        assert_eq!(fc6.layers[0].weights.in_c, 512 * 7 * 7);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests over the whole model zoo.
+
+use proptest::prelude::*;
+use rankmap_models::{LayerType, ModelId};
+
+fn arb_model() -> impl Strategy<Value = ModelId> {
+    let all = ModelId::all();
+    (0..all.len()).prop_map(move |i| all[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every model's accounting is self-consistent.
+    #[test]
+    fn model_accounting_consistent(id in arb_model()) {
+        let m = id.build();
+        let unit_flops: f64 = m.units().iter().map(|u| u.flops()).sum();
+        prop_assert!((unit_flops - m.total_flops()).abs() < 1.0);
+        let unit_bytes: u64 = m.units().iter().map(|u| u.weight_bytes()).sum();
+        prop_assert_eq!(unit_bytes, m.total_weight_bytes());
+        prop_assert_eq!(m.layer_count(), m.layers().count());
+    }
+
+    /// Every layer has sane shapes: positive dims, non-zero output.
+    #[test]
+    fn layer_shapes_sane(id in arb_model()) {
+        let m = id.build();
+        for l in m.layers() {
+            prop_assert!(l.ofm.elements() > 0, "{}: empty output in layer {}", id, l.index);
+            prop_assert!(l.ifm.elements() > 0, "{}: empty input in layer {}", id, l.index);
+            prop_assert!(l.flops() > 0.0);
+            if matches!(l.ty, LayerType::Conv | LayerType::DwConv | LayerType::Fc) {
+                prop_assert!(l.weights.elements() > 0, "{}: weightless {} layer", id, l.ty);
+            }
+        }
+    }
+
+    /// Feature vectors are finite and the normalized ones bounded.
+    #[test]
+    fn feature_vectors_well_formed(id in arb_model()) {
+        let m = id.build();
+        for l in m.layers() {
+            for v in l.feature_vec() {
+                prop_assert!(v.is_finite());
+            }
+            for v in l.normalized_features() {
+                prop_assert!((0.0..=2.0).contains(&v));
+            }
+        }
+    }
+
+    /// Units have working sets dominated by weights + activations.
+    #[test]
+    fn working_sets_positive(id in arb_model()) {
+        let m = id.build();
+        for u in m.units() {
+            prop_assert!(u.working_set_bytes() > 0);
+            prop_assert!(u.working_set_bytes() >= u.weight_bytes());
+            prop_assert!(u.kernel_count() >= 1);
+        }
+    }
+}

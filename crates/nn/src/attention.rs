@@ -1,0 +1,300 @@
+//! Attention layers: scaled dot-product self-attention, efficient
+//! ("linear") attention, and attention pooling.
+
+use crate::layer::{init_rng, Layer, Param};
+use crate::tensor::{softmax_rows_backward, Tensor};
+
+/// Single-head scaled dot-product self-attention over `[T, D]` token
+/// sequences (Vaswani et al.), used inside the estimator's residual
+/// backbone blocks.
+pub struct SelfAttention {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    dim: usize,
+    cache: Option<SelfAttnCache>,
+}
+
+struct SelfAttnCache {
+    x: Tensor,
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    a: Tensor,
+    y: Tensor,
+}
+
+impl SelfAttention {
+    /// Creates a self-attention layer over `dim`-dimensional tokens.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        let mut rng = init_rng(seed);
+        let mk = |rng: &mut rand::rngs::StdRng| {
+            Param::new(Tensor::kaiming(vec![dim, dim], dim, rng))
+        };
+        Self {
+            wq: mk(&mut rng),
+            wk: mk(&mut rng),
+            wv: mk(&mut rng),
+            wo: mk(&mut rng),
+            dim,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for SelfAttention {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "SelfAttention expects [T, D]");
+        assert_eq!(x.shape()[1], self.dim, "SelfAttention dim mismatch");
+        let q = x.matmul(&self.wq.value);
+        let k = x.matmul(&self.wk.value);
+        let v = x.matmul(&self.wv.value);
+        let scale = 1.0 / (self.dim as f32).sqrt();
+        let scores = q.matmul(&k.transpose()).scale(scale);
+        let a = scores.softmax_rows();
+        let y = a.matmul(&v);
+        let out = y.matmul(&self.wo.value);
+        if train {
+            self.cache = Some(SelfAttnCache { x: x.clone(), q, k, v, a, y });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let c = self.cache.take().expect("SelfAttention::backward without forward");
+        let scale = 1.0 / (self.dim as f32).sqrt();
+        // out = Y Wo
+        self.wo.grad.add_assign(&c.y.transpose().matmul(grad_out));
+        let dy = grad_out.matmul(&self.wo.value.transpose());
+        // Y = A V
+        let da = dy.matmul(&c.v.transpose());
+        let dv = c.a.transpose().matmul(&dy);
+        // A = softmax(S), S = QK^T · scale
+        let ds = softmax_rows_backward(&c.a, &da).scale(scale);
+        let dq = ds.matmul(&c.k);
+        let dk = ds.transpose().matmul(&c.q);
+        // Q/K/V projections.
+        self.wq.grad.add_assign(&c.x.transpose().matmul(&dq));
+        self.wk.grad.add_assign(&c.x.transpose().matmul(&dk));
+        self.wv.grad.add_assign(&c.x.transpose().matmul(&dv));
+        let mut dx = dq.matmul(&self.wq.value.transpose());
+        dx.add_assign(&dk.matmul(&self.wk.value.transpose()));
+        dx.add_assign(&dv.matmul(&self.wv.value.transpose()));
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wq);
+        f(&mut self.wk);
+        f(&mut self.wv);
+        f(&mut self.wo);
+    }
+}
+
+/// Efficient attention with linear complexity (Shen et al., WACV 2021):
+/// `E = σ_T(K)ᵀ V` then `Y = σ_D(Q) E`, avoiding the `T×T` score matrix.
+/// Used by the estimator's per-DNN decoder streams.
+pub struct LinearAttention {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    dim: usize,
+    cache: Option<LinAttnCache>,
+}
+
+struct LinAttnCache {
+    x: Tensor,
+    qs: Tensor,
+    ks: Tensor,
+    v: Tensor,
+    e: Tensor,
+    y: Tensor,
+}
+
+impl LinearAttention {
+    /// Creates an efficient-attention layer over `dim`-dimensional tokens.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        let mut rng = init_rng(seed);
+        let mk = |rng: &mut rand::rngs::StdRng| {
+            Param::new(Tensor::kaiming(vec![dim, dim], dim, rng))
+        };
+        Self {
+            wq: mk(&mut rng),
+            wk: mk(&mut rng),
+            wv: mk(&mut rng),
+            wo: mk(&mut rng),
+            dim,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for LinearAttention {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "LinearAttention expects [T, D]");
+        assert_eq!(x.shape()[1], self.dim, "LinearAttention dim mismatch");
+        let q = x.matmul(&self.wq.value);
+        let k = x.matmul(&self.wk.value);
+        let v = x.matmul(&self.wv.value);
+        // σ over feature dim per token for Q; σ over tokens per feature for K.
+        let qs = q.softmax_rows();
+        let ks = k.transpose().softmax_rows().transpose();
+        let e = ks.transpose().matmul(&v); // [D, D]
+        let y = qs.matmul(&e); // [T, D]
+        let out = y.matmul(&self.wo.value);
+        if train {
+            self.cache = Some(LinAttnCache { x: x.clone(), qs, ks, v, e, y });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let c = self.cache.take().expect("LinearAttention::backward without forward");
+        self.wo.grad.add_assign(&c.y.transpose().matmul(grad_out));
+        let dy = grad_out.matmul(&self.wo.value.transpose());
+        // Y = Qs E
+        let dqs = dy.matmul(&c.e.transpose());
+        let de = c.qs.transpose().matmul(&dy);
+        // E = Ksᵀ V
+        let dks = c.v.matmul(&de.transpose());
+        let dv = c.ks.matmul(&de);
+        // Undo the softmaxes.
+        let dq = softmax_rows_backward(&c.qs, &dqs);
+        let dk = softmax_rows_backward(&c.ks.transpose(), &dks.transpose()).transpose();
+        // Projections.
+        self.wq.grad.add_assign(&c.x.transpose().matmul(&dq));
+        self.wk.grad.add_assign(&c.x.transpose().matmul(&dk));
+        self.wv.grad.add_assign(&c.x.transpose().matmul(&dv));
+        let mut dx = dq.matmul(&self.wq.value.transpose());
+        dx.add_assign(&dk.matmul(&self.wk.value.transpose()));
+        dx.add_assign(&dv.matmul(&self.wv.value.transpose()));
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wq);
+        f(&mut self.wk);
+        f(&mut self.wv);
+        f(&mut self.wo);
+    }
+}
+
+/// Attention pooling: a learned scoring vector softmax-weights the tokens,
+/// reducing `[T, D] → [D]`. The head of each estimator decoder stream.
+pub struct AttnPool {
+    /// Scoring vector `[D, 1]`.
+    pub w: Param,
+    dim: usize,
+    cache: Option<(Tensor, Tensor)>,
+}
+
+impl AttnPool {
+    /// Creates an attention-pooling layer for `dim`-dimensional tokens.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        let mut rng = init_rng(seed);
+        Self {
+            w: Param::new(Tensor::kaiming(vec![dim, 1], dim, &mut rng)),
+            dim,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for AttnPool {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "AttnPool expects [T, D]");
+        assert_eq!(x.shape()[1], self.dim, "AttnPool dim mismatch");
+        let t = x.shape()[0];
+        let scores = x.matmul(&self.w.value).reshape(vec![1, t]);
+        let alpha = scores.softmax_rows(); // [1, T]
+        let pooled = alpha.matmul(x); // [1, D]
+        if train {
+            self.cache = Some((x.clone(), alpha.clone()));
+        }
+        pooled.reshape(vec![self.dim])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (x, alpha) = self.cache.take().expect("AttnPool::backward without forward");
+        let t = x.shape()[0];
+        let dy = grad_out.clone().reshape(vec![1, self.dim]);
+        // pooled = α X → dα = dy Xᵀ, dX += αᵀ dy
+        let dalpha = dy.matmul(&x.transpose()); // [1, T]
+        let mut dx = alpha.transpose().matmul(&dy); // [T, D]
+        let dscores = softmax_rows_backward(&alpha, &dalpha).reshape(vec![t, 1]);
+        // scores = X w → dw = Xᵀ dscores, dX += dscores wᵀ
+        self.w.grad.add_assign(&x.transpose().matmul(&dscores));
+        dx.add_assign(&dscores.matmul(&self.w.value.transpose()));
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn self_attention_shape_preserved() {
+        let mut a = SelfAttention::new(8, 0);
+        let y = a.forward(&Tensor::zeros(vec![5, 8]), false);
+        assert_eq!(y.shape(), &[5, 8]);
+    }
+
+    #[test]
+    fn self_attention_gradients() {
+        let mut a = SelfAttention::new(6, 11);
+        check_layer_gradients(&mut a, &[4, 6], 4e-2);
+    }
+
+    #[test]
+    fn linear_attention_shape_preserved() {
+        let mut a = LinearAttention::new(8, 0);
+        let y = a.forward(&Tensor::zeros(vec![5, 8]), false);
+        assert_eq!(y.shape(), &[5, 8]);
+    }
+
+    #[test]
+    fn linear_attention_gradients() {
+        let mut a = LinearAttention::new(5, 13);
+        check_layer_gradients(&mut a, &[4, 5], 4e-2);
+    }
+
+    #[test]
+    fn attn_pool_reduces_tokens() {
+        let mut a = AttnPool::new(8, 0);
+        let y = a.forward(&Tensor::zeros(vec![5, 8]), false);
+        assert_eq!(y.shape(), &[8]);
+    }
+
+    #[test]
+    fn attn_pool_gradients() {
+        let mut a = AttnPool::new(6, 17);
+        check_layer_gradients(&mut a, &[5, 6], 4e-2);
+    }
+
+    #[test]
+    fn attn_pool_is_convex_combination() {
+        // Pooling constant tokens returns that constant.
+        let mut a = AttnPool::new(4, 3);
+        let x = Tensor::from_vec(vec![2.0; 12], vec![3, 4]);
+        let y = a.forward(&x, false);
+        for &v in y.data() {
+            assert!((v - 2.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn attention_param_counts() {
+        let mut a = SelfAttention::new(16, 0);
+        assert_eq!(a.param_count(), 4 * 16 * 16);
+        let mut p = AttnPool::new(16, 0);
+        assert_eq!(p.param_count(), 16);
+    }
+}

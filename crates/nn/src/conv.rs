@@ -1,0 +1,365 @@
+//! 1-D and 2-D convolutions (grouped / depthwise capable).
+
+use crate::layer::{init_rng, Layer, Param};
+use crate::tensor::Tensor;
+
+/// 2-D convolution over `[C, H, W]` tensors with groups, stride, and
+/// symmetric zero padding. `groups == in_c` gives a depthwise convolution.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Kernel `[out_c, in_c/groups, k, k]`.
+    pub w: Param,
+    /// Bias `[out_c]`.
+    pub b: Param,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_c`/`out_c` are not divisible by `groups`.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(groups >= 1 && in_c % groups == 0 && out_c % groups == 0, "bad group count");
+        let mut rng = init_rng(seed);
+        let fan_in = (in_c / groups) * k * k;
+        Self {
+            w: Param::new(Tensor::kaiming(
+                vec![out_c, in_c / groups, k, k],
+                fan_in,
+                &mut rng,
+            )),
+            b: Param::new(Tensor::zeros(vec![out_c])),
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            groups,
+            cache: None,
+        }
+    }
+
+    /// Output spatial size for an input of the given size.
+    pub fn out_size(&self, input: usize) -> usize {
+        (input + 2 * self.pad - self.k) / self.stride + 1
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "Conv2d expects [C,H,W]");
+        assert_eq!(x.shape()[0], self.in_c, "Conv2d channel mismatch");
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        let (oh, ow) = (self.out_size(h), self.out_size(w));
+        let icg = self.in_c / self.groups;
+        let ocg = self.out_c / self.groups;
+        let mut out = Tensor::zeros(vec![self.out_c, oh, ow]);
+        let xd = x.data();
+        let wd = self.w.value.data();
+        let od = out.data_mut();
+        for g in 0..self.groups {
+            for oc in g * ocg..(g + 1) * ocg {
+                let bias = self.b.value.data()[oc];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias;
+                        for ic in 0..icg {
+                            let xc = g * icg + ic;
+                            for ky in 0..self.k {
+                                let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..self.k {
+                                    let ix =
+                                        (ox * self.stride + kx) as isize - self.pad as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = (xc * h + iy as usize) * w + ix as usize;
+                                    let wi = ((oc * icg + ic) * self.k + ky) * self.k + kx;
+                                    acc += xd[xi] * wd[wi];
+                                }
+                            }
+                        }
+                        od[(oc * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some(x.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache.take().expect("Conv2d::backward without forward");
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        let (oh, ow) = (self.out_size(h), self.out_size(w));
+        assert_eq!(grad_out.shape(), &[self.out_c, oh, ow], "Conv2d grad shape");
+        let icg = self.in_c / self.groups;
+        let ocg = self.out_c / self.groups;
+        let mut dx = Tensor::zeros(x.shape().to_vec());
+        let xd = x.data();
+        let gd = grad_out.data();
+        let wd = self.w.value.data();
+        {
+            let dwd = self.w.grad.data_mut();
+            let dbd = self.b.grad.data_mut();
+            let dxd = dx.data_mut();
+            for g in 0..self.groups {
+                for oc in g * ocg..(g + 1) * ocg {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let go = gd[(oc * oh + oy) * ow + ox];
+                            if go == 0.0 {
+                                continue;
+                            }
+                            dbd[oc] += go;
+                            for ic in 0..icg {
+                                let xc = g * icg + ic;
+                                for ky in 0..self.k {
+                                    let iy =
+                                        (oy * self.stride + ky) as isize - self.pad as isize;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for kx in 0..self.k {
+                                        let ix = (ox * self.stride + kx) as isize
+                                            - self.pad as isize;
+                                        if ix < 0 || ix >= w as isize {
+                                            continue;
+                                        }
+                                        let xi = (xc * h + iy as usize) * w + ix as usize;
+                                        let wi =
+                                            ((oc * icg + ic) * self.k + ky) * self.k + kx;
+                                        dwd[wi] += go * xd[xi];
+                                        dxd[xi] += go * wd[wi];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+/// 1-D convolution over `[C, L]` tensors (used by the VQ-VAE encoder to
+/// embed layer-feature sequences).
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    /// Kernel `[out_c, in_c, k]`.
+    pub w: Param,
+    /// Bias `[out_c]`.
+    pub b: Param,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    cache: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// Creates a 1-D convolution layer.
+    pub fn new(in_c: usize, out_c: usize, k: usize, stride: usize, pad: usize, seed: u64) -> Self {
+        let mut rng = init_rng(seed);
+        Self {
+            w: Param::new(Tensor::kaiming(vec![out_c, in_c, k], in_c * k, &mut rng)),
+            b: Param::new(Tensor::zeros(vec![out_c])),
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            cache: None,
+        }
+    }
+
+    /// Output length for an input of the given length.
+    pub fn out_len(&self, input: usize) -> usize {
+        (input + 2 * self.pad - self.k) / self.stride + 1
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "Conv1d expects [C,L]");
+        assert_eq!(x.shape()[0], self.in_c, "Conv1d channel mismatch");
+        let l = x.shape()[1];
+        let ol = self.out_len(l);
+        let mut out = Tensor::zeros(vec![self.out_c, ol]);
+        let xd = x.data();
+        let wd = self.w.value.data();
+        let od = out.data_mut();
+        for oc in 0..self.out_c {
+            let bias = self.b.value.data()[oc];
+            for op in 0..ol {
+                let mut acc = bias;
+                for ic in 0..self.in_c {
+                    for kk in 0..self.k {
+                        let ip = (op * self.stride + kk) as isize - self.pad as isize;
+                        if ip < 0 || ip >= l as isize {
+                            continue;
+                        }
+                        acc += xd[ic * l + ip as usize]
+                            * wd[(oc * self.in_c + ic) * self.k + kk];
+                    }
+                }
+                od[oc * ol + op] = acc;
+            }
+        }
+        if train {
+            self.cache = Some(x.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache.take().expect("Conv1d::backward without forward");
+        let l = x.shape()[1];
+        let ol = self.out_len(l);
+        assert_eq!(grad_out.shape(), &[self.out_c, ol], "Conv1d grad shape");
+        let mut dx = Tensor::zeros(x.shape().to_vec());
+        let xd = x.data();
+        let gd = grad_out.data();
+        let wd = self.w.value.data();
+        {
+            let dwd = self.w.grad.data_mut();
+            let dbd = self.b.grad.data_mut();
+            let dxd = dx.data_mut();
+            for oc in 0..self.out_c {
+                for op in 0..ol {
+                    let go = gd[oc * ol + op];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    dbd[oc] += go;
+                    for ic in 0..self.in_c {
+                        for kk in 0..self.k {
+                            let ip = (op * self.stride + kk) as isize - self.pad as isize;
+                            if ip < 0 || ip >= l as isize {
+                                continue;
+                            }
+                            let xi = ic * l + ip as usize;
+                            let wi = (oc * self.in_c + ic) * self.k + kk;
+                            dwd[wi] += go * xd[xi];
+                            dxd[xi] += go * wd[wi];
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn conv2d_output_shape() {
+        let mut c = Conv2d::new(3, 8, 3, 2, 1, 1, 0);
+        let y = c.forward(&Tensor::zeros(vec![3, 9, 9]), false);
+        assert_eq!(y.shape(), &[8, 5, 5]);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1×1 conv with identity weights passes the input through.
+        let mut c = Conv2d::new(2, 2, 1, 1, 0, 1, 0);
+        for v in c.w.value.data_mut() {
+            *v = 0.0;
+        }
+        c.w.value.data_mut()[0] = 1.0; // out0 <- in0
+        c.w.value.data_mut()[3] = 1.0; // out1 <- in1
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), vec![2, 2, 2]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv2d_gradients() {
+        let mut c = Conv2d::new(2, 3, 3, 1, 1, 1, 5);
+        check_layer_gradients(&mut c, &[2, 5, 5], 3e-2);
+    }
+
+    #[test]
+    fn conv2d_strided_gradients() {
+        let mut c = Conv2d::new(2, 2, 3, 2, 1, 1, 6);
+        check_layer_gradients(&mut c, &[2, 6, 6], 3e-2);
+    }
+
+    #[test]
+    fn depthwise_conv_gradients() {
+        let mut c = Conv2d::new(4, 4, 3, 1, 1, 4, 7);
+        check_layer_gradients(&mut c, &[4, 5, 5], 3e-2);
+    }
+
+    #[test]
+    fn depthwise_channels_independent() {
+        let mut c = Conv2d::new(2, 2, 3, 1, 1, 2, 1);
+        // Zero the second channel's kernel: its output must be all-bias.
+        for v in c.w.value.data_mut()[9..18].iter_mut() {
+            *v = 0.0;
+        }
+        let x = Tensor::full(vec![2, 4, 4], 1.0);
+        let y = c.forward(&x, false);
+        for &v in &y.data()[16..32] {
+            assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn conv1d_output_shape() {
+        let mut c = Conv1d::new(22, 16, 3, 1, 1, 0);
+        let y = c.forward(&Tensor::zeros(vec![22, 10]), false);
+        assert_eq!(y.shape(), &[16, 10]);
+    }
+
+    #[test]
+    fn conv1d_gradients() {
+        let mut c = Conv1d::new(3, 4, 3, 1, 1, 9);
+        check_layer_gradients(&mut c, &[3, 7], 3e-2);
+    }
+
+    #[test]
+    fn conv2d_param_count() {
+        let mut c = Conv2d::new(16, 32, 3, 1, 1, 1, 0);
+        assert_eq!(c.param_count(), 32 * 16 * 9 + 32);
+        let mut d = Conv2d::new(16, 16, 3, 1, 1, 16, 0);
+        assert_eq!(d.param_count(), 16 * 9 + 16);
+    }
+}

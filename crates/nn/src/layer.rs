@@ -1,0 +1,471 @@
+//! The layer trait, parameters, and structural combinators.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A trainable parameter with its gradient accumulator and Adam state.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Adam first-moment state.
+    pub m: Tensor,
+    /// Adam second-moment state.
+    pub v: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with zeroed gradient/optimizer state.
+    pub fn new(value: Tensor) -> Self {
+        let shape = value.shape().to_vec();
+        Self {
+            value,
+            grad: Tensor::zeros(shape.clone()),
+            m: Tensor::zeros(shape.clone()),
+            v: Tensor::zeros(shape),
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A neural-network layer with explicit forward/backward passes.
+///
+/// `forward` caches whatever the subsequent `backward` call needs; callers
+/// must pair them (one `backward` after each `forward` with the same
+/// sample). Gradients *accumulate* into [`Param::grad`] so minibatch
+/// training sums per-sample gradients, then calls an optimizer and
+/// [`Layer::zero_grad`].
+pub trait Layer {
+    /// Computes the layer output, caching intermediates when `train`.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates the output gradient, accumulating parameter gradients and
+    /// returning the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called without a preceding training
+    /// forward pass.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter (used by optimizers/serialization).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| {
+            for g in p.grad.data_mut() {
+                *g = 0.0;
+            }
+        });
+    }
+
+    /// Total scalar parameter count.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+}
+
+/// Deterministic RNG used by layer constructors: layers take a `seed` so
+/// whole models are reproducible without threading RNGs everywhere.
+pub(crate) fn init_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+}
+
+/// Fully connected layer. Accepts a 1-D `[in]` tensor or a 2-D `[T, in]`
+/// tensor (applied row-wise).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight matrix `[in, out]`.
+    pub w: Param,
+    /// Bias vector `[out]`.
+    pub b: Param,
+    in_dim: usize,
+    out_dim: usize,
+    cache: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized linear layer.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let mut rng = init_rng(seed);
+        Self {
+            w: Param::new(Tensor::kaiming(vec![in_dim, out_dim], in_dim, &mut rng)),
+            b: Param::new(Tensor::zeros(vec![out_dim])),
+            in_dim,
+            out_dim,
+            cache: None,
+        }
+    }
+
+    fn as_rows(&self, x: &Tensor) -> Tensor {
+        match x.shape().len() {
+            1 => x.clone().reshape(vec![1, self.in_dim]),
+            2 => x.clone(),
+            d => panic!("Linear expects 1-D or 2-D input, got {d}-D"),
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(
+            *x.shape().last().expect("nonempty shape"),
+            self.in_dim,
+            "Linear input dim mismatch"
+        );
+        let rows = self.as_rows(x);
+        let mut y = rows.matmul(&self.w.value);
+        let t = y.shape()[0];
+        for i in 0..t {
+            for j in 0..self.out_dim {
+                y.data_mut()[i * self.out_dim + j] += self.b.value.data()[j];
+            }
+        }
+        if train {
+            self.cache = Some(rows);
+        }
+        if x.shape().len() == 1 {
+            y.reshape(vec![self.out_dim])
+        } else {
+            y
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let rows = self.cache.take().expect("Linear::backward without forward");
+        let t = rows.shape()[0];
+        let g = if grad_out.shape().len() == 1 {
+            grad_out.clone().reshape(vec![1, self.out_dim])
+        } else {
+            grad_out.clone()
+        };
+        // dW = X^T G, db = Σ rows of G, dX = G W^T.
+        let dw = rows.transpose().matmul(&g);
+        self.w.grad.add_assign(&dw);
+        for i in 0..t {
+            for j in 0..self.out_dim {
+                self.b.grad.data_mut()[j] += g.data()[i * self.out_dim + j];
+            }
+        }
+        let dx = g.matmul(&self.w.value.transpose());
+        if grad_out.shape().len() == 1 {
+            dx.reshape(vec![self.in_dim])
+        } else {
+            dx
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+/// ReLU activation.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut y = x.clone();
+        let mask: Vec<bool> = y
+            .data_mut()
+            .iter_mut()
+            .map(|v| {
+                if *v < 0.0 {
+                    *v = 0.0;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        if train {
+            self.mask = Some(mask);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("Relu::backward without forward");
+        let mut g = grad_out.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(&mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// GELU activation (tanh approximation).
+#[derive(Debug, Clone, Default)]
+pub struct Gelu {
+    cache: Option<Tensor>,
+}
+
+impl Gelu {
+    /// Creates a GELU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn phi(v: f32) -> f32 {
+        const C: f32 = 0.797_884_6; // sqrt(2/π)
+        0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh())
+    }
+}
+
+impl Layer for Gelu {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cache = Some(x.clone());
+        }
+        let mut y = x.clone();
+        for v in y.data_mut() {
+            *v = Self::phi(*v);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache.take().expect("Gelu::backward without forward");
+        let mut g = grad_out.clone();
+        let eps = 1e-3;
+        // Differentiable closed form is messy; the tanh approximation's
+        // derivative via central difference is exact enough for training
+        // and keeps the code honest with the forward definition.
+        for (gv, &xv) in g.data_mut().iter_mut().zip(x.data()) {
+            let d = (Self::phi(xv + eps) - Self::phi(xv - eps)) / (2.0 * eps);
+            *gv *= d;
+        }
+        g
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Logistic sigmoid activation.
+#[derive(Debug, Clone, Default)]
+pub struct Sigmoid {
+    cache: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut y = x.clone();
+        for v in y.data_mut() {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
+        if train {
+            self.cache = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.cache.take().expect("Sigmoid::backward without forward");
+        let mut g = grad_out.clone();
+        for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+            *gv *= yv * (1.0 - yv);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Sequential composition of layers.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Chains layers in order.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Number of child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for l in &mut self.layers {
+            cur = l.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
+    }
+}
+
+/// Residual wrapper: `y = x + inner(x)`. Requires the inner chain to
+/// preserve shape.
+pub struct Residual {
+    inner: Box<dyn Layer>,
+}
+
+impl Residual {
+    /// Wraps a shape-preserving inner layer.
+    pub fn new(inner: Box<dyn Layer>) -> Self {
+        Self { inner }
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = self.inner.forward(x, train);
+        assert_eq!(y.shape(), x.shape(), "Residual inner must preserve shape");
+        y.add(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g_inner = self.inner.backward(grad_out);
+        g_inner.add(grad_out)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.inner.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn linear_shapes() {
+        let mut l = Linear::new(4, 3, 0);
+        let y = l.forward(&Tensor::zeros(vec![4]), false);
+        assert_eq!(y.shape(), &[3]);
+        let y2 = l.forward(&Tensor::zeros(vec![5, 4]), false);
+        assert_eq!(y2.shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn linear_gradients() {
+        let mut l = Linear::new(5, 3, 7);
+        check_layer_gradients(&mut l, &[5], 2e-2);
+        check_layer_gradients(&mut l, &[4, 5], 2e-2);
+    }
+
+    #[test]
+    fn relu_gradients() {
+        // Keep probe inputs away from the kink at zero, where finite
+        // differences are meaningless.
+        let mut l = Relu::new();
+        let x = Tensor::from_vec(
+            vec![0.8, -0.6, 1.2, -1.5, 0.4, -0.9, 2.0, -2.0, 0.5],
+            vec![9],
+        );
+        crate::gradcheck::check_layer_gradients_with_input(&mut l, &x, 1e-3);
+    }
+
+    #[test]
+    fn gelu_gradients() {
+        let mut l = Gelu::new();
+        check_layer_gradients(&mut l, &[7], 2e-2);
+    }
+
+    #[test]
+    fn sigmoid_gradients() {
+        let mut l = Sigmoid::new();
+        check_layer_gradients(&mut l, &[6], 1e-2);
+    }
+
+    #[test]
+    fn residual_adds_input() {
+        // Zero-initialized linear ≈ identity residual at init? Linear has
+        // random weights; instead use a ReLU on positive input: y = x + x.
+        let mut r = Residual::new(Box::new(Relu::new()));
+        let x = Tensor::from_vec(vec![1.0, 2.0], vec![2]);
+        assert_eq!(r.forward(&x, false).data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn residual_gradients() {
+        let mut r = Residual::new(Box::new(Sequential::new(vec![
+            Box::new(Linear::new(6, 6, 3)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(6, 6, 4)),
+        ])));
+        check_layer_gradients(&mut r, &[6], 3e-2);
+    }
+
+    #[test]
+    fn sequential_param_count() {
+        let mut s = Sequential::new(vec![
+            Box::new(Linear::new(4, 8, 0)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 2, 1)),
+        ]);
+        assert_eq!(s.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut l = Linear::new(3, 3, 0);
+        let x = Tensor::full(vec![3], 1.0);
+        let y = l.forward(&x, true);
+        l.backward(&Tensor::full(y.shape().to_vec(), 1.0));
+        assert!(l.w.grad.mean_sq() > 0.0);
+        l.zero_grad();
+        assert_eq!(l.w.grad.mean_sq(), 0.0);
+    }
+}

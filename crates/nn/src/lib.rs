@@ -1,0 +1,54 @@
+//! A minimal, dependency-free neural-network framework.
+//!
+//! The RankMap paper implements its throughput estimator and VQ-VAE in
+//! PyTorch; this crate is the from-scratch Rust substrate that replaces it:
+//! an `f32` tensor type, explicit forward/backward layers (no general
+//! autograd tape — each layer caches what its backward pass needs), and
+//! SGD/Adam optimizers.
+//!
+//! Supported layers cover exactly what the paper's models require:
+//! convolutions (1D and 2D, grouped/depthwise), linear, batch
+//! normalization, activations, dot-product self-attention, efficient
+//! ("linear") attention, attention pooling, residual blocks and sequential
+//! composition. Every layer's gradients are verified against finite
+//! differences in the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use rankmap_nn::layer::{Layer, Linear, Relu, Sequential};
+//! use rankmap_nn::tensor::Tensor;
+//! use rankmap_nn::optim::Adam;
+//!
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Linear::new(4, 16, 1)),
+//!     Box::new(Relu::new()),
+//!     Box::new(Linear::new(16, 1, 2)),
+//! ]);
+//! let mut opt = Adam::new(1e-2);
+//! let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![4]);
+//! for _ in 0..200 {
+//!     let y = net.forward(&x, true);
+//!     let err = y.data()[0] - 0.5; // fit a constant
+//!     net.backward(&Tensor::from_vec(vec![2.0 * err], vec![1]));
+//!     opt.step(&mut net);
+//!     net.zero_grad();
+//! }
+//! let y = net.forward(&x, false);
+//! assert!((y.data()[0] - 0.5).abs() < 5e-2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod conv;
+pub mod gradcheck;
+pub mod layer;
+pub mod loss;
+pub mod norm;
+pub mod optim;
+pub mod tensor;
+
+pub use layer::{Layer, Param};
+pub use tensor::Tensor;

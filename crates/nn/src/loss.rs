@@ -1,0 +1,103 @@
+//! Loss functions.
+
+use crate::tensor::Tensor;
+
+/// Mean-squared-error loss: returns `(loss, dloss/dprediction)`.
+///
+/// `L = mean((pred − target)²)`, the per-decoder-stream objective the paper
+/// trains its estimator with ("Using L2-loss for each decoder stream").
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut grad = Tensor::zeros(pred.shape().to_vec());
+    let mut loss = 0.0;
+    for (i, (&p, &t)) in pred.data().iter().zip(target.data()).enumerate() {
+        let d = p - t;
+        loss += d * d;
+        grad.data_mut()[i] = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Huber (smooth-L1) loss with threshold `delta`; less sensitive to the
+/// occasional mislabeled sample from a noisy simulator run.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn huber(pred: &Tensor, target: &Tensor, delta: f32) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "huber shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut grad = Tensor::zeros(pred.shape().to_vec());
+    let mut loss = 0.0;
+    for (i, (&p, &t)) in pred.data().iter().zip(target.data()).enumerate() {
+        let d = p - t;
+        if d.abs() <= delta {
+            loss += 0.5 * d * d;
+            grad.data_mut()[i] = d / n;
+        } else {
+            loss += delta * (d.abs() - 0.5 * delta);
+            grad.data_mut()[i] = delta * d.signum() / n;
+        }
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], vec![2]);
+        let (l, g) = mse(&t, &t);
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Tensor::from_vec(vec![3.0, 0.0], vec![2]);
+        let t = Tensor::from_vec(vec![1.0, 0.0], vec![2]);
+        let (l, g) = mse(&p, &t);
+        assert!((l - 2.0).abs() < 1e-6); // (4 + 0) / 2
+        assert!((g.data()[0] - 2.0).abs() < 1e-6); // 2·2/2
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let p = Tensor::from_vec(vec![0.5, -1.0, 2.0], vec![3]);
+        let t = Tensor::from_vec(vec![0.0, 1.0, 2.0], vec![3]);
+        let (_, g) = mse(&p, &t);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.data_mut()[i] += eps;
+            let mut pm = p.clone();
+            pm.data_mut()[i] -= eps;
+            let num = (mse(&pp, &t).0 - mse(&pm, &t).0) / (2.0 * eps);
+            assert!((num - g.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn huber_matches_mse_for_small_errors() {
+        let p = Tensor::from_vec(vec![0.1], vec![1]);
+        let t = Tensor::from_vec(vec![0.0], vec![1]);
+        let (lh, _) = huber(&p, &t, 1.0);
+        assert!((lh - 0.005).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_linear_for_large_errors() {
+        let p = Tensor::from_vec(vec![10.0], vec![1]);
+        let t = Tensor::from_vec(vec![0.0], vec![1]);
+        let (lh, g) = huber(&p, &t, 1.0);
+        assert!((lh - 9.5).abs() < 1e-5);
+        assert!((g.data()[0] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,169 @@
+//! Normalization layers.
+
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Per-channel normalization over spatial positions of a `[C, H, W]` (or
+/// `[C, L]`) tensor, with learned scale/shift and running statistics for
+/// inference.
+///
+/// With batch size 1 — the training regime of the estimator — batch
+/// normalization degenerates to exactly this (statistics over the spatial
+/// axes), so the paper's "2D conv followed by batch normalization" maps
+/// onto this layer.
+#[derive(Debug, Clone)]
+pub struct BatchNorm {
+    /// Scale γ `[C]`.
+    pub gamma: Param,
+    /// Shift β `[C]`.
+    pub beta: Param,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    /// Cached (normalized x̂, inv_std, input shape) from forward.
+    cache: Option<(Tensor, Vec<f32>)>,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer over `channels` channels.
+    ///
+    /// The variance floor (`eps = 1e-2`) is deliberately generous: with
+    /// near-constant feature maps (common for sparse mapping tensors) a
+    /// tiny eps turns normalization into a ×100+ noise amplifier and
+    /// destabilizes training.
+    pub fn new(channels: usize) -> Self {
+        Self {
+            gamma: Param::new(Tensor::full(vec![channels], 1.0)),
+            beta: Param::new(Tensor::zeros(vec![channels])),
+            channels,
+            eps: 1e-2,
+            momentum: 0.1,
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+        cache: None,
+        }
+    }
+
+    fn spatial(&self, x: &Tensor) -> usize {
+        x.len() / self.channels
+    }
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape()[0], self.channels, "BatchNorm channel mismatch");
+        let s = self.spatial(x);
+        let mut y = Tensor::zeros(x.shape().to_vec());
+        let mut inv_stds = vec![0.0f32; self.channels];
+        let mut xhat = Tensor::zeros(x.shape().to_vec());
+        for c in 0..self.channels {
+            let xs = &x.data()[c * s..(c + 1) * s];
+            // Statistics are always computed per sample over the spatial
+            // axes (instance-norm semantics): with batch size 1 there is no
+            // meaningful "batch" statistic, and running averages drift away
+            // from what training normalized with, wrecking validation.
+            // Running stats are still tracked as diagnostics.
+            let mean = xs.iter().sum::<f32>() / s as f32;
+            let var = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / s as f32;
+            if train {
+                self.running_mean[c] =
+                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean;
+                self.running_var[c] =
+                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var;
+            }
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[c] = inv_std;
+            let g = self.gamma.value.data()[c];
+            let b = self.beta.value.data()[c];
+            for i in 0..s {
+                let xh = (xs[i] - mean) * inv_std;
+                xhat.data_mut()[c * s + i] = xh;
+                y.data_mut()[c * s + i] = g * xh + b;
+            }
+        }
+        if train {
+            self.cache = Some((xhat, inv_stds));
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (xhat, inv_stds) = self.cache.take().expect("BatchNorm::backward without forward");
+        let s = self.spatial(grad_out);
+        let mut dx = Tensor::zeros(grad_out.shape().to_vec());
+        for c in 0..self.channels {
+            let g = self.gamma.value.data()[c];
+            let xh = &xhat.data()[c * s..(c + 1) * s];
+            let dy = &grad_out.data()[c * s..(c + 1) * s];
+            let sum_dy: f32 = dy.iter().sum();
+            let sum_dy_xh: f32 = dy.iter().zip(xh).map(|(a, b)| a * b).sum();
+            self.beta.grad.data_mut()[c] += sum_dy;
+            self.gamma.grad.data_mut()[c] += sum_dy_xh;
+            let n = s as f32;
+            for i in 0..s {
+                dx.data_mut()[c * s + i] = g * inv_stds[c] / n
+                    * (n * dy[i] - sum_dy - xh[i] * sum_dy_xh);
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn normalizes_channels_in_train_mode() {
+        let mut bn = BatchNorm::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], vec![2, 4]);
+        let y = bn.forward(&x, true);
+        for c in 0..2 {
+            let ys = &y.data()[c * 4..(c + 1) * 4];
+            let mean: f32 = ys.iter().sum::<f32>() / 4.0;
+            let var: f32 = ys.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "mean should be ~0, got {mean}");
+            // eps = 1e-2 slightly shrinks the normalized variance.
+            assert!((var - 1.0).abs() < 5e-2, "var should be ~1, got {var}");
+        }
+    }
+
+    #[test]
+    fn eval_matches_train_statistics() {
+        // Instance-norm semantics: the same input normalizes identically in
+        // train and eval mode (running stats are diagnostics only).
+        let mut bn = BatchNorm::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.0, 2.0, 5.0], vec![2, 4]);
+        let yt = bn.forward(&x, true);
+        let ye = bn.forward(&x, false);
+        for (a, b) in yt.data().iter().zip(ye.data()) {
+            assert!((a - b).abs() < 1e-6, "train/eval outputs must match");
+        }
+    }
+
+    #[test]
+    fn gradients() {
+        let mut bn = BatchNorm::new(3);
+        check_layer_gradients(&mut bn, &[3, 6], 3e-2);
+    }
+
+    #[test]
+    fn gradients_2d_spatial() {
+        let mut bn = BatchNorm::new(2);
+        check_layer_gradients(&mut bn, &[2, 4, 4], 3e-2);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut bn = BatchNorm::new(16);
+        assert_eq!(bn.param_count(), 32);
+    }
+}

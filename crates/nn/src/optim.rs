@@ -1,0 +1,136 @@
+//! Optimizers.
+
+use crate::layer::Layer;
+
+/// Plain stochastic gradient descent with optional momentum-free weight
+/// decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, weight_decay: 0.0 }
+    }
+
+    /// Applies one update to every parameter of `layer`.
+    pub fn step<L: Layer + ?Sized>(&self, layer: &mut L) {
+        let (lr, wd) = (self.lr, self.weight_decay);
+        layer.visit_params(&mut |p| {
+            let grads = p.grad.data().to_vec();
+            for (v, g) in p.value.data_mut().iter_mut().zip(grads) {
+                *v -= lr * (g + wd * *v);
+            }
+        });
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: i32,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Applies one update to every parameter of `layer`.
+    pub fn step<L: Layer + ?Sized>(&mut self, layer: &mut L) {
+        self.t += 1;
+        let (lr, b1, b2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let bc1 = 1.0 - b1.powi(t);
+        let bc2 = 1.0 - b2.powi(t);
+        layer.visit_params(&mut |p| {
+            let n = p.value.len();
+            for i in 0..n {
+                let g = p.grad.data()[i];
+                let m = b1 * p.m.data()[i] + (1.0 - b1) * g;
+                let v = b2 * p.v.data()[i] + (1.0 - b2) * g * g;
+                p.m.data_mut()[i] = m;
+                p.v.data_mut()[i] = v;
+                let mhat = m / bc1;
+                let vhat = v / bc2;
+                p.value.data_mut()[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, Linear};
+    use crate::loss::mse;
+    use crate::tensor::Tensor;
+
+    fn train_to_fit(opt_is_adam: bool) -> f32 {
+        // Fit y = 2x₀ − x₁ + 0.5 with a single linear layer.
+        let mut net = Linear::new(2, 1, 99);
+        let mut adam = Adam::new(5e-2);
+        let sgd = Sgd::new(5e-2);
+        let data: Vec<([f32; 2], f32)> = vec![
+            ([0.0, 0.0], 0.5),
+            ([1.0, 0.0], 2.5),
+            ([0.0, 1.0], -0.5),
+            ([1.0, 1.0], 1.5),
+            ([0.5, 0.25], 1.25),
+        ];
+        let mut last = f32::MAX;
+        for _ in 0..400 {
+            let mut total = 0.0;
+            for (x, y) in &data {
+                let xt = Tensor::from_vec(x.to_vec(), vec![2]);
+                let yt = Tensor::from_vec(vec![*y], vec![1]);
+                let pred = net.forward(&xt, true);
+                let (l, g) = mse(&pred, &yt);
+                total += l;
+                net.backward(&g);
+            }
+            if opt_is_adam {
+                adam.step(&mut net);
+            } else {
+                sgd.step(&mut net);
+            }
+            net.zero_grad();
+            last = total / data.len() as f32;
+        }
+        last
+    }
+
+    #[test]
+    fn adam_converges_on_linear_regression() {
+        assert!(train_to_fit(true) < 1e-3, "Adam failed to fit linear data");
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_regression() {
+        assert!(train_to_fit(false) < 1e-2, "SGD failed to fit linear data");
+    }
+
+    #[test]
+    fn adam_step_changes_params() {
+        let mut net = Linear::new(3, 1, 0);
+        let before = net.w.value.clone();
+        let x = Tensor::full(vec![3], 1.0);
+        let y = net.forward(&x, true);
+        net.backward(&Tensor::full(y.shape().to_vec(), 1.0));
+        Adam::new(1e-2).step(&mut net);
+        assert_ne!(before, net.w.value);
+    }
+}

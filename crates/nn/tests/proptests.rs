@@ -1,0 +1,104 @@
+//! Property-based tests for the tensor/layer stack.
+
+use proptest::prelude::*;
+use rankmap_nn::layer::{Layer, Linear, Relu, Sequential};
+use rankmap_nn::loss::mse;
+use rankmap_nn::tensor::Tensor;
+
+prop_compose! {
+    fn small_matrix(max: usize)(
+        m in 1..max, n in 1..max,
+        seed in any::<u64>(),
+    ) -> Tensor {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        Tensor::rand_uniform(vec![m, n], 1.0, &mut rng)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (Aᵀ)ᵀ = A.
+    #[test]
+    fn transpose_involution(a in small_matrix(8)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// Softmax rows are probability distributions.
+    #[test]
+    fn softmax_rows_are_distributions(a in small_matrix(8)) {
+        let s = a.softmax_rows();
+        let n = s.shape()[1];
+        for row in 0..s.shape()[0] {
+            let sum: f32 = s.data()[row * n..(row + 1) * n].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            for &v in &s.data()[row * n..(row + 1) * n] {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    /// Matmul distributes over addition: (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributive(seed in any::<u64>(), m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(vec![m, k], 1.0, &mut rng);
+        let b = Tensor::rand_uniform(vec![m, k], 1.0, &mut rng);
+        let c = Tensor::rand_uniform(vec![k, n], 1.0, &mut rng);
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// MSE is zero iff pred == target, positive otherwise.
+    #[test]
+    fn mse_positive_definite(seed in any::<u64>(), n in 1usize..16) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(vec![n], 1.0, &mut rng);
+        let b = Tensor::rand_uniform(vec![n], 1.0, &mut rng);
+        let (self_loss, _) = mse(&a, &a);
+        prop_assert_eq!(self_loss, 0.0);
+        let (cross, _) = mse(&a, &b);
+        prop_assert!(cross >= 0.0);
+    }
+
+    /// A forward pass through a small MLP is finite for any bounded input.
+    #[test]
+    fn mlp_forward_finite(seed in any::<u64>()) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(vec![6], 2.0, &mut rng);
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(6, 12, seed)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(12, 3, seed ^ 1)),
+        ]);
+        let y = net.forward(&x, false);
+        prop_assert_eq!(y.shape(), &[3usize][..]);
+        for &v in y.data() {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    /// Gradient accumulation is additive: two backward passes accumulate
+    /// exactly twice the gradient of one.
+    #[test]
+    fn gradients_accumulate(seed in any::<u64>()) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(vec![4], 1.0, &mut rng);
+        let mut l = Linear::new(4, 2, seed);
+        let g = Tensor::from_vec(vec![1.0, -1.0], vec![2]);
+        let _ = l.forward(&x, true);
+        let _ = l.backward(&g);
+        let once = l.w.grad.clone();
+        l.zero_grad();
+        let _ = l.forward(&x, true);
+        let _ = l.backward(&g);
+        let _ = l.forward(&x, true);
+        let _ = l.backward(&g);
+        for (a, b) in l.w.grad.data().iter().zip(once.data()) {
+            prop_assert!((a - 2.0 * b).abs() < 1e-4);
+        }
+    }
+}

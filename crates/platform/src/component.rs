@@ -1,0 +1,246 @@
+//! Computing components (processors) of a heterogeneous platform.
+
+use std::fmt;
+
+/// Index of a computing component within a [`crate::Platform`].
+///
+/// A thin newtype over `usize` so that mappings cannot accidentally confuse
+/// component indices with unit or DNN indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ComponentId(usize);
+
+impl ComponentId {
+    /// Wraps a raw index.
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The raw index into [`crate::Platform::components`].
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<usize> for ComponentId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// Broad class of a computing component.
+///
+/// The reproduction targets the paper's three-way platform; `Npu` is
+/// included so users can describe richer devices (e.g. RK3588's NPU) even
+/// though the paper does not use it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// An embedded GPU (e.g. Mali-G610), high peak throughput, high
+    /// per-kernel dispatch overhead.
+    Gpu,
+    /// The big CPU cluster of a big.LITTLE SoC (e.g. 4× Cortex-A76).
+    BigCpu,
+    /// The LITTLE CPU cluster (e.g. 4× Cortex-A55).
+    LittleCpu,
+    /// A neural accelerator. Not used by the paper's evaluation but
+    /// supported by the platform description.
+    Npu,
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentKind::Gpu => "GPU",
+            ComponentKind::BigCpu => "big CPU",
+            ComponentKind::LittleCpu => "LITTLE CPU",
+            ComponentKind::Npu => "NPU",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single computing component and the parameters of its roofline model.
+///
+/// The cost model in `rankmap-sim` computes a layer's execution time as
+/// `max(flops / attained_gflops, bytes / mem_bw) + kernel_overhead`, where
+/// `attained_gflops = peak_gflops * base_efficiency * utilization(layer)`
+/// and `utilization` ramps from 0 to 1 as the layer grows past
+/// [`Component::saturation_mflops`]. Small kernels therefore badly
+/// under-utilize a GPU while barely denting a CPU — the effect that makes
+/// fine-grained partitioning interesting in the first place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    name: String,
+    kind: ComponentKind,
+    /// Peak compute throughput of the whole component, in GFLOPS.
+    pub peak_gflops: f64,
+    /// Sustained memory bandwidth this component can draw alone, in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Fixed per-kernel dispatch/launch overhead, in microseconds.
+    pub kernel_overhead_us: f64,
+    /// Fraction of peak attainable on large, GEMM-like kernels (0..=1).
+    pub base_efficiency: f64,
+    /// Kernel size (in MFLOPs) at which utilization reaches 50%.
+    pub saturation_mflops: f64,
+}
+
+impl Component {
+    /// Creates a component with placeholder capability numbers; chain the
+    /// `with_*` builders to configure it.
+    pub fn new(name: impl Into<String>, kind: ComponentKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            peak_gflops: 1.0,
+            mem_bw_gbps: 1.0,
+            kernel_overhead_us: 1.0,
+            base_efficiency: 0.5,
+            saturation_mflops: 1.0,
+        }
+    }
+
+    /// Sets the peak compute throughput in GFLOPS.
+    #[must_use]
+    pub fn with_peak_gflops(mut self, v: f64) -> Self {
+        assert!(v > 0.0, "peak GFLOPS must be positive");
+        self.peak_gflops = v;
+        self
+    }
+
+    /// Sets the sustained memory bandwidth in GB/s.
+    #[must_use]
+    pub fn with_mem_bw_gbps(mut self, v: f64) -> Self {
+        assert!(v > 0.0, "memory bandwidth must be positive");
+        self.mem_bw_gbps = v;
+        self
+    }
+
+    /// Sets the fixed per-kernel overhead in microseconds.
+    #[must_use]
+    pub fn with_kernel_overhead_us(mut self, v: f64) -> Self {
+        assert!(v >= 0.0, "kernel overhead cannot be negative");
+        self.kernel_overhead_us = v;
+        self
+    }
+
+    /// Sets the attainable fraction of peak on large kernels.
+    #[must_use]
+    pub fn with_base_efficiency(mut self, v: f64) -> Self {
+        assert!(v > 0.0 && v <= 1.0, "efficiency must be in (0, 1]");
+        self.base_efficiency = v;
+        self
+    }
+
+    /// Sets the kernel size (MFLOPs) at which utilization reaches 50%.
+    #[must_use]
+    pub fn with_saturation_mflops(mut self, v: f64) -> Self {
+        assert!(v > 0.0, "saturation size must be positive");
+        self.saturation_mflops = v;
+        self
+    }
+
+    /// Component name (e.g. `"mali-g610"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Broad component class.
+    pub fn kind(&self) -> ComponentKind {
+        self.kind
+    }
+
+    /// Utilization factor in `(0, 1)` for a kernel of `flops` floating-point
+    /// operations: `u = flops / (flops + saturation)`.
+    ///
+    /// Monotonically increasing in `flops`; reaches exactly 0.5 at
+    /// [`Component::saturation_mflops`].
+    pub fn utilization(&self, flops: f64) -> f64 {
+        let sat = self.saturation_mflops * 1.0e6;
+        if flops <= 0.0 {
+            return 0.0;
+        }
+        flops / (flops + sat)
+    }
+
+    /// Attained GFLOPS for a kernel of the given size.
+    pub fn attained_gflops(&self, flops: f64) -> f64 {
+        self.peak_gflops * self.base_efficiency * self.utilization(flops)
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}): {:.0} GFLOPS peak, {:.1} GB/s, {:.0} us/kernel",
+            self.name, self.kind, self.peak_gflops, self.mem_bw_gbps, self.kernel_overhead_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> Component {
+        Component::new("g", ComponentKind::Gpu)
+            .with_peak_gflops(450.0)
+            .with_saturation_mflops(28.0)
+            .with_base_efficiency(0.36)
+    }
+
+    #[test]
+    fn utilization_is_monotone() {
+        let c = gpu();
+        let mut prev = 0.0;
+        for flops in [1e3, 1e5, 1e6, 1e7, 1e8, 1e9] {
+            let u = c.utilization(flops);
+            assert!(u > prev, "utilization must grow with kernel size");
+            assert!(u < 1.0);
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn utilization_half_at_saturation() {
+        let c = gpu();
+        let u = c.utilization(28.0e6);
+        assert!((u - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_zero_for_zero_flops() {
+        assert_eq!(gpu().utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn attained_below_peak() {
+        let c = gpu();
+        assert!(c.attained_gflops(1e9) < c.peak_gflops);
+    }
+
+    #[test]
+    fn component_id_display() {
+        assert_eq!(ComponentId::new(2).to_string(), "c2");
+        assert_eq!(ComponentId::from(5).index(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn invalid_efficiency_panics() {
+        let _ = Component::new("x", ComponentKind::Npu).with_base_efficiency(1.5);
+    }
+
+    #[test]
+    fn kind_display_names() {
+        assert_eq!(ComponentKind::Gpu.to_string(), "GPU");
+        assert_eq!(ComponentKind::BigCpu.to_string(), "big CPU");
+        assert_eq!(ComponentKind::LittleCpu.to_string(), "LITTLE CPU");
+        assert_eq!(ComponentKind::Npu.to_string(), "NPU");
+    }
+}

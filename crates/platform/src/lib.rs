@@ -1,0 +1,315 @@
+//! Heterogeneous embedded platform descriptions for RankMap.
+//!
+//! This crate models the *hardware side* of the RankMap reproduction: the
+//! computing components of a heterogeneous embedded device (big CPU cluster,
+//! LITTLE CPU cluster, GPU), their raw capabilities, and the interconnect
+//! used when a DNN pipeline crosses component boundaries.
+//!
+//! The flagship preset is [`Platform::orange_pi_5`], a calibrated stand-in
+//! for the Orange Pi 5 board used in the paper (RK3588S: quad Cortex-A76 @
+//! 2.4 GHz, quad Cortex-A55 @ 1.8 GHz, Mali-G610 GPU). The numbers are not a
+//! cycle-accurate datasheet transcription; they are chosen so that the
+//! downstream cost model in `rankmap-sim` lands close to the single-DNN
+//! throughputs the paper reports (e.g. ResNet-50 ≈ 20 inf/s alone on the
+//! GPU).
+//!
+//! # Example
+//!
+//! ```
+//! use rankmap_platform::{Platform, ComponentKind};
+//!
+//! let platform = Platform::orange_pi_5();
+//! assert_eq!(platform.component_count(), 3);
+//! let gpu = platform.component_of_kind(ComponentKind::Gpu).unwrap();
+//! assert!(gpu.peak_gflops > platform.components()[1].peak_gflops);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod component;
+pub mod link;
+pub mod preset;
+
+pub use component::{Component, ComponentId, ComponentKind};
+pub use link::Link;
+pub use preset::PlatformBuilder;
+
+use std::fmt;
+
+/// A heterogeneous embedded platform: a set of computing components plus the
+/// shared-memory interconnect between them.
+///
+/// Components are indexed by [`ComponentId`] in the order they were added.
+/// The platform also carries device-global resources that are shared by all
+/// components and matter for multi-DNN contention: total DRAM bandwidth and
+/// the per-component cache capacity that drives cache-sensitivity effects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    name: String,
+    components: Vec<Component>,
+    /// Inter-component transfer characteristics (symmetric, via shared DRAM).
+    link: Link,
+    /// Total DRAM bandwidth shared by every component, in GB/s.
+    dram_bw_gbps: f64,
+    /// Effective last-level cache / local-buffer capacity per component id,
+    /// in bytes. Used by the contention model for cache-sensitivity.
+    cache_bytes: Vec<f64>,
+}
+
+impl Platform {
+    /// Creates a platform from parts. Prefer [`PlatformBuilder`] or a preset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty or if `cache_bytes` length differs
+    /// from the component count.
+    pub fn new(
+        name: impl Into<String>,
+        components: Vec<Component>,
+        link: Link,
+        dram_bw_gbps: f64,
+        cache_bytes: Vec<f64>,
+    ) -> Self {
+        assert!(!components.is_empty(), "platform needs at least one component");
+        assert_eq!(
+            components.len(),
+            cache_bytes.len(),
+            "cache_bytes must have one entry per component"
+        );
+        assert!(dram_bw_gbps > 0.0, "DRAM bandwidth must be positive");
+        Self { name: name.into(), components, link, dram_bw_gbps, cache_bytes }
+    }
+
+    /// The calibrated Orange Pi 5 preset used throughout the reproduction.
+    ///
+    /// Component order (and therefore [`ComponentId`] values) is fixed:
+    /// `0` = GPU (Mali-G610), `1` = big CPU cluster (4×A76), `2` = LITTLE
+    /// CPU cluster (4×A55). GPU first matches the paper's convention of the
+    /// GPU being the default, highest-performing component.
+    pub fn orange_pi_5() -> Self {
+        PlatformBuilder::new("orange-pi-5")
+            .component(
+                Component::new("mali-g610", ComponentKind::Gpu)
+                    .with_peak_gflops(450.0)
+                    .with_mem_bw_gbps(14.0)
+                    .with_kernel_overhead_us(110.0)
+                    .with_base_efficiency(0.36)
+                    .with_saturation_mflops(28.0),
+            )
+            .component(
+                Component::new("cortex-a76x4", ComponentKind::BigCpu)
+                    .with_peak_gflops(150.0)
+                    .with_mem_bw_gbps(10.0)
+                    .with_kernel_overhead_us(9.0)
+                    .with_base_efficiency(0.55)
+                    .with_saturation_mflops(2.0),
+            )
+            .component(
+                Component::new("cortex-a55x4", ComponentKind::LittleCpu)
+                    .with_peak_gflops(57.0)
+                    .with_mem_bw_gbps(5.5)
+                    .with_kernel_overhead_us(7.0)
+                    .with_base_efficiency(0.45)
+                    .with_saturation_mflops(1.0),
+            )
+            .link(Link::new(8.0, 250.0))
+            .dram_bw_gbps(17.0)
+            // "Cache" here is the effective capacity each component can keep
+            // hot before thrashing shared DRAM: LLC + streaming locality, not
+            // just the SRAM size. The knee of the contention model.
+            .cache_bytes(vec![48.0e6, 16.0e6, 8.0e6])
+            .build()
+    }
+
+    /// A degenerate single-CPU platform, handy for unit tests.
+    pub fn single_cpu() -> Self {
+        PlatformBuilder::new("single-cpu")
+            .component(
+                Component::new("cpu", ComponentKind::BigCpu)
+                    .with_peak_gflops(100.0)
+                    .with_mem_bw_gbps(10.0)
+                    .with_kernel_overhead_us(10.0)
+                    .with_base_efficiency(0.5)
+                    .with_saturation_mflops(2.0),
+            )
+            .link(Link::new(8.0, 100.0))
+            .dram_bw_gbps(12.0)
+            .cache_bytes(vec![2.0e6])
+            .build()
+    }
+
+    /// A symmetric dual-CPU platform, handy for tests that need exactly two
+    /// identical components.
+    pub fn dual_cpu() -> Self {
+        let cpu = |name: &str| {
+            Component::new(name, ComponentKind::BigCpu)
+                .with_peak_gflops(100.0)
+                .with_mem_bw_gbps(10.0)
+                .with_kernel_overhead_us(10.0)
+                .with_base_efficiency(0.5)
+                .with_saturation_mflops(2.0)
+        };
+        PlatformBuilder::new("dual-cpu")
+            .component(cpu("cpu0"))
+            .component(cpu("cpu1"))
+            .link(Link::new(8.0, 100.0))
+            .dram_bw_gbps(20.0)
+            .cache_bytes(vec![2.0e6, 2.0e6])
+            .build()
+    }
+
+    /// Platform name (e.g. `"orange-pi-5"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All components, indexable by [`ComponentId::index`].
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Number of computing components (`d` in the paper's formulation).
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The component with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this platform.
+    pub fn component(&self, id: ComponentId) -> &Component {
+        &self.components[id.index()]
+    }
+
+    /// First component of the given kind, if any.
+    pub fn component_of_kind(&self, kind: ComponentKind) -> Option<&Component> {
+        self.components.iter().find(|c| c.kind() == kind)
+    }
+
+    /// Id of the first component of the given kind, if any.
+    pub fn id_of_kind(&self, kind: ComponentKind) -> Option<ComponentId> {
+        self.components
+            .iter()
+            .position(|c| c.kind() == kind)
+            .map(ComponentId::new)
+    }
+
+    /// Iterator over `(ComponentId, &Component)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ComponentId, &Component)> {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ComponentId::new(i), c))
+    }
+
+    /// The inter-component transfer link (symmetric, shared-DRAM based).
+    pub fn transfer_link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Total DRAM bandwidth shared across components, in GB/s.
+    pub fn dram_bw_gbps(&self) -> f64 {
+        self.dram_bw_gbps
+    }
+
+    /// Effective cache / local-buffer capacity of a component, in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this platform.
+    pub fn cache_bytes(&self, id: ComponentId) -> f64 {
+        self.cache_bytes[id.index()]
+    }
+
+    /// All valid component ids, in order.
+    pub fn component_ids(&self) -> Vec<ComponentId> {
+        (0..self.components.len()).map(ComponentId::new).collect()
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "platform {} ({} components)", self.name, self.components.len())?;
+        for (id, c) in self.iter() {
+            writeln!(f, "  [{}] {}", id.index(), c)?;
+        }
+        write!(
+            f,
+            "  dram {:.1} GB/s, link {:.1} GB/s + {:.0} us",
+            self.dram_bw_gbps,
+            self.link.bandwidth_gbps(),
+            self.link.latency_us()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orange_pi_has_three_components() {
+        let p = Platform::orange_pi_5();
+        assert_eq!(p.component_count(), 3);
+        assert_eq!(p.components()[0].kind(), ComponentKind::Gpu);
+        assert_eq!(p.components()[1].kind(), ComponentKind::BigCpu);
+        assert_eq!(p.components()[2].kind(), ComponentKind::LittleCpu);
+    }
+
+    #[test]
+    fn gpu_is_fastest_big_beats_little() {
+        let p = Platform::orange_pi_5();
+        let gflops: Vec<f64> = p.components().iter().map(|c| c.peak_gflops).collect();
+        assert!(gflops[0] > gflops[1], "GPU should out-peak big CPU");
+        assert!(gflops[1] > gflops[2], "big CPU should out-peak LITTLE CPU");
+    }
+
+    #[test]
+    fn kind_lookup_roundtrip() {
+        let p = Platform::orange_pi_5();
+        for kind in [ComponentKind::Gpu, ComponentKind::BigCpu, ComponentKind::LittleCpu] {
+            let id = p.id_of_kind(kind).expect("kind present");
+            assert_eq!(p.component(id).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn component_ids_are_dense() {
+        let p = Platform::orange_pi_5();
+        let ids = p.component_ids();
+        assert_eq!(ids.len(), 3);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_mentions_all_components() {
+        let p = Platform::orange_pi_5();
+        let s = p.to_string();
+        assert!(s.contains("mali-g610"));
+        assert!(s.contains("cortex-a76x4"));
+        assert!(s.contains("cortex-a55x4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_platform_panics() {
+        let _ = Platform::new("bad", vec![], Link::new(1.0, 1.0), 1.0, vec![]);
+    }
+
+    #[test]
+    fn dual_cpu_is_symmetric() {
+        let p = Platform::dual_cpu();
+        assert_eq!(p.components()[0].peak_gflops, p.components()[1].peak_gflops);
+    }
+
+    #[test]
+    fn single_cpu_has_no_gpu() {
+        let p = Platform::single_cpu();
+        assert!(p.component_of_kind(ComponentKind::Gpu).is_none());
+        assert!(p.id_of_kind(ComponentKind::BigCpu).is_some());
+    }
+}

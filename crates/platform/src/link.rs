@@ -1,0 +1,75 @@
+//! Inter-component transfer links.
+
+use std::fmt;
+
+/// Transfer characteristics between two components of the platform.
+///
+/// On shared-memory SoCs like the RK3588S, moving an activation tensor
+/// between a pipeline stage on the GPU and one on a CPU cluster means a
+/// write-back plus a read through DRAM and a synchronization point in the
+/// runtime. We model that as `latency + bytes / bandwidth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    bandwidth_gbps: f64,
+    latency_us: f64,
+}
+
+impl Link {
+    /// Creates a link with the given bandwidth (GB/s) and fixed latency (µs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_gbps` is not positive or `latency_us` is
+    /// negative.
+    pub fn new(bandwidth_gbps: f64, latency_us: f64) -> Self {
+        assert!(bandwidth_gbps > 0.0, "link bandwidth must be positive");
+        assert!(latency_us >= 0.0, "link latency cannot be negative");
+        Self { bandwidth_gbps, latency_us }
+    }
+
+    /// Usable bandwidth in GB/s.
+    pub fn bandwidth_gbps(self) -> f64 {
+        self.bandwidth_gbps
+    }
+
+    /// Fixed per-transfer latency in microseconds.
+    pub fn latency_us(self) -> f64 {
+        self.latency_us
+    }
+
+    /// Time in seconds to move `bytes` across this link.
+    pub fn transfer_seconds(self, bytes: f64) -> f64 {
+        self.latency_us * 1.0e-6 + bytes / (self.bandwidth_gbps * 1.0e9)
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} GB/s + {:.0} us", self.bandwidth_gbps, self.latency_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let l = Link::new(8.0, 250.0);
+        assert!(l.transfer_seconds(0.0) >= 250.0e-6);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let l = Link::new(8.0, 0.0);
+        let t1 = l.transfer_seconds(8.0e9);
+        assert!((t1 - 1.0).abs() < 1e-9, "8 GB over 8 GB/s should take 1 s");
+        assert!(l.transfer_seconds(16.0e9) > t1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        let _ = Link::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Builder for assembling [`Platform`] values.
+
+use crate::{Component, Link, Platform};
+
+/// Incrementally configures a [`Platform`].
+///
+/// # Example
+///
+/// ```
+/// use rankmap_platform::{Component, ComponentKind, Link, PlatformBuilder};
+///
+/// let platform = PlatformBuilder::new("toy")
+///     .component(
+///         Component::new("cpu", ComponentKind::BigCpu)
+///             .with_peak_gflops(50.0)
+///             .with_mem_bw_gbps(8.0),
+///     )
+///     .link(Link::new(4.0, 100.0))
+///     .dram_bw_gbps(10.0)
+///     .build();
+/// assert_eq!(platform.component_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    name: String,
+    components: Vec<Component>,
+    link: Link,
+    dram_bw_gbps: f64,
+    cache_bytes: Option<Vec<f64>>,
+}
+
+impl PlatformBuilder {
+    /// Starts a builder for a platform with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            components: Vec::new(),
+            link: Link::new(8.0, 200.0),
+            dram_bw_gbps: 16.0,
+            cache_bytes: None,
+        }
+    }
+
+    /// Adds a computing component; order determines `ComponentId`s.
+    #[must_use]
+    pub fn component(mut self, c: Component) -> Self {
+        self.components.push(c);
+        self
+    }
+
+    /// Sets the symmetric inter-component transfer link.
+    #[must_use]
+    pub fn link(mut self, link: Link) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Sets the total shared DRAM bandwidth in GB/s.
+    #[must_use]
+    pub fn dram_bw_gbps(mut self, v: f64) -> Self {
+        self.dram_bw_gbps = v;
+        self
+    }
+
+    /// Sets per-component effective cache sizes in bytes. If omitted, 1 MiB
+    /// per component is assumed.
+    #[must_use]
+    pub fn cache_bytes(mut self, v: Vec<f64>) -> Self {
+        self.cache_bytes = Some(v);
+        self
+    }
+
+    /// Finalizes the platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no component was added or if an explicitly provided
+    /// `cache_bytes` vector does not match the component count.
+    pub fn build(self) -> Platform {
+        let n = self.components.len();
+        let cache = self
+            .cache_bytes
+            .unwrap_or_else(|| vec![1.0e6; n]);
+        Platform::new(self.name, self.components, self.link, self.dram_bw_gbps, cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ComponentKind;
+
+    #[test]
+    fn builder_defaults_cache() {
+        let p = PlatformBuilder::new("t")
+            .component(Component::new("a", ComponentKind::BigCpu))
+            .component(Component::new("b", ComponentKind::LittleCpu))
+            .build();
+        assert_eq!(p.cache_bytes(crate::ComponentId::new(0)), 1.0e6);
+        assert_eq!(p.cache_bytes(crate::ComponentId::new(1)), 1.0e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per component")]
+    fn mismatched_cache_panics() {
+        let _ = PlatformBuilder::new("t")
+            .component(Component::new("a", ComponentKind::BigCpu))
+            .cache_bytes(vec![1.0, 2.0])
+            .build();
+    }
+}

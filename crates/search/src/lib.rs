@@ -1,0 +1,334 @@
+//! Monte-Carlo Tree Search (UCT) over sequential decision problems.
+//!
+//! RankMap explores the mapping space — one component choice per
+//! schedulable unit — with MCTS (§IV-E): selection and expansion by upper
+//! confidence bounds, simulation by random completion of the partial
+//! mapping, and the trained throughput estimator as the terminal reward.
+//! This crate hosts the search machinery, generic over a
+//! [`DecisionProblem`] so the same code drives RankMap, OmniBoost, and the
+//! toy problems in the tests.
+//!
+//! # Example
+//!
+//! ```
+//! use rankmap_search::{DecisionProblem, Mcts, MctsConfig};
+//!
+//! /// Maximize the number of 1-bits in a 6-bit string.
+//! struct OneMax;
+//! impl DecisionProblem for OneMax {
+//!     type State = Vec<usize>;
+//!     fn root(&self) -> Vec<usize> { Vec::new() }
+//!     fn action_count(&self, s: &Vec<usize>) -> usize {
+//!         if s.len() >= 6 { 0 } else { 2 }
+//!     }
+//!     fn apply(&self, s: &Vec<usize>, a: usize) -> Vec<usize> {
+//!         let mut t = s.clone();
+//!         t.push(a);
+//!         t
+//!     }
+//!     fn evaluate(&self, s: &Vec<usize>) -> f64 {
+//!         s.iter().sum::<usize>() as f64
+//!     }
+//! }
+//!
+//! let result = Mcts::new(MctsConfig { iterations: 400, ..Default::default() })
+//!     .search(&OneMax);
+//! assert_eq!(result.best_state, vec![1, 1, 1, 1, 1, 1]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A finite-horizon sequential decision problem with a terminal reward.
+pub trait DecisionProblem {
+    /// Search state (a partial decision vector).
+    type State: Clone;
+
+    /// The empty/initial state.
+    fn root(&self) -> Self::State;
+
+    /// Number of actions available in `state`; `0` marks a terminal state.
+    fn action_count(&self, state: &Self::State) -> usize;
+
+    /// Applies action `a` (in `0..action_count`) to a state.
+    fn apply(&self, state: &Self::State, a: usize) -> Self::State;
+
+    /// Reward of a terminal state (may be `f64::NEG_INFINITY` for
+    /// disqualified states, per RankMap's starvation threshold).
+    fn evaluate(&self, state: &Self::State) -> f64;
+}
+
+/// MCTS hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MctsConfig {
+    /// Search budget: number of select→expand→simulate→backpropagate
+    /// iterations ("a predefined computational budget", §IV-E).
+    pub iterations: usize,
+    /// UCT exploration constant.
+    pub exploration: f64,
+    /// RNG seed (search is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for MctsConfig {
+    fn default() -> Self {
+        Self { iterations: 2_000, exploration: 1.3, seed: 0 }
+    }
+}
+
+/// Outcome of a search.
+#[derive(Debug, Clone)]
+pub struct SearchResult<S> {
+    /// Best terminal state ever simulated.
+    pub best_state: S,
+    /// Its raw reward.
+    pub best_reward: f64,
+    /// Number of terminal evaluations performed.
+    pub evaluations: usize,
+}
+
+struct Node<S> {
+    state: S,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    /// Next untried action index (actions expand in order; rollouts cover
+    /// the rest stochastically).
+    next_action: usize,
+    action_count: usize,
+    visits: f64,
+    /// Sum of min-max normalized rewards.
+    value: f64,
+}
+
+/// UCT Monte-Carlo Tree Search.
+#[derive(Debug, Clone)]
+pub struct Mcts {
+    config: MctsConfig,
+}
+
+impl Mcts {
+    /// Creates a search instance.
+    pub fn new(config: MctsConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the search and returns the best terminal state found.
+    ///
+    /// Rewards of `NEG_INFINITY` (disqualified mappings) are clamped to
+    /// the running minimum for tree statistics, so the tree steers away
+    /// from them without poisoning the averages.
+    pub fn search<P: DecisionProblem>(&self, problem: &P) -> SearchResult<P::State> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let root_state = problem.root();
+        let root_actions = problem.action_count(&root_state);
+        let mut nodes: Vec<Node<P::State>> = vec![Node {
+            state: root_state.clone(),
+            parent: None,
+            children: Vec::new(),
+            next_action: 0,
+            action_count: root_actions,
+            visits: 0.0,
+            value: 0.0,
+        }];
+        let mut best_state = None;
+        let mut best_reward = f64::NEG_INFINITY;
+        let mut reward_min = f64::INFINITY;
+        let mut reward_max = f64::NEG_INFINITY;
+        let mut evaluations = 0;
+
+        for _ in 0..self.config.iterations {
+            // Selection: descend while fully expanded and non-terminal.
+            let mut cur = 0usize;
+            loop {
+                let n = &nodes[cur];
+                if n.action_count == 0 || n.next_action < n.action_count {
+                    break;
+                }
+                let ln = n.visits.max(1.0).ln();
+                let mut best_child = n.children[0];
+                let mut best_ucb = f64::NEG_INFINITY;
+                for &c in &n.children {
+                    let ch = &nodes[c];
+                    let mean = if ch.visits > 0.0 { ch.value / ch.visits } else { 0.5 };
+                    let ucb = mean
+                        + self.config.exploration * (ln / ch.visits.max(1e-9)).sqrt();
+                    if ucb > best_ucb {
+                        best_ucb = ucb;
+                        best_child = c;
+                    }
+                }
+                cur = best_child;
+            }
+            // Expansion: one untried action (if non-terminal).
+            let leaf = if nodes[cur].action_count > 0 {
+                let a = nodes[cur].next_action;
+                nodes[cur].next_action += 1;
+                let child_state = problem.apply(&nodes[cur].state, a);
+                let child_actions = problem.action_count(&child_state);
+                let child = Node {
+                    state: child_state,
+                    parent: Some(cur),
+                    children: Vec::new(),
+                    next_action: 0,
+                    action_count: child_actions,
+                    visits: 0.0,
+                    value: 0.0,
+                };
+                nodes.push(child);
+                let id = nodes.len() - 1;
+                nodes[cur].children.push(id);
+                id
+            } else {
+                cur
+            };
+            // Simulation: random completion from the leaf.
+            let mut sim = nodes[leaf].state.clone();
+            loop {
+                let k = problem.action_count(&sim);
+                if k == 0 {
+                    break;
+                }
+                sim = problem.apply(&sim, rng.gen_range(0..k));
+            }
+            let raw = problem.evaluate(&sim);
+            evaluations += 1;
+            if raw > best_reward {
+                best_reward = raw;
+                best_state = Some(sim);
+            }
+            // Normalize for backpropagation.
+            let clamped = if raw.is_finite() { raw } else { reward_min.min(0.0) };
+            if clamped.is_finite() {
+                reward_min = reward_min.min(clamped);
+                reward_max = reward_max.max(clamped);
+            }
+            let span = (reward_max - reward_min).max(1e-12);
+            let norm = if raw.is_finite() { (raw - reward_min) / span } else { 0.0 };
+            // Backpropagation.
+            let mut up = Some(leaf);
+            while let Some(i) = up {
+                nodes[i].visits += 1.0;
+                nodes[i].value += norm;
+                up = nodes[i].parent;
+            }
+        }
+
+        SearchResult {
+            best_state: best_state.unwrap_or(root_state),
+            best_reward,
+            evaluations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Maximize Σ bits over a fixed-length binary string.
+    struct OneMax(usize);
+
+    impl DecisionProblem for OneMax {
+        type State = Vec<usize>;
+        fn root(&self) -> Vec<usize> {
+            Vec::new()
+        }
+        fn action_count(&self, s: &Vec<usize>) -> usize {
+            if s.len() >= self.0 {
+                0
+            } else {
+                2
+            }
+        }
+        fn apply(&self, s: &Vec<usize>, a: usize) -> Vec<usize> {
+            let mut t = s.clone();
+            t.push(a);
+            t
+        }
+        fn evaluate(&self, s: &Vec<usize>) -> f64 {
+            s.iter().sum::<usize>() as f64
+        }
+    }
+
+    /// A deceptive problem with a disqualification trap: any string
+    /// containing a `2` is rejected (−∞), the rest score Σ bits.
+    struct Trapped(usize);
+
+    impl DecisionProblem for Trapped {
+        type State = Vec<usize>;
+        fn root(&self) -> Vec<usize> {
+            Vec::new()
+        }
+        fn action_count(&self, s: &Vec<usize>) -> usize {
+            if s.len() >= self.0 {
+                0
+            } else {
+                3
+            }
+        }
+        fn apply(&self, s: &Vec<usize>, a: usize) -> Vec<usize> {
+            let mut t = s.clone();
+            t.push(a);
+            t
+        }
+        fn evaluate(&self, s: &Vec<usize>) -> f64 {
+            if s.contains(&2) {
+                f64::NEG_INFINITY
+            } else {
+                s.iter().sum::<usize>() as f64
+            }
+        }
+    }
+
+    #[test]
+    fn finds_onemax_optimum() {
+        let r = Mcts::new(MctsConfig { iterations: 600, ..Default::default() })
+            .search(&OneMax(8));
+        assert_eq!(r.best_reward, 8.0);
+        assert_eq!(r.best_state, vec![1; 8]);
+    }
+
+    #[test]
+    fn survives_disqualification_traps() {
+        let r = Mcts::new(MctsConfig { iterations: 1500, seed: 1, ..Default::default() })
+            .search(&Trapped(6));
+        assert!(r.best_reward.is_finite(), "must find a qualified state");
+        assert_eq!(r.best_reward, 6.0, "should still find the optimum");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = MctsConfig { iterations: 300, seed: 9, ..Default::default() };
+        let a = Mcts::new(cfg).search(&OneMax(6));
+        let b = Mcts::new(cfg).search(&OneMax(6));
+        assert_eq!(a.best_state, b.best_state);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn budget_controls_evaluations() {
+        let r = Mcts::new(MctsConfig { iterations: 123, ..Default::default() })
+            .search(&OneMax(4));
+        assert_eq!(r.evaluations, 123);
+    }
+
+    #[test]
+    fn more_budget_no_worse() {
+        let small = Mcts::new(MctsConfig { iterations: 20, seed: 3, ..Default::default() })
+            .search(&OneMax(12));
+        let large = Mcts::new(MctsConfig { iterations: 2_000, seed: 3, ..Default::default() })
+            .search(&OneMax(12));
+        assert!(large.best_reward >= small.best_reward);
+    }
+
+    #[test]
+    fn handles_root_terminal() {
+        let r = Mcts::new(MctsConfig { iterations: 10, ..Default::default() })
+            .search(&OneMax(0));
+        assert_eq!(r.best_reward, 0.0);
+        assert!(r.best_state.is_empty());
+    }
+}

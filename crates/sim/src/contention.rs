@@ -1,0 +1,308 @@
+//! Shared contention model: compiling a mapped workload into stages and
+//! inflating stage times for co-location effects.
+
+use crate::cost::CostModel;
+use crate::workload::{Mapping, Workload};
+use rankmap_platform::{ComponentId, Platform};
+
+/// Tunables of the contention model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentionParams {
+    /// Cache-sensitivity strength: how much a fully cache-resident-hostile
+    /// co-runner inflates a fully cache-sensitive stage.
+    pub theta: f64,
+    /// Super-linearity of thrash: the cache term is raised to this power.
+    /// Real boards fall off a cliff when one more heavyweight joins an
+    /// already-saturated component (the paper's baseline collapses from
+    /// P ≈ 0.08 at 3 DNNs to P ≈ 0.005 at 4–5); `kappa > 1` reproduces
+    /// that knee.
+    pub kappa: f64,
+    /// Per-extra-co-located-stage scheduling overhead (context switches,
+    /// command-queue churn).
+    pub alpha: f64,
+}
+
+impl Default for ContentionParams {
+    fn default() -> Self {
+        Self { theta: 1.1, kappa: 1.25, alpha: 0.02 }
+    }
+}
+
+/// One pipeline stage after compilation: isolated time, placement, and the
+/// data needed by both engines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledStage {
+    /// Component executing the stage.
+    pub component: ComponentId,
+    /// Isolated execution seconds (roofline).
+    pub base_seconds: f64,
+    /// Execution seconds after co-location inflation.
+    pub inflated_seconds: f64,
+    /// Working set in bytes (weights + peak activations).
+    pub working_set: f64,
+    /// Seconds to ship this stage's output to the next stage (0 when the
+    /// next stage shares the component, or for the last stage).
+    pub transfer_out_seconds: f64,
+    /// Number of kernel launches per frame (one per layer). Components
+    /// interleave co-located stages at kernel granularity, so many-kernel
+    /// stages pay proportionally more queueing.
+    pub kernel_count: usize,
+    /// Whether the hosting component time-shares preemptively (CPU clusters
+    /// under the OS scheduler) or only at kernel boundaries (GPU/NPU command
+    /// queues). Preemptive sharing degrades gracefully; non-preemptive
+    /// sharing makes a saturated component catastrophic for everyone.
+    pub preemptive: bool,
+}
+
+impl CompiledStage {
+    /// Mean kernel duration under contention — the round-robin interleaving
+    /// quantum of this stage.
+    pub fn mean_kernel_seconds(&self) -> f64 {
+        self.inflated_seconds / self.kernel_count.max(1) as f64
+    }
+}
+
+/// A workload+mapping compiled into per-DNN stage lists with inflated
+/// times. Both the analytical and event engines consume this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledWorkload {
+    /// `stages[d]` is DNN `d`'s pipeline.
+    pub stages: Vec<Vec<CompiledStage>>,
+    /// Number of platform components.
+    pub component_count: usize,
+}
+
+impl CompiledWorkload {
+    /// Compiles a mapping: fuse stages, price them in isolation, then apply
+    /// the cache-sensitivity inflation described in the crate docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping does not validate against the workload and
+    /// platform (callers validate at API boundaries).
+    pub fn compile(
+        platform: &Platform,
+        workload: &Workload,
+        mapping: &Mapping,
+        params: ContentionParams,
+    ) -> Self {
+        mapping
+            .validate(workload, platform.component_count())
+            .expect("mapping must be valid for this workload/platform");
+        let cost = CostModel::new(platform);
+        let mut stages: Vec<Vec<CompiledStage>> = Vec::with_capacity(workload.len());
+        for (d, model) in workload.models().iter().enumerate() {
+            let specs = mapping.stages(d);
+            let mut list = Vec::with_capacity(specs.len());
+            for (i, spec) in specs.iter().enumerate() {
+                let base = cost.stage_seconds(model, spec.unit_range.clone(), spec.component);
+                let ws = cost.stage_working_set(model, spec.unit_range.clone());
+                let transfer = if i + 1 < specs.len() {
+                    let bytes =
+                        model.units()[spec.unit_range.end - 1].output_shape().bytes() as f64;
+                    cost.transfer_seconds(bytes, spec.component, specs[i + 1].component)
+                } else {
+                    0.0
+                };
+                let kernels: usize = model.units()[spec.unit_range.clone()]
+                    .iter()
+                    .map(|u| u.kernel_count())
+                    .sum();
+                let preemptive = !matches!(
+                    platform.component(spec.component).kind(),
+                    rankmap_platform::ComponentKind::Gpu | rankmap_platform::ComponentKind::Npu
+                );
+                list.push(CompiledStage {
+                    component: spec.component,
+                    base_seconds: base,
+                    inflated_seconds: base, // filled in below
+                    working_set: ws,
+                    transfer_out_seconds: transfer,
+                    kernel_count: kernels,
+                    preemptive,
+                });
+            }
+            stages.push(list);
+        }
+        let mut compiled =
+            Self { stages, component_count: platform.component_count() };
+        compiled.apply_inflation(platform, params);
+        compiled
+    }
+
+    /// Cache-sensitivity inflation. For a stage `s` of DNN `d` on
+    /// component `p` (with `soft(x) = x / (x + cache_p)` ∈ [0, 1)):
+    ///
+    /// ```text
+    /// footprint(d,p) = soft(Σ_{stages of d on p} ws)
+    /// pressure(p)    = Σ_d footprint(d, p)                     < N
+    /// sens(s)        = soft(ws(s))
+    /// inflate(s)     = (1 + θ·sens(s)·(pressure(p) − footprint(d,p)))^κ
+    ///                  + α·(n_p − 1)
+    /// ```
+    ///
+    /// Pressure is accumulated per *DNN*, not per stage, so partitioning a
+    /// network more finely does not magically multiply its cache footprint;
+    /// only genuinely distinct co-runners thrash each other. Heavy stages
+    /// (large working set) both create pressure and are sensitive to it,
+    /// and `κ > 1` makes co-locating several heavyweights super-linearly
+    /// bad — the phenomenon that lets greedy managers starve
+    /// Inception-class models on the real board.
+    fn apply_inflation(&mut self, platform: &Platform, params: ContentionParams) {
+        let n = self.component_count;
+        let d_count = self.stages.len();
+        let soft = |ws: f64, cache: f64| ws / (ws + cache);
+        // footprint[d][p] = soft per-DNN working set on component p.
+        let mut raw_fp = vec![vec![0.0f64; n]; d_count];
+        let mut counts = vec![0usize; n];
+        for (d, dnn) in self.stages.iter().enumerate() {
+            for s in dnn {
+                raw_fp[d][s.component.index()] += s.working_set;
+                counts[s.component.index()] += 1;
+            }
+        }
+        let footprint: Vec<Vec<f64>> = raw_fp
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(p, &ws)| {
+                        soft(ws, platform.cache_bytes(rankmap_platform::ComponentId::new(p)))
+                    })
+                    .collect()
+            })
+            .collect();
+        let pressure: Vec<f64> =
+            (0..n).map(|p| footprint.iter().map(|row| row[p]).sum()).collect();
+        for (d, dnn) in self.stages.iter_mut().enumerate() {
+            for s in dnn.iter_mut() {
+                let p = s.component.index();
+                let cache = platform.cache_bytes(s.component);
+                let sens = soft(s.working_set, cache);
+                let others = (pressure[p] - footprint[d][p]).max(0.0);
+                let co = counts[p].saturating_sub(1) as f64;
+                let inflate =
+                    (1.0 + params.theta * sens * others).powf(params.kappa) + params.alpha * co;
+                s.inflated_seconds = s.base_seconds * inflate;
+            }
+        }
+    }
+
+    /// Number of DNNs.
+    pub fn dnn_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Isolated pipeline rate bound per DNN (using inflated times):
+    /// `1 / max(stage, transfer)` along the pipeline.
+    pub fn pipeline_bound(&self, dnn: usize) -> f64 {
+        let mut bottleneck: f64 = 0.0;
+        for s in &self.stages[dnn] {
+            bottleneck = bottleneck.max(s.inflated_seconds).max(s.transfer_out_seconds);
+        }
+        if bottleneck <= 0.0 {
+            0.0
+        } else {
+            1.0 / bottleneck
+        }
+    }
+
+    /// Stages grouped per component: `(dnn, stage_idx)` pairs.
+    pub fn stages_by_component(&self) -> Vec<Vec<(usize, usize)>> {
+        let mut by_comp = vec![Vec::new(); self.component_count];
+        for (d, dnn) in self.stages.iter().enumerate() {
+            for (k, s) in dnn.iter().enumerate() {
+                by_comp[s.component.index()].push((d, k));
+            }
+        }
+        by_comp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmap_models::ModelId;
+    use rankmap_platform::Platform;
+
+    fn compile_uniform(ids: &[ModelId]) -> CompiledWorkload {
+        let p = Platform::orange_pi_5();
+        let w = Workload::from_ids(ids.iter().copied());
+        let m = Mapping::uniform(&w, ComponentId::new(0));
+        CompiledWorkload::compile(&p, &w, &m, ContentionParams::default())
+    }
+
+    #[test]
+    fn single_dnn_alone_not_inflated() {
+        let c = compile_uniform(&[ModelId::AlexNet]);
+        let s = &c.stages[0][0];
+        assert!((s.inflated_seconds - s.base_seconds).abs() / s.base_seconds < 1e-9);
+    }
+
+    #[test]
+    fn co_location_inflates() {
+        let alone = compile_uniform(&[ModelId::ResNet50]);
+        let shared = compile_uniform(&[ModelId::ResNet50, ModelId::Vgg16, ModelId::InceptionV4]);
+        let t_alone = alone.stages[0][0].inflated_seconds;
+        let t_shared = shared.stages[0][0].inflated_seconds;
+        assert!(
+            t_shared > t_alone * 1.5,
+            "heavy co-location should inflate ResNet-50 noticeably: {t_alone} -> {t_shared}"
+        );
+    }
+
+    #[test]
+    fn heavy_stages_suffer_more_than_light() {
+        let shared = compile_uniform(&[ModelId::InceptionV4, ModelId::SqueezeNetV2]);
+        let heavy = &shared.stages[0][0];
+        let light = &shared.stages[1][0];
+        let heavy_ratio = heavy.inflated_seconds / heavy.base_seconds;
+        let light_ratio = light.inflated_seconds / light.base_seconds;
+        assert!(
+            heavy_ratio >= light_ratio,
+            "cache-sensitive (heavy) stage must inflate at least as much: {heavy_ratio} vs {light_ratio}"
+        );
+    }
+
+    #[test]
+    fn pipeline_bound_positive() {
+        let c = compile_uniform(&[ModelId::MobileNet]);
+        assert!(c.pipeline_bound(0) > 0.0);
+    }
+
+    #[test]
+    fn stages_by_component_partition() {
+        let p = Platform::orange_pi_5();
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNetV2]);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+        let m = Mapping::random(&w, 3, &mut rng);
+        let c = CompiledWorkload::compile(&p, &w, &m, ContentionParams::default());
+        let by_comp = c.stages_by_component();
+        let total: usize = by_comp.iter().map(Vec::len).sum();
+        let expect: usize = (0..w.len()).map(|d| m.stages(d).len()).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn inflation_bounded() {
+        // Even a pathological all-on-LITTLE pile-up keeps inflation finite
+        // and below ~1 + θ·max_pressure + α·n.
+        let p = Platform::orange_pi_5();
+        let ids = [
+            ModelId::Vgg16,
+            ModelId::Vgg19,
+            ModelId::InceptionV4,
+            ModelId::ResNet50,
+            ModelId::DenseNet121,
+        ];
+        let w = Workload::from_ids(ids);
+        let m = Mapping::uniform(&w, ComponentId::new(2));
+        let c = CompiledWorkload::compile(&p, &w, &m, ContentionParams::default());
+        for dnn in &c.stages {
+            for s in dnn {
+                let ratio = s.inflated_seconds / s.base_seconds;
+                assert!(ratio >= 1.0 && ratio < 80.0, "inflation ratio {ratio} out of bounds");
+            }
+        }
+    }
+}

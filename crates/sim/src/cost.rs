@@ -1,0 +1,223 @@
+//! Roofline cost model: how long does a layer / unit / stage take on a
+//! given component, in isolation?
+
+use rankmap_models::{DnnModel, LayerDesc, Unit};
+use rankmap_platform::{ComponentId, Platform};
+
+/// Isolated-execution cost model over a platform.
+///
+/// Per layer: `t = max(flops / attained_gflops, bytes / mem_bw) + overhead`,
+/// where attained GFLOPS includes the component's base efficiency and a
+/// utilization ramp penalizing small kernels (see
+/// [`rankmap_platform::Component::attained_gflops`]).
+#[derive(Debug, Clone)]
+pub struct CostModel<'p> {
+    platform: &'p Platform,
+}
+
+impl<'p> CostModel<'p> {
+    /// Creates a cost model over the platform.
+    pub fn new(platform: &'p Platform) -> Self {
+        Self { platform }
+    }
+
+    /// The platform this model prices against.
+    pub fn platform(&self) -> &'p Platform {
+        self.platform
+    }
+
+    /// Seconds to execute one layer on a component, in isolation.
+    pub fn layer_seconds(&self, layer: &LayerDesc, c: ComponentId) -> f64 {
+        let comp = self.platform.component(c);
+        let flops = layer.flops();
+        let compute = flops / (comp.attained_gflops(flops).max(1e-9) * 1e9);
+        let memory = layer.memory_bytes() as f64 / (comp.mem_bw_gbps * 1e9);
+        compute.max(memory) + comp.kernel_overhead_us * 1e-6
+    }
+
+    /// Seconds to execute one schedulable unit on a component, in isolation.
+    pub fn unit_seconds(&self, unit: &Unit, c: ComponentId) -> f64 {
+        unit.layers.iter().map(|l| self.layer_seconds(l, c)).sum()
+    }
+
+    /// Seconds for a contiguous run of units `range` of `model` on `c`.
+    pub fn stage_seconds(
+        &self,
+        model: &DnnModel,
+        range: std::ops::Range<usize>,
+        c: ComponentId,
+    ) -> f64 {
+        model.units()[range].iter().map(|u| self.unit_seconds(u, c)).sum()
+    }
+
+    /// Working-set bytes of a stage: weights + peak activation footprint of
+    /// its units (used by the cache-sensitivity contention model).
+    pub fn stage_working_set(&self, model: &DnnModel, range: std::ops::Range<usize>) -> f64 {
+        let units = &model.units()[range];
+        let weights: u64 = units.iter().map(Unit::weight_bytes).sum();
+        let peak_act = units.iter().map(Unit::peak_activation_bytes).max().unwrap_or(0);
+        (weights + peak_act) as f64
+    }
+
+    /// Seconds to move a stage-boundary tensor between two components
+    /// (zero when they are the same component).
+    pub fn transfer_seconds(&self, bytes: f64, from: ComponentId, to: ComponentId) -> f64 {
+        if from == to {
+            0.0
+        } else {
+            self.platform.transfer_link().transfer_seconds(bytes)
+        }
+    }
+
+    /// Isolated pipeline throughput (inferences/second) for a mapped DNN:
+    /// the steady-state rate of the slowest pipeline element, counting
+    /// inter-stage transfers as pipeline elements.
+    pub fn isolated_pipeline_rate(
+        &self,
+        model: &DnnModel,
+        stages: &[crate::workload::StageSpec],
+    ) -> f64 {
+        let mut bottleneck: f64 = 0.0;
+        for (i, st) in stages.iter().enumerate() {
+            let t = self.stage_seconds(model, st.unit_range.clone(), st.component);
+            bottleneck = bottleneck.max(t);
+            if i + 1 < stages.len() {
+                let bytes =
+                    model.units()[st.unit_range.end - 1].output_shape().bytes() as f64;
+                let tr = self.transfer_seconds(bytes, st.component, stages[i + 1].component);
+                bottleneck = bottleneck.max(tr);
+            }
+        }
+        if bottleneck <= 0.0 {
+            0.0
+        } else {
+            1.0 / bottleneck
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Mapping, Workload};
+    use rankmap_models::ModelId;
+    use rankmap_platform::ComponentKind;
+
+    fn setup() -> Platform {
+        Platform::orange_pi_5()
+    }
+
+    #[test]
+    fn gpu_beats_little_on_big_convs() {
+        let p = setup();
+        let cost = CostModel::new(&p);
+        let m = ModelId::Vgg16.build();
+        let conv3 = &m.units()[4].layers[0]; // a mid-network 256-channel conv
+        let gpu = cost.layer_seconds(conv3, p.id_of_kind(ComponentKind::Gpu).unwrap());
+        let little = cost.layer_seconds(conv3, p.id_of_kind(ComponentKind::LittleCpu).unwrap());
+        assert!(gpu < little, "GPU should beat LITTLE on a large conv");
+    }
+
+    #[test]
+    fn tiny_kernels_prefer_cpu_dispatch() {
+        let p = setup();
+        let cost = CostModel::new(&p);
+        // A tiny squeeze conv: GPU overhead dominates.
+        let m = ModelId::SqueezeNetV2.build();
+        let squeeze = &m.units()[1].layers[0];
+        let gpu = cost.layer_seconds(squeeze, p.id_of_kind(ComponentKind::Gpu).unwrap());
+        let big = cost.layer_seconds(squeeze, p.id_of_kind(ComponentKind::BigCpu).unwrap());
+        assert!(
+            big < gpu,
+            "tiny kernels should run faster on the big CPU ({big} vs {gpu})"
+        );
+    }
+
+    #[test]
+    fn stage_time_is_sum_of_units() {
+        let p = setup();
+        let cost = CostModel::new(&p);
+        let m = ModelId::AlexNet.build();
+        let c = ComponentId::new(0);
+        let whole = cost.stage_seconds(&m, 0..m.unit_count(), c);
+        let split: f64 = (0..m.unit_count())
+            .map(|i| cost.stage_seconds(&m, i..i + 1, c))
+            .sum();
+        assert!((whole - split).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_rate_monotone_in_partitioning() {
+        // Splitting a DNN into pipeline stages on the same component can
+        // only help (bottleneck shrinks) when transfers are free (same
+        // component → no transfer cost).
+        let p = setup();
+        let cost = CostModel::new(&p);
+        let w = Workload::from_ids([ModelId::ResNet50]);
+        let m = &w.models()[0];
+        let gpu = ComponentId::new(0);
+        let whole = Mapping::uniform(&w, gpu);
+        let rate_whole = cost.isolated_pipeline_rate(m, &whole.stages(0));
+        // Split in half, still all on GPU → identical stages fuse back, so
+        // compare against a two-component split instead.
+        let mut assign = vec![gpu; m.unit_count()];
+        for a in assign.iter_mut().take(m.unit_count() / 2) {
+            *a = ComponentId::new(1);
+        }
+        let half = Mapping::new(vec![assign]);
+        let rate_half = cost.isolated_pipeline_rate(m, &half.stages(0));
+        assert!(rate_whole > 0.0 && rate_half > 0.0);
+        // Pipelining across big CPU + GPU should beat GPU-alone for ResNet-50
+        // or at least be in the same ballpark (bottleneck halves, transfer small).
+        assert!(
+            rate_half > rate_whole * 0.5,
+            "pipelined rate {rate_half} collapsed vs whole {rate_whole}"
+        );
+    }
+
+    #[test]
+    fn transfer_zero_on_same_component() {
+        let p = setup();
+        let cost = CostModel::new(&p);
+        assert_eq!(cost.transfer_seconds(1e6, ComponentId::new(1), ComponentId::new(1)), 0.0);
+        assert!(cost.transfer_seconds(1e6, ComponentId::new(0), ComponentId::new(1)) > 0.0);
+    }
+
+    #[test]
+    fn working_set_includes_weights() {
+        let p = setup();
+        let cost = CostModel::new(&p);
+        let m = ModelId::Vgg16.build();
+        let ws = cost.stage_working_set(&m, 0..m.unit_count());
+        assert!(ws > m.total_weight_bytes() as f64 * 0.99);
+    }
+
+    /// Calibration against the paper's reported single-DNN GPU throughputs
+    /// (§V-B): Inception-ResNet-V1 ≈ 4, AlexNet ≈ 43, SqueezeNet-V1 ≈ 67,
+    /// ResNet-50 ≈ 20 inferences/s. The simulated board should land within
+    /// a factor of ~2 of each — the experiments depend on relative order,
+    /// not absolute values.
+    #[test]
+    fn calibration_matches_paper_t_ideal_shape() {
+        let p = setup();
+        let cost = CostModel::new(&p);
+        let gpu = ComponentId::new(0);
+        let rate = |id: ModelId| {
+            let w = Workload::from_ids([id]);
+            let m = &w.models()[0];
+            let map = Mapping::uniform(&w, gpu);
+            cost.isolated_pipeline_rate(m, &map.stages(0))
+        };
+        let inception = rate(ModelId::InceptionResnetV1);
+        let alexnet = rate(ModelId::AlexNet);
+        let squeezenet = rate(ModelId::SqueezeNet);
+        let resnet = rate(ModelId::ResNet50);
+        let within = |measured: f64, paper: f64| measured > paper / 2.2 && measured < paper * 2.2;
+        assert!(within(inception, 4.0), "Inception-ResNet-V1 ideal ≈ 4, got {inception:.1}");
+        assert!(within(alexnet, 43.0), "AlexNet ideal ≈ 43, got {alexnet:.1}");
+        assert!(within(squeezenet, 67.0), "SqueezeNet ideal ≈ 67, got {squeezenet:.1}");
+        assert!(within(resnet, 20.0), "ResNet-50 ideal ≈ 20, got {resnet:.1}");
+        // Relative order must hold exactly.
+        assert!(squeezenet > alexnet && alexnet > resnet && resnet > inception);
+    }
+}

@@ -1,0 +1,96 @@
+//! Per-DNN throughput reports produced by the engines.
+
+use std::fmt;
+
+/// Result of evaluating a mapping: the steady-state throughput of every DNN
+/// in the workload, in inferences per second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// `per_dnn[d]` = inferences/second of DNN `d`.
+    pub per_dnn: Vec<f64>,
+}
+
+impl ThroughputReport {
+    /// Wraps per-DNN rates.
+    pub fn new(per_dnn: Vec<f64>) -> Self {
+        Self { per_dnn }
+    }
+
+    /// The paper's system throughput `T = Σ tᵢ / N`.
+    pub fn average(&self) -> f64 {
+        if self.per_dnn.is_empty() {
+            0.0
+        } else {
+            self.per_dnn.iter().sum::<f64>() / self.per_dnn.len() as f64
+        }
+    }
+
+    /// Potential throughput `Pᵢ = tᵢ_current / tᵢ_ideal` for each DNN, given
+    /// the matching vector of isolated-on-GPU rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ideals` has a different length.
+    pub fn potentials(&self, ideals: &[f64]) -> Vec<f64> {
+        assert_eq!(ideals.len(), self.per_dnn.len(), "ideal rates length mismatch");
+        self.per_dnn
+            .iter()
+            .zip(ideals)
+            .map(|(&t, &ideal)| if ideal > 0.0 { t / ideal } else { 0.0 })
+            .collect()
+    }
+
+    /// Minimum per-DNN throughput (what the starvation threshold guards).
+    pub fn min(&self) -> f64 {
+        self.per_dnn.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl fmt::Display for ThroughputReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.per_dnn.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t:.2}")?;
+        }
+        write!(f, "] inf/s (avg {:.2})", self.average())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_matches_paper_definition() {
+        let r = ThroughputReport::new(vec![10.0, 20.0, 30.0]);
+        assert!((r.average() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potentials_divide_by_ideal() {
+        let r = ThroughputReport::new(vec![5.0, 10.0]);
+        let p = r.potentials(&[10.0, 40.0]);
+        assert_eq!(p, vec![0.5, 0.25]);
+    }
+
+    #[test]
+    fn zero_ideal_yields_zero_potential() {
+        let r = ThroughputReport::new(vec![5.0]);
+        assert_eq!(r.potentials(&[0.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn min_finds_weakest() {
+        let r = ThroughputReport::new(vec![4.0, 0.5, 9.0]);
+        assert_eq!(r.min(), 0.5);
+    }
+
+    #[test]
+    fn display_shows_average() {
+        let r = ThroughputReport::new(vec![1.0, 3.0]);
+        assert!(r.to_string().contains("avg 2.00"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig. 8's scenario as an example: DNNs of very different weights arrive
+//! over ten minutes; RankMap-D keeps even the heavy Inception-ResNet-V1
+//! alive while OmniBoost (mean-throughput greedy) starves it.
+//!
+//! ```bash
+//! cargo run --release --example dynamic_arrivals
+//! ```
+
+use rankmap::baselines::OmniBoost;
+use rankmap::core::manager::{ManagerConfig, RankMapManager};
+use rankmap::core::runtime::{DynamicEvent, DynamicRuntime, RankMapMapper, WorkloadMapper};
+use rankmap::prelude::*;
+
+fn main() {
+    let platform = Platform::orange_pi_5();
+    let events = vec![
+        DynamicEvent::Arrive { at: 0.0, model: ModelId::InceptionResnetV1 },
+        DynamicEvent::Arrive { at: 150.0, model: ModelId::AlexNet },
+        DynamicEvent::Arrive { at: 300.0, model: ModelId::SqueezeNet },
+        DynamicEvent::Arrive { at: 450.0, model: ModelId::ResNet50 },
+    ];
+    let oracle = AnalyticalOracle::new(&platform);
+    let runtime = DynamicRuntime::new(&platform, 150.0);
+
+    let mut mappers: Vec<Box<dyn WorkloadMapper>> = vec![
+        Box::new(RankMapMapper::new(
+            RankMapManager::new(&platform, &oracle, ManagerConfig::default()),
+            PriorityMode::Dynamic,
+            "RankMapD",
+        )),
+        Box::new(OmniBoost::new(&platform, &oracle, 1_000, 7)),
+    ];
+
+    for mapper in &mut mappers {
+        println!("\n=== {} ===", mapper.name());
+        let timeline = runtime.run(&events, mapper.as_mut(), 600.0);
+        for point in &timeline {
+            print!("t={:>3.0}s ", point.time);
+            for (id, p) in point.models.iter().zip(&point.potentials) {
+                let starved = if *p < STARVATION_POTENTIAL { "!" } else { "" };
+                print!(" {}={:.2}{}", id.name(), p, starved);
+            }
+            println!();
+        }
+        let starved: usize = timeline
+            .iter()
+            .flat_map(|p| p.potentials.iter())
+            .filter(|&&p| p < STARVATION_POTENTIAL)
+            .count();
+        println!("starved samples: {starved}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Trains the full learned pipeline (VQ-VAE + multi-task estimator) on
+//! board-simulator data and uses it as the search oracle — the paper's
+//! actual configuration. Slower than the analytical oracle but exercises
+//! every learned component.
+//!
+//! ```bash
+//! cargo run --release --example train_estimator
+//! ```
+
+use rankmap::core::manager::{ManagerConfig, RankMapManager};
+use rankmap::core::train::{train_pipeline, Fidelity};
+use rankmap::prelude::*;
+
+fn main() {
+    let platform = Platform::orange_pi_5();
+    eprintln!("training the estimator at Quick fidelity (600 samples)...");
+    let artifacts = train_pipeline(&platform, Fidelity::Quick, 1);
+    println!("dataset: {} labelled mappings", artifacts.dataset_size);
+    println!("VQ-VAE reconstruction MSE: {:.4}", artifacts.vqvae_loss);
+    println!(
+        "estimator validation L2 by epoch: {:?}",
+        artifacts
+            .report
+            .val_loss
+            .iter()
+            .map(|v| (v * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+
+    // Use the learned oracle inside the manager, as the paper does.
+    let manager = RankMapManager::new(
+        &platform,
+        &artifacts.oracle,
+        ManagerConfig { mcts_iterations: 800, ..Default::default() },
+    );
+    let workload =
+        Workload::from_ids([ModelId::AlexNet, ModelId::ResNet50, ModelId::SqueezeNetV2]);
+    let plan = manager.map(&workload, &PriorityMode::Dynamic);
+    println!("\nlearned-oracle mapping:\n{}", plan.mapping);
+
+    let board = EventEngine::new(&platform);
+    let measured = board.evaluate(&workload, &plan.mapping);
+    let baseline =
+        board.evaluate(&workload, &Mapping::uniform(&workload, ComponentId::new(0)));
+    println!("measured : {measured}");
+    println!("baseline : {baseline}");
+}

@@ -1,0 +1,52 @@
+//! # RankMap
+//!
+//! A priority-aware multi-DNN manager for heterogeneous embedded devices —
+//! a full Rust reproduction of *RankMap* (Karatzas, Stamoulis,
+//! Anagnostopoulos; DATE 2025).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | Crate | What it holds |
+//! |---|---|
+//! | [`platform`] | Component/platform descriptions (Orange Pi 5 preset) |
+//! | [`models`] | The 24-architecture DNN zoo with Equation-1 layer features |
+//! | [`sim`] | The simulated board: roofline costs, contention, event engine |
+//! | [`nn`] | Tensor + backprop micro-framework |
+//! | [`estimator`] | VQ-VAE and the multi-task attention throughput estimator |
+//! | [`search`] | UCT Monte-Carlo Tree Search |
+//! | [`core`] | Priorities, reward, the manager, training, dynamic runtime |
+//! | [`baselines`] | Baseline/MOSAIC/ODMDEF/GA/OmniBoost comparison managers |
+//!
+//! # Example
+//!
+//! ```
+//! use rankmap::prelude::*;
+//!
+//! let platform = Platform::orange_pi_5();
+//! let workload = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNetV2]);
+//! let oracle = AnalyticalOracle::new(&platform);
+//! let manager = RankMapManager::new(
+//!     &platform,
+//!     &oracle,
+//!     ManagerConfig { mcts_iterations: 200, ..Default::default() },
+//! );
+//! let plan = manager.map(&workload, &PriorityMode::Dynamic);
+//! assert!(plan.mapping.validate(&workload, platform.component_count()).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rankmap_baselines as baselines;
+pub use rankmap_core as core;
+pub use rankmap_estimator as estimator;
+pub use rankmap_models as models;
+pub use rankmap_nn as nn;
+pub use rankmap_platform as platform;
+pub use rankmap_search as search;
+pub use rankmap_sim as sim;
+
+/// One-stop imports (re-export of [`rankmap_core::prelude`]).
+pub mod prelude {
+    pub use rankmap_core::prelude::*;
+}
