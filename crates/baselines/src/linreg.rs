@@ -21,9 +21,9 @@ pub fn fit(x: &[f64], y: &[f64], dims: usize) -> Vec<f64> {
             1.0
         }
     };
-    for i in 0..n {
+    for (i, &yi) in y.iter().enumerate().take(n) {
         for a in 0..d {
-            xty[a] += row(i, a) * y[i];
+            xty[a] += row(i, a) * yi;
             for b in 0..d {
                 xtx[a * d + b] += row(i, a) * row(i, b);
             }

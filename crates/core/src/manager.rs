@@ -19,6 +19,10 @@ pub struct ManagerConfig {
     pub threshold: StarvationThreshold,
     /// Search seed.
     pub seed: u64,
+    /// Rollouts per batched oracle round (`K`). `1` reproduces the
+    /// sequential search exactly; the default keeps the oracle fed with
+    /// stacked batches (see `docs/performance.md`).
+    pub batch: usize,
 }
 
 impl Default for ManagerConfig {
@@ -28,6 +32,7 @@ impl Default for ManagerConfig {
             exploration: 1.3,
             threshold: StarvationThreshold::default(),
             seed: 0,
+            batch: 8,
         }
     }
 }
@@ -57,6 +62,9 @@ pub struct RankMapManager<'p, O: ThroughputOracle> {
     platform: &'p Platform,
     oracle: &'p O,
     config: ManagerConfig,
+    /// Measured isolated ideal rates, memoized per model: a full
+    /// event-simulator run per model otherwise recurs on every `map` call.
+    ideal_cache: std::sync::Mutex<std::collections::HashMap<rankmap_models::ModelId, f64>>,
 }
 
 /// The mapping decision problem: one component choice per schedulable unit
@@ -67,6 +75,21 @@ struct MappingProblem<'a, O: ThroughputOracle> {
     spec: &'a RewardSpec,
     components: usize,
     total_units: usize,
+}
+
+impl<O: ThroughputOracle> MappingProblem<'_, O> {
+    /// Folds oracle throughputs into the search reward.
+    fn reward_of(&self, throughputs: &[f64]) -> f64 {
+        let r = self.spec.reward(throughputs);
+        if r == DISQUALIFIED {
+            // Shift fallback scores far below any qualified reward so the
+            // search keeps a best-effort answer when nothing qualifies,
+            // while the tree still prefers qualified regions.
+            -1.0e6 + self.spec.fallback_score(throughputs)
+        } else {
+            r
+        }
+    }
 }
 
 impl<O: ThroughputOracle> DecisionProblem for MappingProblem<'_, O> {
@@ -90,25 +113,47 @@ impl<O: ThroughputOracle> DecisionProblem for MappingProblem<'_, O> {
         s
     }
 
+    fn apply_in_place(&self, state: &mut Self::State, a: usize) {
+        state.push(ComponentId::new(a));
+    }
+
     fn evaluate(&self, state: &Self::State) -> f64 {
         let mapping = Mapping::from_flat(self.workload, state);
         let throughputs = self.oracle.predict(self.workload, &mapping);
-        let r = self.spec.reward(&throughputs);
-        if r == DISQUALIFIED {
-            // Shift fallback scores far below any qualified reward so the
-            // search keeps a best-effort answer when nothing qualifies,
-            // while the tree still prefers qualified regions.
-            -1.0e6 + self.spec.fallback_score(&throughputs)
-        } else {
-            r
+        self.reward_of(&throughputs)
+    }
+
+    fn evaluate_batch(&self, states: &[Self::State]) -> Vec<f64> {
+        let mappings: Vec<Mapping> =
+            states.iter().map(|s| Mapping::from_flat(self.workload, s)).collect();
+        self.oracle
+            .predict_batch(self.workload, &mappings)
+            .iter()
+            .map(|t| self.reward_of(t))
+            .collect()
+    }
+
+    fn transposition_key(&self, state: &Self::State) -> Option<u64> {
+        // FNV-1a over the flat component vector: terminal mappings that
+        // random rollouts revisit are answered from the cache for free.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for c in state {
+            h ^= c.index() as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
         }
+        Some(h)
     }
 }
 
 impl<'p, O: ThroughputOracle> RankMapManager<'p, O> {
     /// Creates a manager over a platform and oracle.
     pub fn new(platform: &'p Platform, oracle: &'p O, config: ManagerConfig) -> Self {
-        Self { platform, oracle, config }
+        Self {
+            platform,
+            oracle,
+            config,
+            ideal_cache: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
     }
 
     /// The manager's configuration.
@@ -117,14 +162,22 @@ impl<'p, O: ThroughputOracle> RankMapManager<'p, O> {
     }
 
     /// Measures per-DNN ideal rates (isolated on the GPU, or the fastest
-    /// component when no GPU exists).
+    /// component when no GPU exists), memoized across `map` calls.
     pub fn ideal_rates(&self, workload: &Workload) -> Vec<f64> {
-        let engine = EventEngine::quick(self.platform);
         let gpu = self
             .platform
             .id_of_kind(rankmap_platform::ComponentKind::Gpu)
             .unwrap_or(ComponentId::new(0));
-        workload.models().iter().map(|m| engine.ideal_rate(m.id(), gpu)).collect()
+        let mut cache = self.ideal_cache.lock().expect("ideal-rate cache poisoned");
+        workload
+            .models()
+            .iter()
+            .map(|m| {
+                *cache.entry(m.id()).or_insert_with(|| {
+                    EventEngine::quick(self.platform).ideal_rate(m.id(), gpu)
+                })
+            })
+            .collect()
     }
 
     /// Searches for the best mapping of `workload` under `priorities`
@@ -144,6 +197,8 @@ impl<'p, O: ThroughputOracle> RankMapManager<'p, O> {
             iterations: self.config.mcts_iterations,
             exploration: self.config.exploration,
             seed: self.config.seed,
+            batch: self.config.batch,
+            ..Default::default()
         })
         .search(&problem);
         let mapping = Mapping::from_flat(workload, &result.best_state);

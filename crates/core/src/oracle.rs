@@ -1,9 +1,16 @@
 //! Throughput oracles: what the search consults to score a mapping.
 
-use rankmap_estimator::{EmbeddingTable, Estimator, QTensorSpec, VqVae};
+use rankmap_estimator::{CompiledStem, EmbeddingTable, Estimator, QTensorSpec, VqVae};
+use rankmap_models::ModelId;
 use rankmap_platform::Platform;
-use rankmap_sim::{AnalyticalEngine, EventEngine, Mapping, Workload};
-use std::cell::RefCell;
+use rankmap_sim::{
+    AnalyticalEngine, CompileCache, EventEngine, Mapping, Workload,
+};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Ideal-rate lookup used to convert potential throughput back to inf/s.
+pub type IdealFn = Box<dyn Fn(rankmap_models::ModelId) -> f64 + Send + Sync>;
 
 /// Predicts per-DNN throughput (inferences/second) for a candidate mapping.
 ///
@@ -12,30 +19,56 @@ use std::cell::RefCell;
 /// contention model (an ablation), and [`BoardOracle`] queries the
 /// discrete-event simulator directly (ground truth — what the paper's GA
 /// baseline does on the real board, slowly).
-pub trait ThroughputOracle {
+///
+/// All oracles are `Sync`: one instance serves any number of search
+/// threads concurrently, which is what lets the batched MCTS fan a round
+/// of rollouts across the thread pool.
+pub trait ThroughputOracle: Sync {
     /// Predicted throughput of every DNN in `workload` under `mapping`.
     fn predict(&self, workload: &Workload, mapping: &Mapping) -> Vec<f64>;
+
+    /// Predicted throughputs for a whole batch of mappings — the search
+    /// hot path. The default maps [`ThroughputOracle::predict`];
+    /// implementations override it to amortize per-query work (stacked
+    /// estimator matmuls, cached workload compilation, thread-pool
+    /// fan-out).
+    fn predict_batch(&self, workload: &Workload, mappings: &[Mapping]) -> Vec<Vec<f64>> {
+        mappings.iter().map(|m| self.predict(workload, m)).collect()
+    }
 
     /// Human-readable oracle name (for run-time reports).
     fn name(&self) -> &'static str;
 }
 
 /// Oracle backed by the analytical contention solver.
-#[derive(Debug, Clone)]
+///
+/// Holds a [`CompileCache`] so repeated queries against the same workload
+/// skip the per-query roofline pricing pass.
+#[derive(Debug)]
 pub struct AnalyticalOracle<'p> {
+    platform: &'p Platform,
     engine: AnalyticalEngine<'p>,
+    cache: CompileCache,
 }
 
 impl<'p> AnalyticalOracle<'p> {
     /// Creates the oracle over a platform.
     pub fn new(platform: &'p Platform) -> Self {
-        Self { engine: AnalyticalEngine::new(platform) }
+        Self { platform, engine: AnalyticalEngine::new(platform), cache: CompileCache::new() }
     }
 }
 
 impl ThroughputOracle for AnalyticalOracle<'_> {
     fn predict(&self, workload: &Workload, mapping: &Mapping) -> Vec<f64> {
-        self.engine.evaluate(workload, mapping).per_dnn
+        let costs = self.cache.costs(self.platform, workload);
+        self.engine.evaluate_with(&costs, workload, mapping).per_dnn
+    }
+
+    fn predict_batch(&self, workload: &Workload, mappings: &[Mapping]) -> Vec<Vec<f64>> {
+        let costs = self.cache.costs(self.platform, workload);
+        rayon::iter::par_map_slice(mappings, &|m| {
+            self.engine.evaluate_with(&costs, workload, m).per_dnn
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -45,27 +78,38 @@ impl ThroughputOracle for AnalyticalOracle<'_> {
 
 /// Oracle that runs the discrete-event simulator for every query — exact
 /// but orders of magnitude slower; this is what "evaluating on the board"
-/// costs the GA baseline.
-#[derive(Debug, Clone)]
+/// costs the GA baseline. Workload pricing is still cached so only the
+/// event loop itself is paid per query.
+#[derive(Debug)]
 pub struct BoardOracle<'p> {
+    platform: &'p Platform,
     engine: EventEngine<'p>,
+    cache: CompileCache,
 }
 
 impl<'p> BoardOracle<'p> {
     /// Creates the oracle over a platform (quick simulation window).
     pub fn new(platform: &'p Platform) -> Self {
-        Self { engine: EventEngine::quick(platform) }
+        Self { platform, engine: EventEngine::quick(platform), cache: CompileCache::new() }
     }
 
     /// Uses a custom engine (e.g. longer windows).
-    pub fn with_engine(engine: EventEngine<'p>) -> Self {
-        Self { engine }
+    pub fn with_engine(platform: &'p Platform, engine: EventEngine<'p>) -> Self {
+        Self { platform, engine, cache: CompileCache::new() }
     }
 }
 
 impl ThroughputOracle for BoardOracle<'_> {
     fn predict(&self, workload: &Workload, mapping: &Mapping) -> Vec<f64> {
-        self.engine.evaluate(workload, mapping).per_dnn
+        let costs = self.cache.costs(self.platform, workload);
+        self.engine.evaluate_with(&costs, workload, mapping).per_dnn
+    }
+
+    fn predict_batch(&self, workload: &Workload, mappings: &[Mapping]) -> Vec<Vec<f64>> {
+        let costs = self.cache.costs(self.platform, workload);
+        rayon::iter::par_map_slice(mappings, &|m| {
+            self.engine.evaluate_with(&costs, workload, m).per_dnn
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -76,13 +120,23 @@ impl ThroughputOracle for BoardOracle<'_> {
 /// Oracle backed by the trained VQ-VAE + multi-task estimator: the paper's
 /// configuration. Predicts potential throughput per slot and scales by the
 /// per-model ideal rates.
+///
+/// Thread-safe by construction: the VQ-VAE and estimator are frozen and
+/// queried through `&self` (no `RefCell`, no locks on the hot path); only
+/// the lazily grown embedding table sits behind a `RwLock`, and steady
+/// state takes the read side exclusively. Batched queries run the
+/// estimator's decoder heads as one stacked matmul per stream and fan the
+/// shared backbone across the thread pool.
 pub struct LearnedOracle {
-    vqvae: RefCell<VqVae>,
-    embeddings: RefCell<EmbeddingTable>,
-    estimator: RefCell<Estimator>,
+    vqvae: VqVae,
+    embeddings: RwLock<EmbeddingTable>,
+    estimator: Estimator,
     spec: QTensorSpec,
+    /// Per-workload compiled stems (see [`Estimator::compile_stem`]):
+    /// queries skip both `Q` assembly and the stem convolution.
+    stems: Mutex<HashMap<Vec<ModelId>, Arc<CompiledStem>>>,
     /// Ideal (isolated-on-GPU) rates per model id, resolved lazily.
-    ideal_fn: Box<dyn Fn(rankmap_models::ModelId) -> f64>,
+    ideal_fn: IdealFn,
 }
 
 impl LearnedOracle {
@@ -91,14 +145,15 @@ impl LearnedOracle {
         vqvae: VqVae,
         embeddings: EmbeddingTable,
         estimator: Estimator,
-        ideal_fn: Box<dyn Fn(rankmap_models::ModelId) -> f64>,
+        ideal_fn: IdealFn,
     ) -> Self {
         let spec = estimator.config().spec;
         Self {
-            vqvae: RefCell::new(vqvae),
-            embeddings: RefCell::new(embeddings),
-            estimator: RefCell::new(estimator),
+            vqvae,
+            embeddings: RwLock::new(embeddings),
+            estimator,
             spec,
+            stems: Mutex::new(HashMap::new()),
             ideal_fn,
         }
     }
@@ -107,17 +162,38 @@ impl LearnedOracle {
     pub fn spec(&self) -> QTensorSpec {
         self.spec
     }
-}
 
-impl ThroughputOracle for LearnedOracle {
-    fn predict(&self, workload: &Workload, mapping: &Mapping) -> Vec<f64> {
-        let mut emb = self.embeddings.borrow_mut();
-        let mut vq = self.vqvae.borrow_mut();
-        for m in workload.models() {
-            emb.ensure(&mut vq, m);
+    /// Makes sure every model of `workload` has frozen unit embeddings,
+    /// taking the write lock only when something is actually missing.
+    fn ensure_embeddings(&self, workload: &Workload) {
+        let complete = self
+            .embeddings
+            .read()
+            .expect("embedding table poisoned")
+            .contains_all(workload.models());
+        if !complete {
+            let mut table = self.embeddings.write().expect("embedding table poisoned");
+            for m in workload.models() {
+                table.ensure_frozen(&self.vqvae, m);
+            }
         }
-        let q = emb.q_tensor(&self.spec, workload, mapping);
-        let preds = self.estimator.borrow_mut().predict(&q);
+    }
+
+    /// The compiled stem for `workload`, built on first sight of the mix.
+    fn compiled_stem(&self, workload: &Workload) -> Arc<CompiledStem> {
+        let key: Vec<ModelId> = workload.models().iter().map(|m| m.id()).collect();
+        let mut stems = self.stems.lock().expect("stem cache poisoned");
+        stems
+            .entry(key)
+            .or_insert_with(|| {
+                let table = self.embeddings.read().expect("embedding table poisoned");
+                Arc::new(self.estimator.compile_stem(&table, workload))
+            })
+            .clone()
+    }
+
+    /// Converts per-slot potentials to per-DNN inf/s.
+    fn scale_by_ideals(&self, workload: &Workload, preds: &[f32]) -> Vec<f64> {
         workload
             .models()
             .iter()
@@ -127,6 +203,25 @@ impl ThroughputOracle for LearnedOracle {
                 (preds[i].max(0.0) as f64) * ideal
             })
             .collect()
+    }
+}
+
+impl ThroughputOracle for LearnedOracle {
+    fn predict(&self, workload: &Workload, mapping: &Mapping) -> Vec<f64> {
+        self.ensure_embeddings(workload);
+        let stem = self.compiled_stem(workload);
+        let preds = self
+            .estimator
+            .infer_slots_from_stem(stem.stem_output(mapping), workload.len());
+        self.scale_by_ideals(workload, &preds)
+    }
+
+    fn predict_batch(&self, workload: &Workload, mappings: &[Mapping]) -> Vec<Vec<f64>> {
+        self.ensure_embeddings(workload);
+        let stem = self.compiled_stem(workload);
+        let stem_outs: Vec<_> = mappings.iter().map(|m| stem.stem_output(m)).collect();
+        let preds = self.estimator.infer_batch_slots_from_stem(stem_outs, workload.len());
+        preds.iter().map(|p| self.scale_by_ideals(workload, p)).collect()
     }
 
     fn name(&self) -> &'static str {
@@ -140,6 +235,7 @@ mod tests {
     use rankmap_estimator::{EstimatorConfig, VqVaeConfig};
     use rankmap_models::ModelId;
     use rankmap_platform::ComponentId;
+    use rankmap_sim::EventEngine;
 
     #[test]
     fn analytical_oracle_positive() {
@@ -174,5 +270,27 @@ mod tests {
         let t = oracle.predict(&w, &m);
         assert_eq!(t.len(), 1);
         assert!(t[0] >= 0.0, "negative predictions must be clamped");
+    }
+
+    #[test]
+    fn learned_oracle_builds_missing_embeddings_lazily() {
+        let vq = VqVae::new(VqVaeConfig::default(), 1);
+        let est = Estimator::new(EstimatorConfig::quick(), 1);
+        // Empty table: every model is missing at first query.
+        let oracle =
+            LearnedOracle::new(vq, EmbeddingTable::default(), est, Box::new(|_| 10.0));
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        let m = Mapping::uniform(&w, ComponentId::new(1));
+        let t = oracle.predict(&w, &m);
+        assert_eq!(t.len(), 2);
+        assert!(t.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn oracles_are_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<AnalyticalOracle<'static>>();
+        assert_sync::<BoardOracle<'static>>();
+        assert_sync::<LearnedOracle>();
     }
 }

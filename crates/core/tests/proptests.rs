@@ -1,11 +1,15 @@
-//! Property-based tests for reward semantics and priorities.
+//! Property-based tests for reward semantics, priorities, and the batched
+//! oracle hot path.
 
 use proptest::prelude::*;
 use rankmap_core::metrics;
+use rankmap_core::oracle::{AnalyticalOracle, BoardOracle, LearnedOracle, ThroughputOracle};
 use rankmap_core::priority::PriorityMode;
 use rankmap_core::reward::{RewardSpec, StarvationThreshold, DISQUALIFIED};
+use rankmap_estimator::{EmbeddingTable, Estimator, EstimatorConfig, VqVae, VqVaeConfig};
 use rankmap_models::ModelId;
-use rankmap_sim::Workload;
+use rankmap_platform::Platform;
+use rankmap_sim::{Mapping, Workload};
 
 prop_compose! {
     fn spec_and_throughputs()(
@@ -97,5 +101,72 @@ proptest! {
         let v: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..3.0)).collect();
         let h = metrics::histogram(&v, 0.0, 1.0, 7);
         prop_assert_eq!(h.iter().sum::<usize>(), n);
+    }
+}
+
+prop_compose! {
+    /// A small workload plus a batch of 1..=6 random mappings for it.
+    fn workload_and_batch()(
+        n in 1usize..=3,
+        batch in 1usize..=6,
+        seed in any::<u64>(),
+    ) -> (Workload, Vec<Mapping>) {
+        use rand::Rng;
+        let pool = [ModelId::AlexNet, ModelId::SqueezeNetV2, ModelId::MobileNet];
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let ids: Vec<ModelId> = (0..n).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+        let w = Workload::from_ids(ids);
+        let ms: Vec<Mapping> = (0..batch).map(|_| Mapping::random(&w, 3, &mut rng)).collect();
+        (w, ms)
+    }
+}
+
+fn learned_oracle() -> LearnedOracle {
+    let mut vq = VqVae::new(VqVaeConfig::default(), 5);
+    let pool: Vec<_> = [ModelId::AlexNet, ModelId::SqueezeNetV2, ModelId::MobileNet]
+        .iter()
+        .map(|id| id.build())
+        .collect();
+    let table = EmbeddingTable::build(&mut vq, &pool);
+    let est = Estimator::new(EstimatorConfig::quick(), 5);
+    LearnedOracle::new(vq, table, est, Box::new(|_| 25.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `predict_batch` must agree with per-item `predict` for the
+    /// analytical oracle (bit for bit: same cost tables, same solver).
+    #[test]
+    fn analytical_batch_matches_predict((w, ms) in workload_and_batch()) {
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let batched = oracle.predict_batch(&w, &ms);
+        prop_assert_eq!(batched.len(), ms.len());
+        for (m, row) in ms.iter().zip(&batched) {
+            prop_assert_eq!(row, &oracle.predict(&w, m));
+        }
+    }
+
+    /// Same for the board (event simulator) oracle.
+    #[test]
+    fn board_batch_matches_predict((w, ms) in workload_and_batch()) {
+        let platform = Platform::orange_pi_5();
+        let oracle = BoardOracle::new(&platform);
+        let batched = oracle.predict_batch(&w, &ms);
+        for (m, row) in ms.iter().zip(&batched) {
+            prop_assert_eq!(row, &oracle.predict(&w, m));
+        }
+    }
+
+    /// And for the learned oracle, whose batch path runs the decoder
+    /// heads as stacked matmuls — results must still be bit-identical.
+    #[test]
+    fn learned_batch_matches_predict((w, ms) in workload_and_batch()) {
+        let oracle = learned_oracle();
+        let batched = oracle.predict_batch(&w, &ms);
+        for (m, row) in ms.iter().zip(&batched) {
+            prop_assert_eq!(row, &oracle.predict(&w, m));
+        }
     }
 }

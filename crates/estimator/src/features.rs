@@ -48,6 +48,12 @@ pub struct EmbeddingTable {
 impl EmbeddingTable {
     /// Builds the table for the given models through a trained VQ-VAE.
     pub fn build(vqvae: &mut VqVae, models: &[DnnModel]) -> Self {
+        Self::build_frozen(vqvae, models)
+    }
+
+    /// Builds the table through `&VqVae` (frozen codebooks) — the
+    /// thread-safe construction path.
+    pub fn build_frozen(vqvae: &VqVae, models: &[DnnModel]) -> Self {
         let embed_dim = vqvae.config().embed_dim;
         let mut per_model = HashMap::new();
         for m in models {
@@ -56,8 +62,8 @@ impl EmbeddingTable {
         Self { per_model, embed_dim }
     }
 
-    fn embed_model(vqvae: &mut VqVae, model: &DnnModel) -> Vec<Vec<f32>> {
-        let embedded = vqvae.encode(model); // [E, L]
+    fn embed_model(vqvae: &VqVae, model: &DnnModel) -> Vec<Vec<f32>> {
+        let embedded = vqvae.encode_frozen(model); // [E, L]
         let e = embedded.shape()[0];
         let l = embedded.shape()[1];
         let mut out = Vec::with_capacity(model.unit_count());
@@ -81,9 +87,24 @@ impl EmbeddingTable {
 
     /// Ensures a model's embeddings exist (builds them on demand).
     pub fn ensure(&mut self, vqvae: &mut VqVae, model: &DnnModel) {
+        self.ensure_frozen(vqvae, model);
+    }
+
+    /// [`EmbeddingTable::ensure`] through `&VqVae` — used by the oracle's
+    /// lazy path, which only write-locks the table, never the VQ-VAE.
+    pub fn ensure_frozen(&mut self, vqvae: &VqVae, model: &DnnModel) {
+        if self.embed_dim == 0 {
+            // A `Default` table has no width yet; adopt the VQ-VAE's.
+            self.embed_dim = vqvae.config().embed_dim;
+        }
         self.per_model
             .entry(model.id())
             .or_insert_with(|| Self::embed_model(vqvae, model));
+    }
+
+    /// Whether every model of `ids` already has embeddings.
+    pub fn contains_all<'a>(&self, models: impl IntoIterator<Item = &'a DnnModel>) -> bool {
+        models.into_iter().all(|m| self.per_model.contains_key(&m.id()))
     }
 
     /// Unit embeddings of a model, if present.

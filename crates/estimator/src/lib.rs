@@ -30,6 +30,6 @@ pub mod vqvae;
 
 pub use dataset::Sample;
 pub use features::{EmbeddingTable, QTensorSpec};
-pub use model::{Estimator, EstimatorConfig};
+pub use model::{CompiledStem, Estimator, EstimatorConfig};
 pub use trainer::{TrainReport, Trainer, TrainerConfig};
 pub use vqvae::{VqVae, VqVaeConfig};

@@ -1,11 +1,12 @@
 //! The multi-task, attention-based CNN throughput estimator (§IV-D).
 
-use crate::features::QTensorSpec;
+use crate::features::{EmbeddingTable, QTensorSpec};
 use rankmap_nn::attention::{AttnPool, LinearAttention, SelfAttention};
 use rankmap_nn::conv::Conv2d;
 use rankmap_nn::layer::{Layer, Linear, Param, Relu};
 use rankmap_nn::norm::BatchNorm;
 use rankmap_nn::tensor::Tensor;
+use rankmap_sim::{Mapping, Workload};
 
 /// Estimator hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +130,23 @@ impl Layer for BackboneBlock {
     }
 }
 
+impl BackboneBlock {
+    /// Lock-free inference through `&self` (no backward caches).
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        let mut y = self.dw1.infer(x);
+        y.relu_inplace();
+        let y = self.dw2.infer(&y);
+        let tokens = to_tokens(&y);
+        let attended = self.attn.infer(&tokens);
+        let y = from_tokens(&attended, h, w);
+        let y = self.mix.infer(&y);
+        let mut y = self.bn.infer(&y);
+        y.add_assign(x); // residual
+        y
+    }
+}
+
 /// One per-DNN decoder stream: linear attention over the shared features,
 /// attention pooling, and two fully connected layers producing the
 /// throughput estimate for that DNN slot.
@@ -173,6 +191,48 @@ impl DecoderStream {
         self.pool.visit_params(f);
         self.fc1.visit_params(f);
         self.fc2.visit_params(f);
+    }
+}
+
+/// Sparse additive stem response of one `(DNN, unit, component)`
+/// placement: `(flat output index, value)` pairs.
+type StemContribution = Vec<(u32, f32)>;
+
+/// A workload's stem convolution, pre-applied per `(DNN, unit, component)`
+/// placement (see [`Estimator::compile_stem`]). Evaluating a mapping's
+/// stem output is a sparse gather-add — no `Q` tensor, no convolution.
+pub struct CompiledStem {
+    /// Stem response to an all-zero `Q` (the bias field).
+    base: Tensor,
+    /// `contrib[d][u][c]`: flat-index/value pairs the unit adds to `base`
+    /// when DNN `d`'s unit `u` sits on component `c`.
+    contrib: Vec<Vec<Vec<StemContribution>>>,
+}
+
+impl CompiledStem {
+    /// Stem output for one mapping of the compiled workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping shape disagrees with the compiled workload.
+    pub fn stem_output(&self, mapping: &Mapping) -> Tensor {
+        let mut out = self.base.clone();
+        let od = out.data_mut();
+        for (d, per_unit) in self.contrib.iter().enumerate() {
+            let assign = mapping.assignment(d);
+            assert_eq!(assign.len(), per_unit.len(), "mapping/compiled unit count mismatch");
+            for (u, per_comp) in per_unit.iter().enumerate() {
+                for &(i, v) in &per_comp[assign[u].index()] {
+                    od[i as usize] += v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of DNNs this stem was compiled for.
+    pub fn dnn_count(&self) -> usize {
+        self.contrib.len()
     }
 }
 
@@ -229,8 +289,190 @@ impl Estimator {
     }
 
     /// Predicts per-slot potential throughput from a `Q` tensor.
+    ///
+    /// This is the *legacy* `&mut` entry point kept for the training loop
+    /// and as the sequential-baseline reference in benchmarks; the search
+    /// hot path uses [`Estimator::infer`] / [`Estimator::infer_batch`].
     pub fn predict(&mut self, q: &Tensor) -> Vec<f32> {
         self.forward_internal(q, false)
+    }
+
+    /// Shared backbone through `&self`: stem → downsample → residual
+    /// blocks → token matrix. Safe to call concurrently.
+    fn infer_tokens(&self, q: &Tensor) -> Tensor {
+        assert_eq!(q.shape(), &self.cfg.spec.shape()[..], "Q tensor shape mismatch");
+        self.tokens_from_stem(self.stem.infer(q))
+    }
+
+    /// Backbone continuation after the stem (shared by the direct and
+    /// compiled-stem paths).
+    fn tokens_from_stem(&self, stem_out: Tensor) -> Tensor {
+        let mut y = stem_out;
+        y.relu_inplace();
+        let mut y = self.down.infer(&y);
+        for b in &self.blocks {
+            y = b.infer(&y);
+        }
+        to_tokens(&y)
+    }
+
+    /// Lock-free per-slot prediction through `&self`. Identical math to
+    /// [`Estimator::predict`] without touching any training cache, so any
+    /// number of threads can share one estimator.
+    pub fn infer(&self, q: &Tensor) -> Vec<f32> {
+        self.infer_slots(q, self.decoders.len())
+    }
+
+    /// [`Estimator::infer`] restricted to the first `slots` decoder
+    /// streams. Oracles only consume one slot per DNN actually in the
+    /// workload; the seed ran all `max_dnns` streams regardless, wasting
+    /// up to 3/5 of the decoder work on empty slots.
+    pub fn infer_slots(&self, q: &Tensor, slots: usize) -> Vec<f32> {
+        let slots = slots.min(self.decoders.len());
+        let tokens = self.infer_tokens(q);
+        self.decode_one(&tokens, slots)
+    }
+
+    /// Decoder heads for one item, with the streams' attention
+    /// projections fused into a single stacked matmul.
+    fn decode_one(&self, tokens: &Tensor, slots: usize) -> Vec<f32> {
+        let attns: Vec<&LinearAttention> =
+            self.decoders[..slots].iter().map(|d| &d.attn).collect();
+        let attended = LinearAttention::infer_multi(&attns, tokens);
+        self.decoders[..slots]
+            .iter()
+            .zip(attended)
+            .map(|(d, a)| {
+                let mut h = d.fc1.infer(&d.pool.infer(&a));
+                h.relu_inplace();
+                d.fc2.infer(&h).data()[0]
+            })
+            .collect()
+    }
+
+    /// Batched lock-free prediction over all decoder slots.
+    pub fn infer_batch(&self, qs: &[Tensor]) -> Vec<Vec<f32>> {
+        self.infer_batch_slots(qs, self.decoders.len())
+    }
+
+    /// Pre-applies the stem convolution to a fixed workload: the `Q`
+    /// tensor only enters the network through the (linear) stem, and each
+    /// `(DNN, unit)` row contributes a fixed pattern per component
+    /// placement. Compiling those patterns once per workload turns every
+    /// subsequent stem evaluation — and the `Q` assembly itself — into a
+    /// sparse gather-add over ~70 floats per unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload exceeds the estimator's `Q` geometry or a
+    /// model is missing from `table`.
+    pub fn compile_stem(&self, table: &EmbeddingTable, workload: &Workload) -> CompiledStem {
+        let spec = self.cfg.spec;
+        assert!(workload.len() <= spec.max_dnns, "workload exceeds Q channel count");
+        // Bias response: the stem output for an all-zero Q.
+        let base = self.stem.infer(&Tensor::zeros(spec.shape()));
+        let mut contrib = Vec::with_capacity(workload.len());
+        let mut q = Tensor::zeros(spec.shape());
+        for (d, model) in workload.models().iter().enumerate() {
+            let embeds = table
+                .get(model.id())
+                .unwrap_or_else(|| panic!("model {} missing from embedding table", model.id()));
+            assert!(model.unit_count() <= spec.max_units, "model exceeds Q row count");
+            let mut per_unit = Vec::with_capacity(embeds.len());
+            for (u, emb) in embeds.iter().enumerate() {
+                let mut per_comp = Vec::with_capacity(spec.components);
+                for c in 0..spec.components {
+                    let width = spec.width();
+                    let row = (d * spec.max_units + u) * width + c * spec.embed_dim;
+                    q.data_mut()[row..row + spec.embed_dim].copy_from_slice(emb);
+                    let response = self.stem.infer(&q);
+                    q.data_mut()[row..row + spec.embed_dim].fill(0.0);
+                    let entries: Vec<(u32, f32)> = response
+                        .data()
+                        .iter()
+                        .zip(base.data())
+                        .enumerate()
+                        .filter_map(|(i, (r, b))| {
+                            let v = r - b;
+                            (v != 0.0).then_some((i as u32, v))
+                        })
+                        .collect();
+                    per_comp.push(entries);
+                }
+                per_unit.push(per_comp);
+            }
+            contrib.push(per_unit);
+        }
+        CompiledStem { base, contrib }
+    }
+
+    /// [`Estimator::infer_slots`] continuing from a precomputed stem
+    /// output (see [`Estimator::compile_stem`]).
+    pub fn infer_slots_from_stem(&self, stem_out: Tensor, slots: usize) -> Vec<f32> {
+        let slots = slots.min(self.decoders.len());
+        let tokens = self.tokens_from_stem(stem_out);
+        self.decode_one(&tokens, slots)
+    }
+
+    /// [`Estimator::infer_batch_slots`] continuing from precomputed stem
+    /// outputs: per-item backbones fan out across the thread pool, decoder
+    /// FC heads run as stacked matmuls.
+    pub fn infer_batch_slots_from_stem(
+        &self,
+        stem_outs: Vec<Tensor>,
+        slots: usize,
+    ) -> Vec<Vec<f32>> {
+        if stem_outs.is_empty() {
+            return Vec::new();
+        }
+        let slots = slots.min(self.decoders.len());
+        let tokens: Vec<Tensor> =
+            rayon::iter::par_map_slice(&stem_outs, &|s| self.tokens_from_stem(s.clone()));
+        self.decode_tokens(&tokens, slots)
+    }
+
+    /// Stacked decoder heads over per-item token matrices: fused attention
+    /// projections per item, pooled vectors stacked per stream, FC heads
+    /// as one matmul per stream over the whole batch.
+    fn decode_tokens(&self, tokens: &[Tensor], slots: usize) -> Vec<Vec<f32>> {
+        let c = self.cfg.channels;
+        let attns: Vec<&LinearAttention> =
+            self.decoders[..slots].iter().map(|d| &d.attn).collect();
+        let mut out = vec![vec![0.0f32; slots]; tokens.len()];
+        // pooled_per_stream[j] stacks item b's pooled vector in row b.
+        let mut pooled_per_stream =
+            vec![Tensor::zeros(vec![tokens.len(), c]); slots];
+        for (b, t) in tokens.iter().enumerate() {
+            let attended = LinearAttention::infer_multi(&attns, t);
+            for (j, a) in attended.iter().enumerate() {
+                let pooled = self.decoders[j].pool.infer(a);
+                pooled_per_stream[j].data_mut()[b * c..(b + 1) * c]
+                    .copy_from_slice(pooled.data());
+            }
+        }
+        for (j, d) in self.decoders[..slots].iter().enumerate() {
+            let mut h = d.fc1.infer(&pooled_per_stream[j]); // [B, hidden] in one matmul
+            h.relu_inplace();
+            let y = d.fc2.infer(&h); // [B, 1]
+            for (b, row) in out.iter_mut().enumerate() {
+                row[j] = y.data()[b];
+            }
+        }
+        out
+    }
+
+    /// Batched lock-free prediction: the per-item backbones fan out across
+    /// the thread pool, and each decoder stream's fully connected head runs
+    /// once as a stacked matmul over the whole batch instead of N
+    /// single-row forwards. Result `[b][slot]` is bit-identical to calling
+    /// [`Estimator::infer_slots`] per item.
+    pub fn infer_batch_slots(&self, qs: &[Tensor], slots: usize) -> Vec<Vec<f32>> {
+        if qs.is_empty() {
+            return Vec::new();
+        }
+        let slots = slots.min(self.decoders.len());
+        let tokens: Vec<Tensor> = rayon::iter::par_map_slice(qs, &|q| self.infer_tokens(q));
+        self.decode_tokens(&tokens, slots)
     }
 
     fn forward_internal(&mut self, q: &Tensor, train: bool) -> Vec<f32> {
@@ -362,6 +604,59 @@ mod tests {
             e.train_sample(&q, &[9.0; 5], &[false; 5]);
         e.zero_grad();
         assert_eq!(loss_all_masked, 0.0, "fully masked sample must be lossless");
+    }
+
+    #[test]
+    fn infer_matches_predict() {
+        let mut e = Estimator::new(EstimatorConfig::quick(), 17);
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = Tensor::rand_uniform(e.config().spec.shape(), 0.5, &mut rng);
+        let legacy = e.predict(&q);
+        let lockfree = e.infer(&q);
+        assert_eq!(legacy.len(), lockfree.len());
+        for (a, b) in legacy.iter().zip(&lockfree) {
+            assert!((a - b).abs() < 1e-5, "infer drifted from predict: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn infer_batch_matches_per_item_infer_exactly() {
+        let e = Estimator::new(EstimatorConfig::quick(), 23);
+        let mut rng = StdRng::seed_from_u64(9);
+        let qs: Vec<Tensor> = (0..7)
+            .map(|_| Tensor::rand_uniform(e.config().spec.shape(), 0.5, &mut rng))
+            .collect();
+        let batched = e.infer_batch(&qs);
+        for (q, row) in qs.iter().zip(&batched) {
+            assert_eq!(row, &e.infer(q), "stacked head must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn compiled_stem_matches_direct_inference() {
+        use crate::vqvae::{VqVae, VqVaeConfig};
+        use rankmap_models::ModelId;
+        use rankmap_platform::ComponentId;
+        let mut vq = VqVae::new(VqVaeConfig::default(), 3);
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNetV2]);
+        let table = EmbeddingTable::build(&mut vq, w.models());
+        let e = Estimator::new(EstimatorConfig::quick(), 3);
+        let compiled = e.compile_stem(&table, &w);
+        assert_eq!(compiled.dnn_count(), 2);
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..5 {
+            let m = rankmap_sim::Mapping::random(&w, 3, &mut rng);
+            let q = table.q_tensor(&e.config().spec, &w, &m);
+            let direct = e.infer_slots(&q, 2);
+            let fast = e.infer_slots_from_stem(compiled.stem_output(&m), 2);
+            for (a, b) in direct.iter().zip(&fast) {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "compiled stem drifted from direct inference: {a} vs {b}"
+                );
+            }
+        }
+        let _ = Mapping::uniform(&w, ComponentId::new(0));
     }
 
     #[test]

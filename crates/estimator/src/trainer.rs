@@ -142,9 +142,9 @@ impl Trainer {
             let preds = estimator.predict(&s.q);
             let active = s.active().max(1) as f32;
             let mut loss = 0.0;
-            for i in 0..preds.len() {
+            for (i, &p) in preds.iter().enumerate() {
                 if s.mask[i] {
-                    let d = preds[i] - s.target[i];
+                    let d = p - s.target[i];
                     loss += d * d;
                 }
             }
@@ -175,7 +175,7 @@ mod tests {
                 for d in 0..active {
                     let level: f32 = rng.gen_range(0.0..1.0);
                     for v in q.data_mut()[d * chan..(d + 1) * chan].iter_mut() {
-                        *v = level + rng.gen_range(-0.05..0.05);
+                        *v = level + rng.gen_range(-0.05f32..0.05);
                     }
                     target[d] = level;
                     mask[d] = true;

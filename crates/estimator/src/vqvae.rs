@@ -64,7 +64,7 @@ impl Codebook {
             .collect();
         Self {
             ema_count: vec![1.0; size],
-            ema_sum: codes.iter().map(|c| c.clone()).collect(),
+            ema_sum: codes.to_vec(),
             codes,
         }
     }
@@ -106,6 +106,10 @@ impl Codebook {
         }
     }
 }
+
+/// Per-position codebook assignments of one `(group, depth)` slot:
+/// `(code index, residual vector)` pairs.
+type CodeAssignments = Vec<(usize, Vec<f32>)>;
 
 /// The VQ-VAE model: encoder, grouped residual quantizer, decoder.
 pub struct VqVae {
@@ -170,19 +174,22 @@ impl VqVae {
         self.enc2.forward(&h, train)
     }
 
-    /// Quantizes a `[E, L]` latent, returning `(quantized, codes_used)`.
-    /// When `update`, EMA-updates the codebooks with the assignments.
-    fn quantize(&mut self, z: &Tensor, update: bool) -> (Tensor, usize) {
+    /// Quantizes a `[E, L]` latent with frozen codebooks, returning
+    /// `(quantized, codes_used, per-(group, depth) assignments)`. The
+    /// read-only core shared by the frozen inference path and training.
+    fn quantize_frozen(&self, z: &Tensor) -> (Tensor, usize, Vec<Vec<CodeAssignments>>) {
         let e = z.shape()[0];
         let l = z.shape()[1];
         let gdim = e / self.cfg.groups;
         let mut q = Tensor::zeros(vec![e, l]);
         let mut used = std::collections::HashSet::new();
+        let mut all_assignments = Vec::with_capacity(self.cfg.groups);
         for g in 0..self.cfg.groups {
             // Collect per-position group vectors.
             let mut residuals: Vec<Vec<f32>> = (0..l)
                 .map(|p| (0..gdim).map(|d| z.data()[(g * gdim + d) * l + p]).collect())
                 .collect();
+            let mut per_depth = Vec::with_capacity(self.cfg.residual_depth);
             for depth in 0..self.cfg.residual_depth {
                 let mut assignments = Vec::with_capacity(l);
                 for r in residuals.iter() {
@@ -191,26 +198,50 @@ impl VqVae {
                     assignments.push((idx, r.clone()));
                 }
                 for (p, (idx, _)) in assignments.iter().enumerate() {
-                    let code = self.books[g][depth].codes[*idx].clone();
+                    let code = &self.books[g][depth].codes[*idx];
                     for d in 0..gdim {
                         q.data_mut()[(g * gdim + d) * l + p] += code[d];
                         residuals[p][d] -= code[d];
                     }
                 }
-                if update {
-                    self.books[g][depth].ema_update(&assignments, self.cfg.ema_decay);
+                per_depth.push(assignments);
+            }
+            all_assignments.push(per_depth);
+        }
+        (q, used.len(), all_assignments)
+    }
+
+    /// Quantizes a `[E, L]` latent. When `update`, EMA-updates the
+    /// codebooks with the assignments (each depth's update happens after
+    /// its assignments were taken, so results match the frozen path).
+    fn quantize(&mut self, z: &Tensor, update: bool) -> (Tensor, usize) {
+        let (q, used, assignments) = self.quantize_frozen(z);
+        if update {
+            for (g, per_depth) in assignments.iter().enumerate() {
+                for (depth, assigns) in per_depth.iter().enumerate() {
+                    self.books[g][depth].ema_update(assigns, self.cfg.ema_decay);
                 }
             }
         }
-        (q, used.len())
+        (q, used)
     }
 
     /// Encodes a model into per-layer quantized embeddings `[E, L]`
-    /// (inference path — codebooks frozen).
-    pub fn encode(&mut self, model: &DnnModel) -> Tensor {
+    /// through `&self` — codebooks frozen, no training caches touched, so
+    /// concurrent callers can share the model.
+    pub fn encode_frozen(&self, model: &DnnModel) -> Tensor {
         let seq = Self::feature_sequence(model);
-        let z = self.encode_raw(&seq, false);
-        self.quantize(&z, false).0
+        let h = self.enc1.infer(&seq);
+        let mut h = h;
+        h.relu_inplace();
+        let z = self.enc2.infer(&h);
+        self.quantize_frozen(&z).0
+    }
+
+    /// Encodes a model into per-layer quantized embeddings `[E, L]`
+    /// (legacy `&mut` entry point; delegates to [`VqVae::encode_frozen`]).
+    pub fn encode(&mut self, model: &DnnModel) -> Tensor {
+        self.encode_frozen(model)
     }
 
     /// One training step on a model's layer sequence. Returns

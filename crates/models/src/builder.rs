@@ -87,7 +87,7 @@ impl NetBuilder {
         act: Activation,
     ) -> &mut Self {
         let ifm = self.cur;
-        assert!(groups >= 1 && ifm.c % groups == 0, "channels must divide groups");
+        assert!(groups >= 1 && ifm.c.is_multiple_of(groups), "channels must divide groups");
         let oh = conv_out(ifm.h, k, s, p);
         let ow = conv_out(ifm.w, k, s, p);
         self.push(LayerDesc {

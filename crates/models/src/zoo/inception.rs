@@ -9,6 +9,10 @@ use crate::layer::Activation::{self, Relu, Softmax};
 use crate::layer::TensorShape;
 use crate::model::{DnnModel, ModelId};
 
+/// One conv spec of an inception branch: `(channels, (kh, kw), (ph, pw))`.
+type BranchConv = (u32, (u32, u32), (u32, u32));
+
+
 /// Classic GoogLeNet inception cell with four branches.
 fn googlenet_cell(b: &mut NetBuilder, b1: u32, b3r: u32, b3: u32, b5r: u32, b5: u32, pp: u32) {
     let cin = b.shape();
@@ -257,7 +261,7 @@ pub fn build_v4(id: ModelId) -> DnnModel {
 fn resnet_block(
     b: &mut NetBuilder,
     cin: TensorShape,
-    branches: &[&[(u32, (u32, u32), (u32, u32))]],
+    branches: &[&[BranchConv]],
     out: u32,
 ) {
     let mut concat_c = 0;
@@ -285,14 +289,14 @@ fn build_inception_resnet(id: ModelId, name: &str, v2: bool) -> DnnModel {
     let a_out = stem_c;
     for i in 0..5 {
         let cin = b.shape();
-        let b3: &[(u32, (u32, u32), (u32, u32))] =
+        let b3: &[BranchConv] =
             &[(32, (1, 1), (0, 0)), (32, (3, 3), (1, 1))];
-        let b3b: &[(u32, (u32, u32), (u32, u32))] = if v2 {
+        let b3b: &[BranchConv] = if v2 {
             &[(32, (1, 1), (0, 0)), (48, (3, 3), (1, 1)), (64, (3, 3), (1, 1))]
         } else {
             &[(32, (1, 1), (0, 0)), (32, (3, 3), (1, 1)), (32, (3, 3), (1, 1))]
         };
-        let b1: &[(u32, (u32, u32), (u32, u32))] = &[(32, (1, 1), (0, 0))];
+        let b1: &[BranchConv] = &[(32, (1, 1), (0, 0))];
         resnet_block(&mut b, cin, &[b1, b3, b3b], a_out);
         b.end_unit(format!("block35_{}", i + 1));
     }
@@ -312,8 +316,8 @@ fn build_inception_resnet(id: ModelId, name: &str, v2: bool) -> DnnModel {
     for i in 0..10 {
         let cin = b.shape();
         let (c1, c2, c3) = if v2 { (128, 160, 192) } else { (128, 128, 128) };
-        let br1: &[(u32, (u32, u32), (u32, u32))] = &[(c3, (1, 1), (0, 0))];
-        let br2: Vec<(u32, (u32, u32), (u32, u32))> =
+        let br1: &[BranchConv] = &[(c3, (1, 1), (0, 0))];
+        let br2: Vec<BranchConv> =
             vec![(c1, (1, 1), (0, 0)), (c2, (1, 7), (0, 3)), (c3, (7, 1), (3, 0))];
         resnet_block(&mut b, cin, &[br1, &br2], b_out);
         b.end_unit(format!("block17_{}", i + 1));
@@ -336,8 +340,8 @@ fn build_inception_resnet(id: ModelId, name: &str, v2: bool) -> DnnModel {
     for i in 0..5 {
         let cin = b.shape();
         let (c1, c2, c3) = if v2 { (192, 224, 256) } else { (192, 192, 192) };
-        let br1: &[(u32, (u32, u32), (u32, u32))] = &[(c3, (1, 1), (0, 0))];
-        let br2: Vec<(u32, (u32, u32), (u32, u32))> =
+        let br1: &[BranchConv] = &[(c3, (1, 1), (0, 0))];
+        let br2: Vec<BranchConv> =
             vec![(c1, (1, 1), (0, 0)), (c2, (1, 3), (0, 1)), (c3, (3, 1), (1, 0))];
         resnet_block(&mut b, cin, &[br1, &br2], c_out);
         b.end_unit(format!("block8_{}", i + 1));

@@ -43,6 +43,54 @@ impl SelfAttention {
     }
 }
 
+/// Fuses three `[D, D]` projection weights into one `[D, 3D]` matrix so
+/// Q/K/V come out of a single matmul with a 3×-wider (better vectorized)
+/// inner loop, then splits the result back into three `[T, D]` tensors.
+fn project_qkv(x: &Tensor, wq: &Tensor, wk: &Tensor, wv: &Tensor) -> (Tensor, Tensor, Tensor) {
+    let d = wq.shape()[0];
+    let t = x.shape()[0];
+    let mut fused = Tensor::zeros(vec![d, 3 * d]);
+    {
+        let f = fused.data_mut();
+        for r in 0..d {
+            f[r * 3 * d..r * 3 * d + d].copy_from_slice(&wq.data()[r * d..(r + 1) * d]);
+            f[r * 3 * d + d..r * 3 * d + 2 * d]
+                .copy_from_slice(&wk.data()[r * d..(r + 1) * d]);
+            f[r * 3 * d + 2 * d..(r + 1) * 3 * d]
+                .copy_from_slice(&wv.data()[r * d..(r + 1) * d]);
+        }
+    }
+    let qkv = x.matmul(&fused); // [T, 3D]
+    let mut q = Tensor::zeros(vec![t, d]);
+    let mut k = Tensor::zeros(vec![t, d]);
+    let mut v = Tensor::zeros(vec![t, d]);
+    for r in 0..t {
+        let row = &qkv.data()[r * 3 * d..(r + 1) * 3 * d];
+        q.data_mut()[r * d..(r + 1) * d].copy_from_slice(&row[..d]);
+        k.data_mut()[r * d..(r + 1) * d].copy_from_slice(&row[d..2 * d]);
+        v.data_mut()[r * d..(r + 1) * d].copy_from_slice(&row[2 * d..]);
+    }
+    (q, k, v)
+}
+
+impl SelfAttention {
+    /// Lock-free inference through `&self`: same math as
+    /// [`Layer::forward`] with a fused Q/K/V projection, the scale and
+    /// softmax applied in place, and no cache writes.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "SelfAttention expects [T, D]");
+        assert_eq!(x.shape()[1], self.dim, "SelfAttention dim mismatch");
+        let (q, k, v) = project_qkv(x, &self.wq.value, &self.wk.value, &self.wv.value);
+        let scale = 1.0 / (self.dim as f32).sqrt();
+        let mut scores = q.matmul(&k.transpose());
+        for s in scores.data_mut() {
+            *s *= scale;
+        }
+        scores.softmax_rows_inplace();
+        scores.matmul(&v).matmul(&self.wo.value)
+    }
+}
+
 impl Layer for SelfAttention {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.shape().len(), 2, "SelfAttention expects [T, D]");
@@ -131,6 +179,86 @@ impl LinearAttention {
     }
 }
 
+impl LinearAttention {
+    /// Lock-free inference through `&self` (no cache writes). The forward
+    /// pass's `transpose → softmax → transpose → transpose` dance around
+    /// `E = σ_T(K)ᵀ V` collapses to one transpose with the token softmax
+    /// applied in place.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "LinearAttention expects [T, D]");
+        assert_eq!(x.shape()[1], self.dim, "LinearAttention dim mismatch");
+        let (q, k, v) = project_qkv(x, &self.wq.value, &self.wk.value, &self.wv.value);
+        self.finish(q, k, v)
+    }
+
+    /// Post-projection half of [`LinearAttention::infer`].
+    fn finish(&self, q: Tensor, k: Tensor, v: Tensor) -> Tensor {
+        let mut qs = q;
+        qs.softmax_rows_inplace();
+        let mut ks_t = k.transpose(); // [D, T]
+        ks_t.softmax_rows_inplace(); // softmax over tokens per feature
+        let e = ks_t.matmul(&v); // [D, D]
+        qs.matmul(&e).matmul(&self.wo.value)
+    }
+
+    /// Runs several linear-attention streams over the *same* token matrix
+    /// (the estimator's per-DNN decoder heads): all streams' Q/K/V
+    /// projections fuse into one stacked matmul, then each stream finishes
+    /// independently. Outputs are bit-identical to per-stream
+    /// [`LinearAttention::infer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if streams disagree on dimension or the input is not
+    /// `[T, D]`.
+    pub fn infer_multi(streams: &[&LinearAttention], x: &Tensor) -> Vec<Tensor> {
+        if streams.is_empty() {
+            return Vec::new();
+        }
+        let d = streams[0].dim;
+        assert_eq!(x.shape().len(), 2, "LinearAttention expects [T, D]");
+        assert_eq!(x.shape()[1], d, "LinearAttention dim mismatch");
+        let t = x.shape()[0];
+        let l = streams.len();
+        // Fused weights [D, L·3D]: per stream a [wq|wk|wv] block.
+        let mut fused = Tensor::zeros(vec![d, 3 * d * l]);
+        {
+            let width = 3 * d * l;
+            let f = fused.data_mut();
+            for (s, layer) in streams.iter().enumerate() {
+                assert_eq!(layer.dim, d, "streams must share a dimension");
+                for r in 0..d {
+                    let base = r * width + s * 3 * d;
+                    f[base..base + d]
+                        .copy_from_slice(&layer.wq.value.data()[r * d..(r + 1) * d]);
+                    f[base + d..base + 2 * d]
+                        .copy_from_slice(&layer.wk.value.data()[r * d..(r + 1) * d]);
+                    f[base + 2 * d..base + 3 * d]
+                        .copy_from_slice(&layer.wv.value.data()[r * d..(r + 1) * d]);
+                }
+            }
+        }
+        let qkv = x.matmul(&fused); // [T, L·3D]
+        let width = 3 * d * l;
+        streams
+            .iter()
+            .enumerate()
+            .map(|(s, layer)| {
+                let mut q = Tensor::zeros(vec![t, d]);
+                let mut k = Tensor::zeros(vec![t, d]);
+                let mut v = Tensor::zeros(vec![t, d]);
+                for r in 0..t {
+                    let row = &qkv.data()[r * width + s * 3 * d..r * width + (s + 1) * 3 * d];
+                    q.data_mut()[r * d..(r + 1) * d].copy_from_slice(&row[..d]);
+                    k.data_mut()[r * d..(r + 1) * d].copy_from_slice(&row[d..2 * d]);
+                    v.data_mut()[r * d..(r + 1) * d].copy_from_slice(&row[2 * d..]);
+                }
+                layer.finish(q, k, v)
+            })
+            .collect()
+    }
+}
+
 impl Layer for LinearAttention {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.shape().len(), 2, "LinearAttention expects [T, D]");
@@ -199,6 +327,18 @@ impl AttnPool {
             dim,
             cache: None,
         }
+    }
+}
+
+impl AttnPool {
+    /// Lock-free inference through `&self` (no cache writes).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "AttnPool expects [T, D]");
+        assert_eq!(x.shape()[1], self.dim, "AttnPool dim mismatch");
+        let t = x.shape()[0];
+        let mut scores = x.matmul(&self.w.value).reshape(vec![1, t]);
+        scores.softmax_rows_inplace();
+        scores.matmul(x).reshape(vec![self.dim])
     }
 }
 
@@ -287,6 +427,30 @@ mod tests {
         let y = a.forward(&x, false);
         for &v in y.data() {
             assert!((v - 2.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn infer_matches_eval_forward() {
+        use crate::tensor::Tensor;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = Tensor::rand_uniform(vec![6, 8], 1.0, &mut rng);
+        let mut sa = SelfAttention::new(8, 1);
+        let (a, b) = (sa.forward(&x, false), sa.infer(&x));
+        for (p, q) in a.data().iter().zip(b.data()) {
+            assert!((p - q).abs() < 1e-5, "self-attention infer drifted: {p} vs {q}");
+        }
+        let mut la = LinearAttention::new(8, 2);
+        let (a, b) = (la.forward(&x, false), la.infer(&x));
+        for (p, q) in a.data().iter().zip(b.data()) {
+            assert!((p - q).abs() < 1e-5, "linear-attention infer drifted: {p} vs {q}");
+        }
+        let mut ap = AttnPool::new(8, 3);
+        let (a, b) = (ap.forward(&x, false), ap.infer(&x));
+        for (p, q) in a.data().iter().zip(b.data()) {
+            assert!((p - q).abs() < 1e-5, "attn-pool infer drifted: {p} vs {q}");
         }
     }
 

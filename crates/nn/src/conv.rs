@@ -35,7 +35,10 @@ impl Conv2d {
         groups: usize,
         seed: u64,
     ) -> Self {
-        assert!(groups >= 1 && in_c % groups == 0 && out_c % groups == 0, "bad group count");
+        assert!(
+            groups >= 1 && in_c.is_multiple_of(groups) && out_c.is_multiple_of(groups),
+            "bad group count"
+        );
         let mut rng = init_rng(seed);
         let fan_in = (in_c / groups) * k * k;
         Self {
@@ -59,12 +62,150 @@ impl Conv2d {
     pub fn out_size(&self, input: usize) -> usize {
         (input + 2 * self.pad - self.k) / self.stride + 1
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    /// Lock-free inference without the training cache, safe to call
+    /// concurrently through `&self`.
+    ///
+    /// Dense (`groups == 1`) convolutions lower to im2col + matmul: the
+    /// patch matrix keeps the hot loops contiguous, and the matmul's
+    /// zero-row skip drops the work for the mostly-zero mapping `Q`
+    /// tensors for free. Grouped/depthwise convolutions use a direct
+    /// kernel with the padding checks hoisted out of the interior.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.shape().len(), 3, "Conv2d expects [C,H,W]");
         assert_eq!(x.shape()[0], self.in_c, "Conv2d channel mismatch");
+        if self.groups == 1 {
+            self.infer_im2col(x)
+        } else if self.groups == self.in_c
+            && self.out_c == self.in_c
+            && self.k == 3
+            && self.stride == 1
+            && self.pad == 1
+        {
+            self.infer_dw3x3(x)
+        } else {
+            self.infer_direct(x)
+        }
+    }
+
+    /// im2col + matmul path for dense convolutions.
+    fn infer_im2col(&self, x: &Tensor) -> Tensor {
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        let (oh, ow) = (self.out_size(h), self.out_size(w));
+        let k2 = self.k * self.k;
+        let patch_w = self.in_c * k2;
+        // patches[p][ic*k2 + ky*k + kx] for output pixel p = oy*ow + ox.
+        let mut patches = Tensor::zeros(vec![oh * ow, patch_w]);
+        {
+            let xd = x.data();
+            let pd = patches.data_mut();
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (oy * ow + ox) * patch_w;
+                    for ky in 0..self.k {
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..self.k {
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            for ic in 0..self.in_c {
+                                pd[row + ic * k2 + ky * self.k + kx] =
+                                    xd[(ic * h + iy as usize) * w + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Weight matrix [in_c·k², out_c]: transposing the kernel once per
+        // call keeps the matmul inner loop wide and independent across
+        // output channels (a serial per-pixel dot product measures ~2×
+        // slower — it is one latency-bound FMA chain).
+        let mut wmat = Tensor::zeros(vec![patch_w, self.out_c]);
+        {
+            let wd = self.w.value.data();
+            let wm = wmat.data_mut();
+            for oc in 0..self.out_c {
+                for i in 0..patch_w {
+                    wm[i * self.out_c + oc] = wd[oc * patch_w + i];
+                }
+            }
+        }
+        let pixels = patches.matmul(&wmat); // [oh·ow, out_c]
+        let mut out = Tensor::zeros(vec![self.out_c, oh, ow]);
+        {
+            let pd = pixels.data();
+            let od = out.data_mut();
+            let bd = self.b.value.data();
+            for p in 0..oh * ow {
+                for oc in 0..self.out_c {
+                    od[oc * oh * ow + p] = pd[p * self.out_c + oc] + bd[oc];
+                }
+            }
+        }
+        out
+    }
+
+    /// Specialized depthwise 3×3, stride-1, pad-1 kernel: the estimator
+    /// backbone's workhorse. Rows above/below the image alias a cached
+    /// zero row, so the per-row loops carry no branches and vectorize;
+    /// only the first/last column keep their padding handling.
+    fn infer_dw3x3(&self, x: &Tensor) -> Tensor {
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        let mut out = Tensor::zeros(vec![self.out_c, h, w]);
+        let xd = x.data();
+        let wd = self.w.value.data();
+        let od = out.data_mut();
+        let zero_row = vec![0.0f32; w];
+        for c in 0..self.in_c {
+            let bias = self.b.value.data()[c];
+            let k = &wd[c * 9..(c + 1) * 9];
+            let plane = &xd[c * h * w..(c + 1) * h * w];
+            let oplane = &mut od[c * h * w..(c + 1) * h * w];
+            for oy in 0..h {
+                let up: &[f32] =
+                    if oy > 0 { &plane[(oy - 1) * w..oy * w] } else { &zero_row };
+                let mid = &plane[oy * w..(oy + 1) * w];
+                let dn: &[f32] =
+                    if oy + 1 < h { &plane[(oy + 1) * w..(oy + 2) * w] } else { &zero_row };
+                let orow = &mut oplane[oy * w..(oy + 1) * w];
+                for ox in 1..w.saturating_sub(1) {
+                    orow[ox] = bias
+                        + k[0] * up[ox - 1]
+                        + k[1] * up[ox]
+                        + k[2] * up[ox + 1]
+                        + k[3] * mid[ox - 1]
+                        + k[4] * mid[ox]
+                        + k[5] * mid[ox + 1]
+                        + k[6] * dn[ox - 1]
+                        + k[7] * dn[ox]
+                        + k[8] * dn[ox + 1];
+                }
+                // Left/right borders: the out-of-image column drops out.
+                orow[0] = bias + k[1] * up[0] + k[4] * mid[0] + k[7] * dn[0];
+                if w > 1 {
+                    orow[0] += k[2] * up[1] + k[5] * mid[1] + k[8] * dn[1];
+                }
+                if w > 1 {
+                    orow[w - 1] = bias
+                        + k[0] * up[w - 2]
+                        + k[1] * up[w - 1]
+                        + k[3] * mid[w - 2]
+                        + k[4] * mid[w - 1]
+                        + k[6] * dn[w - 2]
+                        + k[7] * dn[w - 1];
+                }
+            }
+        }
+        out
+    }
+
+    /// Direct kernel for grouped/depthwise convolutions.
+    fn infer_direct(&self, x: &Tensor) -> Tensor {
         let (h, w) = (x.shape()[1], x.shape()[2]);
         let (oh, ow) = (self.out_size(h), self.out_size(w));
         let icg = self.in_c / self.groups;
@@ -103,6 +244,18 @@ impl Layer for Conv2d {
                 }
             }
         }
+        out
+    }
+}
+
+impl Layer for Conv2d {
+    /// Seed-faithful training forward (the direct kernel, all groups):
+    /// kept verbatim so the training path — and the sequential-baseline
+    /// benchmark built on it — is byte-for-byte the original cost model.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "Conv2d expects [C,H,W]");
+        assert_eq!(x.shape()[0], self.in_c, "Conv2d channel mismatch");
+        let out = self.infer_direct(x);
         if train {
             self.cache = Some(x.clone());
         }
@@ -205,10 +358,9 @@ impl Conv1d {
     pub fn out_len(&self, input: usize) -> usize {
         (input + 2 * self.pad - self.k) / self.stride + 1
     }
-}
 
-impl Layer for Conv1d {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    /// Lock-free inference without the training cache.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.shape().len(), 2, "Conv1d expects [C,L]");
         assert_eq!(x.shape()[0], self.in_c, "Conv1d channel mismatch");
         let l = x.shape()[1];
@@ -234,6 +386,13 @@ impl Layer for Conv1d {
                 od[oc * ol + op] = acc;
             }
         }
+        out
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let out = self.infer(x);
         if train {
             self.cache = Some(x.clone());
         }
@@ -353,6 +512,58 @@ mod tests {
     fn conv1d_gradients() {
         let mut c = Conv1d::new(3, 4, 3, 1, 1, 9);
         check_layer_gradients(&mut c, &[3, 7], 3e-2);
+    }
+
+    #[test]
+    fn infer_matches_forward_on_sparse_input() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut c = Conv2d::new(4, 6, 3, 2, 1, 1, 8);
+        // Mostly-zero input with a few populated rows, like a Q tensor.
+        let mut x = Tensor::zeros(vec![4, 9, 9]);
+        for i in 0..9 {
+            x.data_mut()[i] = rng.gen_range(-1.0f32..1.0);
+            x.data_mut()[2 * 81 + 3 * 9 + i] = rng.gen_range(-1.0f32..1.0);
+        }
+        let dense = c.forward(&x, false);
+        let sparse = c.infer(&x);
+        assert_eq!(dense.shape(), sparse.shape());
+        for (a, b) in dense.data().iter().zip(sparse.data()) {
+            assert!(
+                (a - b).abs() < 1e-5,
+                "im2col inference drifted from the direct kernel: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn dw3x3_fast_path_matches_direct() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut c = Conv2d::new(6, 6, 3, 1, 1, 6, 10);
+        let x = Tensor::rand_uniform(vec![6, 7, 9], 1.0, &mut rng);
+        let fast = c.infer(&x);
+        let direct = c.forward(&x, false);
+        assert_eq!(fast.shape(), direct.shape());
+        for (a, b) in fast.data().iter().zip(direct.data()) {
+            assert!((a - b).abs() < 1e-5, "dw stencil drifted: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn infer_matches_forward_dense_strided() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut c = Conv2d::new(3, 5, 3, 2, 1, 1, 9);
+        let x = Tensor::rand_uniform(vec![3, 11, 16], 1.0, &mut rng);
+        let direct = c.forward(&x, false);
+        let fast = c.infer(&x);
+        for (a, b) in direct.data().iter().zip(fast.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
     }
 
     #[test]

@@ -119,6 +119,32 @@ impl Linear {
             d => panic!("Linear expects 1-D or 2-D input, got {d}-D"),
         }
     }
+
+    /// Lock-free inference: `x · W + b` without touching the training
+    /// cache, so concurrent callers can share one layer. Accepts the same
+    /// 1-D `[in]` or 2-D `[T, in]` inputs as [`Layer::forward`]; a 2-D
+    /// input is the batched "stacked matmul" path.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            *x.shape().last().expect("nonempty shape"),
+            self.in_dim,
+            "Linear input dim mismatch"
+        );
+        let one_d = x.shape().len() == 1;
+        let rows = self.as_rows(x);
+        let mut y = rows.matmul(&self.w.value);
+        let t = y.shape()[0];
+        for i in 0..t {
+            for j in 0..self.out_dim {
+                y.data_mut()[i * self.out_dim + j] += self.b.value.data()[j];
+            }
+        }
+        if one_d {
+            y.reshape(vec![self.out_dim])
+        } else {
+            y
+        }
+    }
 }
 
 impl Layer for Linear {

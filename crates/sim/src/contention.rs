@@ -3,7 +3,10 @@
 
 use crate::cost::CostModel;
 use crate::workload::{Mapping, Workload};
+use rankmap_models::ModelId;
 use rankmap_platform::{ComponentId, Platform};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Tunables of the contention model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +79,13 @@ impl CompiledWorkload {
     /// Compiles a mapping: fuse stages, price them in isolation, then apply
     /// the cache-sensitivity inflation described in the crate docs.
     ///
+    /// One-shot path: prices only the stages the mapping actually uses.
+    /// Callers that evaluate many mappings of the *same* workload (every
+    /// oracle in the search loop) should build a [`WorkloadCosts`] table
+    /// once — or use a [`CompileCache`] — and call
+    /// [`WorkloadCosts::compile`] per mapping instead; the results are
+    /// bit-identical (asserted in tests).
+    ///
     /// # Panics
     ///
     /// Panics if the mapping does not validate against the workload and
@@ -124,9 +134,11 @@ impl CompiledWorkload {
             }
             stages.push(list);
         }
-        let mut compiled =
-            Self { stages, component_count: platform.component_count() };
-        compiled.apply_inflation(platform, params);
+        let cache_bytes: Vec<f64> = (0..platform.component_count())
+            .map(|c| platform.cache_bytes(ComponentId::new(c)))
+            .collect();
+        let mut compiled = Self { stages, component_count: platform.component_count() };
+        compiled.apply_inflation(&cache_bytes, params);
         compiled
     }
 
@@ -148,7 +160,7 @@ impl CompiledWorkload {
     /// and `κ > 1` makes co-locating several heavyweights super-linearly
     /// bad — the phenomenon that lets greedy managers starve
     /// Inception-class models on the real board.
-    fn apply_inflation(&mut self, platform: &Platform, params: ContentionParams) {
+    fn apply_inflation(&mut self, cache_bytes: &[f64], params: ContentionParams) {
         let n = self.component_count;
         let d_count = self.stages.len();
         let soft = |ws: f64, cache: f64| ws / (ws + cache);
@@ -166,9 +178,7 @@ impl CompiledWorkload {
             .map(|row| {
                 row.iter()
                     .enumerate()
-                    .map(|(p, &ws)| {
-                        soft(ws, platform.cache_bytes(rankmap_platform::ComponentId::new(p)))
-                    })
+                    .map(|(p, &ws)| soft(ws, cache_bytes[p]))
                     .collect()
             })
             .collect();
@@ -177,8 +187,7 @@ impl CompiledWorkload {
         for (d, dnn) in self.stages.iter_mut().enumerate() {
             for s in dnn.iter_mut() {
                 let p = s.component.index();
-                let cache = platform.cache_bytes(s.component);
-                let sens = soft(s.working_set, cache);
+                let sens = soft(s.working_set, cache_bytes[p]);
                 let others = (pressure[p] - footprint[d][p]).max(0.0);
                 let co = counts[p].saturating_sub(1) as f64;
                 let inflate =
@@ -216,6 +225,195 @@ impl CompiledWorkload {
             }
         }
         by_comp
+    }
+}
+
+/// Pre-priced workload: every unit's isolated cost on every component,
+/// computed once per workload instead of once per oracle query.
+///
+/// Compiling a mapping only needs per-stage *sums* of per-unit values; the
+/// per-unit values themselves (a roofline walk over every layer) never
+/// change while the workload is fixed, yet the seed implementation
+/// recomputed them on every `CompiledWorkload::compile` — thousands of
+/// times per search. This table hoists that work out of the hot loop:
+/// [`WorkloadCosts::compile`] is a cheap range-sum pass that produces a
+/// `CompiledWorkload` bit-identical to the direct path.
+#[derive(Debug, Clone)]
+pub struct WorkloadCosts {
+    platform: Platform,
+    /// `unit_seconds[d][c][u]`: isolated seconds of unit `u` of DNN `d`
+    /// on component `c`.
+    unit_seconds: Vec<Vec<Vec<f64>>>,
+    /// `unit_weight_bytes[d][u]`.
+    unit_weight_bytes: Vec<Vec<u64>>,
+    /// `unit_peak_activation[d][u]`.
+    unit_peak_activation: Vec<Vec<u64>>,
+    /// `unit_kernels[d][u]`.
+    unit_kernels: Vec<Vec<usize>>,
+    /// `unit_out_bytes[d][u]`: bytes crossing a stage boundary after `u`.
+    unit_out_bytes: Vec<Vec<f64>>,
+    /// Per-component preemptive flag.
+    preemptive: Vec<bool>,
+    /// Per-component cache capacity (bytes).
+    cache_bytes: Vec<f64>,
+}
+
+impl WorkloadCosts {
+    /// Prices every unit of `workload` on every component of `platform`.
+    pub fn new(platform: &Platform, workload: &Workload) -> Self {
+        let cost = CostModel::new(platform);
+        let comps = platform.component_count();
+        let mut unit_seconds = Vec::with_capacity(workload.len());
+        let mut unit_weight_bytes = Vec::with_capacity(workload.len());
+        let mut unit_peak_activation = Vec::with_capacity(workload.len());
+        let mut unit_kernels = Vec::with_capacity(workload.len());
+        let mut unit_out_bytes = Vec::with_capacity(workload.len());
+        for model in workload.models() {
+            let units = model.units();
+            unit_seconds.push(
+                (0..comps)
+                    .map(|c| {
+                        let cid = ComponentId::new(c);
+                        units.iter().map(|u| cost.unit_seconds(u, cid)).collect()
+                    })
+                    .collect(),
+            );
+            unit_weight_bytes.push(units.iter().map(|u| u.weight_bytes()).collect());
+            unit_peak_activation
+                .push(units.iter().map(|u| u.peak_activation_bytes()).collect());
+            unit_kernels.push(units.iter().map(|u| u.kernel_count()).collect());
+            unit_out_bytes
+                .push(units.iter().map(|u| u.output_shape().bytes() as f64).collect());
+        }
+        let preemptive = (0..comps)
+            .map(|c| {
+                !matches!(
+                    platform.component(ComponentId::new(c)).kind(),
+                    rankmap_platform::ComponentKind::Gpu | rankmap_platform::ComponentKind::Npu
+                )
+            })
+            .collect();
+        let cache_bytes =
+            (0..comps).map(|c| platform.cache_bytes(ComponentId::new(c))).collect();
+        Self {
+            platform: platform.clone(),
+            unit_seconds,
+            unit_weight_bytes,
+            unit_peak_activation,
+            unit_kernels,
+            unit_out_bytes,
+            preemptive,
+            cache_bytes,
+        }
+    }
+
+    /// Compiles one mapping of the priced workload — the hot-loop
+    /// equivalent of [`CompiledWorkload::compile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping does not validate against the workload and
+    /// platform.
+    pub fn compile(
+        &self,
+        workload: &Workload,
+        mapping: &Mapping,
+        params: ContentionParams,
+    ) -> CompiledWorkload {
+        mapping
+            .validate(workload, self.platform.component_count())
+            .expect("mapping must be valid for this workload/platform");
+        let cost = CostModel::new(&self.platform);
+        let mut stages: Vec<Vec<CompiledStage>> = Vec::with_capacity(self.unit_seconds.len());
+        for d in 0..self.unit_seconds.len() {
+            let specs = mapping.stages(d);
+            let mut list = Vec::with_capacity(specs.len());
+            for (i, spec) in specs.iter().enumerate() {
+                let c = spec.component.index();
+                let range = spec.unit_range.clone();
+                let base: f64 = self.unit_seconds[d][c][range.clone()].iter().sum();
+                let weights: u64 = self.unit_weight_bytes[d][range.clone()].iter().sum();
+                let peak_act = self.unit_peak_activation[d][range.clone()]
+                    .iter()
+                    .max()
+                    .copied()
+                    .unwrap_or(0);
+                let transfer = if i + 1 < specs.len() {
+                    cost.transfer_seconds(
+                        self.unit_out_bytes[d][range.end - 1],
+                        spec.component,
+                        specs[i + 1].component,
+                    )
+                } else {
+                    0.0
+                };
+                let kernels: usize = self.unit_kernels[d][range.clone()].iter().sum();
+                list.push(CompiledStage {
+                    component: spec.component,
+                    base_seconds: base,
+                    inflated_seconds: base, // filled in below
+                    working_set: (weights + peak_act) as f64,
+                    transfer_out_seconds: transfer,
+                    kernel_count: kernels,
+                    preemptive: self.preemptive[c],
+                });
+            }
+            stages.push(list);
+        }
+        let mut compiled = CompiledWorkload {
+            stages,
+            component_count: self.platform.component_count(),
+        };
+        compiled.apply_inflation(&self.cache_bytes, params);
+        compiled
+    }
+}
+
+/// Memoized [`WorkloadCosts`] keyed by model mix: the oracle-facing cache
+/// that stops `BoardOracle`/`AnalyticalOracle` re-pricing the workload on
+/// every query. Thread-safe; clones share nothing (each oracle owns one).
+///
+/// A cache binds to the first platform it prices for — mixing platforms
+/// in one cache would silently serve stale costs, so it panics instead.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    inner: Mutex<HashMap<Vec<ModelId>, Arc<WorkloadCosts>>>,
+    bound_platform: std::sync::OnceLock<Platform>,
+}
+
+impl CompileCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The priced costs for `workload`, computing them on first sight of
+    /// this model mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with a different platform than the first call.
+    pub fn costs(&self, platform: &Platform, workload: &Workload) -> Arc<WorkloadCosts> {
+        let bound = self.bound_platform.get_or_init(|| platform.clone());
+        assert_eq!(
+            bound, platform,
+            "CompileCache is bound to one platform; use a separate cache per platform"
+        );
+        let key: Vec<ModelId> = workload.models().iter().map(|m| m.id()).collect();
+        let mut map = self.inner.lock().expect("compile cache poisoned");
+        map.entry(key)
+            .or_insert_with(|| Arc::new(WorkloadCosts::new(platform, workload)))
+            .clone()
+    }
+
+    /// Number of distinct workloads priced so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("compile cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -284,6 +482,38 @@ mod tests {
     }
 
     #[test]
+    fn cached_compile_is_bit_identical() {
+        let p = Platform::orange_pi_5();
+        let w = Workload::from_ids([
+            ModelId::AlexNet,
+            ModelId::MobileNetV2,
+            ModelId::ResNet50,
+        ]);
+        let costs = WorkloadCosts::new(&p, &w);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(77);
+        for _ in 0..20 {
+            let m = Mapping::random(&w, 3, &mut rng);
+            let direct = CompiledWorkload::compile(&p, &w, &m, ContentionParams::default());
+            let cached = costs.compile(&w, &m, ContentionParams::default());
+            assert_eq!(direct, cached, "cost-table compile must match the direct path");
+        }
+    }
+
+    #[test]
+    fn compile_cache_memoizes_by_mix() {
+        let p = Platform::orange_pi_5();
+        let cache = CompileCache::new();
+        let w1 = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        let w2 = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        let w3 = Workload::from_ids([ModelId::MobileNet, ModelId::AlexNet]);
+        let a = cache.costs(&p, &w1);
+        let b = cache.costs(&p, &w2);
+        assert!(Arc::ptr_eq(&a, &b), "same mix must hit the cache");
+        let _ = cache.costs(&p, &w3);
+        assert_eq!(cache.len(), 2, "order matters: a different mix is a new entry");
+    }
+
+    #[test]
     fn inflation_bounded() {
         // Even a pathological all-on-LITTLE pile-up keeps inflation finite
         // and below ~1 + θ·max_pressure + α·n.
@@ -301,7 +531,7 @@ mod tests {
         for dnn in &c.stages {
             for s in dnn {
                 let ratio = s.inflated_seconds / s.base_seconds;
-                assert!(ratio >= 1.0 && ratio < 80.0, "inflation ratio {ratio} out of bounds");
+                assert!((1.0..80.0).contains(&ratio), "inflation ratio {ratio} out of bounds");
             }
         }
     }

@@ -126,6 +126,18 @@ impl<'p> EventEngine<'p> {
         self.run(&compiled)
     }
 
+    /// Runs the simulation against pre-priced workload costs (the hot-loop
+    /// path: no per-query roofline walk). Produces exactly what
+    /// [`EventEngine::evaluate`] would.
+    pub fn evaluate_with(
+        &self,
+        costs: &crate::contention::WorkloadCosts,
+        workload: &Workload,
+        mapping: &Mapping,
+    ) -> ThroughputReport {
+        self.run(&costs.compile(workload, mapping, self.params))
+    }
+
     /// Runs an already compiled workload.
     pub fn run(&self, compiled: &CompiledWorkload) -> ThroughputReport {
         EventSim::new(compiled, self.config).run()
@@ -151,10 +163,13 @@ struct EventSim<'c> {
     chunks: Vec<Vec<(usize, u64)>>,
     rr: Vec<VecDeque<(usize, usize)>>,
     busy: Vec<bool>,
-    heap: BinaryHeap<Reverse<(u64, u64, usize, usize, u8)>>,
+    heap: BinaryHeap<Reverse<HeapEvent>>,
     seq: u64,
     completions: Vec<u64>,
 }
+
+/// `(time_ns, sequence, dnn, stage, kind)` — ordered by time then FIFO.
+type HeapEvent = (u64, u64, usize, usize, u8);
 
 const EV_CHUNK_DONE: u8 = 0;
 const EV_FRAME_ARRIVED: u8 = 1;

@@ -49,7 +49,9 @@ pub mod report;
 pub mod workload;
 
 pub use analytical::AnalyticalEngine;
-pub use contention::{CompiledStage, CompiledWorkload, ContentionParams};
+pub use contention::{
+    CompileCache, CompiledStage, CompiledWorkload, ContentionParams, WorkloadCosts,
+};
 pub use cost::CostModel;
 pub use event::{EventConfig, EventEngine};
 pub use report::ThroughputReport;

@@ -50,7 +50,7 @@ proptest! {
             );
             for pair in stages.windows(2) {
                 prop_assert_eq!(pair[0].unit_range.end, pair[1].unit_range.start);
-                prop_assert!(pair[0].unit_range.len() > 0);
+                prop_assert!(!pair[0].unit_range.is_empty());
                 // Adjacent stages sit on different components, otherwise
                 // they would have fused.
                 prop_assert_ne!(pair[0].component, pair[1].component);
@@ -102,7 +102,7 @@ proptest! {
         let b = engine.evaluate(&w, &m);
         prop_assert_eq!(&a, &b);
         for &x in &a.per_dnn {
-            prop_assert!(x.is_finite() && x >= 0.0 && x < 500.0);
+            prop_assert!(x.is_finite() && (0.0..500.0).contains(&x));
         }
     }
 

@@ -1,0 +1,341 @@
+//! Offline stand-in for the slice of the `criterion` API this workspace
+//! uses. Wall-clock benchmarking with warm-up, fixed sample counts, and
+//! median/mean reporting — no plots, no statistical regression testing.
+//!
+//! Two extensions over upstream criterion, used by the perf harness:
+//! * [`Criterion::json_output`] — write every measurement (median/mean
+//!   ns per iteration) to a JSON file when the run finishes.
+//! * [`Criterion::results`] — programmatic access to the measurements.
+
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+use std::hint;
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs one setup
+/// per measured invocation regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// One benchmark's aggregated measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id (`group/name` when inside a group).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Number of measured samples.
+    pub samples: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+/// Benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    settings: Settings,
+    json_path: Option<PathBuf>,
+    results: Rc<RefCell<Vec<BenchResult>>>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            settings: Settings {
+                sample_size: 20,
+                measurement: Duration::from_secs(2),
+                warm_up: Duration::from_millis(300),
+            },
+            json_path: None,
+            results: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Warm-up time before measuring.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Writes all results as JSON to `path` when the run finishes
+    /// (`criterion_main!` calls [`Criterion::final_summary`]).
+    #[must_use]
+    pub fn json_output(mut self, path: impl Into<PathBuf>) -> Self {
+        self.json_path = Some(path.into());
+        self
+    }
+
+    /// Measurements collected so far.
+    pub fn results(&self) -> Vec<BenchResult> {
+        self.results.borrow().clone()
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.settings.clone();
+        let result = run_bench(id, &settings, &mut f);
+        report(&result);
+        self.results.borrow_mut().push(result);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings.clone(),
+            parent: self,
+        }
+    }
+
+    /// Finishes the run: writes the JSON report when configured.
+    pub fn final_summary(&self) {
+        if let Some(path) = &self.json_path {
+            let results = self.results.borrow();
+            let mut out = String::from("{\n  \"benchmarks\": [\n");
+            for (i, r) in results.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}{}\n",
+                    r.id,
+                    r.median_ns,
+                    r.mean_ns,
+                    r.samples,
+                    if i + 1 < results.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("  ]\n}\n");
+            if let Err(e) = std::fs::write(path, out) {
+                eprintln!("criterion: failed to write {}: {e}", path.display());
+            } else {
+                println!("criterion: wrote {}", path.display());
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings overrides.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let result = run_bench(&full, &self.settings, &mut f);
+        report(&result);
+        self.parent.results.borrow_mut().push(result);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement context handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `f` called `iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, f: &mut F) -> BenchResult {
+    // Warm up and estimate the per-iteration cost.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < settings.warm_up {
+        f(&mut b);
+        per_iter = (b.elapsed / b.iters as u32).max(Duration::from_nanos(1));
+    }
+    // Pick an iteration count so that sample_size samples fit the
+    // measurement budget.
+    let per_sample = settings.measurement.as_nanos() / settings.sample_size.max(1) as u128;
+    let iters = (per_sample / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = samples_ns[samples_ns.len() / 2];
+    let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    BenchResult { id: id.to_string(), median_ns, mean_ns, samples: samples_ns.len() }
+}
+
+fn report(r: &BenchResult) {
+    let (value, unit) = humanize(r.median_ns);
+    println!("{:<40} time: [{value:.3} {unit}/iter] (median of {})", r.id, r.samples);
+}
+
+fn humanize(ns: f64) -> (f64, &'static str) {
+    if ns < 1e3 {
+        (ns, "ns")
+    } else if ns < 1e6 {
+        (ns / 1e3, "µs")
+    } else if ns < 1e9 {
+        (ns / 1e6, "ms")
+    } else {
+        (ns / 1e9, "s")
+    }
+}
+
+/// Declares a benchmark group function (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let results = c.results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("x", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(c.results()[0].id, "grp/x");
+    }
+
+    #[test]
+    fn json_output_writes_file() {
+        let path = std::env::temp_dir().join("criterion_shim_test.json");
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2))
+            .json_output(&path);
+        c.bench_function("j", |b| b.iter(|| black_box(2 * 2)));
+        c.final_summary();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"id\": \"j\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

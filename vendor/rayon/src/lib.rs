@@ -1,0 +1,177 @@
+//! Offline stand-in for the slice of the `rayon` API this workspace uses.
+//!
+//! The build environment has no network access, so this crate implements
+//! the handful of rayon entry points the hot path consumes on top of
+//! `std::thread::scope`. Semantics match rayon for this subset: work is
+//! split across `current_num_threads()` OS threads, results come back in
+//! input order, and on a single-core host everything degrades to the
+//! serial path with zero spawn overhead.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// Number of worker threads the pool-less pool would use. Honors
+/// `RAYON_NUM_THREADS` like the real crate; defaults to the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+            })
+    })
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Parallel iteration entry points, in the style of `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Minimal parallel-iterator implementation: `par_iter().map(f).collect()`
+/// over slices, preserving input order.
+pub mod iter {
+    use crate::current_num_threads;
+
+    /// `&self → parallel iterator` conversion (slices and `Vec`s).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item yielded by the parallel iterator.
+        type Item: Sync + 'a;
+        /// Borrowing parallel iterator over the collection.
+        fn par_iter(&'a self) -> ParSlice<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { items: self }
+        }
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    pub struct ParSlice<'a, T> {
+        items: &'a [T],
+    }
+
+    /// Mapped parallel iterator.
+    pub struct ParMap<'a, T, F> {
+        items: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T: Sync> ParSlice<'a, T> {
+        /// Applies `f` to every element (in parallel when beneficial).
+        pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+        where
+            F: Fn(&'a T) -> R + Sync,
+            R: Send,
+        {
+            ParMap { items: self.items, f }
+        }
+    }
+
+    /// The subset of rayon's `ParallelIterator` the workspace needs.
+    pub trait ParallelIterator {
+        /// Item type produced by the iterator.
+        type Item: Send;
+
+        /// Materializes the results, preserving input order.
+        fn collect<C: From<Vec<Self::Item>>>(self) -> C;
+    }
+
+    impl<'a, T, R, F> ParallelIterator for ParMap<'a, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        type Item = R;
+
+        fn collect<C: From<Vec<R>>>(self) -> C {
+            par_map_slice(self.items, &self.f).into()
+        }
+    }
+
+    /// Order-preserving parallel map over a slice: the building block both
+    /// the iterator facade above and direct callers use.
+    pub fn par_map_slice<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        let threads = current_num_threads().min(items.len().max(1));
+        if threads <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("rayon worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::iter::par_map_slice;
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..100).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_slice_ok() {
+        let v: Vec<u32> = Vec::new();
+        let out = par_map_slice(&v, &|&x| x);
+        assert!(out.is_empty());
+    }
+}
