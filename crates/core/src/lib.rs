@@ -45,9 +45,11 @@ pub mod dataset;
 pub mod manager;
 pub mod metrics;
 pub mod oracle;
+pub mod plan_cache;
 pub mod priority;
 pub mod reward;
 pub mod runtime;
+pub mod scenario;
 pub mod train;
 
 /// One-stop imports for examples and downstream binaries.
@@ -55,14 +57,19 @@ pub mod prelude {
     pub use crate::manager::{ManagerConfig, MappingPlan, RankMapManager};
     pub use crate::metrics;
     pub use crate::oracle::{AnalyticalOracle, LearnedOracle, ThroughputOracle};
+    pub use crate::plan_cache::PlanCache;
     pub use crate::priority::PriorityMode;
     pub use crate::reward::{RewardSpec, StarvationThreshold};
-    pub use crate::runtime::{DynamicEvent, DynamicRuntime, TimelinePoint};
+    pub use crate::runtime::{
+        timeline_average_potential, DynamicEvent, DynamicRuntime, InstanceId, RankMapMapper,
+        TimelinePoint, WorkloadMapper,
+    };
+    pub use crate::scenario::{MixProfile, ScenarioConfig};
     pub use crate::train::{Fidelity, TrainedArtifacts};
     pub use rankmap_models::ModelId;
     pub use rankmap_platform::{ComponentId, ComponentKind, Platform};
     pub use rankmap_sim::{
-        AnalyticalEngine, EventEngine, Mapping, ThroughputReport, Workload,
-        STARVATION_POTENTIAL,
+        AnalyticalEngine, EventEngine, Mapping, MigrationCost, MigrationModel,
+        ThroughputReport, Workload, STARVATION_POTENTIAL,
     };
 }

@@ -1,11 +1,14 @@
 //! The RankMap manager: MCTS over the mapping space with an oracle in the
-//! loop (§IV-E).
+//! loop (§IV-E), plus the incremental entry points the dynamic runtime
+//! uses — warm-started remaps ([`RankMapManager::remap_with_hints`]) and a
+//! plan cache ([`RankMapManager::map_cached`], see `docs/runtime.md`).
 
 use crate::oracle::ThroughputOracle;
+use crate::plan_cache::PlanCache;
 use crate::priority::PriorityMode;
 use crate::reward::{RewardSpec, StarvationThreshold, DISQUALIFIED};
 use rankmap_platform::{ComponentId, Platform};
-use rankmap_search::{DecisionProblem, Mcts, MctsConfig};
+use rankmap_search::{DecisionProblem, Mcts, MctsConfig, WarmStart};
 use rankmap_sim::{EventEngine, Mapping, Workload};
 
 /// Manager configuration.
@@ -23,6 +26,14 @@ pub struct ManagerConfig {
     /// sequential search exactly; the default keeps the oracle fed with
     /// stacked batches (see `docs/performance.md`).
     pub batch: usize,
+    /// Iteration budget for warm-started remaps
+    /// ([`RankMapManager::remap_with_hints`]): the search only has to
+    /// re-decide the event's delta, so it runs on a fraction of the cold
+    /// budget.
+    pub warm_iterations: usize,
+    /// Probability that a warm rollout keeps a hinted unit on its
+    /// incumbent component (the [`WarmStart::bias`]).
+    pub warm_bias: f64,
 }
 
 impl Default for ManagerConfig {
@@ -33,6 +44,8 @@ impl Default for ManagerConfig {
             threshold: StarvationThreshold::default(),
             seed: 0,
             batch: 8,
+            warm_iterations: 300,
+            warm_bias: 0.9,
         }
     }
 }
@@ -65,6 +78,9 @@ pub struct RankMapManager<'p, O: ThroughputOracle> {
     /// Measured isolated ideal rates, memoized per model: a full
     /// event-simulator run per model otherwise recurs on every `map` call.
     ideal_cache: std::sync::Mutex<std::collections::HashMap<rankmap_models::ModelId, f64>>,
+    /// Finished plans keyed by canonical workload signature — recurring
+    /// workload sets skip the search entirely via [`RankMapManager::map_cached`].
+    plan_cache: std::sync::Mutex<PlanCache>,
 }
 
 /// The mapping decision problem: one component choice per schedulable unit
@@ -153,6 +169,7 @@ impl<'p, O: ThroughputOracle> RankMapManager<'p, O> {
             oracle,
             config,
             ideal_cache: std::sync::Mutex::new(std::collections::HashMap::new()),
+            plan_cache: std::sync::Mutex::new(PlanCache::new()),
         }
     }
 
@@ -183,6 +200,127 @@ impl<'p, O: ThroughputOracle> RankMapManager<'p, O> {
     /// Searches for the best mapping of `workload` under `priorities`
     /// (`M* = argmax O(M)ᵀ·p subject to O(M)ᵢ > th`).
     pub fn map(&self, workload: &Workload, priorities: &PriorityMode) -> MappingPlan {
+        self.search_plan(workload, priorities, self.config.mcts_iterations, None)
+    }
+
+    /// Like [`RankMapManager::map`], but answered from the plan cache when
+    /// this workload set (canonicalized: sorted model IDs + priority
+    /// vector + threshold) has been mapped before — in any submission
+    /// order. Cache hits cost zero oracle evaluations and return the
+    /// cached plan unchanged (`evaluations == 0` marks them).
+    pub fn map_cached(&self, workload: &Workload, priorities: &PriorityMode) -> MappingPlan {
+        let p = priorities.vector(workload);
+        {
+            let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
+            if let Some(plan) = cache.get(workload, &p, self.config.threshold) {
+                return plan;
+            }
+        }
+        let plan = self.map(workload, priorities);
+        self.plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(workload, &p, self.config.threshold, &plan);
+        plan
+    }
+
+    /// `(hits, misses)` of the plan cache — observability for the runtime.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.plan_cache.lock().expect("plan cache poisoned").stats()
+    }
+
+    /// Cache-only lookup: the cached plan for this workload set (in the
+    /// caller's submission order), or `None` without searching. The
+    /// serving runtime consults this before paying for a warm search.
+    pub fn cached_plan(
+        &self,
+        workload: &Workload,
+        priorities: &PriorityMode,
+    ) -> Option<MappingPlan> {
+        let p = priorities.vector(workload);
+        self.plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .get(workload, &p, self.config.threshold)
+    }
+
+    /// Warm-started remap: searches for a mapping of `workload` seeded by
+    /// per-DNN incumbent placements. `hints[d]` is DNN `d`'s placement in
+    /// the incumbent mapping (`None` for a fresh arrival, which the search
+    /// decides from scratch). Runs on [`ManagerConfig::warm_iterations`] —
+    /// a fraction of the cold budget — because only the event's delta has
+    /// to be re-decided; when every DNN is hinted, the returned reward is
+    /// never below the incumbent plan's (the incumbent completion is the
+    /// first state evaluated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hints.len() != workload.len()`.
+    pub fn remap_with_hints(
+        &self,
+        workload: &Workload,
+        priorities: &PriorityMode,
+        hints: &[Option<Vec<ComponentId>>],
+    ) -> MappingPlan {
+        assert_eq!(hints.len(), workload.len(), "one hint entry per DNN");
+        let mut guide: Vec<Option<usize>> = Vec::with_capacity(workload.total_units());
+        for (model, hint) in workload.models().iter().zip(hints) {
+            match hint {
+                Some(assign) if assign.len() == model.unit_count() => {
+                    guide.extend(assign.iter().map(|c| Some(c.index())));
+                }
+                // Length-mismatched hints are stale — treat as fresh.
+                _ => guide.extend(std::iter::repeat_n(None, model.unit_count())),
+            }
+        }
+        let warm = WarmStart { guide, bias: self.config.warm_bias };
+        let plan =
+            self.search_plan(workload, priorities, self.config.warm_iterations, Some(&warm));
+        // Feed the cache so a recurring workload set skips even the warm
+        // search next time (first plan wins: a cold plan is never displaced).
+        self.plan_cache.lock().expect("plan cache poisoned").insert_if_absent(
+            workload,
+            &priorities.vector(workload),
+            self.config.threshold,
+            &plan,
+        );
+        plan
+    }
+
+    /// Warm-started remap from a previous plan of a *different* workload:
+    /// DNNs surviving from `prev_workload` (matched greedily by model ID,
+    /// in submission order) inherit their incumbent placements as hints;
+    /// arrivals are re-decided from scratch. This is the
+    /// arrival/departure fast path of the dynamic runtime.
+    pub fn remap_from(
+        &self,
+        previous: &MappingPlan,
+        prev_workload: &Workload,
+        workload: &Workload,
+        priorities: &PriorityMode,
+    ) -> MappingPlan {
+        let mut used = vec![false; prev_workload.len()];
+        let hints: Vec<Option<Vec<ComponentId>>> = workload
+            .models()
+            .iter()
+            .map(|m| {
+                let matched = (0..prev_workload.len())
+                    .find(|&i| !used[i] && prev_workload.models()[i].id() == m.id())?;
+                used[matched] = true;
+                Some(previous.mapping.assignment(matched).to_vec())
+            })
+            .collect();
+        self.remap_with_hints(workload, priorities, &hints)
+    }
+
+    /// The shared search core behind `map` and `remap_with_hints`.
+    fn search_plan(
+        &self,
+        workload: &Workload,
+        priorities: &PriorityMode,
+        iterations: usize,
+        warm: Option<&WarmStart>,
+    ) -> MappingPlan {
         let p = priorities.vector(workload);
         let ideals = self.ideal_rates(workload);
         let spec = RewardSpec::new(p, self.config.threshold, ideals);
@@ -193,14 +331,17 @@ impl<'p, O: ThroughputOracle> RankMapManager<'p, O> {
             components: self.platform.component_count(),
             total_units: workload.total_units(),
         };
-        let result = Mcts::new(MctsConfig {
-            iterations: self.config.mcts_iterations,
+        let mcts = Mcts::new(MctsConfig {
+            iterations,
             exploration: self.config.exploration,
             seed: self.config.seed,
             batch: self.config.batch,
             ..Default::default()
-        })
-        .search(&problem);
+        });
+        let result = match warm {
+            Some(w) => mcts.search_warm(&problem, w),
+            None => mcts.search(&problem),
+        };
         let mapping = Mapping::from_flat(workload, &result.best_state);
         let predicted = self.oracle.predict(workload, &mapping);
         let reward = spec.reward(&predicted);
@@ -306,5 +447,104 @@ mod tests {
         let a = mgr.map(&w, &PriorityMode::Dynamic);
         let b = mgr.map(&w, &PriorityMode::Dynamic);
         assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn warm_remap_unchanged_workload_never_regresses() {
+        // The satellite guarantee: a warm-started search over an unchanged
+        // workload must reproduce at least the incumbent plan's reward,
+        // across seeds — even at a fraction of the cold budget.
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNetV2, ModelId::MobileNet]);
+        for seed in 0..4u64 {
+            let mgr = RankMapManager::new(
+                &platform,
+                &oracle,
+                ManagerConfig { mcts_iterations: 400, warm_iterations: 80, seed, ..Default::default() },
+            );
+            let cold = mgr.map(&w, &PriorityMode::Dynamic);
+            let hints: Vec<Option<Vec<ComponentId>>> =
+                cold.mapping.per_dnn().iter().map(|v| Some(v.clone())).collect();
+            let warm = mgr.remap_with_hints(&w, &PriorityMode::Dynamic, &hints);
+            assert!(
+                warm.reward >= cold.reward - 1e-9,
+                "seed {seed}: warm remap regressed: {} < {}",
+                warm.reward,
+                cold.reward
+            );
+            assert!(warm.evaluations <= 80, "warm remap must respect the warm budget");
+        }
+    }
+
+    #[test]
+    fn warm_remap_handles_arrival_hints() {
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let mgr = RankMapManager::new(
+            &platform,
+            &oracle,
+            ManagerConfig { mcts_iterations: 300, warm_iterations: 120, ..Default::default() },
+        );
+        let w3 = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNetV2, ModelId::MobileNet]);
+        let plan3 = mgr.map(&w3, &PriorityMode::Dynamic);
+        let w4 = Workload::from_ids([
+            ModelId::AlexNet,
+            ModelId::SqueezeNetV2,
+            ModelId::MobileNet,
+            ModelId::ResNet50,
+        ]);
+        let warm = mgr.remap_from(&plan3, &w3, &w4, &PriorityMode::Dynamic);
+        assert!(warm.mapping.validate(&w4, 3).is_ok());
+        assert_eq!(warm.predicted.len(), 4);
+    }
+
+    #[test]
+    fn remap_from_matches_surviving_models_after_departure() {
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let mgr = RankMapManager::new(
+            &platform,
+            &oracle,
+            ManagerConfig { mcts_iterations: 200, warm_iterations: 60, ..Default::default() },
+        );
+        let w3 = Workload::from_ids([ModelId::AlexNet, ModelId::ResNet50, ModelId::MobileNet]);
+        let plan3 = mgr.map(&w3, &PriorityMode::Dynamic);
+        // ResNet departs; survivors keep their identity.
+        let w2 = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        let warm = mgr.remap_from(&plan3, &w3, &w2, &PriorityMode::Dynamic);
+        assert!(warm.mapping.validate(&w2, 3).is_ok());
+    }
+
+    #[test]
+    fn plan_cache_hit_is_bit_identical_and_free() {
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let mgr = RankMapManager::new(&platform, &oracle, quick_config());
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::GoogleNet]);
+        let first = mgr.map_cached(&w, &PriorityMode::Dynamic);
+        assert!(first.evaluations > 0, "first call must search");
+        let second = mgr.map_cached(&w, &PriorityMode::Dynamic);
+        assert_eq!(second.mapping, first.mapping);
+        assert_eq!(second.predicted, first.predicted);
+        assert_eq!(second.reward.to_bits(), first.reward.to_bits());
+        assert_eq!(second.evaluations, 0, "hits skip the search entirely");
+        assert_eq!(mgr.plan_cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn plan_cache_hits_across_submission_orders() {
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let mgr = RankMapManager::new(&platform, &oracle, quick_config());
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::GoogleNet, ModelId::MobileNet]);
+        let plan = mgr.map_cached(&w, &PriorityMode::Dynamic);
+        let w_perm = Workload::from_ids([ModelId::MobileNet, ModelId::AlexNet, ModelId::GoogleNet]);
+        let hit = mgr.map_cached(&w_perm, &PriorityMode::Dynamic);
+        assert_eq!(hit.evaluations, 0, "permuted set must hit the canonical key");
+        // Each model keeps its cached placement.
+        assert_eq!(hit.mapping.assignment(0), plan.mapping.assignment(2));
+        assert_eq!(hit.mapping.assignment(1), plan.mapping.assignment(0));
+        assert_eq!(hit.mapping.assignment(2), plan.mapping.assignment(1));
     }
 }

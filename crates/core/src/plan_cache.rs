@@ -1,0 +1,264 @@
+//! Plan cache: recurring workload sets skip the mapping search entirely.
+//!
+//! Serving runtimes see the same workload sets over and over — the same
+//! app constellation after a restart, the same mix after a transient DNN
+//! departs and re-arrives. The cache keys finished [`MappingPlan`]s by a
+//! **canonical workload signature**: the multiset of model IDs (sorted),
+//! the resolved priority vector in that canonical order, and the
+//! starvation threshold. Because the key is canonical, a hit works for
+//! *any submission order* of the same workload set: the cached plan is
+//! stored in canonical order and permuted back to the caller's order on
+//! the way out.
+//!
+//! Same-order hits are bit-identical to the plan that was inserted
+//! (checked in tests): the canonical permutation round-trips exactly and
+//! the payload is cloned, never recomputed.
+
+use crate::manager::MappingPlan;
+use crate::reward::StarvationThreshold;
+use rankmap_platform::ComponentId;
+use rankmap_sim::{Mapping, Workload};
+use std::collections::HashMap;
+
+/// Canonical identity of a (workload set, priorities, threshold) request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WorkloadSignature(Vec<u8>);
+
+impl WorkloadSignature {
+    /// Builds the signature for a workload under a resolved priority
+    /// vector and threshold. `perm` must be the canonical permutation from
+    /// [`canonical_order`].
+    fn new(
+        workload: &Workload,
+        priorities: &[f64],
+        threshold: StarvationThreshold,
+        perm: &[usize],
+    ) -> Self {
+        let mut bytes = Vec::with_capacity(perm.len() * 9 + 9);
+        for &i in perm {
+            bytes.push(workload.models()[i].id() as u8);
+            bytes.extend_from_slice(&priorities[i].to_bits().to_le_bytes());
+        }
+        match threshold {
+            StarvationThreshold::Absolute(v) => {
+                bytes.push(0);
+                bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            StarvationThreshold::FractionOfIdeal(v) => {
+                bytes.push(1);
+                bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        WorkloadSignature(bytes)
+    }
+}
+
+/// Canonical DNN order for a workload: indices sorted by (model ID,
+/// priority bits), stably. Duplicated models with distinct priorities sort
+/// deterministically, so permuting a workload never changes its signature.
+pub fn canonical_order(workload: &Workload, priorities: &[f64]) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..workload.len()).collect();
+    perm.sort_by_key(|&i| (workload.models()[i].id(), priorities[i].to_bits()));
+    perm
+}
+
+/// A cached plan, stored in canonical DNN order.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    per_dnn_canonical: Vec<Vec<ComponentId>>,
+    predicted_canonical: Vec<f64>,
+    reward: f64,
+}
+
+/// Maps canonical workload signatures to finished plans.
+///
+/// The cache is unbounded by design at this scale (a serving box sees at
+/// most a few hundred distinct workload sets); eviction can ride on top of
+/// `len` when that stops being true.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: HashMap<WorkloadSignature, CachedPlan>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks up a plan for `workload` under a resolved priority vector and
+    /// threshold, permuting the cached canonical plan back to the
+    /// request's submission order. Counts a hit or a miss.
+    pub fn get(
+        &mut self,
+        workload: &Workload,
+        priorities: &[f64],
+        threshold: StarvationThreshold,
+    ) -> Option<MappingPlan> {
+        let perm = canonical_order(workload, priorities);
+        let sig = WorkloadSignature::new(workload, priorities, threshold, &perm);
+        let Some(cached) = self.plans.get(&sig) else {
+            self.misses += 1;
+            return None;
+        };
+        self.hits += 1;
+        let n = workload.len();
+        let mut per_dnn = vec![Vec::new(); n];
+        let mut predicted = vec![0.0; n];
+        for (c, &orig) in perm.iter().enumerate() {
+            per_dnn[orig] = cached.per_dnn_canonical[c].clone();
+            predicted[orig] = cached.predicted_canonical[c];
+        }
+        Some(MappingPlan {
+            mapping: Mapping::new(per_dnn),
+            predicted,
+            reward: cached.reward,
+            evaluations: 0,
+        })
+    }
+
+    /// Inserts a finished plan under the workload's canonical signature.
+    pub fn insert(
+        &mut self,
+        workload: &Workload,
+        priorities: &[f64],
+        threshold: StarvationThreshold,
+        plan: &MappingPlan,
+    ) {
+        let perm = canonical_order(workload, priorities);
+        let sig = WorkloadSignature::new(workload, priorities, threshold, &perm);
+        let cached = CachedPlan {
+            per_dnn_canonical: perm
+                .iter()
+                .map(|&i| plan.mapping.assignment(i).to_vec())
+                .collect(),
+            predicted_canonical: perm.iter().map(|&i| plan.predicted[i]).collect(),
+            reward: plan.reward,
+        };
+        self.plans.insert(sig, cached);
+    }
+
+    /// Inserts only when the signature is not yet cached — first plan
+    /// wins, so a reduced-budget warm plan never displaces a cold one.
+    pub fn insert_if_absent(
+        &mut self,
+        workload: &Workload,
+        priorities: &[f64],
+        threshold: StarvationThreshold,
+        plan: &MappingPlan,
+    ) {
+        let perm = canonical_order(workload, priorities);
+        let sig = WorkloadSignature::new(workload, priorities, threshold, &perm);
+        if self.plans.contains_key(&sig) {
+            return;
+        }
+        self.insert(workload, priorities, threshold, plan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmap_models::ModelId;
+
+    fn fake_plan(workload: &Workload, base: usize) -> MappingPlan {
+        let per_dnn: Vec<Vec<ComponentId>> = workload
+            .models()
+            .iter()
+            .enumerate()
+            .map(|(d, m)| vec![ComponentId::new((base + d) % 3); m.unit_count()])
+            .collect();
+        MappingPlan {
+            mapping: Mapping::new(per_dnn),
+            predicted: (0..workload.len()).map(|d| 10.0 + d as f64).collect(),
+            reward: 1.25,
+            evaluations: 42,
+        }
+    }
+
+    #[test]
+    fn same_order_hit_is_bit_identical() {
+        let w = Workload::from_ids([ModelId::ResNet50, ModelId::AlexNet, ModelId::MobileNet]);
+        let p = vec![0.5, 0.3, 0.2];
+        let th = StarvationThreshold::default();
+        let mut cache = PlanCache::new();
+        let plan = fake_plan(&w, 0);
+        cache.insert(&w, &p, th, &plan);
+        let hit = cache.get(&w, &p, th).expect("hit");
+        assert_eq!(hit.mapping, plan.mapping);
+        assert_eq!(hit.predicted, plan.predicted);
+        assert_eq!(hit.reward.to_bits(), plan.reward.to_bits());
+        assert_eq!(hit.evaluations, 0, "cache hits spend no oracle evaluations");
+        assert_eq!(cache.stats(), (1, 0));
+    }
+
+    #[test]
+    fn permuted_workload_hits_and_permutes_back() {
+        let ids = [ModelId::ResNet50, ModelId::AlexNet, ModelId::MobileNet];
+        let w = Workload::from_ids(ids);
+        let p = vec![0.5, 0.3, 0.2];
+        let th = StarvationThreshold::default();
+        let mut cache = PlanCache::new();
+        let plan = fake_plan(&w, 1);
+        cache.insert(&w, &p, th, &plan);
+        // Same set, submitted in a different order with matching priorities.
+        let w2 = Workload::from_ids([ids[2], ids[0], ids[1]]);
+        let p2 = vec![0.2, 0.5, 0.3];
+        let hit = cache.get(&w2, &p2, th).expect("permuted hit");
+        for d in 0..3 {
+            // Each model keeps the assignment and prediction it was cached with.
+            let orig = match d {
+                0 => 2, // w2[0] = MobileNet = w[2]
+                1 => 0,
+                _ => 1,
+            };
+            assert_eq!(hit.mapping.assignment(d), plan.mapping.assignment(orig));
+            assert_eq!(hit.predicted[d], plan.predicted[orig]);
+        }
+        assert_eq!(hit.reward, plan.reward);
+    }
+
+    #[test]
+    fn different_priorities_or_threshold_miss() {
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::ResNet50]);
+        let th = StarvationThreshold::default();
+        let mut cache = PlanCache::new();
+        cache.insert(&w, &[0.5, 0.5], th, &fake_plan(&w, 0));
+        assert!(cache.get(&w, &[0.7, 0.3], th).is_none());
+        assert!(cache
+            .get(&w, &[0.5, 0.5], StarvationThreshold::Absolute(3.0))
+            .is_none());
+        assert!(cache.get(&w, &[0.5, 0.5], th).is_some());
+    }
+
+    #[test]
+    fn duplicate_models_with_distinct_priorities_stay_consistent() {
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::AlexNet]);
+        let th = StarvationThreshold::default();
+        let mut cache = PlanCache::new();
+        let plan = fake_plan(&w, 0);
+        cache.insert(&w, &[0.8, 0.2], th, &plan);
+        // Swapped submission order with swapped priorities: the canonical
+        // order sorts by priority bits, so the hit must follow priorities.
+        let hit = cache.get(&w, &[0.2, 0.8], th).expect("hit");
+        assert_eq!(hit.mapping.assignment(0), plan.mapping.assignment(1));
+        assert_eq!(hit.mapping.assignment(1), plan.mapping.assignment(0));
+    }
+}

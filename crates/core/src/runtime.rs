@@ -1,32 +1,97 @@
 //! Dynamic-workload runtime: arrivals, departures, and priority changes
-//! over time, with re-mapping at every event (Figs. 8 and 10).
+//! over time (Figs. 8 and 10), re-mapped *incrementally* at every event.
+//!
+//! This is the serving loop described in `docs/runtime.md`:
+//!
+//! * Running DNNs are tracked by stable [`InstanceId`]s assigned in
+//!   arrival order, so departures name an instance instead of a fragile
+//!   list index.
+//! * At every event the mapper produces a candidate mapping through
+//!   [`WorkloadMapper::remap_incremental`], which hands it the incumbent
+//!   per-instance placements — RankMap warm-starts its search from them
+//!   and answers recurring workload sets from the plan cache.
+//! * The runtime then makes a migration-aware **remap decision**: adopting
+//!   the candidate stalls every moved unit for its weight-transfer time
+//!   (see [`rankmap_sim::MigrationModel`]), so the incumbent mapping is
+//!   kept whenever the candidate's predicted gain does not pay for the
+//!   move within the time left until the next event.
+//! * [`SetPriorities`](DynamicEvent::SetPriorities) events are routed into
+//!   the mapper via [`WorkloadMapper::set_priorities`], so Fig. 10 rank
+//!   rotations take effect.
+//!
+//! Migration stalls are surfaced on the timeline: a remap that moves
+//! weights emits a [`TimelinePoint`] at the event time with zero
+//! throughput and `migration_stall > 0`, and steady-state samples resume
+//! after the stall window.
 
 use crate::dataset::ideal_rates;
 use crate::manager::RankMapManager;
 use crate::oracle::ThroughputOracle;
 use crate::priority::PriorityMode;
 use rankmap_models::ModelId;
-use rankmap_platform::Platform;
-use rankmap_sim::{EventEngine, Mapping, Workload};
+use rankmap_platform::{ComponentId, Platform};
+use rankmap_sim::{EventEngine, Mapping, MigrationModel, Workload};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Stable identity of one running DNN instance, assigned at arrival.
+///
+/// The `k`-th [`DynamicEvent::Arrive`] of a scenario (in event order)
+/// creates instance `InstanceId::new(k)`, `k` starting at 0. Scenario
+/// generators rely on this contract to emit valid departures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(u64);
+
+impl InstanceId {
+    /// Creates an instance id (the `k`-th arrival of a scenario).
+    pub fn new(ordinal: u64) -> Self {
+        Self(ordinal)
+    }
+
+    /// The arrival ordinal.
+    pub fn ordinal(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
 
 /// A scheduled change to the running workload.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DynamicEvent {
-    /// A new DNN is submitted at `at` seconds.
+    /// A new DNN is submitted at `at` seconds. The runtime assigns it the
+    /// next [`InstanceId`] in arrival order.
     Arrive {
         /// Arrival time (seconds).
         at: f64,
         /// The arriving model.
         model: ModelId,
     },
-    /// The `index`-th currently running DNN leaves.
+    /// The running DNN with the given stable id leaves. Unknown or
+    /// already-departed ids are ignored.
     Depart {
         /// Departure time (seconds).
         at: f64,
-        /// Index into the current model list.
+        /// Stable id assigned at arrival.
+        instance: InstanceId,
+    },
+    /// Legacy index-based departure (the `index`-th currently running DNN
+    /// leaves). Indices shift as earlier events apply — prefer
+    /// [`DynamicEvent::Depart`]. Constructed via the deprecated
+    /// [`DynamicEvent::depart_index`].
+    #[doc(hidden)]
+    DepartIndex {
+        /// Departure time (seconds).
+        at: f64,
+        /// Index into the current model list at apply time.
         index: usize,
     },
-    /// The user changes priorities (Fig. 10's rank rotation).
+    /// The user changes priorities (Fig. 10's rank rotation). Routed into
+    /// the mapper via [`WorkloadMapper::set_priorities`].
     SetPriorities {
         /// Time of the change (seconds).
         at: f64,
@@ -41,8 +106,29 @@ impl DynamicEvent {
         match self {
             DynamicEvent::Arrive { at, .. }
             | DynamicEvent::Depart { at, .. }
+            | DynamicEvent::DepartIndex { at, .. }
             | DynamicEvent::SetPriorities { at, .. } => *at,
         }
+    }
+
+    /// An arrival at `at` seconds.
+    pub fn arrive(at: f64, model: ModelId) -> Self {
+        DynamicEvent::Arrive { at, model }
+    }
+
+    /// A departure of a stable instance at `at` seconds.
+    pub fn depart(at: f64, instance: InstanceId) -> Self {
+        DynamicEvent::Depart { at, instance }
+    }
+
+    /// Legacy index-based departure, kept for the original examples.
+    #[deprecated(
+        since = "0.1.0",
+        note = "indices shift as earlier events apply; use DynamicEvent::depart with the \
+                stable InstanceId assigned at arrival"
+    )]
+    pub fn depart_index(at: f64, index: usize) -> Self {
+        DynamicEvent::DepartIndex { at, index }
     }
 }
 
@@ -53,11 +139,27 @@ pub trait WorkloadMapper {
     /// Display name (column label in the figures).
     fn name(&self) -> String;
 
-    /// Produces a mapping for the workload.
+    /// Produces a mapping for the workload from scratch.
     fn remap(&mut self, workload: &Workload) -> Mapping;
+
+    /// Produces a mapping given the incumbent placements: `incumbent[d]`
+    /// is DNN `d`'s current unit assignment, or `None` for a fresh
+    /// arrival. Incremental managers warm-start from it; the default
+    /// ignores it and maps cold.
+    fn remap_incremental(
+        &mut self,
+        workload: &Workload,
+        _incumbent: &[Option<Vec<ComponentId>>],
+    ) -> Mapping {
+        self.remap(workload)
+    }
+
+    /// Applies a user priority change. Priority-insensitive managers (the
+    /// baselines) ignore it.
+    fn set_priorities(&mut self, _mode: &PriorityMode) {}
 }
 
-/// RankMap as a [`WorkloadMapper`] with a fixed priority mode.
+/// RankMap as a [`WorkloadMapper`] with a mutable priority mode.
 pub struct RankMapMapper<'p, O: ThroughputOracle> {
     manager: RankMapManager<'p, O>,
     mode: PriorityMode,
@@ -74,6 +176,26 @@ impl<'p, O: ThroughputOracle> RankMapMapper<'p, O> {
     pub fn set_mode(&mut self, mode: PriorityMode) {
         self.mode = mode;
     }
+
+    /// The current priority mode.
+    pub fn mode(&self) -> &PriorityMode {
+        &self.mode
+    }
+
+    /// The wrapped manager (e.g. for plan-cache observability).
+    pub fn manager(&self) -> &RankMapManager<'p, O> {
+        &self.manager
+    }
+
+    /// Static priority vectors are pinned to a specific workload size;
+    /// fall back to dynamic ranks while the size disagrees (e.g. during a
+    /// Fig. 8 arrival ramp).
+    fn effective_mode(&self, workload: &Workload) -> PriorityMode {
+        match &self.mode {
+            PriorityMode::Static(p) if p.len() != workload.len() => PriorityMode::Dynamic,
+            m => m.clone(),
+        }
+    }
 }
 
 impl<O: ThroughputOracle> WorkloadMapper for RankMapMapper<'_, O> {
@@ -82,14 +204,32 @@ impl<O: ThroughputOracle> WorkloadMapper for RankMapMapper<'_, O> {
     }
 
     fn remap(&mut self, workload: &Workload) -> Mapping {
-        // Static priority vectors are pinned to a specific workload size;
-        // fall back to dynamic ranks while the size disagrees (e.g. during
-        // a Fig. 8 arrival ramp).
-        let mode = match &self.mode {
-            PriorityMode::Static(p) if p.len() != workload.len() => PriorityMode::Dynamic,
-            m => m.clone(),
-        };
-        self.manager.map(workload, &mode).mapping
+        let mode = self.effective_mode(workload);
+        self.manager.map_cached(workload, &mode).mapping
+    }
+
+    fn remap_incremental(
+        &mut self,
+        workload: &Workload,
+        incumbent: &[Option<Vec<ComponentId>>],
+    ) -> Mapping {
+        let mode = self.effective_mode(workload);
+        if incumbent.iter().all(Option::is_none) {
+            // Nothing to warm-start from — cold map, served by the plan
+            // cache when this workload set has been seen before.
+            self.manager.map_cached(workload, &mode).mapping
+        } else if let Some(plan) = self.manager.cached_plan(workload, &mode) {
+            // A recurring workload set (e.g. a transient DNN departed and
+            // re-arrived): skip even the warm search. Whether adopting the
+            // cached plan pays for its migrations is the runtime's call.
+            plan.mapping
+        } else {
+            self.manager.remap_with_hints(workload, &mode, incumbent).mapping
+        }
+    }
+
+    fn set_priorities(&mut self, mode: &PriorityMode) {
+        self.mode = mode.clone();
     }
 }
 
@@ -100,10 +240,45 @@ pub struct TimelinePoint {
     pub time: f64,
     /// Models running at this time (arrival order).
     pub models: Vec<ModelId>,
+    /// Stable ids of the running instances (parallel to `models`).
+    pub instances: Vec<InstanceId>,
     /// Potential throughput of each running DNN.
     pub potentials: Vec<f64>,
     /// Raw throughput (inf/s) of each running DNN.
     pub throughputs: Vec<f64>,
+    /// Seconds of migration stall charged at this point. Non-zero only on
+    /// the dedicated stall point a remap emits at its event time (where
+    /// `potentials`/`throughputs` are zero: the board is moving weights).
+    pub migration_stall: f64,
+    /// Seconds of timeline this point represents: the stall duration for
+    /// stall points, up to one sample interval (clipped at the next event)
+    /// for steady-state points. Time-weighted aggregates use this so a
+    /// millisecond stall is not counted like a full sample window.
+    pub span: f64,
+    /// Whether this point begins a newly adopted mapping.
+    pub remapped: bool,
+}
+
+/// Time-weighted average per-DNN potential over a timeline: each point's
+/// mean potential contributes proportionally to the seconds it represents
+/// ([`TimelinePoint::span`]), so a migration stall (zero potential) costs
+/// exactly the time the weight transfer takes — no more, no less.
+pub fn timeline_average_potential(timeline: &[TimelinePoint]) -> f64 {
+    let mut weighted = 0.0;
+    let mut total_span = 0.0;
+    for p in timeline {
+        if p.potentials.is_empty() {
+            continue;
+        }
+        let mean = p.potentials.iter().sum::<f64>() / p.potentials.len() as f64;
+        weighted += mean * p.span;
+        total_span += p.span;
+    }
+    if total_span <= 0.0 {
+        0.0
+    } else {
+        weighted / total_span
+    }
 }
 
 /// Executes a dynamic scenario against a mapper, measuring steady-state
@@ -111,17 +286,28 @@ pub struct TimelinePoint {
 pub struct DynamicRuntime<'p> {
     platform: &'p Platform,
     sample_dt: f64,
+    migration_aware: bool,
 }
 
 impl<'p> DynamicRuntime<'p> {
-    /// Creates a runtime sampling the timeline every `sample_dt` seconds.
+    /// Creates a migration-aware runtime sampling the timeline every
+    /// `sample_dt` seconds.
     ///
     /// # Panics
     ///
     /// Panics if `sample_dt <= 0`.
     pub fn new(platform: &'p Platform, sample_dt: f64) -> Self {
         assert!(sample_dt > 0.0, "sample_dt must be positive");
-        Self { platform, sample_dt }
+        Self { platform, sample_dt, migration_aware: true }
+    }
+
+    /// Toggles the migration-aware remap decision. When off, every
+    /// candidate mapping is adopted unconditionally (the pre-refactor
+    /// behaviour) — but migration stalls are still *charged* on the
+    /// timeline, because the board pays them either way.
+    pub fn with_migration_awareness(mut self, on: bool) -> Self {
+        self.migration_aware = on;
+        self
     }
 
     /// Runs `events` (sorted by time) until `horizon` seconds, re-mapping
@@ -133,10 +319,13 @@ impl<'p> DynamicRuntime<'p> {
         horizon: f64,
     ) -> Vec<TimelinePoint> {
         let engine = EventEngine::quick(self.platform);
+        let migration = MigrationModel::new(self.platform);
         let all_ids: Vec<ModelId> = ModelId::all();
         let ideals = ideal_rates(self.platform, &all_ids);
         let mut timeline = Vec::new();
-        let mut current: Vec<ModelId> = Vec::new();
+        let mut instances: Vec<(InstanceId, ModelId)> = Vec::new();
+        let mut placements: HashMap<InstanceId, Vec<ComponentId>> = HashMap::new();
+        let mut next_ordinal = 0u64;
         let mut boundaries: Vec<f64> = events.iter().map(DynamicEvent::at).collect();
         boundaries.push(horizon);
         let mut idx = 0usize;
@@ -145,13 +334,23 @@ impl<'p> DynamicRuntime<'p> {
             // Apply all events at or before t.
             while idx < events.len() && events[idx].at() <= t + 1e-9 {
                 match &events[idx] {
-                    DynamicEvent::Arrive { model, .. } => current.push(*model),
-                    DynamicEvent::Depart { index, .. } => {
-                        if *index < current.len() {
-                            current.remove(*index);
+                    DynamicEvent::Arrive { model, .. } => {
+                        instances.push((InstanceId::new(next_ordinal), *model));
+                        next_ordinal += 1;
+                    }
+                    DynamicEvent::Depart { instance, .. } => {
+                        if let Some(pos) = instances.iter().position(|(id, _)| id == instance) {
+                            instances.remove(pos);
+                            placements.remove(instance);
                         }
                     }
-                    DynamicEvent::SetPriorities { .. } => {}
+                    DynamicEvent::DepartIndex { index, .. } => {
+                        if *index < instances.len() {
+                            let (id, _) = instances.remove(*index);
+                            placements.remove(&id);
+                        }
+                    }
+                    DynamicEvent::SetPriorities { mode, .. } => mapper.set_priorities(mode),
                 }
                 idx += 1;
             }
@@ -160,33 +359,122 @@ impl<'p> DynamicRuntime<'p> {
                 .copied()
                 .filter(|&b| b > t + 1e-9)
                 .fold(horizon, f64::min);
-            if current.is_empty() {
+            if instances.is_empty() {
                 t = next_boundary;
                 continue;
             }
-            let workload = Workload::from_ids(current.iter().copied());
-            let mapping = mapper.remap(&workload);
-            let report = engine.evaluate(&workload, &mapping);
+            let workload = Workload::from_ids(instances.iter().map(|(_, m)| *m));
+            let incumbent: Vec<Option<Vec<ComponentId>>> = instances
+                .iter()
+                .map(|(id, _)| placements.get(id).cloned())
+                .collect();
+            let candidate = mapper.remap_incremental(&workload, &incumbent);
+            let window = next_boundary - t;
+            let (mapping, stall, decided_report) = self.decide(
+                &engine,
+                &migration,
+                &workload,
+                &incumbent,
+                candidate,
+                window,
+            );
+            let remapped = incumbent
+                .iter()
+                .enumerate()
+                .any(|(d, inc)| inc.as_deref() != Some(mapping.assignment(d)));
+            for (d, (id, _)) in instances.iter().enumerate() {
+                placements.insert(*id, mapping.assignment(d).to_vec());
+            }
+            // Reuse the decision's simulation of the adopted mapping when
+            // it ran one — the event engine is the expensive part of the
+            // event path.
+            let report =
+                decided_report.unwrap_or_else(|| engine.evaluate(&workload, &mapping));
             let potentials: Vec<f64> = report
                 .per_dnn
                 .iter()
-                .zip(&current)
-                .map(|(&thr, id)| thr / ideals[id].max(1e-9))
+                .zip(&instances)
+                .map(|(&thr, (_, m))| thr / ideals[m].max(1e-9))
                 .collect();
+            let models: Vec<ModelId> = instances.iter().map(|(_, m)| *m).collect();
+            let ids: Vec<InstanceId> = instances.iter().map(|(id, _)| *id).collect();
+            // A remap that moves weights stalls the pipelines: emit the
+            // stall point, then resume steady-state samples after it.
+            let mut first = true;
+            if stall > 0.0 {
+                timeline.push(TimelinePoint {
+                    time: t,
+                    models: models.clone(),
+                    instances: ids.clone(),
+                    potentials: vec![0.0; instances.len()],
+                    throughputs: vec![0.0; instances.len()],
+                    migration_stall: stall,
+                    span: stall,
+                    remapped,
+                });
+                first = false;
+            }
             // Steady state holds until the next event: emit sampled points.
-            let mut s = t;
+            let mut s = t + stall;
             while s < next_boundary - 1e-9 {
                 timeline.push(TimelinePoint {
                     time: s,
-                    models: current.clone(),
+                    models: models.clone(),
+                    instances: ids.clone(),
                     potentials: potentials.clone(),
                     throughputs: report.per_dnn.clone(),
+                    migration_stall: 0.0,
+                    span: (next_boundary - s).min(self.sample_dt),
+                    remapped: remapped && first,
                 });
+                first = false;
                 s += self.sample_dt;
             }
             t = next_boundary;
         }
         timeline
+    }
+
+    /// The migration-aware remap decision: keep the incumbent mapping when
+    /// the candidate's predicted gain does not pay for the stall its
+    /// weight moves cost within the window until the next event. Returns
+    /// the adopted mapping, the stall (seconds) it charges, and — when the
+    /// decision had to simulate — the adopted mapping's board report, so
+    /// the caller does not re-run the event engine.
+    fn decide(
+        &self,
+        engine: &EventEngine<'_>,
+        migration: &MigrationModel<'_>,
+        workload: &Workload,
+        incumbent: &[Option<Vec<ComponentId>>],
+        candidate: Mapping,
+        window: f64,
+    ) -> (Mapping, f64, Option<rankmap_sim::ThroughputReport>) {
+        let cost = migration.cost(workload, incumbent, &candidate);
+        if cost.is_free() {
+            return (candidate, 0.0, None);
+        }
+        if !self.migration_aware {
+            // Oblivious mode: adopt unconditionally, still pay the stall.
+            return (candidate, cost.stall_seconds.min(window), None);
+        }
+        let full_incumbent: Option<Vec<Vec<ComponentId>>> =
+            incumbent.iter().cloned().collect::<Option<Vec<_>>>();
+        let Some(per_dnn) = full_incumbent else {
+            // A fresh arrival forces a remap; survivors' moves still stall.
+            return (candidate, cost.stall_seconds.min(window), None);
+        };
+        let incumbent_mapping = Mapping::new(per_dnn);
+        let stall = cost.stall_seconds.min(window);
+        // Integrated throughput over the window: switching trades `stall`
+        // seconds of silence for the candidate's (hopefully higher) rate.
+        let inc_report = engine.evaluate(workload, &incumbent_mapping);
+        let cand_report = engine.evaluate(workload, &candidate);
+        if cand_report.average() * (window - stall) > inc_report.average() * window {
+            (candidate, stall, Some(cand_report))
+        } else {
+            (incumbent_mapping, 0.0, Some(inc_report))
+        }
     }
 }
 
@@ -209,9 +497,9 @@ mod tests {
 
     fn arrivals() -> Vec<DynamicEvent> {
         vec![
-            DynamicEvent::Arrive { at: 0.0, model: ModelId::AlexNet },
-            DynamicEvent::Arrive { at: 100.0, model: ModelId::SqueezeNetV2 },
-            DynamicEvent::Arrive { at: 200.0, model: ModelId::ResNet50 },
+            DynamicEvent::arrive(0.0, ModelId::AlexNet),
+            DynamicEvent::arrive(100.0, ModelId::SqueezeNetV2),
+            DynamicEvent::arrive(200.0, ModelId::ResNet50),
         ]
     }
 
@@ -245,15 +533,187 @@ mod tests {
     }
 
     #[test]
-    fn departures_shrink_workload() {
+    fn departures_by_stable_id_shrink_workload() {
         let p = Platform::orange_pi_5();
         let rt = DynamicRuntime::new(&p, 50.0);
         let mut events = arrivals();
-        events.push(DynamicEvent::Depart { at: 250.0, index: 0 });
+        // AlexNet was the first arrival: instance #0, wherever it sits.
+        events.push(DynamicEvent::depart(250.0, InstanceId::new(0)));
+        let mut mapper = GpuOnly;
+        let tl = rt.run(&events, &mut mapper, 300.0);
+        let last = tl.last().unwrap();
+        assert_eq!(last.models.len(), 2);
+        assert_eq!(last.models[0], ModelId::SqueezeNetV2);
+        assert_eq!(last.instances, vec![InstanceId::new(1), InstanceId::new(2)]);
+    }
+
+    #[test]
+    fn legacy_index_departure_still_works() {
+        let p = Platform::orange_pi_5();
+        let rt = DynamicRuntime::new(&p, 50.0);
+        let mut events = arrivals();
+        #[allow(deprecated)]
+        events.push(DynamicEvent::depart_index(250.0, 0));
         let mut mapper = GpuOnly;
         let tl = rt.run(&events, &mut mapper, 300.0);
         assert_eq!(tl.last().unwrap().models.len(), 2);
         assert_eq!(tl.last().unwrap().models[0], ModelId::SqueezeNetV2);
+    }
+
+    #[test]
+    fn unknown_instance_departure_is_ignored() {
+        let p = Platform::orange_pi_5();
+        let rt = DynamicRuntime::new(&p, 50.0);
+        let mut events = arrivals();
+        events.push(DynamicEvent::depart(250.0, InstanceId::new(99)));
+        let mut mapper = GpuOnly;
+        let tl = rt.run(&events, &mut mapper, 300.0);
+        assert_eq!(tl.last().unwrap().models.len(), 3);
+    }
+
+    #[test]
+    fn set_priorities_reaches_the_mapper() {
+        // The Fig.-10 regression: SetPriorities events must update the
+        // mapper's mode, not vanish into a no-op match arm.
+        struct Probe {
+            modes: Vec<PriorityMode>,
+        }
+        impl WorkloadMapper for Probe {
+            fn name(&self) -> String {
+                "probe".into()
+            }
+            fn remap(&mut self, workload: &Workload) -> Mapping {
+                Mapping::uniform(workload, rankmap_platform::ComponentId::new(0))
+            }
+            fn set_priorities(&mut self, mode: &PriorityMode) {
+                self.modes.push(mode.clone());
+            }
+        }
+        let p = Platform::orange_pi_5();
+        let rt = DynamicRuntime::new(&p, 50.0);
+        let events = vec![
+            DynamicEvent::arrive(0.0, ModelId::AlexNet),
+            DynamicEvent::arrive(0.0, ModelId::SqueezeNetV2),
+            DynamicEvent::SetPriorities { at: 100.0, mode: PriorityMode::critical(2, 1) },
+            DynamicEvent::SetPriorities { at: 200.0, mode: PriorityMode::Dynamic },
+        ];
+        let mut probe = Probe { modes: Vec::new() };
+        let _ = rt.run(&events, &mut probe, 300.0);
+        assert_eq!(
+            probe.modes,
+            vec![PriorityMode::critical(2, 1), PriorityMode::Dynamic],
+            "every SetPriorities event must reach the mapper, in order"
+        );
+    }
+
+    #[test]
+    fn rankmap_mapper_applies_priority_changes() {
+        let p = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&p);
+        let mgr = RankMapManager::new(
+            &p,
+            &oracle,
+            ManagerConfig { mcts_iterations: 100, warm_iterations: 40, ..Default::default() },
+        );
+        let mut mapper = RankMapMapper::new(mgr, PriorityMode::Dynamic, "RankMapS");
+        let rt = DynamicRuntime::new(&p, 100.0);
+        let events = vec![
+            DynamicEvent::arrive(0.0, ModelId::AlexNet),
+            DynamicEvent::arrive(0.0, ModelId::SqueezeNetV2),
+            DynamicEvent::SetPriorities { at: 150.0, mode: PriorityMode::critical(2, 0) },
+        ];
+        let _ = rt.run(&events, &mut mapper, 300.0);
+        assert_eq!(
+            mapper.mode(),
+            &PriorityMode::critical(2, 0),
+            "the rank rotation must land in the RankMap mapper"
+        );
+    }
+
+    #[test]
+    fn stall_points_mark_migrations() {
+        // A mapper that moves everything between two components at every
+        // call forces migrations; the oblivious runtime must charge them.
+        struct Flipper(usize);
+        impl WorkloadMapper for Flipper {
+            fn name(&self) -> String {
+                "flipper".into()
+            }
+            fn remap(&mut self, workload: &Workload) -> Mapping {
+                self.0 += 1;
+                Mapping::uniform(workload, rankmap_platform::ComponentId::new(self.0 % 2))
+            }
+        }
+        let p = Platform::orange_pi_5();
+        let rt = DynamicRuntime::new(&p, 50.0).with_migration_awareness(false);
+        let mut mapper = Flipper(0);
+        let tl = rt.run(&arrivals(), &mut mapper, 300.0);
+        let stalls: Vec<&TimelinePoint> =
+            tl.iter().filter(|pt| pt.migration_stall > 0.0).collect();
+        assert!(!stalls.is_empty(), "forced moves must surface as stall points");
+        for s in &stalls {
+            assert!(s.potentials.iter().all(|&x| x == 0.0), "stall points are silent");
+            assert!(s.remapped);
+        }
+    }
+
+    #[test]
+    fn migration_awareness_rejects_unpaying_flips() {
+        // The same flipper under the aware runtime: after the first
+        // placement, flipping every component is all cost and no gain, so
+        // the incumbent must be kept (no stall points after warm-up).
+        struct Flipper(usize);
+        impl WorkloadMapper for Flipper {
+            fn name(&self) -> String {
+                "flipper".into()
+            }
+            fn remap(&mut self, workload: &Workload) -> Mapping {
+                self.0 += 1;
+                Mapping::uniform(workload, rankmap_platform::ComponentId::new(self.0 % 2))
+            }
+        }
+        let p = Platform::dual_cpu();
+        let events = vec![
+            DynamicEvent::arrive(0.0, ModelId::AlexNet),
+            DynamicEvent::SetPriorities { at: 100.0, mode: PriorityMode::Dynamic },
+            DynamicEvent::SetPriorities { at: 200.0, mode: PriorityMode::Dynamic },
+        ];
+        let aware = DynamicRuntime::new(&p, 50.0);
+        let mut mapper = Flipper(0);
+        let tl = aware.run(&events, &mut mapper, 300.0);
+        // dual_cpu is symmetric: the flip can never pay for itself.
+        assert!(
+            tl.iter().skip(1).all(|pt| pt.migration_stall == 0.0),
+            "aware runtime must keep the incumbent on symmetric components"
+        );
+    }
+
+    #[test]
+    fn recurring_workload_set_hits_the_plan_cache_in_the_serving_path() {
+        // {AlexNet, SqueezeNet} runs, SqueezeNet departs, then re-arrives:
+        // the second {AlexNet, SqueezeNet} segment must be answered from
+        // the plan cache (the warm remap of the first segment fed it).
+        let p = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&p);
+        let mgr = RankMapManager::new(
+            &p,
+            &oracle,
+            ManagerConfig { mcts_iterations: 100, warm_iterations: 40, ..Default::default() },
+        );
+        let mut mapper = RankMapMapper::new(mgr, PriorityMode::Dynamic, "RankMapD");
+        let rt = DynamicRuntime::new(&p, 50.0);
+        let events = vec![
+            DynamicEvent::arrive(0.0, ModelId::AlexNet),
+            DynamicEvent::arrive(100.0, ModelId::SqueezeNetV2),
+            DynamicEvent::depart(200.0, InstanceId::new(1)),
+            DynamicEvent::arrive(300.0, ModelId::SqueezeNetV2),
+        ];
+        let _ = rt.run(&events, &mut mapper, 400.0);
+        let (hits, _) = mapper.manager().plan_cache_stats();
+        assert!(
+            hits >= 1,
+            "the re-arrived workload set must be served from the plan cache"
+        );
     }
 
     #[test]
@@ -270,8 +730,9 @@ mod tests {
         let tl = rt.run(&arrivals(), &mut mapper, 300.0);
         assert_eq!(mapper.name(), "RankMapD");
         assert!(!tl.is_empty());
-        // No DNN should be starved by RankMap in this light scenario.
-        for point in &tl {
+        // No DNN should be starved by RankMap in this light scenario
+        // (stall points are the board moving weights, not starvation).
+        for point in tl.iter().filter(|pt| pt.migration_stall == 0.0) {
             for &pot in &point.potentials {
                 assert!(pot > rankmap_sim::STARVATION_POTENTIAL, "starved at {pot}");
             }

@@ -1,0 +1,228 @@
+//! Scenario generator: seeded stochastic event streams for the dynamic
+//! runtime — Poisson arrivals, exponential lifetimes, heavy/light model
+//! mixes, and priority churn.
+//!
+//! The generator and the runtime share one contract: the `k`-th
+//! [`DynamicEvent::Arrive`] of the stream owns [`InstanceId::new(k)`], so
+//! the generated departures always name live instances. Generated streams
+//! are sorted by time and deterministic given the seed — the stress tests
+//! and the `runtime_remap` bench replay identical scenarios.
+
+use crate::priority::PriorityMode;
+use crate::runtime::{DynamicEvent, InstanceId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rankmap_models::ModelId;
+
+/// Which part of the model pool arrivals draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixProfile {
+    /// The lighter half of the pool by FLOPs (SqueezeNet-class).
+    Light,
+    /// The heavier half of the pool by FLOPs (VGG/Inception-class).
+    Heavy,
+    /// The whole pool, uniformly.
+    Mixed,
+}
+
+/// Scenario-generation configuration.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Scenario length in seconds.
+    pub horizon: f64,
+    /// Poisson arrival rate (expected arrivals per second).
+    pub arrival_rate: f64,
+    /// Mean DNN lifetime in seconds (exponential); departures past the
+    /// horizon are dropped (the instance runs out the scenario).
+    pub mean_lifetime: f64,
+    /// Arrivals are rejected (no event emitted) while this many instances
+    /// are already live — the admission-control backstop.
+    pub max_concurrent: usize,
+    /// Model pool to draw from (filtered by `mix`).
+    pub pool: Vec<ModelId>,
+    /// Heavy/light filter over the pool.
+    pub mix: MixProfile,
+    /// Poisson rate of user priority changes (events per second); each
+    /// rotates the critical DNN or reverts to dynamic ranks.
+    pub priority_churn_rate: f64,
+    /// RNG seed (generation is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            horizon: 600.0,
+            arrival_rate: 1.0 / 60.0,
+            mean_lifetime: 240.0,
+            max_concurrent: 5,
+            pool: ModelId::paper_pool(),
+            mix: MixProfile::Mixed,
+            priority_churn_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Draws an exponential inter-event time with the given rate.
+fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(1.0e-12..1.0);
+    -u.ln() / rate
+}
+
+/// Splits the pool by total FLOPs and returns the slice the mix allows.
+fn mix_pool(pool: &[ModelId], mix: MixProfile) -> Vec<ModelId> {
+    if pool.len() <= 1 || mix == MixProfile::Mixed {
+        return pool.to_vec();
+    }
+    let mut by_flops: Vec<(f64, ModelId)> =
+        pool.iter().map(|&id| (id.build().total_flops(), id)).collect();
+    by_flops.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let half = by_flops.len() / 2;
+    match mix {
+        MixProfile::Light => by_flops[..half.max(1)].iter().map(|&(_, id)| id).collect(),
+        MixProfile::Heavy => by_flops[half..].iter().map(|&(_, id)| id).collect(),
+        MixProfile::Mixed => unreachable!(),
+    }
+}
+
+/// Generates a sorted, valid event stream for [`ScenarioConfig`].
+///
+/// Guarantees (property-tested in `crates/core/tests/runtime_stress.rs`):
+/// event times are non-decreasing and within `[0, horizon]`; every
+/// departure names an instance that arrived strictly earlier and departs
+/// exactly once; instance ids are dense in arrival order.
+///
+/// # Panics
+///
+/// Panics if the (mix-filtered) pool is empty, `horizon <= 0`, or
+/// `arrival_rate <= 0`.
+pub fn generate(config: &ScenarioConfig) -> Vec<DynamicEvent> {
+    assert!(config.horizon > 0.0, "horizon must be positive");
+    assert!(config.arrival_rate > 0.0, "arrival rate must be positive");
+    let pool = mix_pool(&config.pool, config.mix);
+    assert!(!pool.is_empty(), "scenario pool must not be empty");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // (time, live-delta, event): generate arrivals + matching departures,
+    // tracking the live set so admission control and churn sizes are
+    // consistent with what the runtime will replay.
+    let mut events: Vec<DynamicEvent> = Vec::new();
+    let mut departures: Vec<(f64, InstanceId)> = Vec::new();
+    let mut t = 0.0;
+    let mut ordinal = 0u64;
+    loop {
+        t += exponential(&mut rng, config.arrival_rate);
+        if t >= config.horizon {
+            break;
+        }
+        // Instances whose departure falls before this arrival are no
+        // longer live for admission control.
+        let live = departures.iter().filter(|&&(dt, _)| dt > t).count()
+            + (ordinal as usize - departures.len());
+        if live >= config.max_concurrent {
+            continue;
+        }
+        let model = pool[rng.gen_range(0..pool.len())];
+        events.push(DynamicEvent::arrive(t, model));
+        let id = InstanceId::new(ordinal);
+        ordinal += 1;
+        if config.mean_lifetime > 0.0 {
+            let leave = t + exponential(&mut rng, 1.0 / config.mean_lifetime);
+            if leave < config.horizon {
+                departures.push((leave, id));
+            }
+        }
+    }
+    for &(at, id) in &departures {
+        events.push(DynamicEvent::depart(at, id));
+    }
+
+    // Priority churn: rotate the critical rank among however many DNNs
+    // are live at the churn instant, or fall back to dynamic ranks.
+    if config.priority_churn_rate > 0.0 {
+        let mut ct = 0.0;
+        let mut rotation = 0usize;
+        loop {
+            ct += exponential(&mut rng, config.priority_churn_rate);
+            if ct >= config.horizon {
+                break;
+            }
+            let live = events
+                .iter()
+                .filter(|e| {
+                    matches!(e, DynamicEvent::Arrive { at, .. } if *at <= ct)
+                })
+                .count()
+                - departures.iter().filter(|&&(dt, _)| dt <= ct).count();
+            let mode = if live == 0 || rotation % (live + 1) == live {
+                PriorityMode::Dynamic
+            } else {
+                PriorityMode::critical(live, rotation % live)
+            };
+            rotation += 1;
+            events.push(DynamicEvent::SetPriorities { at: ct, mode });
+        }
+    }
+
+    events.sort_by(|a, b| a.at().total_cmp(&b.at()));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = ScenarioConfig { priority_churn_rate: 1.0 / 120.0, ..Default::default() };
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&ScenarioConfig::default());
+        let b = generate(&ScenarioConfig { seed: 1, ..Default::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn heavy_mix_draws_heavier_models_than_light() {
+        let flops_of = |events: &[DynamicEvent]| -> f64 {
+            let arrivals: Vec<f64> = events
+                .iter()
+                .filter_map(|e| match e {
+                    DynamicEvent::Arrive { model, .. } => Some(model.build().total_flops()),
+                    _ => None,
+                })
+                .collect();
+            arrivals.iter().sum::<f64>() / arrivals.len().max(1) as f64
+        };
+        let mk = |mix| {
+            generate(&ScenarioConfig {
+                horizon: 3_000.0,
+                arrival_rate: 1.0 / 30.0,
+                mix,
+                ..Default::default()
+            })
+        };
+        assert!(flops_of(&mk(MixProfile::Heavy)) > 2.0 * flops_of(&mk(MixProfile::Light)));
+    }
+
+    #[test]
+    fn respects_admission_limit() {
+        let cfg = ScenarioConfig {
+            horizon: 2_000.0,
+            arrival_rate: 1.0 / 10.0,
+            mean_lifetime: 1.0e9, // nobody leaves
+            max_concurrent: 3,
+            ..Default::default()
+        };
+        let events = generate(&cfg);
+        let arrivals = events
+            .iter()
+            .filter(|e| matches!(e, DynamicEvent::Arrive { .. }))
+            .count();
+        assert_eq!(arrivals, 3, "admission control must cap the live set");
+    }
+}

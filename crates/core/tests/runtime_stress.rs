@@ -1,0 +1,180 @@
+//! Stress and property tests for the incremental serving runtime:
+//! generated scenarios stay well-formed, and the runtime digests them
+//! without violating its invariants.
+
+use proptest::prelude::*;
+use rankmap_core::manager::{ManagerConfig, RankMapManager};
+use rankmap_core::oracle::AnalyticalOracle;
+use rankmap_core::priority::PriorityMode;
+use rankmap_core::runtime::{
+    timeline_average_potential, DynamicEvent, DynamicRuntime, InstanceId, RankMapMapper,
+};
+use rankmap_core::scenario::{generate, MixProfile, ScenarioConfig};
+use rankmap_models::ModelId;
+use rankmap_platform::Platform;
+use std::collections::HashSet;
+
+fn quick_pool() -> Vec<ModelId> {
+    vec![
+        ModelId::AlexNet,
+        ModelId::SqueezeNetV2,
+        ModelId::MobileNet,
+        ModelId::ResNet12,
+        ModelId::GoogleNet,
+    ]
+}
+
+/// Checks the generator's contract on one event stream.
+fn assert_well_formed(events: &[DynamicEvent], horizon: f64) {
+    let mut last = 0.0f64;
+    let mut arrived = 0u64;
+    let mut departed: HashSet<InstanceId> = HashSet::new();
+    for e in events {
+        let at = e.at();
+        assert!(at >= last - 1e-12, "event times must be sorted: {at} after {last}");
+        assert!((0.0..horizon).contains(&at), "event at {at} outside [0, {horizon})");
+        last = at;
+        match e {
+            DynamicEvent::Arrive { .. } => arrived += 1,
+            DynamicEvent::Depart { instance, .. } => {
+                assert!(
+                    instance.ordinal() < arrived,
+                    "departure of {instance} before its arrival"
+                );
+                assert!(departed.insert(*instance), "{instance} departed twice");
+            }
+            DynamicEvent::SetPriorities { .. } => {}
+            other => panic!("generator must not emit {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated scenarios keep event times sorted, departures valid
+    /// (arrived earlier, at most once), and ids dense in arrival order.
+    #[test]
+    fn generated_scenarios_are_well_formed(
+        seed in any::<u64>(),
+        rate_per_min in 1.0f64..10.0,
+        lifetime in 30.0f64..600.0,
+        churn_idx in 0usize..3,
+        mix_idx in 0usize..3,
+    ) {
+        let churn = [0.0f64, 1.0 / 120.0, 1.0 / 45.0][churn_idx];
+        let mix = [MixProfile::Light, MixProfile::Heavy, MixProfile::Mixed][mix_idx];
+        let cfg = ScenarioConfig {
+            horizon: 900.0,
+            arrival_rate: rate_per_min / 60.0,
+            mean_lifetime: lifetime,
+            max_concurrent: 4,
+            pool: quick_pool(),
+            mix,
+            priority_churn_rate: churn,
+            seed,
+        };
+        let events = generate(&cfg);
+        assert_well_formed(&events, cfg.horizon);
+    }
+
+    /// The runtime digests any generated scenario: times strictly
+    /// increase, instances stay parallel to models, and stall points are
+    /// exactly the silent ones.
+    #[test]
+    fn runtime_survives_generated_scenarios(seed in 0u64..16) {
+        let cfg = ScenarioConfig {
+            horizon: 600.0,
+            arrival_rate: 1.0 / 40.0,
+            mean_lifetime: 200.0,
+            max_concurrent: 3,
+            pool: quick_pool(),
+            mix: MixProfile::Mixed,
+            priority_churn_rate: 1.0 / 150.0,
+            seed,
+        };
+        let events = generate(&cfg);
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let mgr = RankMapManager::new(
+            &platform,
+            &oracle,
+            ManagerConfig { mcts_iterations: 60, warm_iterations: 24, ..Default::default() },
+        );
+        let mut mapper = RankMapMapper::new(mgr, PriorityMode::Dynamic, "RankMapD");
+        let rt = DynamicRuntime::new(&platform, 60.0);
+        let tl = rt.run(&events, &mut mapper, cfg.horizon);
+        for w in tl.windows(2) {
+            assert!(w[1].time > w[0].time, "timeline must advance");
+        }
+        for pt in &tl {
+            assert_eq!(pt.models.len(), pt.instances.len());
+            assert_eq!(pt.models.len(), pt.potentials.len());
+            assert_eq!(pt.models.len(), pt.throughputs.len());
+            if pt.migration_stall > 0.0 {
+                assert!(pt.potentials.iter().all(|&p| p == 0.0));
+            }
+        }
+    }
+}
+
+/// Migration awareness must not lose timeline-average potential against
+/// the oblivious runtime on a remap-heavy scenario — the whole point of
+/// the decision is to refuse unpaying moves.
+#[test]
+fn migration_awareness_no_worse_on_churny_scenario() {
+    let platform = Platform::orange_pi_5();
+    let oracle = AnalyticalOracle::new(&platform);
+    let cfg = ScenarioConfig {
+        horizon: 600.0,
+        arrival_rate: 1.0 / 60.0,
+        mean_lifetime: 180.0,
+        max_concurrent: 3,
+        pool: quick_pool(),
+        mix: MixProfile::Mixed,
+        priority_churn_rate: 1.0 / 100.0,
+        seed: 7,
+    };
+    let events = generate(&cfg);
+    let run = |aware: bool| {
+        let mgr = RankMapManager::new(
+            &platform,
+            &oracle,
+            ManagerConfig { mcts_iterations: 120, warm_iterations: 48, ..Default::default() },
+        );
+        let mut mapper = RankMapMapper::new(mgr, PriorityMode::Dynamic, "RankMapD");
+        let rt = DynamicRuntime::new(&platform, 30.0).with_migration_awareness(aware);
+        timeline_average_potential(&rt.run(&events, &mut mapper, cfg.horizon))
+    };
+    let aware = run(true);
+    let oblivious = run(false);
+    assert!(
+        aware >= oblivious - 1e-9,
+        "migration awareness regressed the timeline: {aware} vs {oblivious}"
+    );
+}
+
+/// End-to-end SetPriorities regression (the Fig. 10 path): a static rank
+/// rotation mid-scenario must actually reach the manager — the mapper's
+/// mode after the run reflects the last event, and the remap after the
+/// rotation is produced under the rotated ranks.
+#[test]
+fn set_priorities_drives_the_fig10_rotation() {
+    let platform = Platform::orange_pi_5();
+    let oracle = AnalyticalOracle::new(&platform);
+    let mgr = RankMapManager::new(
+        &platform,
+        &oracle,
+        ManagerConfig { mcts_iterations: 200, warm_iterations: 80, ..Default::default() },
+    );
+    let mut mapper = RankMapMapper::new(mgr, PriorityMode::critical(2, 0), "RankMapS");
+    let rt = DynamicRuntime::new(&platform, 50.0);
+    let events = vec![
+        DynamicEvent::arrive(0.0, ModelId::InceptionV4),
+        DynamicEvent::arrive(0.0, ModelId::SqueezeNetV2),
+        DynamicEvent::SetPriorities { at: 200.0, mode: PriorityMode::critical(2, 1) },
+    ];
+    let tl = rt.run(&events, &mut mapper, 400.0);
+    assert_eq!(mapper.mode(), &PriorityMode::critical(2, 1));
+    assert!(!tl.is_empty());
+}

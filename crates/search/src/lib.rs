@@ -23,6 +23,18 @@
 //! result — which [`Mcts::search_sequential`] preserves as an executable
 //! reference.
 //!
+//! # Warm-started search
+//!
+//! A dynamic workload manager re-searches on every arrival/departure, and
+//! most of the decision vector is unchanged between consecutive events.
+//! [`Mcts::search_warm`] takes a [`WarmStart`] — a per-depth action guide
+//! distilled from the incumbent solution plus a bias probability — and
+//! (a) evaluates the incumbent completion first, so the warm search can
+//! never return a reward below the incumbent's, and (b) biases every
+//! rollout step toward the guide action with probability
+//! [`WarmStart::bias`], so the budget concentrates on re-deciding the
+//! delta instead of rediscovering the unchanged placements.
+//!
 //! # Example
 //!
 //! ```
@@ -123,6 +135,38 @@ impl Default for MctsConfig {
     }
 }
 
+/// Incumbent-derived guidance for a warm-started search.
+///
+/// `guide[d]` names the incumbent action at decision depth `d` (the number
+/// of actions applied from the root), or `None` where the warm start has
+/// no opinion — e.g. the units of a freshly arrived DNN, which the search
+/// must decide from scratch. When every depth of a terminal path is
+/// guided, the incumbent completion is evaluated as the very first
+/// iteration, so the search's best reward starts at the incumbent's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    /// Incumbent action per depth (`None` = unguided, re-decide freely).
+    pub guide: Vec<Option<usize>>,
+    /// Probability that a rollout step follows the guide action instead of
+    /// sampling uniformly. `0.0` disables the bias (the seeded incumbent
+    /// evaluation still happens); values near `1.0` pin guided depths to
+    /// their incumbent choice.
+    pub bias: f64,
+}
+
+impl WarmStart {
+    /// Builds a fully guided warm start from a flat incumbent decision
+    /// vector.
+    pub fn pinned(actions: impl IntoIterator<Item = usize>, bias: f64) -> Self {
+        Self { guide: actions.into_iter().map(Some).collect(), bias }
+    }
+
+    /// Whether every depth in `0..len` has a guide action.
+    pub fn is_complete(&self, len: usize) -> bool {
+        self.guide.len() >= len && self.guide.iter().take(len).all(Option::is_some)
+    }
+}
+
 /// Outcome of a search.
 #[derive(Debug, Clone)]
 pub struct SearchResult<S> {
@@ -148,6 +192,9 @@ struct Node<S> {
     /// the rest stochastically).
     next_action: usize,
     action_count: usize,
+    /// Number of actions applied from the root (the warm-start guide is
+    /// indexed by this depth).
+    depth: usize,
     visits: f64,
     /// Sum of min-max normalized rewards.
     value: f64,
@@ -188,7 +235,21 @@ impl Mcts {
     /// the running minimum for tree statistics, so the tree steers away
     /// from them without poisoning the averages.
     pub fn search<P: DecisionProblem>(&self, problem: &P) -> SearchResult<P::State> {
-        self.search_batched(problem)
+        self.search_batched(problem, None)
+    }
+
+    /// Runs the search warm-started from an incumbent solution: the
+    /// incumbent completion (when fully guided) is evaluated first, and
+    /// rollouts follow the guide with probability [`WarmStart::bias`].
+    ///
+    /// The returned best reward is therefore never below the incumbent's
+    /// when the guide covers a full terminal path.
+    pub fn search_warm<P: DecisionProblem>(
+        &self,
+        problem: &P,
+        warm: &WarmStart,
+    ) -> SearchResult<P::State> {
+        self.search_batched(problem, Some(warm))
     }
 
     /// The classic one-rollout-per-iteration loop, kept verbatim as the
@@ -205,6 +266,7 @@ impl Mcts {
             children: Vec::new(),
             next_action: 0,
             action_count: root_actions,
+            depth: 0,
             visits: 0.0,
             value: 0.0,
         }];
@@ -247,7 +309,11 @@ impl Mcts {
 
     /// Batched virtual-loss search: collect up to `K` rollouts per round,
     /// score them through one `evaluate_batch` call, then backpropagate.
-    fn search_batched<P: DecisionProblem>(&self, problem: &P) -> SearchResult<P::State> {
+    fn search_batched<P: DecisionProblem>(
+        &self,
+        problem: &P,
+        warm: Option<&WarmStart>,
+    ) -> SearchResult<P::State> {
         let batch = self.config.batch.max(1);
         let vl = self.config.virtual_loss;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -259,6 +325,7 @@ impl Mcts {
             children: Vec::new(),
             next_action: 0,
             action_count: root_actions,
+            depth: 0,
             visits: 0.0,
             value: 0.0,
         }];
@@ -275,6 +342,29 @@ impl Mcts {
         let mut sim = root_state.clone();
 
         let mut remaining = self.config.iterations;
+
+        // Warm start, part one: evaluate the incumbent completion before
+        // anything else, so the search's running best can only improve on
+        // it (spends one iteration of the budget).
+        if let Some(w) = warm {
+            if remaining > 0 {
+                if let Some(incumbent) = complete_with_guide(problem, &root_state, w) {
+                    let raw = problem.evaluate(&incumbent);
+                    evaluations += 1;
+                    oracle_evals += 1;
+                    remaining -= 1;
+                    if let Some(k) = problem.transposition_key(&incumbent) {
+                        transpositions.insert(k, raw);
+                    }
+                    if raw > best_reward {
+                        best_reward = raw;
+                        best_state = Some(incumbent);
+                    }
+                    let norm = normalize_reward(raw, &mut reward_min, &mut reward_max);
+                    backpropagate(&mut nodes, 0, norm, 1.0);
+                }
+            }
+        }
         while remaining > 0 {
             let round = batch.min(remaining);
             remaining -= round;
@@ -287,15 +377,24 @@ impl Mcts {
                 // Virtual loss: visits go up with no value, discouraging
                 // the next in-round selection from piling onto this path.
                 apply_virtual_loss(&mut nodes, leaf, vl);
-                // Rollout into the shared buffer.
+                // Rollout into the shared buffer. Warm start, part two:
+                // guided depths follow the incumbent action with
+                // probability `bias` instead of sampling uniformly.
                 sim.clone_from(&nodes[leaf].state);
+                let mut depth = nodes[leaf].depth;
                 loop {
                     let k = problem.action_count(&sim);
                     if k == 0 {
                         break;
                     }
-                    let a = rng.gen_range(0..k);
+                    let a = match warm
+                        .and_then(|w| w.guide.get(depth).copied().flatten().map(|g| (g, w.bias)))
+                    {
+                        Some((g, bias)) if g < k && rng.gen_bool(bias) => g,
+                        _ => rng.gen_range(0..k),
+                    };
                     problem.apply_in_place(&mut sim, a);
+                    depth += 1;
                 }
                 let key = problem.transposition_key(&sim);
                 let state = match key {
@@ -405,6 +504,7 @@ fn select_and_expand<P: DecisionProblem>(
             children: Vec::new(),
             next_action: 0,
             action_count: child_actions,
+            depth: nodes[cur].depth + 1,
             visits: 0.0,
             value: 0.0,
         };
@@ -414,6 +514,29 @@ fn select_and_expand<P: DecisionProblem>(
         id
     } else {
         cur
+    }
+}
+
+/// Replays the warm-start guide from `root` to a terminal state, or `None`
+/// when a depth is unguided or its action is out of range (the guide no
+/// longer matches the problem's shape).
+fn complete_with_guide<P: DecisionProblem>(
+    problem: &P,
+    root: &P::State,
+    warm: &WarmStart,
+) -> Option<P::State> {
+    let mut state = root.clone();
+    let mut depth = 0usize;
+    loop {
+        let k = problem.action_count(&state);
+        if k == 0 {
+            return Some(state);
+        }
+        match warm.guide.get(depth).copied().flatten() {
+            Some(a) if a < k => problem.apply_in_place(&mut state, a),
+            _ => return None,
+        }
+        depth += 1;
     }
 }
 
@@ -678,6 +801,64 @@ mod tests {
         assert_eq!(r.oracle_evals, p.oracle_calls.get());
         assert_eq!(r.cache_hits, 64 - p.oracle_calls.get());
         assert_eq!(r.best_reward, 2.0);
+    }
+
+    #[test]
+    fn warm_start_never_regresses_the_incumbent() {
+        // Give the search a strong incumbent and a starvation budget: the
+        // seeded evaluation must keep the incumbent's reward as the floor.
+        for seed in 0..6u64 {
+            let warm = WarmStart::pinned(vec![1usize; 12], 0.9);
+            let r = Mcts::new(MctsConfig { iterations: 10, seed, ..Default::default() })
+                .search_warm(&OneMax(12), &warm);
+            assert!(
+                r.best_reward >= 12.0,
+                "seed {seed}: warm search fell below the incumbent: {}",
+                r.best_reward
+            );
+            assert_eq!(r.best_state, vec![1; 12]);
+        }
+    }
+
+    #[test]
+    fn warm_start_rediscovers_the_delta() {
+        // Guide the first 8 depths to 1 and leave the last 4 unguided: the
+        // incumbent completion is impossible (guide incomplete), but the
+        // bias concentrates the budget on the open suffix.
+        let mut guide: Vec<Option<usize>> = vec![Some(1); 8];
+        guide.extend(std::iter::repeat_n(None, 4));
+        let warm = WarmStart { guide, bias: 0.95 };
+        let r = Mcts::new(MctsConfig { iterations: 200, seed: 2, ..Default::default() })
+            .search_warm(&OneMax(12), &warm);
+        assert_eq!(r.best_reward, 12.0, "biased search should solve the suffix");
+    }
+
+    #[test]
+    fn warm_start_spends_the_same_budget() {
+        let warm = WarmStart::pinned(vec![1usize; 6], 0.8);
+        let r = Mcts::new(MctsConfig { iterations: 77, seed: 1, ..Default::default() })
+            .search_warm(&OneMax(6), &warm);
+        assert_eq!(r.evaluations, 77, "the seeded evaluation counts against the budget");
+    }
+
+    #[test]
+    fn warm_start_deterministic_given_seed() {
+        let warm = WarmStart::pinned(vec![1usize, 0, 1, 0, 1, 0], 0.7);
+        let cfg = MctsConfig { iterations: 150, seed: 8, batch: 4, ..Default::default() };
+        let a = Mcts::new(cfg).search_warm(&OneMax(6), &warm);
+        let b = Mcts::new(cfg).search_warm(&OneMax(6), &warm);
+        assert_eq!(a.best_state, b.best_state);
+        assert_eq!(a.best_reward, b.best_reward);
+    }
+
+    #[test]
+    fn warm_start_ignores_out_of_range_guides() {
+        // A guide action outside the action space must not be followed (or
+        // crash) — the rollout falls back to uniform sampling.
+        let warm = WarmStart::pinned(vec![7usize; 6], 1.0);
+        let r = Mcts::new(MctsConfig { iterations: 300, seed: 3, ..Default::default() })
+            .search_warm(&OneMax(6), &warm);
+        assert_eq!(r.best_reward, 6.0);
     }
 
     #[test]

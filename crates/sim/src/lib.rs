@@ -45,6 +45,7 @@ pub mod analytical;
 pub mod contention;
 pub mod cost;
 pub mod event;
+pub mod migration;
 pub mod report;
 pub mod workload;
 
@@ -54,6 +55,7 @@ pub use contention::{
 };
 pub use cost::CostModel;
 pub use event::{EventConfig, EventEngine};
+pub use migration::{MigrationCost, MigrationModel};
 pub use report::ThroughputReport;
 pub use workload::{Mapping, MappingError, StageSpec, Workload};
 

@@ -1,0 +1,198 @@
+//! Migration-cost model: what switching from one mapping to another costs.
+//!
+//! Re-mapping a running workload is not free. Every schedulable unit that
+//! moves to a different component has to have its weights re-staged for
+//! the new executor — on a shared-memory SoC that is a write-back plus a
+//! read through DRAM and a runtime synchronization point, exactly the
+//! [`Link`](rankmap_platform::Link) the platform already models for
+//! inter-stage activation traffic. The model here charges
+//! `link.transfer_seconds(unit_weight_bytes)` per moved unit and reports
+//! the total as a *stall*: the window during which the remapped pipelines
+//! are not producing inferences.
+//!
+//! Freshly arrived DNNs are not charged — their weights must be loaded
+//! under any mapping, so they cannot differentiate candidate mappings in a
+//! remap decision.
+
+use crate::workload::{Mapping, Workload};
+use rankmap_platform::Platform;
+
+/// The cost of migrating a running workload from one mapping to another.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MigrationCost {
+    /// Total stall in seconds (weight re-staging over the transfer link).
+    pub stall_seconds: f64,
+    /// Total weight bytes moved between components.
+    pub moved_bytes: f64,
+    /// Number of schedulable units whose component changed.
+    pub moved_units: usize,
+}
+
+impl MigrationCost {
+    /// A free migration (nothing moved).
+    pub const ZERO: MigrationCost =
+        MigrationCost { stall_seconds: 0.0, moved_bytes: 0.0, moved_units: 0 };
+
+    /// Whether anything actually moves.
+    pub fn is_free(&self) -> bool {
+        self.moved_units == 0
+    }
+}
+
+/// Computes [`MigrationCost`]s from a platform's transfer link and the
+/// workload's per-unit weight footprints.
+#[derive(Debug, Clone)]
+pub struct MigrationModel<'p> {
+    platform: &'p Platform,
+}
+
+impl<'p> MigrationModel<'p> {
+    /// Creates a model over a platform.
+    pub fn new(platform: &'p Platform) -> Self {
+        Self { platform }
+    }
+
+    /// Cost of moving `workload` from its incumbent placements to `new`.
+    ///
+    /// `old[d]` is DNN `d`'s incumbent unit assignment, or `None` for a
+    /// freshly arrived DNN (charged nothing — its load cost is identical
+    /// under every candidate mapping). Incumbent slices whose length does
+    /// not match the model's unit count are treated as fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old.len() != workload.len()` or if `new` does not cover
+    /// the workload.
+    pub fn cost(
+        &self,
+        workload: &Workload,
+        old: &[Option<Vec<rankmap_platform::ComponentId>>],
+        new: &Mapping,
+    ) -> MigrationCost {
+        assert_eq!(old.len(), workload.len(), "one incumbent entry per DNN");
+        assert_eq!(new.per_dnn().len(), workload.len(), "mapping must cover the workload");
+        let link = self.platform.transfer_link();
+        let mut cost = MigrationCost::ZERO;
+        for (d, model) in workload.models().iter().enumerate() {
+            let Some(prev) = &old[d] else { continue };
+            if prev.len() != model.unit_count() {
+                continue;
+            }
+            for (u, unit) in model.units().iter().enumerate() {
+                if prev[u] != new.assignment(d)[u] {
+                    let bytes = unit.weight_bytes() as f64;
+                    cost.stall_seconds += link.transfer_seconds(bytes);
+                    cost.moved_bytes += bytes;
+                    cost.moved_units += 1;
+                }
+            }
+        }
+        cost
+    }
+
+    /// Convenience: cost between two complete mappings of the same
+    /// workload (every DNN treated as surviving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mapping does not cover the workload.
+    pub fn cost_between(
+        &self,
+        workload: &Workload,
+        old: &Mapping,
+        new: &Mapping,
+    ) -> MigrationCost {
+        let old_vecs: Vec<Option<Vec<rankmap_platform::ComponentId>>> =
+            old.per_dnn().iter().map(|v| Some(v.clone())).collect();
+        self.cost(workload, &old_vecs, new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmap_models::ModelId;
+    use rankmap_platform::ComponentId;
+
+    fn w() -> Workload {
+        Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNetV2])
+    }
+
+    #[test]
+    fn identical_mappings_are_free() {
+        let p = Platform::orange_pi_5();
+        let m = Mapping::uniform(&w(), ComponentId::new(0));
+        let cost = MigrationModel::new(&p).cost_between(&w(), &m, &m);
+        assert_eq!(cost, MigrationCost::ZERO);
+        assert!(cost.is_free());
+    }
+
+    #[test]
+    fn full_move_charges_every_unit() {
+        let p = Platform::orange_pi_5();
+        let workload = w();
+        let old = Mapping::uniform(&workload, ComponentId::new(0));
+        let new = Mapping::uniform(&workload, ComponentId::new(1));
+        let cost = MigrationModel::new(&p).cost_between(&workload, &old, &new);
+        assert_eq!(cost.moved_units, workload.total_units());
+        let total_weights: f64 = workload
+            .models()
+            .iter()
+            .map(|m| m.total_weight_bytes() as f64)
+            .sum();
+        assert!((cost.moved_bytes - total_weights).abs() < 1.0);
+        assert!(cost.stall_seconds > 0.0);
+    }
+
+    #[test]
+    fn fresh_arrivals_cost_nothing() {
+        let p = Platform::orange_pi_5();
+        let workload = w();
+        let new = Mapping::uniform(&workload, ComponentId::new(1));
+        // DNN 0 survives on component 0 (moves), DNN 1 is a fresh arrival.
+        let old = vec![
+            Some(vec![ComponentId::new(0); workload.models()[0].unit_count()]),
+            None,
+        ];
+        let cost = MigrationModel::new(&p).cost(&workload, &old, &new);
+        assert_eq!(cost.moved_units, workload.models()[0].unit_count());
+        assert!(
+            (cost.moved_bytes - workload.models()[0].total_weight_bytes() as f64).abs() < 1.0
+        );
+    }
+
+    #[test]
+    fn heavier_weights_stall_longer() {
+        let p = Platform::orange_pi_5();
+        let light = Workload::from_ids([ModelId::SqueezeNetV2]);
+        let heavy = Workload::from_ids([ModelId::Vgg16]);
+        let mm = MigrationModel::new(&p);
+        let stall = |wl: &Workload| {
+            mm.cost_between(
+                wl,
+                &Mapping::uniform(wl, ComponentId::new(0)),
+                &Mapping::uniform(wl, ComponentId::new(2)),
+            )
+            .stall_seconds
+        };
+        assert!(
+            stall(&heavy) > stall(&light) * 10.0,
+            "VGG-16's weights should dwarf SqueezeNet's transfer time"
+        );
+    }
+
+    #[test]
+    fn partial_move_charges_only_changed_units() {
+        let p = Platform::orange_pi_5();
+        let workload = Workload::from_ids([ModelId::AlexNet]);
+        let n = workload.models()[0].unit_count();
+        let old = Mapping::uniform(&workload, ComponentId::new(0));
+        let mut assign = vec![ComponentId::new(0); n];
+        assign[n - 1] = ComponentId::new(1);
+        let new = Mapping::new(vec![assign]);
+        let cost = MigrationModel::new(&p).cost_between(&workload, &old, &new);
+        assert_eq!(cost.moved_units, 1);
+        let last_unit = workload.models()[0].units()[n - 1].weight_bytes() as f64;
+        assert!((cost.moved_bytes - last_unit).abs() < 1.0);
+    }
+}

@@ -1,6 +1,10 @@
 //! Fig. 8's scenario as an example: DNNs of very different weights arrive
-//! over ten minutes; RankMap-D keeps even the heavy Inception-ResNet-V1
-//! alive while OmniBoost (mean-throughput greedy) starves it.
+//! over ten minutes (and one departs by its stable instance id); RankMap-D
+//! keeps even the heavy Inception-ResNet-V1 alive while OmniBoost
+//! (mean-throughput greedy) starves it. RankMap's remaps are incremental:
+//! warm-started from the incumbent placements, adopted only when the
+//! predicted gain pays for the migration stall — which the timeline
+//! surfaces as zero-throughput points.
 //!
 //! ```bash
 //! cargo run --release --example dynamic_arrivals
@@ -8,16 +12,18 @@
 
 use rankmap::baselines::OmniBoost;
 use rankmap::core::manager::{ManagerConfig, RankMapManager};
-use rankmap::core::runtime::{DynamicEvent, DynamicRuntime, RankMapMapper, WorkloadMapper};
+use rankmap::core::runtime::{DynamicEvent, DynamicRuntime, InstanceId, RankMapMapper, WorkloadMapper};
 use rankmap::prelude::*;
 
 fn main() {
     let platform = Platform::orange_pi_5();
     let events = vec![
-        DynamicEvent::Arrive { at: 0.0, model: ModelId::InceptionResnetV1 },
-        DynamicEvent::Arrive { at: 150.0, model: ModelId::AlexNet },
-        DynamicEvent::Arrive { at: 300.0, model: ModelId::SqueezeNet },
-        DynamicEvent::Arrive { at: 450.0, model: ModelId::ResNet50 },
+        DynamicEvent::arrive(0.0, ModelId::InceptionResnetV1),
+        DynamicEvent::arrive(150.0, ModelId::AlexNet),
+        DynamicEvent::arrive(300.0, ModelId::SqueezeNet),
+        DynamicEvent::arrive(450.0, ModelId::ResNet50),
+        // AlexNet (the second arrival, instance #1) leaves at t=525.
+        DynamicEvent::depart(525.0, InstanceId::new(1)),
     ];
     let oracle = AnalyticalOracle::new(&platform);
     let runtime = DynamicRuntime::new(&platform, 150.0);
@@ -35,15 +41,29 @@ fn main() {
         println!("\n=== {} ===", mapper.name());
         let timeline = runtime.run(&events, mapper.as_mut(), 600.0);
         for point in &timeline {
+            if point.migration_stall > 0.0 {
+                println!(
+                    "t={:>3.0}s  -- remap stall: {:.1} ms of weight transfer --",
+                    point.time,
+                    point.migration_stall * 1e3
+                );
+                continue;
+            }
             print!("t={:>3.0}s ", point.time);
-            for (id, p) in point.models.iter().zip(&point.potentials) {
+            for ((id, inst), p) in point
+                .models
+                .iter()
+                .zip(&point.instances)
+                .zip(&point.potentials)
+            {
                 let starved = if *p < STARVATION_POTENTIAL { "!" } else { "" };
-                print!(" {}={:.2}{}", id.name(), p, starved);
+                print!(" {}{}={:.2}{}", id.name(), inst, p, starved);
             }
             println!();
         }
         let starved: usize = timeline
             .iter()
+            .filter(|p| p.migration_stall == 0.0)
             .flat_map(|p| p.potentials.iter())
             .filter(|&&p| p < STARVATION_POTENTIAL)
             .count();

@@ -1,40 +1,58 @@
 //! Fig. 10's scenario as an example: the user rotates the high rank
-//! between four concurrently running DNNs, and RankMap-S re-maps to honor
-//! each change without starving anyone.
+//! between four concurrently running DNNs *at runtime* — the rotation
+//! arrives as `SetPriorities` events on the dynamic runtime, which routes
+//! them into the mapper and re-maps incrementally (warm-started from the
+//! incumbent, adopted only when the gain pays for the migration).
 //!
 //! ```bash
 //! cargo run --release --example priority_shift
 //! ```
 
+use rankmap::core::runtime::{DynamicEvent, DynamicRuntime, RankMapMapper};
 use rankmap::prelude::*;
 
 fn main() {
     let platform = Platform::orange_pi_5();
-    let workload = Workload::from_ids([
+    let models = [
         ModelId::MobileNetV2,
         ModelId::ShuffleNet,
         ModelId::AlexNet,
         ModelId::SqueezeNet,
-    ]);
-    let names: Vec<&str> = workload.models().iter().map(|m| m.name()).collect();
+    ];
+    let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+
+    // All four DNNs arrive at t=0; every 150 s the user hands the 0.7
+    // rank to the next DNN (stage 1 starts under critical(4, 0)).
+    let mut events: Vec<DynamicEvent> =
+        models.iter().map(|&m| DynamicEvent::arrive(0.0, m)).collect();
+    for stage in 1..4 {
+        events.push(DynamicEvent::SetPriorities {
+            at: 150.0 * stage as f64,
+            mode: PriorityMode::critical(4, stage),
+        });
+    }
+
     let oracle = AnalyticalOracle::new(&platform);
     let manager = RankMapManager::new(&platform, &oracle, ManagerConfig::default());
-    let board = EventEngine::new(&platform);
-    let ideals: Vec<f64> = workload
-        .models()
-        .iter()
-        .map(|m| board.ideal_rate(m.id(), ComponentId::new(0)))
-        .collect();
+    let mut mapper = RankMapMapper::new(manager, PriorityMode::critical(4, 0), "RankMapS");
+    let runtime = DynamicRuntime::new(&platform, 150.0);
+    let timeline = runtime.run(&events, &mut mapper, 600.0);
 
-    for stage in 0..4 {
-        let plan = manager.map(&workload, &PriorityMode::critical(4, stage));
-        let report = board.evaluate(&workload, &plan.mapping);
-        let pots = report.potentials(&ideals);
-        println!("\nstage {}: priority 0.7 -> {}", stage + 1, names[stage]);
-        for (i, name) in names.iter().enumerate() {
+    for point in &timeline {
+        if point.migration_stall > 0.0 {
+            println!(
+                "t={:>3.0}s  -- rank rotation remap: {:.1} ms stall --",
+                point.time,
+                point.migration_stall * 1e3
+            );
+            continue;
+        }
+        let stage = (point.time / 150.0) as usize;
+        println!("\nt={:>3.0}s: priority 0.7 -> {}", point.time, names[stage.min(3)]);
+        for (i, (name, p)) in names.iter().zip(&point.potentials).enumerate() {
             let mark = if i == stage { " *" } else { "  " };
-            println!("  {name:<14}{mark} P = {:.3}", pots[i]);
-            assert!(pots[i] >= STARVATION_POTENTIAL, "{name} starved");
+            println!("  {name:<14}{mark} P = {p:.3}");
+            assert!(*p >= STARVATION_POTENTIAL, "{name} starved");
         }
     }
     println!("\nno DNN was starved in any stage — the Fig. 10 property.");
