@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod json;
 pub mod manager;
 pub mod metrics;
 pub mod oracle;
@@ -61,8 +62,8 @@ pub mod prelude {
     pub use crate::priority::PriorityMode;
     pub use crate::reward::{RewardSpec, StarvationThreshold};
     pub use crate::runtime::{
-        timeline_average_potential, DynamicEvent, DynamicRuntime, InstanceId, RankMapMapper,
-        TimelinePoint, WorkloadMapper,
+        timeline_average_potential, DynamicEvent, DynamicRuntime, GainObjective, InstanceId,
+        RankMapMapper, RuntimeSession, TimelinePoint, WorkloadMapper,
     };
     pub use crate::scenario::{MixProfile, ScenarioConfig};
     pub use crate::train::{Fidelity, TrainedArtifacts};

@@ -34,6 +34,12 @@ pub struct ManagerConfig {
     /// Probability that a warm rollout keeps a hinted unit on its
     /// incumbent component (the [`WarmStart::bias`]).
     pub warm_bias: f64,
+    /// LRU bound of the plan cache (`usize::MAX` = unbounded; must be
+    /// positive — [`RankMapManager::new`] panics on 0, matching
+    /// [`PlanCache::with_capacity`]). A serving box sees a bounded
+    /// universe of recurring workload sets; a fleet shard gets a budget
+    /// so a hostile arrival mix cannot grow the cache without limit.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for ManagerConfig {
@@ -46,6 +52,7 @@ impl Default for ManagerConfig {
             batch: 8,
             warm_iterations: 300,
             warm_bias: 0.9,
+            plan_cache_capacity: usize::MAX,
         }
     }
 }
@@ -163,13 +170,25 @@ impl<O: ThroughputOracle> DecisionProblem for MappingProblem<'_, O> {
 
 impl<'p, O: ThroughputOracle> RankMapManager<'p, O> {
     /// Creates a manager over a platform and oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.plan_cache_capacity == 0` — a typo'd zero would
+    /// otherwise silently degrade every recurring workload set to a warm
+    /// search (consistent with [`PlanCache::with_capacity`]).
     pub fn new(platform: &'p Platform, oracle: &'p O, config: ManagerConfig) -> Self {
+        assert!(
+            config.plan_cache_capacity > 0,
+            "plan_cache_capacity must be positive (usize::MAX = unbounded)"
+        );
         Self {
             platform,
             oracle,
             config,
             ideal_cache: std::sync::Mutex::new(std::collections::HashMap::new()),
-            plan_cache: std::sync::Mutex::new(PlanCache::new()),
+            plan_cache: std::sync::Mutex::new(PlanCache::with_capacity(
+                config.plan_cache_capacity,
+            )),
         }
     }
 
@@ -227,6 +246,39 @@ impl<'p, O: ThroughputOracle> RankMapManager<'p, O> {
     /// `(hits, misses)` of the plan cache — observability for the runtime.
     pub fn plan_cache_stats(&self) -> (u64, u64) {
         self.plan_cache.lock().expect("plan cache poisoned").stats()
+    }
+
+    /// Snapshots the plan cache to JSON (see [`PlanCache::to_json`]) so a
+    /// restarted manager — or a whole fleet — boots serving yesterday's
+    /// plans.
+    pub fn export_plan_cache(&self) -> String {
+        self.plan_cache.lock().expect("plan cache poisoned").to_json()
+    }
+
+    /// Replaces the plan cache with a [`RankMapManager::export_plan_cache`]
+    /// snapshot, re-bounded to this manager's configured capacity. A
+    /// snapshot referencing components this platform does not have (e.g.
+    /// recorded on a bigger board, or corrupted) is rejected here rather
+    /// than panicking on its first cache hit mid-serving. Returns the
+    /// number of plans serving after the load.
+    pub fn import_plan_cache(&self, json: &str) -> Result<usize, crate::json::JsonError> {
+        let loaded = PlanCache::from_json(json)?;
+        loaded.validate_components(self.platform.component_count())?;
+        Ok(self.install_plan_cache(loaded))
+    }
+
+    /// Replaces the plan cache with an already-parsed (and, by the
+    /// caller, validated) cache, re-bounded to this manager's configured
+    /// capacity — the fan-out half of [`RankMapManager::import_plan_cache`]
+    /// for callers installing one snapshot into many managers. Returns
+    /// the number of plans serving after the bound.
+    pub fn install_plan_cache(&self, mut loaded: PlanCache) -> usize {
+        // config.plan_cache_capacity > 0 is guaranteed by the
+        // constructor's assert.
+        loaded.set_capacity(self.config.plan_cache_capacity);
+        let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
+        *cache = loaded;
+        cache.len()
     }
 
     /// Cache-only lookup: the cached plan for this workload set (in the
@@ -530,6 +582,42 @@ mod tests {
         assert_eq!(second.reward.to_bits(), first.reward.to_bits());
         assert_eq!(second.evaluations, 0, "hits skip the search entirely");
         assert_eq!(mgr.plan_cache_stats(), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "plan_cache_capacity")]
+    fn zero_plan_cache_capacity_is_rejected_loudly() {
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let _ = RankMapManager::new(
+            &platform,
+            &oracle,
+            ManagerConfig { plan_cache_capacity: 0, ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn plan_cache_survives_a_restart_via_json() {
+        // The fleet boot path: yesterday's exported plans serve today's
+        // first requests without a single search.
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let mgr = RankMapManager::new(&platform, &oracle, quick_config());
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        let plan = mgr.map_cached(&w, &PriorityMode::Dynamic);
+        let snapshot = mgr.export_plan_cache();
+
+        let rebooted = RankMapManager::new(
+            &platform,
+            &oracle,
+            ManagerConfig { plan_cache_capacity: 64, ..quick_config() },
+        );
+        let served = rebooted.import_plan_cache(&snapshot).expect("snapshot loads");
+        assert_eq!(served, 1);
+        let hit = rebooted.map_cached(&w, &PriorityMode::Dynamic);
+        assert_eq!(hit.evaluations, 0, "the booted cache must answer without searching");
+        assert_eq!(hit.mapping, plan.mapping);
+        assert_eq!(hit.reward.to_bits(), plan.reward.to_bits());
     }
 
     #[test]

@@ -12,9 +12,13 @@
 //!   and answers recurring workload sets from the plan cache.
 //! * The runtime then makes a migration-aware **remap decision**: adopting
 //!   the candidate stalls every moved unit for its weight-transfer time
-//!   (see [`rankmap_sim::MigrationModel`]), so the incumbent mapping is
-//!   kept whenever the candidate's predicted gain does not pay for the
-//!   move within the time left until the next event.
+//!   plus the estimator's compiled-stem rebuild (see
+//!   [`rankmap_sim::MigrationModel`]), so the incumbent mapping is kept
+//!   whenever the candidate's predicted gain does not pay for the move
+//!   within the time left until the next event. The gain is integrated
+//!   under a [`GainObjective`]: the default weighs each DNN's *potential*
+//!   by its priority (the paper's reward), the legacy raw-average
+//!   objective stays available for A/B comparison.
 //! * [`SetPriorities`](DynamicEvent::SetPriorities) events are routed into
 //!   the mapper via [`WorkloadMapper::set_priorities`], so Fig. 10 rank
 //!   rotations take effect.
@@ -23,6 +27,14 @@
 //! weights emits a [`TimelinePoint`] at the event time with zero
 //! throughput and `migration_stall > 0`, and steady-state samples resume
 //! after the stall window.
+//!
+//! Everything above is also available **step-wise** through
+//! [`RuntimeSession`]: a fleet manager that interleaves many device
+//! shards on one global clock drives each shard's session with
+//! [`RuntimeSession::advance_to`] / [`RuntimeSession::apply`] /
+//! [`RuntimeSession::finish`] instead of handing the whole event stream
+//! to [`DynamicRuntime::run`] (which is now a thin wrapper over a
+//! session).
 
 use crate::dataset::ideal_rates;
 use crate::manager::RankMapManager;
@@ -157,6 +169,14 @@ pub trait WorkloadMapper {
     /// Applies a user priority change. Priority-insensitive managers (the
     /// baselines) ignore it.
     fn set_priorities(&mut self, _mode: &PriorityMode) {}
+
+    /// The resolved priority vector this mapper currently optimizes for,
+    /// or `None` for rank-insensitive mappers (the runtime falls back to
+    /// uniform weights). The migration-aware remap decision uses it under
+    /// [`GainObjective::PriorityPotential`].
+    fn priorities(&self, _workload: &Workload) -> Option<Vec<f64>> {
+        None
+    }
 }
 
 /// RankMap as a [`WorkloadMapper`] with a mutable priority mode.
@@ -231,6 +251,10 @@ impl<O: ThroughputOracle> WorkloadMapper for RankMapMapper<'_, O> {
     fn set_priorities(&mut self, mode: &PriorityMode) {
         self.mode = mode.clone();
     }
+
+    fn priorities(&self, workload: &Workload) -> Option<Vec<f64>> {
+        Some(self.effective_mode(workload).vector(workload))
+    }
 }
 
 /// One timeline sample: the state of every running DNN at `time`.
@@ -281,12 +305,76 @@ pub fn timeline_average_potential(timeline: &[TimelinePoint]) -> f64 {
     }
 }
 
+/// The measured ideal rate of `model` from an ideals map, floored at
+/// 1e-9 so potential divisions stay finite.
+///
+/// # Panics
+///
+/// Panics if the map has no entry for `model`: a partial ideals map
+/// would otherwise silently inflate potentials by ~10⁹×. Callers of
+/// [`DynamicRuntime::session_with_ideals`] must cover every model that
+/// may arrive.
+pub fn ideal_rate_of(ideals: &HashMap<ModelId, f64>, model: ModelId) -> f64 {
+    ideals
+        .get(&model)
+        .copied()
+        .unwrap_or_else(|| {
+            panic!(
+                "no ideal rate for {}; the ideals map must cover every model that may arrive",
+                model.name()
+            )
+        })
+        .max(1e-9)
+}
+
+/// Priority-weighted potential of a throughput report:
+/// `Σ wᵢ · thrᵢ / idealᵢ` over the workload's DNNs (ideals looked up per
+/// model via [`ideal_rate_of`]). One formula shared by the session's
+/// remap-gain objective and the fleet placement scorer, so routing and
+/// adoption can never drift apart.
+pub fn weighted_potential(
+    ideals: &HashMap<ModelId, f64>,
+    workload: &Workload,
+    per_dnn: &[f64],
+    weights: &[f64],
+) -> f64 {
+    per_dnn
+        .iter()
+        .zip(workload.models())
+        .zip(weights)
+        .map(|((&thr, m), &w)| w * thr / ideal_rate_of(ideals, m.id()))
+        .sum()
+}
+
+/// The mapper's resolved priority vector, or uniform weights for
+/// rank-insensitive mappers (the baselines).
+pub fn priorities_or_uniform(mapper: &dyn WorkloadMapper, workload: &Workload) -> Vec<f64> {
+    mapper
+        .priorities(workload)
+        .unwrap_or_else(|| vec![1.0 / workload.len().max(1) as f64; workload.len()])
+}
+
+/// What the migration-aware remap decision integrates over the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GainObjective {
+    /// Priority-weighted potential (the paper's reward shape): each DNN's
+    /// `throughput / ideal` weighted by the mapper's resolved priority
+    /// vector (uniform for rank-insensitive mappers). The default.
+    #[default]
+    PriorityPotential,
+    /// Raw average throughput across DNNs — the pre-fleet objective, kept
+    /// for A/B comparison in the `fleet_scale` bench.
+    AverageThroughput,
+}
+
 /// Executes a dynamic scenario against a mapper, measuring steady-state
 /// behaviour between events on the board simulator.
 pub struct DynamicRuntime<'p> {
     platform: &'p Platform,
     sample_dt: f64,
     migration_aware: bool,
+    objective: GainObjective,
+    stem_rebuild: Option<f64>,
 }
 
 impl<'p> DynamicRuntime<'p> {
@@ -298,7 +386,13 @@ impl<'p> DynamicRuntime<'p> {
     /// Panics if `sample_dt <= 0`.
     pub fn new(platform: &'p Platform, sample_dt: f64) -> Self {
         assert!(sample_dt > 0.0, "sample_dt must be positive");
-        Self { platform, sample_dt, migration_aware: true }
+        Self {
+            platform,
+            sample_dt,
+            migration_aware: true,
+            objective: GainObjective::default(),
+            stem_rebuild: None,
+        }
     }
 
     /// Toggles the migration-aware remap decision. When off, every
@@ -310,6 +404,55 @@ impl<'p> DynamicRuntime<'p> {
         self
     }
 
+    /// Selects the remap-gain objective (default
+    /// [`GainObjective::PriorityPotential`]).
+    pub fn with_gain_objective(mut self, objective: GainObjective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Overrides the estimator warm-up charge of the migration model
+    /// (seconds per schedulable unit of a re-placed DNN; `0.0` restores
+    /// the weight-only stall — see [`MigrationModel::with_stem_rebuild`]).
+    pub fn with_stem_rebuild(mut self, seconds_per_unit: f64) -> Self {
+        self.stem_rebuild = Some(seconds_per_unit);
+        self
+    }
+
+    /// Opens a step-wise session, measuring per-model ideal rates for the
+    /// whole registry (memoize with
+    /// [`DynamicRuntime::session_with_ideals`] when driving many sessions
+    /// over the same platform).
+    pub fn session(&self) -> RuntimeSession<'p> {
+        let all_ids: Vec<ModelId> = ModelId::all();
+        self.session_with_ideals(ideal_rates(self.platform, &all_ids))
+    }
+
+    /// Opens a step-wise session with precomputed ideal rates (one entry
+    /// per model that may arrive). A fleet of shards on identical boards
+    /// measures the rates once and clones the map per shard.
+    pub fn session_with_ideals(&self, ideals: HashMap<ModelId, f64>) -> RuntimeSession<'p> {
+        let mut migration = MigrationModel::new(self.platform);
+        if let Some(per_unit) = self.stem_rebuild {
+            migration = migration.with_stem_rebuild(per_unit);
+        }
+        RuntimeSession {
+            engine: EventEngine::quick(self.platform),
+            migration,
+            ideals,
+            sample_dt: self.sample_dt,
+            migration_aware: self.migration_aware,
+            objective: self.objective,
+            clock: 0.0,
+            instances: Vec::new(),
+            placements: HashMap::new(),
+            next_ordinal: 0,
+            segment: None,
+            pending_stall: 0.0,
+            timeline: Vec::new(),
+        }
+    }
+
     /// Runs `events` (sorted by time) until `horizon` seconds, re-mapping
     /// at every event and recording the per-DNN potential throughput.
     pub fn run(
@@ -318,40 +461,14 @@ impl<'p> DynamicRuntime<'p> {
         mapper: &mut dyn WorkloadMapper,
         horizon: f64,
     ) -> Vec<TimelinePoint> {
-        let engine = EventEngine::quick(self.platform);
-        let migration = MigrationModel::new(self.platform);
-        let all_ids: Vec<ModelId> = ModelId::all();
-        let ideals = ideal_rates(self.platform, &all_ids);
-        let mut timeline = Vec::new();
-        let mut instances: Vec<(InstanceId, ModelId)> = Vec::new();
-        let mut placements: HashMap<InstanceId, Vec<ComponentId>> = HashMap::new();
-        let mut next_ordinal = 0u64;
+        let mut session = self.session();
         let mut boundaries: Vec<f64> = events.iter().map(DynamicEvent::at).collect();
         boundaries.push(horizon);
         let mut idx = 0usize;
         let mut t = 0.0;
         while t < horizon {
-            // Apply all events at or before t.
+            let start = idx;
             while idx < events.len() && events[idx].at() <= t + 1e-9 {
-                match &events[idx] {
-                    DynamicEvent::Arrive { model, .. } => {
-                        instances.push((InstanceId::new(next_ordinal), *model));
-                        next_ordinal += 1;
-                    }
-                    DynamicEvent::Depart { instance, .. } => {
-                        if let Some(pos) = instances.iter().position(|(id, _)| id == instance) {
-                            instances.remove(pos);
-                            placements.remove(instance);
-                        }
-                    }
-                    DynamicEvent::DepartIndex { index, .. } => {
-                        if *index < instances.len() {
-                            let (id, _) = instances.remove(*index);
-                            placements.remove(&id);
-                        }
-                    }
-                    DynamicEvent::SetPriorities { mode, .. } => mapper.set_priorities(mode),
-                }
                 idx += 1;
             }
             let next_boundary = boundaries
@@ -359,119 +476,323 @@ impl<'p> DynamicRuntime<'p> {
                 .copied()
                 .filter(|&b| b > t + 1e-9)
                 .fold(horizon, f64::min);
-            if instances.is_empty() {
-                t = next_boundary;
-                continue;
+            session.advance_to(t);
+            session.apply(&events[start..idx], next_boundary - t, mapper);
+            t = next_boundary;
+        }
+        session.finish(horizon);
+        session.into_timeline()
+    }
+}
+
+/// The running segment between two remap points: adopted mapping state
+/// whose timeline samples are emitted once the segment's end is known.
+#[derive(Debug, Clone)]
+struct Segment {
+    start: f64,
+    stall: f64,
+    remapped: bool,
+    models: Vec<ModelId>,
+    instances: Vec<InstanceId>,
+    potentials: Vec<f64>,
+    throughputs: Vec<f64>,
+}
+
+/// Step-wise serving state over one device (shard): the mutable half of
+/// [`DynamicRuntime::run`], factored out so a fleet can interleave many
+/// shards on one global clock.
+///
+/// Protocol: [`RuntimeSession::advance_to`] moves the clock forward,
+/// [`RuntimeSession::apply`] applies a batch of same-time events at the
+/// current clock and re-maps, [`RuntimeSession::finish`] closes the last
+/// segment at the horizon. Timeline samples for a segment are emitted
+/// when the segment *ends* (the next `apply`/`finish` names its end
+/// time), so the output of `run` is reproduced exactly.
+pub struct RuntimeSession<'p> {
+    engine: EventEngine<'p>,
+    migration: MigrationModel<'p>,
+    ideals: HashMap<ModelId, f64>,
+    sample_dt: f64,
+    migration_aware: bool,
+    objective: GainObjective,
+    clock: f64,
+    instances: Vec<(InstanceId, ModelId)>,
+    placements: HashMap<InstanceId, Vec<ComponentId>>,
+    next_ordinal: u64,
+    segment: Option<Segment>,
+    /// Stall seconds charged but not yet served because the charging
+    /// segment ended first (e.g. two events at the same timestamp);
+    /// carried into the next segment so stalls are conserved.
+    pending_stall: f64,
+    timeline: Vec<TimelinePoint>,
+}
+
+impl RuntimeSession<'_> {
+    /// The session clock (seconds; last `advance_to`/`finish` target).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Currently running instances, in arrival order.
+    pub fn live(&self) -> &[(InstanceId, ModelId)] {
+        &self.instances
+    }
+
+    /// The adopted placement of a running instance, if any.
+    pub fn placement(&self, id: InstanceId) -> Option<&[ComponentId]> {
+        self.placements.get(&id).map(Vec::as_slice)
+    }
+
+    /// The measured ideal rate of a model (isolated on the fastest
+    /// component), as used for potential normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session's ideals map does not cover `model` (see
+    /// [`ideal_rate_of`]) — a 0.0 fallback would silently turn the next
+    /// potential division into infinity.
+    pub fn ideal_rate(&self, model: ModelId) -> f64 {
+        ideal_rate_of(&self.ideals, model)
+    }
+
+    /// Timeline points emitted so far (closed segments only).
+    pub fn timeline(&self) -> &[TimelinePoint] {
+        &self.timeline
+    }
+
+    /// Consumes the session, returning the timeline. Call
+    /// [`RuntimeSession::finish`] first — an open segment's samples are
+    /// only emitted once its end is known.
+    pub fn into_timeline(self) -> Vec<TimelinePoint> {
+        self.timeline
+    }
+
+    /// Moves the clock to `t` without applying events. The open segment
+    /// keeps running; its samples are emitted when it closes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is behind the clock.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(t >= self.clock - 1e-9, "session clock cannot move backwards");
+        self.clock = self.clock.max(t);
+    }
+
+    /// Applies a batch of events at the current clock, asks the mapper for
+    /// a candidate mapping, makes the migration-aware remap decision with
+    /// `window_hint` seconds of expected residency (callers that know the
+    /// exact time to the next event — like [`DynamicRuntime::run`] — pass
+    /// it; a fleet passes its expected inter-event gap), and opens a new
+    /// segment. Returns the [`InstanceId`]s assigned to the batch's
+    /// arrivals, in order.
+    pub fn apply(
+        &mut self,
+        events: &[DynamicEvent],
+        window_hint: f64,
+        mapper: &mut dyn WorkloadMapper,
+    ) -> Vec<InstanceId> {
+        self.close_segment();
+        let mut assigned = Vec::new();
+        for event in events {
+            match event {
+                DynamicEvent::Arrive { model, .. } => {
+                    let id = InstanceId::new(self.next_ordinal);
+                    self.next_ordinal += 1;
+                    self.instances.push((id, *model));
+                    assigned.push(id);
+                }
+                DynamicEvent::Depart { instance, .. } => {
+                    if let Some(pos) =
+                        self.instances.iter().position(|(id, _)| id == instance)
+                    {
+                        self.instances.remove(pos);
+                        self.placements.remove(instance);
+                    }
+                }
+                DynamicEvent::DepartIndex { index, .. } => {
+                    if *index < self.instances.len() {
+                        let (id, _) = self.instances.remove(*index);
+                        self.placements.remove(&id);
+                    }
+                }
+                DynamicEvent::SetPriorities { mode, .. } => mapper.set_priorities(mode),
             }
-            let workload = Workload::from_ids(instances.iter().map(|(_, m)| *m));
-            let incumbent: Vec<Option<Vec<ComponentId>>> = instances
-                .iter()
-                .map(|(id, _)| placements.get(id).cloned())
-                .collect();
-            let candidate = mapper.remap_incremental(&workload, &incumbent);
-            let window = next_boundary - t;
-            let (mapping, stall, decided_report) = self.decide(
-                &engine,
-                &migration,
-                &workload,
-                &incumbent,
-                candidate,
-                window,
-            );
-            let remapped = incumbent
+        }
+        if self.instances.is_empty() {
+            // An idle board has nothing to stall.
+            self.pending_stall = 0.0;
+            return assigned;
+        }
+        let workload = Workload::from_ids(self.instances.iter().map(|(_, m)| *m));
+        let incumbent: Vec<Option<Vec<ComponentId>>> = self
+            .instances
+            .iter()
+            .map(|(id, _)| self.placements.get(id).cloned())
+            .collect();
+        let candidate = mapper.remap_incremental(&workload, &incumbent);
+        let (mapping, mut stall, decided_report) =
+            self.decide(&workload, &incumbent, candidate, window_hint, mapper);
+        // A carried stall originates from a remap/migration in the
+        // previous (too-short) segment — its stall point must still be
+        // marked as one.
+        let carried = std::mem::take(&mut self.pending_stall);
+        stall += carried;
+        let remapped = carried > 0.0
+            || incumbent
                 .iter()
                 .enumerate()
                 .any(|(d, inc)| inc.as_deref() != Some(mapping.assignment(d)));
-            for (d, (id, _)) in instances.iter().enumerate() {
-                placements.insert(*id, mapping.assignment(d).to_vec());
-            }
-            // Reuse the decision's simulation of the adopted mapping when
-            // it ran one — the event engine is the expensive part of the
-            // event path.
-            let report =
-                decided_report.unwrap_or_else(|| engine.evaluate(&workload, &mapping));
-            let potentials: Vec<f64> = report
-                .per_dnn
-                .iter()
-                .zip(&instances)
-                .map(|(&thr, (_, m))| thr / ideals[m].max(1e-9))
-                .collect();
-            let models: Vec<ModelId> = instances.iter().map(|(_, m)| *m).collect();
-            let ids: Vec<InstanceId> = instances.iter().map(|(id, _)| *id).collect();
-            // A remap that moves weights stalls the pipelines: emit the
-            // stall point, then resume steady-state samples after it.
-            let mut first = true;
-            if stall > 0.0 {
-                timeline.push(TimelinePoint {
-                    time: t,
-                    models: models.clone(),
-                    instances: ids.clone(),
-                    potentials: vec![0.0; instances.len()],
-                    throughputs: vec![0.0; instances.len()],
-                    migration_stall: stall,
-                    span: stall,
-                    remapped,
-                });
-                first = false;
-            }
-            // Steady state holds until the next event: emit sampled points.
-            let mut s = t + stall;
-            while s < next_boundary - 1e-9 {
-                timeline.push(TimelinePoint {
-                    time: s,
-                    models: models.clone(),
-                    instances: ids.clone(),
-                    potentials: potentials.clone(),
-                    throughputs: report.per_dnn.clone(),
-                    migration_stall: 0.0,
-                    span: (next_boundary - s).min(self.sample_dt),
-                    remapped: remapped && first,
-                });
-                first = false;
-                s += self.sample_dt;
-            }
-            t = next_boundary;
+        for (d, (id, _)) in self.instances.iter().enumerate() {
+            self.placements.insert(*id, mapping.assignment(d).to_vec());
         }
-        timeline
+        // Reuse the decision's simulation of the adopted mapping when it
+        // ran one — the event engine is the expensive part of the event
+        // path.
+        let report =
+            decided_report.unwrap_or_else(|| self.engine.evaluate(&workload, &mapping));
+        let potentials: Vec<f64> = report
+            .per_dnn
+            .iter()
+            .zip(&self.instances)
+            .map(|(&thr, (_, m))| thr / ideal_rate_of(&self.ideals, *m))
+            .collect();
+        self.segment = Some(Segment {
+            start: self.clock,
+            stall,
+            remapped,
+            models: self.instances.iter().map(|(_, m)| *m).collect(),
+            instances: self.instances.iter().map(|(id, _)| *id).collect(),
+            potentials,
+            throughputs: report.per_dnn,
+        });
+        assigned
+    }
+
+    /// Adds an externally-incurred stall (seconds) to the segment opened
+    /// by the last [`RuntimeSession::apply`] — e.g. a fleet charging the
+    /// weight transfer of a cross-shard migration onto the receiving
+    /// board. No-op while no workload is running. Stall the segment
+    /// cannot serve before it ends (e.g. another event lands at the same
+    /// timestamp) carries into the next segment — charged stalls are
+    /// conserved while the board stays busy.
+    pub fn charge_stall(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "a stall cannot be negative");
+        if let Some(seg) = &mut self.segment {
+            seg.stall += seconds;
+            seg.remapped = true;
+        }
+    }
+
+    /// Closes the session at `horizon`: emits the open segment's samples
+    /// up to it.
+    pub fn finish(&mut self, horizon: f64) {
+        self.advance_to(horizon);
+        self.close_segment();
+    }
+
+    /// Emits the open segment's timeline points, now that the clock marks
+    /// its end.
+    fn close_segment(&mut self) {
+        let Some(seg) = self.segment.take() else { return };
+        let end = self.clock;
+        // The stall this segment actually served; the remainder carries
+        // into the next segment so a charge is never silently dropped
+        // (and the emitted `migration_stall` is time that truly elapsed).
+        let served = seg.stall.min((end - seg.start).max(0.0));
+        self.pending_stall += seg.stall - served;
+        let mut first = true;
+        // A remap that moves weights stalls the pipelines: emit the stall
+        // point, then resume steady-state samples after it.
+        if served > 0.0 {
+            self.timeline.push(TimelinePoint {
+                time: seg.start,
+                models: seg.models.clone(),
+                instances: seg.instances.clone(),
+                potentials: vec![0.0; seg.models.len()],
+                throughputs: vec![0.0; seg.models.len()],
+                migration_stall: served,
+                span: served,
+                remapped: seg.remapped,
+            });
+            first = false;
+        }
+        // Steady state held until the segment's end: emit sampled points.
+        let mut s = seg.start + served;
+        while s < end - 1e-9 {
+            self.timeline.push(TimelinePoint {
+                time: s,
+                models: seg.models.clone(),
+                instances: seg.instances.clone(),
+                potentials: seg.potentials.clone(),
+                throughputs: seg.throughputs.clone(),
+                migration_stall: 0.0,
+                span: (end - s).min(self.sample_dt),
+                remapped: seg.remapped && first,
+            });
+            first = false;
+            s += self.sample_dt;
+        }
+    }
+
+    /// Scores a throughput report under the session's gain objective.
+    fn gain_score(&self, workload: &Workload, per_dnn: &[f64], weights: &[f64]) -> f64 {
+        match self.objective {
+            GainObjective::AverageThroughput => {
+                if per_dnn.is_empty() {
+                    0.0
+                } else {
+                    per_dnn.iter().sum::<f64>() / per_dnn.len() as f64
+                }
+            }
+            GainObjective::PriorityPotential => {
+                weighted_potential(&self.ideals, workload, per_dnn, weights)
+            }
+        }
     }
 
     /// The migration-aware remap decision: keep the incumbent mapping when
     /// the candidate's predicted gain does not pay for the stall its
-    /// weight moves cost within the window until the next event. Returns
-    /// the adopted mapping, the stall (seconds) it charges, and — when the
-    /// decision had to simulate — the adopted mapping's board report, so
-    /// the caller does not re-run the event engine.
+    /// weight moves and stem rebuilds cost within the expected residency
+    /// window. Returns the adopted mapping, the stall (seconds) it
+    /// charges, and — when the decision had to simulate — the adopted
+    /// mapping's board report, so the caller does not re-run the event
+    /// engine.
     fn decide(
         &self,
-        engine: &EventEngine<'_>,
-        migration: &MigrationModel<'_>,
         workload: &Workload,
         incumbent: &[Option<Vec<ComponentId>>],
         candidate: Mapping,
         window: f64,
+        mapper: &dyn WorkloadMapper,
     ) -> (Mapping, f64, Option<rankmap_sim::ThroughputReport>) {
-        let cost = migration.cost(workload, incumbent, &candidate);
+        let cost = self.migration.cost(workload, incumbent, &candidate);
         if cost.is_free() {
             return (candidate, 0.0, None);
         }
         if !self.migration_aware {
             // Oblivious mode: adopt unconditionally, still pay the stall.
-            return (candidate, cost.stall_seconds.min(window), None);
+            return (candidate, cost.stall_seconds, None);
         }
         let full_incumbent: Option<Vec<Vec<ComponentId>>> =
             incumbent.iter().cloned().collect::<Option<Vec<_>>>();
         let Some(per_dnn) = full_incumbent else {
             // A fresh arrival forces a remap; survivors' moves still stall.
-            return (candidate, cost.stall_seconds.min(window), None);
+            return (candidate, cost.stall_seconds, None);
         };
         let incumbent_mapping = Mapping::new(per_dnn);
-        let stall = cost.stall_seconds.min(window);
-        // Integrated throughput over the window: switching trades `stall`
-        // seconds of silence for the candidate's (hopefully higher) rate.
-        let inc_report = engine.evaluate(workload, &incumbent_mapping);
-        let cand_report = engine.evaluate(workload, &candidate);
-        if cand_report.average() * (window - stall) > inc_report.average() * window {
-            (candidate, stall, Some(cand_report))
+        // The integration clips the stall to the window (a longer stall
+        // cannot silence more than the window); the *charge* returned is
+        // the full cost — the session carries any remainder forward.
+        let blocked = cost.stall_seconds.min(window);
+        let weights = priorities_or_uniform(mapper, workload);
+        // Integrated gain over the window: switching trades `blocked`
+        // seconds of silence for the candidate's (hopefully higher) score.
+        let inc_report = self.engine.evaluate(workload, &incumbent_mapping);
+        let cand_report = self.engine.evaluate(workload, &candidate);
+        let inc_score = self.gain_score(workload, &inc_report.per_dnn, &weights);
+        let cand_score = self.gain_score(workload, &cand_report.per_dnn, &weights);
+        if cand_score * (window - blocked) > inc_score * window {
+            (candidate, cost.stall_seconds, Some(cand_report))
         } else {
             (incumbent_mapping, 0.0, Some(inc_report))
         }
@@ -685,6 +1006,234 @@ mod tests {
         assert!(
             tl.iter().skip(1).all(|pt| pt.migration_stall == 0.0),
             "aware runtime must keep the incumbent on symmetric components"
+        );
+    }
+
+    #[test]
+    fn stepwise_session_reproduces_run_exactly() {
+        // The fleet contract: driving a session boundary-by-boundary must
+        // produce the identical timeline `run` produces.
+        let p = Platform::orange_pi_5();
+        let rt = DynamicRuntime::new(&p, 50.0);
+        let mut events = arrivals();
+        events.push(DynamicEvent::depart(250.0, InstanceId::new(0)));
+        let horizon = 300.0;
+        let mut mapper_a = GpuOnly;
+        let reference = rt.run(&events, &mut mapper_a, horizon);
+
+        let mut mapper_b = GpuOnly;
+        let mut session = rt.session();
+        let mut idx = 0;
+        let times: Vec<f64> = events.iter().map(DynamicEvent::at).collect();
+        while idx < events.len() {
+            let t = times[idx];
+            let end = idx + events[idx..].iter().take_while(|e| e.at() <= t + 1e-9).count();
+            let next = times.get(end).copied().unwrap_or(horizon);
+            session.advance_to(t);
+            session.apply(&events[idx..end], next - t, &mut mapper_b);
+            idx = end;
+        }
+        session.finish(horizon);
+        assert_eq!(session.into_timeline(), reference);
+    }
+
+    #[test]
+    fn session_reports_assigned_instance_ids_and_live_set() {
+        let p = Platform::orange_pi_5();
+        let rt = DynamicRuntime::new(&p, 50.0);
+        let mut session = rt.session();
+        let mut mapper = GpuOnly;
+        let a = session.apply(
+            &[
+                DynamicEvent::arrive(0.0, ModelId::AlexNet),
+                DynamicEvent::arrive(0.0, ModelId::SqueezeNetV2),
+            ],
+            100.0,
+            &mut mapper,
+        );
+        assert_eq!(a, vec![InstanceId::new(0), InstanceId::new(1)]);
+        assert_eq!(session.live().len(), 2);
+        assert!(session.placement(InstanceId::new(0)).is_some());
+        session.advance_to(100.0);
+        let b = session.apply(
+            &[DynamicEvent::depart(100.0, InstanceId::new(0))],
+            100.0,
+            &mut mapper,
+        );
+        assert!(b.is_empty());
+        assert_eq!(session.live(), &[(InstanceId::new(1), ModelId::SqueezeNetV2)]);
+        assert!(session.placement(InstanceId::new(0)).is_none());
+        session.finish(200.0);
+        assert!(!session.timeline().is_empty());
+    }
+
+    #[test]
+    fn charged_stall_survives_a_same_time_event() {
+        // charge_stall on a segment that another event closes at the
+        // identical timestamp must carry into the next segment — a
+        // cross-shard transfer cannot vanish from the timeline.
+        let p = Platform::orange_pi_5();
+        let rt = DynamicRuntime::new(&p, 50.0);
+        let mut session = rt.session();
+        let mut mapper = GpuOnly;
+        session.apply(&[DynamicEvent::arrive(0.0, ModelId::AlexNet)], 100.0, &mut mapper);
+        session.charge_stall(0.25);
+        session.apply(&[DynamicEvent::arrive(0.0, ModelId::SqueezeNetV2)], 100.0, &mut mapper);
+        session.finish(100.0);
+        let total: f64 = session.timeline().iter().map(|pt| pt.migration_stall).sum();
+        assert!(
+            (total - 0.25).abs() < 1e-9,
+            "charged stall must be conserved across segments: {total}"
+        );
+        assert!(
+            session
+                .timeline()
+                .iter()
+                .filter(|pt| pt.migration_stall > 0.0)
+                .all(|pt| pt.remapped),
+            "a carried stall point still marks the migration that caused it"
+        );
+    }
+
+    #[test]
+    fn stem_rebuild_charge_flips_a_borderline_remap_decision() {
+        // The ROADMAP item: charging the estimator's compiled-stem rebuild
+        // (not just weight re-staging) must tighten the remap decision.
+        // Construct the borderline window analytically: a move that pays
+        // for its weight transfer but not for weights + stem rebuild.
+        struct Script(usize);
+        impl WorkloadMapper for Script {
+            fn name(&self) -> String {
+                "script".into()
+            }
+            fn remap(&mut self, workload: &Workload) -> Mapping {
+                self.0 += 1;
+                if self.0 == 1 {
+                    // Start on the little cluster...
+                    Mapping::uniform(workload, ComponentId::new(2))
+                } else {
+                    // ...then insist on moving to the GPU.
+                    Mapping::uniform(workload, ComponentId::new(0))
+                }
+            }
+        }
+        let p = Platform::orange_pi_5();
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let engine = EventEngine::quick(&p);
+        let little = Mapping::uniform(&w, ComponentId::new(2));
+        let gpu = Mapping::uniform(&w, ComponentId::new(0));
+        let inc = engine.evaluate(&w, &little).average();
+        let cand = engine.evaluate(&w, &gpu).average();
+        assert!(cand > inc, "the GPU must beat the little cluster for AlexNet");
+        let weight_only = MigrationModel::new(&p)
+            .with_stem_rebuild(0.0)
+            .cost_between(&w, &little, &gpu)
+            .stall_seconds;
+        let full = MigrationModel::new(&p).cost_between(&w, &little, &gpu).stall_seconds;
+        assert!(full > weight_only);
+        // Adopt iff cand·(W − stall) > inc·W  ⟺  W > stall·cand/(cand−inc):
+        // pick W between the two break-even points so only the stem charge
+        // flips the decision.
+        let w_lo = weight_only * cand / (cand - inc);
+        let w_hi = full * cand / (cand - inc);
+        let window = 0.5 * (w_lo + w_hi);
+        let t1 = 1.0;
+        let events = vec![
+            DynamicEvent::arrive(0.0, ModelId::AlexNet),
+            DynamicEvent::SetPriorities { at: t1, mode: PriorityMode::Dynamic },
+            DynamicEvent::SetPriorities { at: t1 + window, mode: PriorityMode::Dynamic },
+        ];
+        let horizon = t1 + 2.0 * window;
+        let stalled_at_t1 = |rt: DynamicRuntime<'_>| {
+            let tl = rt.run(&events, &mut Script(0), horizon);
+            tl.iter().any(|pt| pt.migration_stall > 0.0 && (pt.time - t1).abs() < 1e-9)
+        };
+        assert!(
+            stalled_at_t1(DynamicRuntime::new(&p, 1_000.0).with_stem_rebuild(0.0)),
+            "under the weight-only model the move pays for itself and is adopted"
+        );
+        assert!(
+            !stalled_at_t1(DynamicRuntime::new(&p, 1_000.0)),
+            "charging the stem rebuild must flip the borderline decision to keep"
+        );
+    }
+
+    #[test]
+    fn priority_weighted_gain_objective_follows_the_critical_dnn() {
+        // Two DNNs; a candidate that helps the critical DNN at the expense
+        // of raw average throughput. The PriorityPotential objective must
+        // adopt it while AverageThroughput keeps the incumbent.
+        struct Script {
+            calls: usize,
+            first: Mapping,
+            second: Mapping,
+            mode: PriorityMode,
+        }
+        impl WorkloadMapper for Script {
+            fn name(&self) -> String {
+                "script".into()
+            }
+            fn remap(&mut self, _workload: &Workload) -> Mapping {
+                self.calls += 1;
+                if self.calls == 1 { self.first.clone() } else { self.second.clone() }
+            }
+            fn set_priorities(&mut self, mode: &PriorityMode) {
+                self.mode = mode.clone();
+            }
+            fn priorities(&self, workload: &Workload) -> Option<Vec<f64>> {
+                Some(self.mode.vector(workload))
+            }
+        }
+        let p = Platform::orange_pi_5();
+        let w = Workload::from_ids([ModelId::InceptionV4, ModelId::SqueezeNetV2]);
+        let engine = EventEngine::quick(&p);
+        // Incumbent: SqueezeNet owns the GPU, heavy Inception sits on the
+        // big cluster — a raw-average throughput monster. Candidate: swap
+        // them (Inception to the GPU, SqueezeNet to the little cluster) —
+        // the critical Inception reaches full potential, the system's raw
+        // average drops.
+        let incumbent = Mapping::new(vec![
+            vec![ComponentId::new(1); w.models()[0].unit_count()],
+            vec![ComponentId::new(0); w.models()[1].unit_count()],
+        ]);
+        let candidate = Mapping::new(vec![
+            vec![ComponentId::new(0); w.models()[0].unit_count()],
+            vec![ComponentId::new(2); w.models()[1].unit_count()],
+        ]);
+        let inc_r = engine.evaluate(&w, &incumbent);
+        let cand_r = engine.evaluate(&w, &candidate);
+        assert!(
+            cand_r.average() < inc_r.average(),
+            "the candidate must lose on raw average for this A/B to bite: {} vs {}",
+            cand_r.average(),
+            inc_r.average()
+        );
+        let events = vec![
+            DynamicEvent::arrive(0.0, ModelId::InceptionV4),
+            DynamicEvent::arrive(0.0, ModelId::SqueezeNetV2),
+            // A long window so any stall is irrelevant to the comparison.
+            DynamicEvent::SetPriorities { at: 100.0, mode: PriorityMode::critical(2, 0) },
+        ];
+        let script = || Script {
+            calls: 0,
+            first: incumbent.clone(),
+            second: candidate.clone(),
+            mode: PriorityMode::critical(2, 0),
+        };
+        let adopted = |rt: DynamicRuntime<'_>| {
+            let tl = rt.run(&events, &mut script(), 10_000.0);
+            tl.iter().any(|pt| pt.time >= 100.0 && pt.migration_stall > 0.0)
+        };
+        assert!(
+            adopted(DynamicRuntime::new(&p, 5_000.0)),
+            "the potential objective must pay the stall to lift the critical DNN"
+        );
+        assert!(
+            !adopted(
+                DynamicRuntime::new(&p, 5_000.0)
+                    .with_gain_objective(GainObjective::AverageThroughput)
+            ),
+            "the legacy raw-average objective must keep the GPU pileup"
         );
     }
 

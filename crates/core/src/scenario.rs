@@ -64,14 +64,17 @@ impl Default for ScenarioConfig {
     }
 }
 
-/// Draws an exponential inter-event time with the given rate.
-fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+/// Draws an exponential inter-event time with the given rate. Shared with
+/// the fleet load generator (`rankmap-fleet`), which layers bursty and
+/// diurnal arrival processes on the same primitives.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
     let u: f64 = rng.gen_range(1.0e-12..1.0);
     -u.ln() / rate
 }
 
 /// Splits the pool by total FLOPs and returns the slice the mix allows.
-fn mix_pool(pool: &[ModelId], mix: MixProfile) -> Vec<ModelId> {
+/// Shared with the fleet load generator.
+pub fn mix_pool(pool: &[ModelId], mix: MixProfile) -> Vec<ModelId> {
     if pool.len() <= 1 || mix == MixProfile::Mixed {
         return pool.to_vec();
     }

@@ -1,0 +1,53 @@
+//! Fleet serving layer for the RankMap reproduction: multi-device
+//! sharding, priority-aware admission, and a trace-driven load generator.
+//!
+//! The paper maps multi-DNN workloads onto *one* heterogeneous board;
+//! the ROADMAP's north star is a production-scale system serving heavy
+//! traffic. This crate is the bridge (see `docs/fleet.md`):
+//!
+//! * [`FleetRuntime`] owns N device shards — each a `Platform` +
+//!   [`RankMapManager`](rankmap_core::manager::RankMapManager) (with its
+//!   own plan cache) + step-wise
+//!   [`RuntimeSession`](rankmap_core::runtime::RuntimeSession) — and
+//!   interleaves them on one global clock.
+//! * The **admission/placement layer** routes each arriving DNN instance
+//!   to the shard with the best predicted potential delta (scored through
+//!   [`ThroughputOracle::predict_batch`](rankmap_core::oracle::ThroughputOracle::predict_batch)),
+//!   rejects arrivals that would be starved everywhere, and rebalances a
+//!   shard whose potential collapses.
+//! * The **load generator** ([`load`]) offers Poisson, bursty on/off, and
+//!   diurnal arrival processes, and [`trace`] records/replays runs as
+//!   JSONL so any run is reproducible bit-for-bit from a trace file.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use rankmap_core::oracle::AnalyticalOracle;
+//! use rankmap_fleet::{generate, FleetConfig, FleetRuntime, LoadSpec};
+//! use rankmap_platform::Platform;
+//!
+//! let platform = Platform::orange_pi_5();
+//! let oracle = AnalyticalOracle::new(&platform);
+//! let fleet = FleetRuntime::homogeneous(&platform, &oracle, 4, FleetConfig::default());
+//! let spec = LoadSpec::default();
+//! let events = generate(&spec);
+//! let outcome = fleet.execute(&events, spec.horizon);
+//! println!(
+//!     "admitted {}/{} — aggregate potential {:.1} pot·s",
+//!     outcome.metrics.admitted, outcome.metrics.offered,
+//!     outcome.metrics.aggregate_potential_seconds
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod load;
+pub mod metrics;
+pub mod runtime;
+pub mod trace;
+
+pub use load::{generate, ArrivalProcess, FleetEvent, LoadSpec, RequestId};
+pub use metrics::{FleetMetrics, LatencyStats, PlacementOutcome, PlacementRecord};
+pub use runtime::{FleetConfig, FleetOutcome, FleetRuntime};
+pub use trace::{Trace, TraceError, TraceMeta};

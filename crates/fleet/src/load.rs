@@ -1,0 +1,447 @@
+//! Trace-driven load generation for a fleet of device shards.
+//!
+//! [`generate`] turns a [`LoadSpec`] into a sorted, deterministic stream
+//! of [`FleetEvent`]s: arrivals drawn from a configurable
+//! [`ArrivalProcess`] (Poisson, bursty on/off, or diurnal), exponential
+//! lifetimes, and optional fleet-wide priority churn — the same
+//! primitives as the per-board scenario engine
+//! (`rankmap_core::scenario`), lifted to fleet scale. The `k`-th arrival
+//! of a stream owns [`RequestId::new(k)`], so departures always name a
+//! request that arrived earlier; streams are reproducible bit-for-bit
+//! from the seed, which is what makes trace record/replay
+//! ([`crate::trace`]) exact.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rankmap_core::priority::PriorityMode;
+use rankmap_core::scenario::{exponential, mix_pool, MixProfile};
+use rankmap_models::ModelId;
+use std::fmt;
+
+/// Fleet-level identity of one submitted DNN instance, assigned in
+/// arrival order across the whole fleet (the `k`-th
+/// [`FleetEvent::Arrive`] owns ordinal `k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Creates a request id (the `k`-th fleet arrival).
+    pub fn new(ordinal: u64) -> Self {
+        Self(ordinal)
+    }
+
+    /// The fleet-wide arrival ordinal.
+    pub fn ordinal(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One fleet-level event: what the load generator offers the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetEvent {
+    /// A DNN instance is submitted to the fleet. Whether it is admitted —
+    /// and onto which shard — is the placement layer's decision.
+    Arrive {
+        /// Arrival time (seconds).
+        at: f64,
+        /// Fleet-wide id (the `k`-th arrival of the stream).
+        request: RequestId,
+        /// The arriving model.
+        model: ModelId,
+    },
+    /// The instance submitted as `request` leaves. Departures of rejected
+    /// or unknown requests are ignored by the fleet.
+    Depart {
+        /// Departure time (seconds).
+        at: f64,
+        /// The departing request.
+        request: RequestId,
+    },
+    /// A fleet-wide priority change, broadcast to every shard's mapper.
+    /// Static vectors apply on shards whose live count matches and fall
+    /// back to dynamic ranks elsewhere (the mapper's documented
+    /// behaviour).
+    SetPriorities {
+        /// Time of the change (seconds).
+        at: f64,
+        /// The new priority mode.
+        mode: PriorityMode,
+    },
+}
+
+impl FleetEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> f64 {
+        match self {
+            FleetEvent::Arrive { at, .. }
+            | FleetEvent::Depart { at, .. }
+            | FleetEvent::SetPriorities { at, .. } => *at,
+        }
+    }
+}
+
+/// The arrival process offered to the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant `rate` (per second).
+    Poisson {
+        /// Expected arrivals per second.
+        rate: f64,
+    },
+    /// Bursty on/off (Markov-modulated Poisson): exponentially-distributed
+    /// bursts at `burst_rate` alternate with idle periods at `idle_rate`
+    /// (0 for silent idles). The berserker-style "hammer then sleep"
+    /// shape.
+    OnOff {
+        /// Arrival rate inside a burst (per second).
+        burst_rate: f64,
+        /// Arrival rate between bursts (per second; may be 0).
+        idle_rate: f64,
+        /// Mean burst duration (seconds).
+        mean_burst: f64,
+        /// Mean idle duration (seconds).
+        mean_idle: f64,
+    },
+    /// A day-night cycle: a Poisson process whose rate follows
+    /// `mean_rate · (1 + amplitude · sin(2πt/period))`, sampled by
+    /// thinning. `amplitude` in `[0, 1]`.
+    Diurnal {
+        /// Time-averaged arrivals per second.
+        mean_rate: f64,
+        /// Relative swing around the mean (`0` = constant, `1` = the
+        /// trough is silent).
+        amplitude: f64,
+        /// Cycle length in seconds.
+        period: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Draws the arrival times in `[0, horizon)`, in order.
+    fn sample_times<R: Rng + ?Sized>(&self, rng: &mut R, horizon: f64) -> Vec<f64> {
+        let mut times = Vec::new();
+        match *self {
+            ArrivalProcess::Poisson { rate } => {
+                assert!(rate > 0.0, "Poisson rate must be positive");
+                let mut t = 0.0;
+                loop {
+                    t += exponential(rng, rate);
+                    if t >= horizon {
+                        break;
+                    }
+                    times.push(t);
+                }
+            }
+            ArrivalProcess::OnOff { burst_rate, idle_rate, mean_burst, mean_idle } => {
+                assert!(burst_rate > 0.0, "burst rate must be positive");
+                assert!(idle_rate >= 0.0, "idle rate cannot be negative");
+                assert!(
+                    mean_burst > 0.0 && mean_idle > 0.0,
+                    "phase durations must be positive"
+                );
+                let mut t = 0.0;
+                let mut bursting = true;
+                while t < horizon {
+                    let phase_end =
+                        t + exponential(rng, 1.0 / if bursting { mean_burst } else { mean_idle });
+                    let rate = if bursting { burst_rate } else { idle_rate };
+                    if rate > 0.0 {
+                        let mut s = t;
+                        loop {
+                            s += exponential(rng, rate);
+                            if s >= phase_end.min(horizon) {
+                                break;
+                            }
+                            times.push(s);
+                        }
+                    }
+                    t = phase_end;
+                    bursting = !bursting;
+                }
+            }
+            ArrivalProcess::Diurnal { mean_rate, amplitude, period } => {
+                assert!(mean_rate > 0.0, "mean rate must be positive");
+                assert!((0.0..=1.0).contains(&amplitude), "amplitude must be in [0, 1]");
+                assert!(period > 0.0, "period must be positive");
+                // Thinning (Lewis & Shedler): candidates at the peak rate,
+                // accepted with probability rate(t)/peak.
+                let peak = mean_rate * (1.0 + amplitude);
+                let mut t = 0.0;
+                loop {
+                    t += exponential(rng, peak);
+                    if t >= horizon {
+                        break;
+                    }
+                    let rate = mean_rate
+                        * (1.0 + amplitude * (2.0 * std::f64::consts::PI * t / period).sin());
+                    if rng.gen_range(0.0..1.0) < rate / peak {
+                        times.push(t);
+                    }
+                }
+            }
+        }
+        times
+    }
+
+    /// The time-averaged offered arrival rate (per second) — what "fixed
+    /// offered load" means when scaling shard counts in the bench.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::OnOff { burst_rate, idle_rate, mean_burst, mean_idle } => {
+                (burst_rate * mean_burst + idle_rate * mean_idle) / (mean_burst + mean_idle)
+            }
+            ArrivalProcess::Diurnal { mean_rate, .. } => mean_rate,
+        }
+    }
+}
+
+/// Load-generation configuration.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Stream length in seconds.
+    pub horizon: f64,
+    /// The arrival process.
+    pub process: ArrivalProcess,
+    /// Mean DNN lifetime in seconds (exponential); departures past the
+    /// horizon are dropped (the instance runs out the stream).
+    pub mean_lifetime: f64,
+    /// Model pool arrivals draw from (filtered by `mix`).
+    pub pool: Vec<ModelId>,
+    /// Heavy/light filter over the pool.
+    pub mix: MixProfile,
+    /// Poisson rate of fleet-wide priority churn (events per second);
+    /// each rotates the critical rank among the offered-live count or
+    /// reverts to dynamic ranks.
+    pub priority_churn_rate: f64,
+    /// RNG seed (generation is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        Self {
+            horizon: 600.0,
+            process: ArrivalProcess::Poisson { rate: 1.0 / 30.0 },
+            mean_lifetime: 240.0,
+            pool: ModelId::paper_pool(),
+            mix: MixProfile::Mixed,
+            priority_churn_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a sorted, valid fleet event stream for a [`LoadSpec`].
+///
+/// Guarantees: event times are non-decreasing and within `[0, horizon)`;
+/// every departure names a request that arrived strictly earlier and
+/// departs exactly once; request ids are dense in arrival order.
+///
+/// # Panics
+///
+/// Panics if the (mix-filtered) pool is empty, `horizon <= 0`, or the
+/// process parameters are invalid.
+pub fn generate(spec: &LoadSpec) -> Vec<FleetEvent> {
+    assert!(spec.horizon > 0.0, "horizon must be positive");
+    let pool = mix_pool(&spec.pool, spec.mix);
+    assert!(!pool.is_empty(), "load pool must not be empty");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    let times = spec.process.sample_times(&mut rng, spec.horizon);
+    let mut events: Vec<FleetEvent> = Vec::with_capacity(times.len() * 2);
+    let mut departures: Vec<(f64, RequestId)> = Vec::new();
+    for (k, &at) in times.iter().enumerate() {
+        let request = RequestId::new(k as u64);
+        let model = pool[rng.gen_range(0..pool.len())];
+        events.push(FleetEvent::Arrive { at, request, model });
+        if spec.mean_lifetime > 0.0 {
+            let leave = at + exponential(&mut rng, 1.0 / spec.mean_lifetime);
+            if leave < spec.horizon {
+                departures.push((leave, request));
+            }
+        }
+    }
+    for &(at, request) in &departures {
+        events.push(FleetEvent::Depart { at, request });
+    }
+
+    if spec.priority_churn_rate > 0.0 {
+        // Arrival times are already sorted; sort departure times once so
+        // each churn event's live count is two binary searches, not a
+        // scan of the whole stream.
+        let mut departure_times: Vec<f64> = departures.iter().map(|&(dt, _)| dt).collect();
+        departure_times.sort_by(f64::total_cmp);
+        let mut ct = 0.0;
+        let mut rotation = 0usize;
+        loop {
+            ct += exponential(&mut rng, spec.priority_churn_rate);
+            if ct >= spec.horizon {
+                break;
+            }
+            let live = times.partition_point(|&at| at <= ct)
+                - departure_times.partition_point(|&dt| dt <= ct);
+            let mode = if live == 0 || rotation % (live + 1) == live {
+                PriorityMode::Dynamic
+            } else {
+                PriorityMode::critical(live, rotation % live)
+            };
+            rotation += 1;
+            events.push(FleetEvent::SetPriorities { at: ct, mode });
+        }
+    }
+
+    events.sort_by(|a, b| a.at().total_cmp(&b.at()));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrivals_of(events: &[FleetEvent]) -> Vec<f64> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                FleetEvent::Arrive { at, .. } => Some(*at),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = LoadSpec {
+            process: ArrivalProcess::OnOff {
+                burst_rate: 0.5,
+                idle_rate: 0.0,
+                mean_burst: 30.0,
+                mean_idle: 60.0,
+            },
+            priority_churn_rate: 1.0 / 120.0,
+            ..Default::default()
+        };
+        assert_eq!(generate(&spec), generate(&spec));
+        let other = LoadSpec { seed: 1, ..spec.clone() };
+        assert_ne!(generate(&other), generate(&spec));
+    }
+
+    #[test]
+    fn events_sorted_and_departures_valid() {
+        for process in [
+            ArrivalProcess::Poisson { rate: 0.1 },
+            ArrivalProcess::OnOff {
+                burst_rate: 0.8,
+                idle_rate: 0.02,
+                mean_burst: 20.0,
+                mean_idle: 90.0,
+            },
+            ArrivalProcess::Diurnal { mean_rate: 0.1, amplitude: 0.8, period: 300.0 },
+        ] {
+            let spec = LoadSpec { process, seed: 7, ..Default::default() };
+            let events = generate(&spec);
+            let mut last = 0.0f64;
+            let mut arrived = 0u64;
+            let mut departed = std::collections::HashSet::new();
+            for e in &events {
+                assert!(e.at() >= last, "sorted");
+                assert!((0.0..spec.horizon).contains(&e.at()));
+                last = e.at();
+                match e {
+                    FleetEvent::Arrive { request, .. } => {
+                        assert_eq!(request.ordinal(), arrived, "dense arrival ids");
+                        arrived += 1;
+                    }
+                    FleetEvent::Depart { request, .. } => {
+                        assert!(request.ordinal() < arrived, "departs after arrival");
+                        assert!(departed.insert(*request), "departs once");
+                    }
+                    FleetEvent::SetPriorities { .. } => {}
+                }
+            }
+            assert!(arrived > 0, "the stream must offer load");
+        }
+    }
+
+    #[test]
+    fn bursty_load_clusters_arrivals() {
+        // Same mean rate, bursty vs Poisson: the on/off stream must have a
+        // far higher variance of inter-arrival gaps.
+        let horizon = 20_000.0;
+        let poisson = LoadSpec {
+            horizon,
+            process: ArrivalProcess::Poisson { rate: 0.05 },
+            mean_lifetime: 0.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let bursty = LoadSpec {
+            horizon,
+            // burst 0.245/s for 50s, idle 0.0025/s for 190s → ~0.053/s mean.
+            process: ArrivalProcess::OnOff {
+                burst_rate: 0.245,
+                idle_rate: 0.0025,
+                mean_burst: 50.0,
+                mean_idle: 190.0,
+            },
+            mean_lifetime: 0.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let cv2 = |events: &[FleetEvent]| {
+            let times = arrivals_of(events);
+            let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var =
+                gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let p = cv2(&generate(&poisson));
+        let b = cv2(&generate(&bursty));
+        assert!(
+            b > 2.0 * p,
+            "bursty arrivals must be overdispersed vs Poisson: CV² {b:.2} vs {p:.2}"
+        );
+    }
+
+    #[test]
+    fn diurnal_peak_outdraws_trough() {
+        let period = 1_000.0;
+        let spec = LoadSpec {
+            horizon: 50_000.0,
+            process: ArrivalProcess::Diurnal { mean_rate: 0.05, amplitude: 0.9, period },
+            mean_lifetime: 0.0,
+            seed: 5,
+            ..Default::default()
+        };
+        let times = arrivals_of(&generate(&spec));
+        // First half of each cycle is the crest of the sine, second the
+        // trough.
+        let (peak, trough): (Vec<&f64>, Vec<&f64>) =
+            times.iter().partition(|&&t| (t % period) < period / 2.0);
+        assert!(
+            peak.len() as f64 > 2.0 * trough.len() as f64,
+            "the crest must dominate: {} vs {}",
+            peak.len(),
+            trough.len()
+        );
+    }
+
+    #[test]
+    fn mean_rate_matches_offered_load() {
+        let p = ArrivalProcess::OnOff {
+            burst_rate: 0.5,
+            idle_rate: 0.1,
+            mean_burst: 10.0,
+            mean_idle: 30.0,
+        };
+        assert!((p.mean_rate() - (0.5 * 10.0 + 0.1 * 30.0) / 40.0).abs() < 1e-12);
+        assert_eq!(ArrivalProcess::Poisson { rate: 0.2 }.mean_rate(), 0.2);
+    }
+}

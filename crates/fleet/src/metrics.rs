@@ -1,0 +1,114 @@
+//! Fleet-level observability: deterministic run metrics, the placement
+//! log, and wall-clock placement latency.
+//!
+//! [`FleetMetrics`] and the [`PlacementRecord`] log are pure functions of
+//! the offered event stream and the fleet configuration — replaying a
+//! recorded trace reproduces them bit-for-bit (`tests/replay.rs`).
+//! [`LatencyStats`] is the one wall-clock measurement (how long the
+//! admission/placement decision itself takes) and is deliberately kept
+//! *outside* [`FleetMetrics`] so determinism checks never compare clocks.
+
+use crate::load::RequestId;
+use std::time::Duration;
+
+/// Where an offered request ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementOutcome {
+    /// Admitted onto the given shard.
+    Admitted {
+        /// Index of the shard that took the instance.
+        shard: usize,
+    },
+    /// Rejected: no shard had capacity and predicted headroom.
+    Rejected,
+}
+
+/// One admission/placement decision, in offered order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementRecord {
+    /// The request this decision answered.
+    pub request: RequestId,
+    /// Decision time (the arrival time), seconds.
+    pub at: f64,
+    /// The outcome.
+    pub outcome: PlacementOutcome,
+    /// Predicted fleet-potential delta of the chosen shard (0 when
+    /// rejected): the score the placement layer maximized.
+    pub predicted_delta: f64,
+}
+
+/// Deterministic aggregate metrics of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetMetrics {
+    /// Number of device shards.
+    pub shards: usize,
+    /// Requests offered (arrivals in the event stream).
+    pub offered: u64,
+    /// Requests admitted onto some shard.
+    pub admitted: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Cross-shard rebalancing migrations performed.
+    pub migrations: u64,
+    /// Span-weighted timeline-average potential per shard (see
+    /// `rankmap_core::runtime::timeline_average_potential`).
+    pub per_shard_potential: Vec<f64>,
+    /// Requests admitted per shard (including rebalance arrivals).
+    pub per_shard_admitted: Vec<u64>,
+    /// Aggregate fleet potential: Σ over shards, timeline points, and
+    /// running DNNs of `potential · span` — potential-seconds of useful
+    /// service. This is the `fleet_scale` bench's scaling figure.
+    pub aggregate_potential_seconds: f64,
+}
+
+/// Wall-clock latency distribution of the placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Number of measured decisions.
+    pub samples: usize,
+    /// Median.
+    pub p50: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Worst case.
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    /// Summarizes a set of measured durations (empty → all zeros).
+    pub fn from_durations(mut samples: Vec<Duration>) -> Self {
+        if samples.is_empty() {
+            return Self {
+                samples: 0,
+                p50: Duration::ZERO,
+                p99: Duration::ZERO,
+                max: Duration::ZERO,
+            };
+        }
+        samples.sort_unstable();
+        let q = |p: usize| samples[(samples.len() - 1) * p / 100];
+        Self { samples: samples.len(), p50: q(50), p99: q(99), max: *samples.last().unwrap() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_quantiles_are_order_statistics() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let stats = LatencyStats::from_durations(samples);
+        assert_eq!(stats.samples, 100);
+        assert_eq!(stats.p50, Duration::from_micros(50));
+        assert_eq!(stats.p99, Duration::from_micros(99));
+        assert_eq!(stats.max, Duration::from_micros(100));
+    }
+
+    #[test]
+    fn empty_latency_is_zeroed() {
+        let stats = LatencyStats::from_durations(Vec::new());
+        assert_eq!(stats.samples, 0);
+        assert_eq!(stats.max, Duration::ZERO);
+    }
+}

@@ -1,0 +1,704 @@
+//! The fleet runtime: N device shards behind one priority-aware
+//! admission/placement layer.
+//!
+//! Each [`FleetRuntime`] shard is a full single-board serving stack — a
+//! `Platform`, a [`RankMapManager`] (with its own plan cache), and a
+//! step-wise [`RuntimeSession`] — interleaved on one global clock. An
+//! arriving DNN instance is routed by **predicted potential delta**: for
+//! every shard with capacity, the placement layer builds one candidate
+//! mapping per component (survivors keep their incumbent placements, the
+//! arrival is tried on each component), scores the batch through
+//! [`ThroughputOracle::predict_batch`], weighs the per-DNN potentials by
+//! the shard's priority vector, and admits onto the shard whose best
+//! candidate improves the fleet most. Arrivals whose best predicted
+//! potential everywhere falls below the admission floor — or that find
+//! every shard at capacity — are **rejected** (spill), and a shard whose
+//! mean predicted potential collapses sheds its lowest-priority instance
+//! to a healthier shard (**rebalancing**, one migration per event).
+//!
+//! The candidate batch only *routes*; the shard's own mapper still runs
+//! its warm-started search (plan cache and all) once the instance lands,
+//! so per-shard mapping quality is exactly the PR 2 serving runtime's.
+
+use crate::load::{FleetEvent, RequestId};
+use crate::metrics::{FleetMetrics, LatencyStats, PlacementOutcome, PlacementRecord};
+use crate::trace::Trace;
+use rankmap_core::dataset::ideal_rates;
+use rankmap_core::manager::{ManagerConfig, RankMapManager};
+use rankmap_core::oracle::ThroughputOracle;
+use rankmap_core::priority::PriorityMode;
+use rankmap_core::runtime::{
+    ideal_rate_of, priorities_or_uniform, timeline_average_potential, weighted_potential,
+    DynamicEvent, DynamicRuntime, GainObjective, InstanceId, RankMapMapper, RuntimeSession,
+    TimelinePoint,
+};
+use rankmap_models::ModelId;
+use rankmap_platform::{ComponentId, Platform};
+use rankmap_sim::{Mapping, MigrationModel, Workload};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Fleet-wide configuration (per-shard manager settings included).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Timeline sampling interval of every shard session (seconds).
+    pub sample_dt: f64,
+    /// Per-shard manager configuration (search budgets, plan-cache
+    /// capacity, ...).
+    pub manager: ManagerConfig,
+    /// Hard per-shard concurrency cap — the admission backstop.
+    pub max_per_shard: usize,
+    /// Minimum predicted potential an arrival must reach on its best
+    /// candidate shard to be admitted; below it the request is rejected.
+    pub admission_floor: f64,
+    /// Expected residency window handed to shard sessions as the remap
+    /// decision's integration horizon (seconds).
+    pub decision_window: f64,
+    /// A shard whose mean predicted potential falls below this value is a
+    /// rebalance candidate.
+    pub rebalance_threshold: f64,
+    /// Required predicted improvement of the source shard's mean
+    /// potential for a rebalance migration to fire.
+    pub rebalance_margin: f64,
+    /// Remap-gain objective of every shard runtime.
+    pub objective: GainObjective,
+    /// Migration awareness of every shard runtime.
+    pub migration_aware: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            sample_dt: 30.0,
+            manager: ManagerConfig {
+                mcts_iterations: 400,
+                warm_iterations: 150,
+                ..Default::default()
+            },
+            max_per_shard: 5,
+            admission_floor: 0.05,
+            decision_window: 60.0,
+            rebalance_threshold: 0.3,
+            rebalance_margin: 0.05,
+            objective: GainObjective::default(),
+            migration_aware: true,
+        }
+    }
+}
+
+/// One device shard: its mapper (manager + priority mode) and its
+/// step-wise serving session.
+struct Shard<'p, O: ThroughputOracle> {
+    mapper: RankMapMapper<'p, O>,
+    session: RuntimeSession<'p>,
+    /// Memoized oracle prediction of the current (workload, incumbent)
+    /// pair. Placement probes run for *every* offered event against
+    /// *every* shard, but a shard's incumbent only changes when its own
+    /// `apply` runs — so the prediction is cached here and invalidated on
+    /// apply.
+    incumbent_prediction: std::cell::RefCell<Option<Vec<f64>>>,
+}
+
+impl<O: ThroughputOracle> Shard<'_, O> {
+    fn live_len(&self) -> usize {
+        self.session.live().len()
+    }
+
+    /// Current workload + incumbent mapping, in live order.
+    fn current(&self) -> Option<(Workload, Mapping)> {
+        if self.session.live().is_empty() {
+            return None;
+        }
+        let workload = Workload::from_ids(self.session.live().iter().map(|(_, m)| *m));
+        let per_dnn: Vec<Vec<ComponentId>> = self
+            .session
+            .live()
+            .iter()
+            .map(|(id, _)| self.session.placement(*id).expect("live instance placed").to_vec())
+            .collect();
+        Some((workload, Mapping::new(per_dnn)))
+    }
+
+    /// The oracle's per-DNN prediction for the current incumbent,
+    /// memoized until the next `apply`.
+    fn predict_incumbent(&self, oracle: &O, workload: &Workload, incumbent: &Mapping) -> Vec<f64> {
+        self.incumbent_prediction
+            .borrow_mut()
+            .get_or_insert_with(|| oracle.predict(workload, incumbent))
+            .clone()
+    }
+
+    fn apply(&mut self, at: f64, events: &[DynamicEvent], window: f64) -> Vec<InstanceId> {
+        self.incumbent_prediction.get_mut().take();
+        self.session.advance_to(at);
+        self.session.apply(events, window, &mut self.mapper)
+    }
+}
+
+/// Where an admitted request currently runs.
+#[derive(Debug, Clone, Copy)]
+enum Disposition {
+    Rejected,
+    Active { shard: usize, instance: InstanceId },
+}
+
+/// Everything a fleet run produces.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Deterministic aggregate metrics (trace replay reproduces them
+    /// bit-for-bit).
+    pub metrics: FleetMetrics,
+    /// The admission/placement decision log, in offered order.
+    pub placements: Vec<PlacementRecord>,
+    /// Per-shard serving timelines.
+    pub timelines: Vec<Vec<TimelinePoint>>,
+    /// Wall-clock latency of the placement decision (not part of the
+    /// deterministic metrics).
+    pub placement_latency: LatencyStats,
+}
+
+/// A fleet of emulated boards behind one admission/placement layer.
+pub struct FleetRuntime<'p, O: ThroughputOracle> {
+    platform: &'p Platform,
+    oracle: &'p O,
+    config: FleetConfig,
+    components: usize,
+    ideals: HashMap<ModelId, f64>,
+    shards: Vec<Shard<'p, O>>,
+}
+
+impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
+    /// Builds a homogeneous fleet: `shards` copies of the same platform
+    /// served by one shared oracle. Per-model ideal rates are measured
+    /// once and shared across shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn homogeneous(
+        platform: &'p Platform,
+        oracle: &'p O,
+        shards: usize,
+        config: FleetConfig,
+    ) -> Self {
+        assert!(shards > 0, "a fleet needs at least one shard");
+        let ideals = ideal_rates(platform, &ModelId::all());
+        let runtime = DynamicRuntime::new(platform, config.sample_dt)
+            .with_gain_objective(config.objective)
+            .with_migration_awareness(config.migration_aware);
+        let shards = (0..shards)
+            .map(|i| Shard {
+                mapper: RankMapMapper::new(
+                    RankMapManager::new(platform, oracle, config.manager),
+                    PriorityMode::Dynamic,
+                    format!("shard-{i}"),
+                ),
+                session: runtime.session_with_ideals(ideals.clone()),
+                incumbent_prediction: std::cell::RefCell::new(None),
+            })
+            .collect();
+        Self {
+            platform,
+            oracle,
+            config,
+            components: platform.component_count(),
+            ideals,
+            shards,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Boots every shard's plan cache from a
+    /// [`RankMapManager::export_plan_cache`] snapshot ("serve yesterday's
+    /// plans"). The snapshot is parsed and bounds-checked once, then
+    /// cloned into every shard. Returns the number of plans serving per
+    /// shard.
+    pub fn warm_plan_caches(
+        &self,
+        json: &str,
+    ) -> Result<usize, rankmap_core::json::JsonError> {
+        let loaded = rankmap_core::plan_cache::PlanCache::from_json(json)?;
+        loaded.validate_components(self.components)?;
+        let mut served = 0;
+        for shard in &self.shards {
+            served = shard.mapper.manager().install_plan_cache(loaded.clone());
+        }
+        Ok(served)
+    }
+
+    /// Scores placing `model` onto shard `s`: `(best weighted-potential
+    /// delta, arrival's predicted potential under the best candidate)`.
+    /// `None` if the shard is at capacity.
+    fn score_shard(&self, s: usize, model: ModelId) -> Option<(f64, f64)> {
+        let shard = &self.shards[s];
+        if shard.live_len() >= self.config.max_per_shard {
+            return None;
+        }
+        let ideal = ideal_rate_of(&self.ideals, model);
+        // Trial workload: survivors first (keeping their incumbent
+        // placements), the arrival appended, tried on every component.
+        let trial = Workload::from_ids(
+            shard.session.live().iter().map(|(_, m)| *m).chain(std::iter::once(model)),
+        );
+        // One weight basis for both sides of the delta: the trial
+        // workload's resolved vector, its survivor prefix applied to the
+        // "before" score. Scoring "before" under the n-DNN vector would
+        // let a Static→Dynamic fallback (effective_mode on the n+1
+        // workload) masquerade as a placement gain.
+        let weights = priorities_or_uniform(&shard.mapper, &trial);
+        let current = shard.current();
+        let (before, survivors) = match &current {
+            None => (0.0, Vec::new()),
+            Some((workload, incumbent)) => {
+                let per_dnn = shard.predict_incumbent(self.oracle, workload, incumbent);
+                let score = weighted_potential(
+                    &self.ideals,
+                    workload,
+                    &per_dnn,
+                    &weights[..workload.len()],
+                );
+                (score, incumbent.per_dnn().to_vec())
+            }
+        };
+        let arrival_units = trial.models().last().expect("arrival present").unit_count();
+        let candidates: Vec<Mapping> = (0..self.components)
+            .map(|c| {
+                let mut per_dnn = survivors.clone();
+                per_dnn.push(vec![ComponentId::new(c); arrival_units]);
+                Mapping::new(per_dnn)
+            })
+            .collect();
+        let predictions = self.oracle.predict_batch(&trial, &candidates);
+        // Prefer the best-scoring candidate that clears the admission
+        // floor; only when *no* component placement clears it does the
+        // shard report a below-floor arrival (and get skipped by
+        // `place`). Judging the floor on the single best-total candidate
+        // would reject arrivals a slightly-lower-scoring component could
+        // serve fine.
+        let mut best_any: Option<(f64, f64)> = None;
+        let mut best_clearing: Option<(f64, f64)> = None;
+        for per_dnn in &predictions {
+            let arrival_pot = per_dnn.last().copied().unwrap_or(0.0) / ideal;
+            let score = weighted_potential(&self.ideals, &trial, per_dnn, &weights);
+            if best_any.is_none_or(|(b, _)| score > b) {
+                best_any = Some((score, arrival_pot));
+            }
+            if arrival_pot >= self.config.admission_floor
+                && best_clearing.is_none_or(|(b, _)| score > b)
+            {
+                best_clearing = Some((score, arrival_pot));
+            }
+        }
+        best_clearing
+            .or(best_any)
+            .map(|(score, arrival_pot)| (score - before, arrival_pot))
+    }
+
+    /// The admission/placement decision: the shard with the best predicted
+    /// potential delta whose arrival potential clears the floor, or `None`
+    /// (reject).
+    fn place(&self, model: ModelId) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for s in 0..self.shards.len() {
+            let Some((delta, arrival_pot)) = self.score_shard(s, model) else { continue };
+            if arrival_pot < self.config.admission_floor {
+                continue;
+            }
+            if best.is_none_or(|(_, b)| delta > b) {
+                best = Some((s, delta));
+            }
+        }
+        best
+    }
+
+    /// Unweighted mean potential of a predicted report — the collapse
+    /// signal the rebalancer watches (and re-checks on the survivor set).
+    fn uniform_mean_potential(&self, workload: &Workload, per_dnn: &[f64]) -> f64 {
+        let uniform = vec![1.0; workload.len()];
+        weighted_potential(&self.ideals, workload, per_dnn, &uniform) / workload.len() as f64
+    }
+
+    /// Mean predicted potential of a shard's current workload under its
+    /// incumbent mapping (`None` when idle).
+    fn shard_mean_potential(&self, s: usize) -> Option<f64> {
+        let shard = &self.shards[s];
+        let (workload, incumbent) = shard.current()?;
+        let per_dnn = shard.predict_incumbent(self.oracle, &workload, &incumbent);
+        Some(self.uniform_mean_potential(&workload, &per_dnn))
+    }
+
+    /// One rebalance attempt at time `t`: if some shard's mean predicted
+    /// potential collapsed below the threshold, move its lowest-priority
+    /// instance to the shard that takes it best — provided the move
+    /// clears the admission floor at the destination and improves the
+    /// source by the configured margin. Returns the migration performed.
+    fn maybe_rebalance(
+        &mut self,
+        t: f64,
+        requests: &mut HashMap<RequestId, Disposition>,
+    ) -> Option<(usize, usize)> {
+        // Worst collapsed shard with something to shed.
+        let (src, src_mean) = (0..self.shards.len())
+            .filter(|&s| self.shards[s].live_len() >= 2)
+            .filter_map(|s| self.shard_mean_potential(s).map(|m| (s, m)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))?;
+        if src_mean >= self.config.rebalance_threshold {
+            return None;
+        }
+        // Victim: the live instance with the smallest priority weight.
+        let (workload, incumbent) = self.shards[src].current()?;
+        let weights = priorities_or_uniform(&self.shards[src].mapper, &workload);
+        let victim_idx = weights
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)?;
+        let (victim_id, victim_model) = self.shards[src].session.live()[victim_idx];
+        // Does shedding the victim actually heal the source?
+        let keep = |d: usize| d != victim_idx;
+        let survivors = Workload::from_ids(
+            workload.models().iter().enumerate().filter(|&(d, _)| keep(d)).map(|(_, m)| m.id()),
+        );
+        let survivor_mapping = Mapping::new(
+            incumbent
+                .per_dnn()
+                .iter()
+                .enumerate()
+                .filter(|&(d, _)| keep(d))
+                .map(|(_, assign)| assign.clone())
+                .collect(),
+        );
+        let healed = self
+            .uniform_mean_potential(&survivors, &self.oracle.predict(&survivors, &survivor_mapping));
+        if healed < src_mean + self.config.rebalance_margin {
+            return None;
+        }
+        // Best destination (capacity + floor), excluding the source. The
+        // destination's own predicted loss must not exceed the source's
+        // predicted healing (heuristically comparing the weighted delta
+        // against the uniform mean gain — both potential-scale), so a
+        // move that hurts the fleet more than it heals the source never
+        // fires and migrations cannot thrash between loaded shards.
+        let healing = healed - src_mean;
+        let dst = (0..self.shards.len())
+            .filter(|&s| s != src)
+            .filter_map(|s| {
+                self.score_shard(s, victim_model).and_then(|(delta, arrival_pot)| {
+                    (arrival_pot >= self.config.admission_floor && delta >= -healing)
+                        .then_some((s, delta))
+                })
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(s, _)| s)?;
+        // Execute: depart from the source, arrive at the destination. The
+        // receiving board is not free — charge it (at least) the full
+        // on-board restage of the victim's weights plus its stem rebuild,
+        // so rebalancing cannot ping-pong instances at no modeled cost.
+        let window = self.config.decision_window;
+        self.shards[src].apply(t, &[DynamicEvent::depart(t, victim_id)], window);
+        let assigned =
+            self.shards[dst].apply(t, &[DynamicEvent::arrive(t, victim_model)], window);
+        let new_id = assigned[0];
+        let victim_workload = Workload::from_ids([victim_model]);
+        let transfer =
+            MigrationModel::new(self.platform).full_restage(&victim_workload).stall_seconds;
+        self.shards[dst].session.charge_stall(transfer);
+        if let Some(entry) = requests.values_mut().find(|d| {
+            matches!(d, Disposition::Active { shard, instance }
+                     if *shard == src && *instance == victim_id)
+        }) {
+            *entry = Disposition::Active { shard: dst, instance: new_id };
+        }
+        Some((src, dst))
+    }
+
+    /// Runs a sorted fleet event stream to `horizon`, consuming the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is not sorted by time or reaches outside
+    /// `[0, horizon)` — e.g. a stream generated for a longer horizon than
+    /// the one passed here.
+    pub fn execute(mut self, events: &[FleetEvent], horizon: f64) -> FleetOutcome {
+        assert!(
+            events.windows(2).all(|w| w[0].at() <= w[1].at()),
+            "fleet events must be sorted by time"
+        );
+        assert!(
+            events
+                .iter()
+                .all(|e| (0.0..horizon).contains(&e.at())),
+            "fleet events must lie within [0, horizon)"
+        );
+        let window = self.config.decision_window;
+        let mut requests: HashMap<RequestId, Disposition> = HashMap::new();
+        let mut placements = Vec::new();
+        let mut latencies = Vec::new();
+        let mut admitted = 0u64;
+        let mut rejected = 0u64;
+        let mut migrations = 0u64;
+        let mut per_shard_admitted = vec![0u64; self.shards.len()];
+        for event in events {
+            let t = event.at();
+            match event {
+                FleetEvent::Arrive { request, model, .. } => {
+                    let started = Instant::now();
+                    let decision = self.place(*model);
+                    latencies.push(started.elapsed());
+                    match decision {
+                        Some((s, delta)) => {
+                            let assigned =
+                                self.shards[s].apply(t, &[DynamicEvent::arrive(t, *model)], window);
+                            requests.insert(
+                                *request,
+                                Disposition::Active { shard: s, instance: assigned[0] },
+                            );
+                            admitted += 1;
+                            per_shard_admitted[s] += 1;
+                            placements.push(PlacementRecord {
+                                request: *request,
+                                at: t,
+                                outcome: PlacementOutcome::Admitted { shard: s },
+                                predicted_delta: delta,
+                            });
+                        }
+                        None => {
+                            requests.insert(*request, Disposition::Rejected);
+                            rejected += 1;
+                            placements.push(PlacementRecord {
+                                request: *request,
+                                at: t,
+                                outcome: PlacementOutcome::Rejected,
+                                predicted_delta: 0.0,
+                            });
+                        }
+                    }
+                }
+                FleetEvent::Depart { request, .. } => {
+                    if let Some(Disposition::Active { shard, instance }) =
+                        requests.remove(request)
+                    {
+                        self.shards[shard].apply(t, &[DynamicEvent::depart(t, instance)], window);
+                    }
+                }
+                FleetEvent::SetPriorities { mode, .. } => {
+                    for shard in &mut self.shards {
+                        shard.apply(
+                            t,
+                            &[DynamicEvent::SetPriorities { at: t, mode: mode.clone() }],
+                            window,
+                        );
+                    }
+                }
+            }
+            // Departures free capacity and arrivals shift contention —
+            // both are rebalance opportunities.
+            if let Some((_, dst)) = self.maybe_rebalance(t, &mut requests) {
+                migrations += 1;
+                per_shard_admitted[dst] += 1;
+            }
+        }
+        let timelines: Vec<Vec<TimelinePoint>> = self
+            .shards
+            .into_iter()
+            .map(|mut shard| {
+                shard.session.finish(horizon);
+                shard.session.into_timeline()
+            })
+            .collect();
+        let per_shard_potential: Vec<f64> =
+            timelines.iter().map(|tl| timeline_average_potential(tl)).collect();
+        let aggregate_potential_seconds: f64 = timelines
+            .iter()
+            .flat_map(|tl| tl.iter())
+            .map(|pt| pt.potentials.iter().sum::<f64>() * pt.span)
+            .sum();
+        FleetOutcome {
+            metrics: FleetMetrics {
+                shards: per_shard_potential.len(),
+                offered: admitted + rejected,
+                admitted,
+                rejected,
+                migrations,
+                per_shard_potential,
+                per_shard_admitted,
+                aggregate_potential_seconds,
+            },
+            placements,
+            timelines,
+            placement_latency: LatencyStats::from_durations(latencies),
+        }
+    }
+
+    /// Replays a recorded trace (see [`Trace`]): the trace's shard count
+    /// must match this fleet's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace.meta.shards != self.shard_count()`.
+    pub fn execute_trace(self, trace: &Trace) -> FleetOutcome {
+        assert_eq!(
+            trace.meta.shards,
+            self.shard_count(),
+            "trace was recorded for a different fleet size"
+        );
+        self.execute(&trace.events, trace.meta.horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmap_core::oracle::AnalyticalOracle;
+
+    fn quick_config() -> FleetConfig {
+        FleetConfig {
+            manager: ManagerConfig { mcts_iterations: 80, warm_iterations: 40, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    fn arrive(at: f64, k: u64, model: ModelId) -> FleetEvent {
+        FleetEvent::Arrive { at, request: RequestId::new(k), model }
+    }
+
+    #[test]
+    fn arrivals_spread_across_idle_shards() {
+        let p = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&p);
+        let fleet = FleetRuntime::homogeneous(&p, &oracle, 2, quick_config());
+        let events = vec![
+            arrive(0.0, 0, ModelId::InceptionV4),
+            arrive(10.0, 1, ModelId::ResNet50),
+        ];
+        let outcome = fleet.execute(&events, 100.0);
+        assert_eq!(outcome.metrics.admitted, 2);
+        assert_eq!(outcome.metrics.rejected, 0);
+        let shards: Vec<usize> = outcome
+            .placements
+            .iter()
+            .map(|r| match r.outcome {
+                PlacementOutcome::Admitted { shard } => shard,
+                PlacementOutcome::Rejected => panic!("unexpected rejection"),
+            })
+            .collect();
+        assert_ne!(shards[0], shards[1], "the second heavy DNN must take the idle shard");
+    }
+
+    #[test]
+    fn overcommitted_fleet_spills_and_rejects() {
+        let p = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&p);
+        let config = FleetConfig { max_per_shard: 2, ..quick_config() };
+        let fleet = FleetRuntime::homogeneous(&p, &oracle, 1, config);
+        let events: Vec<FleetEvent> = (0..3)
+            .map(|k| arrive(k as f64, k, ModelId::ResNet50))
+            .collect();
+        let outcome = fleet.execute(&events, 100.0);
+        assert_eq!(outcome.metrics.admitted, 2, "capacity admits two");
+        assert_eq!(outcome.metrics.rejected, 1, "the third spills nowhere and is rejected");
+        assert_eq!(outcome.placements[2].outcome, PlacementOutcome::Rejected);
+    }
+
+    #[test]
+    fn admission_floor_rejects_predicted_starvation() {
+        let p = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&p);
+        // A floor so high that sharing a board at all is unacceptable.
+        let config = FleetConfig { admission_floor: 0.95, ..quick_config() };
+        let fleet = FleetRuntime::homogeneous(&p, &oracle, 1, config);
+        let events = vec![
+            arrive(0.0, 0, ModelId::InceptionV4),
+            arrive(1.0, 1, ModelId::InceptionV4),
+        ];
+        let outcome = fleet.execute(&events, 100.0);
+        assert_eq!(outcome.metrics.admitted, 1);
+        assert_eq!(
+            outcome.metrics.rejected, 1,
+            "an arrival predicted below the floor must be rejected even with capacity"
+        );
+    }
+
+    #[test]
+    fn collapsed_shard_sheds_load_to_an_idle_one() {
+        let p = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&p);
+        let config = FleetConfig {
+            max_per_shard: 3,
+            // Trigger aggressively so the crowded shard must shed.
+            rebalance_threshold: 0.95,
+            rebalance_margin: 0.01,
+            admission_floor: 0.01,
+            ..quick_config()
+        };
+        let fleet = FleetRuntime::homogeneous(&p, &oracle, 2, config);
+        // Fill both shards with heavyweights, then empty shard 1 by
+        // departing everything placed on it: shard 0 is left crowded next
+        // to an idle board.
+        let heavies = [
+            ModelId::InceptionV4,
+            ModelId::ResNet50,
+            ModelId::Vgg16,
+            ModelId::InceptionResnetV1,
+            ModelId::DenseNet121,
+            ModelId::GoogleNet,
+        ];
+        let mut events: Vec<FleetEvent> = heavies
+            .iter()
+            .enumerate()
+            .map(|(k, &m)| arrive(k as f64, k as u64, m))
+            .collect();
+        // Probe run to learn the placement, then depart one shard's load.
+        let probe = FleetRuntime::homogeneous(
+            &p,
+            &oracle,
+            2,
+            FleetConfig { rebalance_threshold: 0.0, ..quick_config() },
+        );
+        let placements = probe.execute(&events, 10.0).placements;
+        for record in &placements {
+            if record.outcome == (PlacementOutcome::Admitted { shard: 1 }) {
+                events.push(FleetEvent::Depart { at: 10.0, request: record.request });
+            }
+        }
+        let outcome = fleet.execute(&events, 300.0);
+        assert!(
+            outcome.metrics.migrations >= 1,
+            "the crowded shard must shed an instance to the idle one: {:?}",
+            outcome.metrics
+        );
+        // A cross-shard move is not free: the receiving board pays the
+        // weight restage + stem rebuild as a visible stall point.
+        assert!(
+            outcome
+                .timelines
+                .iter()
+                .flatten()
+                .any(|pt| pt.time >= 10.0 && pt.migration_stall > 0.0),
+            "the migration's transfer stall must surface on a timeline"
+        );
+    }
+
+    #[test]
+    fn warm_plan_caches_boot_every_shard() {
+        let p = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&p);
+        // Yesterday: one board mapped a workload set.
+        let mgr = RankMapManager::new(
+            &p,
+            &oracle,
+            ManagerConfig { mcts_iterations: 80, ..Default::default() },
+        );
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        let _ = mgr.map_cached(&w, &PriorityMode::Dynamic);
+        let snapshot = mgr.export_plan_cache();
+        // Today: the fleet boots serving it.
+        let fleet = FleetRuntime::homogeneous(&p, &oracle, 3, quick_config());
+        let served = fleet.warm_plan_caches(&snapshot).expect("snapshot loads");
+        assert_eq!(served, 1);
+    }
+}

@@ -1,0 +1,379 @@
+//! JSONL trace record/replay: a fleet run reproducible bit-for-bit from a
+//! file.
+//!
+//! A trace is the *input* side of a fleet run — the offered event stream
+//! plus the run's shape (shard count, horizon, seed) — written one JSON
+//! object per line. Replaying a trace through a [`crate::FleetRuntime`]
+//! with the same configuration reproduces the identical placement log and
+//! [`crate::FleetMetrics`], because everything downstream of the events
+//! is deterministic (tested in `tests/replay.rs`).
+//!
+//! Timestamps and priority vectors are written with Rust's
+//! shortest-roundtrip float formatting, which parses back to the exact
+//! bits — no bit-pattern encoding needed for finite values.
+//!
+//! Format (`version 1`):
+//!
+//! ```text
+//! {"rankmap_fleet_trace":1,"horizon":600,"label":"bursty","seed":"7","shards":4}
+//! {"at":12.25,"kind":"arrive","model":"AlexNet","request":0}
+//! {"at":80.5,"kind":"depart","request":0}
+//! {"at":90,"kind":"set_priorities","mode":"dynamic"}
+//! {"at":95,"kind":"set_priorities","mode":"static","priorities":[0.7,0.3]}
+//! ```
+
+use crate::load::{FleetEvent, RequestId};
+use rankmap_core::json::{self, obj, Json};
+use rankmap_core::priority::PriorityMode;
+use rankmap_models::ModelId;
+use std::str::FromStr;
+
+/// The run shape a trace pins down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Number of device shards the run used.
+    pub shards: usize,
+    /// Run horizon in seconds.
+    pub horizon: f64,
+    /// The load seed (informational — the events are already expanded).
+    pub seed: u64,
+    /// Free-form label ("bursty-8shard", ...).
+    pub label: String,
+}
+
+/// A recorded fleet run input: meta + the offered event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Run shape.
+    pub meta: TraceMeta,
+    /// Offered events, sorted by time.
+    pub events: Vec<FleetEvent>,
+}
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn mode_json(mode: &PriorityMode, line: &mut std::collections::BTreeMap<String, Json>) {
+    match mode {
+        PriorityMode::Dynamic => {
+            line.insert("mode".into(), Json::Str("dynamic".into()));
+        }
+        PriorityMode::Static(p) => {
+            line.insert("mode".into(), Json::Str("static".into()));
+            line.insert(
+                "priorities".into(),
+                Json::Arr(p.iter().map(|&v| Json::Num(v)).collect()),
+            );
+        }
+    }
+}
+
+impl Trace {
+    /// Pairs a generated (or hand-built) event stream with its run shape.
+    pub fn new(meta: TraceMeta, events: Vec<FleetEvent>) -> Self {
+        Self { meta, events }
+    }
+
+    /// Serializes to JSONL: one header line, one line per event.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &obj([
+                ("rankmap_fleet_trace", Json::Num(1.0)),
+                ("shards", Json::Num(self.meta.shards as f64)),
+                ("horizon", Json::Num(self.meta.horizon)),
+                // Written as a string: a u64 seed (e.g. hash-derived) can
+                // exceed 2^53 and would not survive a JSON number.
+                ("seed", Json::Str(self.meta.seed.to_string())),
+                ("label", Json::Str(self.meta.label.clone())),
+            ])
+            .to_string(),
+        );
+        out.push('\n');
+        for event in &self.events {
+            let mut line = std::collections::BTreeMap::new();
+            line.insert("at".into(), Json::Num(event.at()));
+            match event {
+                FleetEvent::Arrive { request, model, .. } => {
+                    line.insert("kind".into(), Json::Str("arrive".into()));
+                    line.insert("request".into(), Json::Num(request.ordinal() as f64));
+                    line.insert("model".into(), Json::Str(model.name().into()));
+                }
+                FleetEvent::Depart { request, .. } => {
+                    line.insert("kind".into(), Json::Str("depart".into()));
+                    line.insert("request".into(), Json::Num(request.ordinal() as f64));
+                }
+                FleetEvent::SetPriorities { mode, .. } => {
+                    line.insert("kind".into(), Json::Str("set_priorities".into()));
+                    mode_json(mode, &mut line);
+                }
+            }
+            out.push_str(&Json::Obj(line).to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a [`Trace::to_jsonl`] stream. Blank lines are ignored;
+    /// out-of-order event timestamps and events outside `[0, horizon)`
+    /// are rejected (the fleet runtime requires a sorted in-horizon
+    /// stream, and a hand-edited trace should fail here with a line
+    /// number, not on an assert at execute time).
+    pub fn from_jsonl(text: &str) -> Result<Self, TraceError> {
+        let mut meta = None;
+        let mut events = Vec::new();
+        let mut arrived = std::collections::HashSet::new();
+        let mut departed = std::collections::HashSet::new();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let bad = |message: String| TraceError { line: lineno, message };
+            let value =
+                json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+            if meta.is_none() {
+                match value.get("rankmap_fleet_trace").and_then(Json::as_u64) {
+                    Some(1) => {}
+                    _ => {
+                        return Err(bad(
+                            "first line must be a version-1 trace header".into(),
+                        ))
+                    }
+                }
+                meta = Some(TraceMeta {
+                    shards: value
+                        .get("shards")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("header missing shards".into()))?
+                        as usize,
+                    horizon: value
+                        .get("horizon")
+                        .and_then(Json::as_f64)
+                        .filter(|h| *h > 0.0)
+                        .ok_or_else(|| bad("header missing a positive horizon".into()))?,
+                    seed: value
+                        .get("seed")
+                        .and_then(|v| match v {
+                            Json::Str(s) => s.parse().ok(),
+                            other => other.as_u64(),
+                        })
+                        .ok_or_else(|| bad("header missing seed".into()))?,
+                    label: value
+                        .get("label")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                });
+                continue;
+            }
+            let at = value
+                .get("at")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad("event missing at".into()))?;
+            if events.last().is_some_and(|prev: &FleetEvent| at < prev.at()) {
+                return Err(bad(format!(
+                    "events out of order: {} after {}",
+                    at,
+                    events.last().map(FleetEvent::at).unwrap_or(0.0)
+                )));
+            }
+            let horizon = meta.as_ref().map(|m: &TraceMeta| m.horizon).unwrap_or(f64::MAX);
+            if !(0.0..horizon).contains(&at) {
+                return Err(bad(format!(
+                    "event at {at} outside the trace horizon [0, {horizon})"
+                )));
+            }
+            let request = || {
+                value
+                    .get("request")
+                    .and_then(Json::as_u64)
+                    .map(RequestId::new)
+                    .ok_or_else(|| bad("event missing request".into()))
+            };
+            let event = match value.get("kind").and_then(Json::as_str) {
+                Some("arrive") => {
+                    let name = value
+                        .get("model")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("arrive missing model".into()))?;
+                    let model = ModelId::from_str(name)
+                        .map_err(|_| bad(format!("unknown model '{name}'")))?;
+                    let request = request()?;
+                    if !arrived.insert(request) {
+                        return Err(bad(format!("request {request} arrives twice")));
+                    }
+                    FleetEvent::Arrive { at, request, model }
+                }
+                Some("depart") => {
+                    let request = request()?;
+                    if !arrived.contains(&request) {
+                        return Err(bad(format!("request {request} departs before arriving")));
+                    }
+                    if !departed.insert(request) {
+                        return Err(bad(format!("request {request} departs twice")));
+                    }
+                    FleetEvent::Depart { at, request }
+                }
+                Some("set_priorities") => {
+                    let mode = match value.get("mode").and_then(Json::as_str) {
+                        Some("dynamic") => PriorityMode::Dynamic,
+                        Some("static") => {
+                            let p = value
+                                .get("priorities")
+                                .and_then(Json::as_arr)
+                                .ok_or_else(|| {
+                                    bad("static mode missing priorities".into())
+                                })?
+                                .iter()
+                                .map(Json::as_f64)
+                                .collect::<Option<Vec<f64>>>()
+                                .ok_or_else(|| bad("priorities must be numbers".into()))?;
+                            PriorityMode::Static(p)
+                        }
+                        _ => return Err(bad("unknown priority mode".into())),
+                    };
+                    FleetEvent::SetPriorities { at, mode }
+                }
+                _ => return Err(bad("unknown event kind".into())),
+            };
+            events.push(event);
+        }
+        let meta = meta.ok_or(TraceError { line: 0, message: "empty trace".into() })?;
+        Ok(Trace { meta, events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::{generate, ArrivalProcess, LoadSpec};
+
+    fn bursty_spec() -> LoadSpec {
+        LoadSpec {
+            horizon: 900.0,
+            process: ArrivalProcess::OnOff {
+                burst_rate: 0.3,
+                idle_rate: 0.01,
+                mean_burst: 40.0,
+                mean_idle: 120.0,
+            },
+            priority_churn_rate: 1.0 / 200.0,
+            seed: 11,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_exact() {
+        let spec = bursty_spec();
+        let trace = Trace::new(
+            TraceMeta { shards: 4, horizon: spec.horizon, seed: spec.seed, label: "t".into() },
+            generate(&spec),
+        );
+        let text = trace.to_jsonl();
+        let back = Trace::from_jsonl(&text).expect("parse");
+        assert_eq!(back, trace, "events and meta must round-trip bit-for-bit");
+        // Re-serializing is byte-stable too.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn seeds_beyond_f64_precision_survive() {
+        // Hash-derived seeds exceed 2^53; a JSON number would mangle them.
+        let trace = Trace::new(
+            TraceMeta { shards: 1, horizon: 10.0, seed: u64::MAX, label: "big".into() },
+            Vec::new(),
+        );
+        let back = Trace::from_jsonl(&trace.to_jsonl()).expect("parse");
+        assert_eq!(back.meta.seed, u64::MAX);
+    }
+
+    #[test]
+    fn header_is_required_and_versioned() {
+        assert!(Trace::from_jsonl("").is_err());
+        assert!(Trace::from_jsonl("{\"at\":1,\"kind\":\"depart\",\"request\":0}\n").is_err());
+        assert!(Trace::from_jsonl(
+            "{\"rankmap_fleet_trace\":2,\"shards\":1,\"horizon\":1,\"seed\":0,\"label\":\"\"}\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn out_of_order_events_are_rejected_at_parse_time() {
+        let text = "{\"rankmap_fleet_trace\":1,\"shards\":1,\"horizon\":10,\"seed\":\"0\",\"label\":\"\"}\n\
+                    {\"at\":5,\"kind\":\"arrive\",\"model\":\"AlexNet\",\"request\":0}\n\
+                    {\"at\":2,\"kind\":\"depart\",\"request\":0}\n";
+        let err = Trace::from_jsonl(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_request_ids_are_rejected_at_parse_time() {
+        let header =
+            "{\"rankmap_fleet_trace\":1,\"shards\":1,\"horizon\":10,\"seed\":\"0\",\"label\":\"\"}\n";
+        let arrive0 = "{\"at\":1,\"kind\":\"arrive\",\"model\":\"AlexNet\",\"request\":0}\n";
+        let double_arrive = format!(
+            "{header}{arrive0}{}",
+            "{\"at\":2,\"kind\":\"arrive\",\"model\":\"AlexNet\",\"request\":0}\n"
+        );
+        let err = Trace::from_jsonl(&double_arrive).unwrap_err();
+        assert!(err.message.contains("arrives twice"), "{err}");
+        let double_depart = format!(
+            "{header}{arrive0}{}{}",
+            "{\"at\":2,\"kind\":\"depart\",\"request\":0}\n",
+            "{\"at\":3,\"kind\":\"depart\",\"request\":0}\n"
+        );
+        let err = Trace::from_jsonl(&double_depart).unwrap_err();
+        assert!(err.message.contains("departs twice"), "{err}");
+        let phantom_depart =
+            format!("{header}{}", "{\"at\":1,\"kind\":\"depart\",\"request\":5}\n");
+        let err = Trace::from_jsonl(&phantom_depart).unwrap_err();
+        assert!(err.message.contains("departs before arriving"), "{err}");
+    }
+
+    #[test]
+    fn events_past_the_horizon_are_rejected_at_parse_time() {
+        let text = "{\"rankmap_fleet_trace\":1,\"shards\":1,\"horizon\":10,\"seed\":\"0\",\"label\":\"\"}\n\
+                    {\"at\":20,\"kind\":\"arrive\",\"model\":\"AlexNet\",\"request\":0}\n";
+        let err = Trace::from_jsonl(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("horizon"), "{err}");
+    }
+
+    #[test]
+    fn non_positive_horizons_are_rejected_at_parse_time() {
+        for h in ["-5", "0"] {
+            let text = format!(
+                "{{\"rankmap_fleet_trace\":1,\"shards\":1,\"horizon\":{h},\"seed\":\"0\",\"label\":\"\"}}\n"
+            );
+            let err = Trace::from_jsonl(&text).unwrap_err();
+            assert!(err.message.contains("positive horizon"), "{err}");
+        }
+    }
+
+    #[test]
+    fn malformed_events_name_their_line() {
+        let text = "{\"rankmap_fleet_trace\":1,\"shards\":1,\"horizon\":10,\"seed\":0,\"label\":\"\"}\n\
+                    {\"at\":1,\"kind\":\"arrive\",\"model\":\"NoSuchNet\",\"request\":0}\n";
+        let err = Trace::from_jsonl(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("NoSuchNet"));
+    }
+}

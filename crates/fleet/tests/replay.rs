@@ -1,0 +1,80 @@
+//! Trace replay determinism: a recorded run and its replay from the JSONL
+//! trace must agree bit-for-bit — event streams, placement log, fleet
+//! metrics, and the per-shard timelines behind them.
+
+use rankmap_core::manager::ManagerConfig;
+use rankmap_core::oracle::AnalyticalOracle;
+use rankmap_fleet::{
+    generate, ArrivalProcess, FleetConfig, FleetRuntime, LoadSpec, Trace, TraceMeta,
+};
+use rankmap_platform::Platform;
+
+fn bursty_spec() -> LoadSpec {
+    LoadSpec {
+        horizon: 600.0,
+        process: ArrivalProcess::OnOff {
+            burst_rate: 0.25,
+            idle_rate: 0.01,
+            mean_burst: 40.0,
+            mean_idle: 120.0,
+        },
+        mean_lifetime: 180.0,
+        priority_churn_rate: 1.0 / 250.0,
+        seed: 17,
+        ..Default::default()
+    }
+}
+
+fn quick_config() -> FleetConfig {
+    FleetConfig {
+        manager: ManagerConfig { mcts_iterations: 60, warm_iterations: 30, ..Default::default() },
+        max_per_shard: 3,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn bursty_run_replays_bit_identically_from_its_trace() {
+    let platform = Platform::orange_pi_5();
+    let oracle = AnalyticalOracle::new(&platform);
+    let spec = bursty_spec();
+    let shards = 2;
+
+    // Record: generate the load, run it, and write the trace.
+    let events = generate(&spec);
+    assert!(events.len() > 10, "the bursty spec must offer real load");
+    let trace = Trace::new(
+        TraceMeta {
+            shards,
+            horizon: spec.horizon,
+            seed: spec.seed,
+            label: "bursty-replay-test".into(),
+        },
+        events.clone(),
+    );
+    let jsonl = trace.to_jsonl();
+    let recorded = FleetRuntime::homogeneous(&platform, &oracle, shards, quick_config())
+        .execute(&events, spec.horizon);
+
+    // Replay: parse the trace back and run a fresh fleet from it.
+    let parsed = Trace::from_jsonl(&jsonl).expect("trace parses");
+    assert_eq!(parsed.events, events, "the event stream must survive JSONL exactly");
+    let replayed = FleetRuntime::homogeneous(&platform, &oracle, shards, quick_config())
+        .execute_trace(&parsed);
+
+    assert_eq!(
+        replayed.metrics, recorded.metrics,
+        "fleet metrics must replay bit-identically"
+    );
+    assert_eq!(
+        replayed.placements, recorded.placements,
+        "every admission/placement decision must replay identically"
+    );
+    assert_eq!(
+        replayed.timelines, recorded.timelines,
+        "per-shard timelines must replay identically"
+    );
+    // The run did something worth replaying.
+    assert!(recorded.metrics.admitted > 0);
+    assert!(recorded.metrics.aggregate_potential_seconds > 0.0);
+}

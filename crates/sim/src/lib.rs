@@ -55,7 +55,7 @@ pub use contention::{
 };
 pub use cost::CostModel;
 pub use event::{EventConfig, EventEngine};
-pub use migration::{MigrationCost, MigrationModel};
+pub use migration::{MigrationCost, MigrationModel, STEM_REBUILD_PER_UNIT};
 pub use report::ThroughputReport;
 pub use workload::{Mapping, MappingError, StageSpec, Workload};
 

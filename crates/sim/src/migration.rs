@@ -1,37 +1,67 @@
 //! Migration-cost model: what switching from one mapping to another costs.
 //!
-//! Re-mapping a running workload is not free. Every schedulable unit that
-//! moves to a different component has to have its weights re-staged for
-//! the new executor — on a shared-memory SoC that is a write-back plus a
-//! read through DRAM and a runtime synchronization point, exactly the
-//! [`Link`](rankmap_platform::Link) the platform already models for
-//! inter-stage activation traffic. The model here charges
-//! `link.transfer_seconds(unit_weight_bytes)` per moved unit and reports
-//! the total as a *stall*: the window during which the remapped pipelines
-//! are not producing inferences.
+//! Re-mapping a running workload is not free. Two charges make up the
+//! stall window during which the remapped pipelines produce nothing:
 //!
-//! Freshly arrived DNNs are not charged — their weights must be loaded
-//! under any mapping, so they cannot differentiate candidate mappings in a
-//! remap decision.
+//! * **Weight re-staging.** Every schedulable unit that moves to a
+//!   different component has to have its weights re-staged for the new
+//!   executor — on a shared-memory SoC that is a write-back plus a read
+//!   through DRAM and a runtime synchronization point, exactly the
+//!   [`Link`](rankmap_platform::Link) the platform already models for
+//!   inter-stage activation traffic. The model charges
+//!   `link.transfer_seconds(unit_weight_bytes)` per moved unit.
+//! * **Estimator warm-up.** The serving stack keeps a compiled stem
+//!   (per-stage embeddings + stacked decoder inputs, see
+//!   `rankmap_estimator::CompiledStem`) for the running workload context.
+//!   A component switch invalidates the stem entries of every DNN whose
+//!   placement changed, and the rebuild runs on the CPU before the next
+//!   remap decision can be scored. The model charges
+//!   [`MigrationModel::stem_rebuild_per_unit`] seconds per schedulable
+//!   unit of each re-placed DNN (rebuild cost is linear in the stages the
+//!   stem compiles). `with_stem_rebuild(0.0)` restores the weight-only
+//!   model.
+//!
+//! Freshly arrived DNNs are not charged either way — their weights must
+//! be loaded and their stem compiled under any mapping, so they cannot
+//! differentiate candidate mappings in a remap decision.
 
 use crate::workload::{Mapping, Workload};
 use rankmap_platform::Platform;
 
+/// Default estimator warm-up charge per schedulable unit of a re-placed
+/// DNN, in seconds. Calibrated to the compiled-stem rebuild of the
+/// multi-task estimator on the big CPU cluster: one embedding-table pass
+/// plus the stacked decoder-input refresh per stage, ~1.5 ms each.
+pub const STEM_REBUILD_PER_UNIT: f64 = 1.5e-3;
+
 /// The cost of migrating a running workload from one mapping to another.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MigrationCost {
-    /// Total stall in seconds (weight re-staging over the transfer link).
+    /// Total stall in seconds: weight re-staging plus estimator warm-up.
     pub stall_seconds: f64,
+    /// Weight re-staging share of the stall (transfer-link time).
+    pub weight_seconds: f64,
+    /// Estimator warm-up share of the stall (compiled-stem rebuild).
+    pub stem_seconds: f64,
     /// Total weight bytes moved between components.
     pub moved_bytes: f64,
     /// Number of schedulable units whose component changed.
     pub moved_units: usize,
+    /// Number of surviving DNNs whose placement changed (each one's stem
+    /// entries are rebuilt).
+    pub rebuilt_dnns: usize,
 }
 
 impl MigrationCost {
     /// A free migration (nothing moved).
-    pub const ZERO: MigrationCost =
-        MigrationCost { stall_seconds: 0.0, moved_bytes: 0.0, moved_units: 0 };
+    pub const ZERO: MigrationCost = MigrationCost {
+        stall_seconds: 0.0,
+        weight_seconds: 0.0,
+        stem_seconds: 0.0,
+        moved_bytes: 0.0,
+        moved_units: 0,
+        rebuilt_dnns: 0,
+    };
 
     /// Whether anything actually moves.
     pub fn is_free(&self) -> bool {
@@ -39,17 +69,39 @@ impl MigrationCost {
     }
 }
 
-/// Computes [`MigrationCost`]s from a platform's transfer link and the
-/// workload's per-unit weight footprints.
+/// Computes [`MigrationCost`]s from a platform's transfer link, the
+/// workload's per-unit weight footprints, and the estimator warm-up model.
 #[derive(Debug, Clone)]
 pub struct MigrationModel<'p> {
     platform: &'p Platform,
+    stem_rebuild_per_unit: f64,
 }
 
 impl<'p> MigrationModel<'p> {
-    /// Creates a model over a platform.
+    /// Creates a model over a platform with the default estimator warm-up
+    /// charge ([`STEM_REBUILD_PER_UNIT`]).
     pub fn new(platform: &'p Platform) -> Self {
-        Self { platform }
+        Self { platform, stem_rebuild_per_unit: STEM_REBUILD_PER_UNIT }
+    }
+
+    /// Overrides the estimator warm-up charge (seconds per schedulable
+    /// unit of a re-placed DNN). `0.0` restores the weight-only model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds_per_unit` is negative or non-finite.
+    pub fn with_stem_rebuild(mut self, seconds_per_unit: f64) -> Self {
+        assert!(
+            seconds_per_unit.is_finite() && seconds_per_unit >= 0.0,
+            "stem rebuild charge must be a non-negative finite time"
+        );
+        self.stem_rebuild_per_unit = seconds_per_unit;
+        self
+    }
+
+    /// The estimator warm-up charge per unit of a re-placed DNN (seconds).
+    pub fn stem_rebuild_per_unit(&self) -> f64 {
+        self.stem_rebuild_per_unit
     }
 
     /// Cost of moving `workload` from its incumbent placements to `new`.
@@ -78,15 +130,45 @@ impl<'p> MigrationModel<'p> {
             if prev.len() != model.unit_count() {
                 continue;
             }
+            let mut dnn_moved = false;
             for (u, unit) in model.units().iter().enumerate() {
                 if prev[u] != new.assignment(d)[u] {
                     let bytes = unit.weight_bytes() as f64;
-                    cost.stall_seconds += link.transfer_seconds(bytes);
+                    cost.weight_seconds += link.transfer_seconds(bytes);
                     cost.moved_bytes += bytes;
                     cost.moved_units += 1;
+                    dnn_moved = true;
                 }
             }
+            if dnn_moved {
+                // The compiled stem caches one embedding per stage of the
+                // DNN's placement context; any switch rebuilds them all.
+                cost.stem_seconds += self.stem_rebuild_per_unit * model.unit_count() as f64;
+                cost.rebuilt_dnns += 1;
+            }
         }
+        cost.stall_seconds = cost.weight_seconds + cost.stem_seconds;
+        cost
+    }
+
+    /// Cost of re-staging *every* unit of `workload` — weights and stem
+    /// rebuilds for all DNNs, priced without fabricating a component
+    /// pair. This is the (lower-bound) charge for moving a workload to
+    /// another board entirely, where no incumbent placement survives.
+    pub fn full_restage(&self, workload: &Workload) -> MigrationCost {
+        let link = self.platform.transfer_link();
+        let mut cost = MigrationCost::ZERO;
+        for model in workload.models() {
+            for unit in model.units() {
+                let bytes = unit.weight_bytes() as f64;
+                cost.weight_seconds += link.transfer_seconds(bytes);
+                cost.moved_bytes += bytes;
+                cost.moved_units += 1;
+            }
+            cost.stem_seconds += self.stem_rebuild_per_unit * model.unit_count() as f64;
+            cost.rebuilt_dnns += 1;
+        }
+        cost.stall_seconds = cost.weight_seconds + cost.stem_seconds;
         cost
     }
 
@@ -156,6 +238,7 @@ mod tests {
         ];
         let cost = MigrationModel::new(&p).cost(&workload, &old, &new);
         assert_eq!(cost.moved_units, workload.models()[0].unit_count());
+        assert_eq!(cost.rebuilt_dnns, 1, "only the survivor rebuilds its stem");
         assert!(
             (cost.moved_bytes - workload.models()[0].total_weight_bytes() as f64).abs() < 1.0
         );
@@ -167,18 +250,18 @@ mod tests {
         let light = Workload::from_ids([ModelId::SqueezeNetV2]);
         let heavy = Workload::from_ids([ModelId::Vgg16]);
         let mm = MigrationModel::new(&p);
-        let stall = |wl: &Workload| {
+        let cost = |wl: &Workload| {
             mm.cost_between(
                 wl,
                 &Mapping::uniform(wl, ComponentId::new(0)),
                 &Mapping::uniform(wl, ComponentId::new(2)),
             )
-            .stall_seconds
         };
         assert!(
-            stall(&heavy) > stall(&light) * 10.0,
+            cost(&heavy).weight_seconds > cost(&light).weight_seconds * 10.0,
             "VGG-16's weights should dwarf SqueezeNet's transfer time"
         );
+        assert!(cost(&heavy).stall_seconds > cost(&light).stall_seconds);
     }
 
     #[test]
@@ -194,5 +277,58 @@ mod tests {
         assert_eq!(cost.moved_units, 1);
         let last_unit = workload.models()[0].units()[n - 1].weight_bytes() as f64;
         assert!((cost.moved_bytes - last_unit).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_restage_prices_every_unit_like_a_complete_move() {
+        let p = Platform::orange_pi_5();
+        let workload = w();
+        let mm = MigrationModel::new(&p);
+        let restage = mm.full_restage(&workload);
+        // On a single-shared-link platform it must agree with moving
+        // everything between any two components.
+        let moved = mm.cost_between(
+            &workload,
+            &Mapping::uniform(&workload, ComponentId::new(0)),
+            &Mapping::uniform(&workload, ComponentId::new(2)),
+        );
+        assert_eq!(restage, moved);
+        assert_eq!(restage.moved_units, workload.total_units());
+        assert_eq!(restage.rebuilt_dnns, workload.len());
+    }
+
+    #[test]
+    fn stem_rebuild_is_charged_per_replaced_dnn() {
+        let p = Platform::orange_pi_5();
+        let workload = w();
+        let old = Mapping::uniform(&workload, ComponentId::new(0));
+        // Move only DNN 1 (SqueezeNet); DNN 0 stays put.
+        let mut per_dnn = old.per_dnn().to_vec();
+        per_dnn[1] = vec![ComponentId::new(1); workload.models()[1].unit_count()];
+        let new = Mapping::new(per_dnn);
+        let cost = MigrationModel::new(&p).cost_between(&workload, &old, &new);
+        assert_eq!(cost.rebuilt_dnns, 1);
+        let expected = STEM_REBUILD_PER_UNIT * workload.models()[1].unit_count() as f64;
+        assert!((cost.stem_seconds - expected).abs() < 1e-12);
+        assert!(
+            (cost.stall_seconds - cost.weight_seconds - cost.stem_seconds).abs() < 1e-12,
+            "stall must be the sum of its parts"
+        );
+    }
+
+    #[test]
+    fn disabling_stem_rebuild_restores_weight_only_stall() {
+        let p = Platform::orange_pi_5();
+        let workload = w();
+        let old = Mapping::uniform(&workload, ComponentId::new(0));
+        let new = Mapping::uniform(&workload, ComponentId::new(1));
+        let with = MigrationModel::new(&p).cost_between(&workload, &old, &new);
+        let without = MigrationModel::new(&p)
+            .with_stem_rebuild(0.0)
+            .cost_between(&workload, &old, &new);
+        assert_eq!(without.stem_seconds, 0.0);
+        assert!((without.stall_seconds - without.weight_seconds).abs() < 1e-15);
+        assert!(with.stall_seconds > without.stall_seconds);
+        assert_eq!(with.moved_bytes, without.moved_bytes);
     }
 }

@@ -15,6 +15,7 @@
 //! | [`estimator`] | VQ-VAE and the multi-task attention throughput estimator |
 //! | [`search`] | UCT Monte-Carlo Tree Search |
 //! | [`core`] | Priorities, reward, the manager, training, dynamic runtime |
+//! | [`fleet`] | Multi-device sharding, admission/placement, trace-driven load |
 //! | [`baselines`] | Baseline/MOSAIC/ODMDEF/GA/OmniBoost comparison managers |
 //!
 //! # Example
@@ -40,6 +41,7 @@
 pub use rankmap_baselines as baselines;
 pub use rankmap_core as core;
 pub use rankmap_estimator as estimator;
+pub use rankmap_fleet as fleet;
 pub use rankmap_models as models;
 pub use rankmap_nn as nn;
 pub use rankmap_platform as platform;
