@@ -151,10 +151,7 @@ fn main() {
     let oracle = AnalyticalOracle::new(&platform);
     let events = generate(&spec);
     let recorded = recorded_2shard.expect("the sweep covers 2 shards");
-    let trace = Trace::new(
-        TraceMeta { shards: 2, horizon: spec.horizon, seed: spec.seed, label: "bench".into() },
-        events,
-    );
+    let trace = Trace::new(TraceMeta::new(2, spec.horizon, spec.seed, "bench"), events);
     let replayed =
         FleetRuntime::homogeneous(&platform, &oracle, 2, fleet_config(GainObjective::default()))
             .execute_trace(&Trace::from_jsonl(&trace.to_jsonl()).expect("trace parses"));
@@ -167,7 +164,6 @@ fn main() {
     );
 
     let report = obj([
-        ("bench", Json::Str("fleet_scale".into())),
         ("smoke", Json::Bool(smoke())),
         (
             "offered_load",
@@ -196,7 +192,9 @@ fn main() {
         ),
         ("trace_replay_bit_identical", Json::Bool(replay_identical)),
     ]);
+    // BENCH_fleet.json is shared with the fleet_hetero bench: each bench
+    // owns one top-level section and preserves the other's on re-runs.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
-    std::fs::write(path, format!("{report}\n")).expect("write BENCH_fleet.json");
-    println!("wrote {path}");
+    rankmap_bench::merge_bench_report(path, "fleet_scale", report);
+    println!("wrote the fleet_scale section of {path}");
 }

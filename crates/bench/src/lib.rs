@@ -342,6 +342,41 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
     }
 }
 
+/// Merges one bench's report into a multi-section JSON file.
+///
+/// The `BENCH_*.json` files at the workspace root are shared by several
+/// benches (e.g. `fleet_scale` and `fleet_hetero` both report into
+/// `BENCH_fleet.json`): each bench owns one top-level key and must not
+/// clobber its siblings on a re-run. This helper reads the existing file
+/// (ignoring it when absent or unparsable), replaces `key` with
+/// `section`, writes the result back, and returns the serialized text.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn merge_bench_report(
+    path: impl AsRef<Path>,
+    key: &str,
+    section: rankmap_core::json::Json,
+) -> String {
+    use rankmap_core::json::Json;
+    let path = path.as_ref();
+    let mut sections = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| rankmap_core::json::parse(&text).ok())
+        .and_then(|root| root.as_obj().cloned())
+        // Pre-sectioned files carried the single bench's fields at top
+        // level (marked by a "bench" name key); keeping them would leave
+        // stale data next to the new sections, so the legacy shape is
+        // dropped wholesale and the file starts over sectioned.
+        .filter(|root| !root.contains_key("bench"))
+        .unwrap_or_default();
+    sections.insert(key.to_string(), section);
+    let text = format!("{}\n", Json::Obj(sections));
+    std::fs::write(path, &text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    text
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

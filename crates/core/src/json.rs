@@ -207,7 +207,7 @@ fn write_escaped(s: &str, out: &mut String) {
 const MAX_DEPTH: usize = 128;
 
 /// Parses one JSON value from `input` (trailing whitespace allowed,
-/// anything else is an error; nesting deeper than [`MAX_DEPTH`] is
+/// anything else is an error; nesting deeper than 128 levels is
 /// rejected).
 pub fn parse(input: &str) -> Result<Json, JsonError> {
     let bytes = input.as_bytes();

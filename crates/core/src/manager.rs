@@ -186,15 +186,21 @@ impl<'p, O: ThroughputOracle> RankMapManager<'p, O> {
             oracle,
             config,
             ideal_cache: std::sync::Mutex::new(std::collections::HashMap::new()),
-            plan_cache: std::sync::Mutex::new(PlanCache::with_capacity(
-                config.plan_cache_capacity,
-            )),
+            plan_cache: std::sync::Mutex::new(
+                PlanCache::with_capacity(config.plan_cache_capacity)
+                    .for_platform(platform.signature()),
+            ),
         }
     }
 
     /// The manager's configuration.
     pub fn config(&self) -> ManagerConfig {
         self.config
+    }
+
+    /// The platform this manager maps onto.
+    pub fn platform(&self) -> &'p Platform {
+        self.platform
     }
 
     /// Measures per-DNN ideal rates (isolated on the GPU, or the fastest
@@ -257,12 +263,16 @@ impl<'p, O: ThroughputOracle> RankMapManager<'p, O> {
 
     /// Replaces the plan cache with a [`RankMapManager::export_plan_cache`]
     /// snapshot, re-bounded to this manager's configured capacity. A
-    /// snapshot referencing components this platform does not have (e.g.
-    /// recorded on a bigger board, or corrupted) is rejected here rather
-    /// than panicking on its first cache hit mid-serving. Returns the
-    /// number of plans serving after the load.
+    /// snapshot recorded on a different board type
+    /// ([`rankmap_platform::Platform::signature`] mismatch), or one
+    /// referencing components this platform does not have (corrupted, or
+    /// an untagged legacy snapshot from a bigger board), is rejected here
+    /// with a clear error rather than panicking — or silently serving
+    /// another board's plans — on its first cache hit mid-serving.
+    /// Returns the number of plans serving after the load.
     pub fn import_plan_cache(&self, json: &str) -> Result<usize, crate::json::JsonError> {
         let loaded = PlanCache::from_json(json)?;
+        loaded.validate_platform(&self.platform.signature())?;
         loaded.validate_components(self.platform.component_count())?;
         Ok(self.install_plan_cache(loaded))
     }
@@ -272,9 +282,13 @@ impl<'p, O: ThroughputOracle> RankMapManager<'p, O> {
     /// capacity — the fan-out half of [`RankMapManager::import_plan_cache`]
     /// for callers installing one snapshot into many managers. Returns
     /// the number of plans serving after the bound.
-    pub fn install_plan_cache(&self, mut loaded: PlanCache) -> usize {
+    pub fn install_plan_cache(&self, loaded: PlanCache) -> usize {
         // config.plan_cache_capacity > 0 is guaranteed by the
-        // constructor's assert.
+        // constructor's assert. Plans served (and exported) from here on
+        // belong to this manager's platform, so the installed cache is
+        // re-tagged — an untagged legacy snapshot becomes tagged at its
+        // first home.
+        let mut loaded = loaded.for_platform(self.platform.signature());
         loaded.set_capacity(self.config.plan_cache_capacity);
         let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
         *cache = loaded;
@@ -618,6 +632,31 @@ mod tests {
         assert_eq!(hit.evaluations, 0, "the booted cache must answer without searching");
         assert_eq!(hit.mapping, plan.mapping);
         assert_eq!(hit.reward.to_bits(), plan.reward.to_bits());
+    }
+
+    #[test]
+    fn plan_cache_snapshots_refuse_to_cross_board_types() {
+        // An Orange Pi snapshot must not boot a Jetson-class shard: the
+        // numbers inside were priced on a different board, and shape
+        // checks alone cannot catch a same-component-count mismatch.
+        let orange = Platform::orange_pi_5();
+        let jetson = Platform::jetson_orin_nx();
+        let oracle = AnalyticalOracle::new(&orange);
+        let mgr = RankMapManager::new(&orange, &oracle, quick_config());
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let _ = mgr.map_cached(&w, &PriorityMode::Dynamic);
+        let snapshot = mgr.export_plan_cache();
+
+        let jetson_oracle = AnalyticalOracle::new(&jetson);
+        let other = RankMapManager::new(&jetson, &jetson_oracle, quick_config());
+        let err = other.import_plan_cache(&snapshot).unwrap_err();
+        assert!(
+            err.to_string().contains("never cross board types"),
+            "cross-platform import must fail loudly: {err}"
+        );
+        // Same board type still boots fine.
+        let twin = RankMapManager::new(&orange, &oracle, quick_config());
+        assert_eq!(twin.import_plan_cache(&snapshot).expect("same platform loads"), 1);
     }
 
     #[test]

@@ -36,8 +36,49 @@ pub trait ThroughputOracle: Sync {
         mappings.iter().map(|m| self.predict(workload, m)).collect()
     }
 
+    /// Predicted throughputs for a whole *group* of `(workload, candidate
+    /// mappings)` queries — the fleet placement hot path, where one
+    /// arrival is scored against every shard of a platform at once.
+    /// `out[q][m][d]` is DNN `d`'s predicted throughput under mapping `m`
+    /// of query `q`. The default answers each query through
+    /// [`ThroughputOracle::predict_batch`]; implementations override it
+    /// to fuse the whole group into one evaluation pass (shared workload
+    /// pricing, one thread-pool fan-out instead of one per query).
+    fn predict_grouped(&self, queries: &[(&Workload, &[Mapping])]) -> Vec<Vec<Vec<f64>>> {
+        queries.iter().map(|(w, ms)| self.predict_batch(w, ms)).collect()
+    }
+
     /// Human-readable oracle name (for run-time reports).
     fn name(&self) -> &'static str;
+}
+
+/// Shared fused-group implementation for the simulator-backed oracles:
+/// price every query's workload once (memoized), then fan the flattened
+/// `(query, mapping)` pairs across one parallel pass instead of one
+/// dispatch per query.
+fn grouped_via_flat_pairs<E>(
+    platform: &Platform,
+    cache: &CompileCache,
+    queries: &[(&Workload, &[Mapping])],
+    evaluate: E,
+) -> Vec<Vec<Vec<f64>>>
+where
+    E: Fn(&rankmap_sim::WorkloadCosts, &Workload, &Mapping) -> Vec<f64> + Sync,
+{
+    let costs: Vec<_> = queries.iter().map(|(w, _)| cache.costs(platform, w)).collect();
+    let flat: Vec<(usize, &Mapping)> = queries
+        .iter()
+        .enumerate()
+        .flat_map(|(q, (_, ms))| ms.iter().map(move |m| (q, m)))
+        .collect();
+    let mut per_pair = rayon::iter::par_map_slice(&flat, &|&(q, m)| {
+        evaluate(&costs[q], queries[q].0, m)
+    })
+    .into_iter();
+    queries
+        .iter()
+        .map(|(_, ms)| (0..ms.len()).map(|_| per_pair.next().expect("one result per pair")).collect())
+        .collect()
 }
 
 /// Oracle backed by the analytical contention solver.
@@ -68,6 +109,12 @@ impl ThroughputOracle for AnalyticalOracle<'_> {
         let costs = self.cache.costs(self.platform, workload);
         rayon::iter::par_map_slice(mappings, &|m| {
             self.engine.evaluate_with(&costs, workload, m).per_dnn
+        })
+    }
+
+    fn predict_grouped(&self, queries: &[(&Workload, &[Mapping])]) -> Vec<Vec<Vec<f64>>> {
+        grouped_via_flat_pairs(self.platform, &self.cache, queries, |costs, w, m| {
+            self.engine.evaluate_with(costs, w, m).per_dnn
         })
     }
 
@@ -109,6 +156,12 @@ impl ThroughputOracle for BoardOracle<'_> {
         let costs = self.cache.costs(self.platform, workload);
         rayon::iter::par_map_slice(mappings, &|m| {
             self.engine.evaluate_with(&costs, workload, m).per_dnn
+        })
+    }
+
+    fn predict_grouped(&self, queries: &[(&Workload, &[Mapping])]) -> Vec<Vec<Vec<f64>>> {
+        grouped_via_flat_pairs(self.platform, &self.cache, queries, |costs, w, m| {
+            self.engine.evaluate_with(costs, w, m).per_dnn
         })
     }
 
@@ -284,6 +337,26 @@ mod tests {
         let t = oracle.predict(&w, &m);
         assert_eq!(t.len(), 2);
         assert!(t.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn grouped_prediction_matches_per_query_batches() {
+        // The fused fleet-scoring path must be bit-identical to the serial
+        // per-shard path: grouping is an execution strategy, not a model.
+        let p = Platform::orange_pi_5();
+        let o = AnalyticalOracle::new(&p);
+        let w1 = Workload::from_ids([ModelId::AlexNet, ModelId::ResNet50]);
+        let w2 = Workload::from_ids([ModelId::MobileNet]);
+        let ms1: Vec<Mapping> =
+            (0..3).map(|c| Mapping::uniform(&w1, ComponentId::new(c))).collect();
+        let ms2: Vec<Mapping> =
+            (0..3).map(|c| Mapping::uniform(&w2, ComponentId::new(c))).collect();
+        let queries: Vec<(&Workload, &[Mapping])> = vec![(&w1, &ms1), (&w2, &ms2), (&w1, &ms1)];
+        let grouped = o.predict_grouped(&queries);
+        assert_eq!(grouped.len(), 3);
+        assert_eq!(grouped[0], o.predict_batch(&w1, &ms1));
+        assert_eq!(grouped[1], o.predict_batch(&w2, &ms2));
+        assert_eq!(grouped[0], grouped[2], "identical queries answer identically");
     }
 
     #[test]

@@ -114,6 +114,11 @@ pub struct PlanCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    /// The [`rankmap_platform::Platform::signature`] this cache's plans
+    /// were produced on (`None` for an untagged, platform-agnostic cache,
+    /// e.g. a legacy snapshot). Embedded in snapshots so a plan recorded
+    /// on one board type can never be imported onto another.
+    platform: Option<String>,
 }
 
 /// An empty, unbounded cache (same as [`PlanCache::new`] — a derived
@@ -133,7 +138,24 @@ impl PlanCache {
             tick: 0,
             hits: 0,
             misses: 0,
+            platform: None,
         }
+    }
+
+    /// Tags this cache with the platform signature its plans are produced
+    /// on (see [`rankmap_platform::Platform::signature`]). The tag rides
+    /// along in [`PlanCache::to_json`] snapshots, and
+    /// [`PlanCache::validate_platform`] refuses to install a tagged
+    /// snapshot onto a different board type.
+    #[must_use]
+    pub fn for_platform(mut self, signature: impl Into<String>) -> Self {
+        self.platform = Some(signature.into());
+        self
+    }
+
+    /// The platform signature this cache is tagged with, if any.
+    pub fn platform(&self) -> Option<&str> {
+        self.platform.as_deref()
     }
 
     /// Creates an empty cache that holds at most `capacity` plans,
@@ -198,6 +220,22 @@ impl PlanCache {
         match self.max_component_index() {
             Some(max) if max >= component_count => Err(json::JsonError::semantic(format!(
                 "snapshot references component {max} but the platform has {component_count}"
+            ))),
+            _ => Ok(()),
+        }
+    }
+
+    /// Rejects the cache if it is tagged with a different platform
+    /// signature than `signature` — a plan priced on one board type must
+    /// never serve another, even when the component counts happen to line
+    /// up (shape validation alone cannot tell an Orange Pi from a
+    /// speed-binned clone). Untagged caches (legacy snapshots) pass and
+    /// fall back to shape-based validation only.
+    pub fn validate_platform(&self, signature: &str) -> Result<(), json::JsonError> {
+        match self.platform.as_deref() {
+            Some(tagged) if tagged != signature => Err(json::JsonError::semantic(format!(
+                "plan-cache snapshot was recorded on platform '{tagged}' and cannot be \
+                 imported onto '{signature}': cached plans never cross board types"
             ))),
             _ => Ok(()),
         }
@@ -346,8 +384,13 @@ impl PlanCache {
         } else {
             Json::Num(self.capacity as f64)
         };
+        let platform = match &self.platform {
+            Some(sig) => Json::Str(sig.clone()),
+            None => Json::Null,
+        };
         json::obj([
             ("plan_cache_version", Json::Num(1.0)),
+            ("platform", platform),
             ("capacity", capacity),
             ("entries", Json::Arr(entries)),
         ])
@@ -373,6 +416,11 @@ impl PlanCache {
                     .ok_or_else(|| bad("capacity must be a positive integer"))?;
                 PlanCache::with_capacity(capacity as usize)
             }
+        };
+        cache.platform = match root.get("platform") {
+            Some(Json::Str(sig)) => Some(sig.clone()),
+            Some(Json::Null) | None => None,
+            Some(_) => return Err(bad("platform must be a signature string or null")),
         };
         let entries = root
             .get("entries")
@@ -696,6 +744,30 @@ mod tests {
                   "reward_bits":"3ff0000000000000"}}]}}"#
         );
         assert!(PlanCache::from_json(&wrong_units).is_err());
+    }
+
+    #[test]
+    fn platform_tag_survives_snapshots_and_blocks_cross_board_imports() {
+        use rankmap_platform::Platform;
+        let orange = Platform::orange_pi_5().signature();
+        let jetson = Platform::jetson_orin_nx().signature();
+        let th = StarvationThreshold::default();
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let mut cache = PlanCache::new().for_platform(orange.clone());
+        cache.insert(&w, &[1.0], th, &fake_plan(&w, 0));
+        let snapshot = cache.to_json();
+        let restored = PlanCache::from_json(&snapshot).expect("load");
+        assert_eq!(restored.platform(), Some(orange.as_str()));
+        assert!(restored.validate_platform(&orange).is_ok());
+        let err = restored.validate_platform(&jetson).unwrap_err();
+        assert!(
+            err.to_string().contains("never cross board types"),
+            "mismatch must be a clear error: {err}"
+        );
+        // Untagged legacy snapshots remain importable anywhere.
+        let legacy = PlanCache::from_json(&PlanCache::new().to_json()).expect("load");
+        assert_eq!(legacy.platform(), None);
+        assert!(legacy.validate_platform(&jetson).is_ok());
     }
 
     #[test]

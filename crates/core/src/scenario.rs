@@ -3,7 +3,7 @@
 //! mixes, and priority churn.
 //!
 //! The generator and the runtime share one contract: the `k`-th
-//! [`DynamicEvent::Arrive`] of the stream owns [`InstanceId::new(k)`], so
+//! [`DynamicEvent::Arrive`] of the stream owns [`InstanceId::new`]`(k)`, so
 //! the generated departures always name live instances. Generated streams
 //! are sorted by time and deterministic given the seed — the stress tests
 //! and the `runtime_remap` bench replay identical scenarios.

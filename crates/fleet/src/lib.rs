@@ -1,25 +1,32 @@
 //! Fleet serving layer for the RankMap reproduction: multi-device
-//! sharding, priority-aware admission, and a trace-driven load generator.
+//! sharding — across *heterogeneous* board types — priority-aware
+//! admission, and a trace-driven load generator.
 //!
 //! The paper maps multi-DNN workloads onto *one* heterogeneous board;
 //! the ROADMAP's north star is a production-scale system serving heavy
-//! traffic. This crate is the bridge (see `docs/fleet.md`):
+//! traffic. This crate is the bridge (see `docs/fleet.md` and
+//! `docs/heterogeneous.md`):
 //!
-//! * [`FleetRuntime`] owns N device shards — each a `Platform` +
+//! * [`FleetRuntime`] owns N device shards — each its own `Platform` +
 //!   [`RankMapManager`](rankmap_core::manager::RankMapManager) (with its
 //!   own plan cache) + step-wise
 //!   [`RuntimeSession`](rankmap_core::runtime::RuntimeSession) — and
-//!   interleaves them on one global clock.
+//!   interleaves them on one global clock. A [`FleetSpec`] composes the
+//!   fleet from [`ShardSpec`] groups, so a mixed Orange-Pi/Jetson fleet
+//!   is as natural as a homogeneous one.
 //! * The **admission/placement layer** routes each arriving DNN instance
-//!   to the shard with the best predicted potential delta (scored through
-//!   [`ThroughputOracle::predict_batch`](rankmap_core::oracle::ThroughputOracle::predict_batch)),
-//!   rejects arrivals that would be starved everywhere, and rebalances a
-//!   shard whose potential collapses.
+//!   by *normalized* potential delta — fraction of each shard's own
+//!   board ideal, so dissimilar boards compete on equal terms — scored
+//!   through one fused
+//!   [`ThroughputOracle::predict_grouped`](rankmap_core::oracle::ThroughputOracle::predict_grouped)
+//!   call per platform group. It rejects arrivals that would be starved
+//!   everywhere and rebalances a shard whose potential collapses.
 //! * The **load generator** ([`load`]) offers Poisson, bursty on/off, and
 //!   diurnal arrival processes, and [`trace`] records/replays runs as
-//!   JSONL so any run is reproducible bit-for-bit from a trace file.
+//!   JSONL — including the fleet's platform mix (format version 2) — so
+//!   any run is reproducible bit-for-bit from a trace file.
 //!
-//! # Quickstart
+//! # Quickstart (homogeneous)
 //!
 //! ```no_run
 //! use rankmap_core::oracle::AnalyticalOracle;
@@ -38,6 +45,34 @@
 //!     outcome.metrics.aggregate_potential_seconds
 //! );
 //! ```
+//!
+//! # A heterogeneous fleet
+//!
+//! ```no_run
+//! use rankmap_core::oracle::AnalyticalOracle;
+//! use rankmap_fleet::{generate, FleetConfig, FleetRuntime, FleetSpec, LoadSpec, ShardSpec};
+//! use rankmap_platform::Platform;
+//!
+//! let orange = Platform::orange_pi_5();
+//! let jetson = Platform::jetson_orin_nx();
+//! let orange_oracle = AnalyticalOracle::new(&orange);
+//! let jetson_oracle = AnalyticalOracle::new(&jetson);
+//! let spec = FleetSpec::new(vec![
+//!     ShardSpec::new(&orange, &orange_oracle, 2),
+//!     ShardSpec::new(&jetson, &jetson_oracle, 2),
+//! ]);
+//! let fleet = FleetRuntime::new(&spec, FleetConfig::default());
+//! let load = LoadSpec::default();
+//! let outcome = fleet.execute(&generate(&load), load.horizon);
+//! for (platform, admitted) in outcome
+//!     .metrics
+//!     .per_shard_platform
+//!     .iter()
+//!     .zip(&outcome.metrics.per_shard_admitted)
+//! {
+//!     println!("{platform}: {admitted} admitted");
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,9 +80,11 @@
 pub mod load;
 pub mod metrics;
 pub mod runtime;
+pub mod spec;
 pub mod trace;
 
 pub use load::{generate, ArrivalProcess, FleetEvent, LoadSpec, RequestId};
 pub use metrics::{FleetMetrics, LatencyStats, PlacementOutcome, PlacementRecord};
 pub use runtime::{FleetConfig, FleetOutcome, FleetRuntime};
+pub use spec::{FleetSpec, ShardSpec};
 pub use trace::{Trace, TraceError, TraceMeta};

@@ -6,7 +6,7 @@
 //! lifetimes, and optional fleet-wide priority churn — the same
 //! primitives as the per-board scenario engine
 //! (`rankmap_core::scenario`), lifted to fleet scale. The `k`-th arrival
-//! of a stream owns [`RequestId::new(k)`], so departures always name a
+//! of a stream owns [`RequestId::new`]`(k)`, so departures always name a
 //! request that arrived earlier; streams are reproducible bit-for-bit
 //! from the seed, which is what makes trace record/replay
 //! ([`crate::trace`]) exact.
@@ -203,6 +203,31 @@ impl ArrivalProcess {
 }
 
 /// Load-generation configuration.
+///
+/// # Example
+///
+/// A bursty stream is fully determined by its spec — same seed, same
+/// events, which is what makes trace replay exact:
+///
+/// ```
+/// use rankmap_fleet::{generate, ArrivalProcess, FleetEvent, LoadSpec};
+///
+/// let spec = LoadSpec {
+///     horizon: 300.0,
+///     process: ArrivalProcess::OnOff {
+///         burst_rate: 0.5,
+///         idle_rate: 0.0,
+///         mean_burst: 20.0,
+///         mean_idle: 60.0,
+///     },
+///     seed: 7,
+///     ..Default::default()
+/// };
+/// let events = generate(&spec);
+/// assert_eq!(events, generate(&spec), "generation is deterministic");
+/// assert!(events.iter().all(|e| (0.0..spec.horizon).contains(&e.at())));
+/// assert!(events.iter().any(|e| matches!(e, FleetEvent::Arrive { .. })));
+/// ```
 #[derive(Debug, Clone)]
 pub struct LoadSpec {
     /// Stream length in seconds.

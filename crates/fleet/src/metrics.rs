@@ -55,6 +55,10 @@ pub struct FleetMetrics {
     pub per_shard_potential: Vec<f64>,
     /// Requests admitted per shard (including rebalance arrivals).
     pub per_shard_admitted: Vec<u64>,
+    /// Platform name of each shard, in shard order — on a heterogeneous
+    /// fleet this is the key for reading the per-shard columns (which
+    /// rows are Orange Pis, which are Jetsons).
+    pub per_shard_platform: Vec<String>,
     /// Aggregate fleet potential: Σ over shards, timeline points, and
     /// running DNNs of `potential · span` — potential-seconds of useful
     /// service. This is the `fleet_scale` bench's scaling figure.
@@ -72,6 +76,9 @@ pub struct LatencyStats {
     pub p99: Duration,
     /// Worst case.
     pub max: Duration,
+    /// Sum over all decisions — what a whole run spent deciding
+    /// placements (the `fleet_hetero` bench's fused-vs-serial figure).
+    pub total: Duration,
 }
 
 impl LatencyStats {
@@ -83,11 +90,18 @@ impl LatencyStats {
                 p50: Duration::ZERO,
                 p99: Duration::ZERO,
                 max: Duration::ZERO,
+                total: Duration::ZERO,
             };
         }
         samples.sort_unstable();
         let q = |p: usize| samples[(samples.len() - 1) * p / 100];
-        Self { samples: samples.len(), p50: q(50), p99: q(99), max: *samples.last().unwrap() }
+        Self {
+            samples: samples.len(),
+            p50: q(50),
+            p99: q(99),
+            max: *samples.last().unwrap(),
+            total: samples.iter().sum(),
+        }
     }
 }
 
@@ -103,6 +117,7 @@ mod tests {
         assert_eq!(stats.p50, Duration::from_micros(50));
         assert_eq!(stats.p99, Duration::from_micros(99));
         assert_eq!(stats.max, Duration::from_micros(100));
+        assert_eq!(stats.total, Duration::from_micros(5050));
     }
 
     #[test]

@@ -1,20 +1,41 @@
-//! The fleet runtime: N device shards behind one priority-aware
-//! admission/placement layer.
+//! The fleet runtime: N device shards — possibly of *different* board
+//! types — behind one priority-aware admission/placement layer.
 //!
-//! Each [`FleetRuntime`] shard is a full single-board serving stack — a
-//! `Platform`, a [`RankMapManager`] (with its own plan cache), and a
-//! step-wise [`RuntimeSession`] — interleaved on one global clock. An
-//! arriving DNN instance is routed by **predicted potential delta**: for
-//! every shard with capacity, the placement layer builds one candidate
-//! mapping per component (survivors keep their incumbent placements, the
-//! arrival is tried on each component), scores the batch through
-//! [`ThroughputOracle::predict_batch`], weighs the per-DNN potentials by
-//! the shard's priority vector, and admits onto the shard whose best
-//! candidate improves the fleet most. Arrivals whose best predicted
+//! Each [`FleetRuntime`] shard is a full single-board serving stack — its
+//! own `Platform`, a [`RankMapManager`] (with its own plan cache), and a
+//! step-wise [`RuntimeSession`] — interleaved on one global clock. The
+//! fleet's composition comes from a [`FleetSpec`]: ordered groups of
+//! identical shards, each group with its own platform
+//! profile and [`ThroughputOracle`] (a mixed Orange-Pi/Jetson fleet is
+//! two groups).
+//!
+//! An arriving DNN instance is routed by **normalized potential delta**:
+//! for every shard with capacity, the placement layer builds one
+//! candidate mapping per component (survivors keep their incumbent
+//! placements, the arrival is tried on each component), scores the
+//! candidates through the shard group's oracle, and folds per-DNN
+//! throughputs into priority-weighted *potentials* — each DNN's
+//! throughput divided by **that shard's own measured ideal rate** for the
+//! model. Normalization is what makes the comparison meaningful across
+//! dissimilar boards: a Jetson-class shard's raw inf/s would otherwise
+//! dominate every delta and starve slower boards of low-priority work
+//! they could serve fine (see `docs/heterogeneous.md`). The arrival is
+//! admitted onto the shard whose best candidate improves its
+//! fraction-of-board-ideal score the most; arrivals whose best predicted
 //! potential everywhere falls below the admission floor — or that find
 //! every shard at capacity — are **rejected** (spill), and a shard whose
 //! mean predicted potential collapses sheds its lowest-priority instance
-//! to a healthier shard (**rebalancing**, one migration per event).
+//! to a healthier shard (**rebalancing**, one migration per event,
+//! charged at the destination board's own transfer link).
+//!
+//! Placement scoring is **fused** by default
+//! ([`FleetConfig::fused_scoring`]): probes for all shards of a platform
+//! group are deduplicated (two idle Orange Pis ask the oracle the exact
+//! same question) and answered by one
+//! [`ThroughputOracle::predict_grouped`] call per oracle, instead of one
+//! `predict_batch` round-trip per shard. Fused and serial scoring make
+//! bit-identical decisions (tested); fused is the faster execution
+//! strategy at high shard counts (benchmarked in `fleet_hetero`).
 //!
 //! The candidate batch only *routes*; the shard's own mapper still runs
 //! its warm-started search (plan cache and all) once the instance lands,
@@ -22,6 +43,7 @@
 
 use crate::load::{FleetEvent, RequestId};
 use crate::metrics::{FleetMetrics, LatencyStats, PlacementOutcome, PlacementRecord};
+use crate::spec::FleetSpec;
 use crate::trace::Trace;
 use rankmap_core::dataset::ideal_rates;
 use rankmap_core::manager::{ManagerConfig, RankMapManager};
@@ -48,8 +70,9 @@ pub struct FleetConfig {
     pub manager: ManagerConfig,
     /// Hard per-shard concurrency cap — the admission backstop.
     pub max_per_shard: usize,
-    /// Minimum predicted potential an arrival must reach on its best
-    /// candidate shard to be admitted; below it the request is rejected.
+    /// Minimum predicted potential (fraction of the *hosting shard's*
+    /// ideal rate) an arrival must reach on its best candidate shard to
+    /// be admitted; below it the request is rejected.
     pub admission_floor: f64,
     /// Expected residency window handed to shard sessions as the remap
     /// decision's integration horizon (seconds).
@@ -64,6 +87,12 @@ pub struct FleetConfig {
     pub objective: GainObjective,
     /// Migration awareness of every shard runtime.
     pub migration_aware: bool,
+    /// Whether placement probes are answered through one fused
+    /// [`ThroughputOracle::predict_grouped`] call per platform group
+    /// (with duplicate probes deduplicated) instead of one
+    /// `predict_batch` call per shard. Decisions are bit-identical either
+    /// way; `false` keeps the serial path for A/B benchmarking.
+    pub fused_scoring: bool,
 }
 
 impl Default for FleetConfig {
@@ -82,13 +111,24 @@ impl Default for FleetConfig {
             rebalance_margin: 0.05,
             objective: GainObjective::default(),
             migration_aware: true,
+            fused_scoring: true,
         }
     }
 }
 
-/// One device shard: its mapper (manager + priority mode) and its
+/// One device shard: its board, mapper (manager + priority mode), and
 /// step-wise serving session.
 struct Shard<'p, O: ThroughputOracle> {
+    /// The shard's own board profile.
+    platform: &'p Platform,
+    /// The oracle scoring this shard's placements (shared by its group).
+    oracle: &'p O,
+    /// Index of the shard's [`FleetSpec`] group — the fused scorer's
+    /// batching domain.
+    group: usize,
+    /// Per-model ideal rates measured on *this* board — the normalization
+    /// denominators of every potential this shard reports.
+    ideals: HashMap<ModelId, f64>,
     mapper: RankMapMapper<'p, O>,
     session: RuntimeSession<'p>,
     /// Memoized oracle prediction of the current (workload, incumbent)
@@ -97,42 +137,109 @@ struct Shard<'p, O: ThroughputOracle> {
     /// `apply` runs — so the prediction is cached here and invalidated on
     /// apply.
     incumbent_prediction: std::cell::RefCell<Option<Vec<f64>>>,
+    /// Memoized current (workload, incumbent mapping) pair — building a
+    /// `Workload` constructs full per-model layer graphs, far too
+    /// expensive to repeat for every probe of every offered event.
+    /// `None` = not computed yet; `Some(None)` = computed, shard idle.
+    /// Invalidated on apply.
+    current_state: std::cell::RefCell<Option<Option<ShardState>>>,
+    /// Memoized placement-probe trial workloads (live set + arrival),
+    /// keyed by arrival model. Invalidated on apply.
+    trial_cache: std::cell::RefCell<HashMap<ModelId, std::rc::Rc<Workload>>>,
 }
+
+/// A shard's current (workload, incumbent mapping) pair, shared out of
+/// the memo without cloning the underlying layer graphs.
+type ShardState = std::rc::Rc<(Workload, Mapping)>;
+
+/// The fused scorer's memo of oracle answers: one map per platform
+/// group, keyed by probe fingerprint (lookups borrow the fingerprint as
+/// `&[u8]` — no allocation on the hot path).
+type ProbeMemo = Vec<HashMap<Vec<u8>, Vec<Vec<f64>>>>;
 
 impl<O: ThroughputOracle> Shard<'_, O> {
     fn live_len(&self) -> usize {
         self.session.live().len()
     }
 
-    /// Current workload + incumbent mapping, in live order.
-    fn current(&self) -> Option<(Workload, Mapping)> {
-        if self.session.live().is_empty() {
-            return None;
-        }
-        let workload = Workload::from_ids(self.session.live().iter().map(|(_, m)| *m));
-        let per_dnn: Vec<Vec<ComponentId>> = self
-            .session
-            .live()
-            .iter()
-            .map(|(id, _)| self.session.placement(*id).expect("live instance placed").to_vec())
-            .collect();
-        Some((workload, Mapping::new(per_dnn)))
+    /// Current workload + incumbent mapping in live order, memoized until
+    /// the next `apply` (`None` when idle).
+    fn current(&self) -> Option<ShardState> {
+        self.current_state
+            .borrow_mut()
+            .get_or_insert_with(|| {
+                if self.session.live().is_empty() {
+                    return None;
+                }
+                let workload =
+                    Workload::from_ids(self.session.live().iter().map(|(_, m)| *m));
+                let per_dnn: Vec<Vec<ComponentId>> = self
+                    .session
+                    .live()
+                    .iter()
+                    .map(|(id, _)| {
+                        self.session.placement(*id).expect("live instance placed").to_vec()
+                    })
+                    .collect();
+                Some(std::rc::Rc::new((workload, Mapping::new(per_dnn))))
+            })
+            .clone()
+    }
+
+    /// The probe trial workload for an arriving `model` (live set first,
+    /// arrival appended), memoized until the next `apply`.
+    fn trial(&self, model: ModelId) -> std::rc::Rc<Workload> {
+        self.trial_cache
+            .borrow_mut()
+            .entry(model)
+            .or_insert_with(|| {
+                std::rc::Rc::new(Workload::from_ids(
+                    self.session
+                        .live()
+                        .iter()
+                        .map(|(_, m)| *m)
+                        .chain(std::iter::once(model)),
+                ))
+            })
+            .clone()
     }
 
     /// The oracle's per-DNN prediction for the current incumbent,
     /// memoized until the next `apply`.
-    fn predict_incumbent(&self, oracle: &O, workload: &Workload, incumbent: &Mapping) -> Vec<f64> {
+    fn predict_incumbent(&self, workload: &Workload, incumbent: &Mapping) -> Vec<f64> {
         self.incumbent_prediction
             .borrow_mut()
-            .get_or_insert_with(|| oracle.predict(workload, incumbent))
+            .get_or_insert_with(|| self.oracle.predict(workload, incumbent))
             .clone()
     }
 
     fn apply(&mut self, at: f64, events: &[DynamicEvent], window: f64) -> Vec<InstanceId> {
         self.incumbent_prediction.get_mut().take();
+        self.current_state.get_mut().take();
+        self.trial_cache.get_mut().clear();
         self.session.advance_to(at);
         self.session.apply(events, window, &mut self.mapper)
     }
+}
+
+/// One prepared placement probe: everything needed to score one shard for
+/// one arrival, minus the oracle's answers.
+struct Probe {
+    shard: usize,
+    group: usize,
+    trial: std::rc::Rc<Workload>,
+    candidates: Vec<Mapping>,
+    weights: Vec<f64>,
+    /// The shard's current weighted potential (0 when idle) — the
+    /// baseline the delta is measured against.
+    before: f64,
+    /// The arrival model's ideal rate on this shard's board.
+    arrival_ideal: f64,
+    /// Dedup fingerprint: two probes of the same group with equal keys
+    /// are the identical oracle question (same trial set, same survivor
+    /// placements, same weights) and share one evaluation under fused
+    /// scoring.
+    key: Vec<u8>,
 }
 
 /// Where an admitted request currently runs.
@@ -157,20 +264,105 @@ pub struct FleetOutcome {
     pub placement_latency: LatencyStats,
 }
 
+/// Upper bound on memoized probe answers before the fused scorer resets
+/// its memo wholesale (each entry is one probe's candidate predictions —
+/// a few hundred bytes).
+const PROBE_MEMO_BOUND: usize = 8_192;
+
 /// A fleet of emulated boards behind one admission/placement layer.
 pub struct FleetRuntime<'p, O: ThroughputOracle> {
-    platform: &'p Platform,
-    oracle: &'p O,
     config: FleetConfig,
-    components: usize,
-    ideals: HashMap<ModelId, f64>,
+    /// Per-group oracle, indexed by [`Shard::group`].
+    group_oracles: Vec<&'p O>,
+    /// Per-shard platform names, in shard order (the trace's fleet mix).
+    platforms: Vec<String>,
+    /// The fused scorer's cross-event memo: per-group oracle answers
+    /// keyed by probe fingerprint. A fingerprint fully determines the
+    /// question (trial set, survivor placements, weights), so entries are
+    /// pure and never stale; the maps reset wholesale past
+    /// [`PROBE_MEMO_BOUND`].
+    probe_memo: std::cell::RefCell<ProbeMemo>,
     shards: Vec<Shard<'p, O>>,
 }
 
 impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
+    /// Builds a fleet from a [`FleetSpec`]: each group contributes
+    /// `count` shards on its own platform, with per-model ideal rates
+    /// measured once per group and cloned into its shards.
+    ///
+    /// # Example
+    ///
+    /// A two-board mixed fleet serving two arrivals (tiny search budgets
+    /// keep this runnable as a doctest):
+    ///
+    /// ```
+    /// use rankmap_core::manager::ManagerConfig;
+    /// use rankmap_core::oracle::AnalyticalOracle;
+    /// use rankmap_fleet::{FleetConfig, FleetEvent, FleetRuntime, FleetSpec, RequestId, ShardSpec};
+    /// use rankmap_models::ModelId;
+    /// use rankmap_platform::Platform;
+    ///
+    /// let orange = Platform::orange_pi_5();
+    /// let jetson = Platform::jetson_orin_nx();
+    /// let orange_oracle = AnalyticalOracle::new(&orange);
+    /// let jetson_oracle = AnalyticalOracle::new(&jetson);
+    /// let spec = FleetSpec::new(vec![
+    ///     ShardSpec::new(&orange, &orange_oracle, 1),
+    ///     ShardSpec::new(&jetson, &jetson_oracle, 1),
+    /// ]);
+    /// let config = FleetConfig {
+    ///     manager: ManagerConfig { mcts_iterations: 40, warm_iterations: 20, ..Default::default() },
+    ///     ..Default::default()
+    /// };
+    /// let fleet = FleetRuntime::new(&spec, config);
+    /// assert_eq!(fleet.platform_names(), ["orange-pi-5", "jetson-orin-nx"]);
+    /// let events = vec![
+    ///     FleetEvent::Arrive { at: 0.0, request: RequestId::new(0), model: ModelId::AlexNet },
+    ///     FleetEvent::Arrive { at: 10.0, request: RequestId::new(1), model: ModelId::ResNet50 },
+    /// ];
+    /// let outcome = fleet.execute(&events, 60.0);
+    /// assert_eq!(outcome.metrics.admitted, 2);
+    /// ```
+    pub fn new(spec: &FleetSpec<'p, O>, config: FleetConfig) -> Self {
+        let mut shards = Vec::with_capacity(spec.shard_count());
+        let mut group_oracles = Vec::with_capacity(spec.groups().len());
+        for (g, group) in spec.groups().iter().enumerate() {
+            group_oracles.push(group.oracle);
+            let ideals = ideal_rates(group.platform, &ModelId::all());
+            let runtime = DynamicRuntime::new(group.platform, config.sample_dt)
+                .with_gain_objective(config.objective)
+                .with_migration_awareness(config.migration_aware);
+            for _ in 0..group.count {
+                let i = shards.len();
+                shards.push(Shard {
+                    platform: group.platform,
+                    oracle: group.oracle,
+                    group: g,
+                    ideals: ideals.clone(),
+                    mapper: RankMapMapper::new(
+                        RankMapManager::new(group.platform, group.oracle, config.manager),
+                        PriorityMode::Dynamic,
+                        format!("shard-{i}"),
+                    ),
+                    session: runtime.session_with_ideals(ideals.clone()),
+                    incumbent_prediction: std::cell::RefCell::new(None),
+                    current_state: std::cell::RefCell::new(None),
+                    trial_cache: std::cell::RefCell::new(HashMap::new()),
+                });
+            }
+        }
+        Self {
+            config,
+            probe_memo: std::cell::RefCell::new(vec![HashMap::new(); group_oracles.len()]),
+            group_oracles,
+            platforms: spec.platform_names(),
+            shards,
+        }
+    }
+
     /// Builds a homogeneous fleet: `shards` copies of the same platform
-    /// served by one shared oracle. Per-model ideal rates are measured
-    /// once and shared across shards.
+    /// served by one shared oracle (shorthand for
+    /// [`FleetSpec::homogeneous`] + [`FleetRuntime::new`]).
     ///
     /// # Panics
     ///
@@ -182,29 +374,7 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
         config: FleetConfig,
     ) -> Self {
         assert!(shards > 0, "a fleet needs at least one shard");
-        let ideals = ideal_rates(platform, &ModelId::all());
-        let runtime = DynamicRuntime::new(platform, config.sample_dt)
-            .with_gain_objective(config.objective)
-            .with_migration_awareness(config.migration_aware);
-        let shards = (0..shards)
-            .map(|i| Shard {
-                mapper: RankMapMapper::new(
-                    RankMapManager::new(platform, oracle, config.manager),
-                    PriorityMode::Dynamic,
-                    format!("shard-{i}"),
-                ),
-                session: runtime.session_with_ideals(ideals.clone()),
-                incumbent_prediction: std::cell::RefCell::new(None),
-            })
-            .collect();
-        Self {
-            platform,
-            oracle,
-            config,
-            components: platform.component_count(),
-            ideals,
-            shards,
-        }
+        Self::new(&FleetSpec::homogeneous(platform, oracle, shards), config)
     }
 
     /// Number of shards.
@@ -212,51 +382,77 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
         self.shards.len()
     }
 
-    /// Boots every shard's plan cache from a
+    /// Per-shard platform names, in shard order — the fleet mix a trace
+    /// records and replay verifies.
+    pub fn platform_names(&self) -> &[String] {
+        &self.platforms
+    }
+
+    /// Boots shard plan caches from a
     /// [`RankMapManager::export_plan_cache`] snapshot ("serve yesterday's
-    /// plans"). The snapshot is parsed and bounds-checked once, then
-    /// cloned into every shard. Returns the number of plans serving per
-    /// shard.
+    /// plans"). The snapshot is parsed once, then installed onto every
+    /// shard whose board it was recorded for: a platform-tagged snapshot
+    /// only warms shards with the matching
+    /// [`Platform::signature`], and an untagged (legacy) snapshot only
+    /// shards it shape-validates against — on a mixed fleet the other
+    /// shards simply boot cold. Returns the number of plans serving per
+    /// warmed shard.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the snapshot does not parse, or if *no* shard of the
+    /// fleet can accept it (wrong board type everywhere).
     pub fn warm_plan_caches(
         &self,
         json: &str,
     ) -> Result<usize, rankmap_core::json::JsonError> {
         let loaded = rankmap_core::plan_cache::PlanCache::from_json(json)?;
-        loaded.validate_components(self.components)?;
-        let mut served = 0;
+        let mut served = None;
+        let mut last_err = None;
         for shard in &self.shards {
-            served = shard.mapper.manager().install_plan_cache(loaded.clone());
+            let compatible = loaded
+                .validate_platform(&shard.platform.signature())
+                .and_then(|()| loaded.validate_components(shard.platform.component_count()));
+            match compatible {
+                Ok(()) => {
+                    served = Some(shard.mapper.manager().install_plan_cache(loaded.clone()));
+                }
+                Err(e) => last_err = Some(e),
+            }
         }
-        Ok(served)
+        match served {
+            Some(n) => Ok(n),
+            None => Err(last_err.unwrap_or_else(|| {
+                rankmap_core::json::JsonError::semantic("the fleet has no shards")
+            })),
+        }
     }
 
-    /// Scores placing `model` onto shard `s`: `(best weighted-potential
-    /// delta, arrival's predicted potential under the best candidate)`.
-    /// `None` if the shard is at capacity.
-    fn score_shard(&self, s: usize, model: ModelId) -> Option<(f64, f64)> {
+    /// Prepares the placement probe for shard `s` and an arriving
+    /// `model`: trial workload, per-component candidates, weights, and
+    /// the shard's baseline score. `None` if the shard is at capacity.
+    fn build_probe(&self, s: usize, model: ModelId) -> Option<Probe> {
         let shard = &self.shards[s];
         if shard.live_len() >= self.config.max_per_shard {
             return None;
         }
-        let ideal = ideal_rate_of(&self.ideals, model);
+        let arrival_ideal = ideal_rate_of(&shard.ideals, model);
         // Trial workload: survivors first (keeping their incumbent
         // placements), the arrival appended, tried on every component.
-        let trial = Workload::from_ids(
-            shard.session.live().iter().map(|(_, m)| *m).chain(std::iter::once(model)),
-        );
+        let trial = shard.trial(model);
         // One weight basis for both sides of the delta: the trial
         // workload's resolved vector, its survivor prefix applied to the
         // "before" score. Scoring "before" under the n-DNN vector would
         // let a Static→Dynamic fallback (effective_mode on the n+1
         // workload) masquerade as a placement gain.
         let weights = priorities_or_uniform(&shard.mapper, &trial);
-        let current = shard.current();
-        let (before, survivors) = match &current {
+        let (before, survivors) = match shard.current() {
             None => (0.0, Vec::new()),
-            Some((workload, incumbent)) => {
-                let per_dnn = shard.predict_incumbent(self.oracle, workload, incumbent);
+            Some(state) => {
+                let (workload, incumbent) = (&state.0, &state.1);
+                let per_dnn = shard.predict_incumbent(workload, incumbent);
                 let score = weighted_potential(
-                    &self.ideals,
+                    &shard.ideals,
                     workload,
                     &per_dnn,
                     &weights[..workload.len()],
@@ -265,14 +461,43 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
             }
         };
         let arrival_units = trial.models().last().expect("arrival present").unit_count();
-        let candidates: Vec<Mapping> = (0..self.components)
+        let candidates: Vec<Mapping> = (0..shard.platform.component_count())
             .map(|c| {
                 let mut per_dnn = survivors.clone();
                 per_dnn.push(vec![ComponentId::new(c); arrival_units]);
                 Mapping::new(per_dnn)
             })
             .collect();
-        let predictions = self.oracle.predict_batch(&trial, &candidates);
+        // Fingerprint the oracle question for fused dedup: model ids,
+        // survivor placements, and the weight vector pin the answer.
+        let mut key = Vec::with_capacity(trial.len() * 9 + survivors.len() * 8);
+        for m in trial.models() {
+            key.push(m.id() as u8);
+        }
+        for assign in &survivors {
+            key.push(0xFF);
+            key.extend(assign.iter().map(|c| c.index() as u8));
+        }
+        for w in &weights {
+            key.extend_from_slice(&w.to_bits().to_le_bytes());
+        }
+        Some(Probe {
+            shard: s,
+            group: shard.group,
+            trial,
+            candidates,
+            weights,
+            before,
+            arrival_ideal,
+            key,
+        })
+    }
+
+    /// Folds the oracle's candidate predictions into a shard score:
+    /// `(best normalized-potential delta, arrival's predicted potential
+    /// under the best candidate)`.
+    fn fold_probe(&self, probe: &Probe, predictions: &[Vec<f64>]) -> Option<(f64, f64)> {
+        let ideals = &self.shards[probe.shard].ideals;
         // Prefer the best-scoring candidate that clears the admission
         // floor; only when *no* component placement clears it does the
         // shard report a below-floor arrival (and get skipped by
@@ -281,9 +506,9 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
         // serve fine.
         let mut best_any: Option<(f64, f64)> = None;
         let mut best_clearing: Option<(f64, f64)> = None;
-        for per_dnn in &predictions {
-            let arrival_pot = per_dnn.last().copied().unwrap_or(0.0) / ideal;
-            let score = weighted_potential(&self.ideals, &trial, per_dnn, &weights);
+        for per_dnn in predictions {
+            let arrival_pot = per_dnn.last().copied().unwrap_or(0.0) / probe.arrival_ideal;
+            let score = weighted_potential(ideals, &probe.trial, per_dnn, &probe.weights);
             if best_any.is_none_or(|(b, _)| score > b) {
                 best_any = Some((score, arrival_pot));
             }
@@ -295,16 +520,121 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
         }
         best_clearing
             .or(best_any)
-            .map(|(score, arrival_pot)| (score - before, arrival_pot))
+            .map(|(score, arrival_pot)| (score - probe.before, arrival_pot))
     }
 
-    /// The admission/placement decision: the shard with the best predicted
-    /// potential delta whose arrival potential clears the floor, or `None`
-    /// (reject).
+    /// Scores placing `model` onto shard `s` through the serial path:
+    /// `(best normalized-potential delta, arrival's predicted potential
+    /// under the best candidate)`. `None` if the shard is at capacity.
+    fn score_shard(&self, s: usize, model: ModelId) -> Option<(f64, f64)> {
+        let probe = self.build_probe(s, model)?;
+        let predictions =
+            self.shards[s].oracle.predict_batch(&probe.trial, &probe.candidates);
+        self.fold_probe(&probe, &predictions)
+    }
+
+    /// Scores placing `model` on every shard: `scores[s]` is the shard's
+    /// `(normalized potential delta, arrival potential)` — the router's
+    /// decision inputs — or `None` for shards at capacity. Potentials are
+    /// fractions of each shard's *own* board ideal, so the numbers are
+    /// comparable across a mixed fleet.
+    ///
+    /// Under [`FleetConfig::fused_scoring`] the probes are grouped per
+    /// platform, deduplicated — within the event (two idle Orange Pis ask
+    /// the identical question) *and* across events (a probe's fingerprint
+    /// fully determines the oracle's answer, so a shard whose state has
+    /// not changed since the same model last arrived is answered from the
+    /// probe memo) — and the remaining unique questions answered by one
+    /// [`ThroughputOracle::predict_grouped`] call per oracle. Otherwise
+    /// each shard is scored by its own `predict_batch` call. Both paths
+    /// produce bit-identical scores.
+    pub fn probe_scores(&self, model: ModelId) -> Vec<Option<(f64, f64)>> {
+        self.probe_scores_excluding(model, None)
+    }
+
+    /// [`FleetRuntime::probe_scores`] with an optional shard left out
+    /// entirely (no probe built, no oracle question) — the rebalancer
+    /// scores a victim's destinations this way so the source shard never
+    /// costs an evaluation it is about to discard.
+    fn probe_scores_excluding(
+        &self,
+        model: ModelId,
+        exclude: Option<usize>,
+    ) -> Vec<Option<(f64, f64)>> {
+        let mut scores: Vec<Option<(f64, f64)>> = vec![None; self.shards.len()];
+        if !self.config.fused_scoring {
+            for (s, score) in scores.iter_mut().enumerate() {
+                if Some(s) != exclude {
+                    *score = self.score_shard(s, model);
+                }
+            }
+            return scores;
+        }
+        let probes: Vec<Probe> = (0..self.shards.len())
+            .filter(|&s| Some(s) != exclude)
+            .filter_map(|s| self.build_probe(s, model))
+            .collect();
+        for g in 0..self.group_oracles.len() {
+            // Deduplicate this group's probes against the cross-event
+            // memo and against each other: every distinct oracle question
+            // is asked exactly once.
+            let members: Vec<&Probe> = probes.iter().filter(|p| p.group == g).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut unique: Vec<&Probe> = Vec::new();
+            let mut slot_of: HashMap<&[u8], usize> = HashMap::new();
+            // Answer per member: Ok(memoized predictions) or Err(slot
+            // into the unique list awaiting this event's grouped call).
+            let memo = self.probe_memo.borrow();
+            let pending: Vec<Result<Vec<Vec<f64>>, usize>> = members
+                .iter()
+                .map(|probe| {
+                    if let Some(hit) = memo[g].get(probe.key.as_slice()) {
+                        return Ok(hit.clone());
+                    }
+                    Err(*slot_of.entry(probe.key.as_slice()).or_insert_with(|| {
+                        unique.push(probe);
+                        unique.len() - 1
+                    }))
+                })
+                .collect();
+            drop(memo);
+            let queries: Vec<(&Workload, &[Mapping])> =
+                unique.iter().map(|p| (p.trial.as_ref(), p.candidates.as_slice())).collect();
+            let predictions = self.group_oracles[g].predict_grouped(&queries);
+            {
+                let mut memo = self.probe_memo.borrow_mut();
+                // The memo is pure (key ⇒ answer), so staleness is
+                // impossible; the only pressure is memory, handled by a
+                // wholesale reset past the bound.
+                if memo.iter().map(HashMap::len).sum::<usize>() + unique.len()
+                    > PROBE_MEMO_BOUND
+                {
+                    memo.iter_mut().for_each(HashMap::clear);
+                }
+                for (probe, answer) in unique.iter().zip(&predictions) {
+                    memo[g].insert(probe.key.clone(), answer.clone());
+                }
+            }
+            for (probe, answer) in members.iter().zip(&pending) {
+                let predictions = match answer {
+                    Ok(memoized) => memoized,
+                    Err(slot) => &predictions[*slot],
+                };
+                scores[probe.shard] = self.fold_probe(probe, predictions);
+            }
+        }
+        scores
+    }
+
+    /// The admission/placement decision: the shard with the best
+    /// normalized potential delta whose arrival potential clears the
+    /// floor, or `None` (reject).
     fn place(&self, model: ModelId) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;
-        for s in 0..self.shards.len() {
-            let Some((delta, arrival_pot)) = self.score_shard(s, model) else { continue };
+        for (s, score) in self.probe_scores(model).into_iter().enumerate() {
+            let Some((delta, arrival_pot)) = score else { continue };
             if arrival_pot < self.config.admission_floor {
                 continue;
             }
@@ -315,27 +645,32 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
         best
     }
 
-    /// Unweighted mean potential of a predicted report — the collapse
-    /// signal the rebalancer watches (and re-checks on the survivor set).
-    fn uniform_mean_potential(&self, workload: &Workload, per_dnn: &[f64]) -> f64 {
+    /// Unweighted mean potential of a predicted report under a shard's
+    /// own ideals — the collapse signal the rebalancer watches (and
+    /// re-checks on the survivor set).
+    fn uniform_mean_potential(&self, s: usize, workload: &Workload, per_dnn: &[f64]) -> f64 {
         let uniform = vec![1.0; workload.len()];
-        weighted_potential(&self.ideals, workload, per_dnn, &uniform) / workload.len() as f64
+        weighted_potential(&self.shards[s].ideals, workload, per_dnn, &uniform)
+            / workload.len() as f64
     }
 
     /// Mean predicted potential of a shard's current workload under its
     /// incumbent mapping (`None` when idle).
     fn shard_mean_potential(&self, s: usize) -> Option<f64> {
         let shard = &self.shards[s];
-        let (workload, incumbent) = shard.current()?;
-        let per_dnn = shard.predict_incumbent(self.oracle, &workload, &incumbent);
-        Some(self.uniform_mean_potential(&workload, &per_dnn))
+        let state = shard.current()?;
+        let per_dnn = shard.predict_incumbent(&state.0, &state.1);
+        Some(self.uniform_mean_potential(s, &state.0, &per_dnn))
     }
 
     /// One rebalance attempt at time `t`: if some shard's mean predicted
     /// potential collapsed below the threshold, move its lowest-priority
     /// instance to the shard that takes it best — provided the move
     /// clears the admission floor at the destination and improves the
-    /// source by the configured margin. Returns the migration performed.
+    /// source by the configured margin. Because every quantity involved
+    /// is a fraction of the owning board's ideal, a collapsed Jetson can
+    /// shed onto an Orange Pi (and vice versa) on equal terms. Returns
+    /// the migration performed.
     fn maybe_rebalance(
         &mut self,
         t: f64,
@@ -350,8 +685,9 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
             return None;
         }
         // Victim: the live instance with the smallest priority weight.
-        let (workload, incumbent) = self.shards[src].current()?;
-        let weights = priorities_or_uniform(&self.shards[src].mapper, &workload);
+        let state = self.shards[src].current()?;
+        let (workload, incumbent) = (&state.0, &state.1);
+        let weights = priorities_or_uniform(&self.shards[src].mapper, workload);
         let victim_idx = weights
             .iter()
             .enumerate()
@@ -372,22 +708,29 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
                 .map(|(_, assign)| assign.clone())
                 .collect(),
         );
-        let healed = self
-            .uniform_mean_potential(&survivors, &self.oracle.predict(&survivors, &survivor_mapping));
+        let healed = self.uniform_mean_potential(
+            src,
+            &survivors,
+            &self.shards[src].oracle.predict(&survivors, &survivor_mapping),
+        );
         if healed < src_mean + self.config.rebalance_margin {
             return None;
         }
         // Best destination (capacity + floor), excluding the source. The
         // destination's own predicted loss must not exceed the source's
         // predicted healing (heuristically comparing the weighted delta
-        // against the uniform mean gain — both potential-scale), so a
-        // move that hurts the fleet more than it heals the source never
-        // fires and migrations cannot thrash between loaded shards.
+        // against the uniform mean gain — both normalized
+        // fraction-of-ideal scale, so the comparison holds across board
+        // types), so a move that hurts the fleet more than it heals the
+        // source never fires and migrations cannot thrash between loaded
+        // shards.
         let healing = healed - src_mean;
-        let dst = (0..self.shards.len())
-            .filter(|&s| s != src)
-            .filter_map(|s| {
-                self.score_shard(s, victim_model).and_then(|(delta, arrival_pot)| {
+        let dst = self
+            .probe_scores_excluding(victim_model, Some(src))
+            .into_iter()
+            .enumerate()
+            .filter_map(|(s, score)| {
+                score.and_then(|(delta, arrival_pot)| {
                     (arrival_pot >= self.config.admission_floor && delta >= -healing)
                         .then_some((s, delta))
                 })
@@ -397,15 +740,17 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
         // Execute: depart from the source, arrive at the destination. The
         // receiving board is not free — charge it (at least) the full
         // on-board restage of the victim's weights plus its stem rebuild,
-        // so rebalancing cannot ping-pong instances at no modeled cost.
+        // over *its own* transfer link, so rebalancing cannot ping-pong
+        // instances at no modeled cost.
         let window = self.config.decision_window;
         self.shards[src].apply(t, &[DynamicEvent::depart(t, victim_id)], window);
         let assigned =
             self.shards[dst].apply(t, &[DynamicEvent::arrive(t, victim_model)], window);
         let new_id = assigned[0];
         let victim_workload = Workload::from_ids([victim_model]);
-        let transfer =
-            MigrationModel::new(self.platform).full_restage(&victim_workload).stall_seconds;
+        let transfer = MigrationModel::new(self.shards[dst].platform)
+            .full_restage(&victim_workload)
+            .stall_seconds;
         self.shards[dst].session.charge_stall(transfer);
         if let Some(entry) = requests.values_mut().find(|d| {
             matches!(d, Disposition::Active { shard, instance }
@@ -526,6 +871,7 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
                 migrations,
                 per_shard_potential,
                 per_shard_admitted,
+                per_shard_platform: self.platforms,
                 aggregate_potential_seconds,
             },
             placements,
@@ -535,17 +881,26 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
     }
 
     /// Replays a recorded trace (see [`Trace`]): the trace's shard count
-    /// must match this fleet's.
+    /// — and, for version-2 traces, its per-shard platform mix — must
+    /// match this fleet's.
     ///
     /// # Panics
     ///
-    /// Panics if `trace.meta.shards != self.shard_count()`.
+    /// Panics if `trace.meta.shards != self.shard_count()`, or if the
+    /// trace declares a platform mix that differs from this fleet's
+    /// [`FleetRuntime::platform_names`].
     pub fn execute_trace(self, trace: &Trace) -> FleetOutcome {
         assert_eq!(
             trace.meta.shards,
             self.shard_count(),
             "trace was recorded for a different fleet size"
         );
+        if !trace.meta.platforms.is_empty() {
+            assert_eq!(
+                trace.meta.platforms, self.platforms,
+                "trace was recorded on a different fleet platform mix"
+            );
+        }
         self.execute(&trace.events, trace.meta.horizon)
     }
 }
@@ -553,6 +908,7 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::ShardSpec;
     use rankmap_core::oracle::AnalyticalOracle;
 
     fn quick_config() -> FleetConfig {
@@ -700,5 +1056,112 @@ mod tests {
         let fleet = FleetRuntime::homogeneous(&p, &oracle, 3, quick_config());
         let served = fleet.warm_plan_caches(&snapshot).expect("snapshot loads");
         assert_eq!(served, 1);
+    }
+
+    #[test]
+    fn warm_plan_caches_skip_mismatched_boards_on_a_mixed_fleet() {
+        let orange = Platform::orange_pi_5();
+        let jetson = Platform::jetson_orin_nx();
+        let orange_oracle = AnalyticalOracle::new(&orange);
+        let jetson_oracle = AnalyticalOracle::new(&jetson);
+        // Yesterday's plans were recorded on an Orange Pi.
+        let mgr = RankMapManager::new(
+            &orange,
+            &orange_oracle,
+            ManagerConfig { mcts_iterations: 80, ..Default::default() },
+        );
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let _ = mgr.map_cached(&w, &PriorityMode::Dynamic);
+        let snapshot = mgr.export_plan_cache();
+        // A mixed fleet warms only its Orange Pi shards with them.
+        let spec = FleetSpec::new(vec![
+            ShardSpec::new(&orange, &orange_oracle, 1),
+            ShardSpec::new(&jetson, &jetson_oracle, 1),
+        ]);
+        let fleet = FleetRuntime::new(&spec, quick_config());
+        assert_eq!(fleet.warm_plan_caches(&snapshot).expect("orange shards warm"), 1);
+        // A Jetson-only fleet refuses the snapshot outright.
+        let jetson_fleet = FleetRuntime::homogeneous(&jetson, &jetson_oracle, 2, quick_config());
+        let err = jetson_fleet.warm_plan_caches(&snapshot).unwrap_err();
+        assert!(
+            err.to_string().contains("never cross board types"),
+            "a wrong-board snapshot must fail loudly: {err}"
+        );
+    }
+
+    #[test]
+    fn fused_and_serial_scoring_make_identical_decisions() {
+        // Fused scoring is an execution strategy, not a policy: a mixed
+        // fleet must admit, place, reject, and rebalance identically with
+        // it on or off.
+        let orange = Platform::orange_pi_5();
+        let jetson = Platform::jetson_orin_nx();
+        let orange_oracle = AnalyticalOracle::new(&orange);
+        let jetson_oracle = AnalyticalOracle::new(&jetson);
+        let spec = || {
+            FleetSpec::new(vec![
+                ShardSpec::new(&orange, &orange_oracle, 2),
+                ShardSpec::new(&jetson, &jetson_oracle, 2),
+            ])
+        };
+        let events: Vec<FleetEvent> = [
+            ModelId::ResNet50,
+            ModelId::AlexNet,
+            ModelId::InceptionV4,
+            ModelId::MobileNet,
+            ModelId::Vgg16,
+            ModelId::SqueezeNetV2,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(k, &m)| arrive(k as f64 * 5.0, k as u64, m))
+        .collect();
+        let fused = FleetRuntime::new(&spec(), quick_config()).execute(&events, 120.0);
+        let serial = FleetRuntime::new(
+            &spec(),
+            FleetConfig { fused_scoring: false, ..quick_config() },
+        )
+        .execute(&events, 120.0);
+        assert_eq!(fused.placements, serial.placements);
+        assert_eq!(fused.metrics, serial.metrics);
+        assert_eq!(fused.timelines, serial.timelines);
+    }
+
+    #[test]
+    fn fast_board_does_not_monopolize_normalized_routing() {
+        // The heterogeneity point: under normalized scoring an idle
+        // Orange Pi outbids a busy Jetson for a model it can serve near
+        // its own ideal — raw-throughput scoring would never route there.
+        let orange = Platform::orange_pi_5();
+        let jetson = Platform::jetson_orin_nx();
+        let orange_oracle = AnalyticalOracle::new(&orange);
+        let jetson_oracle = AnalyticalOracle::new(&jetson);
+        let spec = FleetSpec::new(vec![
+            ShardSpec::new(&orange, &orange_oracle, 1),
+            ShardSpec::new(&jetson, &jetson_oracle, 1),
+        ]);
+        let fleet = FleetRuntime::new(&spec, quick_config());
+        let events: Vec<FleetEvent> = [
+            ModelId::InceptionV4,
+            ModelId::ResNet50,
+            ModelId::Vgg16,
+            ModelId::AlexNet,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(k, &m)| arrive(k as f64, k as u64, m))
+        .collect();
+        let outcome = fleet.execute(&events, 100.0);
+        assert_eq!(outcome.metrics.admitted, 4);
+        let oranges = outcome.metrics.per_shard_admitted[0];
+        assert!(
+            oranges >= 1,
+            "the slower board must win some arrivals under normalized routing: {:?}",
+            outcome.metrics.per_shard_admitted
+        );
+        assert_eq!(
+            outcome.metrics.per_shard_platform,
+            vec!["orange-pi-5".to_string(), "jetson-orin-nx".to_string()]
+        );
     }
 }

@@ -1,0 +1,138 @@
+//! Fleet composition: which boards (and how many of each) a
+//! [`FleetRuntime`](crate::FleetRuntime) serves on.
+//!
+//! A [`FleetSpec`] is an ordered list of [`ShardSpec`] groups; each group
+//! contributes `count` shards running on one `Platform` scored by one
+//! [`ThroughputOracle`]. Shard indices are assigned group by group, in
+//! order — a spec of `[orange × 2, jetson × 2]` produces shards
+//! `0, 1` on the Orange Pi and `2, 3` on the Jetson — and the group also
+//! scopes the fused placement scorer: probes for shards of one group are
+//! answered by one [`ThroughputOracle::predict_grouped`] call.
+//!
+//! # Example
+//!
+//! ```
+//! use rankmap_core::oracle::AnalyticalOracle;
+//! use rankmap_fleet::{FleetSpec, ShardSpec};
+//! use rankmap_platform::Platform;
+//!
+//! let orange = Platform::orange_pi_5();
+//! let jetson = Platform::jetson_orin_nx();
+//! let orange_oracle = AnalyticalOracle::new(&orange);
+//! let jetson_oracle = AnalyticalOracle::new(&jetson);
+//! let spec = FleetSpec::new(vec![
+//!     ShardSpec::new(&orange, &orange_oracle, 2),
+//!     ShardSpec::new(&jetson, &jetson_oracle, 2),
+//! ]);
+//! assert_eq!(spec.shard_count(), 4);
+//! assert_eq!(spec.platform_names(), ["orange-pi-5", "orange-pi-5",
+//!                                    "jetson-orin-nx", "jetson-orin-nx"]);
+//! ```
+
+use rankmap_core::oracle::ThroughputOracle;
+use rankmap_platform::Platform;
+
+/// One homogeneous group of device shards: `count` boards of one platform
+/// profile, scored by one oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSpec<'p, O: ThroughputOracle> {
+    /// The board profile every shard of this group runs on.
+    pub platform: &'p Platform,
+    /// The throughput oracle scoring this group's placements. Its
+    /// predictions must be for `platform` — e.g. an
+    /// [`AnalyticalOracle`](rankmap_core::oracle::AnalyticalOracle)
+    /// constructed over the same reference.
+    pub oracle: &'p O,
+    /// Number of identical shards in the group.
+    pub count: usize,
+}
+
+impl<'p, O: ThroughputOracle> ShardSpec<'p, O> {
+    /// A group of `count` shards on `platform`, scored by `oracle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn new(platform: &'p Platform, oracle: &'p O, count: usize) -> Self {
+        assert!(count > 0, "a shard group needs at least one shard");
+        Self { platform, oracle, count }
+    }
+}
+
+/// The composition of a (possibly heterogeneous) fleet: ordered shard
+/// groups, each with its own platform profile and oracle.
+#[derive(Debug, Clone)]
+pub struct FleetSpec<'p, O: ThroughputOracle> {
+    groups: Vec<ShardSpec<'p, O>>,
+}
+
+impl<'p, O: ThroughputOracle> FleetSpec<'p, O> {
+    /// A fleet composed of the given shard groups, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn new(groups: Vec<ShardSpec<'p, O>>) -> Self {
+        assert!(!groups.is_empty(), "a fleet needs at least one shard group");
+        Self { groups }
+    }
+
+    /// A homogeneous fleet: `count` shards of one platform and oracle.
+    pub fn homogeneous(platform: &'p Platform, oracle: &'p O, count: usize) -> Self {
+        Self::new(vec![ShardSpec::new(platform, oracle, count)])
+    }
+
+    /// The shard groups, in shard-index order.
+    pub fn groups(&self) -> &[ShardSpec<'p, O>] {
+        &self.groups
+    }
+
+    /// Total number of shards across all groups.
+    pub fn shard_count(&self) -> usize {
+        self.groups.iter().map(|g| g.count).sum()
+    }
+
+    /// Per-shard platform names, in shard-index order — the fleet mix a
+    /// version-2 trace records (see [`crate::TraceMeta::platforms`]).
+    pub fn platform_names(&self) -> Vec<String> {
+        self.groups
+            .iter()
+            .flat_map(|g| std::iter::repeat_n(g.platform.name().to_string(), g.count))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmap_core::oracle::AnalyticalOracle;
+
+    #[test]
+    fn shard_indices_follow_group_order() {
+        let orange = Platform::orange_pi_5();
+        let jetson = Platform::jetson_orin_nx();
+        let o1 = AnalyticalOracle::new(&orange);
+        let o2 = AnalyticalOracle::new(&jetson);
+        let spec =
+            FleetSpec::new(vec![ShardSpec::new(&orange, &o1, 1), ShardSpec::new(&jetson, &o2, 2)]);
+        assert_eq!(spec.shard_count(), 3);
+        assert_eq!(
+            spec.platform_names(),
+            ["orange-pi-5", "jetson-orin-nx", "jetson-orin-nx"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_group_panics() {
+        let p = Platform::orange_pi_5();
+        let o = AnalyticalOracle::new(&p);
+        let _ = ShardSpec::new(&p, &o, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard group")]
+    fn empty_fleet_panics() {
+        let _ = FleetSpec::<AnalyticalOracle>::new(Vec::new());
+    }
+}

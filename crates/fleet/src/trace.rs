@@ -12,15 +12,33 @@
 //! shortest-roundtrip float formatting, which parses back to the exact
 //! bits — no bit-pattern encoding needed for finite values.
 //!
-//! Format (`version 1`):
+//! Format (`version 2`; version-1 traces still parse, with an
+//! unspecified platform mix):
 //!
 //! ```text
-//! {"rankmap_fleet_trace":1,"horizon":600,"label":"bursty","seed":"7","shards":4}
+//! {"horizon":600,"label":"bursty","platforms":["orange-pi-5","jetson-orin-nx"],"rankmap_fleet_trace":2,"seed":"7","shards":2}
 //! {"at":12.25,"kind":"arrive","model":"AlexNet","request":0}
 //! {"at":80.5,"kind":"depart","request":0}
 //! {"at":90,"kind":"set_priorities","mode":"dynamic"}
 //! {"at":95,"kind":"set_priorities","mode":"static","priorities":[0.7,0.3]}
 //! ```
+//!
+//! Version 2 adds the `platforms` header field: the per-shard platform
+//! names of the fleet the trace was recorded on, in shard order. A
+//! heterogeneous replay
+//! ([`FleetRuntime::execute_trace`](crate::FleetRuntime::execute_trace))
+//! verifies the replaying fleet has the identical mix — a trace recorded
+//! on `[orange, jetson]` must not silently replay on `[jetson, orange]`,
+//! where every shard index means a different board. An empty or absent
+//! `platforms` list (all version-1 traces) skips the check.
+//!
+//! The mix is pinned by *name*, a readable guard against the common
+//! mistake (wrong fleet composition). It deliberately does not pin the
+//! boards' capability numbers: bit-identical replay already assumes the
+//! same build of the simulator and presets, and under that assumption a
+//! name implies its numbers. Artifacts that must survive recalibration
+//! use the strict [`Platform::signature`](rankmap_platform::Platform::signature)
+//! instead (see the plan cache).
 
 use crate::load::{FleetEvent, RequestId};
 use rankmap_core::json::{self, obj, Json};
@@ -39,6 +57,36 @@ pub struct TraceMeta {
     pub seed: u64,
     /// Free-form label ("bursty-8shard", ...).
     pub label: String,
+    /// Per-shard platform names of the recording fleet, in shard order
+    /// (version 2). Empty for version-1 traces or homogeneous runs that
+    /// do not care; when non-empty, replay verifies the fleet mix
+    /// matches and `platforms.len()` must equal `shards`.
+    pub platforms: Vec<String>,
+}
+
+impl TraceMeta {
+    /// Metadata for a run that does not pin a platform mix (the
+    /// pre-heterogeneity shape: shard count, horizon, seed, label).
+    pub fn new(shards: usize, horizon: f64, seed: u64, label: impl Into<String>) -> Self {
+        Self { shards, horizon, seed, label: label.into(), platforms: Vec::new() }
+    }
+
+    /// Pins the per-shard platform mix this trace was recorded on (e.g.
+    /// [`FleetRuntime::platform_names`](crate::FleetRuntime::platform_names)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `platforms` is non-empty and its length differs from
+    /// the shard count.
+    #[must_use]
+    pub fn with_platforms(mut self, platforms: Vec<String>) -> Self {
+        assert!(
+            platforms.is_empty() || platforms.len() == self.shards,
+            "one platform name per shard"
+        );
+        self.platforms = platforms;
+        self
+    }
 }
 
 /// A recorded fleet run input: meta + the offered event stream.
@@ -93,13 +141,23 @@ impl Trace {
         let mut out = String::new();
         out.push_str(
             &obj([
-                ("rankmap_fleet_trace", Json::Num(1.0)),
+                ("rankmap_fleet_trace", Json::Num(2.0)),
                 ("shards", Json::Num(self.meta.shards as f64)),
                 ("horizon", Json::Num(self.meta.horizon)),
                 // Written as a string: a u64 seed (e.g. hash-derived) can
                 // exceed 2^53 and would not survive a JSON number.
                 ("seed", Json::Str(self.meta.seed.to_string())),
                 ("label", Json::Str(self.meta.label.clone())),
+                (
+                    "platforms",
+                    Json::Arr(
+                        self.meta
+                            .platforms
+                            .iter()
+                            .map(|p| Json::Str(p.clone()))
+                            .collect(),
+                    ),
+                ),
             ])
             .to_string(),
         );
@@ -149,19 +207,43 @@ impl Trace {
                 json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
             if meta.is_none() {
                 match value.get("rankmap_fleet_trace").and_then(Json::as_u64) {
-                    Some(1) => {}
+                    Some(1 | 2) => {}
                     _ => {
                         return Err(bad(
-                            "first line must be a version-1 trace header".into(),
+                            "first line must be a version-1 or version-2 trace header".into(),
                         ))
                     }
                 }
+                let shards = value
+                    .get("shards")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("header missing shards".into()))?
+                    as usize;
+                // Version 2's platform mix; absent (version 1) means
+                // unspecified, which replay treats as "don't check".
+                let platforms = match value.get("platforms") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(v) => v
+                        .as_arr()
+                        .and_then(|names| {
+                            names
+                                .iter()
+                                .map(|n| n.as_str().map(str::to_string))
+                                .collect::<Option<Vec<String>>>()
+                        })
+                        .ok_or_else(|| {
+                            bad("platforms must be an array of platform names".into())
+                        })?,
+                };
+                if !platforms.is_empty() && platforms.len() != shards {
+                    return Err(bad(format!(
+                        "header declares {} platforms for {} shards",
+                        platforms.len(),
+                        shards
+                    )));
+                }
                 meta = Some(TraceMeta {
-                    shards: value
-                        .get("shards")
-                        .and_then(Json::as_u64)
-                        .ok_or_else(|| bad("header missing shards".into()))?
-                        as usize,
+                    shards,
                     horizon: value
                         .get("horizon")
                         .and_then(Json::as_f64)
@@ -179,6 +261,7 @@ impl Trace {
                         .and_then(Json::as_str)
                         .unwrap_or_default()
                         .to_string(),
+                    platforms,
                 });
                 continue;
             }
@@ -283,7 +366,7 @@ mod tests {
     fn jsonl_roundtrip_is_exact() {
         let spec = bursty_spec();
         let trace = Trace::new(
-            TraceMeta { shards: 4, horizon: spec.horizon, seed: spec.seed, label: "t".into() },
+            TraceMeta::new(4, spec.horizon, spec.seed, "t"),
             generate(&spec),
         );
         let text = trace.to_jsonl();
@@ -294,14 +377,36 @@ mod tests {
     }
 
     #[test]
+    fn platform_mix_roundtrips_in_v2_headers() {
+        let spec = bursty_spec();
+        let mix = vec!["orange-pi-5".to_string(), "jetson-orin-nx".to_string()];
+        let trace = Trace::new(
+            TraceMeta::new(2, spec.horizon, spec.seed, "mixed").with_platforms(mix.clone()),
+            generate(&spec),
+        );
+        let text = trace.to_jsonl();
+        assert!(text.lines().next().unwrap().contains("\"rankmap_fleet_trace\":2"));
+        let back = Trace::from_jsonl(&text).expect("parse");
+        assert_eq!(back.meta.platforms, mix);
+        assert_eq!(back, trace);
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
     fn seeds_beyond_f64_precision_survive() {
         // Hash-derived seeds exceed 2^53; a JSON number would mangle them.
-        let trace = Trace::new(
-            TraceMeta { shards: 1, horizon: 10.0, seed: u64::MAX, label: "big".into() },
-            Vec::new(),
-        );
+        let trace = Trace::new(TraceMeta::new(1, 10.0, u64::MAX, "big"), Vec::new());
         let back = Trace::from_jsonl(&trace.to_jsonl()).expect("parse");
         assert_eq!(back.meta.seed, u64::MAX);
+    }
+
+    #[test]
+    fn legacy_v1_headers_still_parse() {
+        let text = "{\"rankmap_fleet_trace\":1,\"shards\":2,\"horizon\":10,\"seed\":\"7\",\"label\":\"old\"}\n\
+                    {\"at\":1,\"kind\":\"arrive\",\"model\":\"AlexNet\",\"request\":0}\n";
+        let trace = Trace::from_jsonl(text).expect("v1 parses");
+        assert_eq!(trace.meta.shards, 2);
+        assert!(trace.meta.platforms.is_empty(), "v1 traces carry no platform mix");
     }
 
     #[test]
@@ -309,9 +414,17 @@ mod tests {
         assert!(Trace::from_jsonl("").is_err());
         assert!(Trace::from_jsonl("{\"at\":1,\"kind\":\"depart\",\"request\":0}\n").is_err());
         assert!(Trace::from_jsonl(
-            "{\"rankmap_fleet_trace\":2,\"shards\":1,\"horizon\":1,\"seed\":0,\"label\":\"\"}\n"
+            "{\"rankmap_fleet_trace\":3,\"shards\":1,\"horizon\":1,\"seed\":0,\"label\":\"\"}\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn platform_count_must_match_shards() {
+        let text = "{\"rankmap_fleet_trace\":2,\"shards\":2,\"horizon\":10,\"seed\":\"0\",\
+                    \"label\":\"\",\"platforms\":[\"orange-pi-5\"]}\n";
+        let err = Trace::from_jsonl(text).unwrap_err();
+        assert!(err.message.contains("platforms"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Normalized-potential routing invariants on mixed fleets.
+//!
+//! The heterogeneous router compares *fractions of each board's own
+//! ideal*, so board speed must cancel out of the scores: a shard that is
+//! uniformly twice as fast serves every mapping twice as fast **and**
+//! doubles its ideal rates, leaving its normalized potential — and
+//! therefore its relative ranking against other boards — unchanged.
+//! `Platform::scaled` constructs exactly such a clone, which makes the
+//! invariance testable. The suite also pins the plan-cache half of the
+//! story: plans recorded on one board type never hit (or even load) on
+//! another.
+
+use rankmap_core::manager::{ManagerConfig, RankMapManager};
+use rankmap_core::oracle::AnalyticalOracle;
+use rankmap_core::priority::PriorityMode;
+use rankmap_fleet::{FleetConfig, FleetRuntime, FleetSpec, ShardSpec};
+use rankmap_models::ModelId;
+use rankmap_platform::Platform;
+use rankmap_sim::Workload;
+
+fn quick_config() -> FleetConfig {
+    FleetConfig {
+        manager: ManagerConfig { mcts_iterations: 60, warm_iterations: 30, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Models spanning light to heavy — the probe set every invariance check
+/// sweeps.
+fn probe_models() -> [ModelId; 5] {
+    [
+        ModelId::AlexNet,
+        ModelId::MobileNet,
+        ModelId::ResNet50,
+        ModelId::InceptionV4,
+        ModelId::Vgg16,
+    ]
+}
+
+#[test]
+fn scaled_board_keeps_its_normalized_scores() {
+    // An idle board and its 2x-speed clone must report (nearly) the same
+    // normalized (delta, arrival potential) for every probe model: the
+    // only residue is the ideal-rate measurement's event-count
+    // quantization, so the tolerance is loose-ish but far below any
+    // routing-relevant difference.
+    let orange = Platform::orange_pi_5();
+    let fast = orange.scaled(2.0);
+    let orange_oracle = AnalyticalOracle::new(&orange);
+    let fast_oracle = AnalyticalOracle::new(&fast);
+    let spec = FleetSpec::new(vec![
+        ShardSpec::new(&orange, &orange_oracle, 1),
+        ShardSpec::new(&fast, &fast_oracle, 1),
+    ]);
+    let fleet = FleetRuntime::new(&spec, quick_config());
+    for model in probe_models() {
+        let scores = fleet.probe_scores(model);
+        let (d0, p0) = scores[0].expect("idle shard scores");
+        let (d1, p1) = scores[1].expect("idle shard scores");
+        assert!(
+            (d0 - d1).abs() < 0.02 * d0.abs().max(1e-9),
+            "{model:?}: normalized delta must be speed-invariant: {d0} vs {d1}"
+        );
+        assert!(
+            (p0 - p1).abs() < 0.02 * p0.abs().max(1e-9),
+            "{model:?}: normalized arrival potential must be speed-invariant: {p0} vs {p1}"
+        );
+    }
+}
+
+#[test]
+fn doubling_a_board_speed_does_not_change_its_ranking() {
+    // Mixed fleet {orange, jetson}: whichever shard the router prefers
+    // for a model, it must still prefer after the orange board is cloned
+    // at 2x speed — normalization removes raw speed from the decision.
+    let orange = Platform::orange_pi_5();
+    let fast_orange = orange.scaled(2.0);
+    let jetson = Platform::jetson_orin_nx();
+    let orange_oracle = AnalyticalOracle::new(&orange);
+    let fast_oracle = AnalyticalOracle::new(&fast_orange);
+    let jetson_oracle = AnalyticalOracle::new(&jetson);
+
+    let baseline = FleetRuntime::new(
+        &FleetSpec::new(vec![
+            ShardSpec::new(&orange, &orange_oracle, 1),
+            ShardSpec::new(&jetson, &jetson_oracle, 1),
+        ]),
+        quick_config(),
+    );
+    let scaled = FleetRuntime::new(
+        &FleetSpec::new(vec![
+            ShardSpec::new(&fast_orange, &fast_oracle, 1),
+            ShardSpec::new(&jetson, &jetson_oracle, 1),
+        ]),
+        quick_config(),
+    );
+    for model in probe_models() {
+        let deltas = |fleet: &FleetRuntime<AnalyticalOracle>| -> (f64, f64) {
+            let scores = fleet.probe_scores(model);
+            (
+                scores[0].expect("idle shard scores").0,
+                scores[1].expect("idle shard scores").0,
+            )
+        };
+        let (b_orange, b_jetson) = deltas(&baseline);
+        let (s_orange, s_jetson) = deltas(&scaled);
+        // The ideal-rate measurement quantizes at the event-count level
+        // (~1%); a gap inside that band is a genuine tie whose order is
+        // not meaningful. Decisive gaps must keep their winner.
+        let tol = 0.02 * b_orange.abs().max(b_jetson.abs());
+        if (b_orange - b_jetson).abs() > tol {
+            assert_eq!(
+                b_orange > b_jetson,
+                s_orange > s_jetson,
+                "{model:?}: a 2x speed clone must not re-rank the shards: \
+                 baseline ({b_orange}, {b_jetson}), scaled ({s_orange}, {s_jetson})"
+            );
+        } else {
+            // Near-tie: the clone must stay a near-tie, not a landslide.
+            assert!(
+                (s_orange - s_jetson).abs() < 2.0 * tol,
+                "{model:?}: a tie must not become decisive under scaling: \
+                 ({s_orange}, {s_jetson})"
+            );
+        }
+    }
+}
+
+#[test]
+fn raw_throughput_would_have_flipped_the_comparison() {
+    // Sanity check that the invariance above is the normalization's doing
+    // and not a vacuous truth: the *raw* predicted throughput of the 2x
+    // clone really is ~2x the original, so un-normalized scoring would
+    // always prefer the faster clone.
+    let orange = Platform::orange_pi_5();
+    let fast = orange.scaled(2.0);
+    let orange_oracle = AnalyticalOracle::new(&orange);
+    let fast_oracle = AnalyticalOracle::new(&fast);
+    use rankmap_core::oracle::ThroughputOracle;
+    use rankmap_platform::ComponentId;
+    use rankmap_sim::Mapping;
+    for model in probe_models() {
+        let w = Workload::from_ids([model]);
+        let m = Mapping::uniform(&w, ComponentId::new(0));
+        let slow = orange_oracle.predict(&w, &m)[0];
+        let quick = fast_oracle.predict(&w, &m)[0];
+        assert!(
+            (quick / slow - 2.0).abs() < 0.05,
+            "{model:?}: the 2x clone must run ~2x the raw throughput: {slow} -> {quick}"
+        );
+    }
+}
+
+#[test]
+fn plan_cache_entries_never_hit_across_platforms() {
+    // A snapshot of plans mapped on the Orange Pi must not serve — or
+    // even import onto — a Jetson-class manager: the placements index
+    // different components and the predictions were priced on a
+    // different board.
+    let orange = Platform::orange_pi_5();
+    let jetson = Platform::jetson_orin_nx();
+    let orange_oracle = AnalyticalOracle::new(&orange);
+    let jetson_oracle = AnalyticalOracle::new(&jetson);
+    let cfg = ManagerConfig { mcts_iterations: 60, warm_iterations: 30, ..Default::default() };
+    let orange_mgr = RankMapManager::new(&orange, &orange_oracle, cfg);
+    let w = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+    let _ = orange_mgr.map_cached(&w, &PriorityMode::Dynamic);
+    let snapshot = orange_mgr.export_plan_cache();
+
+    let jetson_mgr = RankMapManager::new(&jetson, &jetson_oracle, cfg);
+    let err = jetson_mgr.import_plan_cache(&snapshot).unwrap_err();
+    assert!(
+        err.to_string().contains("never cross board types"),
+        "cross-board import must fail with a clear error: {err}"
+    );
+    // The Jetson manager's own cache stayed empty: mapping the same
+    // workload set is a miss, not a stale cross-platform hit.
+    let plan = jetson_mgr.map_cached(&w, &PriorityMode::Dynamic);
+    assert!(plan.evaluations > 0, "the Jetson must search, not serve an Orange Pi plan");
+    assert_eq!(jetson_mgr.plan_cache_stats().0, 0, "no cross-platform hits");
+    // Even a speed-binned clone of the same board is a different
+    // platform identity: same component count, same names, different
+    // capability numbers.
+    let fast = orange.scaled(2.0);
+    let fast_oracle = AnalyticalOracle::new(&fast);
+    let fast_mgr = RankMapManager::new(&fast, &fast_oracle, cfg);
+    assert!(
+        fast_mgr.import_plan_cache(&snapshot).is_err(),
+        "a same-shape, different-speed board must also refuse the snapshot"
+    );
+}

@@ -44,12 +44,7 @@ fn bursty_run_replays_bit_identically_from_its_trace() {
     let events = generate(&spec);
     assert!(events.len() > 10, "the bursty spec must offer real load");
     let trace = Trace::new(
-        TraceMeta {
-            shards,
-            horizon: spec.horizon,
-            seed: spec.seed,
-            label: "bursty-replay-test".into(),
-        },
+        TraceMeta::new(shards, spec.horizon, spec.seed, "bursty-replay-test"),
         events.clone(),
     );
     let jsonl = trace.to_jsonl();

@@ -122,6 +122,63 @@ impl Platform {
             .build()
     }
 
+    /// A calibrated Jetson-class preset: a second board profile for
+    /// heterogeneous fleets (see `docs/heterogeneous.md`).
+    ///
+    /// Modeled on a Jetson Orin NX-class module: an Ampere-generation
+    /// embedded GPU, a DLA-style neural accelerator, and two Cortex-A78AE
+    /// CPU clusters (4 + 2 cores). Component order (and therefore
+    /// [`ComponentId`] values) is fixed: `0` = GPU, `1` = DLA (NPU),
+    /// `2` = big CPU cluster, `3` = small CPU cluster. Note the component
+    /// *count* (4) differs from [`Platform::orange_pi_5`]'s 3 — mappings
+    /// and plan caches are not portable between the two (see
+    /// [`Platform::signature`]).
+    ///
+    /// As with the Orange Pi preset, the numbers are not a datasheet
+    /// transcription; they are chosen so the downstream cost model puts
+    /// the board a consistent ~2–4× ahead of the Orange Pi 5 on
+    /// GPU-friendly DNNs, with a DLA that shines on large regular convs
+    /// but pays heavy dispatch overhead on small kernels.
+    pub fn jetson_orin_nx() -> Self {
+        PlatformBuilder::new("jetson-orin-nx")
+            .component(
+                Component::new("ampere-gpu", ComponentKind::Gpu)
+                    .with_peak_gflops(1800.0)
+                    .with_mem_bw_gbps(45.0)
+                    .with_kernel_overhead_us(60.0)
+                    .with_base_efficiency(0.42)
+                    .with_saturation_mflops(40.0),
+            )
+            .component(
+                Component::new("dla", ComponentKind::Npu)
+                    .with_peak_gflops(900.0)
+                    .with_mem_bw_gbps(25.0)
+                    .with_kernel_overhead_us(180.0)
+                    .with_base_efficiency(0.5)
+                    .with_saturation_mflops(60.0),
+            )
+            .component(
+                Component::new("cortex-a78x4", ComponentKind::BigCpu)
+                    .with_peak_gflops(220.0)
+                    .with_mem_bw_gbps(18.0)
+                    .with_kernel_overhead_us(7.0)
+                    .with_base_efficiency(0.55)
+                    .with_saturation_mflops(2.0),
+            )
+            .component(
+                Component::new("cortex-a78x2", ComponentKind::LittleCpu)
+                    .with_peak_gflops(110.0)
+                    .with_mem_bw_gbps(12.0)
+                    .with_kernel_overhead_us(7.0)
+                    .with_base_efficiency(0.55)
+                    .with_saturation_mflops(2.0),
+            )
+            .link(Link::new(20.0, 150.0))
+            .dram_bw_gbps(60.0)
+            .cache_bytes(vec![96.0e6, 32.0e6, 24.0e6, 12.0e6])
+            .build()
+    }
+
     /// A degenerate single-CPU platform, handy for unit tests.
     pub fn single_cpu() -> Self {
         PlatformBuilder::new("single-cpu")
@@ -162,6 +219,97 @@ impl Platform {
     /// Platform name (e.g. `"orange-pi-5"`).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// A stable identity string for this exact platform configuration:
+    /// `name:component_count:hex-digest`, where the digest hashes every
+    /// capability number (component rooflines, link, DRAM bandwidth,
+    /// cache sizes) as raw IEEE-754 bits.
+    ///
+    /// Equal signatures guarantee the boards price every mapping
+    /// identically (the digest also pins the name, so identically-priced
+    /// boards under different names still get distinct signatures).
+    /// Artifacts recorded against one board (plan-cache snapshots) use it
+    /// to refuse loading onto a different one instead of silently serving
+    /// stale numbers.
+    ///
+    /// ```
+    /// use rankmap_platform::Platform;
+    /// assert_eq!(Platform::orange_pi_5().signature(), Platform::orange_pi_5().signature());
+    /// assert_ne!(Platform::orange_pi_5().signature(), Platform::jetson_orin_nx().signature());
+    /// ```
+    pub fn signature(&self) -> String {
+        // FNV-1a over the numbers that feed the cost model.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(self.name.as_bytes());
+        for c in &self.components {
+            eat(c.name().as_bytes());
+            eat(&[c.kind() as u8]);
+            for v in [
+                c.peak_gflops,
+                c.mem_bw_gbps,
+                c.kernel_overhead_us,
+                c.base_efficiency,
+                c.saturation_mflops,
+            ] {
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+        for v in [self.link.bandwidth_gbps(), self.link.latency_us(), self.dram_bw_gbps] {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        for v in &self.cache_bytes {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        format!("{}:{}:{:016x}", self.name, self.components.len(), h)
+    }
+
+    /// A uniformly speed-scaled clone of this platform: every rate
+    /// (compute peaks, memory bandwidths, DRAM, link bandwidth) is
+    /// multiplied by `factor` and every fixed overhead (kernel dispatch,
+    /// link latency) divided by it, while the dimensionless knobs
+    /// (efficiencies, saturation sizes, cache capacities) stay put.
+    ///
+    /// Because the cost model is a sum of `work / rate + overhead` terms,
+    /// a `scaled(2.0)` board executes every mapping exactly twice as fast
+    /// — and its isolated ideal rates double too, so *potential*
+    /// (throughput / ideal) is invariant. That invariance is what the
+    /// fleet's normalized-potential router relies on and what the
+    /// heterogeneity test-suite asserts (see `docs/heterogeneous.md`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not a positive finite number.
+    pub fn scaled(&self, factor: f64) -> Platform {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "speed factor must be positive and finite"
+        );
+        let components = self
+            .components
+            .iter()
+            .map(|c| {
+                Component::new(c.name(), c.kind())
+                    .with_peak_gflops(c.peak_gflops * factor)
+                    .with_mem_bw_gbps(c.mem_bw_gbps * factor)
+                    .with_kernel_overhead_us(c.kernel_overhead_us / factor)
+                    .with_base_efficiency(c.base_efficiency)
+                    .with_saturation_mflops(c.saturation_mflops)
+            })
+            .collect();
+        Platform::new(
+            format!("{}-x{factor}", self.name),
+            components,
+            Link::new(self.link.bandwidth_gbps() * factor, self.link.latency_us() / factor),
+            self.dram_bw_gbps * factor,
+            self.cache_bytes.clone(),
+        )
     }
 
     /// All components, indexable by [`ComponentId::index`].
@@ -304,6 +452,55 @@ mod tests {
     fn dual_cpu_is_symmetric() {
         let p = Platform::dual_cpu();
         assert_eq!(p.components()[0].peak_gflops, p.components()[1].peak_gflops);
+    }
+
+    #[test]
+    fn jetson_preset_shape_and_ordering() {
+        let p = Platform::jetson_orin_nx();
+        assert_eq!(p.component_count(), 4, "the Jetson profile adds a fourth component");
+        assert_eq!(p.components()[0].kind(), ComponentKind::Gpu);
+        assert_eq!(p.components()[1].kind(), ComponentKind::Npu);
+        let orange = Platform::orange_pi_5();
+        assert!(
+            p.components()[0].peak_gflops > orange.components()[0].peak_gflops,
+            "the Jetson-class GPU must out-peak the Mali"
+        );
+    }
+
+    #[test]
+    fn signatures_identify_exact_configurations() {
+        let a = Platform::orange_pi_5();
+        assert_eq!(a.signature(), Platform::orange_pi_5().signature());
+        assert_ne!(a.signature(), Platform::jetson_orin_nx().signature());
+        assert_ne!(a.signature(), a.scaled(2.0).signature(), "a faster clone is a new identity");
+        // A one-number capability change flips the digest even when the
+        // name and shape stay the same.
+        let mut tweaked = a.clone();
+        tweaked.components[0].peak_gflops += 1.0;
+        assert_ne!(a.signature(), tweaked.signature());
+    }
+
+    #[test]
+    fn scaled_platform_scales_rates_and_overheads() {
+        let p = Platform::orange_pi_5();
+        let fast = p.scaled(2.0);
+        assert_eq!(fast.component_count(), p.component_count());
+        for (a, b) in p.components().iter().zip(fast.components()) {
+            assert_eq!(b.peak_gflops, a.peak_gflops * 2.0);
+            assert_eq!(b.mem_bw_gbps, a.mem_bw_gbps * 2.0);
+            assert_eq!(b.kernel_overhead_us, a.kernel_overhead_us / 2.0);
+            assert_eq!(b.base_efficiency, a.base_efficiency);
+            assert_eq!(b.saturation_mflops, a.saturation_mflops);
+        }
+        assert_eq!(fast.dram_bw_gbps(), p.dram_bw_gbps() * 2.0);
+        assert_eq!(fast.transfer_link().bandwidth_gbps(), p.transfer_link().bandwidth_gbps() * 2.0);
+        assert_eq!(fast.cache_bytes(ComponentId::new(0)), p.cache_bytes(ComponentId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "speed factor")]
+    fn non_positive_scale_panics() {
+        let _ = Platform::orange_pi_5().scaled(0.0);
     }
 
     #[test]

@@ -79,10 +79,7 @@ fn main() {
     }
 
     // Record the run and replay it from the trace: bit-identical metrics.
-    let trace = Trace::new(
-        TraceMeta { shards, horizon: spec.horizon, seed: spec.seed, label: "example".into() },
-        events,
-    );
+    let trace = Trace::new(TraceMeta::new(shards, spec.horizon, spec.seed, "example"), events);
     let jsonl = trace.to_jsonl();
     println!("\ntrace: {} JSONL bytes; replaying...", jsonl.len());
     let replayed = FleetRuntime::homogeneous(&platform, &oracle, shards, config)
