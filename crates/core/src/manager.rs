@@ -78,6 +78,11 @@ impl MappingPlan {
 }
 
 /// The priority-aware multi-DNN manager.
+///
+/// `Send` by construction (asserted in tests): the interior caches sit
+/// behind `Mutex`es and the oracle reference is `Send + Sync` by the
+/// trait's contract, so a fleet shard owning a manager can move to a
+/// worker thread between event barriers.
 pub struct RankMapManager<'p, O: ThroughputOracle> {
     platform: &'p Platform,
     oracle: &'p O,
@@ -424,6 +429,12 @@ mod tests {
 
     fn quick_config() -> ManagerConfig {
         ManagerConfig { mcts_iterations: 300, ..Default::default() }
+    }
+
+    #[test]
+    fn manager_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RankMapManager<'static, AnalyticalOracle<'static>>>();
     }
 
     #[test]

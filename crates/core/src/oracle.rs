@@ -20,10 +20,12 @@ pub type IdealFn = Box<dyn Fn(rankmap_models::ModelId) -> f64 + Send + Sync>;
 /// discrete-event simulator directly (ground truth — what the paper's GA
 /// baseline does on the real board, slowly).
 ///
-/// All oracles are `Sync`: one instance serves any number of search
-/// threads concurrently, which is what lets the batched MCTS fan a round
-/// of rollouts across the thread pool.
-pub trait ThroughputOracle: Sync {
+/// All oracles are `Send + Sync`: one instance serves any number of
+/// search threads concurrently (the batched MCTS fans a round of rollouts
+/// across the thread pool), and a `&Oracle` can ride inside per-shard
+/// state that the fleet executor hands to worker threads between event
+/// barriers.
+pub trait ThroughputOracle: Send + Sync {
     /// Predicted throughput of every DNN in `workload` under `mapping`.
     fn predict(&self, workload: &Workload, mapping: &Mapping) -> Vec<f64>;
 
@@ -360,10 +362,10 @@ mod tests {
     }
 
     #[test]
-    fn oracles_are_sync() {
-        fn assert_sync<T: Sync>() {}
-        assert_sync::<AnalyticalOracle<'static>>();
-        assert_sync::<BoardOracle<'static>>();
-        assert_sync::<LearnedOracle>();
+    fn oracles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalyticalOracle<'static>>();
+        assert_send_sync::<BoardOracle<'static>>();
+        assert_send_sync::<LearnedOracle>();
     }
 }

@@ -91,17 +91,6 @@ pub enum DynamicEvent {
         /// Stable id assigned at arrival.
         instance: InstanceId,
     },
-    /// Legacy index-based departure (the `index`-th currently running DNN
-    /// leaves). Indices shift as earlier events apply — prefer
-    /// [`DynamicEvent::Depart`]. Constructed via the deprecated
-    /// [`DynamicEvent::depart_index`].
-    #[doc(hidden)]
-    DepartIndex {
-        /// Departure time (seconds).
-        at: f64,
-        /// Index into the current model list at apply time.
-        index: usize,
-    },
     /// The user changes priorities (Fig. 10's rank rotation). Routed into
     /// the mapper via [`WorkloadMapper::set_priorities`].
     SetPriorities {
@@ -118,7 +107,6 @@ impl DynamicEvent {
         match self {
             DynamicEvent::Arrive { at, .. }
             | DynamicEvent::Depart { at, .. }
-            | DynamicEvent::DepartIndex { at, .. }
             | DynamicEvent::SetPriorities { at, .. } => *at,
         }
     }
@@ -131,16 +119,6 @@ impl DynamicEvent {
     /// A departure of a stable instance at `at` seconds.
     pub fn depart(at: f64, instance: InstanceId) -> Self {
         DynamicEvent::Depart { at, instance }
-    }
-
-    /// Legacy index-based departure, kept for the original examples.
-    #[deprecated(
-        since = "0.1.0",
-        note = "indices shift as earlier events apply; use DynamicEvent::depart with the \
-                stable InstanceId assigned at arrival"
-    )]
-    pub fn depart_index(at: f64, index: usize) -> Self {
-        DynamicEvent::DepartIndex { at, index }
     }
 }
 
@@ -502,6 +480,10 @@ struct Segment {
 /// [`DynamicRuntime::run`], factored out so a fleet can interleave many
 /// shards on one global clock.
 ///
+/// A session is plain owned state and therefore `Send` (asserted in
+/// tests): the shard-parallel fleet executor moves `&mut` sessions onto
+/// worker threads between event barriers.
+///
 /// Protocol: [`RuntimeSession::advance_to`] moves the clock forward,
 /// [`RuntimeSession::apply`] applies a batch of same-time events at the
 /// current clock and re-maps, [`RuntimeSession::finish`] closes the last
@@ -607,12 +589,6 @@ impl RuntimeSession<'_> {
                     {
                         self.instances.remove(pos);
                         self.placements.remove(instance);
-                    }
-                }
-                DynamicEvent::DepartIndex { index, .. } => {
-                    if *index < self.instances.len() {
-                        let (id, _) = self.instances.remove(*index);
-                        self.placements.remove(&id);
                     }
                 }
                 DynamicEvent::SetPriorities { mode, .. } => mapper.set_priorities(mode),
@@ -825,6 +801,20 @@ mod tests {
     }
 
     #[test]
+    fn serving_state_is_send() {
+        // The fleet executor's contract: sessions, mappers, and events can
+        // move to worker threads. This fails to compile if interior
+        // non-Send state (Rc, RefCell over !Send contents, raw pointers)
+        // creeps into the serving path.
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<RuntimeSession<'static>>();
+        assert_send::<RankMapMapper<'static, AnalyticalOracle<'static>>>();
+        assert_send::<DynamicEvent>();
+        assert_sync::<DynamicEvent>();
+    }
+
+    #[test]
     fn timeline_grows_with_arrivals() {
         let p = Platform::orange_pi_5();
         let rt = DynamicRuntime::new(&p, 50.0);
@@ -866,19 +856,6 @@ mod tests {
         assert_eq!(last.models.len(), 2);
         assert_eq!(last.models[0], ModelId::SqueezeNetV2);
         assert_eq!(last.instances, vec![InstanceId::new(1), InstanceId::new(2)]);
-    }
-
-    #[test]
-    fn legacy_index_departure_still_works() {
-        let p = Platform::orange_pi_5();
-        let rt = DynamicRuntime::new(&p, 50.0);
-        let mut events = arrivals();
-        #[allow(deprecated)]
-        events.push(DynamicEvent::depart_index(250.0, 0));
-        let mut mapper = GpuOnly;
-        let tl = rt.run(&events, &mut mapper, 300.0);
-        assert_eq!(tl.last().unwrap().models.len(), 2);
-        assert_eq!(tl.last().unwrap().models[0], ModelId::SqueezeNetV2);
     }
 
     #[test]

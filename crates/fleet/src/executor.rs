@@ -1,0 +1,393 @@
+//! The deterministic shard-parallel fleet executor.
+//!
+//! [`FleetExecutor`] owns the shards and drives the event loop. Its
+//! concurrency model is **global event barriers**: the sorted event
+//! stream is processed one event at a time, and *within* each event every
+//! piece of per-shard work — placement probes, `SetPriorities` remaps,
+//! the rebalancer's health scan, the source/destination applies of a
+//! migration, the final timeline close — fans out across up to
+//! [`Parallelism::Threads`] worker threads and joins before the next
+//! event starts. Between barriers no two threads ever touch the same
+//! shard: work is partitioned *by shard* (`&mut Shard` per worker), the
+//! shards are owned `Send` state, and results are merged back in
+//! canonical shard order.
+//!
+//! **Determinism argument.** Every per-shard computation is a pure
+//! function of that shard's state (sessions, mappers and oracles are
+//! deterministic given their seeds), the merge order is the canonical
+//! shard index — never completion order — and cross-shard decisions
+//! (admission, rebalance victim/destination) are taken serially at the
+//! barrier from the merged score vector exactly as the sequential
+//! reference does. No floating-point sum ever changes its association
+//! order, so [`Parallelism::Threads`] with *any* `n` produces placements,
+//! timelines, metrics, and trace replays **bit-identical** to
+//! [`Parallelism::Sequential`] (property-tested in
+//! `crates/fleet/tests/parallel.rs`).
+
+use crate::load::{FleetEvent, RequestId};
+use crate::metrics::{FleetMetrics, LatencyStats, PlacementOutcome, PlacementRecord};
+use crate::placement::{ProbeMemo, PROBE_MEMO_BOUND};
+use crate::runtime::FleetOutcome;
+use crate::shard::Shard;
+use crate::spec::FleetSpec;
+use rankmap_core::dataset::ideal_rates;
+use rankmap_core::manager::{ManagerConfig, RankMapManager};
+use rankmap_core::oracle::ThroughputOracle;
+use rankmap_core::priority::PriorityMode;
+use rankmap_core::runtime::{
+    timeline_average_potential, DynamicEvent, DynamicRuntime, GainObjective, InstanceId,
+    RankMapMapper, TimelinePoint,
+};
+use rankmap_models::ModelId;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// How shard work between event barriers is executed.
+///
+/// Both modes run the *same* decision logic over the shards in canonical
+/// order and are bit-identical by construction (and by property test);
+/// the choice only decides whether per-shard work items are spread across
+/// worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Advance every shard in turn on the calling thread — the reference
+    /// implementation the parallel path is measured against.
+    Sequential,
+    /// Fan per-shard work across up to `n` worker threads between
+    /// barriers (`Threads(1)` is the serial schedule on the executor's
+    /// code path; `n` is not clamped to the host's core count, so an
+    /// oversubscribed width still exercises real concurrency).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The fan-out width this mode permits.
+    pub(crate) fn width(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+}
+
+/// One worker thread per host core — the production default. On a
+/// single-core host this degrades to the serial schedule with zero spawn
+/// overhead.
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::Threads(rayon::current_num_threads())
+    }
+}
+
+/// Fleet-wide configuration (per-shard manager settings included).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Timeline sampling interval of every shard session (seconds).
+    pub sample_dt: f64,
+    /// Per-shard manager configuration (search budgets, plan-cache
+    /// capacity, ...).
+    pub manager: ManagerConfig,
+    /// Hard per-shard concurrency cap — the admission backstop.
+    pub max_per_shard: usize,
+    /// Minimum predicted potential (fraction of the *hosting shard's*
+    /// ideal rate) an arrival must reach on its best candidate shard to
+    /// be admitted; below it the request is rejected.
+    pub admission_floor: f64,
+    /// Expected residency window handed to shard sessions as the remap
+    /// decision's integration horizon (seconds).
+    pub decision_window: f64,
+    /// A shard whose mean predicted potential falls below this value is a
+    /// rebalance candidate.
+    pub rebalance_threshold: f64,
+    /// Required predicted improvement of the source shard's mean
+    /// potential for a rebalance migration to fire.
+    pub rebalance_margin: f64,
+    /// Remap-gain objective of every shard runtime.
+    pub objective: GainObjective,
+    /// Migration awareness of every shard runtime.
+    pub migration_aware: bool,
+    /// Whether placement probes are answered through one fused
+    /// [`ThroughputOracle::predict_grouped`] call per platform group
+    /// (with duplicate probes deduplicated) instead of one
+    /// `predict_batch` call per shard. Decisions are bit-identical either
+    /// way; `false` keeps the serial path for A/B benchmarking.
+    pub fused_scoring: bool,
+    /// How shard work between event barriers is executed (see
+    /// [`Parallelism`]). [`Parallelism::Sequential`] is the reference
+    /// implementation; `Threads(n)` is bit-identical to it.
+    pub parallelism: Parallelism,
+    /// LRU bound on the fused scorer's cross-event probe memo (entries
+    /// across all platform groups; each entry is one probe's candidate
+    /// predictions — a few hundred bytes). The least-recently-used probe
+    /// answer is evicted first, so the hottest probes stay memoized even
+    /// under adversarial arrival mixes.
+    ///
+    /// # Panics
+    ///
+    /// Fleet construction panics if set to 0 (matching the plan cache's
+    /// contract).
+    pub probe_memo_capacity: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            sample_dt: 30.0,
+            manager: ManagerConfig {
+                mcts_iterations: 400,
+                warm_iterations: 150,
+                ..Default::default()
+            },
+            max_per_shard: 5,
+            admission_floor: 0.05,
+            decision_window: 60.0,
+            rebalance_threshold: 0.3,
+            rebalance_margin: 0.05,
+            objective: GainObjective::default(),
+            migration_aware: true,
+            fused_scoring: true,
+            parallelism: Parallelism::default(),
+            probe_memo_capacity: PROBE_MEMO_BOUND,
+        }
+    }
+}
+
+/// Where an admitted request currently runs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Disposition {
+    Rejected,
+    Active { shard: usize, instance: InstanceId },
+}
+
+/// The engine behind [`crate::FleetRuntime`]: owns the shards, the fused
+/// scorer's probe memo, and the event loop that advances all shards
+/// between global event barriers (see the module docs for the barrier
+/// model and determinism argument).
+pub struct FleetExecutor<'p, O: ThroughputOracle> {
+    pub(crate) config: FleetConfig,
+    /// Per-group oracle, indexed by `Shard::group`.
+    pub(crate) group_oracles: Vec<&'p O>,
+    /// Per-shard platform names, in shard order (the trace's fleet mix).
+    pub(crate) platforms: Vec<String>,
+    /// The fused scorer's cross-event memo: per-group oracle answers
+    /// keyed by probe fingerprint, LRU-bounded by
+    /// [`FleetConfig::probe_memo_capacity`]. A fingerprint fully
+    /// determines the question (trial set, survivor placements, weights),
+    /// so entries are pure and never stale.
+    pub(crate) probe_memo: ProbeMemo,
+    pub(crate) shards: Vec<Shard<'p, O>>,
+}
+
+/// Runs `f` over every shard — exclusively, one worker per shard — and
+/// returns the results in canonical shard order regardless of completion
+/// order. The free function (rather than a method) lets callers that
+/// have already split the executor's fields borrow only the shard slice.
+pub(crate) fn for_each_shard<'p, O, R, F>(
+    parallelism: Parallelism,
+    shards: &mut [Shard<'p, O>],
+    f: F,
+) -> Vec<R>
+where
+    O: ThroughputOracle,
+    R: Send,
+    F: Fn(usize, &mut Shard<'p, O>) -> R + Sync,
+{
+    let width = parallelism.width().min(shards.len());
+    if width <= 1 {
+        shards.iter_mut().enumerate().map(|(s, shard)| f(s, shard)).collect()
+    } else {
+        rayon::iter::par_map_slice_mut(shards, width, &f)
+    }
+}
+
+impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
+    /// Builds the executor from a [`FleetSpec`] (see
+    /// [`crate::FleetRuntime::new`] for the public entry point).
+    pub(crate) fn new(spec: &FleetSpec<'p, O>, config: FleetConfig) -> Self {
+        let mut shards = Vec::with_capacity(spec.shard_count());
+        let mut group_oracles = Vec::with_capacity(spec.groups().len());
+        for (g, group) in spec.groups().iter().enumerate() {
+            group_oracles.push(group.oracle);
+            let ideals = ideal_rates(group.platform, &ModelId::all());
+            let runtime = DynamicRuntime::new(group.platform, config.sample_dt)
+                .with_gain_objective(config.objective)
+                .with_migration_awareness(config.migration_aware);
+            for _ in 0..group.count {
+                let i = shards.len();
+                shards.push(Shard::new(
+                    group.platform,
+                    group.oracle,
+                    g,
+                    ideals.clone(),
+                    RankMapMapper::new(
+                        RankMapManager::new(group.platform, group.oracle, config.manager),
+                        PriorityMode::Dynamic,
+                        format!("shard-{i}"),
+                    ),
+                    runtime.session_with_ideals(ideals.clone()),
+                ));
+            }
+        }
+        Self {
+            probe_memo: ProbeMemo::new(group_oracles.len(), config.probe_memo_capacity),
+            config,
+            group_oracles,
+            platforms: spec.platform_names(),
+            shards,
+        }
+    }
+
+    /// Runs `f` over every shard at the current barrier (see
+    /// [`for_each_shard`]).
+    pub(crate) fn for_each_shard<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut Shard<'p, O>) -> R + Sync,
+    {
+        for_each_shard(self.config.parallelism, &mut self.shards, f)
+    }
+
+    /// Runs a sorted fleet event stream to `horizon`, consuming the
+    /// executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is not sorted by time or reaches outside
+    /// `[0, horizon)`.
+    pub(crate) fn run(mut self, events: &[FleetEvent], horizon: f64) -> FleetOutcome {
+        assert!(
+            events.windows(2).all(|w| w[0].at() <= w[1].at()),
+            "fleet events must be sorted by time"
+        );
+        assert!(
+            events.iter().all(|e| (0.0..horizon).contains(&e.at())),
+            "fleet events must lie within [0, horizon)"
+        );
+        let window = self.config.decision_window;
+        let mut requests: HashMap<RequestId, Disposition> = HashMap::new();
+        let mut placements = Vec::new();
+        let mut latencies = Vec::new();
+        let mut admitted = 0u64;
+        let mut rejected = 0u64;
+        let mut migrations = 0u64;
+        let mut per_shard_admitted = vec![0u64; self.shards.len()];
+        for event in events {
+            let t = event.at();
+            match event {
+                FleetEvent::Arrive { request, model, .. } => {
+                    let started = Instant::now();
+                    let decision = self.place(*model);
+                    latencies.push(started.elapsed());
+                    match decision {
+                        Some((s, delta)) => {
+                            let assigned = self.shards[s].apply(
+                                t,
+                                &[DynamicEvent::arrive(t, *model)],
+                                window,
+                            );
+                            requests.insert(
+                                *request,
+                                Disposition::Active { shard: s, instance: assigned[0] },
+                            );
+                            admitted += 1;
+                            per_shard_admitted[s] += 1;
+                            placements.push(PlacementRecord {
+                                request: *request,
+                                at: t,
+                                outcome: PlacementOutcome::Admitted { shard: s },
+                                predicted_delta: delta,
+                            });
+                        }
+                        None => {
+                            requests.insert(*request, Disposition::Rejected);
+                            rejected += 1;
+                            placements.push(PlacementRecord {
+                                request: *request,
+                                at: t,
+                                outcome: PlacementOutcome::Rejected,
+                                predicted_delta: 0.0,
+                            });
+                        }
+                    }
+                }
+                FleetEvent::Depart { request, .. } => {
+                    if let Some(Disposition::Active { shard, instance }) =
+                        requests.remove(request)
+                    {
+                        self.shards[shard].apply(
+                            t,
+                            &[DynamicEvent::depart(t, instance)],
+                            window,
+                        );
+                    }
+                }
+                FleetEvent::SetPriorities { mode, .. } => {
+                    // A priority rotation re-maps *every* shard — the
+                    // widest barrier of the event loop, fanned across the
+                    // worker pool.
+                    let ev = [DynamicEvent::SetPriorities { at: t, mode: mode.clone() }];
+                    self.for_each_shard(|_, shard| {
+                        shard.apply(t, &ev, window);
+                    });
+                }
+            }
+            // Departures free capacity and arrivals shift contention —
+            // both are rebalance opportunities.
+            if let Some((_, dst)) = self.maybe_rebalance(t, &mut requests) {
+                migrations += 1;
+                per_shard_admitted[dst] += 1;
+            }
+        }
+        // The closing barrier: every shard's last open segment is closed
+        // (and its timeline samples emitted) concurrently, then collected
+        // in shard order.
+        let Self { config, platforms, mut shards, .. } = self;
+        for_each_shard(config.parallelism, &mut shards, |_, shard| {
+            shard.session.finish(horizon);
+        });
+        let timelines: Vec<Vec<TimelinePoint>> =
+            shards.into_iter().map(|shard| shard.session.into_timeline()).collect();
+        let per_shard_potential: Vec<f64> =
+            timelines.iter().map(|tl| timeline_average_potential(tl)).collect();
+        let aggregate_potential_seconds: f64 = timelines
+            .iter()
+            .flat_map(|tl| tl.iter())
+            .map(|pt| pt.potentials.iter().sum::<f64>() * pt.span)
+            .sum();
+        FleetOutcome {
+            metrics: FleetMetrics {
+                shards: per_shard_potential.len(),
+                offered: admitted + rejected,
+                admitted,
+                rejected,
+                migrations,
+                per_shard_potential,
+                per_shard_admitted,
+                per_shard_platform: platforms,
+                aggregate_potential_seconds,
+            },
+            placements,
+            timelines,
+            placement_latency: LatencyStats::from_durations(latencies),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmap_core::oracle::AnalyticalOracle;
+
+    #[test]
+    fn executor_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<FleetExecutor<'static, AnalyticalOracle<'static>>>();
+    }
+
+    #[test]
+    fn parallelism_width_floors_at_one() {
+        assert_eq!(Parallelism::Sequential.width(), 1);
+        assert_eq!(Parallelism::Threads(0).width(), 1);
+        assert_eq!(Parallelism::Threads(6).width(), 6);
+    }
+}

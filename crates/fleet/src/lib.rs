@@ -25,6 +25,13 @@
 //!   diurnal arrival processes, and [`trace`] records/replays runs as
 //!   JSONL — including the fleet's platform mix (format version 2) — so
 //!   any run is reproducible bit-for-bit from a trace file.
+//! * The **shard-parallel executor** ([`executor`]) advances all shards
+//!   concurrently between global event barriers:
+//!   [`FleetConfig::parallelism`] selects
+//!   [`Parallelism::Threads`]`(n)` (the default sizes to the host's
+//!   cores) or the [`Parallelism::Sequential`] reference — both produce
+//!   bit-identical placements, timelines, metrics, and trace replays
+//!   (property-tested in `tests/parallel.rs`).
 //!
 //! # Quickstart (homogeneous)
 //!
@@ -77,14 +84,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod executor;
 pub mod load;
 pub mod metrics;
+mod placement;
+mod rebalance;
 pub mod runtime;
+mod shard;
 pub mod spec;
 pub mod trace;
 
+pub use executor::{FleetConfig, Parallelism};
 pub use load::{generate, ArrivalProcess, FleetEvent, LoadSpec, RequestId};
 pub use metrics::{FleetMetrics, LatencyStats, PlacementOutcome, PlacementRecord};
-pub use runtime::{FleetConfig, FleetOutcome, FleetRuntime};
+pub use runtime::{FleetOutcome, FleetRuntime};
 pub use spec::{FleetSpec, ShardSpec};
 pub use trace::{Trace, TraceError, TraceMeta};

@@ -2,8 +2,10 @@
 //! types — behind one priority-aware admission/placement layer.
 //!
 //! Each [`FleetRuntime`] shard is a full single-board serving stack — its
-//! own `Platform`, a [`RankMapManager`] (with its own plan cache), and a
-//! step-wise [`RuntimeSession`] — interleaved on one global clock. The
+//! own `Platform`, a
+//! [`RankMapManager`](rankmap_core::manager::RankMapManager) (with its
+//! own plan cache), and a
+//! step-wise `RuntimeSession` — interleaved on one global clock. The
 //! fleet's composition comes from a [`FleetSpec`]: ordered groups of
 //! identical shards, each group with its own platform
 //! profile and [`ThroughputOracle`] (a mixed Orange-Pi/Jetson fleet is
@@ -31,223 +33,34 @@
 //! Placement scoring is **fused** by default
 //! ([`FleetConfig::fused_scoring`]): probes for all shards of a platform
 //! group are deduplicated (two idle Orange Pis ask the oracle the exact
-//! same question) and answered by one
-//! [`ThroughputOracle::predict_grouped`] call per oracle, instead of one
-//! `predict_batch` round-trip per shard. Fused and serial scoring make
-//! bit-identical decisions (tested); fused is the faster execution
+//! same question), answered by one
+//! [`ThroughputOracle::predict_grouped`] call per oracle, and memoized
+//! across events in an LRU-bounded probe memo. Fused and serial scoring
+//! make bit-identical decisions (tested); fused is the faster execution
 //! strategy at high shard counts (benchmarked in `fleet_hetero`).
+//!
+//! Execution itself is **shard-parallel**: between global event barriers
+//! the executor ([`crate::executor`]) fans per-shard work — probe
+//! building, priority-rotation remaps, the rebalancer's health scan, the
+//! final timeline close — across up to [`crate::Parallelism::Threads`]
+//! worker threads, merging results in canonical shard order so the
+//! outcome is bit-identical to [`crate::Parallelism::Sequential`] at any
+//! thread count (see the executor docs for the determinism argument, and
+//! `crates/fleet/tests/parallel.rs` for the property test).
 //!
 //! The candidate batch only *routes*; the shard's own mapper still runs
 //! its warm-started search (plan cache and all) once the instance lands,
 //! so per-shard mapping quality is exactly the PR 2 serving runtime's.
 
-use crate::load::{FleetEvent, RequestId};
-use crate::metrics::{FleetMetrics, LatencyStats, PlacementOutcome, PlacementRecord};
+use crate::executor::{FleetConfig, FleetExecutor};
+use crate::load::FleetEvent;
+use crate::metrics::{FleetMetrics, LatencyStats, PlacementRecord};
 use crate::spec::FleetSpec;
 use crate::trace::Trace;
-use rankmap_core::dataset::ideal_rates;
-use rankmap_core::manager::{ManagerConfig, RankMapManager};
 use rankmap_core::oracle::ThroughputOracle;
-use rankmap_core::priority::PriorityMode;
-use rankmap_core::runtime::{
-    ideal_rate_of, priorities_or_uniform, timeline_average_potential, weighted_potential,
-    DynamicEvent, DynamicRuntime, GainObjective, InstanceId, RankMapMapper, RuntimeSession,
-    TimelinePoint,
-};
+use rankmap_core::runtime::TimelinePoint;
 use rankmap_models::ModelId;
-use rankmap_platform::{ComponentId, Platform};
-use rankmap_sim::{Mapping, MigrationModel, Workload};
-use std::collections::HashMap;
-use std::time::Instant;
-
-/// Fleet-wide configuration (per-shard manager settings included).
-#[derive(Debug, Clone)]
-pub struct FleetConfig {
-    /// Timeline sampling interval of every shard session (seconds).
-    pub sample_dt: f64,
-    /// Per-shard manager configuration (search budgets, plan-cache
-    /// capacity, ...).
-    pub manager: ManagerConfig,
-    /// Hard per-shard concurrency cap — the admission backstop.
-    pub max_per_shard: usize,
-    /// Minimum predicted potential (fraction of the *hosting shard's*
-    /// ideal rate) an arrival must reach on its best candidate shard to
-    /// be admitted; below it the request is rejected.
-    pub admission_floor: f64,
-    /// Expected residency window handed to shard sessions as the remap
-    /// decision's integration horizon (seconds).
-    pub decision_window: f64,
-    /// A shard whose mean predicted potential falls below this value is a
-    /// rebalance candidate.
-    pub rebalance_threshold: f64,
-    /// Required predicted improvement of the source shard's mean
-    /// potential for a rebalance migration to fire.
-    pub rebalance_margin: f64,
-    /// Remap-gain objective of every shard runtime.
-    pub objective: GainObjective,
-    /// Migration awareness of every shard runtime.
-    pub migration_aware: bool,
-    /// Whether placement probes are answered through one fused
-    /// [`ThroughputOracle::predict_grouped`] call per platform group
-    /// (with duplicate probes deduplicated) instead of one
-    /// `predict_batch` call per shard. Decisions are bit-identical either
-    /// way; `false` keeps the serial path for A/B benchmarking.
-    pub fused_scoring: bool,
-}
-
-impl Default for FleetConfig {
-    fn default() -> Self {
-        Self {
-            sample_dt: 30.0,
-            manager: ManagerConfig {
-                mcts_iterations: 400,
-                warm_iterations: 150,
-                ..Default::default()
-            },
-            max_per_shard: 5,
-            admission_floor: 0.05,
-            decision_window: 60.0,
-            rebalance_threshold: 0.3,
-            rebalance_margin: 0.05,
-            objective: GainObjective::default(),
-            migration_aware: true,
-            fused_scoring: true,
-        }
-    }
-}
-
-/// One device shard: its board, mapper (manager + priority mode), and
-/// step-wise serving session.
-struct Shard<'p, O: ThroughputOracle> {
-    /// The shard's own board profile.
-    platform: &'p Platform,
-    /// The oracle scoring this shard's placements (shared by its group).
-    oracle: &'p O,
-    /// Index of the shard's [`FleetSpec`] group — the fused scorer's
-    /// batching domain.
-    group: usize,
-    /// Per-model ideal rates measured on *this* board — the normalization
-    /// denominators of every potential this shard reports.
-    ideals: HashMap<ModelId, f64>,
-    mapper: RankMapMapper<'p, O>,
-    session: RuntimeSession<'p>,
-    /// Memoized oracle prediction of the current (workload, incumbent)
-    /// pair. Placement probes run for *every* offered event against
-    /// *every* shard, but a shard's incumbent only changes when its own
-    /// `apply` runs — so the prediction is cached here and invalidated on
-    /// apply.
-    incumbent_prediction: std::cell::RefCell<Option<Vec<f64>>>,
-    /// Memoized current (workload, incumbent mapping) pair — building a
-    /// `Workload` constructs full per-model layer graphs, far too
-    /// expensive to repeat for every probe of every offered event.
-    /// `None` = not computed yet; `Some(None)` = computed, shard idle.
-    /// Invalidated on apply.
-    current_state: std::cell::RefCell<Option<Option<ShardState>>>,
-    /// Memoized placement-probe trial workloads (live set + arrival),
-    /// keyed by arrival model. Invalidated on apply.
-    trial_cache: std::cell::RefCell<HashMap<ModelId, std::rc::Rc<Workload>>>,
-}
-
-/// A shard's current (workload, incumbent mapping) pair, shared out of
-/// the memo without cloning the underlying layer graphs.
-type ShardState = std::rc::Rc<(Workload, Mapping)>;
-
-/// The fused scorer's memo of oracle answers: one map per platform
-/// group, keyed by probe fingerprint (lookups borrow the fingerprint as
-/// `&[u8]` — no allocation on the hot path).
-type ProbeMemo = Vec<HashMap<Vec<u8>, Vec<Vec<f64>>>>;
-
-impl<O: ThroughputOracle> Shard<'_, O> {
-    fn live_len(&self) -> usize {
-        self.session.live().len()
-    }
-
-    /// Current workload + incumbent mapping in live order, memoized until
-    /// the next `apply` (`None` when idle).
-    fn current(&self) -> Option<ShardState> {
-        self.current_state
-            .borrow_mut()
-            .get_or_insert_with(|| {
-                if self.session.live().is_empty() {
-                    return None;
-                }
-                let workload =
-                    Workload::from_ids(self.session.live().iter().map(|(_, m)| *m));
-                let per_dnn: Vec<Vec<ComponentId>> = self
-                    .session
-                    .live()
-                    .iter()
-                    .map(|(id, _)| {
-                        self.session.placement(*id).expect("live instance placed").to_vec()
-                    })
-                    .collect();
-                Some(std::rc::Rc::new((workload, Mapping::new(per_dnn))))
-            })
-            .clone()
-    }
-
-    /// The probe trial workload for an arriving `model` (live set first,
-    /// arrival appended), memoized until the next `apply`.
-    fn trial(&self, model: ModelId) -> std::rc::Rc<Workload> {
-        self.trial_cache
-            .borrow_mut()
-            .entry(model)
-            .or_insert_with(|| {
-                std::rc::Rc::new(Workload::from_ids(
-                    self.session
-                        .live()
-                        .iter()
-                        .map(|(_, m)| *m)
-                        .chain(std::iter::once(model)),
-                ))
-            })
-            .clone()
-    }
-
-    /// The oracle's per-DNN prediction for the current incumbent,
-    /// memoized until the next `apply`.
-    fn predict_incumbent(&self, workload: &Workload, incumbent: &Mapping) -> Vec<f64> {
-        self.incumbent_prediction
-            .borrow_mut()
-            .get_or_insert_with(|| self.oracle.predict(workload, incumbent))
-            .clone()
-    }
-
-    fn apply(&mut self, at: f64, events: &[DynamicEvent], window: f64) -> Vec<InstanceId> {
-        self.incumbent_prediction.get_mut().take();
-        self.current_state.get_mut().take();
-        self.trial_cache.get_mut().clear();
-        self.session.advance_to(at);
-        self.session.apply(events, window, &mut self.mapper)
-    }
-}
-
-/// One prepared placement probe: everything needed to score one shard for
-/// one arrival, minus the oracle's answers.
-struct Probe {
-    shard: usize,
-    group: usize,
-    trial: std::rc::Rc<Workload>,
-    candidates: Vec<Mapping>,
-    weights: Vec<f64>,
-    /// The shard's current weighted potential (0 when idle) — the
-    /// baseline the delta is measured against.
-    before: f64,
-    /// The arrival model's ideal rate on this shard's board.
-    arrival_ideal: f64,
-    /// Dedup fingerprint: two probes of the same group with equal keys
-    /// are the identical oracle question (same trial set, same survivor
-    /// placements, same weights) and share one evaluation under fused
-    /// scoring.
-    key: Vec<u8>,
-}
-
-/// Where an admitted request currently runs.
-#[derive(Debug, Clone, Copy)]
-enum Disposition {
-    Rejected,
-    Active { shard: usize, instance: InstanceId },
-}
+use rankmap_platform::Platform;
 
 /// Everything a fleet run produces.
 #[derive(Debug, Clone)]
@@ -264,25 +77,13 @@ pub struct FleetOutcome {
     pub placement_latency: LatencyStats,
 }
 
-/// Upper bound on memoized probe answers before the fused scorer resets
-/// its memo wholesale (each entry is one probe's candidate predictions —
-/// a few hundred bytes).
-const PROBE_MEMO_BOUND: usize = 8_192;
-
 /// A fleet of emulated boards behind one admission/placement layer.
+///
+/// This is the public facade over the shard-parallel [`FleetExecutor`]:
+/// construction, plan-cache warming, probe-score observability, and the
+/// execute/replay entry points.
 pub struct FleetRuntime<'p, O: ThroughputOracle> {
-    config: FleetConfig,
-    /// Per-group oracle, indexed by [`Shard::group`].
-    group_oracles: Vec<&'p O>,
-    /// Per-shard platform names, in shard order (the trace's fleet mix).
-    platforms: Vec<String>,
-    /// The fused scorer's cross-event memo: per-group oracle answers
-    /// keyed by probe fingerprint. A fingerprint fully determines the
-    /// question (trial set, survivor placements, weights), so entries are
-    /// pure and never stale; the maps reset wholesale past
-    /// [`PROBE_MEMO_BOUND`].
-    probe_memo: std::cell::RefCell<ProbeMemo>,
-    shards: Vec<Shard<'p, O>>,
+    executor: FleetExecutor<'p, O>,
 }
 
 impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
@@ -324,40 +125,7 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
     /// assert_eq!(outcome.metrics.admitted, 2);
     /// ```
     pub fn new(spec: &FleetSpec<'p, O>, config: FleetConfig) -> Self {
-        let mut shards = Vec::with_capacity(spec.shard_count());
-        let mut group_oracles = Vec::with_capacity(spec.groups().len());
-        for (g, group) in spec.groups().iter().enumerate() {
-            group_oracles.push(group.oracle);
-            let ideals = ideal_rates(group.platform, &ModelId::all());
-            let runtime = DynamicRuntime::new(group.platform, config.sample_dt)
-                .with_gain_objective(config.objective)
-                .with_migration_awareness(config.migration_aware);
-            for _ in 0..group.count {
-                let i = shards.len();
-                shards.push(Shard {
-                    platform: group.platform,
-                    oracle: group.oracle,
-                    group: g,
-                    ideals: ideals.clone(),
-                    mapper: RankMapMapper::new(
-                        RankMapManager::new(group.platform, group.oracle, config.manager),
-                        PriorityMode::Dynamic,
-                        format!("shard-{i}"),
-                    ),
-                    session: runtime.session_with_ideals(ideals.clone()),
-                    incumbent_prediction: std::cell::RefCell::new(None),
-                    current_state: std::cell::RefCell::new(None),
-                    trial_cache: std::cell::RefCell::new(HashMap::new()),
-                });
-            }
-        }
-        Self {
-            config,
-            probe_memo: std::cell::RefCell::new(vec![HashMap::new(); group_oracles.len()]),
-            group_oracles,
-            platforms: spec.platform_names(),
-            shards,
-        }
+        Self { executor: FleetExecutor::new(spec, config) }
     }
 
     /// Builds a homogeneous fleet: `shards` copies of the same platform
@@ -379,17 +147,29 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.executor.shards.len()
     }
 
     /// Per-shard platform names, in shard order — the fleet mix a trace
     /// records and replay verifies.
     pub fn platform_names(&self) -> &[String] {
-        &self.platforms
+        &self.executor.platforms
+    }
+
+    /// `(hits, misses)` of the fused scorer's cross-event probe memo —
+    /// observability for tests and benches (the memo is LRU-bounded by
+    /// [`FleetConfig::probe_memo_capacity`]; hits answer a probe without
+    /// an oracle call and are bit-identical to recomputing it). Counters
+    /// tally unique oracle questions per event: shards sharing a
+    /// deduplicated probe count once, so the hit ratio reflects actual
+    /// oracle-call savings.
+    pub fn probe_memo_stats(&self) -> (u64, u64) {
+        self.executor.probe_memo.stats()
     }
 
     /// Boots shard plan caches from a
-    /// [`RankMapManager::export_plan_cache`] snapshot ("serve yesterday's
+    /// [`RankMapManager::export_plan_cache`](rankmap_core::manager::RankMapManager::export_plan_cache)
+    /// snapshot ("serve yesterday's
     /// plans"). The snapshot is parsed once, then installed onto every
     /// shard whose board it was recorded for: a platform-tagged snapshot
     /// only warms shards with the matching
@@ -409,7 +189,7 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
         let loaded = rankmap_core::plan_cache::PlanCache::from_json(json)?;
         let mut served = None;
         let mut last_err = None;
-        for shard in &self.shards {
+        for shard in &self.executor.shards {
             let compatible = loaded
                 .validate_platform(&shard.platform.signature())
                 .and_then(|()| loaded.validate_components(shard.platform.component_count()));
@@ -428,111 +208,6 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
         }
     }
 
-    /// Prepares the placement probe for shard `s` and an arriving
-    /// `model`: trial workload, per-component candidates, weights, and
-    /// the shard's baseline score. `None` if the shard is at capacity.
-    fn build_probe(&self, s: usize, model: ModelId) -> Option<Probe> {
-        let shard = &self.shards[s];
-        if shard.live_len() >= self.config.max_per_shard {
-            return None;
-        }
-        let arrival_ideal = ideal_rate_of(&shard.ideals, model);
-        // Trial workload: survivors first (keeping their incumbent
-        // placements), the arrival appended, tried on every component.
-        let trial = shard.trial(model);
-        // One weight basis for both sides of the delta: the trial
-        // workload's resolved vector, its survivor prefix applied to the
-        // "before" score. Scoring "before" under the n-DNN vector would
-        // let a Static→Dynamic fallback (effective_mode on the n+1
-        // workload) masquerade as a placement gain.
-        let weights = priorities_or_uniform(&shard.mapper, &trial);
-        let (before, survivors) = match shard.current() {
-            None => (0.0, Vec::new()),
-            Some(state) => {
-                let (workload, incumbent) = (&state.0, &state.1);
-                let per_dnn = shard.predict_incumbent(workload, incumbent);
-                let score = weighted_potential(
-                    &shard.ideals,
-                    workload,
-                    &per_dnn,
-                    &weights[..workload.len()],
-                );
-                (score, incumbent.per_dnn().to_vec())
-            }
-        };
-        let arrival_units = trial.models().last().expect("arrival present").unit_count();
-        let candidates: Vec<Mapping> = (0..shard.platform.component_count())
-            .map(|c| {
-                let mut per_dnn = survivors.clone();
-                per_dnn.push(vec![ComponentId::new(c); arrival_units]);
-                Mapping::new(per_dnn)
-            })
-            .collect();
-        // Fingerprint the oracle question for fused dedup: model ids,
-        // survivor placements, and the weight vector pin the answer.
-        let mut key = Vec::with_capacity(trial.len() * 9 + survivors.len() * 8);
-        for m in trial.models() {
-            key.push(m.id() as u8);
-        }
-        for assign in &survivors {
-            key.push(0xFF);
-            key.extend(assign.iter().map(|c| c.index() as u8));
-        }
-        for w in &weights {
-            key.extend_from_slice(&w.to_bits().to_le_bytes());
-        }
-        Some(Probe {
-            shard: s,
-            group: shard.group,
-            trial,
-            candidates,
-            weights,
-            before,
-            arrival_ideal,
-            key,
-        })
-    }
-
-    /// Folds the oracle's candidate predictions into a shard score:
-    /// `(best normalized-potential delta, arrival's predicted potential
-    /// under the best candidate)`.
-    fn fold_probe(&self, probe: &Probe, predictions: &[Vec<f64>]) -> Option<(f64, f64)> {
-        let ideals = &self.shards[probe.shard].ideals;
-        // Prefer the best-scoring candidate that clears the admission
-        // floor; only when *no* component placement clears it does the
-        // shard report a below-floor arrival (and get skipped by
-        // `place`). Judging the floor on the single best-total candidate
-        // would reject arrivals a slightly-lower-scoring component could
-        // serve fine.
-        let mut best_any: Option<(f64, f64)> = None;
-        let mut best_clearing: Option<(f64, f64)> = None;
-        for per_dnn in predictions {
-            let arrival_pot = per_dnn.last().copied().unwrap_or(0.0) / probe.arrival_ideal;
-            let score = weighted_potential(ideals, &probe.trial, per_dnn, &probe.weights);
-            if best_any.is_none_or(|(b, _)| score > b) {
-                best_any = Some((score, arrival_pot));
-            }
-            if arrival_pot >= self.config.admission_floor
-                && best_clearing.is_none_or(|(b, _)| score > b)
-            {
-                best_clearing = Some((score, arrival_pot));
-            }
-        }
-        best_clearing
-            .or(best_any)
-            .map(|(score, arrival_pot)| (score - probe.before, arrival_pot))
-    }
-
-    /// Scores placing `model` onto shard `s` through the serial path:
-    /// `(best normalized-potential delta, arrival's predicted potential
-    /// under the best candidate)`. `None` if the shard is at capacity.
-    fn score_shard(&self, s: usize, model: ModelId) -> Option<(f64, f64)> {
-        let probe = self.build_probe(s, model)?;
-        let predictions =
-            self.shards[s].oracle.predict_batch(&probe.trial, &probe.candidates);
-        self.fold_probe(&probe, &predictions)
-    }
-
     /// Scores placing `model` on every shard: `scores[s]` is the shard's
     /// `(normalized potential delta, arrival potential)` — the router's
     /// decision inputs — or `None` for shards at capacity. Potentials are
@@ -544,221 +219,16 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
     /// the identical question) *and* across events (a probe's fingerprint
     /// fully determines the oracle's answer, so a shard whose state has
     /// not changed since the same model last arrived is answered from the
-    /// probe memo) — and the remaining unique questions answered by one
-    /// [`ThroughputOracle::predict_grouped`] call per oracle. Otherwise
-    /// each shard is scored by its own `predict_batch` call. Both paths
-    /// produce bit-identical scores.
-    pub fn probe_scores(&self, model: ModelId) -> Vec<Option<(f64, f64)>> {
-        self.probe_scores_excluding(model, None)
-    }
-
-    /// [`FleetRuntime::probe_scores`] with an optional shard left out
-    /// entirely (no probe built, no oracle question) — the rebalancer
-    /// scores a victim's destinations this way so the source shard never
-    /// costs an evaluation it is about to discard.
-    fn probe_scores_excluding(
-        &self,
-        model: ModelId,
-        exclude: Option<usize>,
-    ) -> Vec<Option<(f64, f64)>> {
-        let mut scores: Vec<Option<(f64, f64)>> = vec![None; self.shards.len()];
-        if !self.config.fused_scoring {
-            for (s, score) in scores.iter_mut().enumerate() {
-                if Some(s) != exclude {
-                    *score = self.score_shard(s, model);
-                }
-            }
-            return scores;
-        }
-        let probes: Vec<Probe> = (0..self.shards.len())
-            .filter(|&s| Some(s) != exclude)
-            .filter_map(|s| self.build_probe(s, model))
-            .collect();
-        for g in 0..self.group_oracles.len() {
-            // Deduplicate this group's probes against the cross-event
-            // memo and against each other: every distinct oracle question
-            // is asked exactly once.
-            let members: Vec<&Probe> = probes.iter().filter(|p| p.group == g).collect();
-            if members.is_empty() {
-                continue;
-            }
-            let mut unique: Vec<&Probe> = Vec::new();
-            let mut slot_of: HashMap<&[u8], usize> = HashMap::new();
-            // Answer per member: Ok(memoized predictions) or Err(slot
-            // into the unique list awaiting this event's grouped call).
-            let memo = self.probe_memo.borrow();
-            let pending: Vec<Result<Vec<Vec<f64>>, usize>> = members
-                .iter()
-                .map(|probe| {
-                    if let Some(hit) = memo[g].get(probe.key.as_slice()) {
-                        return Ok(hit.clone());
-                    }
-                    Err(*slot_of.entry(probe.key.as_slice()).or_insert_with(|| {
-                        unique.push(probe);
-                        unique.len() - 1
-                    }))
-                })
-                .collect();
-            drop(memo);
-            let queries: Vec<(&Workload, &[Mapping])> =
-                unique.iter().map(|p| (p.trial.as_ref(), p.candidates.as_slice())).collect();
-            let predictions = self.group_oracles[g].predict_grouped(&queries);
-            {
-                let mut memo = self.probe_memo.borrow_mut();
-                // The memo is pure (key ⇒ answer), so staleness is
-                // impossible; the only pressure is memory, handled by a
-                // wholesale reset past the bound.
-                if memo.iter().map(HashMap::len).sum::<usize>() + unique.len()
-                    > PROBE_MEMO_BOUND
-                {
-                    memo.iter_mut().for_each(HashMap::clear);
-                }
-                for (probe, answer) in unique.iter().zip(&predictions) {
-                    memo[g].insert(probe.key.clone(), answer.clone());
-                }
-            }
-            for (probe, answer) in members.iter().zip(&pending) {
-                let predictions = match answer {
-                    Ok(memoized) => memoized,
-                    Err(slot) => &predictions[*slot],
-                };
-                scores[probe.shard] = self.fold_probe(probe, predictions);
-            }
-        }
-        scores
-    }
-
-    /// The admission/placement decision: the shard with the best
-    /// normalized potential delta whose arrival potential clears the
-    /// floor, or `None` (reject).
-    fn place(&self, model: ModelId) -> Option<(usize, f64)> {
-        let mut best: Option<(usize, f64)> = None;
-        for (s, score) in self.probe_scores(model).into_iter().enumerate() {
-            let Some((delta, arrival_pot)) = score else { continue };
-            if arrival_pot < self.config.admission_floor {
-                continue;
-            }
-            if best.is_none_or(|(_, b)| delta > b) {
-                best = Some((s, delta));
-            }
-        }
-        best
-    }
-
-    /// Unweighted mean potential of a predicted report under a shard's
-    /// own ideals — the collapse signal the rebalancer watches (and
-    /// re-checks on the survivor set).
-    fn uniform_mean_potential(&self, s: usize, workload: &Workload, per_dnn: &[f64]) -> f64 {
-        let uniform = vec![1.0; workload.len()];
-        weighted_potential(&self.shards[s].ideals, workload, per_dnn, &uniform)
-            / workload.len() as f64
-    }
-
-    /// Mean predicted potential of a shard's current workload under its
-    /// incumbent mapping (`None` when idle).
-    fn shard_mean_potential(&self, s: usize) -> Option<f64> {
-        let shard = &self.shards[s];
-        let state = shard.current()?;
-        let per_dnn = shard.predict_incumbent(&state.0, &state.1);
-        Some(self.uniform_mean_potential(s, &state.0, &per_dnn))
-    }
-
-    /// One rebalance attempt at time `t`: if some shard's mean predicted
-    /// potential collapsed below the threshold, move its lowest-priority
-    /// instance to the shard that takes it best — provided the move
-    /// clears the admission floor at the destination and improves the
-    /// source by the configured margin. Because every quantity involved
-    /// is a fraction of the owning board's ideal, a collapsed Jetson can
-    /// shed onto an Orange Pi (and vice versa) on equal terms. Returns
-    /// the migration performed.
-    fn maybe_rebalance(
-        &mut self,
-        t: f64,
-        requests: &mut HashMap<RequestId, Disposition>,
-    ) -> Option<(usize, usize)> {
-        // Worst collapsed shard with something to shed.
-        let (src, src_mean) = (0..self.shards.len())
-            .filter(|&s| self.shards[s].live_len() >= 2)
-            .filter_map(|s| self.shard_mean_potential(s).map(|m| (s, m)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))?;
-        if src_mean >= self.config.rebalance_threshold {
-            return None;
-        }
-        // Victim: the live instance with the smallest priority weight.
-        let state = self.shards[src].current()?;
-        let (workload, incumbent) = (&state.0, &state.1);
-        let weights = priorities_or_uniform(&self.shards[src].mapper, workload);
-        let victim_idx = weights
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)?;
-        let (victim_id, victim_model) = self.shards[src].session.live()[victim_idx];
-        // Does shedding the victim actually heal the source?
-        let keep = |d: usize| d != victim_idx;
-        let survivors = Workload::from_ids(
-            workload.models().iter().enumerate().filter(|&(d, _)| keep(d)).map(|(_, m)| m.id()),
-        );
-        let survivor_mapping = Mapping::new(
-            incumbent
-                .per_dnn()
-                .iter()
-                .enumerate()
-                .filter(|&(d, _)| keep(d))
-                .map(|(_, assign)| assign.clone())
-                .collect(),
-        );
-        let healed = self.uniform_mean_potential(
-            src,
-            &survivors,
-            &self.shards[src].oracle.predict(&survivors, &survivor_mapping),
-        );
-        if healed < src_mean + self.config.rebalance_margin {
-            return None;
-        }
-        // Best destination (capacity + floor), excluding the source. The
-        // destination's own predicted loss must not exceed the source's
-        // predicted healing (heuristically comparing the weighted delta
-        // against the uniform mean gain — both normalized
-        // fraction-of-ideal scale, so the comparison holds across board
-        // types), so a move that hurts the fleet more than it heals the
-        // source never fires and migrations cannot thrash between loaded
-        // shards.
-        let healing = healed - src_mean;
-        let dst = self
-            .probe_scores_excluding(victim_model, Some(src))
-            .into_iter()
-            .enumerate()
-            .filter_map(|(s, score)| {
-                score.and_then(|(delta, arrival_pot)| {
-                    (arrival_pot >= self.config.admission_floor && delta >= -healing)
-                        .then_some((s, delta))
-                })
-            })
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(s, _)| s)?;
-        // Execute: depart from the source, arrive at the destination. The
-        // receiving board is not free — charge it (at least) the full
-        // on-board restage of the victim's weights plus its stem rebuild,
-        // over *its own* transfer link, so rebalancing cannot ping-pong
-        // instances at no modeled cost.
-        let window = self.config.decision_window;
-        self.shards[src].apply(t, &[DynamicEvent::depart(t, victim_id)], window);
-        let assigned =
-            self.shards[dst].apply(t, &[DynamicEvent::arrive(t, victim_model)], window);
-        let new_id = assigned[0];
-        let victim_workload = Workload::from_ids([victim_model]);
-        let transfer = MigrationModel::new(self.shards[dst].platform)
-            .full_restage(&victim_workload)
-            .stall_seconds;
-        self.shards[dst].session.charge_stall(transfer);
-        if let Some(entry) = requests.values_mut().find(|d| {
-            matches!(d, Disposition::Active { shard, instance }
-                     if *shard == src && *instance == victim_id)
-        }) {
-            *entry = Disposition::Active { shard: dst, instance: new_id };
-        }
-        Some((src, dst))
+    /// LRU probe memo) — and the remaining unique questions answered by
+    /// one [`ThroughputOracle::predict_grouped`] call per oracle.
+    /// Otherwise each shard is scored by its own `predict_batch` call.
+    /// Both paths produce bit-identical scores, at any
+    /// [`crate::Parallelism`].
+    ///
+    /// Takes `&mut self`: probe building refreshes the per-shard memos
+    /// (shards are owned `Send` state now — no interior mutability).
+    pub fn probe_scores(&mut self, model: ModelId) -> Vec<Option<(f64, f64)>> {
+        self.executor.probe_scores(model)
     }
 
     /// Runs a sorted fleet event stream to `horizon`, consuming the fleet.
@@ -768,116 +238,8 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
     /// Panics if `events` is not sorted by time or reaches outside
     /// `[0, horizon)` — e.g. a stream generated for a longer horizon than
     /// the one passed here.
-    pub fn execute(mut self, events: &[FleetEvent], horizon: f64) -> FleetOutcome {
-        assert!(
-            events.windows(2).all(|w| w[0].at() <= w[1].at()),
-            "fleet events must be sorted by time"
-        );
-        assert!(
-            events
-                .iter()
-                .all(|e| (0.0..horizon).contains(&e.at())),
-            "fleet events must lie within [0, horizon)"
-        );
-        let window = self.config.decision_window;
-        let mut requests: HashMap<RequestId, Disposition> = HashMap::new();
-        let mut placements = Vec::new();
-        let mut latencies = Vec::new();
-        let mut admitted = 0u64;
-        let mut rejected = 0u64;
-        let mut migrations = 0u64;
-        let mut per_shard_admitted = vec![0u64; self.shards.len()];
-        for event in events {
-            let t = event.at();
-            match event {
-                FleetEvent::Arrive { request, model, .. } => {
-                    let started = Instant::now();
-                    let decision = self.place(*model);
-                    latencies.push(started.elapsed());
-                    match decision {
-                        Some((s, delta)) => {
-                            let assigned =
-                                self.shards[s].apply(t, &[DynamicEvent::arrive(t, *model)], window);
-                            requests.insert(
-                                *request,
-                                Disposition::Active { shard: s, instance: assigned[0] },
-                            );
-                            admitted += 1;
-                            per_shard_admitted[s] += 1;
-                            placements.push(PlacementRecord {
-                                request: *request,
-                                at: t,
-                                outcome: PlacementOutcome::Admitted { shard: s },
-                                predicted_delta: delta,
-                            });
-                        }
-                        None => {
-                            requests.insert(*request, Disposition::Rejected);
-                            rejected += 1;
-                            placements.push(PlacementRecord {
-                                request: *request,
-                                at: t,
-                                outcome: PlacementOutcome::Rejected,
-                                predicted_delta: 0.0,
-                            });
-                        }
-                    }
-                }
-                FleetEvent::Depart { request, .. } => {
-                    if let Some(Disposition::Active { shard, instance }) =
-                        requests.remove(request)
-                    {
-                        self.shards[shard].apply(t, &[DynamicEvent::depart(t, instance)], window);
-                    }
-                }
-                FleetEvent::SetPriorities { mode, .. } => {
-                    for shard in &mut self.shards {
-                        shard.apply(
-                            t,
-                            &[DynamicEvent::SetPriorities { at: t, mode: mode.clone() }],
-                            window,
-                        );
-                    }
-                }
-            }
-            // Departures free capacity and arrivals shift contention —
-            // both are rebalance opportunities.
-            if let Some((_, dst)) = self.maybe_rebalance(t, &mut requests) {
-                migrations += 1;
-                per_shard_admitted[dst] += 1;
-            }
-        }
-        let timelines: Vec<Vec<TimelinePoint>> = self
-            .shards
-            .into_iter()
-            .map(|mut shard| {
-                shard.session.finish(horizon);
-                shard.session.into_timeline()
-            })
-            .collect();
-        let per_shard_potential: Vec<f64> =
-            timelines.iter().map(|tl| timeline_average_potential(tl)).collect();
-        let aggregate_potential_seconds: f64 = timelines
-            .iter()
-            .flat_map(|tl| tl.iter())
-            .map(|pt| pt.potentials.iter().sum::<f64>() * pt.span)
-            .sum();
-        FleetOutcome {
-            metrics: FleetMetrics {
-                shards: per_shard_potential.len(),
-                offered: admitted + rejected,
-                admitted,
-                rejected,
-                migrations,
-                per_shard_potential,
-                per_shard_admitted,
-                per_shard_platform: self.platforms,
-                aggregate_potential_seconds,
-            },
-            placements,
-            timelines,
-            placement_latency: LatencyStats::from_durations(latencies),
-        }
+    pub fn execute(self, events: &[FleetEvent], horizon: f64) -> FleetOutcome {
+        self.executor.run(events, horizon)
     }
 
     /// Replays a recorded trace (see [`Trace`]): the trace's shard count
@@ -897,7 +259,8 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
         );
         if !trace.meta.platforms.is_empty() {
             assert_eq!(
-                trace.meta.platforms, self.platforms,
+                trace.meta.platforms,
+                self.executor.platforms,
                 "trace was recorded on a different fleet platform mix"
             );
         }
@@ -908,8 +271,13 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::load::RequestId;
+    use crate::metrics::PlacementOutcome;
     use crate::spec::ShardSpec;
+    use rankmap_core::manager::{ManagerConfig, RankMapManager};
     use rankmap_core::oracle::AnalyticalOracle;
+    use rankmap_core::priority::PriorityMode;
+    use rankmap_sim::Workload;
 
     fn quick_config() -> FleetConfig {
         FleetConfig {
@@ -920,6 +288,12 @@ mod tests {
 
     fn arrive(at: f64, k: u64, model: ModelId) -> FleetEvent {
         FleetEvent::Arrive { at, request: RequestId::new(k), model }
+    }
+
+    #[test]
+    fn fleet_runtime_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<FleetRuntime<'static, AnalyticalOracle<'static>>>();
     }
 
     #[test]
@@ -1125,6 +499,60 @@ mod tests {
         assert_eq!(fused.placements, serial.placements);
         assert_eq!(fused.metrics, serial.metrics);
         assert_eq!(fused.timelines, serial.timelines);
+    }
+
+    #[test]
+    fn tiny_probe_memo_changes_no_decision() {
+        // The LRU bound is a memory knob, not a policy: a memo that can
+        // hold a single answer (evicting on every insert) must produce
+        // the exact outcome of the default bound — eviction only costs a
+        // recomputation, because entries are pure.
+        let p = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&p);
+        let events: Vec<FleetEvent> = [
+            ModelId::ResNet50,
+            ModelId::AlexNet,
+            ModelId::ResNet50,
+            ModelId::AlexNet,
+            ModelId::MobileNet,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(k, &m)| arrive(k as f64 * 4.0, k as u64, m))
+        .collect();
+        let roomy = FleetRuntime::homogeneous(&p, &oracle, 3, quick_config())
+            .execute(&events, 120.0);
+        let starved = FleetRuntime::homogeneous(
+            &p,
+            &oracle,
+            3,
+            FleetConfig { probe_memo_capacity: 1, ..quick_config() },
+        )
+        .execute(&events, 120.0);
+        assert_eq!(roomy.placements, starved.placements);
+        assert_eq!(roomy.metrics, starved.metrics);
+        assert_eq!(roomy.timelines, starved.timelines);
+    }
+
+    #[test]
+    fn repeated_probes_hit_the_cross_event_memo() {
+        // Two identical arrivals against an unchanged shard ask the
+        // identical oracle question: the second must be answered from the
+        // memo (and the answer is bit-identical by the purity of the
+        // fingerprint, which tiny_probe_memo_changes_no_decision checks
+        // end to end).
+        let p = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&p);
+        let mut fleet = FleetRuntime::homogeneous(&p, &oracle, 2, quick_config());
+        let first = fleet.probe_scores(ModelId::AlexNet);
+        let (hits_after_first, _) = fleet.probe_memo_stats();
+        let second = fleet.probe_scores(ModelId::AlexNet);
+        let (hits_after_second, _) = fleet.probe_memo_stats();
+        assert_eq!(first, second, "an unchanged fleet scores identically");
+        assert!(
+            hits_after_second > hits_after_first,
+            "the repeat probe must be served from the memo: {hits_after_first} → {hits_after_second}"
+        );
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! One device shard: its board profile, mapper, step-wise serving
+//! session, and the per-shard memos the placement layer leans on.
+//!
+//! A [`Shard`] is deliberately **owned, `Send` state** — no `Rc`, no
+//! `RefCell` — so the executor can hand `&mut Shard` to a worker thread
+//! between event barriers (see `crate::executor`). Every memo is a plain
+//! field mutated through `&mut self`: a shard is only ever touched by one
+//! thread at a time, and the type system now proves it.
+
+use rankmap_core::oracle::ThroughputOracle;
+use rankmap_core::runtime::{
+    weighted_potential, DynamicEvent, InstanceId, RankMapMapper, RuntimeSession,
+};
+use rankmap_models::ModelId;
+use rankmap_platform::{ComponentId, Platform};
+use rankmap_sim::{Mapping, Workload};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A shard's current (workload, incumbent mapping) pair, shared out of
+/// the memo without cloning the underlying layer graphs.
+pub(crate) type ShardState = Arc<(Workload, Mapping)>;
+
+/// One device shard: its board, mapper (manager + priority mode), and
+/// step-wise serving session.
+pub(crate) struct Shard<'p, O: ThroughputOracle> {
+    /// The shard's own board profile.
+    pub(crate) platform: &'p Platform,
+    /// The oracle scoring this shard's placements (shared by its group).
+    pub(crate) oracle: &'p O,
+    /// Index of the shard's [`crate::FleetSpec`] group — the fused
+    /// scorer's batching domain.
+    pub(crate) group: usize,
+    /// Per-model ideal rates measured on *this* board — the normalization
+    /// denominators of every potential this shard reports.
+    pub(crate) ideals: HashMap<ModelId, f64>,
+    pub(crate) mapper: RankMapMapper<'p, O>,
+    pub(crate) session: RuntimeSession<'p>,
+    /// Memoized oracle prediction of the current (workload, incumbent)
+    /// pair. Placement probes run for *every* offered event against
+    /// *every* shard, but a shard's incumbent only changes when its own
+    /// `apply` runs — so the prediction is cached here and invalidated on
+    /// apply.
+    incumbent_prediction: Option<Vec<f64>>,
+    /// Memoized current (workload, incumbent mapping) pair — building a
+    /// `Workload` constructs full per-model layer graphs, far too
+    /// expensive to repeat for every probe of every offered event.
+    /// `None` = not computed yet; `Some(None)` = computed, shard idle.
+    /// Invalidated on apply.
+    current_state: Option<Option<ShardState>>,
+    /// Memoized placement-probe trial workloads (live set + arrival),
+    /// keyed by arrival model. Invalidated on apply.
+    trial_cache: HashMap<ModelId, Arc<Workload>>,
+}
+
+impl<'p, O: ThroughputOracle> Shard<'p, O> {
+    /// Assembles a shard with cold memos.
+    pub(crate) fn new(
+        platform: &'p Platform,
+        oracle: &'p O,
+        group: usize,
+        ideals: HashMap<ModelId, f64>,
+        mapper: RankMapMapper<'p, O>,
+        session: RuntimeSession<'p>,
+    ) -> Self {
+        Self {
+            platform,
+            oracle,
+            group,
+            ideals,
+            mapper,
+            session,
+            incumbent_prediction: None,
+            current_state: None,
+            trial_cache: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn live_len(&self) -> usize {
+        self.session.live().len()
+    }
+
+    /// Current workload + incumbent mapping in live order, memoized until
+    /// the next `apply` (`None` when idle).
+    pub(crate) fn current(&mut self) -> Option<ShardState> {
+        if self.current_state.is_none() {
+            self.current_state = Some(if self.session.live().is_empty() {
+                None
+            } else {
+                let workload =
+                    Workload::from_ids(self.session.live().iter().map(|(_, m)| *m));
+                let per_dnn: Vec<Vec<ComponentId>> = self
+                    .session
+                    .live()
+                    .iter()
+                    .map(|(id, _)| {
+                        self.session.placement(*id).expect("live instance placed").to_vec()
+                    })
+                    .collect();
+                Some(Arc::new((workload, Mapping::new(per_dnn))))
+            });
+        }
+        self.current_state.as_ref().expect("just computed").clone()
+    }
+
+    /// The probe trial workload for an arriving `model` (live set first,
+    /// arrival appended), memoized until the next `apply`.
+    pub(crate) fn trial(&mut self, model: ModelId) -> Arc<Workload> {
+        let session = &self.session;
+        self.trial_cache
+            .entry(model)
+            .or_insert_with(|| {
+                Arc::new(Workload::from_ids(
+                    session
+                        .live()
+                        .iter()
+                        .map(|(_, m)| *m)
+                        .chain(std::iter::once(model)),
+                ))
+            })
+            .clone()
+    }
+
+    /// The oracle's per-DNN prediction for the current incumbent,
+    /// memoized until the next `apply`.
+    pub(crate) fn predict_incumbent(
+        &mut self,
+        workload: &Workload,
+        incumbent: &Mapping,
+    ) -> Vec<f64> {
+        self.incumbent_prediction
+            .get_or_insert_with(|| self.oracle.predict(workload, incumbent))
+            .clone()
+    }
+
+    /// Unweighted mean potential of a predicted report under this shard's
+    /// own ideals — the collapse signal the rebalancer watches (and
+    /// re-checks on the survivor set).
+    pub(crate) fn uniform_mean_potential(&self, workload: &Workload, per_dnn: &[f64]) -> f64 {
+        let uniform = vec![1.0; workload.len()];
+        weighted_potential(&self.ideals, workload, per_dnn, &uniform)
+            / workload.len() as f64
+    }
+
+    /// Mean predicted potential of this shard's current workload under its
+    /// incumbent mapping (`None` when idle).
+    pub(crate) fn mean_potential(&mut self) -> Option<f64> {
+        let state = self.current()?;
+        let per_dnn = self.predict_incumbent(&state.0, &state.1);
+        Some(self.uniform_mean_potential(&state.0, &per_dnn))
+    }
+
+    /// Applies a batch of same-time events on this shard's session,
+    /// invalidating every probe memo first (the live set is about to
+    /// change).
+    pub(crate) fn apply(
+        &mut self,
+        at: f64,
+        events: &[DynamicEvent],
+        window: f64,
+    ) -> Vec<InstanceId> {
+        self.incumbent_prediction = None;
+        self.current_state = None;
+        self.trial_cache.clear();
+        self.session.advance_to(at);
+        self.session.apply(events, window, &mut self.mapper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmap_core::oracle::AnalyticalOracle;
+
+    /// The tentpole's structural guarantee: a shard can be handed to a
+    /// worker thread. This fails to compile if `Rc`/`RefCell` (or any
+    /// other non-`Send` state) creeps back in.
+    #[test]
+    fn shards_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Shard<'static, AnalyticalOracle<'static>>>();
+        assert_send::<ShardState>();
+    }
+}

@@ -52,7 +52,7 @@ fn scaled_board_keeps_its_normalized_scores() {
         ShardSpec::new(&orange, &orange_oracle, 1),
         ShardSpec::new(&fast, &fast_oracle, 1),
     ]);
-    let fleet = FleetRuntime::new(&spec, quick_config());
+    let mut fleet = FleetRuntime::new(&spec, quick_config());
     for model in probe_models() {
         let scores = fleet.probe_scores(model);
         let (d0, p0) = scores[0].expect("idle shard scores");
@@ -80,14 +80,14 @@ fn doubling_a_board_speed_does_not_change_its_ranking() {
     let fast_oracle = AnalyticalOracle::new(&fast_orange);
     let jetson_oracle = AnalyticalOracle::new(&jetson);
 
-    let baseline = FleetRuntime::new(
+    let mut baseline = FleetRuntime::new(
         &FleetSpec::new(vec![
             ShardSpec::new(&orange, &orange_oracle, 1),
             ShardSpec::new(&jetson, &jetson_oracle, 1),
         ]),
         quick_config(),
     );
-    let scaled = FleetRuntime::new(
+    let mut scaled = FleetRuntime::new(
         &FleetSpec::new(vec![
             ShardSpec::new(&fast_orange, &fast_oracle, 1),
             ShardSpec::new(&jetson, &jetson_oracle, 1),
@@ -95,15 +95,15 @@ fn doubling_a_board_speed_does_not_change_its_ranking() {
         quick_config(),
     );
     for model in probe_models() {
-        let deltas = |fleet: &FleetRuntime<AnalyticalOracle>| -> (f64, f64) {
+        let deltas = |fleet: &mut FleetRuntime<AnalyticalOracle>| -> (f64, f64) {
             let scores = fleet.probe_scores(model);
             (
                 scores[0].expect("idle shard scores").0,
                 scores[1].expect("idle shard scores").0,
             )
         };
-        let (b_orange, b_jetson) = deltas(&baseline);
-        let (s_orange, s_jetson) = deltas(&scaled);
+        let (b_orange, b_jetson) = deltas(&mut baseline);
+        let (s_orange, s_jetson) = deltas(&mut scaled);
         // The ideal-rate measurement quantizes at the event-count level
         // (~1%); a gap inside that band is a genuine tie whose order is
         // not meaningful. Decisive gaps must keep their winner.

@@ -1,0 +1,181 @@
+//! Determinism of the shard-parallel executor: `Parallelism::Threads(n)`
+//! must produce placements, metrics, and per-shard timelines
+//! **bit-identical** to `Parallelism::Sequential` — across seeds, load
+//! shapes, and thread counts (including widths far above the shard
+//! count) — and recorded traces must replay bit-for-bit *under the
+//! parallel executor*.
+//!
+//! This is the load-bearing guarantee of the executor refactor: threading
+//! is an execution strategy, never a policy. Work between event barriers
+//! is partitioned by shard and merged in canonical shard order, so no
+//! floating-point operation ever changes its association order (see
+//! `rankmap_fleet::executor`'s determinism argument).
+
+use proptest::prelude::*;
+use rankmap_core::manager::ManagerConfig;
+use rankmap_core::oracle::AnalyticalOracle;
+use rankmap_fleet::{
+    generate, ArrivalProcess, FleetConfig, FleetOutcome, FleetRuntime, FleetSpec, LoadSpec,
+    Parallelism, ShardSpec, Trace, TraceMeta,
+};
+use rankmap_platform::Platform;
+
+fn config(parallelism: Parallelism) -> FleetConfig {
+    FleetConfig {
+        manager: ManagerConfig { mcts_iterations: 40, warm_iterations: 20, ..Default::default() },
+        max_per_shard: 3,
+        // Rebalance eagerly so migrations (the concurrent two-shard
+        // apply) are part of what the property covers.
+        rebalance_threshold: 0.6,
+        rebalance_margin: 0.02,
+        parallelism,
+        ..Default::default()
+    }
+}
+
+fn load(seed: u64, process_idx: usize) -> LoadSpec {
+    let process = match process_idx {
+        0 => ArrivalProcess::Poisson { rate: 1.0 / 18.0 },
+        1 => ArrivalProcess::OnOff {
+            burst_rate: 0.2,
+            idle_rate: 0.01,
+            mean_burst: 30.0,
+            mean_idle: 60.0,
+        },
+        _ => ArrivalProcess::Diurnal { mean_rate: 1.0 / 15.0, amplitude: 0.8, period: 120.0 },
+    };
+    LoadSpec {
+        horizon: 240.0,
+        process,
+        mean_lifetime: 90.0,
+        // Priority churn exercises the widest barrier (every shard
+        // re-maps concurrently on a SetPriorities event).
+        priority_churn_rate: 1.0 / 80.0,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn run(platform: &Platform, spec: &LoadSpec, parallelism: Parallelism) -> FleetOutcome {
+    let oracle = AnalyticalOracle::new(platform);
+    let events = generate(spec);
+    FleetRuntime::homogeneous(platform, &oracle, 3, config(parallelism))
+        .execute(&events, spec.horizon)
+}
+
+fn assert_identical(reference: &FleetOutcome, candidate: &FleetOutcome, label: &str) {
+    assert_eq!(candidate.placements, reference.placements, "{label}: placement log diverged");
+    assert_eq!(candidate.metrics, reference.metrics, "{label}: metrics diverged");
+    assert_eq!(candidate.timelines, reference.timelines, "{label}: timelines diverged");
+    // Belt-and-braces bit comparison of the float payloads: `==` treats
+    // 0.0 and -0.0 as equal, bit patterns do not.
+    for (a, b) in reference.timelines.iter().flatten().zip(candidate.timelines.iter().flatten())
+    {
+        for (x, y) in a.potentials.iter().zip(&b.potentials) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: potential bits diverged");
+        }
+        for (x, y) in a.throughputs.iter().zip(&b.throughputs) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: throughput bits diverged");
+        }
+        assert_eq!(
+            a.migration_stall.to_bits(),
+            b.migration_stall.to_bits(),
+            "{label}: stall bits diverged"
+        );
+    }
+    for (a, b) in reference.placements.iter().zip(&candidate.placements) {
+        assert_eq!(
+            a.predicted_delta.to_bits(),
+            b.predicted_delta.to_bits(),
+            "{label}: predicted-delta bits diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The headline property: every thread count — serial, matching the
+    /// shard count, and far oversubscribing it — reproduces the
+    /// sequential reference byte for byte, across seeds and load shapes,
+    /// and the recorded trace replays bit-for-bit under the parallel
+    /// executor.
+    #[test]
+    fn threads_reproduce_sequential_bit_for_bit(
+        seed in 0u64..64,
+        process_idx in 0usize..3,
+    ) {
+        let platform = Platform::orange_pi_5();
+        let spec = load(seed, process_idx);
+        let reference = run(&platform, &spec, Parallelism::Sequential);
+        // A run worth comparing: the stream admitted something.
+        prop_assert!(reference.metrics.offered > 0);
+        for n in [1usize, 2, 4, 8] {
+            let threaded = run(&platform, &spec, Parallelism::Threads(n));
+            assert_identical(&reference, &threaded, &format!("Threads({n}) seed {seed}"));
+        }
+        // Trace replay under the parallel executor: record the stream,
+        // parse it back, and run it Threads(4) — still bit-identical.
+        let events = generate(&spec);
+        let trace = Trace::new(
+            TraceMeta::new(3, spec.horizon, spec.seed, "parallel-replay"),
+            events,
+        );
+        let parsed = Trace::from_jsonl(&trace.to_jsonl()).expect("trace parses");
+        let oracle = AnalyticalOracle::new(&platform);
+        let replayed =
+            FleetRuntime::homogeneous(&platform, &oracle, 3, config(Parallelism::Threads(4)))
+                .execute_trace(&parsed);
+        assert_identical(&reference, &replayed, &format!("replay seed {seed}"));
+    }
+}
+
+/// The mixed-fleet variant: two platform groups (two fused-scoring
+/// domains, two oracles) under the threaded executor still reproduce the
+/// sequential reference exactly.
+#[test]
+fn mixed_fleet_threads_match_sequential() {
+    let orange = Platform::orange_pi_5();
+    let jetson = Platform::jetson_orin_nx();
+    let orange_oracle = AnalyticalOracle::new(&orange);
+    let jetson_oracle = AnalyticalOracle::new(&jetson);
+    let spec = load(11, 1);
+    let events = generate(&spec);
+    let fleet = |parallelism| {
+        FleetRuntime::new(
+            &FleetSpec::new(vec![
+                ShardSpec::new(&orange, &orange_oracle, 2),
+                ShardSpec::new(&jetson, &jetson_oracle, 2),
+            ]),
+            FleetConfig { parallelism, ..config(parallelism) },
+        )
+    };
+    let reference = fleet(Parallelism::Sequential).execute(&events, spec.horizon);
+    assert!(reference.metrics.offered > 0);
+    for n in [2usize, 4, 8] {
+        let threaded = fleet(Parallelism::Threads(n)).execute(&events, spec.horizon);
+        assert_identical(&reference, &threaded, &format!("mixed Threads({n})"));
+    }
+}
+
+/// The non-fused (serial per-shard scoring) path is covered too: fused
+/// off + threads on must equal fused off + sequential.
+#[test]
+fn non_fused_scoring_is_thread_invariant() {
+    let platform = Platform::orange_pi_5();
+    let oracle = AnalyticalOracle::new(&platform);
+    let spec = load(3, 0);
+    let events = generate(&spec);
+    let run = |parallelism| {
+        FleetRuntime::homogeneous(
+            &platform,
+            &oracle,
+            3,
+            FleetConfig { fused_scoring: false, ..config(parallelism) },
+        )
+        .execute(&events, spec.horizon)
+    };
+    let reference = run(Parallelism::Sequential);
+    let threaded = run(Parallelism::Threads(4));
+    assert_identical(&reference, &threaded, "non-fused Threads(4)");
+}

@@ -586,6 +586,19 @@ mod tests {
     use super::*;
     use std::cell::Cell;
 
+    #[test]
+    fn search_machinery_is_send() {
+        // The fleet's shard-parallel executor runs one warm-started
+        // search per shard on a worker thread: the search engine, its
+        // config, the warm-start guide, and results must all be movable
+        // across threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<Mcts>();
+        assert_send::<MctsConfig>();
+        assert_send::<WarmStart>();
+        assert_send::<SearchResult<Vec<usize>>>();
+    }
+
     /// Maximize Σ bits over a fixed-length binary string.
     struct OneMax(usize);
 

@@ -64,3 +64,24 @@ pub use workload::{Mapping, MappingError, StageSpec, Workload};
 /// histogram bin; on our simulated board throughput never reaches exactly
 /// zero, so "indistinguishable from zero" is defined as 2%.
 pub const STARVATION_POTENTIAL: f64 = 0.02;
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    #[test]
+    fn engines_and_state_are_send_and_sync() {
+        // The serving stack moves per-shard engines to worker threads
+        // between event barriers (see rankmap-fleet): every engine and
+        // every piece of workload state must be Send, and the shared
+        // pieces (compile caches, workloads behind Arc) Sync.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalyticalEngine<'static>>();
+        assert_send_sync::<EventEngine<'static>>();
+        assert_send_sync::<MigrationModel<'static>>();
+        assert_send_sync::<CompileCache>();
+        assert_send_sync::<Workload>();
+        assert_send_sync::<Mapping>();
+        assert_send_sync::<ThroughputReport>();
+    }
+}

@@ -9,8 +9,8 @@
 use rankmap::core::manager::ManagerConfig;
 use rankmap::core::oracle::AnalyticalOracle;
 use rankmap::fleet::{
-    generate, ArrivalProcess, FleetConfig, FleetRuntime, LoadSpec, PlacementOutcome, Trace,
-    TraceMeta,
+    generate, ArrivalProcess, FleetConfig, FleetRuntime, LoadSpec, Parallelism,
+    PlacementOutcome, Trace, TraceMeta,
 };
 use rankmap::prelude::*;
 
@@ -48,6 +48,11 @@ fn main() {
             plan_cache_capacity: 256,
             ..Default::default()
         },
+        // The shard-parallel executor: per-shard work between event
+        // barriers fans across 4 worker threads. Outcomes are
+        // bit-identical to Parallelism::Sequential at any width — the
+        // replay assert at the bottom crosses executor modes to prove it.
+        parallelism: Parallelism::Threads(4),
         ..Default::default()
     };
     let fleet = FleetRuntime::homogeneous(&platform, &oracle, shards, config.clone());
@@ -78,12 +83,19 @@ fn main() {
         println!("rejected: {}", rejections.join(", "));
     }
 
-    // Record the run and replay it from the trace: bit-identical metrics.
+    // Record the run and replay it from the trace — on the *sequential*
+    // reference executor: bit-identical metrics across both the trace
+    // round-trip and the executor modes.
     let trace = Trace::new(TraceMeta::new(shards, spec.horizon, spec.seed, "example"), events);
     let jsonl = trace.to_jsonl();
-    println!("\ntrace: {} JSONL bytes; replaying...", jsonl.len());
-    let replayed = FleetRuntime::homogeneous(&platform, &oracle, shards, config)
-        .execute_trace(&Trace::from_jsonl(&jsonl).expect("trace parses"));
+    println!("\ntrace: {} JSONL bytes; replaying on the sequential executor...", jsonl.len());
+    let replayed = FleetRuntime::homogeneous(
+        &platform,
+        &oracle,
+        shards,
+        FleetConfig { parallelism: Parallelism::Sequential, ..config },
+    )
+    .execute_trace(&Trace::from_jsonl(&jsonl).expect("trace parses"));
     assert_eq!(replayed.metrics, outcome.metrics, "replay must be bit-identical");
-    println!("replay reproduced the fleet metrics bit-for-bit.");
+    println!("sequential replay reproduced the threaded run's metrics bit-for-bit.");
 }

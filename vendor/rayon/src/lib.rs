@@ -147,6 +147,51 @@ pub mod iter {
         });
         out.into_iter().flatten().collect()
     }
+
+    /// Order-preserving parallel map over a slice with **exclusive** access
+    /// to each element (the shim's stand-in for
+    /// `par_iter_mut().enumerate().map(...)`). `f` receives each element's
+    /// index alongside the `&mut` reference, because chunked workers would
+    /// otherwise lose the position.
+    ///
+    /// Unlike [`par_map_slice`], the fan-out width is the caller's
+    /// `max_threads` (clamped to the item count), not the global pool size:
+    /// a deterministic executor chooses its own width and must get exactly
+    /// that concurrency regardless of the host's core count. Results come
+    /// back in input order; `max_threads <= 1` degrades to a serial loop
+    /// with zero spawn overhead.
+    pub fn par_map_slice_mut<T, R, F>(items: &mut [T], max_threads: usize, f: &F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let threads = max_threads.min(items.len().max(1));
+        if threads <= 1 || items.len() <= 1 {
+            return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(c, part)| {
+                    let base = c * chunk;
+                    s.spawn(move || {
+                        part.iter_mut()
+                            .enumerate()
+                            .map(|(i, t)| f(base + i, t))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("rayon worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
 }
 
 #[cfg(test)]
@@ -173,5 +218,28 @@ mod tests {
         let v: Vec<u32> = Vec::new();
         let out = par_map_slice(&v, &|&x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mut_map_mutates_every_element_in_order() {
+        use super::iter::par_map_slice_mut;
+        for width in [1usize, 2, 4, 16] {
+            let mut v: Vec<usize> = vec![0; 23];
+            let out = par_map_slice_mut(&mut v, width, &|i, slot| {
+                *slot = i * 10;
+                i
+            });
+            assert_eq!(out, (0..23).collect::<Vec<_>>(), "width {width}");
+            assert_eq!(v, (0..23).map(|i| i * 10).collect::<Vec<_>>(), "width {width}");
+        }
+    }
+
+    #[test]
+    fn mut_map_empty_and_single() {
+        use super::iter::par_map_slice_mut;
+        let mut empty: Vec<u8> = Vec::new();
+        assert!(par_map_slice_mut(&mut empty, 8, &|_, x| *x).is_empty());
+        let mut one = vec![7u8];
+        assert_eq!(par_map_slice_mut(&mut one, 8, &|i, x| (i, *x)), vec![(0, 7)]);
     }
 }
