@@ -1,0 +1,267 @@
+//! Chaos benchmark: what priority-aware evacuation buys under a
+//! correlated 2-of-8 shard outage, written to the `fleet_chaos` section
+//! of `BENCH_fleet.json`.
+//!
+//! One seeded Poisson load is offered to an 8-shard fleet with a planned
+//! outage injected into the stream: shards 0 and 1 go down together at
+//! `H/3` and come back at `2H/3` (a correlated rack failure). The same
+//! stream is executed twice — evacuation on vs off — so the A/B isolates
+//! the policy:
+//!
+//! * **Evacuation on** (the default): victims are triaged by priority and
+//!   re-placed onto the six survivors, highest priority first, each move
+//!   charged the destination's real migration stall.
+//! * **Evacuation off**: every victim is shed — the "board dies, work
+//!   dies" baseline.
+//!
+//! The headline figures are the high-priority tier's availability through
+//! the outage and the aggregate potential-seconds retained; the
+//! acceptance bar (asserted after recording) is that evacuation keeps
+//! **strictly more** of both. The bench also records the chaos stream as
+//! a version-3 trace and replays it under `Sequential` and `Threads(4)`,
+//! asserting all three outcomes are bit-identical — the determinism
+//! contract extended to fault handling.
+//!
+//! `RANKMAP_BENCH_SMOKE=1` shrinks the horizon and search budgets so CI
+//! can keep this bench compiling *and running*.
+
+use rankmap_core::json::{obj, Json};
+use rankmap_core::manager::ManagerConfig;
+use rankmap_core::oracle::AnalyticalOracle;
+use rankmap_fleet::{
+    generate, ArrivalProcess, FleetConfig, FleetEvent, FleetOutcome, FleetRuntime, LoadSpec,
+    Parallelism, Trace, TraceMeta,
+};
+use rankmap_platform::Platform;
+use std::time::Instant;
+
+const SHARDS: usize = 8;
+const DOWN: [usize; 2] = [0, 1];
+
+fn smoke() -> bool {
+    std::env::var_os("RANKMAP_BENCH_SMOKE").is_some()
+}
+
+fn load_spec() -> LoadSpec {
+    LoadSpec {
+        horizon: if smoke() { 300.0 } else { 900.0 },
+        process: ArrivalProcess::Poisson { rate: 1.0 / 6.0 },
+        mean_lifetime: 300.0,
+        priority_churn_rate: 1.0 / 250.0,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+/// The offered stream: the seeded load plus the planned correlated
+/// outage, re-sorted by time (stable, so equal-time order is preserved).
+fn chaos_events(spec: &LoadSpec) -> Vec<FleetEvent> {
+    let mut events = generate(spec);
+    let down_at = spec.horizon / 3.0;
+    let up_at = 2.0 * spec.horizon / 3.0;
+    for shard in DOWN {
+        events.push(FleetEvent::ShardDown { at: down_at, shard });
+        events.push(FleetEvent::ShardUp { at: up_at, shard });
+    }
+    events.sort_by(|a, b| a.at().total_cmp(&b.at()));
+    events
+}
+
+fn fleet_config(evacuate: bool, parallelism: Parallelism) -> FleetConfig {
+    let budget = if smoke() { 60 } else { 150 };
+    FleetConfig {
+        manager: ManagerConfig {
+            mcts_iterations: budget,
+            warm_iterations: budget / 2,
+            plan_cache_capacity: 512,
+            ..Default::default()
+        },
+        evacuate,
+        // Rejected arrivals get two bounded retries: the degradation
+        // path the outage exercises (capacity shrinks by a quarter).
+        retry_limit: 2,
+        retry_backoff: 20.0,
+        parallelism,
+        ..Default::default()
+    }
+}
+
+fn run(
+    platform: &Platform,
+    events: &[FleetEvent],
+    horizon: f64,
+    evacuate: bool,
+    parallelism: Parallelism,
+) -> (FleetOutcome, f64) {
+    let oracle = AnalyticalOracle::new(platform);
+    let fleet =
+        FleetRuntime::homogeneous(platform, &oracle, SHARDS, fleet_config(evacuate, parallelism));
+    let started = Instant::now();
+    let outcome = fleet.execute(events, horizon);
+    (outcome, started.elapsed().as_secs_f64())
+}
+
+fn identical(a: &FleetOutcome, b: &FleetOutcome) -> bool {
+    a.metrics == b.metrics && a.placements == b.placements && a.timelines == b.timelines
+}
+
+fn arm_report(outcome: &FleetOutcome, wall_s: f64) -> Json {
+    let m = &outcome.metrics;
+    let avail = m.tier_availability();
+    obj([
+        ("wall_s", Json::Num(wall_s)),
+        ("admitted", Json::Num(m.admitted as f64)),
+        ("rejected", Json::Num(m.rejected as f64)),
+        ("evacuated", Json::Num(m.evacuated as f64)),
+        ("shed", Json::Num(m.shed as f64)),
+        ("retries", Json::Num(m.retries as f64)),
+        ("retry_admitted", Json::Num(m.retry_admitted as f64)),
+        ("evacuation_stall_s", Json::Num(m.evacuation_stall_seconds)),
+        (
+            "tier_availability",
+            Json::Arr(avail.iter().map(|&v| Json::Num(v)).collect()),
+        ),
+        (
+            "tier_triaged",
+            Json::Arr(m.tier_triaged.iter().map(|&v| Json::Num(v as f64)).collect()),
+        ),
+        ("aggregate_potential_seconds", Json::Num(m.aggregate_potential_seconds)),
+        ("accounting_balances", Json::Bool(m.accounting_balances())),
+    ])
+}
+
+fn main() {
+    let platform = Platform::orange_pi_5();
+    let spec = load_spec();
+    let events = chaos_events(&spec);
+    println!(
+        "fleet_chaos: {SHARDS} shards, {:?} down [{:.0}s, {:.0}s), Poisson {:.3}/s, \
+         horizon {:.0}s ({} mode)",
+        DOWN,
+        spec.horizon / 3.0,
+        2.0 * spec.horizon / 3.0,
+        spec.process.mean_rate(),
+        spec.horizon,
+        if smoke() { "smoke" } else { "full" }
+    );
+
+    let (evac, evac_s) = run(&platform, &events, spec.horizon, true, Parallelism::Sequential);
+    let (base, base_s) = run(&platform, &events, spec.horizon, false, Parallelism::Sequential);
+    let evac_avail = evac.metrics.tier_availability();
+    let base_avail = base.metrics.tier_availability();
+    println!(
+        "  evacuation on:  tier availability {:?}, {} evacuated / {} shed, {:.1} pot·s",
+        evac_avail, evac.metrics.evacuated, evac.metrics.shed,
+        evac.metrics.aggregate_potential_seconds
+    );
+    println!(
+        "  evacuation off: tier availability {:?}, {} evacuated / {} shed, {:.1} pot·s",
+        base_avail, base.metrics.evacuated, base.metrics.shed,
+        base.metrics.aggregate_potential_seconds
+    );
+
+    // Determinism under chaos: the stream round-trips through a v3 trace
+    // and replays bit-identically under both executors.
+    let trace = Trace::new(
+        TraceMeta::new(SHARDS, spec.horizon, spec.seed, "fleet-chaos"),
+        events.clone(),
+    );
+    let parsed = Trace::from_jsonl(&trace.to_jsonl()).expect("chaos trace parses");
+    let oracle = AnalyticalOracle::new(&platform);
+    let replay_seq = FleetRuntime::homogeneous(
+        &platform,
+        &oracle,
+        SHARDS,
+        fleet_config(true, Parallelism::Sequential),
+    )
+    .execute_trace(&parsed);
+    let replay_thr = FleetRuntime::homogeneous(
+        &platform,
+        &oracle,
+        SHARDS,
+        fleet_config(true, Parallelism::Threads(4)),
+    )
+    .execute_trace(&parsed);
+    let replay_identical = identical(&evac, &replay_seq) && identical(&evac, &replay_thr);
+    println!(
+        "  v3 trace replay (Sequential + Threads(4)): {}",
+        if replay_identical { "bit-identical" } else { "DIVERGED" }
+    );
+
+    let report = obj([
+        ("smoke", Json::Bool(smoke())),
+        ("shards", Json::Num(SHARDS as f64)),
+        (
+            "outage",
+            obj([
+                (
+                    "shards",
+                    Json::Arr(DOWN.iter().map(|&s| Json::Num(s as f64)).collect()),
+                ),
+                ("down_at_s", Json::Num(spec.horizon / 3.0)),
+                ("up_at_s", Json::Num(2.0 * spec.horizon / 3.0)),
+            ]),
+        ),
+        (
+            "offered_load",
+            obj([
+                ("process", Json::Str("poisson".into())),
+                ("rate_per_s", Json::Num(spec.process.mean_rate())),
+                ("mean_lifetime_s", Json::Num(spec.mean_lifetime)),
+                ("horizon_s", Json::Num(spec.horizon)),
+                ("seed", Json::Num(spec.seed as f64)),
+            ]),
+        ),
+        ("evacuation_on", arm_report(&evac, evac_s)),
+        ("evacuation_off", arm_report(&base, base_s)),
+        (
+            "high_tier_availability_gain",
+            Json::Num(evac_avail[0] - base_avail[0]),
+        ),
+        (
+            "potential_seconds_gain",
+            Json::Num(
+                evac.metrics.aggregate_potential_seconds
+                    - base.metrics.aggregate_potential_seconds,
+            ),
+        ),
+        ("replay_bit_identical", Json::Bool(replay_identical)),
+        (
+            "note",
+            Json::Str(
+                "Same stream, same outage; the only difference is the evacuation policy. \
+                 With evacuation off every outage victim is shed, so the availability and \
+                 potential gaps are what priority-aware evacuation buys."
+                    .into(),
+            ),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    rankmap_bench::merge_bench_report(path, "fleet_chaos", report);
+    println!("wrote the fleet_chaos section of {path}");
+
+    // The acceptance bars, checked after the evidence is on disk.
+    assert!(
+        evac.metrics.tier_triaged[0] > 0,
+        "the outage must put high-priority instances at risk — see {path}"
+    );
+    assert!(
+        evac_avail[0] > base_avail[0],
+        "evacuation must retain strictly more high-priority availability \
+         ({:?} vs {:?}) — see {path}",
+        evac_avail,
+        base_avail
+    );
+    assert!(
+        evac.metrics.aggregate_potential_seconds > base.metrics.aggregate_potential_seconds,
+        "evacuation must retain strictly more aggregate potential — see {path}"
+    );
+    assert!(
+        evac.metrics.accounting_balances() && base.metrics.accounting_balances(),
+        "instance accounting must balance in both arms — see {path}"
+    );
+    assert!(
+        replay_identical,
+        "the chaos trace must replay bit-for-bit under both executors — see {path}"
+    );
+}

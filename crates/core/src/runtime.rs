@@ -421,6 +421,7 @@ impl<'p> DynamicRuntime<'p> {
             sample_dt: self.sample_dt,
             migration_aware: self.migration_aware,
             objective: self.objective,
+            derate: 1.0,
             clock: 0.0,
             instances: Vec::new(),
             placements: HashMap::new(),
@@ -497,6 +498,13 @@ pub struct RuntimeSession<'p> {
     sample_dt: f64,
     migration_aware: bool,
     objective: GainObjective,
+    /// Thermal-derate factor in `(0, 1]`: the fraction of the board's
+    /// nominal speed currently served. `Platform::scaled` keeps potential
+    /// (throughput / ideal) invariant, so a uniformly throttled board's
+    /// mapping decisions are bit-identical to the nominal board's — the
+    /// throttle surfaces purely as this factor on served throughput and
+    /// recorded potential (see [`RuntimeSession::set_derate`]).
+    derate: f64,
     clock: f64,
     instances: Vec<(InstanceId, ModelId)>,
     placements: HashMap<InstanceId, Vec<ComponentId>>,
@@ -540,6 +548,32 @@ impl RuntimeSession<'_> {
     /// Timeline points emitted so far (closed segments only).
     pub fn timeline(&self) -> &[TimelinePoint] {
         &self.timeline
+    }
+
+    /// The current thermal-derate factor (`1.0` = nominal speed).
+    pub fn derate(&self) -> f64 {
+        self.derate
+    }
+
+    /// Sets the thermal-derate factor: the fraction of nominal board
+    /// speed served from here on (`1.0` restores full speed). Under
+    /// `Platform::scaled`'s invariance — a uniformly scaled board's
+    /// throughputs and ideal rates scale together, so potential and every
+    /// mapping decision are unchanged — a throttle is exactly a factor on
+    /// *served* throughput, which is how the next segment records it. The
+    /// caller re-applies (an empty event batch) at the throttle time so a
+    /// new segment opens under the new factor; the open segment is not
+    /// rewritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn set_derate(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0 && factor <= 1.0,
+            "derate factor must be in (0, 1]"
+        );
+        self.derate = factor;
     }
 
     /// Consumes the session, returning the timeline. Call
@@ -626,12 +660,17 @@ impl RuntimeSession<'_> {
         // path.
         let report =
             decided_report.unwrap_or_else(|| self.engine.evaluate(&workload, &mapping));
+        // A throttled board serves `derate ×` the nominal rates; at 1.0
+        // the multiplication is exact and the timeline is bit-identical
+        // to the pre-derate code path.
         let potentials: Vec<f64> = report
             .per_dnn
             .iter()
             .zip(&self.instances)
-            .map(|(&thr, (_, m))| thr / ideal_rate_of(&self.ideals, *m))
+            .map(|(&thr, (_, m))| self.derate * thr / ideal_rate_of(&self.ideals, *m))
             .collect();
+        let throughputs: Vec<f64> =
+            report.per_dnn.iter().map(|&thr| self.derate * thr).collect();
         self.segment = Some(Segment {
             start: self.clock,
             stall,
@@ -639,7 +678,7 @@ impl RuntimeSession<'_> {
             models: self.instances.iter().map(|(_, m)| *m).collect(),
             instances: self.instances.iter().map(|(id, _)| *id).collect(),
             potentials,
-            throughputs: report.per_dnn,
+            throughputs,
         });
         assigned
     }

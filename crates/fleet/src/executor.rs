@@ -127,6 +127,28 @@ pub struct FleetConfig {
     /// Fleet construction panics if set to 0 (matching the plan cache's
     /// contract).
     pub probe_memo_capacity: usize,
+    /// On a [`FleetEvent::ShardDown`], re-place the failing shard's live
+    /// instances onto survivors in priority order (highest first),
+    /// charging each move the destination board's full-restage migration
+    /// cost; instances no survivor can absorb are shed. `false` sheds
+    /// everything — the `fleet_chaos` bench's no-evacuation baseline.
+    pub evacuate: bool,
+    /// Rejected arrivals retry up to this many times before the
+    /// rejection is final (`0` = the pre-retry behaviour: one attempt).
+    /// Retries are deterministic: attempt `k` (0-based) re-enters
+    /// admission `retry_backoff · 2^k` seconds after its rejection, and
+    /// a retry that would land at or past the horizon is finalized as a
+    /// rejection immediately.
+    pub retry_limit: u32,
+    /// Base backoff delay (seconds) of the first retry; doubles per
+    /// attempt.
+    pub retry_backoff: f64,
+    /// Fleet-wide overload guard: after each event, if the worst loaded
+    /// shard's mean predicted potential falls below this threshold, its
+    /// lowest-priority instance is shed outright — dropping low-priority
+    /// work *before* high-priority potential collapses. `0.0` (the
+    /// default) disables the guard.
+    pub overload_guard: f64,
 }
 
 impl Default for FleetConfig {
@@ -148,15 +170,97 @@ impl Default for FleetConfig {
             fused_scoring: true,
             parallelism: Parallelism::default(),
             probe_memo_capacity: PROBE_MEMO_BOUND,
+            evacuate: true,
+            retry_limit: 0,
+            retry_backoff: 30.0,
+            overload_guard: 0.0,
         }
     }
 }
 
-/// Where an admitted request currently runs.
+/// Where an offered request currently stands.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Disposition {
+    /// Finally rejected: admission said no and no retries remain (or the
+    /// requester departed while waiting to retry).
     Rejected,
+    /// Rejected for now, with a backoff retry scheduled.
+    Retrying,
+    /// Live on a shard.
     Active { shard: usize, instance: InstanceId },
+    /// Admitted earlier, then dropped by a shard failure or the overload
+    /// guard.
+    Shed,
+}
+
+/// One scheduled admission retry, ordered by `(at, request)` — the
+/// request id breaks timestamp ties deterministically.
+struct RetryEntry {
+    at: f64,
+    request: RequestId,
+    model: ModelId,
+    /// 1-based index of this retry attempt.
+    attempt: u32,
+}
+
+/// Every piece of mutable bookkeeping one [`FleetExecutor::run`] carries
+/// between events — split out so the fault-handling paths
+/// (`crate::faults`) can update the same tallies the main loop does.
+pub(crate) struct RunState {
+    pub(crate) requests: HashMap<RequestId, Disposition>,
+    pub(crate) placements: Vec<PlacementRecord>,
+    pub(crate) latencies: Vec<std::time::Duration>,
+    pub(crate) evac_latencies: Vec<std::time::Duration>,
+    pending_retries: Vec<RetryEntry>,
+    pub(crate) admitted: u64,
+    pub(crate) rejected: u64,
+    pub(crate) migrations: u64,
+    pub(crate) retries: u64,
+    pub(crate) retry_admitted: u64,
+    pub(crate) departed: u64,
+    pub(crate) failures_injected: u64,
+    pub(crate) throttle_events: u64,
+    pub(crate) evacuated: u64,
+    pub(crate) shed: u64,
+    pub(crate) evacuation_stall_seconds: f64,
+    pub(crate) tier_triaged: [u64; 3],
+    pub(crate) tier_evacuated: [u64; 3],
+    pub(crate) per_shard_admitted: Vec<u64>,
+}
+
+impl RunState {
+    fn new(shards: usize) -> Self {
+        Self {
+            requests: HashMap::new(),
+            placements: Vec::new(),
+            latencies: Vec::new(),
+            evac_latencies: Vec::new(),
+            pending_retries: Vec::new(),
+            admitted: 0,
+            rejected: 0,
+            migrations: 0,
+            retries: 0,
+            retry_admitted: 0,
+            departed: 0,
+            failures_injected: 0,
+            throttle_events: 0,
+            evacuated: 0,
+            shed: 0,
+            evacuation_stall_seconds: 0.0,
+            tier_triaged: [0; 3],
+            tier_evacuated: [0; 3],
+            per_shard_admitted: vec![0; shards],
+        }
+    }
+
+    /// Index of the earliest pending retry (ties broken by request id).
+    fn next_retry(&self) -> Option<usize> {
+        self.pending_retries
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.at.total_cmp(&b.1.at).then(a.1.request.cmp(&b.1.request)))
+            .map(|(i, _)| i)
+    }
 }
 
 /// The engine behind [`crate::FleetRuntime`]: owns the shards, the fused
@@ -247,13 +351,152 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
         for_each_shard(self.config.parallelism, &mut self.shards, f)
     }
 
+    /// One admission attempt for `request` at time `t` — a fresh arrival
+    /// (`attempt == 0`) or a scheduled retry. A rejection with retries
+    /// remaining re-enqueues the request with doubled backoff; one whose
+    /// retry would land at or past the horizon is finalized immediately
+    /// (the retry budget is bounded *and* the run always terminates).
+    fn admission_attempt(
+        &mut self,
+        t: f64,
+        request: RequestId,
+        model: ModelId,
+        attempt: u32,
+        horizon: f64,
+        state: &mut RunState,
+    ) {
+        let window = self.config.decision_window;
+        let started = Instant::now();
+        let decision = self.place(model);
+        state.latencies.push(started.elapsed());
+        match decision {
+            Some((s, delta)) => {
+                let assigned =
+                    self.shards[s].apply(t, &[DynamicEvent::arrive(t, model)], window);
+                state
+                    .requests
+                    .insert(request, Disposition::Active { shard: s, instance: assigned[0] });
+                state.admitted += 1;
+                if attempt > 0 {
+                    state.retry_admitted += 1;
+                }
+                state.per_shard_admitted[s] += 1;
+                state.placements.push(PlacementRecord {
+                    request,
+                    at: t,
+                    outcome: PlacementOutcome::Admitted { shard: s },
+                    predicted_delta: delta,
+                });
+            }
+            None => {
+                let retry_at = t + self.config.retry_backoff * f64::powi(2.0, attempt as i32);
+                if attempt < self.config.retry_limit && retry_at < horizon {
+                    state.pending_retries.push(RetryEntry {
+                        at: retry_at,
+                        request,
+                        model,
+                        attempt: attempt + 1,
+                    });
+                    state.requests.insert(request, Disposition::Retrying);
+                    state.retries += 1;
+                    state.placements.push(PlacementRecord {
+                        request,
+                        at: t,
+                        outcome: PlacementOutcome::Deferred,
+                        predicted_delta: 0.0,
+                    });
+                } else {
+                    state.requests.insert(request, Disposition::Rejected);
+                    state.rejected += 1;
+                    state.placements.push(PlacementRecord {
+                        request,
+                        at: t,
+                        outcome: PlacementOutcome::Rejected,
+                        predicted_delta: 0.0,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Handles one stream event at its timestamp `t`.
+    fn handle_event(
+        &mut self,
+        event: &FleetEvent,
+        horizon: f64,
+        state: &mut RunState,
+    ) {
+        let t = event.at();
+        let window = self.config.decision_window;
+        match event {
+            FleetEvent::Arrive { request, model, .. } => {
+                self.admission_attempt(t, *request, *model, 0, horizon, state);
+            }
+            FleetEvent::Depart { request, .. } => {
+                match state.requests.get(request).copied() {
+                    Some(Disposition::Active { shard, instance }) => {
+                        state.requests.remove(request);
+                        state.departed += 1;
+                        self.shards[shard].apply(
+                            t,
+                            &[DynamicEvent::depart(t, instance)],
+                            window,
+                        );
+                    }
+                    Some(Disposition::Retrying) => {
+                        // The requester gave up while waiting on a
+                        // backoff retry: the pending attempt is canceled
+                        // (its queue entry is skipped when it fires) and
+                        // the rejection becomes final.
+                        state.requests.insert(*request, Disposition::Rejected);
+                        state.rejected += 1;
+                    }
+                    // Rejected, shed, or unknown: nothing serving to stop.
+                    _ => {}
+                }
+            }
+            FleetEvent::SetPriorities { mode, .. } => {
+                // A priority rotation re-maps *every* shard — the
+                // widest barrier of the event loop, fanned across the
+                // worker pool.
+                let ev = [DynamicEvent::SetPriorities { at: t, mode: mode.clone() }];
+                self.for_each_shard(|_, shard| {
+                    shard.apply(t, &ev, window);
+                });
+            }
+            FleetEvent::ShardDown { shard, .. } => {
+                if !self.shards[*shard].is_down() {
+                    state.failures_injected += 1;
+                    let started = Instant::now();
+                    self.fail_shard(t, *shard, state);
+                    state.evac_latencies.push(started.elapsed());
+                }
+            }
+            FleetEvent::ShardUp { shard, .. } => {
+                if self.shards[*shard].is_down() {
+                    self.shards[*shard].revive(t, window);
+                }
+            }
+            FleetEvent::ShardThrottle { shard, factor, .. } => {
+                let target = &mut self.shards[*shard];
+                // Throttles on a down shard are moot — repair restores
+                // nominal speed — and re-asserting the current factor is
+                // an idempotent no-op.
+                if !target.is_down() && target.throttle() != *factor {
+                    target.set_throttle(t, *factor, window);
+                    state.throttle_events += 1;
+                }
+            }
+        }
+    }
+
     /// Runs a sorted fleet event stream to `horizon`, consuming the
     /// executor.
     ///
     /// # Panics
     ///
-    /// Panics if `events` is not sorted by time or reaches outside
-    /// `[0, horizon)`.
+    /// Panics if `events` is not sorted by time, reaches outside
+    /// `[0, horizon)`, or names a shard index beyond the fleet.
     pub(crate) fn run(mut self, events: &[FleetEvent], horizon: f64) -> FleetOutcome {
         assert!(
             events.windows(2).all(|w| w[0].at() <= w[1].at()),
@@ -263,84 +506,73 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
             events.iter().all(|e| (0.0..horizon).contains(&e.at())),
             "fleet events must lie within [0, horizon)"
         );
-        let window = self.config.decision_window;
-        let mut requests: HashMap<RequestId, Disposition> = HashMap::new();
-        let mut placements = Vec::new();
-        let mut latencies = Vec::new();
-        let mut admitted = 0u64;
-        let mut rejected = 0u64;
-        let mut migrations = 0u64;
-        let mut per_shard_admitted = vec![0u64; self.shards.len()];
-        for event in events {
-            let t = event.at();
-            match event {
-                FleetEvent::Arrive { request, model, .. } => {
-                    let started = Instant::now();
-                    let decision = self.place(*model);
-                    latencies.push(started.elapsed());
-                    match decision {
-                        Some((s, delta)) => {
-                            let assigned = self.shards[s].apply(
-                                t,
-                                &[DynamicEvent::arrive(t, *model)],
-                                window,
-                            );
-                            requests.insert(
-                                *request,
-                                Disposition::Active { shard: s, instance: assigned[0] },
-                            );
-                            admitted += 1;
-                            per_shard_admitted[s] += 1;
-                            placements.push(PlacementRecord {
-                                request: *request,
-                                at: t,
-                                outcome: PlacementOutcome::Admitted { shard: s },
-                                predicted_delta: delta,
-                            });
-                        }
-                        None => {
-                            requests.insert(*request, Disposition::Rejected);
-                            rejected += 1;
-                            placements.push(PlacementRecord {
-                                request: *request,
-                                at: t,
-                                outcome: PlacementOutcome::Rejected,
-                                predicted_delta: 0.0,
-                            });
-                        }
-                    }
+        assert!(
+            events.iter().all(|e| match e {
+                FleetEvent::ShardDown { shard, .. }
+                | FleetEvent::ShardUp { shard, .. }
+                | FleetEvent::ShardThrottle { shard, .. } => *shard < self.shards.len(),
+                _ => true,
+            }),
+            "fault events must name shards within the fleet"
+        );
+        let mut state = RunState::new(self.shards.len());
+        let mut offered = 0u64;
+        let mut next = 0usize;
+        // Stream events and scheduled retries merge into one ordered
+        // walk; at equal timestamps the retry goes first (it was offered
+        // strictly earlier). Every action is followed by the rebalance
+        // and overload-guard barriers, exactly like a stream event.
+        loop {
+            let retry = state.next_retry();
+            let take_retry = match (retry, events.get(next)) {
+                (Some(i), Some(e)) => state.pending_retries[i].at <= e.at(),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let t;
+            if take_retry {
+                let entry = state.pending_retries.swap_remove(retry.expect("checked"));
+                // A Depart while waiting canceled this attempt.
+                if !matches!(state.requests.get(&entry.request), Some(Disposition::Retrying))
+                {
+                    continue;
                 }
-                FleetEvent::Depart { request, .. } => {
-                    if let Some(Disposition::Active { shard, instance }) =
-                        requests.remove(request)
-                    {
-                        self.shards[shard].apply(
-                            t,
-                            &[DynamicEvent::depart(t, instance)],
-                            window,
-                        );
-                    }
+                t = entry.at;
+                self.admission_attempt(
+                    entry.at,
+                    entry.request,
+                    entry.model,
+                    entry.attempt,
+                    horizon,
+                    &mut state,
+                );
+            } else {
+                let event = &events[next];
+                next += 1;
+                if matches!(event, FleetEvent::Arrive { .. }) {
+                    offered += 1;
                 }
-                FleetEvent::SetPriorities { mode, .. } => {
-                    // A priority rotation re-maps *every* shard — the
-                    // widest barrier of the event loop, fanned across the
-                    // worker pool.
-                    let ev = [DynamicEvent::SetPriorities { at: t, mode: mode.clone() }];
-                    self.for_each_shard(|_, shard| {
-                        shard.apply(t, &ev, window);
-                    });
-                }
+                t = event.at();
+                self.handle_event(event, horizon, &mut state);
             }
             // Departures free capacity and arrivals shift contention —
-            // both are rebalance opportunities.
-            if let Some((_, dst)) = self.maybe_rebalance(t, &mut requests) {
-                migrations += 1;
-                per_shard_admitted[dst] += 1;
+            // both are rebalance opportunities; overload sheds run after,
+            // on the post-rebalance fleet.
+            if let Some((_, dst)) = self.maybe_rebalance(t, &mut state.requests) {
+                state.migrations += 1;
+                state.per_shard_admitted[dst] += 1;
             }
+            self.overload_guard(t, &mut state);
         }
         // The closing barrier: every shard's last open segment is closed
         // (and its timeline samples emitted) concurrently, then collected
         // in shard order.
+        let live_at_end = state
+            .requests
+            .values()
+            .filter(|d| matches!(d, Disposition::Active { .. }))
+            .count() as u64;
         let Self { config, platforms, mut shards, .. } = self;
         for_each_shard(config.parallelism, &mut shards, |_, shard| {
             shard.session.finish(horizon);
@@ -354,21 +586,34 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
             .flat_map(|tl| tl.iter())
             .map(|pt| pt.potentials.iter().sum::<f64>() * pt.span)
             .sum();
+        debug_assert_eq!(offered, state.admitted + state.rejected, "every offer resolves");
         FleetOutcome {
             metrics: FleetMetrics {
                 shards: per_shard_potential.len(),
-                offered: admitted + rejected,
-                admitted,
-                rejected,
-                migrations,
+                offered,
+                admitted: state.admitted,
+                rejected: state.rejected,
+                migrations: state.migrations,
                 per_shard_potential,
-                per_shard_admitted,
+                per_shard_admitted: state.per_shard_admitted,
                 per_shard_platform: platforms,
                 aggregate_potential_seconds,
+                failures_injected: state.failures_injected,
+                throttle_events: state.throttle_events,
+                evacuated: state.evacuated,
+                shed: state.shed,
+                retries: state.retries,
+                retry_admitted: state.retry_admitted,
+                evacuation_stall_seconds: state.evacuation_stall_seconds,
+                departed: state.departed,
+                live_at_end,
+                tier_triaged: state.tier_triaged,
+                tier_evacuated: state.tier_evacuated,
             },
-            placements,
+            placements: state.placements,
             timelines,
-            placement_latency: LatencyStats::from_durations(latencies),
+            placement_latency: LatencyStats::from_durations(state.latencies),
+            evacuation_latency: LatencyStats::from_durations(state.evac_latencies),
         }
     }
 }

@@ -85,6 +85,7 @@
 #![warn(missing_docs)]
 
 pub mod executor;
+mod faults;
 pub mod load;
 pub mod metrics;
 mod placement;
@@ -95,8 +96,8 @@ pub mod spec;
 pub mod trace;
 
 pub use executor::{FleetConfig, Parallelism};
-pub use load::{generate, ArrivalProcess, FleetEvent, LoadSpec, RequestId};
+pub use load::{generate, ArrivalProcess, FaultSpec, FleetEvent, LoadSpec, RequestId};
 pub use metrics::{FleetMetrics, LatencyStats, PlacementOutcome, PlacementRecord};
 pub use runtime::{FleetOutcome, FleetRuntime};
-pub use spec::{FleetSpec, ShardSpec};
+pub use spec::{FleetSpec, FleetSpecError, ShardSpec};
 pub use trace::{Trace, TraceError, TraceMeta};

@@ -73,6 +73,36 @@ pub enum FleetEvent {
         /// The new priority mode.
         mode: PriorityMode,
     },
+    /// The shard fails: its live instances are triaged by priority and
+    /// evacuated onto survivors (or shed) by the executor. Idempotent —
+    /// a `ShardDown` on an already-down shard is a no-op.
+    ShardDown {
+        /// Failure time (seconds).
+        at: f64,
+        /// The failing shard's index.
+        shard: usize,
+    },
+    /// The shard is repaired: it rejoins the fleet empty, at nominal
+    /// speed. Idempotent on an already-up shard.
+    ShardUp {
+        /// Repair time (seconds).
+        at: f64,
+        /// The repaired shard's index.
+        shard: usize,
+    },
+    /// The shard's served speed changes to `factor ×` nominal (thermal
+    /// throttling, DVFS brown-out); `factor == 1.0` restores full speed.
+    /// Under `Platform::scaled`'s potential invariance this derates the
+    /// shard's served throughput and placement scores without changing
+    /// any mapping decision (see `docs/fleet.md`).
+    ShardThrottle {
+        /// Throttle time (seconds).
+        at: f64,
+        /// The throttled shard's index.
+        shard: usize,
+        /// Served fraction of nominal speed, in `(0, 1]`.
+        factor: f64,
+    },
 }
 
 impl FleetEvent {
@@ -81,7 +111,10 @@ impl FleetEvent {
         match self {
             FleetEvent::Arrive { at, .. }
             | FleetEvent::Depart { at, .. }
-            | FleetEvent::SetPriorities { at, .. } => *at,
+            | FleetEvent::SetPriorities { at, .. }
+            | FleetEvent::ShardDown { at, .. }
+            | FleetEvent::ShardUp { at, .. }
+            | FleetEvent::ShardThrottle { at, .. } => *at,
         }
     }
 }
@@ -202,6 +235,186 @@ impl ArrivalProcess {
     }
 }
 
+/// Deterministic fault-injection configuration: a seeded renewal process
+/// of shard outages (exponential MTBF/MTTR, optionally correlated across
+/// shards) plus a seeded stream of thermal-throttle episodes per shard.
+///
+/// The spec carries its **own seed**, drawn from its own RNG stream, so
+/// layering faults into a [`LoadSpec`] never perturbs the arrival
+/// process — the faulted and fault-free runs see the identical offered
+/// load, which is what makes evacuation-on/off A/B comparisons (the
+/// `fleet_chaos` bench) exact.
+///
+/// Per-shard outage intervals are merged before events are emitted, so
+/// the generated stream strictly alternates
+/// [`FleetEvent::ShardDown`]/[`FleetEvent::ShardUp`] per shard.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Number of shards faults are generated for (indices `0..shards`).
+    pub shards: usize,
+    /// Mean time between failures per shard (seconds, exponential);
+    /// `0.0` disables outages.
+    pub mtbf: f64,
+    /// Mean time to repair (seconds, exponential).
+    pub mttr: f64,
+    /// Probability that each *other* shard joins an outage at the same
+    /// instant (correlated rack/power failures), in `[0, 1]`.
+    pub correlation: f64,
+    /// Poisson rate of throttle episodes per shard (per second); `0.0`
+    /// disables throttling.
+    pub throttle_rate: f64,
+    /// Throttle factors are drawn uniformly from this `(min, max)` range
+    /// of served-speed fractions, each in `(0, 1]`.
+    pub throttle_range: (f64, f64),
+    /// Mean throttle-episode duration (seconds, exponential); the episode
+    /// ends with a restoring `factor = 1.0` event.
+    pub mean_throttle: f64,
+    /// The fault stream's own RNG seed (independent of the load seed).
+    pub seed: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            mtbf: 900.0,
+            mttr: 120.0,
+            correlation: 0.0,
+            throttle_rate: 0.0,
+            throttle_range: (0.4, 0.9),
+            mean_throttle: 180.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Expands the spec into a sorted fault-event stream over
+    /// `[0, horizon)`.
+    ///
+    /// Guarantees: per shard, `ShardDown`/`ShardUp` strictly alternate
+    /// (overlapping draws — including correlated joins — are merged into
+    /// one outage); an outage running past the horizon emits no
+    /// `ShardUp`; throttle episodes never overlap on one shard and each
+    /// in-horizon episode end restores `factor = 1.0`. The stream is a
+    /// pure function of the spec and horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, a rate/duration is negative, the
+    /// correlation is outside `[0, 1]`, or the throttle range is not
+    /// within `(0, 1]` with `min <= max`.
+    pub fn generate(&self, horizon: f64) -> Vec<FleetEvent> {
+        assert!(self.shards > 0, "fault spec needs at least one shard");
+        assert!(horizon > 0.0, "horizon must be positive");
+        assert!(
+            self.mtbf >= 0.0 && self.mttr >= 0.0 && self.mean_throttle >= 0.0,
+            "fault timescales cannot be negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.correlation),
+            "outage correlation must be in [0, 1]"
+        );
+        let (lo, hi) = self.throttle_range;
+        assert!(
+            0.0 < lo && lo <= hi && hi <= 1.0,
+            "throttle factors must satisfy 0 < min <= max <= 1"
+        );
+        assert!(self.throttle_rate >= 0.0, "throttle rate cannot be negative");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut events = Vec::new();
+
+        // Base outages: one alternating up/down renewal walk per shard,
+        // generated shard by shard from the single spec RNG (a fixed
+        // draw order, so the stream is deterministic).
+        let mut outages: Vec<Vec<(f64, f64)>> = vec![Vec::new(); self.shards];
+        if self.mtbf > 0.0 && self.mttr > 0.0 {
+            for intervals in outages.iter_mut() {
+                let mut t = 0.0;
+                loop {
+                    t += exponential(&mut rng, 1.0 / self.mtbf);
+                    if t >= horizon {
+                        break;
+                    }
+                    let end = t + exponential(&mut rng, 1.0 / self.mttr);
+                    intervals.push((t, end));
+                    t = end;
+                }
+            }
+            // Correlated joins: every base failure, visited in (time,
+            // source-shard) order, pulls each other shard into the outage
+            // with probability `correlation` — its repair drawn
+            // independently, so a rack event fans out but un-fans
+            // raggedly, like real recoveries.
+            if self.correlation > 0.0 {
+                let mut base: Vec<(f64, usize)> = outages
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(s, iv)| iv.iter().map(move |&(start, _)| (start, s)))
+                    .collect();
+                base.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                for (start, source) in base {
+                    for (joined, shard_outages) in outages.iter_mut().enumerate() {
+                        if joined == source {
+                            continue;
+                        }
+                        if rng.gen_range(0.0..1.0) < self.correlation {
+                            let end = start + exponential(&mut rng, 1.0 / self.mttr);
+                            shard_outages.push((start, end));
+                        }
+                    }
+                }
+            }
+        }
+        for (s, intervals) in outages.iter_mut().enumerate() {
+            // Merge overlapping draws so the emitted stream strictly
+            // alternates Down/Up per shard.
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut merged: Vec<(f64, f64)> = Vec::new();
+            for &(start, end) in intervals.iter() {
+                match merged.last_mut() {
+                    Some(last) if start <= last.1 => last.1 = last.1.max(end),
+                    _ => merged.push((start, end)),
+                }
+            }
+            for (start, end) in merged {
+                events.push(FleetEvent::ShardDown { at: start, shard: s });
+                if end < horizon {
+                    events.push(FleetEvent::ShardUp { at: end, shard: s });
+                }
+            }
+        }
+
+        // Throttle episodes: per shard, non-overlapping by construction
+        // (the walk resumes at each episode's end).
+        if self.throttle_rate > 0.0 && self.mean_throttle > 0.0 {
+            for s in 0..self.shards {
+                let mut t = 0.0;
+                loop {
+                    t += exponential(&mut rng, self.throttle_rate);
+                    if t >= horizon {
+                        break;
+                    }
+                    let factor =
+                        if lo == hi { lo } else { rng.gen_range(lo..hi) };
+                    let end = t + exponential(&mut rng, 1.0 / self.mean_throttle);
+                    events.push(FleetEvent::ShardThrottle { at: t, shard: s, factor });
+                    if end < horizon {
+                        events.push(FleetEvent::ShardThrottle {
+                            at: end,
+                            shard: s,
+                            factor: 1.0,
+                        });
+                    }
+                    t = end;
+                }
+            }
+        }
+        events.sort_by(|a, b| a.at().total_cmp(&b.at()));
+        events
+    }
+}
+
 /// Load-generation configuration.
 ///
 /// # Example
@@ -247,6 +460,11 @@ pub struct LoadSpec {
     pub priority_churn_rate: f64,
     /// RNG seed (generation is deterministic given the seed).
     pub seed: u64,
+    /// Optional fault layer: shard outages and throttle episodes
+    /// generated from the fault spec's *own* seed and merged into the
+    /// stream. `None` (the default) offers the identical fault-free
+    /// stream as before — layering faults never perturbs the arrivals.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for LoadSpec {
@@ -259,6 +477,7 @@ impl Default for LoadSpec {
             mix: MixProfile::Mixed,
             priority_churn_rate: 0.0,
             seed: 0,
+            faults: None,
         }
     }
 }
@@ -320,6 +539,12 @@ pub fn generate(spec: &LoadSpec) -> Vec<FleetEvent> {
             rotation += 1;
             events.push(FleetEvent::SetPriorities { at: ct, mode });
         }
+    }
+
+    if let Some(faults) = &spec.faults {
+        // The fault layer draws from its own seeded RNG, so the arrival
+        // stream above is byte-identical with or without it.
+        events.extend(faults.generate(spec.horizon));
     }
 
     events.sort_by(|a, b| a.at().total_cmp(&b.at()));
@@ -387,7 +612,7 @@ mod tests {
                         assert!(request.ordinal() < arrived, "departs after arrival");
                         assert!(departed.insert(*request), "departs once");
                     }
-                    FleetEvent::SetPriorities { .. } => {}
+                    _ => {}
                 }
             }
             assert!(arrived > 0, "the stream must offer load");
@@ -456,6 +681,130 @@ mod tests {
             peak.len(),
             trough.len()
         );
+    }
+
+    #[test]
+    fn fault_layer_never_perturbs_the_arrival_stream() {
+        // The A/B foundation of the chaos bench: the faulted stream's
+        // non-fault events are byte-identical to the fault-free stream.
+        let clean = LoadSpec { seed: 9, ..Default::default() };
+        let faulted = LoadSpec {
+            faults: Some(FaultSpec {
+                shards: 4,
+                mtbf: 150.0,
+                mttr: 60.0,
+                correlation: 0.3,
+                throttle_rate: 1.0 / 120.0,
+                ..Default::default()
+            }),
+            ..clean.clone()
+        };
+        let strip = |events: Vec<FleetEvent>| -> Vec<FleetEvent> {
+            events
+                .into_iter()
+                .filter(|e| {
+                    !matches!(
+                        e,
+                        FleetEvent::ShardDown { .. }
+                            | FleetEvent::ShardUp { .. }
+                            | FleetEvent::ShardThrottle { .. }
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(strip(generate(&faulted)), generate(&clean));
+        assert_ne!(generate(&faulted), generate(&clean), "faults actually fired");
+    }
+
+    #[test]
+    fn outages_alternate_down_up_per_shard() {
+        let spec = FaultSpec {
+            shards: 6,
+            mtbf: 80.0,
+            mttr: 40.0,
+            correlation: 0.5,
+            ..Default::default()
+        };
+        let horizon = 2_000.0;
+        let events = spec.generate(horizon);
+        assert_eq!(events, spec.generate(horizon), "fault generation is deterministic");
+        let mut down = vec![false; spec.shards];
+        let mut last = 0.0f64;
+        let mut outages = 0;
+        for e in &events {
+            assert!(e.at() >= last, "sorted");
+            assert!((0.0..horizon).contains(&e.at()));
+            last = e.at();
+            match *e {
+                FleetEvent::ShardDown { shard, .. } => {
+                    assert!(!down[shard], "down events strictly alternate with up");
+                    down[shard] = true;
+                    outages += 1;
+                }
+                FleetEvent::ShardUp { shard, .. } => {
+                    assert!(down[shard], "up only after down");
+                    down[shard] = false;
+                }
+                _ => panic!("outage-only spec emitted {e:?}"),
+            }
+        }
+        assert!(outages > spec.shards, "the walk must produce repeated outages");
+    }
+
+    #[test]
+    fn correlation_couples_outage_starts() {
+        let base = FaultSpec { shards: 8, mtbf: 300.0, mttr: 30.0, ..Default::default() };
+        let starts = |correlation: f64| -> Vec<f64> {
+            let spec = FaultSpec { correlation, ..base.clone() };
+            spec.generate(5_000.0)
+                .iter()
+                .filter_map(|e| match e {
+                    FleetEvent::ShardDown { at, .. } => Some(*at),
+                    _ => None,
+                })
+                .collect()
+        };
+        // Count multi-shard outages: down events sharing one timestamp.
+        let shared = |starts: &[f64]| {
+            starts.windows(2).filter(|w| w[0] == w[1]).count()
+        };
+        let independent = starts(0.0);
+        let correlated = starts(0.8);
+        assert_eq!(shared(&independent), 0, "independent outages never share an instant");
+        assert!(
+            shared(&correlated) > 3,
+            "correlated outages must pull other shards down at the same instant"
+        );
+    }
+
+    #[test]
+    fn throttle_episodes_bound_factors_and_restore() {
+        let spec = FaultSpec {
+            shards: 3,
+            mtbf: 0.0, // outages off: throttles only
+            throttle_rate: 1.0 / 100.0,
+            throttle_range: (0.5, 0.8),
+            mean_throttle: 60.0,
+            ..Default::default()
+        };
+        let events = spec.generate(4_000.0);
+        let mut throttled = vec![false; spec.shards];
+        let mut episodes = 0;
+        for e in &events {
+            let FleetEvent::ShardThrottle { shard, factor, .. } = *e else {
+                panic!("throttle-only spec emitted {e:?}");
+            };
+            if factor == 1.0 {
+                assert!(throttled[shard], "a restore must close an open episode");
+                throttled[shard] = false;
+            } else {
+                assert!((0.5..0.8).contains(&factor), "factor within the range: {factor}");
+                assert!(!throttled[shard], "episodes never overlap on one shard");
+                throttled[shard] = true;
+                episodes += 1;
+            }
+        }
+        assert!(episodes >= 3, "the walk must produce real episodes: {episodes}");
     }
 
     #[test]

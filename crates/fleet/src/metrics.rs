@@ -19,8 +19,25 @@ pub enum PlacementOutcome {
         /// Index of the shard that took the instance.
         shard: usize,
     },
-    /// Rejected: no shard had capacity and predicted headroom.
+    /// Rejected: no shard had capacity and predicted headroom (and no
+    /// retries remained).
     Rejected,
+    /// Rejected at this attempt, with a deterministic backoff retry
+    /// scheduled (see [`crate::FleetConfig::retry_limit`]).
+    Deferred,
+    /// Evacuated off a failing shard onto a survivor, in priority order.
+    Evacuated {
+        /// The failed shard the instance was running on.
+        from: usize,
+        /// The surviving shard that absorbed it.
+        to: usize,
+    },
+    /// Dropped while live: the shard failed with no survivor able to
+    /// absorb it, or the overload guard shed it.
+    Shed {
+        /// The shard the instance was running on when it was dropped.
+        from: usize,
+    },
 }
 
 /// One admission/placement decision, in offered order.
@@ -63,6 +80,64 @@ pub struct FleetMetrics {
     /// running DNNs of `potential · span` — potential-seconds of useful
     /// service. This is the `fleet_scale` bench's scaling figure.
     pub aggregate_potential_seconds: f64,
+    /// Shard outages applied (a [`crate::FleetEvent::ShardDown`] on an
+    /// already-down shard is an idempotent no-op and not counted).
+    pub failures_injected: u64,
+    /// Throttle changes applied to up shards (restores included).
+    pub throttle_events: u64,
+    /// Live instances moved off failing shards onto survivors.
+    pub evacuated: u64,
+    /// Live instances dropped: shard failures no survivor could absorb,
+    /// plus overload-guard sheds.
+    pub shed: u64,
+    /// Retry attempts re-enqueued after rejections (bounded per request
+    /// by [`crate::FleetConfig::retry_limit`]).
+    pub retries: u64,
+    /// Requests admitted on a retry attempt (a subset of `admitted`).
+    pub retry_admitted: u64,
+    /// Simulated stall seconds charged to destination boards by
+    /// evacuation restages (the migration model's full-restage cost —
+    /// deterministic, unlike the wall-clock evacuation latency on
+    /// [`crate::FleetOutcome`]).
+    pub evacuation_stall_seconds: f64,
+    /// Admitted instances that departed normally.
+    pub departed: u64,
+    /// Admitted instances still live at the horizon.
+    pub live_at_end: u64,
+    /// Instances triaged at shard failures, by priority tier
+    /// `[high, mid, low]` (terciles of the failing shard's priority
+    /// order).
+    pub tier_triaged: [u64; 3],
+    /// Triaged instances that survived by evacuation, by tier.
+    pub tier_evacuated: [u64; 3],
+}
+
+impl FleetMetrics {
+    /// Per-priority-tier availability under failures: the fraction of
+    /// triaged instances each tier kept alive through evacuation
+    /// (`[high, mid, low]`; a tier never triaged reports `1.0` — nothing
+    /// was at risk). Priority-aware triage makes this vector
+    /// non-increasing in expectation: high priority evacuates first,
+    /// while sheds land on the low tier.
+    pub fn tier_availability(&self) -> [f64; 3] {
+        let mut out = [1.0; 3];
+        for (i, slot) in out.iter_mut().enumerate() {
+            if self.tier_triaged[i] > 0 {
+                *slot = self.tier_evacuated[i] as f64 / self.tier_triaged[i] as f64;
+            }
+        }
+        out
+    }
+
+    /// The instance-accounting invariant under chaos: every admitted
+    /// instance ends in exactly one terminal state — departed, still
+    /// live (evacuated instances stay live on their new shard), or shed.
+    /// Property-tested across seeds × load shapes × fault schedules in
+    /// `tests/chaos.rs`.
+    pub fn accounting_balances(&self) -> bool {
+        self.admitted == self.departed + self.live_at_end + self.shed
+            && self.offered == self.admitted + self.rejected
+    }
 }
 
 /// Wall-clock latency distribution of the placement decision.
@@ -82,24 +157,22 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    /// Summarizes a set of measured durations (empty → all zeros).
+    /// Summarizes a set of measured durations. Zero samples — e.g. a
+    /// fully-failed fleet that never reached a placement decision —
+    /// report all-zero stats rather than panicking.
     pub fn from_durations(mut samples: Vec<Duration>) -> Self {
-        if samples.is_empty() {
-            return Self {
-                samples: 0,
-                p50: Duration::ZERO,
-                p99: Duration::ZERO,
-                max: Duration::ZERO,
-                total: Duration::ZERO,
-            };
-        }
         samples.sort_unstable();
-        let q = |p: usize| samples[(samples.len() - 1) * p / 100];
+        let q = |p: usize| {
+            samples
+                .get((samples.len().saturating_sub(1)) * p / 100)
+                .copied()
+                .unwrap_or(Duration::ZERO)
+        };
         Self {
             samples: samples.len(),
             p50: q(50),
             p99: q(99),
-            max: *samples.last().unwrap(),
+            max: samples.last().copied().unwrap_or(Duration::ZERO),
             total: samples.iter().sum(),
         }
     }

@@ -139,11 +139,18 @@ pub(crate) struct Probe {
     pub(crate) trial: Arc<Workload>,
     pub(crate) candidates: Vec<Mapping>,
     weights: Vec<f64>,
-    /// The shard's current weighted potential (0 when idle) — the
-    /// baseline the delta is measured against.
+    /// The shard's current weighted potential (0 when idle), already
+    /// derated — the baseline the delta is measured against.
     before: f64,
     /// The arrival model's ideal rate on this shard's board.
     arrival_ideal: f64,
+    /// The shard's served fraction of nominal speed at probe time. Both
+    /// sides of the delta and the arrival's potential scale by it (a
+    /// throttled board serves every candidate proportionally slower), so
+    /// throttled shards bid lower and the admission floor judges the
+    /// *served* potential. Deliberately not part of the dedup `key`: the
+    /// memo caches raw oracle predictions, which are throttle-invariant.
+    derate: f64,
     /// Dedup fingerprint: two probes of the same group with equal keys
     /// are the identical oracle question (same trial set, same survivor
     /// placements, same weights) and share one evaluation under fused
@@ -170,8 +177,10 @@ impl Probe {
         let mut best_any: Option<(f64, f64)> = None;
         let mut best_clearing: Option<(f64, f64)> = None;
         for per_dnn in predictions {
-            let arrival_pot = per_dnn.last().copied().unwrap_or(0.0) / self.arrival_ideal;
-            let score = weighted_potential(ideals, &self.trial, per_dnn, &self.weights);
+            let arrival_pot =
+                self.derate * per_dnn.last().copied().unwrap_or(0.0) / self.arrival_ideal;
+            let score =
+                self.derate * weighted_potential(ideals, &self.trial, per_dnn, &self.weights);
             if best_any.is_none_or(|(b, _)| score > b) {
                 best_any = Some((score, arrival_pot));
             }
@@ -199,9 +208,10 @@ impl<O: ThroughputOracle> Shard<'_, O> {
         model: ModelId,
         max_per_shard: usize,
     ) -> Option<Probe> {
-        if self.live_len() >= max_per_shard {
+        if self.is_down() || self.live_len() >= max_per_shard {
             return None;
         }
+        let derate = self.throttle();
         let arrival_ideal = ideal_rate_of(&self.ideals, model);
         // Trial workload: survivors first (keeping their incumbent
         // placements), the arrival appended, tried on every component.
@@ -217,12 +227,15 @@ impl<O: ThroughputOracle> Shard<'_, O> {
             Some(state) => {
                 let per_dnn = self.predict_incumbent(&state.0, &state.1);
                 let (workload, incumbent) = (&state.0, &state.1);
-                let score = weighted_potential(
-                    &self.ideals,
-                    workload,
-                    &per_dnn,
-                    &weights[..workload.len()],
-                );
+                // Derated like the candidates in `fold`, so the delta
+                // compares served scores on both sides.
+                let score = derate
+                    * weighted_potential(
+                        &self.ideals,
+                        workload,
+                        &per_dnn,
+                        &weights[..workload.len()],
+                    );
                 (score, incumbent.per_dnn().to_vec())
             }
         };
@@ -255,6 +268,7 @@ impl<O: ThroughputOracle> Shard<'_, O> {
             weights,
             before,
             arrival_ideal,
+            derate,
             key,
         })
     }

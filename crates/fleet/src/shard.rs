@@ -51,6 +51,17 @@ pub(crate) struct Shard<'p, O: ThroughputOracle> {
     /// Memoized placement-probe trial workloads (live set + arrival),
     /// keyed by arrival model. Invalidated on apply.
     trial_cache: HashMap<ModelId, Arc<Workload>>,
+    /// Whether the shard is currently failed. A down shard builds no
+    /// probes (it cannot take arrivals), reports no health, and serves
+    /// nothing — its live set was evacuated or shed when it went down.
+    down: bool,
+    /// Served fraction of nominal speed in `(0, 1]` (thermal throttle).
+    /// `Platform::scaled` keeps potential invariant under uniform
+    /// scaling, so the throttle surfaces as a pure multiplicative derate
+    /// on served throughput and on every placement/health score — probe
+    /// memo entries (raw oracle predictions) stay valid across throttle
+    /// changes.
+    throttle: f64,
 }
 
 impl<'p, O: ThroughputOracle> Shard<'p, O> {
@@ -73,11 +84,51 @@ impl<'p, O: ThroughputOracle> Shard<'p, O> {
             incumbent_prediction: None,
             current_state: None,
             trial_cache: HashMap::new(),
+            down: false,
+            throttle: 1.0,
         }
     }
 
     pub(crate) fn live_len(&self) -> usize {
         self.session.live().len()
+    }
+
+    /// Whether the shard is currently failed.
+    pub(crate) fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// The shard's current served fraction of nominal speed.
+    pub(crate) fn throttle(&self) -> f64 {
+        self.throttle
+    }
+
+    /// Marks the shard failed. The caller (the executor's `ShardDown`
+    /// handling) evacuates or sheds the live set *before* this — a down
+    /// shard must be empty.
+    pub(crate) fn mark_down(&mut self) {
+        debug_assert!(self.live_len() == 0, "a shard goes down only after evacuation");
+        self.down = true;
+    }
+
+    /// Repairs the shard: it rejoins empty, at nominal speed (a repaired
+    /// board boots with thermals reset, so any pre-failure throttle is
+    /// cleared).
+    pub(crate) fn revive(&mut self, at: f64, window: f64) {
+        self.down = false;
+        self.throttle = 1.0;
+        self.session.set_derate(1.0);
+        self.apply(at, &[], window);
+    }
+
+    /// Applies a thermal throttle: subsequent served throughput, recorded
+    /// potential, and placement/health scores all scale by `factor`. An
+    /// empty apply closes the running segment so the derate takes effect
+    /// exactly at `at`.
+    pub(crate) fn set_throttle(&mut self, at: f64, factor: f64, window: f64) {
+        self.throttle = factor;
+        self.session.set_derate(factor);
+        self.apply(at, &[], window);
     }
 
     /// Current workload + incumbent mapping in live order, memoized until
@@ -134,11 +185,13 @@ impl<'p, O: ThroughputOracle> Shard<'p, O> {
     }
 
     /// Unweighted mean potential of a predicted report under this shard's
-    /// own ideals — the collapse signal the rebalancer watches (and
-    /// re-checks on the survivor set).
+    /// own ideals, derated by the current throttle — the collapse signal
+    /// the rebalancer and the overload guard watch (and re-check on the
+    /// survivor set). At nominal speed the `× 1.0` is exact, so
+    /// throttle-free runs are bit-identical to the pre-throttle code.
     pub(crate) fn uniform_mean_potential(&self, workload: &Workload, per_dnn: &[f64]) -> f64 {
         let uniform = vec![1.0; workload.len()];
-        weighted_potential(&self.ideals, workload, per_dnn, &uniform)
+        self.throttle * weighted_potential(&self.ideals, workload, per_dnn, &uniform)
             / workload.len() as f64
     }
 

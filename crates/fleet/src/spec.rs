@@ -31,6 +31,36 @@
 
 use rankmap_core::oracle::ThroughputOracle;
 use rankmap_platform::Platform;
+use std::fmt;
+
+/// Why a fleet composition was rejected at construction — caught here,
+/// with the offending group named, instead of surfacing later as an
+/// index panic deep in the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetSpecError {
+    /// The group list was empty: a fleet needs at least one shard group.
+    NoGroups,
+    /// The group at this index declared `count == 0`.
+    EmptyGroup {
+        /// Index of the zero-count group in the spec's group list.
+        index: usize,
+    },
+}
+
+impl fmt::Display for FleetSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetSpecError::NoGroups => {
+                write!(f, "a fleet needs at least one shard group")
+            }
+            FleetSpecError::EmptyGroup { index } => {
+                write!(f, "shard group {index} needs at least one shard")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetSpecError {}
 
 /// One homogeneous group of device shards: `count` boards of one platform
 /// profile, scored by one oracle.
@@ -71,10 +101,30 @@ impl<'p, O: ThroughputOracle> FleetSpec<'p, O> {
     ///
     /// # Panics
     ///
-    /// Panics if `groups` is empty.
+    /// Panics if the composition is invalid (see
+    /// [`FleetSpec::try_new`]).
     pub fn new(groups: Vec<ShardSpec<'p, O>>) -> Self {
-        assert!(!groups.is_empty(), "a fleet needs at least one shard group");
-        Self { groups }
+        Self::try_new(groups).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`FleetSpec::new`] with the validation surfaced as a `Result`:
+    /// rejects an empty group list and any zero-count group (reachable
+    /// by building a [`ShardSpec`] literal around
+    /// [`ShardSpec::new`]'s own check) with a clear error instead of a
+    /// downstream index panic.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetSpecError::NoGroups`] for an empty list;
+    /// [`FleetSpecError::EmptyGroup`] naming the first zero-count group.
+    pub fn try_new(groups: Vec<ShardSpec<'p, O>>) -> Result<Self, FleetSpecError> {
+        if groups.is_empty() {
+            return Err(FleetSpecError::NoGroups);
+        }
+        if let Some(index) = groups.iter().position(|g| g.count == 0) {
+            return Err(FleetSpecError::EmptyGroup { index });
+        }
+        Ok(Self { groups })
     }
 
     /// A homogeneous fleet: `count` shards of one platform and oracle.
@@ -134,5 +184,27 @@ mod tests {
     #[should_panic(expected = "at least one shard group")]
     fn empty_fleet_panics() {
         let _ = FleetSpec::<AnalyticalOracle>::new(Vec::new());
+    }
+
+    #[test]
+    fn try_new_names_the_offending_group() {
+        assert_eq!(
+            FleetSpec::<AnalyticalOracle>::try_new(Vec::new()).unwrap_err(),
+            FleetSpecError::NoGroups
+        );
+        let p = Platform::orange_pi_5();
+        let o = AnalyticalOracle::new(&p);
+        // A zero-count group built around ShardSpec::new's check (the
+        // fields are public) is caught at fleet construction, by index.
+        let groups = vec![
+            ShardSpec::new(&p, &o, 1),
+            ShardSpec { platform: &p, oracle: &o, count: 0 },
+        ];
+        let err = FleetSpec::try_new(groups).unwrap_err();
+        assert_eq!(err, FleetSpecError::EmptyGroup { index: 1 });
+        assert!(err.to_string().contains("group 1"), "{err}");
+        // And the panicking constructor reports the same story.
+        let ok = FleetSpec::try_new(vec![ShardSpec::new(&p, &o, 2)]).expect("valid");
+        assert_eq!(ok.shard_count(), 2);
     }
 }

@@ -12,15 +12,17 @@
 //! shortest-roundtrip float formatting, which parses back to the exact
 //! bits — no bit-pattern encoding needed for finite values.
 //!
-//! Format (`version 2`; version-1 traces still parse, with an
-//! unspecified platform mix):
+//! Format (`version 3`; version-1 and version-2 traces still parse):
 //!
 //! ```text
-//! {"horizon":600,"label":"bursty","platforms":["orange-pi-5","jetson-orin-nx"],"rankmap_fleet_trace":2,"seed":"7","shards":2}
+//! {"horizon":600,"label":"bursty","platforms":["orange-pi-5","jetson-orin-nx"],"rankmap_fleet_trace":3,"seed":"7","shards":2}
 //! {"at":12.25,"kind":"arrive","model":"AlexNet","request":0}
 //! {"at":80.5,"kind":"depart","request":0}
 //! {"at":90,"kind":"set_priorities","mode":"dynamic"}
 //! {"at":95,"kind":"set_priorities","mode":"static","priorities":[0.7,0.3]}
+//! {"at":120,"kind":"shard_down","shard":1}
+//! {"at":150,"kind":"shard_throttle","factor":0.55,"shard":0}
+//! {"at":240,"kind":"shard_up","shard":1}
 //! ```
 //!
 //! Version 2 adds the `platforms` header field: the per-shard platform
@@ -31,6 +33,17 @@
 //! on `[orange, jetson]` must not silently replay on `[jetson, orange]`,
 //! where every shard index means a different board. An empty or absent
 //! `platforms` list (all version-1 traces) skips the check.
+//!
+//! Version 3 adds the fault event kinds `shard_down`, `shard_up`, and
+//! `shard_throttle` (see [`crate::FaultSpec`]), so an injected failure
+//! schedule replays with the rest of the stream. A trace without fault
+//! events is written with a version-2 header — every pre-chaos trace file
+//! re-serializes byte-identically — and a fault event in a version-1 or
+//! version-2 trace is rejected at parse time: those versions never
+//! defined the kinds, so their presence means a mislabeled file. Fault
+//! shard indices are validated against the header's shard count and
+//! throttle factors against `(0, 1]`, again so a hand-edited trace fails
+//! here with a line number and snippet rather than on an executor assert.
 //!
 //! The mix is pinned by *name*, a readable guard against the common
 //! mistake (wrong fleet composition). It deliberately does not pin the
@@ -98,18 +111,42 @@ pub struct Trace {
     pub events: Vec<FleetEvent>,
 }
 
-/// A malformed trace line.
+/// A malformed trace line, carrying the line number *and* a snippet of
+/// the offending text — enough to find and fix a bad line in a
+/// multi-megabyte hand-edited trace without opening it at the right
+/// offset first.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceError {
     /// 1-based line number.
     pub line: usize,
     /// What was wrong.
     pub message: String,
+    /// The offending line's text, truncated to
+    /// [`TraceError::SNIPPET_LIMIT`] characters.
+    pub snippet: String,
+}
+
+impl TraceError {
+    /// Maximum characters of the offending line kept in
+    /// [`TraceError::snippet`].
+    pub const SNIPPET_LIMIT: usize = 120;
+
+    fn new(line: usize, message: String, raw: &str) -> Self {
+        let mut snippet: String = raw.chars().take(Self::SNIPPET_LIMIT).collect();
+        if snippet.len() < raw.len() {
+            snippet.push('…');
+        }
+        Self { line, message, snippet }
+    }
 }
 
 impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace line {}: {}", self.line, self.message)
+        write!(f, "trace line {}: {}", self.line, self.message)?;
+        if !self.snippet.is_empty() {
+            write!(f, " in `{}`", self.snippet)?;
+        }
+        Ok(())
     }
 }
 
@@ -136,12 +173,27 @@ impl Trace {
         Self { meta, events }
     }
 
-    /// Serializes to JSONL: one header line, one line per event.
+    /// Serializes to JSONL: one header line, one line per event. The
+    /// header declares version 3 only when the stream carries fault
+    /// events; a fault-free trace stays byte-identical to the version-2
+    /// format.
     pub fn to_jsonl(&self) -> String {
+        let version = if self.events.iter().any(|e| {
+            matches!(
+                e,
+                FleetEvent::ShardDown { .. }
+                    | FleetEvent::ShardUp { .. }
+                    | FleetEvent::ShardThrottle { .. }
+            )
+        }) {
+            3.0
+        } else {
+            2.0
+        };
         let mut out = String::new();
         out.push_str(
             &obj([
-                ("rankmap_fleet_trace", Json::Num(2.0)),
+                ("rankmap_fleet_trace", Json::Num(version)),
                 ("shards", Json::Num(self.meta.shards as f64)),
                 ("horizon", Json::Num(self.meta.horizon)),
                 // Written as a string: a u64 seed (e.g. hash-derived) can
@@ -179,6 +231,19 @@ impl Trace {
                     line.insert("kind".into(), Json::Str("set_priorities".into()));
                     mode_json(mode, &mut line);
                 }
+                FleetEvent::ShardDown { shard, .. } => {
+                    line.insert("kind".into(), Json::Str("shard_down".into()));
+                    line.insert("shard".into(), Json::Num(*shard as f64));
+                }
+                FleetEvent::ShardUp { shard, .. } => {
+                    line.insert("kind".into(), Json::Str("shard_up".into()));
+                    line.insert("shard".into(), Json::Num(*shard as f64));
+                }
+                FleetEvent::ShardThrottle { shard, factor, .. } => {
+                    line.insert("kind".into(), Json::Str("shard_throttle".into()));
+                    line.insert("shard".into(), Json::Num(*shard as f64));
+                    line.insert("factor".into(), Json::Num(*factor));
+                }
             }
             out.push_str(&Json::Obj(line).to_string());
             out.push('\n');
@@ -193,6 +258,7 @@ impl Trace {
     /// number, not on an assert at execute time).
     pub fn from_jsonl(text: &str) -> Result<Self, TraceError> {
         let mut meta = None;
+        let mut version = 0u64;
         let mut events = Vec::new();
         let mut arrived = std::collections::HashSet::new();
         let mut departed = std::collections::HashSet::new();
@@ -202,18 +268,18 @@ impl Trace {
             if line.is_empty() {
                 continue;
             }
-            let bad = |message: String| TraceError { line: lineno, message };
+            let bad = |message: String| TraceError::new(lineno, message, line);
             let value =
                 json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
             if meta.is_none() {
-                match value.get("rankmap_fleet_trace").and_then(Json::as_u64) {
-                    Some(1 | 2) => {}
+                version = match value.get("rankmap_fleet_trace").and_then(Json::as_u64) {
+                    Some(v @ 1..=3) => v,
                     _ => {
                         return Err(bad(
-                            "first line must be a version-1 or version-2 trace header".into(),
+                            "first line must be a version-1, -2, or -3 trace header".into(),
                         ))
                     }
-                }
+                };
                 let shards = value
                     .get("shards")
                     .and_then(Json::as_u64)
@@ -313,6 +379,42 @@ impl Trace {
                     }
                     FleetEvent::Depart { at, request }
                 }
+                Some(kind @ ("shard_down" | "shard_up" | "shard_throttle")) => {
+                    if version < 3 {
+                        return Err(bad(format!(
+                            "fault event '{kind}' in a version-{version} trace \
+                             (faults need a version-3 header)"
+                        )));
+                    }
+                    let shards = meta.as_ref().map(|m: &TraceMeta| m.shards).unwrap_or(0);
+                    let shard = value
+                        .get("shard")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad(format!("{kind} missing shard")))?
+                        as usize;
+                    if shard >= shards {
+                        return Err(bad(format!(
+                            "{kind} names shard {shard} but the header declares \
+                             {shards} shards"
+                        )));
+                    }
+                    match kind {
+                        "shard_down" => FleetEvent::ShardDown { at, shard },
+                        "shard_up" => FleetEvent::ShardUp { at, shard },
+                        _ => {
+                            let factor = value
+                                .get("factor")
+                                .and_then(Json::as_f64)
+                                .ok_or_else(|| bad("shard_throttle missing factor".into()))?;
+                            if !(factor > 0.0 && factor <= 1.0) {
+                                return Err(bad(format!(
+                                    "throttle factor {factor} outside (0, 1]"
+                                )));
+                            }
+                            FleetEvent::ShardThrottle { at, shard, factor }
+                        }
+                    }
+                }
                 Some("set_priorities") => {
                     let mode = match value.get("mode").and_then(Json::as_str) {
                         Some("dynamic") => PriorityMode::Dynamic,
@@ -337,7 +439,11 @@ impl Trace {
             };
             events.push(event);
         }
-        let meta = meta.ok_or(TraceError { line: 0, message: "empty trace".into() })?;
+        let meta = meta.ok_or(TraceError {
+            line: 0,
+            message: "empty trace".into(),
+            snippet: String::new(),
+        })?;
         Ok(Trace { meta, events })
     }
 }
@@ -413,10 +519,110 @@ mod tests {
     fn header_is_required_and_versioned() {
         assert!(Trace::from_jsonl("").is_err());
         assert!(Trace::from_jsonl("{\"at\":1,\"kind\":\"depart\",\"request\":0}\n").is_err());
+        // Version 3 (the current format) parses; a future version 4 does not.
         assert!(Trace::from_jsonl(
             "{\"rankmap_fleet_trace\":3,\"shards\":1,\"horizon\":1,\"seed\":0,\"label\":\"\"}\n"
         )
+        .is_ok());
+        assert!(Trace::from_jsonl(
+            "{\"rankmap_fleet_trace\":4,\"shards\":1,\"horizon\":1,\"seed\":0,\"label\":\"\"}\n"
+        )
         .is_err());
+    }
+
+    #[test]
+    fn fault_events_roundtrip_under_a_v3_header() {
+        let spec = LoadSpec {
+            faults: Some(crate::load::FaultSpec {
+                shards: 4,
+                mtbf: 120.0,
+                mttr: 40.0,
+                throttle_rate: 1.0 / 150.0,
+                ..Default::default()
+            }),
+            ..bursty_spec()
+        };
+        let trace = Trace::new(
+            TraceMeta::new(4, spec.horizon, spec.seed, "chaos"),
+            generate(&spec),
+        );
+        assert!(
+            trace.events.iter().any(|e| matches!(e, FleetEvent::ShardDown { .. })),
+            "fault layer should have produced at least one outage"
+        );
+        let text = trace.to_jsonl();
+        assert!(
+            text.lines().next().unwrap().contains("\"rankmap_fleet_trace\":3"),
+            "fault events promote the header to version 3"
+        );
+        let back = Trace::from_jsonl(&text).expect("parse");
+        assert_eq!(back, trace, "fault events must round-trip bit-for-bit");
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn fault_free_traces_keep_the_v2_header() {
+        let spec = bursty_spec();
+        let trace = Trace::new(
+            TraceMeta::new(4, spec.horizon, spec.seed, "t"),
+            generate(&spec),
+        );
+        assert!(
+            trace.to_jsonl().lines().next().unwrap().contains("\"rankmap_fleet_trace\":2"),
+            "without faults the on-disk format is unchanged"
+        );
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected_per_version() {
+        // v1: a fault kind did not exist yet.
+        let v1 = "{\"rankmap_fleet_trace\":1,\"shards\":2,\"horizon\":10,\"seed\":0,\"label\":\"\"}\n\
+                  {\"at\":1,\"kind\":\"shard_down\",\"shard\":0}\n";
+        let err = Trace::from_jsonl(v1).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("version-1"), "{err}");
+        // v2: same, and the snippet quotes the offending line.
+        let v2 = "{\"rankmap_fleet_trace\":2,\"shards\":2,\"horizon\":10,\"seed\":0,\"label\":\"\"}\n\
+                  {\"at\":1,\"kind\":\"shard_throttle\",\"factor\":0.5,\"shard\":0}\n";
+        let err = Trace::from_jsonl(v2).unwrap_err();
+        assert!(err.message.contains("version-2"), "{err}");
+        assert!(err.snippet.contains("shard_throttle"), "{err}");
+        // v3: fault events are validated against the declared fleet shape.
+        let header =
+            "{\"rankmap_fleet_trace\":3,\"shards\":2,\"horizon\":10,\"seed\":0,\"label\":\"\"}\n";
+        let out_of_range =
+            format!("{header}{}", "{\"at\":1,\"kind\":\"shard_down\",\"shard\":2}\n");
+        let err = Trace::from_jsonl(&out_of_range).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("declares 2 shards"), "{err}");
+        let bad_factor = format!(
+            "{header}{}",
+            "{\"at\":1,\"kind\":\"shard_throttle\",\"factor\":1.5,\"shard\":0}\n"
+        );
+        let err = Trace::from_jsonl(&bad_factor).unwrap_err();
+        assert!(err.message.contains("outside (0, 1]"), "{err}");
+        let missing_shard = format!("{header}{}", "{\"at\":1,\"kind\":\"shard_up\"}\n");
+        let err = Trace::from_jsonl(&missing_shard).unwrap_err();
+        assert!(err.message.contains("missing shard"), "{err}");
+    }
+
+    #[test]
+    fn errors_carry_line_number_and_snippet() {
+        let text = "{\"rankmap_fleet_trace\":1,\"shards\":1,\"horizon\":10,\"seed\":0,\"label\":\"\"}\n\
+                    {\"at\":1,\"kind\":\"arrive\",\"model\":\"NoSuchNet\",\"request\":0}\n";
+        let err = Trace::from_jsonl(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.snippet.contains("NoSuchNet"), "snippet quotes the bad line: {err}");
+        let rendered = err.to_string();
+        assert!(rendered.contains("line 2") && rendered.contains("NoSuchNet"), "{rendered}");
+        // Long lines are truncated, not dumped wholesale.
+        let long = format!(
+            "{{\"rankmap_fleet_trace\":1,\"shards\":1,\"horizon\":10,\"seed\":0,\"label\":\"{}\"}}",
+            "x".repeat(500)
+        );
+        let err = Trace::from_jsonl(&format!("{long}\n{long}\n")).unwrap_err();
+        assert!(err.snippet.chars().count() <= TraceError::SNIPPET_LIMIT + 1);
+        assert!(err.snippet.ends_with('…'));
     }
 
     #[test]
