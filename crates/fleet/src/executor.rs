@@ -24,6 +24,7 @@
 //! [`Parallelism::Sequential`] (property-tested in
 //! `crates/fleet/tests/parallel.rs`).
 
+use crate::index::PlacementIndex;
 use crate::load::{FleetEvent, RequestId};
 use crate::metrics::{FleetMetrics, LatencyStats, PlacementOutcome, PlacementRecord};
 use crate::placement::{ProbeMemo, PROBE_MEMO_BOUND};
@@ -149,6 +150,14 @@ pub struct FleetConfig {
     /// work *before* high-priority potential collapses. `0.0` (the
     /// default) disables the guard.
     pub overload_guard: f64,
+    /// Route admission probes and health scans through the incremental
+    /// shard-state index (see `crate::index`): probes are built once per
+    /// *distinct shard state* and broadcast to equal-state shards, and
+    /// the rebalancer/overload-guard's worst-shard read is O(log S)
+    /// instead of one oracle prediction per shard per event. Decisions
+    /// are bit-identical either way (property-tested); `false` keeps the
+    /// full O(shards) scan as the identity oracle and A/B baseline.
+    pub indexed_placement: bool,
 }
 
 impl Default for FleetConfig {
@@ -174,6 +183,7 @@ impl Default for FleetConfig {
             retry_limit: 0,
             retry_backoff: 30.0,
             overload_guard: 0.0,
+            indexed_placement: true,
         }
     }
 }
@@ -279,6 +289,9 @@ pub struct FleetExecutor<'p, O: ThroughputOracle> {
     /// determines the question (trial set, survivor placements, weights),
     /// so entries are pure and never stale.
     pub(crate) probe_memo: ProbeMemo,
+    /// The incremental shard-state index behind
+    /// [`FleetConfig::indexed_placement`] (unused when the flag is off).
+    pub(crate) index: PlacementIndex,
     pub(crate) shards: Vec<Shard<'p, O>>,
 }
 
@@ -337,8 +350,34 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
             config,
             group_oracles,
             platforms: spec.platform_names(),
+            index: PlacementIndex::new(shards.len()),
             shards,
         }
+    }
+
+    /// The worst loaded shard `(index, mean predicted potential)` among
+    /// shards with something to shed (up, ≥ 2 live instances) — the
+    /// rebalancer's and overload guard's shared health question. Indexed
+    /// mode reads the health order's front in O(log S); scan mode runs
+    /// the original parallel prediction fan-out. Both return the
+    /// `min_by(total_cmp)` answer, first-minimal on ties.
+    pub(crate) fn worst_loaded(&mut self) -> Option<(usize, f64)> {
+        if self.config.indexed_placement {
+            self.index.refresh(&mut self.shards);
+            return self.index.worst();
+        }
+        let means: Vec<Option<f64>> = self.for_each_shard(|_, shard| {
+            if !shard.is_down() && shard.live_len() >= 2 {
+                shard.mean_potential()
+            } else {
+                None
+            }
+        });
+        means
+            .into_iter()
+            .enumerate()
+            .filter_map(|(s, mean)| mean.map(|m| (s, m)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Runs `f` over every shard at the current barrier (see
@@ -497,34 +536,31 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
     ///
     /// Panics if `events` is not sorted by time, reaches outside
     /// `[0, horizon)`, or names a shard index beyond the fleet.
-    pub(crate) fn run(mut self, events: &[FleetEvent], horizon: f64) -> FleetOutcome {
-        assert!(
-            events.windows(2).all(|w| w[0].at() <= w[1].at()),
-            "fleet events must be sorted by time"
-        );
-        assert!(
-            events.iter().all(|e| (0.0..horizon).contains(&e.at())),
-            "fleet events must lie within [0, horizon)"
-        );
-        assert!(
-            events.iter().all(|e| match e {
-                FleetEvent::ShardDown { shard, .. }
-                | FleetEvent::ShardUp { shard, .. }
-                | FleetEvent::ShardThrottle { shard, .. } => *shard < self.shards.len(),
-                _ => true,
-            }),
-            "fault events must name shards within the fleet"
-        );
+    pub(crate) fn run(self, events: &[FleetEvent], horizon: f64) -> FleetOutcome {
+        self.run_stream(events.iter().cloned(), horizon)
+    }
+
+    /// [`FleetExecutor::run`] over a pull-based event source — the
+    /// million-instance entry point: paired with
+    /// [`crate::load::LoadStream`], the full event vector is never
+    /// materialized. Validation (sortedness, horizon bounds, shard
+    /// indices) happens incrementally as events are pulled, with the same
+    /// panic messages as the slice path.
+    pub(crate) fn run_stream<I>(mut self, events: I, horizon: f64) -> FleetOutcome
+    where
+        I: IntoIterator<Item = FleetEvent>,
+    {
+        let mut events = events.into_iter().peekable();
+        let mut last_at = f64::NEG_INFINITY;
         let mut state = RunState::new(self.shards.len());
         let mut offered = 0u64;
-        let mut next = 0usize;
         // Stream events and scheduled retries merge into one ordered
         // walk; at equal timestamps the retry goes first (it was offered
         // strictly earlier). Every action is followed by the rebalance
         // and overload-guard barriers, exactly like a stream event.
         loop {
             let retry = state.next_retry();
-            let take_retry = match (retry, events.get(next)) {
+            let take_retry = match (retry, events.peek()) {
                 (Some(i), Some(e)) => state.pending_retries[i].at <= e.at(),
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
@@ -548,13 +584,27 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                     &mut state,
                 );
             } else {
-                let event = &events[next];
-                next += 1;
+                let event = events.next().expect("peeked above");
+                assert!(event.at() >= last_at, "fleet events must be sorted by time");
+                assert!(
+                    (0.0..horizon).contains(&event.at()),
+                    "fleet events must lie within [0, horizon)"
+                );
+                if let FleetEvent::ShardDown { shard, .. }
+                | FleetEvent::ShardUp { shard, .. }
+                | FleetEvent::ShardThrottle { shard, .. } = &event
+                {
+                    assert!(
+                        *shard < self.shards.len(),
+                        "fault events must name shards within the fleet"
+                    );
+                }
+                last_at = event.at();
                 if matches!(event, FleetEvent::Arrive { .. }) {
                     offered += 1;
                 }
                 t = event.at();
-                self.handle_event(event, horizon, &mut state);
+                self.handle_event(&event, horizon, &mut state);
             }
             // Departures free capacity and arrivals shift contention —
             // both are rebalance opportunities; overload sheds run after,

@@ -150,21 +150,10 @@ impl<O: ThroughputOracle> FleetExecutor<'_, O> {
             return;
         }
         let window = self.config.decision_window;
-        // Health scan (parallel), worst shard picked serially — the
-        // rebalancer's pattern. Down shards are idle and report None.
-        let means: Vec<Option<f64>> = self.for_each_shard(|_, shard| {
-            if !shard.is_down() && shard.live_len() >= 2 {
-                shard.mean_potential()
-            } else {
-                None
-            }
-        });
-        let Some((src, mean)) = means
-            .into_iter()
-            .enumerate()
-            .filter_map(|(s, mean)| mean.map(|m| (s, m)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-        else {
+        // The rebalancer's health question, shared via `worst_loaded`
+        // (indexed O(log S) read or the parallel scan). Down shards are
+        // empty and report no health either way.
+        let Some((src, mean)) = self.worst_loaded() else {
             return;
         };
         if mean >= guard {

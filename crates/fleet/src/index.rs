@@ -1,0 +1,197 @@
+//! The incremental shard-state index behind
+//! [`crate::FleetConfig::indexed_placement`]: sublinear admission probing
+//! and an O(log S) health read, bit-identical to the full scans.
+//!
+//! Two structures, both maintained lazily from per-shard epoch counters
+//! (every [`Shard::apply`] and `mark_down` bumps the epoch, so a refresh
+//! only recomputes the handful of shards an event actually touched):
+//!
+//! - **Placement classes.** Every *up* shard is filed under a byte key
+//!   pinning all inputs of `build_probe`: platform group, throttle bits,
+//!   live model ids in live order, and per-instance placements. Two
+//!   shards with equal keys are asked the *identical* oracle question and
+//!   fold to bit-identical `(delta, arrival_pot)` scores — so the probe
+//!   fan-out builds one probe per **class representative** (the lowest
+//!   member index, honoring the caller's exclusion) and broadcasts its
+//!   score to the rest of the class. In a large fleet most shards are
+//!   idle or carry one of a few popular live sets, so probe work scales
+//!   with the number of *distinct shard states*, not the shard count.
+//!   Class keys never include the mapper's priority mode: the executor
+//!   only ever changes mode through a fleet-wide `SetPriorities`
+//!   broadcast, so the mode is uniform across shards by construction.
+//! - **Health order.** Shards eligible for the rebalancer/overload-guard
+//!   scan (up, ≥ 2 live instances) are kept in a `BTreeSet` ordered by
+//!   `(mean_potential as order-preserving bits, shard index)`; its first
+//!   element *is* the `min_by(total_cmp)` answer of the full scan —
+//!   including the first-minimal tie-break on shard index — read in
+//!   O(log S) instead of one oracle prediction per shard per event.
+//!
+//! Scores are computed by the unchanged fused/serial scoring machinery
+//! and the unchanged downstream argmax/argmin selection code, so every
+//! tie-break (first-max admission, last-max rebalance destination) is
+//! preserved automatically; `crates/fleet/tests/indexed.rs` property-tests
+//! decision bit-identity against full-scan mode.
+
+use crate::shard::Shard;
+use rankmap_core::oracle::ThroughputOracle;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maps an `f64` to bits whose unsigned order equals `f64::total_cmp`
+/// order (sign-folded IEEE trick: negatives reverse, positives shift
+/// above them — `-0.0` still sorts before `+0.0`).
+fn ordered_bits(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// The incremental index: placement equivalence classes + health order.
+/// See the module docs for the design and the bit-identity argument.
+pub(crate) struct PlacementIndex {
+    /// Class key → member shards, ordered (deterministic iteration).
+    classes: BTreeMap<Vec<u8>, BTreeSet<usize>>,
+    /// Per-shard current class key (`None` = down, unfiled).
+    shard_key: Vec<Option<Vec<u8>>>,
+    /// `(ordered_bits(mean), shard)` for every health-eligible shard;
+    /// the first element is the worst loaded shard.
+    health: BTreeSet<(u64, usize)>,
+    /// Per-shard health entry backing `health` (`bits` for removal, the
+    /// raw mean for callers).
+    health_val: Vec<Option<(u64, f64)>>,
+    /// Last shard epoch folded into the index (`None` = never seen).
+    seen_epoch: Vec<Option<u64>>,
+}
+
+impl PlacementIndex {
+    /// An empty index over `shards` shards; the first `refresh` files
+    /// everything.
+    pub(crate) fn new(shards: usize) -> Self {
+        Self {
+            classes: BTreeMap::new(),
+            shard_key: vec![None; shards],
+            health: BTreeSet::new(),
+            health_val: vec![None; shards],
+            seen_epoch: vec![None; shards],
+        }
+    }
+
+    /// Folds every shard whose epoch moved since the last refresh back
+    /// into both structures. Runs serially at the event barrier — the
+    /// sweep is a cheap integer compare per untouched shard, and an event
+    /// only ever touches a handful of shards.
+    pub(crate) fn refresh<O: ThroughputOracle>(&mut self, shards: &mut [Shard<'_, O>]) {
+        for (s, shard) in shards.iter_mut().enumerate() {
+            if self.seen_epoch[s] == Some(shard.epoch()) {
+                continue;
+            }
+            self.seen_epoch[s] = Some(shard.epoch());
+            let new_key = shard.placement_class_key();
+            if new_key != self.shard_key[s] {
+                if let Some(old) = self.shard_key[s].take() {
+                    if let Some(members) = self.classes.get_mut(&old) {
+                        members.remove(&s);
+                        if members.is_empty() {
+                            self.classes.remove(&old);
+                        }
+                    }
+                }
+                if let Some(key) = &new_key {
+                    self.classes.entry(key.clone()).or_default().insert(s);
+                }
+                self.shard_key[s] = new_key;
+            }
+            let eligible = !shard.is_down() && shard.live_len() >= 2;
+            let entry = eligible
+                .then(|| shard.mean_potential())
+                .flatten()
+                .map(|v| (ordered_bits(v), v));
+            if entry.map(|(b, _)| b) != self.health_val[s].map(|(b, _)| b) {
+                if let Some((old_bits, _)) = self.health_val[s] {
+                    self.health.remove(&(old_bits, s));
+                }
+                if let Some((bits, _)) = entry {
+                    self.health.insert((bits, s));
+                }
+            }
+            self.health_val[s] = entry;
+        }
+    }
+
+    /// `mask[s]` iff shard `s` is its class's representative — the lowest
+    /// member index not named by `exclude`. A class whose only member is
+    /// excluded fields no probe (exactly the full scan's behavior: the
+    /// excluded shard is skipped, and no other shard shares its state).
+    pub(crate) fn representative_mask(&self, exclude: Option<usize>) -> Vec<bool> {
+        let mut mask = vec![false; self.shard_key.len()];
+        for members in self.classes.values() {
+            if let Some(&rep) = members.iter().find(|&&m| Some(m) != exclude) {
+                mask[rep] = true;
+            }
+        }
+        mask
+    }
+
+    /// Copies each representative's score onto the rest of its class
+    /// (skipping `exclude`). `None` broadcasts too: a capacity-full
+    /// representative speaks for its equally-full classmates.
+    pub(crate) fn broadcast(
+        &self,
+        exclude: Option<usize>,
+        scores: &mut [Option<(f64, f64)>],
+    ) {
+        for members in self.classes.values() {
+            let mut live = members.iter().filter(|&&m| Some(m) != exclude);
+            let Some(&rep) = live.next() else { continue };
+            let score = scores[rep];
+            for &m in live {
+                scores[m] = score;
+            }
+        }
+    }
+
+    /// The worst loaded shard `(index, mean potential)` — the health
+    /// scan's `min_by(total_cmp)` answer (first-minimal on ties), read
+    /// from the order's front.
+    pub(crate) fn worst(&self) -> Option<(usize, f64)> {
+        let &(bits, s) = self.health.iter().next()?;
+        let (stored, mean) = self.health_val[s].expect("health entry backed by health_val");
+        debug_assert_eq!(stored, bits);
+        Some((s, mean))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_bits_matches_total_cmp() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            1.0e-300,
+            0.3,
+            1.0,
+            f64::INFINITY,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(
+                    ordered_bits(a).cmp(&ordered_bits(b)),
+                    a.total_cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_sorts_before_positive_zero() {
+        assert!(ordered_bits(-0.0) < ordered_bits(0.0));
+    }
+}

@@ -86,6 +86,7 @@
 
 pub mod executor;
 mod faults;
+mod index;
 pub mod load;
 pub mod metrics;
 mod placement;
@@ -96,8 +97,11 @@ pub mod spec;
 pub mod trace;
 
 pub use executor::{FleetConfig, Parallelism};
-pub use load::{generate, ArrivalProcess, FaultSpec, FleetEvent, LoadSpec, RequestId};
+pub use load::{
+    generate, ArrivalProcess, FaultSpec, FlashSpec, FleetEvent, LoadSpec, LoadStream,
+    Popularity, RequestId, TenantSpec,
+};
 pub use metrics::{FleetMetrics, LatencyStats, PlacementOutcome, PlacementRecord};
 pub use runtime::{FleetOutcome, FleetRuntime};
 pub use spec::{FleetSpec, FleetSpecError, ShardSpec};
-pub use trace::{Trace, TraceError, TraceMeta};
+pub use trace::{Trace, TraceError, TraceMeta, TraceWriter};

@@ -10,12 +10,24 @@
 //! request that arrived earlier; streams are reproducible bit-for-bit
 //! from the seed, which is what makes trace record/replay
 //! ([`crate::trace`]) exact.
+//!
+//! On top of the base process sit three optional layers, each drawing
+//! from its **own** seed so enabling one never perturbs the others:
+//! [`Popularity::Zipf`] model skew, [`FlashSpec`] flash crowds, and
+//! [`TenantSpec`] correlated multi-tenant bursts.
+//!
+//! For million-instance horizons, [`LoadStream`] is the pull-based twin
+//! of [`generate`]: it yields the byte-identical event sequence without
+//! ever materializing it, holding only O(live instances + burst
+//! episodes) state regardless of horizon length.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rankmap_core::priority::PriorityMode;
 use rankmap_core::scenario::{exponential, mix_pool, MixProfile};
 use rankmap_models::ModelId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Fleet-level identity of one submitted DNN instance, assigned in
@@ -232,6 +244,516 @@ impl ArrivalProcess {
             }
             ArrivalProcess::Diurnal { mean_rate, .. } => mean_rate,
         }
+    }
+}
+
+/// The lazy twin of [`ArrivalProcess::sample_times`]: walks the identical
+/// RNG draw sequence but yields arrival times one at a time instead of
+/// materializing the vector. `generate` keeps calling the eager version,
+/// so the `LoadStream` ≡ `generate` equivalence test pins this walk
+/// byte-for-byte against it.
+struct TimeWalk {
+    rng: StdRng,
+    horizon: f64,
+    done: bool,
+    state: WalkState,
+}
+
+enum WalkState {
+    Poisson {
+        rate: f64,
+        t: f64,
+    },
+    OnOff {
+        burst_rate: f64,
+        idle_rate: f64,
+        mean_burst: f64,
+        mean_idle: f64,
+        t: f64,
+        bursting: bool,
+        /// An open phase mid-arrival-walk: `(phase_end, cursor, rate)`.
+        phase: Option<(f64, f64, f64)>,
+    },
+    Diurnal {
+        mean_rate: f64,
+        amplitude: f64,
+        period: f64,
+        peak: f64,
+        t: f64,
+    },
+}
+
+impl TimeWalk {
+    /// Starts the walk (same parameter panics as the eager sampler).
+    fn new(process: ArrivalProcess, horizon: f64, rng: StdRng) -> Self {
+        let state = match process {
+            ArrivalProcess::Poisson { rate } => {
+                assert!(rate > 0.0, "Poisson rate must be positive");
+                WalkState::Poisson { rate, t: 0.0 }
+            }
+            ArrivalProcess::OnOff { burst_rate, idle_rate, mean_burst, mean_idle } => {
+                assert!(burst_rate > 0.0, "burst rate must be positive");
+                assert!(idle_rate >= 0.0, "idle rate cannot be negative");
+                assert!(
+                    mean_burst > 0.0 && mean_idle > 0.0,
+                    "phase durations must be positive"
+                );
+                WalkState::OnOff {
+                    burst_rate,
+                    idle_rate,
+                    mean_burst,
+                    mean_idle,
+                    t: 0.0,
+                    bursting: true,
+                    phase: None,
+                }
+            }
+            ArrivalProcess::Diurnal { mean_rate, amplitude, period } => {
+                assert!(mean_rate > 0.0, "mean rate must be positive");
+                assert!((0.0..=1.0).contains(&amplitude), "amplitude must be in [0, 1]");
+                assert!(period > 0.0, "period must be positive");
+                WalkState::Diurnal {
+                    mean_rate,
+                    amplitude,
+                    period,
+                    peak: mean_rate * (1.0 + amplitude),
+                    t: 0.0,
+                }
+            }
+        };
+        Self { rng, horizon, done: false, state }
+    }
+
+    /// The RNG after the walk completed — positioned exactly where
+    /// `sample_times` leaves its caller's RNG. Used by `LoadStream`'s
+    /// construction to place the per-arrival and churn RNG clones.
+    fn into_rng(self) -> StdRng {
+        debug_assert!(self.done, "drain the walk before taking its RNG");
+        self.rng
+    }
+}
+
+impl Iterator for TimeWalk {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        if self.done {
+            return None;
+        }
+        let horizon = self.horizon;
+        match &mut self.state {
+            WalkState::Poisson { rate, t } => {
+                *t += exponential(&mut self.rng, *rate);
+                if *t >= horizon {
+                    self.done = true;
+                    return None;
+                }
+                Some(*t)
+            }
+            WalkState::OnOff {
+                burst_rate,
+                idle_rate,
+                mean_burst,
+                mean_idle,
+                t,
+                bursting,
+                phase,
+            } => {
+                loop {
+                    if let Some((phase_end, cursor, rate)) = *phase {
+                        let next = cursor + exponential(&mut self.rng, rate);
+                        if next >= phase_end.min(horizon) {
+                            *phase = None;
+                            *t = phase_end;
+                            *bursting = !*bursting;
+                        } else {
+                            *phase = Some((phase_end, next, rate));
+                            return Some(next);
+                        }
+                    } else {
+                        if *t >= horizon {
+                            self.done = true;
+                            return None;
+                        }
+                        let mean = if *bursting { *mean_burst } else { *mean_idle };
+                        let phase_end = *t + exponential(&mut self.rng, 1.0 / mean);
+                        let rate = if *bursting { *burst_rate } else { *idle_rate };
+                        if rate > 0.0 {
+                            *phase = Some((phase_end, *t, rate));
+                        } else {
+                            *t = phase_end;
+                            *bursting = !*bursting;
+                        }
+                    }
+                }
+            }
+            WalkState::Diurnal { mean_rate, amplitude, period, peak, t } => loop {
+                *t += exponential(&mut self.rng, *peak);
+                if *t >= horizon {
+                    self.done = true;
+                    return None;
+                }
+                let rate = *mean_rate
+                    * (1.0 + *amplitude * (2.0 * std::f64::consts::PI * *t / *period).sin());
+                if self.rng.gen_range(0.0..1.0) < rate / *peak {
+                    return Some(*t);
+                }
+            },
+        }
+    }
+}
+
+/// How arrivals pick a model from the (mix-filtered) pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum Popularity {
+    /// Every pool model equally likely — the original behaviour (and the
+    /// default), drawn with the identical RNG call, so pre-existing specs
+    /// produce byte-identical streams.
+    #[default]
+    Uniform,
+    /// Zipf-distributed popularity by pool rank: model `i` (0-based) is
+    /// drawn with weight `1 / (i+1)^exponent`. `exponent = 0` degenerates
+    /// to uniform weights (via one float draw instead of one integer
+    /// draw); ~0.8–1.2 matches the head-heavy skew of real serving
+    /// traffic, which is what concentrates shard states and lets the
+    /// placement index collapse probes.
+    Zipf {
+        /// The skew exponent `s ≥ 0`.
+        exponent: f64,
+    },
+}
+
+/// Draws models from a pool under a [`Popularity`] law. Owned (the pool
+/// is a handful of ids) so `LoadStream` can carry one without borrows.
+struct ModelSampler {
+    pool: Vec<ModelId>,
+    /// Cumulative normalized Zipf weights; `None` = uniform.
+    cdf: Option<Vec<f64>>,
+}
+
+impl ModelSampler {
+    fn new(pool: &[ModelId], popularity: Popularity) -> Self {
+        let cdf = match popularity {
+            Popularity::Uniform => None,
+            Popularity::Zipf { exponent } => {
+                assert!(
+                    exponent.is_finite() && exponent >= 0.0,
+                    "Zipf exponent must be finite and non-negative"
+                );
+                let weights: Vec<f64> = (0..pool.len())
+                    .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                Some(
+                    weights
+                        .iter()
+                        .map(|w| {
+                            acc += w / total;
+                            acc
+                        })
+                        .collect(),
+                )
+            }
+        };
+        Self { pool: pool.to_vec(), cdf }
+    }
+
+    /// One model draw — exactly one RNG call either way (uniform keeps
+    /// the original integer `gen_range`; Zipf inverts the CDF on one
+    /// float draw).
+    fn draw(&self, rng: &mut StdRng) -> ModelId {
+        match &self.cdf {
+            None => self.pool[rng.gen_range(0..self.pool.len())],
+            Some(cdf) => {
+                let u = rng.gen_range(0.0..1.0);
+                let idx = cdf.partition_point(|&c| c <= u).min(self.pool.len() - 1);
+                self.pool[idx]
+            }
+        }
+    }
+}
+
+/// Flash crowds: a seeded Poisson process of viral episodes, each pouring
+/// extra arrivals of **one** model onto the fleet for an exponential
+/// duration. Carries its own seed (the [`FaultSpec`] discipline), so
+/// layering flash crowds onto a spec never perturbs the base arrivals.
+#[derive(Debug, Clone)]
+pub struct FlashSpec {
+    /// Poisson rate of flash-crowd episodes (per second).
+    pub rate: f64,
+    /// Mean episode duration (seconds, exponential).
+    pub mean_duration: f64,
+    /// Extra arrivals per second while an episode runs.
+    pub boost_rate: f64,
+    /// Mean lifetime of flash arrivals (seconds, exponential); `0` lets
+    /// them run out the stream.
+    pub mean_lifetime: f64,
+    /// The flash layer's own RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FlashSpec {
+    fn default() -> Self {
+        Self {
+            rate: 1.0 / 600.0,
+            mean_duration: 60.0,
+            boost_rate: 1.0,
+            mean_lifetime: 30.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Correlated multi-tenant bursts: each tenant alternates idle/burst
+/// phases (exponential), and every burst start pulls each *other* tenant
+/// into a simultaneous burst with probability `correlation` — the
+/// [`FaultSpec`] rack-failure pattern applied to demand instead of
+/// supply. A bursting tenant submits its favored model with probability
+/// `skew` and otherwise draws from the spec's [`Popularity`] law. Own
+/// seed; never perturbs the base arrivals.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Number of tenants (favored models rotate through the pool).
+    pub tenants: usize,
+    /// Mean idle time between a tenant's bursts (seconds, exponential).
+    pub mean_idle: f64,
+    /// Mean burst duration (seconds, exponential).
+    pub mean_burst: f64,
+    /// Arrivals per second from one bursting tenant.
+    pub rate: f64,
+    /// Probability each other tenant joins a burst at the same instant,
+    /// in `[0, 1]`.
+    pub correlation: f64,
+    /// Probability a burst arrival is the tenant's favored model (the
+    /// rest draw from the popularity law), in `[0, 1]`.
+    pub skew: f64,
+    /// Mean lifetime of burst arrivals (seconds, exponential); `0` lets
+    /// them run out the stream.
+    pub mean_lifetime: f64,
+    /// The tenant layer's own RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TenantSpec {
+    fn default() -> Self {
+        Self {
+            tenants: 4,
+            mean_idle: 300.0,
+            mean_burst: 45.0,
+            rate: 0.5,
+            correlation: 0.25,
+            skew: 0.7,
+            mean_lifetime: 60.0,
+            seed: 0,
+        }
+    }
+}
+
+/// SplitMix64-style derivation of one episode's RNG seed from its
+/// layer seed and episode index. Giving each episode its **own** seeded
+/// RNG makes the draw values independent of expansion order, so the
+/// eager (`generate`) and lazily heap-merged (`LoadStream`) paths agree
+/// value-for-value by construction.
+fn derive_stream_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What a burst arrival's model draw looks like.
+#[derive(Debug, Clone, Copy)]
+enum BurstModel {
+    /// Every arrival is the episode's viral model.
+    Fixed(ModelId),
+    /// Favored with probability `skew`, else a popularity draw.
+    Tenant { favored: ModelId, skew: f64 },
+}
+
+/// One overlay burst episode — a descriptor, not its arrivals (episodes
+/// are materialized, arrivals are expanded lazily per episode).
+#[derive(Debug, Clone)]
+struct BurstEpisode {
+    start: f64,
+    end: f64,
+    /// Arrivals per second while the episode runs.
+    rate: f64,
+    /// The episode's own RNG seed (see [`derive_stream_seed`]).
+    seed: u64,
+    model: BurstModel,
+    mean_lifetime: f64,
+    /// Merge rank of the owning layer (base 0, flash 1, tenants 2).
+    layer: u8,
+    /// Canonical episode index within the layer (the tie-break after
+    /// time and layer).
+    idx: u64,
+}
+
+/// One overlay arrival, fully drawn: where it sorts, what it runs, and
+/// when it leaves (`None` = runs out the stream).
+#[derive(Debug, Clone, Copy)]
+struct OverlayArrival {
+    at: f64,
+    layer: u8,
+    ep: u64,
+    seq: u64,
+    model: ModelId,
+    leave: Option<f64>,
+}
+
+/// Lazily expands one episode's arrivals from its own seeded RNG.
+struct EpisodeCursor {
+    ep: BurstEpisode,
+    rng: StdRng,
+    t: f64,
+    seq: u64,
+}
+
+impl EpisodeCursor {
+    fn new(ep: BurstEpisode) -> Self {
+        let rng = StdRng::seed_from_u64(ep.seed);
+        let t = ep.start;
+        Self { ep, rng, t, seq: 0 }
+    }
+
+    /// The episode's next arrival, or `None` when it runs out.
+    fn next_arrival(&mut self, horizon: f64, sampler: &ModelSampler) -> Option<OverlayArrival> {
+        self.t += exponential(&mut self.rng, self.ep.rate);
+        if self.t >= self.ep.end.min(horizon) {
+            return None;
+        }
+        let model = match self.ep.model {
+            BurstModel::Fixed(m) => m,
+            BurstModel::Tenant { favored, skew } => {
+                if self.rng.gen_range(0.0..1.0) < skew {
+                    favored
+                } else {
+                    sampler.draw(&mut self.rng)
+                }
+            }
+        };
+        let leave = (self.ep.mean_lifetime > 0.0)
+            .then(|| self.t + exponential(&mut self.rng, 1.0 / self.ep.mean_lifetime))
+            .filter(|&leave| leave < horizon);
+        let seq = self.seq;
+        self.seq += 1;
+        Some(OverlayArrival { at: self.t, layer: self.ep.layer, ep: self.ep.idx, seq, model, leave })
+    }
+}
+
+impl FlashSpec {
+    fn validate(&self) {
+        assert!(self.rate > 0.0, "flash episode rate must be positive");
+        assert!(self.mean_duration > 0.0, "flash duration must be positive");
+        assert!(self.boost_rate > 0.0, "flash boost rate must be positive");
+        assert!(self.mean_lifetime >= 0.0, "flash lifetime cannot be negative");
+    }
+
+    /// Expands the layer into episode descriptors (serial: one crowd at a
+    /// time): starts are a Poisson renewal walk, each episode's viral
+    /// model is drawn uniformly from the pool by the layer RNG, and its
+    /// arrivals come from a per-episode derived seed.
+    fn episodes(&self, horizon: f64, pool: &[ModelId]) -> Vec<BurstEpisode> {
+        self.validate();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut episodes = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += exponential(&mut rng, self.rate);
+            if t >= horizon {
+                break;
+            }
+            let end = t + exponential(&mut rng, 1.0 / self.mean_duration);
+            let model = pool[rng.gen_range(0..pool.len())];
+            let idx = episodes.len() as u64;
+            episodes.push(BurstEpisode {
+                start: t,
+                end,
+                rate: self.boost_rate,
+                seed: derive_stream_seed(self.seed, idx),
+                model: BurstModel::Fixed(model),
+                mean_lifetime: self.mean_lifetime,
+                layer: 1,
+                idx,
+            });
+            t = end;
+        }
+        episodes
+    }
+}
+
+impl TenantSpec {
+    fn validate(&self) {
+        assert!(self.tenants > 0, "tenant layer needs at least one tenant");
+        assert!(
+            self.mean_idle > 0.0 && self.mean_burst > 0.0,
+            "tenant phase durations must be positive"
+        );
+        assert!(self.rate > 0.0, "tenant burst rate must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.correlation),
+            "tenant correlation must be in [0, 1]"
+        );
+        assert!((0.0..=1.0).contains(&self.skew), "tenant skew must be in [0, 1]");
+        assert!(self.mean_lifetime >= 0.0, "tenant lifetime cannot be negative");
+    }
+
+    /// Expands the layer into episode descriptors: per-tenant idle/burst
+    /// renewal walks, then correlated joins visited in `(start, tenant)`
+    /// order (the [`FaultSpec`] pattern), canonically ordered by
+    /// `(start, tenant, end)` so episode indices — and with them the
+    /// derived per-episode seeds — are a pure function of the spec.
+    fn episodes(&self, horizon: f64, pool: &[ModelId]) -> Vec<BurstEpisode> {
+        self.validate();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut raw: Vec<(f64, f64, usize)> = Vec::new();
+        for tenant in 0..self.tenants {
+            let mut t = 0.0;
+            loop {
+                t += exponential(&mut rng, 1.0 / self.mean_idle);
+                if t >= horizon {
+                    break;
+                }
+                let end = t + exponential(&mut rng, 1.0 / self.mean_burst);
+                raw.push((t, end, tenant));
+                t = end;
+            }
+        }
+        if self.correlation > 0.0 {
+            let mut base = raw.clone();
+            base.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+            for (start, _, source) in base {
+                for joined in 0..self.tenants {
+                    if joined == source {
+                        continue;
+                    }
+                    if rng.gen_range(0.0..1.0) < self.correlation {
+                        let end = start + exponential(&mut rng, 1.0 / self.mean_burst);
+                        raw.push((start, end, joined));
+                    }
+                }
+            }
+        }
+        raw.sort_by(|a, b| {
+            a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)).then(a.1.total_cmp(&b.1))
+        });
+        raw.into_iter()
+            .enumerate()
+            .map(|(k, (start, end, tenant))| BurstEpisode {
+                start,
+                end,
+                rate: self.rate,
+                seed: derive_stream_seed(self.seed, k as u64),
+                model: BurstModel::Tenant {
+                    favored: pool[tenant % pool.len()],
+                    skew: self.skew,
+                },
+                mean_lifetime: self.mean_lifetime,
+                layer: 2,
+                idx: k as u64,
+            })
+            .collect()
     }
 }
 
@@ -465,6 +987,16 @@ pub struct LoadSpec {
     /// stream. `None` (the default) offers the identical fault-free
     /// stream as before — layering faults never perturbs the arrivals.
     pub faults: Option<FaultSpec>,
+    /// How arrivals pick a model from the pool. The default
+    /// ([`Popularity::Uniform`]) reproduces the original draws exactly;
+    /// [`Popularity::Zipf`] skews toward the head of the pool.
+    pub popularity: Popularity,
+    /// Optional flash-crowd layer (own seed — never perturbs the base
+    /// arrivals or the fault layer).
+    pub flash: Option<FlashSpec>,
+    /// Optional correlated multi-tenant burst layer (own seed — never
+    /// perturbs the base arrivals, the flash layer, or the fault layer).
+    pub tenants: Option<TenantSpec>,
 }
 
 impl Default for LoadSpec {
@@ -478,6 +1010,9 @@ impl Default for LoadSpec {
             priority_churn_rate: 0.0,
             seed: 0,
             faults: None,
+            popularity: Popularity::Uniform,
+            flash: None,
+            tenants: None,
         }
     }
 }
@@ -496,20 +1031,57 @@ pub fn generate(spec: &LoadSpec) -> Vec<FleetEvent> {
     assert!(spec.horizon > 0.0, "horizon must be positive");
     let pool = mix_pool(&spec.pool, spec.mix);
     assert!(!pool.is_empty(), "load pool must not be empty");
+    let sampler = ModelSampler::new(&pool, spec.popularity);
     let mut rng = StdRng::seed_from_u64(spec.seed);
 
+    // Base arrivals, drawn in base time order (layer 0; the episode slot
+    // carries the base ordinal so equal-time base arrivals keep draw
+    // order through the merge sort below). Under `Popularity::Uniform`
+    // the sampler makes the identical single RNG call the original code
+    // did, so pre-existing specs stay byte-identical.
     let times = spec.process.sample_times(&mut rng, spec.horizon);
-    let mut events: Vec<FleetEvent> = Vec::with_capacity(times.len() * 2);
-    let mut departures: Vec<(f64, RequestId)> = Vec::new();
+    let mut arrivals: Vec<OverlayArrival> = Vec::with_capacity(times.len());
     for (k, &at) in times.iter().enumerate() {
-        let request = RequestId::new(k as u64);
-        let model = pool[rng.gen_range(0..pool.len())];
-        events.push(FleetEvent::Arrive { at, request, model });
-        if spec.mean_lifetime > 0.0 {
-            let leave = at + exponential(&mut rng, 1.0 / spec.mean_lifetime);
-            if leave < spec.horizon {
-                departures.push((leave, request));
+        let model = sampler.draw(&mut rng);
+        let leave = (spec.mean_lifetime > 0.0)
+            .then(|| at + exponential(&mut rng, 1.0 / spec.mean_lifetime))
+            .filter(|&leave| leave < spec.horizon);
+        arrivals.push(OverlayArrival { at, layer: 0, ep: k as u64, seq: 0, model, leave });
+    }
+
+    // Overlay layers expand eagerly here (lazily in [`LoadStream`]) from
+    // per-episode derived seeds, so both paths draw identical values.
+    for episodes in [
+        spec.flash.as_ref().map(|f| f.episodes(spec.horizon, &pool)),
+        spec.tenants.as_ref().map(|t| t.episodes(spec.horizon, &pool)),
+    ]
+    .into_iter()
+    .flatten()
+    {
+        for ep in episodes {
+            let mut cursor = EpisodeCursor::new(ep);
+            while let Some(arrival) = cursor.next_arrival(spec.horizon, &sampler) {
+                arrivals.push(arrival);
             }
+        }
+    }
+    // Canonical merge order — time, then layer (base < flash < tenants),
+    // then episode, then within-episode sequence — matches the order the
+    // stream's heap merge emits, so dense request ids agree across paths.
+    arrivals.sort_by(|a, b| {
+        a.at.total_cmp(&b.at)
+            .then(a.layer.cmp(&b.layer))
+            .then(a.ep.cmp(&b.ep))
+            .then(a.seq.cmp(&b.seq))
+    });
+
+    let mut events: Vec<FleetEvent> = Vec::with_capacity(arrivals.len() * 2);
+    let mut departures: Vec<(f64, RequestId)> = Vec::new();
+    for (k, arrival) in arrivals.iter().enumerate() {
+        let request = RequestId::new(k as u64);
+        events.push(FleetEvent::Arrive { at: arrival.at, request, model: arrival.model });
+        if let Some(leave) = arrival.leave {
+            departures.push((leave, request));
         }
     }
     for &(at, request) in &departures {
@@ -520,6 +1092,7 @@ pub fn generate(spec: &LoadSpec) -> Vec<FleetEvent> {
         // Arrival times are already sorted; sort departure times once so
         // each churn event's live count is two binary searches, not a
         // scan of the whole stream.
+        let arrival_times: Vec<f64> = arrivals.iter().map(|a| a.at).collect();
         let mut departure_times: Vec<f64> = departures.iter().map(|&(dt, _)| dt).collect();
         departure_times.sort_by(f64::total_cmp);
         let mut ct = 0.0;
@@ -529,7 +1102,7 @@ pub fn generate(spec: &LoadSpec) -> Vec<FleetEvent> {
             if ct >= spec.horizon {
                 break;
             }
-            let live = times.partition_point(|&at| at <= ct)
+            let live = arrival_times.partition_point(|&at| at <= ct)
                 - departure_times.partition_point(|&dt| dt <= ct);
             let mode = if live == 0 || rotation % (live + 1) == live {
                 PriorityMode::Dynamic
@@ -549,6 +1122,285 @@ pub fn generate(spec: &LoadSpec) -> Vec<FleetEvent> {
 
     events.sort_by(|a, b| a.at().total_cmp(&b.at()));
     events
+}
+
+/// The streaming twin of [`generate`]: an iterator yielding the
+/// **byte-identical** event sequence without materializing it.
+///
+/// `generate` holds every arrival, departure, and churn event of the
+/// whole horizon in memory before sorting; at bench scale (10⁵–10⁶
+/// instance lifetimes) that vector dominates the run's footprint. The
+/// stream instead replays the exact RNG draw sequence lazily:
+///
+/// * **Arrival times** walk the process incrementally (the internal
+///   `TimeWalk`, pinned against the eager sampler by the equivalence
+///   tests).
+/// * **Per-arrival draws** (model, lifetime) come from a second RNG
+///   clone positioned by draining the time walk once at construction —
+///   `generate` draws them *after* all time draws, so position, not
+///   interleaving, is what matters.
+/// * **Churn draws** come from a third clone positioned past the
+///   per-arrival draws the same way.
+/// * **Overlay arrivals** expand per episode from derived seeds and
+///   merge through a heap keyed `(time, layer, episode)`.
+/// * **Departures** wait in a min-heap keyed `(time, request ordinal)` —
+///   O(live instances), the stream's only load-proportional state.
+///
+/// Equal-timestamp ordering replicates `generate`'s stable sort: kind
+/// rank (arrive < depart < churn < fault), then within-kind order.
+/// Fault events and overlay episode *descriptors* are materialized up
+/// front — both are sparse (outages and bursts, not arrivals) — so peak
+/// buffered event state is independent of how many instances the
+/// horizon offers ([`LoadStream::peak_buffered`] measures it, and the
+/// bounded-buffer test asserts it).
+///
+/// # Example
+///
+/// ```
+/// use rankmap_fleet::{generate, LoadSpec, LoadStream};
+///
+/// let spec = LoadSpec { horizon: 300.0, ..Default::default() };
+/// let streamed: Vec<_> = LoadStream::new(&spec).collect();
+/// assert_eq!(streamed, generate(&spec));
+/// ```
+pub struct LoadStream {
+    horizon: f64,
+    mean_lifetime: f64,
+    sampler: ModelSampler,
+    /// Lazy base arrival-time walk plus its lookahead.
+    walk: TimeWalk,
+    base_next: Option<f64>,
+    /// Positioned past all time draws: model + lifetime per base arrival.
+    marks_rng: StdRng,
+    /// Overlay episode cursors and their pending arrivals, merged via
+    /// a min-heap of `(time bits, layer, episode, slot)`.
+    cursors: Vec<EpisodeCursor>,
+    pending: Vec<Option<OverlayArrival>>,
+    overlay_heap: BinaryHeap<Reverse<(u64, u8, u64, usize)>>,
+    /// In-horizon departures awaiting emission: `(time bits, ordinal)`.
+    departures: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Positioned past all per-arrival draws; `None` disables churn.
+    churn_rng: StdRng,
+    churn_rate: f64,
+    churn_t: f64,
+    churn_next: Option<f64>,
+    rotation: usize,
+    arrivals_emitted: u64,
+    departures_emitted: u64,
+    /// Materialized fault layer (sparse) and its cursor.
+    faults: Vec<FleetEvent>,
+    fault_cursor: usize,
+    peak_buffered: usize,
+}
+
+impl LoadStream {
+    /// Builds the stream for a spec. Construction drains the time walk
+    /// twice (cheap, allocation-free) to position the per-arrival and
+    /// churn RNG clones exactly where `generate` would have them.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`generate`]: panics if the (mix-filtered) pool
+    /// is empty, `horizon <= 0`, or any layer's parameters are invalid.
+    pub fn new(spec: &LoadSpec) -> Self {
+        assert!(spec.horizon > 0.0, "horizon must be positive");
+        let pool = mix_pool(&spec.pool, spec.mix);
+        assert!(!pool.is_empty(), "load pool must not be empty");
+        let sampler = ModelSampler::new(&pool, spec.popularity);
+
+        // Position the per-arrival RNG: drain one walk to count arrivals
+        // and land exactly past the time draws.
+        let mut probe = TimeWalk::new(
+            spec.process,
+            spec.horizon,
+            StdRng::seed_from_u64(spec.seed),
+        );
+        let mut arrival_count = 0u64;
+        while probe.next().is_some() {
+            arrival_count += 1;
+        }
+        let marks_rng = probe.into_rng();
+
+        // Position the churn RNG past the per-arrival draws (one model
+        // draw, plus one lifetime draw when lifetimes are finite).
+        let mut churn_rng = marks_rng.clone();
+        for _ in 0..arrival_count {
+            sampler.draw(&mut churn_rng);
+            if spec.mean_lifetime > 0.0 {
+                exponential(&mut churn_rng, 1.0 / spec.mean_lifetime);
+            }
+        }
+
+        // The live walk the iterator consumes, plus its lookahead.
+        let mut walk = TimeWalk::new(
+            spec.process,
+            spec.horizon,
+            StdRng::seed_from_u64(spec.seed),
+        );
+        let base_next = walk.next();
+
+        // Overlay cursors: episode descriptors are materialized (sparse),
+        // their arrivals expand lazily through the heap.
+        let mut cursors = Vec::new();
+        for episodes in [
+            spec.flash.as_ref().map(|f| f.episodes(spec.horizon, &pool)),
+            spec.tenants.as_ref().map(|t| t.episodes(spec.horizon, &pool)),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            cursors.extend(episodes.into_iter().map(EpisodeCursor::new));
+        }
+        let mut pending = Vec::with_capacity(cursors.len());
+        let mut overlay_heap = BinaryHeap::with_capacity(cursors.len());
+        for (slot, cursor) in cursors.iter_mut().enumerate() {
+            let arrival = cursor.next_arrival(spec.horizon, &sampler);
+            if let Some(a) = &arrival {
+                overlay_heap.push(Reverse((a.at.to_bits(), a.layer, a.ep, slot)));
+            }
+            pending.push(arrival);
+        }
+
+        let faults = spec
+            .faults
+            .as_ref()
+            .map(|f| f.generate(spec.horizon))
+            .unwrap_or_default();
+
+        let mut stream = Self {
+            horizon: spec.horizon,
+            mean_lifetime: spec.mean_lifetime,
+            sampler,
+            walk,
+            base_next,
+            marks_rng,
+            cursors,
+            pending,
+            overlay_heap,
+            departures: BinaryHeap::new(),
+            churn_rng,
+            churn_rate: spec.priority_churn_rate,
+            churn_t: 0.0,
+            churn_next: None,
+            rotation: 0,
+            arrivals_emitted: 0,
+            departures_emitted: 0,
+            faults,
+            fault_cursor: 0,
+            peak_buffered: 0,
+        };
+        if stream.churn_rate > 0.0 {
+            stream.advance_churn();
+        }
+        stream
+    }
+
+    /// High-water mark of buffered *load-proportional* state: pending
+    /// departures plus queued overlay arrivals. Bounded by live
+    /// instances (plus one arrival per active burst episode), not by
+    /// horizon length — the bounded-buffer test pins this.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    fn advance_churn(&mut self) {
+        self.churn_t += exponential(&mut self.churn_rng, self.churn_rate);
+        self.churn_next = (self.churn_t < self.horizon).then_some(self.churn_t);
+    }
+
+    /// The next merged arrival's sort key `(time bits, layer, episode)`.
+    /// All stream times are positive finite, so raw f64 bits order
+    /// exactly like the floats.
+    fn peek_arrival(&self) -> Option<(u64, u8, u64)> {
+        let base = self.base_next.map(|t| (t.to_bits(), 0u8, 0u64));
+        let overlay = self
+            .overlay_heap
+            .peek()
+            .map(|Reverse((bits, layer, ep, _))| (*bits, *layer, *ep));
+        match (base, overlay) {
+            (Some(b), Some(o)) => Some(b.min(o)),
+            (key, None) | (None, key) => key,
+        }
+    }
+
+    /// Emits the next merged arrival (base beats overlays on time ties —
+    /// layer 0 sorts first, matching `generate`'s merge sort).
+    fn emit_arrival(&mut self) -> FleetEvent {
+        let take_base = match (self.base_next, self.overlay_heap.peek()) {
+            (Some(t), Some(Reverse((bits, _, _, _)))) => t.to_bits() <= *bits,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        let (at, model, leave) = if take_base {
+            let at = self.base_next.take().expect("base arrival pending");
+            let model = self.sampler.draw(&mut self.marks_rng);
+            let leave = (self.mean_lifetime > 0.0)
+                .then(|| at + exponential(&mut self.marks_rng, 1.0 / self.mean_lifetime))
+                .filter(|&leave| leave < self.horizon);
+            self.base_next = self.walk.next();
+            (at, model, leave)
+        } else {
+            let Reverse((_, _, _, slot)) = self.overlay_heap.pop().expect("overlay pending");
+            let arrival = self.pending[slot].take().expect("cursor pending");
+            let next = self.cursors[slot].next_arrival(self.horizon, &self.sampler);
+            if let Some(a) = &next {
+                self.overlay_heap.push(Reverse((a.at.to_bits(), a.layer, a.ep, slot)));
+            }
+            self.pending[slot] = next;
+            (arrival.at, arrival.model, arrival.leave)
+        };
+        let request = RequestId::new(self.arrivals_emitted);
+        self.arrivals_emitted += 1;
+        if let Some(leave) = leave {
+            self.departures.push(Reverse((leave.to_bits(), request.ordinal())));
+        }
+        self.peak_buffered =
+            self.peak_buffered.max(self.departures.len() + self.overlay_heap.len());
+        FleetEvent::Arrive { at, request, model }
+    }
+}
+
+impl Iterator for LoadStream {
+    type Item = FleetEvent;
+
+    fn next(&mut self) -> Option<FleetEvent> {
+        // Candidates from the four sources, each tagged with the kind
+        // rank `generate`'s stable sort gives equal timestamps: arrivals
+        // pushed first, then departures, churn, faults.
+        let arrival = self.peek_arrival().map(|(bits, _, _)| (bits, 0u8));
+        let depart = self.departures.peek().map(|Reverse((bits, _))| (*bits, 1u8));
+        let churn = self.churn_next.map(|t| (t.to_bits(), 2u8));
+        let fault = self.faults.get(self.fault_cursor).map(|e| (e.at().to_bits(), 3u8));
+        let (_, kind) = [arrival, depart, churn, fault].into_iter().flatten().min()?;
+        Some(match kind {
+            0 => self.emit_arrival(),
+            1 => {
+                let Reverse((bits, ordinal)) = self.departures.pop().expect("departure pending");
+                self.departures_emitted += 1;
+                FleetEvent::Depart { at: f64::from_bits(bits), request: RequestId::new(ordinal) }
+            }
+            2 => {
+                let at = self.churn_next.take().expect("churn pending");
+                // Arrivals at or before `at` have all been emitted (kind
+                // rank 0 < 2), so the emission counters reproduce
+                // `generate`'s binary-searched live count exactly.
+                let live = (self.arrivals_emitted - self.departures_emitted) as usize;
+                let mode = if live == 0 || self.rotation % (live + 1) == live {
+                    PriorityMode::Dynamic
+                } else {
+                    PriorityMode::critical(live, self.rotation % live)
+                };
+                self.rotation += 1;
+                self.advance_churn();
+                FleetEvent::SetPriorities { at, mode }
+            }
+            _ => {
+                let event = self.faults[self.fault_cursor].clone();
+                self.fault_cursor += 1;
+                event
+            }
+        })
+    }
 }
 
 #[cfg(test)]

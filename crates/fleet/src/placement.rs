@@ -300,8 +300,18 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
     ) -> Vec<Option<(f64, f64)>> {
         let max_per_shard = self.config.max_per_shard;
         let floor = self.config.admission_floor;
+        // Indexed mode probes one representative per shard-state class
+        // and broadcasts its score to the rest of the class afterwards
+        // (equal-state shards fold to bit-identical scores — see
+        // `crate::index`). `None` = full fan-out.
+        let rep_mask: Option<Vec<bool>> = if self.config.indexed_placement {
+            self.index.refresh(&mut self.shards);
+            Some(self.index.representative_mask(exclude))
+        } else {
+            None
+        };
         let probes: Vec<Option<Probe>> = self.for_each_shard(|s, shard| {
-            if Some(s) == exclude {
+            if Some(s) == exclude || rep_mask.as_ref().is_some_and(|mask| !mask[s]) {
                 None
             } else {
                 shard.build_probe(s, model, max_per_shard)
@@ -315,6 +325,9 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                 let predictions =
                     shard.oracle.predict_batch(&probe.trial, &probe.candidates);
                 scores[probe.shard] = probe.fold(&shard.ideals, floor, &predictions);
+            }
+            if rep_mask.is_some() {
+                self.index.broadcast(exclude, &mut scores);
             }
             return scores;
         }
@@ -366,6 +379,9 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                 scores[probe.shard] =
                     probe.fold(&self.shards[probe.shard].ideals, floor, predictions);
             }
+        }
+        if rep_mask.is_some() {
+            self.index.broadcast(exclude, &mut scores);
         }
         scores
     }

@@ -30,21 +30,10 @@ impl<O: ThroughputOracle> FleetExecutor<'_, O> {
         t: f64,
         requests: &mut HashMap<RequestId, Disposition>,
     ) -> Option<(usize, usize)> {
-        // Health scan (parallel): every shard with something to shed
-        // predicts its incumbent; then the worst collapsed shard is
-        // picked serially from the shard-ordered means.
-        let means: Vec<Option<f64>> = self.for_each_shard(|_, shard| {
-            if shard.live_len() >= 2 {
-                shard.mean_potential()
-            } else {
-                None
-            }
-        });
-        let (src, src_mean) = means
-            .into_iter()
-            .enumerate()
-            .filter_map(|(s, mean)| mean.map(|m| (s, m)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))?;
+        // Health question: the worst collapsed shard with something to
+        // shed — an O(log S) index read, or (in scan mode) a parallel
+        // prediction fan-out resolved serially in shard order.
+        let (src, src_mean) = self.worst_loaded()?;
         if src_mean >= self.config.rebalance_threshold {
             return None;
         }

@@ -261,6 +261,24 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
         self.executor.run(events, horizon)
     }
 
+    /// [`FleetRuntime::execute`] over a pull-based event source — the
+    /// million-instance entry point. Paired with
+    /// [`crate::load::LoadStream`], the event vector is never
+    /// materialized: events are pulled, validated, and applied one at a
+    /// time, so peak memory is bounded by the fleet state rather than
+    /// the run length.
+    ///
+    /// # Panics
+    ///
+    /// As [`FleetRuntime::execute`], with validation performed as events
+    /// are pulled rather than up front.
+    pub fn execute_stream<I>(self, events: I, horizon: f64) -> FleetOutcome
+    where
+        I: IntoIterator<Item = FleetEvent>,
+    {
+        self.executor.run_stream(events, horizon)
+    }
+
     /// Replays a recorded trace (see [`Trace`]): the trace's shard count
     /// — and, for version-2 traces, its per-shard platform mix — must
     /// match this fleet's.

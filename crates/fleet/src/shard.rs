@@ -62,6 +62,12 @@ pub(crate) struct Shard<'p, O: ThroughputOracle> {
     /// memo entries (raw oracle predictions) stay valid across throttle
     /// changes.
     throttle: f64,
+    /// Bumped on every state mutation (`apply`, `mark_down`) — the
+    /// staleness signal `crate::index::PlacementIndex` watches, so a
+    /// refresh only recomputes shards an event actually touched. Mutation
+    /// funnels through `apply` (revive and set_throttle call it), leaving
+    /// `mark_down` as the only other bump site.
+    epoch: u64,
 }
 
 impl<'p, O: ThroughputOracle> Shard<'p, O> {
@@ -86,7 +92,13 @@ impl<'p, O: ThroughputOracle> Shard<'p, O> {
             trial_cache: HashMap::new(),
             down: false,
             throttle: 1.0,
+            epoch: 0,
         }
+    }
+
+    /// Monotone mutation counter (see the `epoch` field).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     pub(crate) fn live_len(&self) -> usize {
@@ -109,6 +121,7 @@ impl<'p, O: ThroughputOracle> Shard<'p, O> {
     pub(crate) fn mark_down(&mut self) {
         debug_assert!(self.live_len() == 0, "a shard goes down only after evacuation");
         self.down = true;
+        self.epoch += 1;
     }
 
     /// Repairs the shard: it rejoins empty, at nominal speed (a repaired
@@ -215,8 +228,38 @@ impl<'p, O: ThroughputOracle> Shard<'p, O> {
         self.incumbent_prediction = None;
         self.current_state = None;
         self.trial_cache.clear();
+        self.epoch += 1;
         self.session.advance_to(at);
         self.session.apply(events, window, &mut self.mapper)
+    }
+
+    /// Byte key pinning every input of `build_probe` and
+    /// [`Shard::mean_potential`]: platform group, throttle bits, live
+    /// model ids in live order, and per-instance placements. Two up
+    /// shards with equal keys build bit-identical probes (same trial
+    /// workload, candidates, weights, baseline, derate) and report the
+    /// identical health mean — the equivalence the placement index's
+    /// representative probing rests on. `None` while down: a down shard
+    /// is unprobeable and unfiled. The mapper's priority mode is
+    /// deliberately absent — `SetPriorities` is a fleet-wide broadcast,
+    /// so the mode never differs between shards.
+    pub(crate) fn placement_class_key(&mut self) -> Option<Vec<u8>> {
+        if self.is_down() {
+            return None;
+        }
+        let mut key = Vec::with_capacity(12 + self.live_len() * 8);
+        key.extend_from_slice(&(self.group as u32).to_le_bytes());
+        key.extend_from_slice(&self.throttle.to_bits().to_le_bytes());
+        if let Some(state) = self.current() {
+            for m in state.0.models() {
+                key.push(m.id() as u8);
+            }
+            for assign in state.1.per_dnn() {
+                key.push(0xFF);
+                key.extend(assign.iter().map(|c| c.index() as u8));
+            }
+        }
+        Some(key)
     }
 }
 

@@ -167,6 +167,151 @@ fn mode_json(mode: &PriorityMode, line: &mut std::collections::BTreeMap<String, 
     }
 }
 
+/// One event's JSONL object — the single source of truth for the
+/// on-disk event encoding ([`Trace::to_jsonl`] and [`TraceWriter`] both
+/// serialize through here, so the streamed and eager formats cannot
+/// drift).
+fn event_json(event: &FleetEvent) -> Json {
+    let mut line = std::collections::BTreeMap::new();
+    line.insert("at".into(), Json::Num(event.at()));
+    match event {
+        FleetEvent::Arrive { request, model, .. } => {
+            line.insert("kind".into(), Json::Str("arrive".into()));
+            line.insert("request".into(), Json::Num(request.ordinal() as f64));
+            line.insert("model".into(), Json::Str(model.name().into()));
+        }
+        FleetEvent::Depart { request, .. } => {
+            line.insert("kind".into(), Json::Str("depart".into()));
+            line.insert("request".into(), Json::Num(request.ordinal() as f64));
+        }
+        FleetEvent::SetPriorities { mode, .. } => {
+            line.insert("kind".into(), Json::Str("set_priorities".into()));
+            mode_json(mode, &mut line);
+        }
+        FleetEvent::ShardDown { shard, .. } => {
+            line.insert("kind".into(), Json::Str("shard_down".into()));
+            line.insert("shard".into(), Json::Num(*shard as f64));
+        }
+        FleetEvent::ShardUp { shard, .. } => {
+            line.insert("kind".into(), Json::Str("shard_up".into()));
+            line.insert("shard".into(), Json::Num(*shard as f64));
+        }
+        FleetEvent::ShardThrottle { shard, factor, .. } => {
+            line.insert("kind".into(), Json::Str("shard_throttle".into()));
+            line.insert("shard".into(), Json::Num(*shard as f64));
+            line.insert("factor".into(), Json::Num(*factor));
+        }
+    }
+    Json::Obj(line)
+}
+
+/// Whether an event is one of the version-3 fault kinds.
+fn is_fault(event: &FleetEvent) -> bool {
+    matches!(
+        event,
+        FleetEvent::ShardDown { .. }
+            | FleetEvent::ShardUp { .. }
+            | FleetEvent::ShardThrottle { .. }
+    )
+}
+
+/// Streams a trace to any [`std::io::Write`] sink one event at a time —
+/// the recording twin of [`crate::LoadStream`]. Where [`Trace::to_jsonl`]
+/// needs the whole event vector in memory, the writer emits each line as
+/// it is handed the event (an incremental flush: wrap the sink in a
+/// `BufWriter` for file-backed recording at million-event scale) and
+/// produces **byte-identical** output — `to_jsonl` is itself implemented
+/// over a `TraceWriter` draining into a `Vec<u8>`.
+///
+/// The format version is a *caller-declared* hint: a streaming writer
+/// cannot scan ahead for fault events the way `to_jsonl` does, so
+/// [`TraceWriter::new`] takes `has_faults` and writes a version-3 header
+/// when true, version 2 otherwise (keeping every fault-free trace
+/// byte-identical to the pre-chaos format). Handing a fault event to a
+/// version-2 writer is an [`std::io::ErrorKind::InvalidInput`] error —
+/// the mislabeled file is refused at write time, mirroring the parser's
+/// version check. Declaring `has_faults` for a stream that ends up
+/// fault-free is harmless (version-3 headers accept fault-free streams)
+/// but no longer matches `to_jsonl`'s auto-detected header byte-for-byte.
+///
+/// # Example
+///
+/// ```
+/// use rankmap_fleet::{LoadSpec, LoadStream, TraceMeta, TraceWriter};
+///
+/// let spec = LoadSpec { horizon: 120.0, ..Default::default() };
+/// let meta = TraceMeta::new(4, spec.horizon, spec.seed, "streamed");
+/// let mut writer = TraceWriter::new(Vec::new(), &meta, spec.faults.is_some()).unwrap();
+/// for event in LoadStream::new(&spec) {
+///     writer.write_event(&event).unwrap();
+/// }
+/// let jsonl = String::from_utf8(writer.finish().unwrap()).unwrap();
+/// assert!(jsonl.lines().next().unwrap().contains("rankmap_fleet_trace"));
+/// ```
+pub struct TraceWriter<W: std::io::Write> {
+    sink: W,
+    version: u64,
+    events_written: u64,
+}
+
+impl<W: std::io::Write> TraceWriter<W> {
+    /// Writes the header line and returns the streaming writer.
+    /// `has_faults` declares the format version up front (see the type
+    /// docs); pass `spec.faults.is_some()` when recording a generated
+    /// load.
+    pub fn new(mut sink: W, meta: &TraceMeta, has_faults: bool) -> std::io::Result<Self> {
+        let version = if has_faults { 3u64 } else { 2 };
+        let header = obj([
+            ("rankmap_fleet_trace", Json::Num(version as f64)),
+            ("shards", Json::Num(meta.shards as f64)),
+            ("horizon", Json::Num(meta.horizon)),
+            // Written as a string: a u64 seed (e.g. hash-derived) can
+            // exceed 2^53 and would not survive a JSON number.
+            ("seed", Json::Str(meta.seed.to_string())),
+            ("label", Json::Str(meta.label.clone())),
+            (
+                "platforms",
+                Json::Arr(meta.platforms.iter().map(|p| Json::Str(p.clone())).collect()),
+            ),
+        ]);
+        sink.write_all(header.to_string().as_bytes())?;
+        sink.write_all(b"\n")?;
+        Ok(Self { sink, version, events_written: 0 })
+    }
+
+    /// Appends one event line to the sink. Fault events under a
+    /// version-2 header are refused with
+    /// [`std::io::ErrorKind::InvalidInput`].
+    pub fn write_event(&mut self, event: &FleetEvent) -> std::io::Result<()> {
+        if self.version < 3 && is_fault(event) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "fault event at {} in a version-{} trace \
+                     (construct the writer with has_faults = true)",
+                    event.at(),
+                    self.version
+                ),
+            ));
+        }
+        self.sink.write_all(event_json(event).to_string().as_bytes())?;
+        self.sink.write_all(b"\n")?;
+        self.events_written += 1;
+        Ok(())
+    }
+
+    /// Events written so far (excluding the header line).
+    pub fn events_written(&self) -> u64 {
+        self.events_written
+    }
+
+    /// Flushes and returns the sink.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
 impl Trace {
     /// Pairs a generated (or hand-built) event stream with its run shape.
     pub fn new(meta: TraceMeta, events: Vec<FleetEvent>) -> Self {
@@ -176,79 +321,18 @@ impl Trace {
     /// Serializes to JSONL: one header line, one line per event. The
     /// header declares version 3 only when the stream carries fault
     /// events; a fault-free trace stays byte-identical to the version-2
-    /// format.
+    /// format. Implemented over [`TraceWriter`] (draining into a
+    /// `Vec<u8>`), so the eager and streaming serializations are the
+    /// same code path.
     pub fn to_jsonl(&self) -> String {
-        let version = if self.events.iter().any(|e| {
-            matches!(
-                e,
-                FleetEvent::ShardDown { .. }
-                    | FleetEvent::ShardUp { .. }
-                    | FleetEvent::ShardThrottle { .. }
-            )
-        }) {
-            3.0
-        } else {
-            2.0
-        };
-        let mut out = String::new();
-        out.push_str(
-            &obj([
-                ("rankmap_fleet_trace", Json::Num(version)),
-                ("shards", Json::Num(self.meta.shards as f64)),
-                ("horizon", Json::Num(self.meta.horizon)),
-                // Written as a string: a u64 seed (e.g. hash-derived) can
-                // exceed 2^53 and would not survive a JSON number.
-                ("seed", Json::Str(self.meta.seed.to_string())),
-                ("label", Json::Str(self.meta.label.clone())),
-                (
-                    "platforms",
-                    Json::Arr(
-                        self.meta
-                            .platforms
-                            .iter()
-                            .map(|p| Json::Str(p.clone()))
-                            .collect(),
-                    ),
-                ),
-            ])
-            .to_string(),
-        );
-        out.push('\n');
+        let has_faults = self.events.iter().any(is_fault);
+        let mut writer = TraceWriter::new(Vec::new(), &self.meta, has_faults)
+            .expect("writing to a Vec cannot fail");
         for event in &self.events {
-            let mut line = std::collections::BTreeMap::new();
-            line.insert("at".into(), Json::Num(event.at()));
-            match event {
-                FleetEvent::Arrive { request, model, .. } => {
-                    line.insert("kind".into(), Json::Str("arrive".into()));
-                    line.insert("request".into(), Json::Num(request.ordinal() as f64));
-                    line.insert("model".into(), Json::Str(model.name().into()));
-                }
-                FleetEvent::Depart { request, .. } => {
-                    line.insert("kind".into(), Json::Str("depart".into()));
-                    line.insert("request".into(), Json::Num(request.ordinal() as f64));
-                }
-                FleetEvent::SetPriorities { mode, .. } => {
-                    line.insert("kind".into(), Json::Str("set_priorities".into()));
-                    mode_json(mode, &mut line);
-                }
-                FleetEvent::ShardDown { shard, .. } => {
-                    line.insert("kind".into(), Json::Str("shard_down".into()));
-                    line.insert("shard".into(), Json::Num(*shard as f64));
-                }
-                FleetEvent::ShardUp { shard, .. } => {
-                    line.insert("kind".into(), Json::Str("shard_up".into()));
-                    line.insert("shard".into(), Json::Num(*shard as f64));
-                }
-                FleetEvent::ShardThrottle { shard, factor, .. } => {
-                    line.insert("kind".into(), Json::Str("shard_throttle".into()));
-                    line.insert("shard".into(), Json::Num(*shard as f64));
-                    line.insert("factor".into(), Json::Num(*factor));
-                }
-            }
-            out.push_str(&Json::Obj(line).to_string());
-            out.push('\n');
+            writer.write_event(event).expect("writing to a Vec cannot fail");
         }
-        out
+        String::from_utf8(writer.finish().expect("writing to a Vec cannot fail"))
+            .expect("JSONL output is UTF-8")
     }
 
     /// Parses a [`Trace::to_jsonl`] stream. Blank lines are ignored;
@@ -623,6 +707,95 @@ mod tests {
         let err = Trace::from_jsonl(&format!("{long}\n{long}\n")).unwrap_err();
         assert!(err.snippet.chars().count() <= TraceError::SNIPPET_LIMIT + 1);
         assert!(err.snippet.ends_with('…'));
+    }
+
+    /// A sink that records the cumulative byte count at every `write`
+    /// call — evidence the writer pushes each line out as it is handed
+    /// the event rather than buffering the stream.
+    struct CountingSink {
+        bytes: Vec<u8>,
+        writes_seen: Vec<usize>,
+    }
+
+    impl std::io::Write for CountingSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.bytes.extend_from_slice(buf);
+            self.writes_seen.push(self.bytes.len());
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn trace_writer_matches_to_jsonl_byte_for_byte() {
+        // Fault-free (v2 header) and faulty (v3 header) streams both
+        // serialize identically through the streaming writer.
+        for faults in [false, true] {
+            let spec = LoadSpec {
+                faults: faults.then(|| crate::load::FaultSpec {
+                    shards: 4,
+                    mtbf: 120.0,
+                    mttr: 40.0,
+                    throttle_rate: 1.0 / 150.0,
+                    ..Default::default()
+                }),
+                ..bursty_spec()
+            };
+            let meta = TraceMeta::new(4, spec.horizon, spec.seed, "w");
+            let trace = Trace::new(meta.clone(), generate(&spec));
+            let mut writer = TraceWriter::new(Vec::new(), &meta, faults).unwrap();
+            for event in crate::load::LoadStream::new(&spec) {
+                writer.write_event(&event).unwrap();
+            }
+            assert_eq!(writer.events_written(), trace.events.len() as u64);
+            let streamed = String::from_utf8(writer.finish().unwrap()).unwrap();
+            assert_eq!(streamed, trace.to_jsonl(), "faults={faults}");
+            // And the streamed output replays to the identical trace.
+            assert_eq!(Trace::from_jsonl(&streamed).expect("parses"), trace);
+        }
+    }
+
+    #[test]
+    fn trace_writer_rejects_fault_events_under_a_v2_header() {
+        let meta = TraceMeta::new(2, 100.0, 0, "v2");
+        let mut writer = TraceWriter::new(Vec::new(), &meta, false).unwrap();
+        writer
+            .write_event(&FleetEvent::Arrive {
+                at: 1.0,
+                request: RequestId::new(0),
+                model: ModelId::from_str("AlexNet").unwrap(),
+            })
+            .expect("plain events are fine");
+        let err = writer
+            .write_event(&FleetEvent::ShardDown { at: 2.0, shard: 1 })
+            .expect_err("fault event needs a v3 header");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("has_faults"), "{err}");
+    }
+
+    #[test]
+    fn trace_writer_streams_each_event_to_the_sink() {
+        let meta = TraceMeta::new(1, 100.0, 0, "inc");
+        let sink = CountingSink { bytes: Vec::new(), writes_seen: Vec::new() };
+        let mut writer = TraceWriter::new(sink, &meta, false).unwrap();
+        for k in 0..10u64 {
+            writer
+                .write_event(&FleetEvent::Arrive {
+                    at: k as f64,
+                    request: RequestId::new(k),
+                    model: ModelId::from_str("AlexNet").unwrap(),
+                })
+                .unwrap();
+        }
+        let sink = writer.finish().unwrap();
+        // Header + 10 events, each line written in its own write calls —
+        // the sink saw monotonically growing byte counts, not one final
+        // dump.
+        assert_eq!(sink.bytes.iter().filter(|&&b| b == b'\n').count(), 11);
+        assert!(sink.writes_seen.len() >= 11, "every line hit the sink as written");
+        assert!(sink.writes_seen.windows(2).all(|w| w[1] > w[0]));
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Bit-identity of the placement index: `indexed_placement: true` (the
+//! default — equivalence-class representative probing plus the O(log S)
+//! health index) must reproduce the full-scan reference **byte for
+//! byte** — placements, metrics, and per-shard timelines — across
+//! seeds, every arrival process (including Zipf-skewed popularity),
+//! homogeneous and mixed fleets, thread counts, and fault/evacuation
+//! traffic.
+//!
+//! This is the load-bearing guarantee of the index layer: like the
+//! executor's threading, indexing is an execution strategy, never a
+//! policy. Two shards with equal class keys build bit-identical probes,
+//! so probing one representative and broadcasting its score cannot
+//! change any argmax downstream; the health BTree's first element *is*
+//! the scan's `min_by(total_cmp)` answer (see `rankmap_fleet::index`).
+
+use proptest::prelude::*;
+use rankmap_core::manager::ManagerConfig;
+use rankmap_core::oracle::AnalyticalOracle;
+use rankmap_fleet::{
+    generate, ArrivalProcess, FaultSpec, FleetConfig, FleetOutcome, FleetRuntime, FleetSpec,
+    LoadSpec, Parallelism, Popularity, ShardSpec, Trace, TraceMeta,
+};
+use rankmap_platform::Platform;
+
+const SHARDS: usize = 4;
+
+fn config(indexed: bool, parallelism: Parallelism) -> FleetConfig {
+    FleetConfig {
+        manager: ManagerConfig { mcts_iterations: 40, warm_iterations: 20, ..Default::default() },
+        max_per_shard: 3,
+        // Exercise every index consumer: rebalancing (health reads),
+        // the overload guard, and retries.
+        rebalance_threshold: 0.55,
+        rebalance_margin: 0.02,
+        overload_guard: 0.15,
+        retry_limit: 1,
+        indexed_placement: indexed,
+        parallelism,
+        ..Default::default()
+    }
+}
+
+fn load(seed: u64, process_idx: usize, faults: bool, zipf: bool) -> LoadSpec {
+    let process = match process_idx {
+        0 => ArrivalProcess::Poisson { rate: 1.0 / 16.0 },
+        1 => ArrivalProcess::OnOff {
+            burst_rate: 0.25,
+            idle_rate: 0.01,
+            mean_burst: 30.0,
+            mean_idle: 60.0,
+        },
+        _ => ArrivalProcess::Diurnal { mean_rate: 1.0 / 14.0, amplitude: 0.8, period: 120.0 },
+    };
+    LoadSpec {
+        horizon: 240.0,
+        process,
+        mean_lifetime: 90.0,
+        priority_churn_rate: 1.0 / 80.0,
+        seed,
+        faults: faults.then(|| FaultSpec {
+            shards: SHARDS,
+            mtbf: 150.0,
+            mttr: 40.0,
+            correlation: 0.4,
+            throttle_rate: 1.0 / 120.0,
+            ..Default::default()
+        }),
+        popularity: if zipf { Popularity::Zipf { exponent: 1.0 } } else { Popularity::Uniform },
+        ..Default::default()
+    }
+}
+
+fn run(spec: &LoadSpec, indexed: bool, parallelism: Parallelism) -> FleetOutcome {
+    let platform = Platform::orange_pi_5();
+    let oracle = AnalyticalOracle::new(&platform);
+    let events = generate(spec);
+    FleetRuntime::homogeneous(&platform, &oracle, SHARDS, config(indexed, parallelism))
+        .execute(&events, spec.horizon)
+}
+
+fn assert_identical(reference: &FleetOutcome, candidate: &FleetOutcome, label: &str) {
+    assert_eq!(candidate.placements, reference.placements, "{label}: placement log diverged");
+    assert_eq!(candidate.metrics, reference.metrics, "{label}: metrics diverged");
+    assert_eq!(candidate.timelines, reference.timelines, "{label}: timelines diverged");
+    for (a, b) in reference.timelines.iter().flatten().zip(candidate.timelines.iter().flatten())
+    {
+        for (x, y) in a.potentials.iter().zip(&b.potentials) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: potential bits diverged");
+        }
+        for (x, y) in a.throughputs.iter().zip(&b.throughputs) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: throughput bits diverged");
+        }
+    }
+    for (a, b) in reference.placements.iter().zip(&candidate.placements) {
+        assert_eq!(
+            a.predicted_delta.to_bits(),
+            b.predicted_delta.to_bits(),
+            "{label}: predicted-delta bits diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The headline property: indexed and full-scan placement agree byte
+    /// for byte across seeds, load shapes (uniform and Zipf-skewed),
+    /// fault layers, and executor widths — and the recorded trace
+    /// replays bit-for-bit under the indexed executor.
+    #[test]
+    fn indexed_reproduces_full_scan_bit_for_bit(
+        seed in 0u64..64,
+        process_idx in 0usize..3,
+        faults in any::<bool>(),
+        zipf in any::<bool>(),
+    ) {
+        let spec = load(seed, process_idx, faults, zipf);
+        let reference = run(&spec, false, Parallelism::Sequential);
+        prop_assert!(reference.metrics.offered > 0);
+        for (indexed, parallelism) in [
+            (true, Parallelism::Sequential),
+            (true, Parallelism::Threads(4)),
+            (false, Parallelism::Threads(4)),
+        ] {
+            let candidate = run(&spec, indexed, parallelism);
+            assert_identical(
+                &reference,
+                &candidate,
+                &format!("indexed={indexed} {parallelism:?} seed {seed}"),
+            );
+        }
+        // Trace replay under the indexed executor stays exact.
+        let trace = Trace::new(
+            TraceMeta::new(SHARDS, spec.horizon, spec.seed, "indexed-replay"),
+            generate(&spec),
+        );
+        let parsed = Trace::from_jsonl(&trace.to_jsonl()).expect("trace parses");
+        let platform = Platform::orange_pi_5();
+        let oracle = AnalyticalOracle::new(&platform);
+        let replayed = FleetRuntime::homogeneous(
+            &platform,
+            &oracle,
+            SHARDS,
+            config(true, Parallelism::Threads(2)),
+        )
+        .execute_trace(&parsed);
+        assert_identical(&reference, &replayed, &format!("replay seed {seed}"));
+    }
+}
+
+/// The mixed-fleet variant: two platform groups mean two probe classes
+/// can never merge (group is part of the class key) — indexed placement
+/// across heterogeneous boards still matches the scan exactly.
+#[test]
+fn mixed_fleet_indexed_matches_scan() {
+    let orange = Platform::orange_pi_5();
+    let jetson = Platform::jetson_orin_nx();
+    let orange_oracle = AnalyticalOracle::new(&orange);
+    let jetson_oracle = AnalyticalOracle::new(&jetson);
+    let spec = load(11, 1, true, true);
+    let events = generate(&spec);
+    let fleet = |indexed, parallelism| {
+        FleetRuntime::new(
+            &FleetSpec::new(vec![
+                ShardSpec::new(&orange, &orange_oracle, 2),
+                ShardSpec::new(&jetson, &jetson_oracle, 2),
+            ]),
+            config(indexed, parallelism),
+        )
+        .execute(&events, spec.horizon)
+    };
+    let reference = fleet(false, Parallelism::Sequential);
+    assert!(reference.metrics.offered > 0);
+    for (indexed, parallelism) in [
+        (true, Parallelism::Sequential),
+        (true, Parallelism::Threads(4)),
+    ] {
+        let candidate = fleet(indexed, parallelism);
+        assert_identical(&reference, &candidate, &format!("mixed indexed={indexed}"));
+    }
+}
+
+/// Non-fused scoring (the serial per-shard probe fold) composes with the
+/// index too — the broadcast happens on the score vector either way.
+#[test]
+fn non_fused_indexed_matches_scan() {
+    let spec = load(5, 0, false, false);
+    let platform = Platform::orange_pi_5();
+    let oracle = AnalyticalOracle::new(&platform);
+    let events = generate(&spec);
+    let run = |indexed| {
+        FleetRuntime::homogeneous(
+            &platform,
+            &oracle,
+            SHARDS,
+            FleetConfig { fused_scoring: false, ..config(indexed, Parallelism::Sequential) },
+        )
+        .execute(&events, spec.horizon)
+    };
+    assert_identical(&run(false), &run(true), "non-fused indexed");
+}

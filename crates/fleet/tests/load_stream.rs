@@ -1,0 +1,206 @@
+//! `LoadStream` ≡ `generate`: the pull-based generator must yield the
+//! **byte-identical** event sequence the eager generator materializes —
+//! across seeds, every arrival process, churn, faults, and the overlay
+//! layers (Zipf popularity, flash crowds, tenant bursts) — while holding
+//! only O(live) buffered state regardless of horizon length.
+//!
+//! `generate` keeps its original eager body (it still calls the eager
+//! `sample_times`), so this suite genuinely pins the lazy time walk,
+//! the positioned-RNG replay, and the heap merge against the reference
+//! implementation rather than against themselves.
+
+use proptest::prelude::*;
+use rankmap_fleet::{
+    generate, ArrivalProcess, FaultSpec, FlashSpec, FleetEvent, LoadSpec, LoadStream,
+    Popularity, TenantSpec,
+};
+
+fn process(idx: usize) -> ArrivalProcess {
+    match idx {
+        0 => ArrivalProcess::Poisson { rate: 1.0 / 12.0 },
+        1 => ArrivalProcess::OnOff {
+            burst_rate: 0.4,
+            idle_rate: 0.02,
+            mean_burst: 25.0,
+            mean_idle: 70.0,
+        },
+        _ => ArrivalProcess::Diurnal { mean_rate: 1.0 / 10.0, amplitude: 0.9, period: 150.0 },
+    }
+}
+
+/// Byte-level identity: `PartialEq` plus explicit bit comparison of the
+/// float payloads (`==` would let `-0.0` slip past).
+fn assert_bit_identical(streamed: &[FleetEvent], eager: &[FleetEvent], label: &str) {
+    assert_eq!(streamed.len(), eager.len(), "{label}: length diverged");
+    for (k, (s, e)) in streamed.iter().zip(eager).enumerate() {
+        assert_eq!(s, e, "{label}: event {k} diverged");
+        assert_eq!(s.at().to_bits(), e.at().to_bits(), "{label}: event {k} time bits diverged");
+        if let (
+            FleetEvent::ShardThrottle { factor: a, .. },
+            FleetEvent::ShardThrottle { factor: b, .. },
+        ) = (s, e)
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "{label}: event {k} factor bits diverged");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every pre-existing spec shape — the acceptance criterion: specs
+    /// written before the streaming rework must stream byte-identically.
+    #[test]
+    fn stream_matches_generate_for_existing_specs(
+        seed in 0u64..256,
+        process_idx in 0usize..3,
+        churn in any::<bool>(),
+        faults in any::<bool>(),
+        immortal in any::<bool>(),
+    ) {
+        let spec = LoadSpec {
+            horizon: 400.0,
+            process: process(process_idx),
+            mean_lifetime: if immortal { 0.0 } else { 60.0 },
+            priority_churn_rate: if churn { 1.0 / 40.0 } else { 0.0 },
+            seed,
+            faults: faults.then(|| FaultSpec {
+                shards: 4,
+                mtbf: 300.0,
+                mttr: 60.0,
+                correlation: 0.3,
+                throttle_rate: 1.0 / 200.0,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let streamed: Vec<FleetEvent> = LoadStream::new(&spec).collect();
+        let eager = generate(&spec);
+        assert_bit_identical(&streamed, &eager, &format!("seed {seed} process {process_idx}"));
+    }
+
+    /// The overlay layers: Zipf popularity, flash crowds, and correlated
+    /// tenant bursts — eager episode expansion and the stream's lazy
+    /// heap merge must agree event for event.
+    #[test]
+    fn stream_matches_generate_with_overlay_layers(
+        seed in 0u64..128,
+        process_idx in 0usize..3,
+        zipf in any::<bool>(),
+        flash in any::<bool>(),
+        tenants in any::<bool>(),
+    ) {
+        let spec = LoadSpec {
+            horizon: 400.0,
+            process: process(process_idx),
+            mean_lifetime: 45.0,
+            priority_churn_rate: 1.0 / 60.0,
+            seed,
+            popularity: if zipf {
+                Popularity::Zipf { exponent: 1.1 }
+            } else {
+                Popularity::Uniform
+            },
+            flash: flash.then(|| FlashSpec {
+                rate: 1.0 / 120.0,
+                mean_duration: 30.0,
+                boost_rate: 0.8,
+                mean_lifetime: 20.0,
+                seed: seed.wrapping_add(17),
+            }),
+            tenants: tenants.then(|| TenantSpec {
+                tenants: 3,
+                mean_idle: 90.0,
+                mean_burst: 25.0,
+                rate: 0.4,
+                correlation: 0.5,
+                skew: 0.7,
+                mean_lifetime: 30.0,
+                seed: seed.wrapping_add(41),
+            }),
+            ..Default::default()
+        };
+        let streamed: Vec<FleetEvent> = LoadStream::new(&spec).collect();
+        let eager = generate(&spec);
+        assert_bit_identical(
+            &streamed,
+            &eager,
+            &format!("seed {seed} zipf={zipf} flash={flash} tenants={tenants}"),
+        );
+    }
+}
+
+/// Enabling an overlay layer never perturbs the base arrival stream —
+/// the same guarantee the fault layer makes, extended to demand shaping.
+#[test]
+fn overlays_never_perturb_the_base_stream() {
+    let plain = LoadSpec { horizon: 500.0, seed: 9, ..Default::default() };
+    let layered = LoadSpec {
+        flash: Some(FlashSpec::default()),
+        tenants: Some(TenantSpec::default()),
+        ..plain.clone()
+    };
+    let plain_times: Vec<u64> = generate(&plain)
+        .iter()
+        .filter_map(|e| match e {
+            FleetEvent::Arrive { at, .. } => Some(at.to_bits()),
+            _ => None,
+        })
+        .collect();
+    let layered_times: Vec<u64> = generate(&layered)
+        .iter()
+        .filter_map(|e| match e {
+            FleetEvent::Arrive { at, .. } => Some(at.to_bits()),
+            _ => None,
+        })
+        .collect();
+    // Every base arrival time survives, in order, within the layered
+    // stream (the overlay only adds arrivals).
+    let mut cursor = layered_times.iter();
+    for t in &plain_times {
+        assert!(
+            cursor.any(|lt| lt == t),
+            "base arrival missing from layered stream"
+        );
+    }
+    assert!(layered_times.len() > plain_times.len(), "overlays added arrivals");
+}
+
+/// The bounded-buffer property: peak buffered state is O(live
+/// instances), independent of horizon length. Quadrupling the horizon
+/// multiplies total arrivals ~4× but must leave the stream's high-water
+/// mark essentially flat — and orders of magnitude below the event
+/// count `generate` would have materialized.
+#[test]
+fn peak_buffered_state_is_independent_of_horizon() {
+    let spec = |horizon: f64| LoadSpec {
+        horizon,
+        process: ArrivalProcess::Poisson { rate: 0.5 },
+        mean_lifetime: 20.0,
+        priority_churn_rate: 1.0 / 50.0,
+        seed: 3,
+        ..Default::default()
+    };
+    let peak_of = |spec: &LoadSpec| {
+        let mut stream = LoadStream::new(spec);
+        let mut events = 0usize;
+        while stream.next().is_some() {
+            events += 1;
+        }
+        (stream.peak_buffered(), events)
+    };
+    let (peak_short, events_short) = peak_of(&spec(2_000.0));
+    let (peak_long, events_long) = peak_of(&spec(8_000.0));
+    assert!(events_long > 3 * events_short, "long horizon offers ~4x the events");
+    // The high-water mark tracks live instances (rate x lifetime = 10
+    // expected), not the horizon: allow exponential-tail slack but no
+    // growth proportional to the 4x event count.
+    assert!(
+        peak_long <= 2 * peak_short.max(20),
+        "peak buffered state grew with horizon: {peak_short} -> {peak_long}"
+    );
+    assert!(
+        peak_long * 10 < events_long,
+        "peak buffered state ({peak_long}) is not o(total events {events_long})"
+    );
+}
