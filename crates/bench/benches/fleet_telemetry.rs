@@ -1,0 +1,188 @@
+//! Telemetry overhead benchmark: wall-clock of the fleet event loop with
+//! telemetry disabled vs enabled (and enabled + wall-clock stage timing),
+//! written to the `fleet_telemetry` section of `BENCH_fleet.json`.
+//!
+//! One seeded Poisson load with a fault layer (so evacuation/shed flight
+//! records and throttle gauges are exercised, not just the admit path) is
+//! offered to an 8-shard fleet once per telemetry mode. Every run must
+//! produce **bit-identical** placements, metrics, and timelines —
+//! telemetry lives strictly off the decision path (the bench
+//! double-checks what `crates/fleet/tests/telemetry.rs` property-tests);
+//! only the wall-clock may differ. The recorded figure is events/sec per
+//! mode and the enabled-vs-disabled overhead percentage, which the full
+//! (non-smoke) run asserts stays ≤ 10%.
+//!
+//! `RANKMAP_BENCH_SMOKE=1` shrinks the horizon and search budgets so CI
+//! can keep this bench compiling *and running*; the overhead assertion is
+//! skipped there (sub-second smoke runs are all noise).
+
+use rankmap_core::json::{obj, Json};
+use rankmap_core::manager::ManagerConfig;
+use rankmap_core::oracle::AnalyticalOracle;
+use rankmap_fleet::{
+    generate, ArrivalProcess, FaultSpec, FleetConfig, FleetOutcome, FleetRuntime, LoadSpec,
+    TelemetrySpec,
+};
+use rankmap_platform::Platform;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var_os("RANKMAP_BENCH_SMOKE").is_some()
+}
+
+fn load_spec() -> LoadSpec {
+    LoadSpec {
+        horizon: if smoke() { 300.0 } else { 900.0 },
+        process: ArrivalProcess::Poisson { rate: 1.0 / 12.0 },
+        mean_lifetime: 200.0,
+        priority_churn_rate: 1.0 / 250.0,
+        seed: 11,
+        faults: Some(FaultSpec {
+            shards: 8,
+            mtbf: 400.0,
+            mttr: 60.0,
+            throttle_rate: 1.0 / 300.0,
+            seed: 23,
+            ..Default::default()
+        }),
+        ..Default::default()
+    }
+}
+
+fn fleet_config(telemetry: TelemetrySpec) -> FleetConfig {
+    let budget = if smoke() { 60 } else { 150 };
+    FleetConfig {
+        manager: ManagerConfig {
+            mcts_iterations: budget,
+            warm_iterations: budget / 2,
+            plan_cache_capacity: 512,
+            ..Default::default()
+        },
+        retry_limit: 1,
+        telemetry,
+        ..Default::default()
+    }
+}
+
+/// Runs the workload under one telemetry mode; returns the outcome, the
+/// event count, and the mean wall seconds over `reps` runs.
+fn run(platform: &Platform, telemetry: TelemetrySpec, reps: usize) -> (FleetOutcome, usize, f64) {
+    let oracle = AnalyticalOracle::new(platform);
+    let spec = load_spec();
+    let events = generate(&spec);
+    let mut wall = 0.0;
+    let mut outcome = None;
+    for _ in 0..reps {
+        let fleet = FleetRuntime::homogeneous(platform, &oracle, 8, fleet_config(telemetry));
+        let started = Instant::now();
+        outcome = Some(fleet.execute(&events, spec.horizon));
+        wall += started.elapsed().as_secs_f64();
+    }
+    (outcome.unwrap(), events.len(), wall / reps as f64)
+}
+
+fn identical(a: &FleetOutcome, b: &FleetOutcome) -> bool {
+    a.metrics == b.metrics && a.placements == b.placements && a.timelines == b.timelines
+}
+
+fn main() {
+    let platform = Platform::orange_pi_5();
+    let spec = load_spec();
+    let reps = if smoke() { 1 } else { 3 };
+    println!(
+        "fleet_telemetry: 8 shards, Poisson {:.3}/s + faults, horizon {:.0}s, {} reps ({} mode)",
+        spec.process.mean_rate(),
+        spec.horizon,
+        reps,
+        if smoke() { "smoke" } else { "full" }
+    );
+
+    let modes: [(&str, TelemetrySpec); 3] = [
+        ("disabled", TelemetrySpec::default()),
+        ("enabled", TelemetrySpec::on()),
+        ("enabled+wall", TelemetrySpec::on().with_wall_clock()),
+    ];
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    let mut reference: Option<FleetOutcome> = None;
+    let mut disabled_eps = 0.0;
+    let mut enabled_eps = 0.0;
+    for (name, telemetry) in modes {
+        let (outcome, events, wall_s) = run(&platform, telemetry, reps);
+        let eps = events as f64 / wall_s;
+        let same = reference.as_ref().is_none_or(|r| identical(r, &outcome));
+        all_identical &= same;
+        let flight = outcome
+            .telemetry
+            .as_ref()
+            .map_or(0, |snap| snap.recorder.total());
+        println!(
+            "  {name}: {wall_s:.3}s wall, {eps:.0} events/s, {flight} flight records, outcome {}",
+            if same { "bit-identical" } else { "DIVERGED" }
+        );
+        rows.push(obj([
+            ("mode", Json::Str(name.into())),
+            ("wall_s", Json::Num(wall_s)),
+            ("events_per_s", Json::Num(eps)),
+            ("flight_records", Json::Num(flight as f64)),
+            ("bit_identical", Json::Bool(same)),
+        ]));
+        match name {
+            "disabled" => disabled_eps = eps,
+            "enabled" => enabled_eps = eps,
+            _ => {}
+        }
+        if reference.is_none() {
+            reference = Some(outcome);
+        }
+    }
+
+    // Overhead of deterministic telemetry relative to off: how much
+    // events/sec throughput the instrumentation costs.
+    let overhead_pct = 100.0 * (disabled_eps / enabled_eps - 1.0);
+    println!("  enabled-vs-disabled overhead: {overhead_pct:.2}%");
+
+    let report = obj([
+        ("smoke", Json::Bool(smoke())),
+        ("shards", Json::Num(8.0)),
+        (
+            "offered_load",
+            obj([
+                ("process", Json::Str("poisson+faults".into())),
+                ("rate_per_s", Json::Num(spec.process.mean_rate())),
+                ("mean_lifetime_s", Json::Num(spec.mean_lifetime)),
+                ("horizon_s", Json::Num(spec.horizon)),
+                ("seed", Json::Num(spec.seed as f64)),
+            ]),
+        ),
+        ("modes", Json::Arr(rows)),
+        ("enabled_overhead_pct", Json::Num(overhead_pct)),
+        ("all_outcomes_bit_identical", Json::Bool(all_identical)),
+        (
+            "note",
+            Json::Str(
+                "overhead = events/sec lost with deterministic telemetry on vs off; the \
+                 full run asserts <= 10%. Wall-clock stage timing (enabled+wall) is the \
+                 one non-deterministic extra and is recorded but not bounded."
+                    .into(),
+            ),
+        ),
+    ]);
+    // BENCH_fleet.json is shared with the other fleet benches: each bench
+    // owns one top-level section and preserves the others' on re-runs.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    rankmap_bench::merge_bench_report(path, "fleet_telemetry", report);
+    println!("wrote the fleet_telemetry section of {path}");
+    // Fail (after recording the evidence) on a determinism regression in
+    // any mode, and on runaway overhead in the full run.
+    assert!(
+        all_identical,
+        "telemetry changed a decision — see {path}"
+    );
+    if !smoke() {
+        assert!(
+            overhead_pct <= 10.0,
+            "deterministic telemetry overhead {overhead_pct:.2}% exceeds the 10% budget — see {path}"
+        );
+    }
+}

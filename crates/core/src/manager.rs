@@ -254,8 +254,8 @@ impl<'p, O: ThroughputOracle> RankMapManager<'p, O> {
         plan
     }
 
-    /// `(hits, misses)` of the plan cache — observability for the runtime.
-    pub fn plan_cache_stats(&self) -> (u64, u64) {
+    /// Hit/miss counters of the plan cache — observability for the runtime.
+    pub fn plan_cache_stats(&self) -> rankmap_telemetry::MemoStats {
         self.plan_cache.lock().expect("plan cache poisoned").stats()
     }
 
@@ -606,7 +606,10 @@ mod tests {
         assert_eq!(second.predicted, first.predicted);
         assert_eq!(second.reward.to_bits(), first.reward.to_bits());
         assert_eq!(second.evaluations, 0, "hits skip the search entirely");
-        assert_eq!(mgr.plan_cache_stats(), (1, 1));
+        assert_eq!(
+            mgr.plan_cache_stats(),
+            rankmap_telemetry::MemoStats { hits: 1, misses: 1 }
+        );
     }
 
     #[test]

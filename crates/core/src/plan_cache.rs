@@ -27,6 +27,7 @@ use crate::manager::MappingPlan;
 use crate::reward::StarvationThreshold;
 use rankmap_platform::ComponentId;
 use rankmap_sim::{Mapping, Workload};
+use rankmap_telemetry::MemoStats;
 use std::collections::HashMap;
 
 /// Canonical identity of a (workload set, priorities, threshold) request.
@@ -196,9 +197,9 @@ impl PlanCache {
         self.plans.is_empty()
     }
 
-    /// `(hits, misses)` counters since construction (not persisted).
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    /// Hit/miss counters since construction (not persisted).
+    pub fn stats(&self) -> MemoStats {
+        MemoStats { hits: self.hits, misses: self.misses }
     }
 
     /// The highest component index referenced by any cached plan (`None`
@@ -548,7 +549,7 @@ mod tests {
         assert_eq!(hit.predicted, plan.predicted);
         assert_eq!(hit.reward.to_bits(), plan.reward.to_bits());
         assert_eq!(hit.evaluations, 0, "cache hits spend no oracle evaluations");
-        assert_eq!(cache.stats(), (1, 0));
+        assert_eq!(cache.stats(), MemoStats { hits: 1, misses: 0 });
     }
 
     #[test]

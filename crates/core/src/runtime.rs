@@ -1274,9 +1274,9 @@ mod tests {
             DynamicEvent::arrive(300.0, ModelId::SqueezeNetV2),
         ];
         let _ = rt.run(&events, &mut mapper, 400.0);
-        let (hits, _) = mapper.manager().plan_cache_stats();
+        let stats = mapper.manager().plan_cache_stats();
         assert!(
-            hits >= 1,
+            stats.hits >= 1,
             "the re-arrived workload set must be served from the plan cache"
         );
     }

@@ -31,6 +31,7 @@ use crate::placement::{ProbeMemo, PROBE_MEMO_BOUND};
 use crate::runtime::FleetOutcome;
 use crate::shard::Shard;
 use crate::spec::FleetSpec;
+use crate::telemetry::{stage, FleetTelemetry, TelemetrySpec};
 use rankmap_core::dataset::ideal_rates;
 use rankmap_core::manager::{ManagerConfig, RankMapManager};
 use rankmap_core::oracle::ThroughputOracle;
@@ -40,6 +41,7 @@ use rankmap_core::runtime::{
     RankMapMapper, TimelinePoint,
 };
 use rankmap_models::ModelId;
+use rankmap_telemetry::Histogram;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -158,6 +160,11 @@ pub struct FleetConfig {
     /// are bit-identical either way (property-tested); `false` keeps the
     /// full O(shards) scan as the identity oracle and A/B baseline.
     pub indexed_placement: bool,
+    /// Observability configuration (see [`TelemetrySpec`]). Disabled by
+    /// default; enabled or disabled, all placements, timelines, and
+    /// [`FleetMetrics`] are bit-identical — telemetry lives strictly off
+    /// the decision path (property-tested in `tests/telemetry.rs`).
+    pub telemetry: TelemetrySpec,
 }
 
 impl Default for FleetConfig {
@@ -184,6 +191,7 @@ impl Default for FleetConfig {
             retry_backoff: 30.0,
             overload_guard: 0.0,
             indexed_placement: true,
+            telemetry: TelemetrySpec::default(),
         }
     }
 }
@@ -219,8 +227,12 @@ struct RetryEntry {
 pub(crate) struct RunState {
     pub(crate) requests: HashMap<RequestId, Disposition>,
     pub(crate) placements: Vec<PlacementRecord>,
-    pub(crate) latencies: Vec<std::time::Duration>,
-    pub(crate) evac_latencies: Vec<std::time::Duration>,
+    /// Wall-clock placement-decision latencies, fed incrementally into a
+    /// log-bucketed histogram — O(distinct buckets) memory instead of the
+    /// old `Vec<Duration>`'s O(offered load) at the `fleet_massive` tier.
+    pub(crate) latencies: Histogram,
+    /// Wall-clock shard-failure handling latencies (same representation).
+    pub(crate) evac_latencies: Histogram,
     pending_retries: Vec<RetryEntry>,
     pub(crate) admitted: u64,
     pub(crate) rejected: u64,
@@ -243,8 +255,8 @@ impl RunState {
         Self {
             requests: HashMap::new(),
             placements: Vec::new(),
-            latencies: Vec::new(),
-            evac_latencies: Vec::new(),
+            latencies: Histogram::new(),
+            evac_latencies: Histogram::new(),
             pending_retries: Vec::new(),
             admitted: 0,
             rejected: 0,
@@ -292,6 +304,9 @@ pub struct FleetExecutor<'p, O: ThroughputOracle> {
     /// The incremental shard-state index behind
     /// [`FleetConfig::indexed_placement`] (unused when the flag is off).
     pub(crate) index: PlacementIndex,
+    /// The observability collector behind [`FleetConfig::telemetry`] —
+    /// strictly off the decision path (inert when disabled).
+    pub(crate) telemetry: FleetTelemetry,
     pub(crate) shards: Vec<Shard<'p, O>>,
 }
 
@@ -347,10 +362,11 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
         }
         Self {
             probe_memo: ProbeMemo::new(group_oracles.len(), config.probe_memo_capacity),
-            config,
             group_oracles,
             platforms: spec.platform_names(),
             index: PlacementIndex::new(shards.len()),
+            telemetry: FleetTelemetry::new(config.telemetry, shards.len(), config.sample_dt),
+            config,
             shards,
         }
     }
@@ -362,22 +378,29 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
     /// the original parallel prediction fan-out. Both return the
     /// `min_by(total_cmp)` answer, first-minimal on ties.
     pub(crate) fn worst_loaded(&mut self) -> Option<(usize, f64)> {
-        if self.config.indexed_placement {
-            self.index.refresh(&mut self.shards);
-            return self.index.worst();
-        }
-        let means: Vec<Option<f64>> = self.for_each_shard(|_, shard| {
-            if !shard.is_down() && shard.live_len() >= 2 {
-                shard.mean_potential()
-            } else {
-                None
-            }
-        });
-        means
-            .into_iter()
-            .enumerate()
-            .filter_map(|(s, mean)| mean.map(|m| (s, m)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
+        let timer = self.telemetry.stage(stage::REBALANCE_SCAN);
+        let worst = if self.config.indexed_placement {
+            let refile = self.telemetry.stage(stage::INDEX_REFILE);
+            let refiled = self.index.refresh(&mut self.shards);
+            self.telemetry.finish(refile);
+            self.telemetry.count("fleet_index_refiled_total", refiled as u64);
+            self.index.worst()
+        } else {
+            let means: Vec<Option<f64>> = self.for_each_shard(|_, shard| {
+                if !shard.is_down() && shard.live_len() >= 2 {
+                    shard.mean_potential()
+                } else {
+                    None
+                }
+            });
+            means
+                .into_iter()
+                .enumerate()
+                .filter_map(|(s, mean)| mean.map(|m| (s, m)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+        };
+        self.telemetry.finish(timer);
+        worst
     }
 
     /// Runs `f` over every shard at the current barrier (see
@@ -407,11 +430,13 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
         let window = self.config.decision_window;
         let started = Instant::now();
         let decision = self.place(model);
-        state.latencies.push(started.elapsed());
+        state.latencies.record(started.elapsed().as_secs_f64());
         match decision {
             Some((s, delta)) => {
+                let timer = self.telemetry.stage(stage::APPLY);
                 let assigned =
                     self.shards[s].apply(t, &[DynamicEvent::arrive(t, model)], window);
+                self.telemetry.finish(timer);
                 state
                     .requests
                     .insert(request, Disposition::Active { shard: s, instance: assigned[0] });
@@ -420,6 +445,20 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                     state.retry_admitted += 1;
                 }
                 state.per_shard_admitted[s] += 1;
+                self.telemetry.count("fleet_admitted_total", 1);
+                if self.telemetry.enabled() {
+                    self.telemetry.record(
+                        t,
+                        "admit",
+                        None,
+                        vec![
+                            ("request", request.ordinal().to_string()),
+                            ("model", format!("{model:?}")),
+                            ("shard", s.to_string()),
+                            ("delta", format!("{delta:.6}")),
+                        ],
+                    );
+                }
                 state.placements.push(PlacementRecord {
                     request,
                     at: t,
@@ -438,6 +477,18 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                     });
                     state.requests.insert(request, Disposition::Retrying);
                     state.retries += 1;
+                    self.telemetry.count("fleet_deferred_total", 1);
+                    if self.telemetry.enabled() {
+                        self.telemetry.record(
+                            t,
+                            "defer",
+                            None,
+                            vec![
+                                ("request", request.ordinal().to_string()),
+                                ("retry_at", format!("{retry_at:.3}")),
+                            ],
+                        );
+                    }
                     state.placements.push(PlacementRecord {
                         request,
                         at: t,
@@ -447,6 +498,15 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                 } else {
                     state.requests.insert(request, Disposition::Rejected);
                     state.rejected += 1;
+                    self.telemetry.count("fleet_rejected_total", 1);
+                    if self.telemetry.enabled() {
+                        self.telemetry.record(
+                            t,
+                            "reject",
+                            None,
+                            vec![("request", request.ordinal().to_string())],
+                        );
+                    }
                     state.placements.push(PlacementRecord {
                         request,
                         at: t,
@@ -476,6 +536,7 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                     Some(Disposition::Active { shard, instance }) => {
                         state.requests.remove(request);
                         state.departed += 1;
+                        self.telemetry.count("fleet_departed_total", 1);
                         self.shards[shard].apply(
                             t,
                             &[DynamicEvent::depart(t, instance)],
@@ -498,22 +559,45 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                 // A priority rotation re-maps *every* shard — the
                 // widest barrier of the event loop, fanned across the
                 // worker pool.
+                let timer = self.telemetry.stage(stage::REMAP);
                 let ev = [DynamicEvent::SetPriorities { at: t, mode: mode.clone() }];
-                self.for_each_shard(|_, shard| {
+                for_each_shard(self.config.parallelism, &mut self.shards, |_, shard| {
                     shard.apply(t, &ev, window);
                 });
+                self.telemetry.finish(timer);
+                self.telemetry.record(t, "set_priorities", None, Vec::new());
             }
             FleetEvent::ShardDown { shard, .. } => {
                 if !self.shards[*shard].is_down() {
                     state.failures_injected += 1;
+                    let cause = if self.telemetry.enabled() {
+                        self.telemetry.record(
+                            t,
+                            "shard_down",
+                            None,
+                            vec![("shard", shard.to_string())],
+                        )
+                    } else {
+                        None
+                    };
+                    let timer = self.telemetry.stage(stage::EVACUATION);
                     let started = Instant::now();
-                    self.fail_shard(t, *shard, state);
-                    state.evac_latencies.push(started.elapsed());
+                    self.fail_shard(t, *shard, state, cause);
+                    state.evac_latencies.record(started.elapsed().as_secs_f64());
+                    self.telemetry.finish(timer);
                 }
             }
             FleetEvent::ShardUp { shard, .. } => {
                 if self.shards[*shard].is_down() {
                     self.shards[*shard].revive(t, window);
+                    if self.telemetry.enabled() {
+                        self.telemetry.record(
+                            t,
+                            "shard_up",
+                            None,
+                            vec![("shard", shard.to_string())],
+                        );
+                    }
                 }
             }
             FleetEvent::ShardThrottle { shard, factor, .. } => {
@@ -524,6 +608,17 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                 if !target.is_down() && target.throttle() != *factor {
                     target.set_throttle(t, *factor, window);
                     state.throttle_events += 1;
+                    if self.telemetry.enabled() {
+                        self.telemetry.record(
+                            t,
+                            "throttle",
+                            None,
+                            vec![
+                                ("shard", shard.to_string()),
+                                ("factor", format!("{factor:.3}")),
+                            ],
+                        );
+                    }
                 }
             }
         }
@@ -609,11 +704,25 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
             // Departures free capacity and arrivals shift contention —
             // both are rebalance opportunities; overload sheds run after,
             // on the post-rebalance fleet.
-            if let Some((_, dst)) = self.maybe_rebalance(t, &mut state.requests) {
+            if let Some((src, dst)) = self.maybe_rebalance(t, &mut state.requests) {
                 state.migrations += 1;
                 state.per_shard_admitted[dst] += 1;
+                self.telemetry.count("fleet_migrations_total", 1);
+                if self.telemetry.enabled() {
+                    self.telemetry.record(
+                        t,
+                        "rebalance",
+                        None,
+                        vec![("from", src.to_string()), ("to", dst.to_string())],
+                    );
+                }
             }
             self.overload_guard(t, &mut state);
+            // The sampling hook runs last, on the post-barrier fleet. It
+            // only reads memoized pure shard state, so enabled-vs-
+            // disabled runs stay bit-identical.
+            self.telemetry
+                .maybe_sample(t, &mut self.shards, &state.per_shard_admitted);
         }
         // The closing barrier: every shard's last open segment is closed
         // (and its timeline samples emitted) concurrently, then collected
@@ -623,10 +732,20 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
             .values()
             .filter(|d| matches!(d, Disposition::Active { .. }))
             .count() as u64;
-        let Self { config, platforms, mut shards, .. } = self;
+        let Self { config, platforms, mut shards, probe_memo, telemetry, .. } = self;
         for_each_shard(config.parallelism, &mut shards, |_, shard| {
             shard.session.finish(horizon);
         });
+        // Snapshot before the shards are consumed into timelines: the
+        // overlay pulls absolute totals from the probe memo and every
+        // shard's plan cache, and folds in the wall-latency histograms
+        // the run measured unconditionally.
+        let telemetry_snapshot = telemetry.snapshot(
+            &probe_memo,
+            &shards,
+            Some(&state.latencies),
+            Some(&state.evac_latencies),
+        );
         let timelines: Vec<Vec<TimelinePoint>> =
             shards.into_iter().map(|shard| shard.session.into_timeline()).collect();
         let per_shard_potential: Vec<f64> =
@@ -662,8 +781,9 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
             },
             placements: state.placements,
             timelines,
-            placement_latency: LatencyStats::from_durations(state.latencies),
-            evacuation_latency: LatencyStats::from_durations(state.evac_latencies),
+            placement_latency: LatencyStats::from_histogram(&state.latencies),
+            evacuation_latency: LatencyStats::from_histogram(&state.evac_latencies),
+            telemetry: telemetry_snapshot,
         }
     }
 }

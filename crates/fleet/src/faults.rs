@@ -46,7 +46,18 @@ impl<O: ThroughputOracle> FleetExecutor<'_, O> {
     /// survivors in priority order, shedding what no survivor absorbs
     /// (with evacuation off, everything is shed: the chaos bench's
     /// baseline).
-    pub(crate) fn fail_shard(&mut self, t: f64, src: usize, state: &mut RunState) {
+    ///
+    /// `cause` is the flight-recorder sequence number of the triggering
+    /// `shard_down` record (when telemetry is on): every `evacuate`/
+    /// `shed` record of this outage links back to it, so a post-mortem
+    /// can walk the event → decision → outcome chain.
+    pub(crate) fn fail_shard(
+        &mut self,
+        t: f64,
+        src: usize,
+        state: &mut RunState,
+        cause: Option<u64>,
+    ) {
         let window = self.config.decision_window;
         let live: Vec<_> = self.shards[src].session.live().to_vec();
         // Triage before anything moves: priority weights on the failing
@@ -107,6 +118,20 @@ impl<O: ThroughputOracle> FleetExecutor<'_, O> {
                     state.evacuated += 1;
                     state.tier_evacuated[tier] += 1;
                     state.per_shard_admitted[dst] += 1;
+                    self.telemetry.count("fleet_evacuated_total", 1);
+                    if self.telemetry.enabled() {
+                        self.telemetry.record(
+                            t,
+                            "evacuate",
+                            cause,
+                            vec![
+                                ("model", format!("{victim_model:?}")),
+                                ("from", src.to_string()),
+                                ("to", dst.to_string()),
+                                ("tier", tier.to_string()),
+                            ],
+                        );
+                    }
                     if let Some(request) = owner {
                         state.requests.insert(
                             request,
@@ -122,6 +147,19 @@ impl<O: ThroughputOracle> FleetExecutor<'_, O> {
                 }
                 None => {
                     state.shed += 1;
+                    self.telemetry.count("fleet_shed_total", 1);
+                    if self.telemetry.enabled() {
+                        self.telemetry.record(
+                            t,
+                            "shed",
+                            cause,
+                            vec![
+                                ("model", format!("{victim_model:?}")),
+                                ("from", src.to_string()),
+                                ("tier", tier.to_string()),
+                            ],
+                        );
+                    }
                     if let Some(request) = owner {
                         state.requests.insert(request, Disposition::Shed);
                         state.placements.push(PlacementRecord {
@@ -173,6 +211,15 @@ impl<O: ThroughputOracle> FleetExecutor<'_, O> {
         let owner = Self::owner_of(state, src, victim_id);
         self.shards[src].apply(t, &[DynamicEvent::depart(t, victim_id)], window);
         state.shed += 1;
+        self.telemetry.count("fleet_shed_total", 1);
+        if self.telemetry.enabled() {
+            self.telemetry.record(
+                t,
+                "overload_shed",
+                None,
+                vec![("shard", src.to_string()), ("mean", format!("{mean:.6}"))],
+            );
+        }
         if let Some(request) = owner {
             state.requests.insert(request, Disposition::Shed);
             state.placements.push(PlacementRecord {

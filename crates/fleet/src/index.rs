@@ -81,12 +81,19 @@ impl PlacementIndex {
     /// Folds every shard whose epoch moved since the last refresh back
     /// into both structures. Runs serially at the event barrier — the
     /// sweep is a cheap integer compare per untouched shard, and an event
-    /// only ever touches a handful of shards.
-    pub(crate) fn refresh<O: ThroughputOracle>(&mut self, shards: &mut [Shard<'_, O>]) {
+    /// only ever touches a handful of shards. Returns how many shards
+    /// were refiled (telemetry's `fleet_index_refiled_total`; the count
+    /// plays no part in any decision).
+    pub(crate) fn refresh<O: ThroughputOracle>(
+        &mut self,
+        shards: &mut [Shard<'_, O>],
+    ) -> usize {
+        let mut refiled = 0;
         for (s, shard) in shards.iter_mut().enumerate() {
             if self.seen_epoch[s] == Some(shard.epoch()) {
                 continue;
             }
+            refiled += 1;
             self.seen_epoch[s] = Some(shard.epoch());
             let new_key = shard.placement_class_key();
             if new_key != self.shard_key[s] {
@@ -118,6 +125,7 @@ impl PlacementIndex {
             }
             self.health_val[s] = entry;
         }
+        refiled
     }
 
     /// `mask[s]` iff shard `s` is its class's representative — the lowest
@@ -136,20 +144,25 @@ impl PlacementIndex {
 
     /// Copies each representative's score onto the rest of its class
     /// (skipping `exclude`). `None` broadcasts too: a capacity-full
-    /// representative speaks for its equally-full classmates.
+    /// representative speaks for its equally-full classmates. Returns
+    /// how many scores were copied — probe evaluations the class
+    /// structure saved (telemetry only; no decision reads it).
     pub(crate) fn broadcast(
         &self,
         exclude: Option<usize>,
         scores: &mut [Option<(f64, f64)>],
-    ) {
+    ) -> usize {
+        let mut copied = 0;
         for members in self.classes.values() {
             let mut live = members.iter().filter(|&&m| Some(m) != exclude);
             let Some(&rep) = live.next() else { continue };
             let score = scores[rep];
             for &m in live {
                 scores[m] = score;
+                copied += 1;
             }
         }
+        copied
     }
 
     /// The worst loaded shard `(index, mean potential)` — the health

@@ -94,6 +94,7 @@ mod rebalance;
 pub mod runtime;
 mod shard;
 pub mod spec;
+pub mod telemetry;
 pub mod trace;
 
 pub use executor::{FleetConfig, Parallelism};
@@ -102,6 +103,8 @@ pub use load::{
     Popularity, RequestId, TenantSpec,
 };
 pub use metrics::{FleetMetrics, LatencyStats, PlacementOutcome, PlacementRecord};
+pub use rankmap_telemetry::MemoStats;
 pub use runtime::{FleetOutcome, FleetRuntime};
 pub use spec::{FleetSpec, FleetSpecError, ShardSpec};
+pub use telemetry::{ShardSample, TelemetrySnapshot, TelemetrySpec};
 pub use trace::{Trace, TraceError, TraceMeta, TraceWriter};

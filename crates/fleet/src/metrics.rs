@@ -9,6 +9,7 @@
 //! *outside* [`FleetMetrics`] so determinism checks never compare clocks.
 
 use crate::load::RequestId;
+use rankmap_telemetry::Histogram;
 use std::time::Duration;
 
 /// Where an offered request ended up.
@@ -147,6 +148,8 @@ pub struct LatencyStats {
     pub samples: usize,
     /// Median.
     pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
     /// 99th percentile.
     pub p99: Duration,
     /// Worst case.
@@ -171,9 +174,29 @@ impl LatencyStats {
         Self {
             samples: samples.len(),
             p50: q(50),
+            p90: q(90),
             p99: q(99),
             max: samples.last().copied().unwrap_or(Duration::ZERO),
             total: samples.iter().sum(),
+        }
+    }
+
+    /// Summarizes a telemetry [`Histogram`] of seconds — the executor's
+    /// memory-bounded path: latencies feed the histogram incrementally
+    /// (O(distinct buckets) state, not O(samples)), and the quantiles
+    /// here are the histogram's deterministic bucket representatives
+    /// (within one sub-bucket, ≈ 3%, of the exact order statistics that
+    /// [`LatencyStats::from_durations`] would report). `max` stays
+    /// exact; `total` is the bucket-derived approximate sum.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        let d = |v: Option<f64>| Duration::from_secs_f64(v.unwrap_or(0.0).max(0.0));
+        Self {
+            samples: h.count() as usize,
+            p50: d(h.percentile(50)),
+            p90: d(h.percentile(90)),
+            p99: d(h.percentile(99)),
+            max: d(h.max()),
+            total: d(Some(h.approx_sum())),
         }
     }
 }
@@ -188,9 +211,40 @@ mod tests {
         let stats = LatencyStats::from_durations(samples);
         assert_eq!(stats.samples, 100);
         assert_eq!(stats.p50, Duration::from_micros(50));
+        assert_eq!(stats.p90, Duration::from_micros(90));
         assert_eq!(stats.p99, Duration::from_micros(99));
         assert_eq!(stats.max, Duration::from_micros(100));
         assert_eq!(stats.total, Duration::from_micros(5050));
+    }
+
+    #[test]
+    fn histogram_stats_approximate_the_order_statistics() {
+        let mut h = Histogram::new();
+        for us in 1..=100u64 {
+            h.record(us as f64 * 1e-6);
+        }
+        let stats = LatencyStats::from_histogram(&h);
+        assert_eq!(stats.samples, 100);
+        // Quantiles are bucket representatives: within ≈4% of exact.
+        let close = |got: Duration, exact_us: u64| {
+            let exact = exact_us as f64 * 1e-6;
+            (got.as_secs_f64() - exact).abs() / exact < 0.04
+        };
+        assert!(close(stats.p50, 50), "p50 {:?}", stats.p50);
+        assert!(close(stats.p90, 90), "p90 {:?}", stats.p90);
+        assert!(close(stats.p99, 99), "p99 {:?}", stats.p99);
+        // The maximum is exact, not quantized.
+        assert_eq!(stats.max, Duration::from_micros(100));
+        assert!(close(stats.total, 5050), "total {:?}", stats.total);
+    }
+
+    #[test]
+    fn empty_histogram_stats_are_zeroed() {
+        let stats = LatencyStats::from_histogram(&Histogram::new());
+        assert_eq!(stats.samples, 0);
+        assert_eq!(stats.p50, Duration::ZERO);
+        assert_eq!(stats.max, Duration::ZERO);
+        assert_eq!(stats.total, Duration::ZERO);
     }
 
     #[test]

@@ -14,11 +14,13 @@
 
 use crate::executor::FleetExecutor;
 use crate::shard::Shard;
+use crate::telemetry::stage;
 use rankmap_core::oracle::ThroughputOracle;
 use rankmap_core::runtime::{ideal_rate_of, priorities_or_uniform, weighted_potential};
 use rankmap_models::ModelId;
 use rankmap_platform::ComponentId;
 use rankmap_sim::{Mapping, Workload};
+use rankmap_telemetry::MemoStats;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -105,11 +107,11 @@ impl ProbeMemo {
         self.groups.iter().map(HashMap::len).sum()
     }
 
-    /// `(hits, misses)` counters since construction. The fused scorer
-    /// consults the memo once per unique fingerprint per event, so these
-    /// count oracle questions saved/asked — not per-shard lookups.
-    pub(crate) fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    /// Hit/miss counters since construction. The fused scorer consults
+    /// the memo once per unique fingerprint per event, so these count
+    /// oracle questions saved/asked — not per-shard lookups.
+    pub(crate) fn stats(&self) -> MemoStats {
+        MemoStats { hits: self.hits, misses: self.misses }
     }
 
     fn evict_to_capacity(&mut self) {
@@ -305,11 +307,15 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
         // (equal-state shards fold to bit-identical scores — see
         // `crate::index`). `None` = full fan-out.
         let rep_mask: Option<Vec<bool>> = if self.config.indexed_placement {
-            self.index.refresh(&mut self.shards);
+            let refile = self.telemetry.stage(stage::INDEX_REFILE);
+            let refiled = self.index.refresh(&mut self.shards);
+            self.telemetry.finish(refile);
+            self.telemetry.count("fleet_index_refiled_total", refiled as u64);
             Some(self.index.representative_mask(exclude))
         } else {
             None
         };
+        let build = self.telemetry.stage(stage::PROBE_BUILD);
         let probes: Vec<Option<Probe>> = self.for_each_shard(|s, shard| {
             if Some(s) == exclude || rep_mask.as_ref().is_some_and(|mask| !mask[s]) {
                 None
@@ -317,6 +323,10 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                 shard.build_probe(s, model, max_per_shard)
             }
         });
+        self.telemetry.finish(build);
+        self.telemetry
+            .count("fleet_probes_built_total", probes.iter().flatten().count() as u64);
+        let scoring = self.telemetry.stage(stage::FUSED_SCORING);
         let mut scores: Vec<Option<(f64, f64)>> = vec![None; self.shards.len()];
         if !self.config.fused_scoring {
             // Serial reference: one predict_batch round-trip per shard.
@@ -326,8 +336,10 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                     shard.oracle.predict_batch(&probe.trial, &probe.candidates);
                 scores[probe.shard] = probe.fold(&shard.ideals, floor, &predictions);
             }
+            self.telemetry.finish(scoring);
             if rep_mask.is_some() {
-                self.index.broadcast(exclude, &mut scores);
+                let copied = self.index.broadcast(exclude, &mut scores);
+                self.telemetry.count("fleet_index_broadcast_total", copied as u64);
             }
             return scores;
         }
@@ -380,8 +392,10 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                     probe.fold(&self.shards[probe.shard].ideals, floor, predictions);
             }
         }
+        self.telemetry.finish(scoring);
         if rep_mask.is_some() {
-            self.index.broadcast(exclude, &mut scores);
+            let copied = self.index.broadcast(exclude, &mut scores);
+            self.telemetry.count("fleet_index_broadcast_total", copied as u64);
         }
         scores
     }
@@ -447,10 +461,10 @@ mod tests {
     fn memo_hits_refresh_recency_and_count() {
         let mut memo = ProbeMemo::new(1, 8);
         memo.insert(0, vec![9], answer(9.0));
-        assert_eq!(memo.stats(), (0, 0));
+        assert_eq!(memo.stats(), MemoStats::new());
         assert!(memo.get(0, &[9]).is_some());
         assert!(memo.get(0, &[8]).is_none());
-        assert_eq!(memo.stats(), (1, 1));
+        assert_eq!(memo.stats(), MemoStats { hits: 1, misses: 1 });
     }
 
     #[test]

@@ -69,6 +69,7 @@ use crate::executor::{FleetConfig, FleetExecutor};
 use crate::load::FleetEvent;
 use crate::metrics::{FleetMetrics, LatencyStats, PlacementRecord};
 use crate::spec::FleetSpec;
+use crate::telemetry::TelemetrySnapshot;
 use crate::trace::Trace;
 use rankmap_core::oracle::ThroughputOracle;
 use rankmap_core::runtime::TimelinePoint;
@@ -94,6 +95,12 @@ pub struct FleetOutcome {
     /// [`FleetMetrics`] (the *simulated* evacuation cost is
     /// [`FleetMetrics::evacuation_stall_seconds`]).
     pub evacuation_latency: LatencyStats,
+    /// Everything the run's telemetry collected — registry, flight
+    /// recorder, per-shard time series (see
+    /// [`crate::telemetry::TelemetrySnapshot`]). `None` when
+    /// [`FleetConfig::telemetry`] was disabled. Enabled or disabled, the
+    /// deterministic fields above are bit-identical.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// A fleet of emulated boards behind one admission/placement layer.
@@ -175,15 +182,29 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
         &self.executor.platforms
     }
 
-    /// `(hits, misses)` of the fused scorer's cross-event probe memo —
+    /// Hit/miss counters of the fused scorer's cross-event probe memo —
     /// observability for tests and benches (the memo is LRU-bounded by
     /// [`FleetConfig::probe_memo_capacity`]; hits answer a probe without
     /// an oracle call and are bit-identical to recomputing it). Counters
     /// tally unique oracle questions per event: shards sharing a
     /// deduplicated probe count once, so the hit ratio reflects actual
     /// oracle-call savings.
-    pub fn probe_memo_stats(&self) -> (u64, u64) {
+    pub fn probe_memo_stats(&self) -> rankmap_telemetry::MemoStats {
         self.executor.probe_memo.stats()
+    }
+
+    /// A point-in-time telemetry snapshot — the registry with probe-memo
+    /// and plan-cache totals overlaid, the flight recorder's retained
+    /// window, and the per-shard time series collected so far. `None`
+    /// when [`FleetConfig::telemetry`] is disabled. A finished run's
+    /// snapshot rides on [`FleetOutcome::telemetry`] instead.
+    pub fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        self.executor.telemetry.snapshot(
+            &self.executor.probe_memo,
+            &self.executor.shards,
+            None,
+            None,
+        )
     }
 
     /// Boots shard plan caches from a
@@ -585,9 +606,9 @@ mod tests {
         let oracle = AnalyticalOracle::new(&p);
         let mut fleet = FleetRuntime::homogeneous(&p, &oracle, 2, quick_config());
         let first = fleet.probe_scores(ModelId::AlexNet);
-        let (hits_after_first, _) = fleet.probe_memo_stats();
+        let hits_after_first = fleet.probe_memo_stats().hits;
         let second = fleet.probe_scores(ModelId::AlexNet);
-        let (hits_after_second, _) = fleet.probe_memo_stats();
+        let hits_after_second = fleet.probe_memo_stats().hits;
         assert_eq!(first, second, "an unchanged fleet scores identically");
         assert!(
             hits_after_second > hits_after_first,

@@ -177,7 +177,7 @@ fn plan_cache_entries_never_hit_across_platforms() {
     // workload set is a miss, not a stale cross-platform hit.
     let plan = jetson_mgr.map_cached(&w, &PriorityMode::Dynamic);
     assert!(plan.evaluations > 0, "the Jetson must search, not serve an Orange Pi plan");
-    assert_eq!(jetson_mgr.plan_cache_stats().0, 0, "no cross-platform hits");
+    assert_eq!(jetson_mgr.plan_cache_stats().hits, 0, "no cross-platform hits");
     // Even a speed-binned clone of the same board is a different
     // platform identity: same component count, same names, different
     // capability numbers.

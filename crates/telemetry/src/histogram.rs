@@ -1,0 +1,358 @@
+//! Log-bucketed histogram with exact-merge semantics and deterministic
+//! percentiles.
+//!
+//! The bucket of a value is derived **directly from its IEEE-754 bit
+//! pattern** — biased exponent plus the top `SUB_BITS` mantissa bits —
+//! never from `log2()` (whose libm rounding may differ across hosts), so
+//! bucketing is bit-deterministic everywhere. Each octave is split into
+//! `2^SUB_BITS = 32` sub-buckets, bounding the relative quantization
+//! error of any derived statistic to one sub-bucket width (≈ 3%).
+//!
+//! The whole histogram state is a **commutative monoid of exact values**:
+//! bucket counts are integers, `min`/`max` fold with `total_cmp`, and
+//! there is deliberately *no* floating-point running sum. Merging two
+//! histograms therefore loses nothing (no resampling, no interpolation —
+//! unlike a t-digest) and is exactly associative and commutative: any
+//! merge order of any partition of the samples produces a bit-identical
+//! histogram, and hence bit-identical percentiles (property held by the
+//! tests below). Sums and means are *derived* from the bucket counts, so
+//! they inherit the same merge-order independence at the cost of the
+//! quantization error.
+
+use std::collections::BTreeMap;
+
+/// Mantissa bits kept per bucket: 32 sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUBS: u32 = 1 << SUB_BITS;
+
+/// Bucket index of a value.
+///
+/// * Index `0` holds everything that is not a positive finite normal
+///   number: zero, negatives, NaN, and subnormals (all reported back as
+///   `0.0`). Telemetry values (durations, rates, potentials) are
+///   non-negative, so the floor bucket is the "nothing measurable" bin.
+/// * `+inf` clamps into the top finite bucket.
+/// * A positive normal `v` lands in
+///   `biased_exponent(v) * SUBS + top_mantissa_bits(v)` — pure bit
+///   arithmetic, so two hosts can never disagree on a bucket.
+fn bucket_index(v: f64) -> u32 {
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7FF) as u32;
+    if exp == 0 {
+        return 0; // subnormal: below any meaningful telemetry resolution
+    }
+    if exp == 0x7FF {
+        return 0x7FE * SUBS + (SUBS - 1); // +inf clamps to the top bucket
+    }
+    let sub = ((bits >> (52 - SUB_BITS)) as u32) & (SUBS - 1);
+    exp * SUBS + sub
+}
+
+/// The lower bound of bucket `index` (`0.0` for the floor bucket) —
+/// reconstructed exactly from the index by the inverse bit arithmetic.
+fn bucket_lower(index: u32) -> f64 {
+    if index < SUBS {
+        return 0.0;
+    }
+    let exp = (index / SUBS) as u64;
+    let sub = (index % SUBS) as u64;
+    f64::from_bits((exp << 52) | (sub << (52 - SUB_BITS)))
+}
+
+/// The deterministic representative of bucket `index`: the midpoint of
+/// its `[lower, upper)` range (the floor bucket reports `0.0`).
+fn bucket_mid(index: u32) -> f64 {
+    if index < SUBS {
+        return 0.0;
+    }
+    // The next index's lower bound is this bucket's exclusive upper bound
+    // (the bit layout makes consecutive indices adjacent ranges).
+    (bucket_lower(index) + bucket_lower(index + 1)) / 2.0
+}
+
+/// A log-bucketed histogram of non-negative samples.
+///
+/// See the module docs for the bucketing scheme and the exact-merge
+/// argument. `PartialEq` compares the full state, so "any merge order
+/// yields the same histogram" is checkable with `==`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    /// Sparse bucket counts, ordered by bucket index.
+    buckets: BTreeMap<u32, u64>,
+    /// Total recorded samples.
+    count: u64,
+    /// Exact smallest recorded sample (`None` when empty).
+    min: Option<f64>,
+    /// Exact largest recorded sample (`None` when empty).
+    max: Option<f64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples in one bucket update.
+    pub fn record_n(&mut self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.buckets.entry(bucket_index(v)).or_insert(0) += n;
+        self.count += n;
+        self.min = Some(match self.min {
+            Some(m) if m.total_cmp(&v).is_le() => m,
+            _ => v,
+        });
+        self.max = Some(match self.max {
+            Some(m) if m.total_cmp(&v).is_ge() => m,
+            _ => v,
+        });
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest recorded sample.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Exact largest recorded sample.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// The `p`-th percentile (`0..=100`), `None` when empty.
+    ///
+    /// This is the order statistic at rank `(count - 1) · p / 100`
+    /// (integer arithmetic — the same convention as a sorted-vector
+    /// quantile), answered by the representative of the bucket holding
+    /// that rank. Because it is a pure function of the bucket counts, it
+    /// is bit-identical for any merge order of any partition of the
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p > 100`.
+    pub fn percentile(&self, p: u32) -> Option<f64> {
+        assert!(p <= 100, "a percentile is in 0..=100");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (self.count - 1) * (p as u64) / 100;
+        let mut seen = 0u64;
+        for (&index, &n) in &self.buckets {
+            seen += n;
+            if seen > rank {
+                // Exact extremes beat the bucket quantization at the ends.
+                if p == 0 {
+                    return self.min;
+                }
+                if p == 100 {
+                    return self.max;
+                }
+                return Some(bucket_mid(index));
+            }
+        }
+        unreachable!("counts sum to count")
+    }
+
+    /// Approximate sum of all samples: Σ `bucket_mid · count` over the
+    /// buckets. Within one sub-bucket width (≈ 3%) of the true sum, and —
+    /// unlike a running float sum — exactly merge-order independent.
+    pub fn approx_sum(&self) -> f64 {
+        self.buckets.iter().map(|(&i, &n)| bucket_mid(i) * n as f64).sum()
+    }
+
+    /// Approximate mean ([`Histogram::approx_sum`] over the count).
+    pub fn approx_mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.approx_sum() / self.count as f64)
+    }
+
+    /// Folds `other` into `self`. Exact: the result is bit-identical to
+    /// the histogram that would have recorded both sample sets directly,
+    /// in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&index, &n) in &other.buckets {
+            *self.buckets.entry(index).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(if a.total_cmp(&b).is_le() { a } else { b }),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(if a.total_cmp(&b).is_ge() { a } else { b }),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// The non-empty buckets as `(lower bound, representative, count)`,
+    /// in increasing value order — the exporters' iteration.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        self.buckets.iter().map(|(&i, &n)| (bucket_lower(i), bucket_mid(i), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_bit_prefixes() {
+        // A power of two starts its own bucket: 1.0 and the largest
+        // double below it land in different buckets...
+        let below_one = f64::from_bits(1.0f64.to_bits() - 1);
+        assert_ne!(bucket_index(1.0), bucket_index(below_one));
+        // ...and the bucket's lower bound reconstructs exactly.
+        assert_eq!(bucket_lower(bucket_index(1.0)), 1.0);
+        // Values sharing exponent + top-5 mantissa bits share a bucket.
+        assert_eq!(bucket_index(1.0), bucket_index(1.03));
+        // One sub-bucket up (1 + 1/32 = 1.03125) is the next bucket, and
+        // the boundary value itself belongs to the upper bucket.
+        assert_eq!(bucket_index(1.03125), bucket_index(1.0) + 1);
+        assert_eq!(bucket_lower(bucket_index(1.03125)), 1.03125);
+        // Monotone across magnitudes.
+        let mut last = 0;
+        for v in [1e-9, 1e-3, 0.5, 1.0, 2.0, 3.0, 1e3, 1e9, 1e300] {
+            let b = bucket_index(v);
+            assert!(b > last, "{v} must land above the previous magnitude");
+            last = b;
+            assert!(bucket_lower(b) <= v && v < bucket_lower(b + 1), "{v} within its bucket");
+        }
+    }
+
+    #[test]
+    fn floor_bucket_absorbs_non_measurables() {
+        for v in [0.0, -1.0, -0.0, f64::NAN, f64::MIN_POSITIVE / 2.0] {
+            assert_eq!(bucket_index(v), 0, "{v} belongs to the floor bucket");
+        }
+        assert_eq!(bucket_mid(0), 0.0);
+        // +inf clamps to the top finite bucket instead of a phantom one.
+        assert!(bucket_lower(bucket_index(f64::INFINITY)).is_finite());
+    }
+
+    #[test]
+    fn empty_histogram_reports_nothing() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(50), None);
+        assert_eq!(h.approx_sum(), 0.0);
+        assert_eq!(h.approx_mean(), None);
+        // Merging empties stays empty; merging into an empty copies.
+        let mut a = Histogram::new();
+        a.merge(&h);
+        assert!(a.is_empty());
+        let mut b = Histogram::new();
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_order_statistics() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.count(), 100);
+        // Rank convention matches a sorted vector's (len-1)*p/100 index;
+        // the answer is the holding bucket's midpoint, within one
+        // sub-bucket (≈3%) of the exact order statistic.
+        for (p, exact) in [(50u32, 50.0f64), (90, 90.0), (99, 99.0)] {
+            let got = h.percentile(p).unwrap();
+            assert!(
+                (got - exact).abs() / exact < 0.04,
+                "p{p}: {got} vs exact {exact}"
+            );
+        }
+        // The extremes are exact, not quantized.
+        assert_eq!(h.percentile(0), Some(1.0));
+        assert_eq!(h.percentile(100), Some(100.0));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=100")]
+    fn percentile_over_100_is_rejected() {
+        Histogram::new().percentile(101);
+    }
+
+    #[test]
+    fn merge_is_exactly_associative_and_commutative() {
+        // Three parts with awkward values (boundaries, floor-bucket
+        // members, huge magnitudes). Every merge order must produce a
+        // bit-identical histogram — full `==` on the state, percentiles
+        // included.
+        let part = |vals: &[f64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = part(&[1.0, 1.03125, 0.0, 5.5e-12]);
+        let b = part(&[2.0, 1.0, 1e300, 7.0]);
+        let c = part(&[0.25, 1.0, 3.0]);
+        let fold = |order: &[&Histogram]| {
+            let mut acc = Histogram::new();
+            for h in order {
+                acc.merge(h);
+            }
+            acc
+        };
+        let abc = fold(&[&a, &b, &c]);
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) == c ⊕ b ⊕ a == ...
+        for order in [
+            vec![&a, &c, &b],
+            vec![&b, &a, &c],
+            vec![&b, &c, &a],
+            vec![&c, &a, &b],
+            vec![&c, &b, &a],
+        ] {
+            let merged = fold(&order);
+            assert_eq!(merged, abc, "merge order changed the histogram");
+            assert_eq!(merged.percentile(50), abc.percentile(50));
+            assert_eq!(merged.percentile(99), abc.percentile(99));
+        }
+        // And the merged histogram equals recording everything directly.
+        let direct = part(&[
+            1.0, 1.03125, 0.0, 5.5e-12, 2.0, 1.0, 1e300, 7.0, 0.25, 1.0, 3.0,
+        ]);
+        assert_eq!(direct, abc, "merge must equal direct recording");
+    }
+
+    #[test]
+    fn record_n_equals_n_records() {
+        let mut a = Histogram::new();
+        a.record_n(3.7, 4);
+        let mut b = Histogram::new();
+        for _ in 0..4 {
+            b.record(3.7);
+        }
+        assert_eq!(a, b);
+        a.record_n(1.0, 0); // a zero batch is a no-op
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,193 @@
+//! A bounded structured-event flight recorder.
+//!
+//! The recorder keeps the last `capacity` structured records in a ring,
+//! each stamped with a monotone sequence number and the simulation time
+//! it happened at. Records can point at the record that *caused* them
+//! (`cause` = an earlier record's sequence number), which is how the
+//! fleet links `shard_down → evacuate → readmit` or
+//! `overload → shed` chains for post-mortem reading. Old records fall
+//! off the front; `dropped()` says how many, so an export is always
+//! honest about truncation.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// One structured record in the flight recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecord {
+    /// Monotone sequence number, unique within a recorder's lifetime.
+    pub seq: u64,
+    /// Simulation time the event happened at.
+    pub at: f64,
+    /// Static event kind tag (`"admit"`, `"shard_down"`, ...). Static so
+    /// recording never allocates for the tag.
+    pub kind: &'static str,
+    /// Sequence number of the record that caused this one, if any.
+    pub cause: Option<u64>,
+    /// Small key/value payload (shard ids, tiers, counts), in insertion
+    /// order.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+/// Bounded ring of [`FlightRecord`]s.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    ring: VecDeque<FlightRecord>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` records (`0` disables
+    /// retention entirely — records are counted and dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record and returns its sequence number (usable as a
+    /// later record's `cause`).
+    pub fn record(
+        &mut self,
+        at: f64,
+        kind: &'static str,
+        cause: Option<u64>,
+        fields: Vec<(&'static str, String)>,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return seq;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(FlightRecord { seq, at, kind, cause, fields });
+        seq
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &FlightRecord> + '_ {
+        self.ring.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Records that fell off the front (or were never retained).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total records ever appended.
+    pub fn total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The retained record with sequence number `seq`, if still in the
+    /// ring — resolves a `cause` link back to its source.
+    pub fn find(&self, seq: u64) -> Option<&FlightRecord> {
+        // Ring is seq-ordered; the front record's seq gives the offset.
+        let front = self.ring.front()?.seq;
+        let idx = seq.checked_sub(front)? as usize;
+        self.ring.get(idx)
+    }
+
+    /// Renders the retained records as JSON Lines, oldest first:
+    /// `{"seq":..,"at":..,"kind":..,"cause":..,  <fields...>}`.
+    /// Field values render as JSON strings (they are short identifiers
+    /// or formatted numbers).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.ring {
+            let _ = write!(out, "{{\"seq\":{},\"at\":{},\"kind\":\"{}\"", r.seq, r.at, r.kind);
+            match r.cause {
+                Some(c) => {
+                    let _ = write!(out, ",\"cause\":{c}");
+                }
+                None => {
+                    let _ = write!(out, ",\"cause\":null");
+                }
+            }
+            for (k, v) in &r.fields {
+                let _ = write!(out, ",\"{k}\":\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_numbers_are_monotone_and_causal_links_resolve() {
+        let mut fr = FlightRecorder::new(8);
+        let down = fr.record(1.0, "shard_down", None, vec![("shard", "2".into())]);
+        let evac = fr.record(1.0, "evacuate", Some(down), vec![("moved", "5".into())]);
+        assert_eq!(down + 1, evac);
+        let rec = fr.find(evac).unwrap();
+        assert_eq!(rec.cause, Some(down));
+        assert_eq!(fr.find(down).unwrap().kind, "shard_down");
+        assert_eq!(fr.total(), 2);
+        assert_eq!(fr.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_bounds_retention_and_counts_drops() {
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..5 {
+            fr.record(i as f64, "tick", None, vec![]);
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        assert_eq!(fr.total(), 5);
+        let seqs: Vec<u64> = fr.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        // Dropped records no longer resolve; retained ones do.
+        assert!(fr.find(1).is_none());
+        assert_eq!(fr.find(3).unwrap().at, 3.0);
+        assert!(fr.find(99).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_retaining() {
+        let mut fr = FlightRecorder::new(0);
+        let seq = fr.record(0.5, "noop", None, vec![]);
+        assert_eq!(seq, 0);
+        assert!(fr.is_empty());
+        assert_eq!(fr.dropped(), 1);
+        assert_eq!(fr.total(), 1);
+    }
+
+    #[test]
+    fn jsonl_export_renders_cause_and_fields() {
+        let mut fr = FlightRecorder::new(4);
+        let a = fr.record(0.25, "admit", None, vec![("shard", "1".into()), ("model", "resnet".into())]);
+        fr.record(0.5, "shed", Some(a), vec![("tier", "low\"est".into())]);
+        let text = fr.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"admit\"") && lines[0].contains("\"cause\":null"));
+        assert!(lines[0].contains("\"shard\":\"1\"") && lines[0].contains("\"model\":\"resnet\""));
+        assert!(lines[1].contains("\"cause\":0"));
+        // Embedded quotes in field values are escaped.
+        assert!(lines[1].contains("low\\\"est"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Bounded time-series ring buffers sampled on the simulation clock.
+//!
+//! A [`RingSeries`] holds the last `capacity` `(sim_time, sample)`
+//! points for one stream (one shard, one fleet-level signal). Sampling
+//! happens at the executor's `sample_dt` cadence, so a series is a
+//! uniform-in-sim-time window into a run — enough for "when did tier
+//! derates start" questions without unbounded memory at the
+//! million-instance tier.
+
+use std::collections::VecDeque;
+
+/// Bounded ring of `(sim_time, sample)` points, oldest first.
+#[derive(Debug, Clone, Default)]
+pub struct RingSeries<T> {
+    ring: VecDeque<(f64, T)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> RingSeries<T> {
+    /// A series keeping at most `capacity` points.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a point, evicting the oldest when full.
+    pub fn push(&mut self, at: f64, sample: T) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back((at, sample));
+    }
+
+    /// Retained points, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(f64, T)> + '_ {
+        self.ring.iter()
+    }
+
+    /// Most recent point.
+    pub fn last(&self) -> Option<&(f64, T)> {
+        self.ring.back()
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no point is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Points evicted (or never retained) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_window() {
+        let mut s = RingSeries::new(3);
+        for i in 0..5 {
+            s.push(i as f64, i * 10);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        let pts: Vec<(f64, u32)> = s.iter().cloned().collect();
+        assert_eq!(pts, vec![(2.0, 20), (3.0, 30), (4.0, 40)]);
+        assert_eq!(s.last(), Some(&(4.0, 40)));
+    }
+
+    #[test]
+    fn zero_capacity_only_counts() {
+        let mut s: RingSeries<u8> = RingSeries::new(0);
+        s.push(1.0, 1);
+        assert!(s.is_empty());
+        assert_eq!(s.dropped(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Gated wall-clock stage timers.
+//!
+//! Wall time is inherently non-deterministic, so it can never feed a
+//! metric that a deterministic replay would compare. The compromise: a
+//! [`StageTimer`] only reads the clock when constructed `enabled`, and
+//! its reading goes into a *separate* wall-clock histogram family that
+//! deterministic consumers simply don't look at. Disabled timers cost
+//! one `Option` check — no clock syscall, no allocation.
+
+use std::time::Instant;
+
+use crate::registry::Registry;
+
+/// A scoped stage timer: started at construction, resolved explicitly
+/// via [`StageTimer::finish`] into a `stage_wall_seconds{stage="..."}`
+/// histogram sample.
+///
+/// The explicit `finish(&mut Registry)` (rather than a `Drop` impl)
+/// keeps borrows simple at call sites that hold the registry inside a
+/// larger `&mut self`.
+#[derive(Debug)]
+pub struct StageTimer {
+    started: Option<Instant>,
+    stage: &'static str,
+}
+
+impl StageTimer {
+    /// Starts timing `stage` if `enabled`; otherwise a free no-op.
+    pub fn start(enabled: bool, stage: &'static str) -> Self {
+        Self {
+            started: enabled.then(Instant::now),
+            stage,
+        }
+    }
+
+    /// The stage label this timer was started for.
+    pub fn stage(&self) -> &'static str {
+        self.stage
+    }
+
+    /// Stops the timer and records elapsed wall seconds into
+    /// `registry`'s `stage_wall_seconds{stage="<stage>"}` histogram.
+    /// No-op (and no clock read) when started disabled.
+    pub fn finish(self, registry: &mut Registry) {
+        if let Some(started) = self.started {
+            let key = crate::registry::labeled("stage_wall_seconds", &[("stage", self.stage)]);
+            registry.histogram_record(&key, started.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_timer_records_a_sample() {
+        let mut r = Registry::new();
+        let t = StageTimer::start(true, "apply");
+        assert_eq!(t.stage(), "apply");
+        t.finish(&mut r);
+        let h = r.histogram("stage_wall_seconds{stage=\"apply\"}").unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(h.max().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn disabled_timer_touches_nothing() {
+        let mut r = Registry::new();
+        StageTimer::start(false, "apply").finish(&mut r);
+        assert!(r.histogram("stage_wall_seconds{stage=\"apply\"}").is_none());
+        assert_eq!(r, Registry::new());
+    }
+}

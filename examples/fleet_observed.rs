@@ -1,0 +1,141 @@
+//! Observing a fleet under chaos: telemetry is switched on, a faulty
+//! load runs, and the snapshot is unpacked — Prometheus metrics, the
+//! per-shard time series, and the flight recorder's event → decision →
+//! outcome chains. The run's *decisions* are bit-identical to the same
+//! run with telemetry off (`crates/fleet/tests/telemetry.rs` proves it);
+//! everything printed here is a free observation.
+//!
+//! ```bash
+//! cargo run --release --example fleet_observed
+//! ```
+
+use rankmap::core::manager::ManagerConfig;
+use rankmap::core::oracle::AnalyticalOracle;
+use rankmap::fleet::{
+    generate, ArrivalProcess, FaultSpec, FleetConfig, FleetRuntime, LoadSpec, TelemetrySpec,
+};
+use rankmap::prelude::*;
+
+fn main() {
+    let platform = Platform::orange_pi_5();
+    let oracle = AnalyticalOracle::new(&platform);
+    let shards = 4;
+
+    // A diurnal load with a fault layer: outages and throttle episodes
+    // give the flight recorder causality chains to capture.
+    let spec = LoadSpec {
+        horizon: 600.0,
+        process: ArrivalProcess::Diurnal {
+            mean_rate: 1.0 / 15.0,
+            amplitude: 0.7,
+            period: 300.0,
+        },
+        mean_lifetime: 180.0,
+        priority_churn_rate: 1.0 / 200.0,
+        seed: 42,
+        faults: Some(FaultSpec {
+            shards,
+            mtbf: 250.0,
+            mttr: 50.0,
+            throttle_rate: 1.0 / 200.0,
+            seed: 7,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let events = generate(&spec);
+
+    // Telemetry on is one config field. `TelemetrySpec::on()` keeps the
+    // wall clock out of the registry so exports replay byte-stable; add
+    // `.with_wall_clock()` to also time stages on the host clock.
+    let config = FleetConfig {
+        manager: ManagerConfig {
+            mcts_iterations: 120,
+            warm_iterations: 60,
+            ..Default::default()
+        },
+        retry_limit: 1,
+        telemetry: TelemetrySpec::on(),
+        ..Default::default()
+    };
+    let fleet = FleetRuntime::homogeneous(&platform, &oracle, shards, config);
+    let outcome = fleet.execute(&events, spec.horizon);
+    let snap = outcome.telemetry.as_ref().expect("telemetry was enabled");
+
+    println!(
+        "ran {} events over {:.0}s: {}/{} admitted, {} evacuated, {} shed\n",
+        events.len(),
+        spec.horizon,
+        outcome.metrics.admitted,
+        outcome.metrics.offered,
+        outcome.metrics.evacuated,
+        outcome.metrics.shed,
+    );
+
+    // 1. The registry, Prometheus-style. Counters and gauges one sample
+    //    per line; histograms as _count/_sum plus quantile samples.
+    println!("── prometheus exposition (excerpt) ──");
+    for line in snap.to_prometheus().lines().take(18) {
+        println!("{line}");
+    }
+
+    // 2. Individual reads: the snapshot overlays cache totals from the
+    //    structures that own them.
+    let r = &snap.registry;
+    println!("\n── cache effectiveness ──");
+    println!(
+        "probe memo: {} hits / {} misses ({} entries retained)",
+        r.counter("fleet_probe_memo_hits_total"),
+        r.counter("fleet_probe_memo_misses_total"),
+        r.gauge("fleet_probe_memo_entries").unwrap_or(0.0),
+    );
+    println!(
+        "plan cache: {} hits / {} misses (summed over shards)",
+        r.counter("fleet_plan_cache_hits_total"),
+        r.counter("fleet_plan_cache_misses_total"),
+    );
+
+    // 3. Per-shard time series, sampled on the simulation clock.
+    println!("\n── shard 0 time series (sim-clock samples) ──");
+    for (t, s) in snap.series[0].iter().take(8) {
+        println!(
+            "t={t:>5.0}s  live={} derate={:.2} epoch={} {}",
+            s.live,
+            s.derate,
+            s.epoch,
+            if s.down { "DOWN" } else { "up" },
+        );
+    }
+
+    // 4. The flight recorder: every outage's evacuate/shed records link
+    //    back to the shard_down that caused them via `cause`.
+    println!("\n── flight recorder (first consequential outage chain) ──");
+    // The first shard_down with linked consequences (an outage on an
+    // empty shard triages nothing and links nothing).
+    let consequential = snap.recorder.records().find(|down| {
+        down.kind == "shard_down"
+            && snap.recorder.records().any(|rec| rec.cause == Some(down.seq))
+    });
+    if let Some(down) = consequential {
+        println!("seq={} t={:.1}s {}", down.seq, down.at, down.kind);
+        for rec in snap.recorder.records().filter(|rec| rec.cause == Some(down.seq)) {
+            let fields: Vec<String> =
+                rec.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!(
+                "  └ seq={} t={:.1}s {} [{}]",
+                rec.seq,
+                rec.at,
+                rec.kind,
+                fields.join(", ")
+            );
+        }
+    } else {
+        println!("(no outage fired under this seed)");
+    }
+    println!(
+        "\n{} flight records retained ({} dropped); JSONL export: {} bytes",
+        snap.recorder.len(),
+        snap.recorder.dropped(),
+        snap.flight_jsonl().len(),
+    );
+}
