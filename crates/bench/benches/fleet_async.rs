@@ -1,0 +1,189 @@
+//! Barrier vs barrier-free control plane: the per-event barrier executor
+//! (`Parallelism::Threads`) A/B'd against the epoch-log executor
+//! (`Parallelism::Async`) at 128 and 512 shards under **fixed offered
+//! load**, written to `BENCH_fleet.json` at the workspace root.
+//!
+//! The contract mirrors `fleet_massive`'s: the two arms must produce
+//! **bit-identical** placements and metrics (speculation is an execution
+//! strategy, never a policy — asserted here before anything is recorded,
+//! and property-tested in `crates/fleet/tests/async_exec.rs`); only the
+//! wall clock may differ. The headline figure is events/sec per arm:
+//! the epoch log amortizes the probe fan over a `max_epoch_lag + 1`
+//! event lookahead window and reuses every speculative probe whose
+//! apply-time validation passes, instead of paying one full fan-out
+//! barrier per event.
+//!
+//! `RANKMAP_BENCH_SMOKE=1` shrinks the horizon and skips the 512-shard
+//! tier so CI keeps this bench compiling *and running*.
+
+use rankmap_core::json::{obj, Json};
+use rankmap_core::manager::ManagerConfig;
+use rankmap_core::oracle::AnalyticalOracle;
+use rankmap_fleet::{
+    FleetConfig, FleetOutcome, FleetRuntime, LoadSpec, LoadStream, Parallelism, Popularity,
+};
+use rankmap_platform::Platform;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var_os("RANKMAP_BENCH_SMOKE").is_some()
+}
+
+/// The epoch log's staleness bound for the barrier-free arm: a deep
+/// window so speculation batches are large, far below the executor's
+/// internal lookahead clamp.
+const MAX_EPOCH_LAG: u64 = 32;
+
+/// Fixed offered load for both fleet sizes and both arms: ~5 arrivals/s
+/// of Zipf-skewed traffic with short residencies, plus enough priority
+/// churn to exercise the speculation flush.
+fn load_spec() -> LoadSpec {
+    let horizon = if smoke() { 300.0 } else { 6_000.0 };
+    LoadSpec {
+        horizon,
+        process: rankmap_fleet::ArrivalProcess::Poisson { rate: 5.0 },
+        mean_lifetime: 40.0,
+        priority_churn_rate: 1.0 / 1_500.0,
+        seed: 29,
+        popularity: Popularity::Zipf { exponent: 1.05 },
+        ..Default::default()
+    }
+}
+
+/// Small search budgets, identical in both arms: the system under test
+/// is the control plane's event loop, not the per-board mapper.
+fn fleet_config(parallelism: Parallelism) -> FleetConfig {
+    FleetConfig {
+        manager: ManagerConfig {
+            mcts_iterations: 16,
+            warm_iterations: 8,
+            plan_cache_capacity: 512,
+            ..Default::default()
+        },
+        max_per_shard: 3,
+        sample_dt: 250.0,
+        parallelism,
+        ..Default::default()
+    }
+}
+
+struct Run {
+    outcome: FleetOutcome,
+    events: usize,
+    wall_s: f64,
+    events_per_s: f64,
+}
+
+fn run(platform: &Platform, shards: usize, parallelism: Parallelism) -> Run {
+    let oracle = AnalyticalOracle::new(platform);
+    let spec = load_spec();
+    let events = LoadStream::new(&spec).count();
+    let fleet = FleetRuntime::homogeneous(platform, &oracle, shards, fleet_config(parallelism));
+    let start = Instant::now();
+    let outcome = fleet.execute_stream(LoadStream::new(&spec), spec.horizon);
+    let wall_s = start.elapsed().as_secs_f64();
+    Run { outcome, events, wall_s, events_per_s: events as f64 / wall_s }
+}
+
+fn row(shards: usize, arm: &str, r: &Run) -> Json {
+    let m = &r.outcome.metrics;
+    obj([
+        ("shards", Json::Num(shards as f64)),
+        ("arm", Json::Str(arm.into())),
+        ("events", Json::Num(r.events as f64)),
+        ("offered", Json::Num(m.offered as f64)),
+        ("admitted", Json::Num(m.admitted as f64)),
+        ("migrations", Json::Num(m.migrations as f64)),
+        ("wall_s", Json::Num(r.wall_s)),
+        ("events_per_s", Json::Num(r.events_per_s)),
+        (
+            "placement_p50_us",
+            Json::Num(r.outcome.placement_latency.p50.as_secs_f64() * 1e6),
+        ),
+        (
+            "placement_p99_us",
+            Json::Num(r.outcome.placement_latency.p99.as_secs_f64() * 1e6),
+        ),
+    ])
+}
+
+fn print_run(label: &str, r: &Run) {
+    let m = &r.outcome.metrics;
+    println!(
+        "  {label}: {} events ({} offered, {} admitted) in {:.1}s — {:.0} events/s, \
+         placement p50 {:?} p99 {:?}",
+        r.events,
+        m.offered,
+        m.admitted,
+        r.wall_s,
+        r.events_per_s,
+        r.outcome.placement_latency.p50,
+        r.outcome.placement_latency.p99,
+    );
+}
+
+fn main() {
+    let platform = Platform::orange_pi_5();
+    let spec = load_spec();
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let barrier = Parallelism::Threads(workers);
+    let epoch_log = Parallelism::Async { workers, max_epoch_lag: MAX_EPOCH_LAG };
+    println!(
+        "fleet_async: Zipf load at {:.1}/s over {:.0}s, {workers} workers, \
+         lag bound {MAX_EPOCH_LAG} ({} mode)",
+        spec.process.mean_rate(),
+        spec.horizon,
+        if smoke() { "smoke" } else { "full" }
+    );
+
+    let tiers: &[usize] = if smoke() { &[128] } else { &[128, 512] };
+    let mut rows = Vec::new();
+    let mut speedup_128 = 0.0;
+    for &shards in tiers {
+        let b = run(&platform, shards, barrier);
+        print_run(&format!("{shards} shards, barrier  "), &b);
+        let e = run(&platform, shards, epoch_log);
+        print_run(&format!("{shards} shards, epoch log"), &e);
+        // Bit-identity comes before any figure is recorded: a control
+        // plane that trades determinism for throughput has no headline.
+        assert_eq!(
+            e.outcome.metrics, b.outcome.metrics,
+            "the epoch log changed a decision at {shards} shards — \
+             barrier-free execution must be bit-identical to the barrier"
+        );
+        assert_eq!(e.outcome.placements, b.outcome.placements);
+        assert_eq!(e.outcome.timelines, b.outcome.timelines);
+        let speedup = e.events_per_s / b.events_per_s;
+        if shards == 128 {
+            speedup_128 = speedup;
+        }
+        println!(
+            "  epoch-log/barrier events/s at {shards} shards = {speedup:.2}x ({})",
+            if speedup > 1.0 { "barrier-free wins" } else { "BARRIER FASTER" }
+        );
+        rows.push(row(shards, "barrier", &b));
+        rows.push(row(shards, "epoch_log", &e));
+    }
+
+    let report = obj([
+        ("smoke", Json::Bool(smoke())),
+        ("workers", Json::Num(workers as f64)),
+        ("max_epoch_lag", Json::Num(MAX_EPOCH_LAG as f64)),
+        (
+            "offered_load",
+            obj([
+                ("process", Json::Str("poisson+zipf".into())),
+                ("base_rate_per_s", Json::Num(spec.process.mean_rate())),
+                ("mean_lifetime_s", Json::Num(spec.mean_lifetime)),
+                ("horizon_s", Json::Num(spec.horizon)),
+                ("seed", Json::Num(spec.seed as f64)),
+            ]),
+        ),
+        ("runs", Json::Arr(rows)),
+        ("epoch_log_over_barrier_events_per_s_128", Json::Num(speedup_128)),
+        ("ab_decisions_bit_identical", Json::Bool(true)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    rankmap_bench::merge_bench_report(path, "fleet_async", report);
+    println!("wrote the fleet_async section of {path}");
+}

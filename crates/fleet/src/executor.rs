@@ -1,28 +1,48 @@
 //! The deterministic shard-parallel fleet executor.
 //!
-//! [`FleetExecutor`] owns the shards and drives the event loop. Its
-//! concurrency model is **global event barriers**: the sorted event
-//! stream is processed one event at a time, and *within* each event every
-//! piece of per-shard work — placement probes, `SetPriorities` remaps,
-//! the rebalancer's health scan, the source/destination applies of a
-//! migration, the final timeline close — fans out across up to
-//! [`Parallelism::Threads`] worker threads and joins before the next
-//! event starts. Between barriers no two threads ever touch the same
-//! shard: work is partitioned *by shard* (`&mut Shard` per worker), the
-//! shards are owned `Send` state, and results are merged back in
-//! canonical shard order.
+//! [`FleetExecutor`] owns the shards and drives the event loop. Two
+//! concurrency models share one decision path:
+//!
+//! * **Global event barriers** ([`Parallelism::Threads`]): the sorted
+//!   event stream is processed one event at a time, and *within* each
+//!   event every piece of per-shard work — placement probes,
+//!   `SetPriorities` remaps, the rebalancer's health scan, the
+//!   source/destination applies of a migration, the final timeline
+//!   close — fans out across up to `n` worker threads and joins before
+//!   the next event starts.
+//! * **The epoch log** ([`Parallelism::Async`]): the executor pulls a
+//!   *window* of up to `max_epoch_lag + 1` events of the shared ordered
+//!   log ahead of the apply cursor and speculatively scores every
+//!   buffered arrival against the current — soon to be slightly stale —
+//!   shard snapshots in one parallel fan, each probe stamped with its
+//!   shard's epoch counter and placement class key (see
+//!   `crate::speculate`). Applies still proceed in strict log order;
+//!   at apply time each speculative probe is validated per shard (epoch
+//!   unchanged → reuse; lag within the bound and class key equal →
+//!   revalidate and reuse; otherwise re-probe fresh), so one slow
+//!   shard's remap no longer stalls the probe work of every event
+//!   behind it at a per-event barrier.
+//!
+//! In both modes no two threads ever touch the same shard: work is
+//! partitioned *by shard* (`&mut Shard` per worker), the shards are
+//! owned `Send` state, and results are merged back in canonical shard
+//! order.
 //!
 //! **Determinism argument.** Every per-shard computation is a pure
 //! function of that shard's state (sessions, mappers and oracles are
 //! deterministic given their seeds), the merge order is the canonical
 //! shard index — never completion order — and cross-shard decisions
-//! (admission, rebalance victim/destination) are taken serially at the
-//! barrier from the merged score vector exactly as the sequential
-//! reference does. No floating-point sum ever changes its association
-//! order, so [`Parallelism::Threads`] with *any* `n` produces placements,
-//! timelines, metrics, and trace replays **bit-identical** to
+//! (admission, rebalance victim/destination) are taken serially from the
+//! merged score vector exactly as the sequential reference does. A
+//! reused speculative probe is bit-identical to a fresh build — the
+//! epoch/class-key validation proves its snapshot is (still, or again)
+//! the live shard state, and `build_probe` is a pure function of that
+//! state. No floating-point sum ever changes its association order, so
+//! [`Parallelism::Threads`] with *any* `n` and [`Parallelism::Async`]
+//! with *any* worker count and lag bound produce placements, timelines,
+//! metrics, and trace replays **bit-identical** to
 //! [`Parallelism::Sequential`] (property-tested in
-//! `crates/fleet/tests/parallel.rs`).
+//! `crates/fleet/tests/parallel.rs` and `crates/fleet/tests/async_exec.rs`).
 
 use crate::index::PlacementIndex;
 use crate::load::{FleetEvent, RequestId};
@@ -31,6 +51,7 @@ use crate::placement::{ProbeMemo, PROBE_MEMO_BOUND};
 use crate::runtime::FleetOutcome;
 use crate::shard::Shard;
 use crate::spec::FleetSpec;
+use crate::speculate::{SpecEntry, SpeculationCache};
 use crate::telemetry::{stage, FleetTelemetry, TelemetrySpec};
 use rankmap_core::dataset::ideal_rates;
 use rankmap_core::manager::{ManagerConfig, RankMapManager};
@@ -42,25 +63,52 @@ use rankmap_core::runtime::{
 };
 use rankmap_models::ModelId;
 use rankmap_telemetry::Histogram;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
-/// How shard work between event barriers is executed.
+/// Upper bound on the epoch log's lookahead window (events buffered and
+/// speculatively scored ahead of the apply cursor). `max_epoch_lag`
+/// beyond it still governs apply-time validation — only prefetch depth
+/// is clamped, bounding speculation memory at any lag bound.
+pub(crate) const LOOKAHEAD_BOUND: u64 = 256;
+
+/// How shard work is executed.
 ///
-/// Both modes run the *same* decision logic over the shards in canonical
-/// order and are bit-identical by construction (and by property test);
-/// the choice only decides whether per-shard work items are spread across
-/// worker threads.
+/// Every mode runs the *same* decision logic over the shards in canonical
+/// order and is bit-identical to [`Parallelism::Sequential`] by
+/// construction (and by property test); the choice only decides whether
+/// per-shard work items are spread across worker threads — and, for
+/// [`Parallelism::Async`], whether probe work may run ahead of the apply
+/// cursor instead of waiting at a per-event barrier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Parallelism {
     /// Advance every shard in turn on the calling thread — the reference
-    /// implementation the parallel path is measured against.
+    /// implementation and the determinism oracle the other modes are
+    /// measured against.
     Sequential,
-    /// Fan per-shard work across up to `n` worker threads between
-    /// barriers (`Threads(1)` is the serial schedule on the executor's
-    /// code path; `n` is not clamped to the host's core count, so an
-    /// oversubscribed width still exercises real concurrency).
+    /// Fan per-shard work across up to `n` worker threads between global
+    /// event barriers (`Threads(1)` is the serial schedule on the
+    /// executor's code path; `n` is not clamped to the host's core count,
+    /// so an oversubscribed width still exercises real concurrency).
     Threads(usize),
+    /// Barrier-free epoch-log execution: up to `max_epoch_lag + 1`
+    /// events are pulled ahead of the apply cursor and their arrivals
+    /// speculatively probe-scored against current shard snapshots across
+    /// `workers` threads; each speculative probe is validated at apply
+    /// time against the shard's epoch counter and placement class key,
+    /// and re-probed fresh on staleness beyond
+    /// [`FleetConfig::max_epoch_lag`] or a failed validation (see
+    /// `crate::speculate`). `Async { workers, max_epoch_lag: 0 }`
+    /// degenerates to the per-event barrier schedule of
+    /// `Threads(workers)`.
+    Async {
+        /// Fan-out width of every per-shard barrier and speculation fan.
+        workers: usize,
+        /// Staleness bound: how many shard epochs a speculative probe may
+        /// lag the live state and still be revalidated (by class key)
+        /// instead of unconditionally rebuilt.
+        max_epoch_lag: u64,
+    },
 }
 
 impl Parallelism {
@@ -69,7 +117,31 @@ impl Parallelism {
         match self {
             Parallelism::Sequential => 1,
             Parallelism::Threads(n) => n.max(1),
+            Parallelism::Async { workers, .. } => workers.max(1),
         }
+    }
+
+    /// How many events the executor pulls ahead of the apply cursor —
+    /// the epoch log's speculation window. 0 under the barrier modes.
+    pub(crate) fn lookahead(self) -> u64 {
+        match self {
+            Parallelism::Async { max_epoch_lag, .. } => max_epoch_lag.min(LOOKAHEAD_BOUND),
+            _ => 0,
+        }
+    }
+
+    /// The staleness bound of apply-time validation (see
+    /// [`Parallelism::Async`]); 0 under the barrier modes.
+    pub fn max_epoch_lag(self) -> u64 {
+        match self {
+            Parallelism::Async { max_epoch_lag, .. } => max_epoch_lag,
+            _ => 0,
+        }
+    }
+
+    /// Whether this mode speculates ahead of the apply cursor.
+    pub(crate) fn is_async(self) -> bool {
+        matches!(self, Parallelism::Async { .. })
     }
 }
 
@@ -115,9 +187,10 @@ pub struct FleetConfig {
     /// `predict_batch` call per shard. Decisions are bit-identical either
     /// way; `false` keeps the serial path for A/B benchmarking.
     pub fused_scoring: bool,
-    /// How shard work between event barriers is executed (see
-    /// [`Parallelism`]). [`Parallelism::Sequential`] is the reference
-    /// implementation; `Threads(n)` is bit-identical to it.
+    /// How shard work is executed (see [`Parallelism`]).
+    /// [`Parallelism::Sequential`] is the reference implementation;
+    /// `Threads(n)` and `Async { workers, max_epoch_lag }` are
+    /// bit-identical to it for any width and lag bound.
     pub parallelism: Parallelism,
     /// LRU bound on the fused scorer's cross-event probe memo (entries
     /// across all platform groups; each entry is one probe's candidate
@@ -165,6 +238,17 @@ pub struct FleetConfig {
     /// [`FleetMetrics`] are bit-identical — telemetry lives strictly off
     /// the decision path (property-tested in `tests/telemetry.rs`).
     pub telemetry: TelemetrySpec,
+}
+
+impl FleetConfig {
+    /// The configured staleness bound of the epoch-log executor: how many
+    /// shard epochs a speculative probe may lag the live state before it
+    /// is unconditionally rebuilt at apply time (0 under the barrier
+    /// modes, where nothing is ever scored ahead of an apply). Set via
+    /// [`Parallelism::Async`] on [`FleetConfig::parallelism`].
+    pub fn max_epoch_lag(&self) -> u64 {
+        self.parallelism.max_epoch_lag()
+    }
 }
 
 impl Default for FleetConfig {
@@ -307,6 +391,13 @@ pub struct FleetExecutor<'p, O: ThroughputOracle> {
     /// The observability collector behind [`FleetConfig::telemetry`] —
     /// strictly off the decision path (inert when disabled).
     pub(crate) telemetry: FleetTelemetry,
+    /// Speculative probes of the epoch log's current lookahead window
+    /// (empty under the barrier modes — see `crate::speculate`).
+    pub(crate) spec: SpeculationCache,
+    /// Last observed apply-time staleness per shard (epochs), fed to the
+    /// telemetry sampler's `fleet_shard_epoch_lag` gauge — observability
+    /// only, never read by a decision.
+    pub(crate) epoch_lags: Vec<u64>,
     pub(crate) shards: Vec<Shard<'p, O>>,
 }
 
@@ -366,6 +457,8 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
             platforms: spec.platform_names(),
             index: PlacementIndex::new(shards.len()),
             telemetry: FleetTelemetry::new(config.telemetry, shards.len(), config.sample_dt),
+            spec: SpeculationCache::default(),
+            epoch_lags: vec![0; shards.len()],
             config,
             shards,
         }
@@ -413,6 +506,65 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
         for_each_shard(self.config.parallelism, &mut self.shards, f)
     }
 
+    /// The epoch log's speculation fan: scores every arrival of the
+    /// freshly pulled lookahead window against the current shard
+    /// snapshots in one parallel pass, stamping each probe with its
+    /// shard's epoch and placement class key for apply-time validation
+    /// (see `crate::speculate`). Under indexed placement only the
+    /// current class representatives build probes — the same shards the
+    /// apply-time fan would consult; a representative that changes class
+    /// before its entry is consumed simply falls back to a fresh build.
+    ///
+    /// Speculation only touches pure, invalidation-tracked shard memos
+    /// (trial workloads, current-state snapshots) — never an epoch — so
+    /// it is decision-neutral by construction.
+    fn speculate(&mut self, jobs: &[(RequestId, ModelId)]) {
+        let max_per_shard = self.config.max_per_shard;
+        let rep_mask: Option<Vec<bool>> = if self.config.indexed_placement {
+            let refile = self.telemetry.stage(stage::INDEX_REFILE);
+            let refiled = self.index.refresh(&mut self.shards);
+            self.telemetry.finish(refile);
+            self.telemetry.count("fleet_index_refiled_total", refiled as u64);
+            Some(self.index.representative_mask(None))
+        } else {
+            None
+        };
+        let timer = self.telemetry.stage(stage::SPECULATE);
+        // Shard-major fan: each worker stamps its shard's snapshot
+        // identity once and builds one probe per buffered arrival.
+        let per_shard: Vec<Vec<Option<SpecEntry>>> =
+            for_each_shard(self.config.parallelism, &mut self.shards, |s, shard| {
+                if rep_mask.as_ref().is_some_and(|mask| !mask[s]) {
+                    return jobs.iter().map(|_| None).collect();
+                }
+                let epoch = shard.epoch();
+                let class_key = shard.placement_class_key();
+                jobs.iter()
+                    .map(|&(_, model)| {
+                        Some(SpecEntry {
+                            probe: shard.build_probe(s, model, max_per_shard),
+                            epoch,
+                            class_key: class_key.clone(),
+                        })
+                    })
+                    .collect()
+            });
+        self.telemetry.finish(timer);
+        // Transpose to request-major and file into the cache.
+        let mut per_job: Vec<Vec<Option<SpecEntry>>> =
+            jobs.iter().map(|_| Vec::with_capacity(per_shard.len())).collect();
+        for shard_entries in per_shard {
+            for (j, entry) in shard_entries.into_iter().enumerate() {
+                per_job[j].push(entry);
+            }
+        }
+        for (&(request, _), entries) in jobs.iter().zip(per_job) {
+            self.spec.insert(request, entries);
+        }
+        self.telemetry.count("fleet_spec_batches_total", 1);
+        self.telemetry.count("fleet_spec_probes_total", jobs.len() as u64);
+    }
+
     /// One admission attempt for `request` at time `t` — a fresh arrival
     /// (`attempt == 0`) or a scheduled retry. A rejection with retries
     /// remaining re-enqueues the request with doubled backoff; one whose
@@ -429,7 +581,11 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
     ) {
         let window = self.config.decision_window;
         let started = Instant::now();
-        let decision = self.place(model);
+        // The epoch log may have scored this arrival ahead of the apply
+        // cursor; the entries are consumed exactly once (retries re-probe
+        // fresh) and validated per shard inside the scoring fan.
+        let speculated = self.spec.take(&request);
+        let decision = self.place(model, speculated);
         state.latencies.record(started.elapsed().as_secs_f64());
         match decision {
             Some((s, delta)) => {
@@ -558,7 +714,13 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
             FleetEvent::SetPriorities { mode, .. } => {
                 // A priority rotation re-maps *every* shard — the
                 // widest barrier of the event loop, fanned across the
-                // worker pool.
+                // worker pool. It also invalidates every speculative
+                // probe: the priority mode is a `build_probe` input the
+                // placement class key deliberately omits (it never
+                // differs between shards), so apply-time validation
+                // cannot see a mode change — the flush makes sure no
+                // pre-rotation probe survives to be validated at all.
+                self.spec.flush();
                 let timer = self.telemetry.stage(stage::REMAP);
                 let ev = [DynamicEvent::SetPriorities { at: t, mode: mode.clone() }];
                 for_each_shard(self.config.parallelism, &mut self.shards, |_, shard| {
@@ -645,7 +807,13 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
     where
         I: IntoIterator<Item = FleetEvent>,
     {
-        let mut events = events.into_iter().peekable();
+        let mut events = events.into_iter();
+        // The epoch log's lookahead window: barrier modes keep it at one
+        // event (pull one, apply one — the classic loop); `Async` pulls
+        // up to `max_epoch_lag + 1` events and speculatively scores the
+        // batch's arrivals in one parallel fan before any of them apply.
+        let window_len = self.config.parallelism.lookahead() as usize + 1;
+        let mut buffer: VecDeque<FleetEvent> = VecDeque::with_capacity(window_len);
         let mut last_at = f64::NEG_INFINITY;
         let mut state = RunState::new(self.shards.len());
         let mut offered = 0u64;
@@ -654,8 +822,46 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
         // strictly earlier). Every action is followed by the rebalance
         // and overload-guard barriers, exactly like a stream event.
         loop {
+            if buffer.is_empty() {
+                // Refill the window. Validation (sortedness, horizon
+                // bounds, shard indices) happens as events are pulled,
+                // with the same panic messages as before the epoch log.
+                while buffer.len() < window_len {
+                    let Some(event) = events.next() else { break };
+                    assert!(event.at() >= last_at, "fleet events must be sorted by time");
+                    assert!(
+                        (0.0..horizon).contains(&event.at()),
+                        "fleet events must lie within [0, horizon)"
+                    );
+                    if let FleetEvent::ShardDown { shard, .. }
+                    | FleetEvent::ShardUp { shard, .. }
+                    | FleetEvent::ShardThrottle { shard, .. } = &event
+                    {
+                        assert!(
+                            *shard < self.shards.len(),
+                            "fault events must name shards within the fleet"
+                        );
+                    }
+                    last_at = event.at();
+                    buffer.push_back(event);
+                }
+                if self.config.parallelism.is_async() && !buffer.is_empty() {
+                    let jobs: Vec<(RequestId, ModelId)> = buffer
+                        .iter()
+                        .filter_map(|event| match event {
+                            FleetEvent::Arrive { request, model, .. } => {
+                                Some((*request, *model))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    if !jobs.is_empty() {
+                        self.speculate(&jobs);
+                    }
+                }
+            }
             let retry = state.next_retry();
-            let take_retry = match (retry, events.peek()) {
+            let take_retry = match (retry, buffer.front()) {
                 (Some(i), Some(e)) => state.pending_retries[i].at <= e.at(),
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
@@ -679,22 +885,7 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                     &mut state,
                 );
             } else {
-                let event = events.next().expect("peeked above");
-                assert!(event.at() >= last_at, "fleet events must be sorted by time");
-                assert!(
-                    (0.0..horizon).contains(&event.at()),
-                    "fleet events must lie within [0, horizon)"
-                );
-                if let FleetEvent::ShardDown { shard, .. }
-                | FleetEvent::ShardUp { shard, .. }
-                | FleetEvent::ShardThrottle { shard, .. } = &event
-                {
-                    assert!(
-                        *shard < self.shards.len(),
-                        "fault events must name shards within the fleet"
-                    );
-                }
-                last_at = event.at();
+                let event = buffer.pop_front().expect("checked non-empty above");
                 if matches!(event, FleetEvent::Arrive { .. }) {
                     offered += 1;
                 }
@@ -721,8 +912,12 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
             // The sampling hook runs last, on the post-barrier fleet. It
             // only reads memoized pure shard state, so enabled-vs-
             // disabled runs stay bit-identical.
-            self.telemetry
-                .maybe_sample(t, &mut self.shards, &state.per_shard_admitted);
+            self.telemetry.maybe_sample(
+                t,
+                &mut self.shards,
+                &state.per_shard_admitted,
+                &self.epoch_lags,
+            );
         }
         // The closing barrier: every shard's last open segment is closed
         // (and its timeline samples emitted) concurrently, then collected
@@ -804,5 +999,29 @@ mod tests {
         assert_eq!(Parallelism::Sequential.width(), 1);
         assert_eq!(Parallelism::Threads(0).width(), 1);
         assert_eq!(Parallelism::Threads(6).width(), 6);
+        assert_eq!(Parallelism::Async { workers: 0, max_epoch_lag: 4 }.width(), 1);
+        assert_eq!(Parallelism::Async { workers: 3, max_epoch_lag: 4 }.width(), 3);
+    }
+
+    #[test]
+    fn lookahead_is_async_only_and_bounded() {
+        assert_eq!(Parallelism::Sequential.lookahead(), 0);
+        assert_eq!(Parallelism::Threads(8).lookahead(), 0);
+        assert_eq!(Parallelism::Async { workers: 2, max_epoch_lag: 5 }.lookahead(), 5);
+        // A huge lag bound still buffers a bounded window; validation
+        // keeps honoring the configured bound.
+        let huge = Parallelism::Async { workers: 2, max_epoch_lag: u64::MAX };
+        assert_eq!(huge.lookahead(), LOOKAHEAD_BOUND);
+        assert_eq!(huge.max_epoch_lag(), u64::MAX);
+    }
+
+    #[test]
+    fn config_exposes_the_lag_bound() {
+        assert_eq!(FleetConfig::default().max_epoch_lag(), 0);
+        let config = FleetConfig {
+            parallelism: Parallelism::Async { workers: 4, max_epoch_lag: 7 },
+            ..Default::default()
+        };
+        assert_eq!(config.max_epoch_lag(), 7);
     }
 }

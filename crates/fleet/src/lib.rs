@@ -26,12 +26,15 @@
 //!   JSONL — including the fleet's platform mix (format version 2) — so
 //!   any run is reproducible bit-for-bit from a trace file.
 //! * The **shard-parallel executor** ([`executor`]) advances all shards
-//!   concurrently between global event barriers:
-//!   [`FleetConfig::parallelism`] selects
-//!   [`Parallelism::Threads`]`(n)` (the default sizes to the host's
-//!   cores) or the [`Parallelism::Sequential`] reference — both produce
-//!   bit-identical placements, timelines, metrics, and trace replays
-//!   (property-tested in `tests/parallel.rs`).
+//!   concurrently: [`FleetConfig::parallelism`] selects
+//!   [`Parallelism::Threads`]`(n)` (global event barriers; the default
+//!   sizes to the host's cores),
+//!   [`Parallelism::Async`]` { workers, max_epoch_lag }` (the
+//!   barrier-free epoch log: bounded-staleness speculative scoring,
+//!   validated at apply time), or the [`Parallelism::Sequential`]
+//!   reference — all produce bit-identical placements, timelines,
+//!   metrics, and trace replays (property-tested in `tests/parallel.rs`
+//!   and `tests/async_exec.rs`).
 //!
 //! # Quickstart (homogeneous)
 //!
@@ -94,6 +97,7 @@ mod rebalance;
 pub mod runtime;
 mod shard;
 pub mod spec;
+mod speculate;
 pub mod telemetry;
 pub mod trace;
 

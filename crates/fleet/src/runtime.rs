@@ -39,14 +39,20 @@
 //! make bit-identical decisions (tested); fused is the faster execution
 //! strategy at high shard counts (benchmarked in `fleet_hetero`).
 //!
-//! Execution itself is **shard-parallel**: between global event barriers
-//! the executor ([`crate::executor`]) fans per-shard work — probe
-//! building, priority-rotation remaps, the rebalancer's health scan, the
-//! final timeline close — across up to [`crate::Parallelism::Threads`]
-//! worker threads, merging results in canonical shard order so the
-//! outcome is bit-identical to [`crate::Parallelism::Sequential`] at any
-//! thread count (see the executor docs for the determinism argument, and
-//! `crates/fleet/tests/parallel.rs` for the property test).
+//! Execution itself is **shard-parallel**: the executor
+//! ([`crate::executor`]) fans per-shard work — probe building,
+//! priority-rotation remaps, the rebalancer's health scan, the final
+//! timeline close — across worker threads, either between global event
+//! barriers ([`crate::Parallelism::Threads`]) or barrier-free over an
+//! epoch-sequenced lookahead window of the event log
+//! ([`crate::Parallelism::Async`]: arrivals are speculatively scored
+//! against bounded-staleness shard snapshots and every speculative probe
+//! is validated at apply time). Results merge in canonical shard order,
+//! so the outcome is bit-identical to
+//! [`crate::Parallelism::Sequential`] at any width and staleness bound
+//! (see the executor docs for the determinism argument, and
+//! `crates/fleet/tests/{parallel,async_exec}.rs` for the property
+//! tests).
 //!
 //! The fleet also survives **board failures** (see [`crate::FaultSpec`]
 //! and `docs/fleet.md`): a `ShardDown` event triages the failing shard's

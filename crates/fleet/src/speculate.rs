@@ -1,0 +1,119 @@
+//! Speculative placement probes for the barrier-free epoch-log executor.
+//!
+//! Under [`crate::Parallelism::Async`] the executor pulls a *window* of
+//! the ordered event log ahead of the apply cursor and scores every
+//! buffered arrival against the fleet's **current** shard snapshots in
+//! one parallel fan — before the intervening events have applied. Each
+//! speculative probe is stamped with the shard's epoch counter (the
+//! PR 7 index staleness signal) and its placement class key, so the
+//! apply-time validation in `crate::placement` can prove the snapshot it
+//! was scored against is still — or again — the live one:
+//!
+//! * `lag == 0` (epoch unchanged): the snapshot *is* the live state; the
+//!   probe is reused as-is.
+//! * `0 < lag <= max_epoch_lag`: the shard changed, but the class key
+//!   pins every input of `build_probe` — an equal key means the shard
+//!   returned to a state that builds the bit-identical probe, so the
+//!   stale entry **revalidates** and is reused.
+//! * key mismatch, or `lag > max_epoch_lag`: the entry expired; the
+//!   probe is rebuilt against the fresh snapshot (the fallback re-probe).
+//!
+//! Every path hands the downstream fold/argmax a probe bit-identical to
+//! the one a fresh build would produce, which is the whole determinism
+//! argument: `Async{workers, max_epoch_lag}` places exactly like
+//! `Sequential` for any worker count and lag bound (property-tested in
+//! `tests/async_exec.rs`).
+//!
+//! The one `build_probe` input the class key deliberately omits is the
+//! mapper's priority mode (`SetPriorities` is a fleet-wide broadcast, so
+//! the mode never differs *between* shards — but it does differ *across
+//! time*). The executor therefore flushes this cache whenever a
+//! `SetPriorities` event applies; entries never survive a mode change.
+
+use crate::load::RequestId;
+use crate::placement::Probe;
+use std::collections::HashMap;
+
+/// One speculative probe: the scored snapshot's identity (epoch + class
+/// key) plus the probe built against it (`None` when the snapshot was
+/// down or at capacity — also a reusable answer, since the class key
+/// pins it).
+pub(crate) struct SpecEntry {
+    pub(crate) probe: Option<Probe>,
+    /// The shard's epoch at speculation time.
+    pub(crate) epoch: u64,
+    /// The shard's placement class key at speculation time (`None` while
+    /// down, mirroring `Shard::placement_class_key`).
+    pub(crate) class_key: Option<Vec<u8>>,
+}
+
+/// Per-shard outcome of consulting the speculation cache during one
+/// admission — merged serially (in shard order) into telemetry counters
+/// and the per-shard `epoch_lag` gauges, strictly off the decision path.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SpecStat {
+    /// An entry existed for this shard and was consulted.
+    pub(crate) consulted: bool,
+    /// How many epochs the entry lagged the live shard state.
+    pub(crate) lag: u64,
+    /// The entry's probe was reused (fresh, or stale-but-revalidated).
+    pub(crate) reused: bool,
+    /// The stale entry was checked against the live class key.
+    pub(crate) revalidated: bool,
+    /// The entry expired (failed validation or exceeded the lag bound)
+    /// and the probe was rebuilt against the fresh snapshot.
+    pub(crate) refreshed: bool,
+}
+
+/// The executor-owned store of speculative probes: one entry per
+/// `(arrival, shard)` pair of the current lookahead window, taken (and
+/// thereby consumed) when the arrival's admission barrier runs.
+#[derive(Default)]
+pub(crate) struct SpeculationCache {
+    entries: HashMap<RequestId, Vec<Option<SpecEntry>>>,
+}
+
+impl SpeculationCache {
+    /// Files the speculative probes of one buffered arrival
+    /// (`entries[s]` is shard `s`'s entry; `None` for shards the
+    /// speculation fan skipped, e.g. non-representatives under indexed
+    /// placement).
+    pub(crate) fn insert(&mut self, request: RequestId, entries: Vec<Option<SpecEntry>>) {
+        self.entries.insert(request, entries);
+    }
+
+    /// Removes and returns the arrival's entries — each admission
+    /// consumes its speculation exactly once (retries re-probe fresh).
+    pub(crate) fn take(&mut self, request: &RequestId) -> Option<Vec<Option<SpecEntry>>> {
+        self.entries.remove(request)
+    }
+
+    /// Drops every entry. Called when a `SetPriorities` event applies:
+    /// the priority mode is a `build_probe` input the class key cannot
+    /// see, so no pre-rotation probe may survive it.
+    pub(crate) fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_consumes_and_flush_clears() {
+        let mut cache = SpeculationCache::default();
+        let request = RequestId::new(7);
+        cache.insert(
+            request,
+            vec![Some(SpecEntry { probe: None, epoch: 3, class_key: None }), None],
+        );
+        let taken = cache.take(&request).expect("filed");
+        assert_eq!(taken.len(), 2);
+        assert!(taken[0].as_ref().is_some_and(|e| e.epoch == 3));
+        assert!(cache.take(&request).is_none(), "consumed exactly once");
+        cache.insert(request, vec![None]);
+        cache.flush();
+        assert!(cache.take(&request).is_none(), "flush drops everything");
+    }
+}

@@ -49,6 +49,8 @@ pub mod stage {
     pub const EVACUATION: &str = "evacuation";
     /// Incremental index refile sweep.
     pub const INDEX_REFILE: &str = "index_refile";
+    /// The epoch log's speculative scoring fan over a lookahead window.
+    pub const SPECULATE: &str = "speculate";
 }
 
 /// The fully static counter key of a stage — a `match` rather than
@@ -62,6 +64,7 @@ fn entered_key(stage_name: &'static str) -> &'static str {
         stage::REBALANCE_SCAN => "fleet_stage_entered_total{stage=\"rebalance_scan\"}",
         stage::EVACUATION => "fleet_stage_entered_total{stage=\"evacuation\"}",
         stage::INDEX_REFILE => "fleet_stage_entered_total{stage=\"index_refile\"}",
+        stage::SPECULATE => "fleet_stage_entered_total{stage=\"speculate\"}",
         _ => "fleet_stage_entered_total{stage=\"other\"}",
     }
 }
@@ -210,6 +213,7 @@ impl FleetTelemetry {
         t: f64,
         shards: &mut [Shard<'_, O>],
         per_shard_admitted: &[u64],
+        epoch_lags: &[u64],
     ) {
         if !self.spec.enabled || t < self.next_sample {
             return;
@@ -241,6 +245,13 @@ impl FleetTelemetry {
             self.registry.gauge_set(
                 &labeled("fleet_shard_admitted", shard_label),
                 sample.admitted as f64,
+            );
+            // Last observed apply-time staleness of the epoch log's
+            // speculative probes (0 under the barrier modes, which never
+            // score ahead of an apply).
+            self.registry.gauge_set(
+                &labeled("fleet_shard_epoch_lag", shard_label),
+                epoch_lags[s] as f64,
             );
             self.series[s].push(t, sample);
         }
@@ -344,6 +355,7 @@ mod tests {
             stage::REBALANCE_SCAN,
             stage::EVACUATION,
             stage::INDEX_REFILE,
+            stage::SPECULATE,
         ];
         let keys: std::collections::BTreeSet<&str> =
             stages.iter().map(|s| entered_key(s)).collect();

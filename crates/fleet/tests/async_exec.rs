@@ -1,0 +1,207 @@
+//! Determinism of the barrier-free epoch-log executor:
+//! `Parallelism::Async { workers, max_epoch_lag }` must produce
+//! placements, metrics, and per-shard timelines **bit-identical** to
+//! `Parallelism::Sequential` — for *any* worker count and *any*
+//! staleness bound — across seeds, load shapes, fault schedules, and
+//! Zipf-skewed popularity, and recorded traces must replay bit-for-bit
+//! *under the epoch-log executor*.
+//!
+//! This is the load-bearing guarantee of the epoch log: speculation is
+//! an execution strategy, never a policy. Probes scored against a
+//! slightly-stale shard snapshot are only reused when apply-time
+//! validation proves the snapshot is (still, or again) the live shard
+//! state — epoch unchanged, or lag within `max_epoch_lag` with an equal
+//! placement class key — and the class key pins every `build_probe`
+//! input, so a reused probe is bit-identical to the one a fresh build
+//! would produce (see `rankmap_fleet::executor`'s determinism argument
+//! and `tests/async_validation.rs` for the adversarial cases). The
+//! scenario matrix, bit-compare, and replay check come from the shared
+//! conformance harness (`tests/common/mod.rs`).
+
+mod common;
+
+use common::{assert_identical, assert_replay_identical, base_faults, quick_manager, Scenario};
+use proptest::prelude::*;
+use rankmap_core::oracle::AnalyticalOracle;
+use rankmap_fleet::{
+    generate, FaultSpec, FleetConfig, FleetOutcome, FleetRuntime, FleetSpec, LoadSpec,
+    Parallelism, ShardSpec,
+};
+use rankmap_platform::Platform;
+
+const SHARDS: usize = 3;
+
+fn config(parallelism: Parallelism) -> FleetConfig {
+    FleetConfig {
+        manager: quick_manager(),
+        max_per_shard: 3,
+        // Eager rebalancing, retries, and the overload guard keep every
+        // epoch-bumping path (admissions, migrations, sheds) in play
+        // between speculation and apply.
+        rebalance_threshold: 0.6,
+        rebalance_margin: 0.02,
+        overload_guard: 0.15,
+        retry_limit: 1,
+        parallelism,
+        ..Default::default()
+    }
+}
+
+fn load(seed: u64, process_idx: usize, faults: bool, zipf: bool) -> LoadSpec {
+    let mut scenario = Scenario::new(seed, process_idx).zipf(zipf);
+    if faults {
+        scenario = scenario.faults(FaultSpec { seed: seed ^ 0xA57C, ..base_faults(SHARDS) });
+    }
+    scenario.load()
+}
+
+fn run(platform: &Platform, spec: &LoadSpec, parallelism: Parallelism) -> FleetOutcome {
+    let oracle = AnalyticalOracle::new(platform);
+    let events = generate(spec);
+    FleetRuntime::homogeneous(platform, &oracle, SHARDS, config(parallelism))
+        .execute(&events, spec.horizon)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline property: the epoch-log executor reproduces the
+    /// sequential reference byte for byte for every worker count ×
+    /// staleness bound — `max_epoch_lag: 0` (the degenerate barrier
+    /// schedule) through deep lookahead windows — across seeds, load
+    /// shapes, fault layers, and popularity skew, and the recorded
+    /// trace replays bit-for-bit under the epoch-log executor itself.
+    #[test]
+    fn async_reproduces_sequential_bit_for_bit(
+        seed in 0u64..64,
+        process_idx in 0usize..3,
+        faults in any::<bool>(),
+        zipf in any::<bool>(),
+        workers in (0usize..3).prop_map(|i| [1usize, 2, 4][i]),
+        max_epoch_lag in (0usize..5).prop_map(|i| [0u64, 1, 2, 5, 16][i]),
+    ) {
+        let platform = Platform::orange_pi_5();
+        let spec = load(seed, process_idx, faults, zipf);
+        let reference = run(&platform, &spec, Parallelism::Sequential);
+        prop_assert!(reference.metrics.offered > 0);
+        let parallelism = Parallelism::Async { workers, max_epoch_lag };
+        let candidate = run(&platform, &spec, parallelism);
+        assert_identical(
+            &reference,
+            &candidate,
+            &format!("Async{{{workers},{max_epoch_lag}}} seed {seed}"),
+        );
+        // Trace replay under the epoch-log executor: record the stream
+        // (fault traffic upgrades the header to v3), parse it back, and
+        // re-run it speculatively — still bit-identical.
+        let oracle = AnalyticalOracle::new(&platform);
+        assert_replay_identical(
+            &spec,
+            SHARDS,
+            &format!("async-replay seed {seed}"),
+            &reference,
+            FleetRuntime::homogeneous(&platform, &oracle, SHARDS, config(parallelism)),
+        );
+    }
+}
+
+/// An effectively unbounded staleness bound is still safe: the lookahead
+/// window is clamped internally, and validation never trusts a stale
+/// probe whose class key stopped matching, so even `max_epoch_lag:
+/// u64::MAX` reproduces the reference exactly.
+#[test]
+fn unbounded_lag_is_still_bit_identical() {
+    let platform = Platform::orange_pi_5();
+    for seed in [2u64, 19] {
+        let spec = load(seed, seed as usize % 3, true, false);
+        let reference = run(&platform, &spec, Parallelism::Sequential);
+        assert!(reference.metrics.offered > 0);
+        let candidate = run(
+            &platform,
+            &spec,
+            Parallelism::Async { workers: 4, max_epoch_lag: u64::MAX },
+        );
+        assert_identical(&reference, &candidate, &format!("Async{{4,MAX}} seed {seed}"));
+    }
+}
+
+/// Full-scan placement (`indexed_placement: false`) composes with the
+/// epoch log too: without the representative mask every shard gets a
+/// speculative entry, and validation alone keeps the fan exact.
+#[test]
+fn unindexed_async_matches_sequential() {
+    let platform = Platform::orange_pi_5();
+    let oracle = AnalyticalOracle::new(&platform);
+    let spec = load(7, 1, true, true);
+    let events = generate(&spec);
+    let run = |parallelism| {
+        FleetRuntime::homogeneous(
+            &platform,
+            &oracle,
+            SHARDS,
+            FleetConfig { indexed_placement: false, ..config(parallelism) },
+        )
+        .execute(&events, spec.horizon)
+    };
+    let reference = run(Parallelism::Sequential);
+    assert!(reference.metrics.offered > 0);
+    let candidate = run(Parallelism::Async { workers: 4, max_epoch_lag: 3 });
+    assert_identical(&reference, &candidate, "unindexed Async{4,3}");
+}
+
+/// The mixed-fleet variant: two platform groups (two fused-scoring
+/// domains, two oracles, two probe classes that can never merge) under
+/// the epoch-log executor still reproduce the sequential reference
+/// exactly.
+#[test]
+fn mixed_fleet_async_matches_sequential() {
+    let orange = Platform::orange_pi_5();
+    let jetson = Platform::jetson_orin_nx();
+    let orange_oracle = AnalyticalOracle::new(&orange);
+    let jetson_oracle = AnalyticalOracle::new(&jetson);
+    let spec = load(11, 1, true, false);
+    let events = generate(&spec);
+    let fleet = |parallelism| {
+        FleetRuntime::new(
+            &FleetSpec::new(vec![
+                ShardSpec::new(&orange, &orange_oracle, 2),
+                ShardSpec::new(&jetson, &jetson_oracle, 2),
+            ]),
+            config(parallelism),
+        )
+        .execute(&events, spec.horizon)
+    };
+    let reference = fleet(Parallelism::Sequential);
+    assert!(reference.metrics.offered > 0);
+    for (workers, max_epoch_lag) in [(2usize, 1u64), (4, 8)] {
+        let candidate = fleet(Parallelism::Async { workers, max_epoch_lag });
+        assert_identical(
+            &reference,
+            &candidate,
+            &format!("mixed Async{{{workers},{max_epoch_lag}}}"),
+        );
+    }
+}
+
+/// The non-fused (serial per-shard scoring) path is covered too: the
+/// speculation fan feeds the same per-shard probes either way, so fused
+/// off + epoch log must equal fused off + sequential.
+#[test]
+fn non_fused_scoring_is_speculation_invariant() {
+    let platform = Platform::orange_pi_5();
+    let oracle = AnalyticalOracle::new(&platform);
+    let spec = load(3, 0, false, false);
+    let events = generate(&spec);
+    let run = |parallelism| {
+        FleetRuntime::homogeneous(
+            &platform,
+            &oracle,
+            SHARDS,
+            FleetConfig { fused_scoring: false, ..config(parallelism) },
+        )
+        .execute(&events, spec.horizon)
+    };
+    let reference = run(Parallelism::Sequential);
+    let candidate = run(Parallelism::Async { workers: 4, max_epoch_lag: 4 });
+    assert_identical(&reference, &candidate, "non-fused Async{4,4}");
+}

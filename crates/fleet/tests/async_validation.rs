@@ -1,0 +1,250 @@
+//! Adversarial unit tests for the epoch log's apply-time validation:
+//! hand-built event streams that race a speculative probe against a
+//! mutation of the very shard state it was scored on — a competing
+//! admission, a departure, a thermal derate, an outage — and check that
+//! validation catches every one (the fallback re-probe fires, the
+//! staleness counters account for it) while the final placements stay
+//! bit-identical to the sequential oracle.
+//!
+//! The streams run under `Async { workers: 1, max_epoch_lag }` with
+//! full-scan placement so every shard gets a speculative entry and the
+//! window boundaries are exact: a lag bound of `L` makes the executor
+//! pull `L + 1` events, speculate their arrivals against the current
+//! snapshots, and only then apply — so any mutation *inside* the window
+//! lands between speculation and apply by construction.
+
+mod common;
+
+use common::{assert_identical, quick_manager};
+use rankmap_core::oracle::AnalyticalOracle;
+use rankmap_fleet::{
+    FleetConfig, FleetEvent, FleetOutcome, FleetRuntime, Parallelism, PlacementOutcome,
+    RequestId, TelemetrySpec,
+};
+use rankmap_models::ModelId;
+use rankmap_platform::Platform;
+
+const SHARDS: usize = 3;
+const HORIZON: f64 = 100.0;
+
+fn config(parallelism: Parallelism, indexed: bool) -> FleetConfig {
+    FleetConfig {
+        manager: quick_manager(),
+        max_per_shard: 4,
+        // No admission floor: every probe that finds capacity admits, so
+        // a placement difference could only come from a stale score.
+        admission_floor: 0.0,
+        indexed_placement: indexed,
+        telemetry: TelemetrySpec::on(),
+        parallelism,
+        ..Default::default()
+    }
+}
+
+fn run(events: &[FleetEvent], parallelism: Parallelism, indexed: bool) -> FleetOutcome {
+    let platform = Platform::orange_pi_5();
+    let oracle = AnalyticalOracle::new(&platform);
+    FleetRuntime::homogeneous(&platform, &oracle, SHARDS, config(parallelism, indexed))
+        .execute(events, HORIZON)
+}
+
+/// Runs `events` under the epoch log and under the sequential oracle,
+/// asserts bit-identity, and returns the epoch-log outcome (whose
+/// telemetry carries the staleness counters).
+fn oracle_checked(events: &[FleetEvent], parallelism: Parallelism, label: &str) -> FleetOutcome {
+    let candidate = run(events, parallelism, false);
+    let reference = run(events, Parallelism::Sequential, false);
+    assert_identical(&reference, &candidate, label);
+    candidate
+}
+
+/// (reused, revalidations, refreshes) from the run's registry.
+fn staleness_counters(outcome: &FleetOutcome) -> (u64, u64, u64) {
+    let snap = outcome.telemetry.as_ref().expect("telemetry enabled");
+    (
+        snap.registry.counter("fleet_spec_probes_reused_total"),
+        snap.registry.counter("fleet_staleness_revalidations_total"),
+        snap.registry.counter("fleet_staleness_refreshes_total"),
+    )
+}
+
+fn arrive(at: f64, id: u64, model: ModelId) -> FleetEvent {
+    FleetEvent::Arrive { at, request: RequestId::new(id), model }
+}
+
+/// The shard an admitted request landed on.
+fn placed_shard(outcome: &FleetOutcome, id: u64) -> usize {
+    outcome
+        .placements
+        .iter()
+        .find_map(|r| match r.outcome {
+            PlacementOutcome::Admitted { shard } if r.request == RequestId::new(id) => {
+                Some(shard)
+            }
+            _ => None,
+        })
+        .expect("request admitted")
+}
+
+/// A competing admission inside the window: B's probe of A's shard was
+/// scored before A landed there, so at apply time the epoch moved and
+/// the class key (live set) no longer matches — the fallback re-probe
+/// must fire, and the placement must equal the oracle's.
+#[test]
+fn competing_arrival_staleness_falls_back_to_a_fresh_probe() {
+    let events = [arrive(0.0, 0, ModelId::ResNet50), arrive(1.0, 1, ModelId::MobileNet)];
+    let outcome = oracle_checked(
+        &events,
+        Parallelism::Async { workers: 1, max_epoch_lag: 1 },
+        "competing arrival",
+    );
+    assert_eq!(outcome.metrics.admitted, 2, "{:?}", outcome.metrics);
+    let (reused, revalidations, refreshes) = staleness_counters(&outcome);
+    assert!(refreshes >= 1, "A's shard mutated under B's probe: the fallback must fire");
+    assert!(reused >= 1, "untouched shards stay at lag 0 and reuse");
+    assert!(
+        revalidations <= reused + refreshes,
+        "revalidations count a subset of consulted probes"
+    );
+}
+
+/// A departure inside the window: B was speculated while A was live, the
+/// departure empties the shard before B applies. The epoch moved and
+/// the key differs (the live set changed), so the entry is refreshed.
+#[test]
+fn departure_staleness_invalidates_the_speculated_probe() {
+    let events = [
+        arrive(0.0, 0, ModelId::ResNet50),
+        // Unknown-request departure: an ignored no-op that pads the
+        // first window so A and its own departure never share one.
+        FleetEvent::Depart { at: 1.0, request: RequestId::new(99) },
+        FleetEvent::Depart { at: 10.0, request: RequestId::new(0) },
+        arrive(20.0, 1, ModelId::MobileNet),
+    ];
+    let outcome = oracle_checked(
+        &events,
+        Parallelism::Async { workers: 1, max_epoch_lag: 1 },
+        "departure between speculation and apply",
+    );
+    assert_eq!(outcome.metrics.admitted, 2);
+    assert_eq!(outcome.metrics.departed, 1);
+    let (_, _, refreshes) = staleness_counters(&outcome);
+    assert!(refreshes >= 1, "the departed shard's entry must not be trusted");
+}
+
+/// A thermal derate inside the window: the throttle factor is part of
+/// the placement class key, so a probe scored at nominal speed must be
+/// rebuilt once the shard runs derated.
+#[test]
+fn derate_staleness_forces_a_fresh_probe() {
+    let events = [
+        FleetEvent::ShardThrottle { at: 5.0, shard: 0, factor: 0.5 },
+        arrive(10.0, 0, ModelId::InceptionV4),
+    ];
+    let outcome = oracle_checked(
+        &events,
+        Parallelism::Async { workers: 1, max_epoch_lag: 1 },
+        "derate between speculation and apply",
+    );
+    assert_eq!(outcome.metrics.admitted, 1);
+    assert_eq!(outcome.metrics.throttle_events, 1);
+    let (reused, _, refreshes) = staleness_counters(&outcome);
+    assert!(refreshes >= 1, "a derated shard's nominal-speed probe must be rebuilt");
+    assert!(reused >= 1, "the unthrottled shards stay at lag 0 and reuse");
+}
+
+/// An outage inside the window: the shard B's probe was scored on goes
+/// down before B applies. A down shard's class key is `None`, so the
+/// entry can never validate — the fresh re-probe returns `None` and the
+/// arrival is steered to a survivor, exactly as the oracle places it.
+#[test]
+fn shard_down_staleness_steers_the_arrival_to_a_survivor() {
+    let events =
+        [FleetEvent::ShardDown { at: 5.0, shard: 0 }, arrive(10.0, 0, ModelId::ResNet50)];
+    let outcome = oracle_checked(
+        &events,
+        Parallelism::Async { workers: 1, max_epoch_lag: 1 },
+        "outage between speculation and apply",
+    );
+    assert_eq!(outcome.metrics.admitted, 1);
+    assert_ne!(placed_shard(&outcome, 0), 0, "the arrival must avoid the down shard");
+    let (_, _, refreshes) = staleness_counters(&outcome);
+    assert!(refreshes >= 1, "a down shard's speculative probe must never be reused");
+}
+
+/// Staleness beyond the bound: an outage with a live victim bumps the
+/// failed shard's epoch more than once (evacuation apply + the down
+/// mark), pushing its lag past `max_epoch_lag: 1` — the entry expires
+/// on the lag test alone, before any key comparison.
+#[test]
+fn staleness_beyond_the_bound_is_recomputed_fresh() {
+    // Find where the oracle puts A, then fail exactly that shard inside
+    // B's window.
+    let probe_events = [arrive(0.0, 0, ModelId::ResNet50)];
+    let shard_a = placed_shard(&run(&probe_events, Parallelism::Sequential, false), 0);
+    let events = [
+        arrive(0.0, 0, ModelId::ResNet50),
+        // Pad the first window (ignored unknown departure) so the
+        // outage and B share the second.
+        FleetEvent::Depart { at: 1.0, request: RequestId::new(99) },
+        FleetEvent::ShardDown { at: 10.0, shard: shard_a },
+        arrive(20.0, 1, ModelId::MobileNet),
+    ];
+    let outcome = oracle_checked(
+        &events,
+        Parallelism::Async { workers: 1, max_epoch_lag: 1 },
+        "lag beyond the bound",
+    );
+    assert_eq!(outcome.metrics.admitted, 2);
+    assert_eq!(outcome.metrics.evacuated + outcome.metrics.shed, 1, "{:?}", outcome.metrics);
+    assert_ne!(placed_shard(&outcome, 1), shard_a);
+    let (_, _, refreshes) = staleness_counters(&outcome);
+    assert!(
+        refreshes >= 2,
+        "both the failed shard and the evacuation's destination mutated under B's probe"
+    );
+}
+
+/// The positive case: epoch churn that lands back in the *same* state.
+/// A down/up pulse on an idle shard moves its epoch by two but restores
+/// the exact class key, so revalidation succeeds — the speculated probe
+/// is reused and the fallback never fires.
+#[test]
+fn churn_back_to_the_same_state_revalidates_without_a_refresh() {
+    let events = [
+        FleetEvent::ShardDown { at: 1.0, shard: 2 },
+        FleetEvent::ShardUp { at: 2.0, shard: 2 },
+        arrive(3.0, 0, ModelId::ResNet50),
+    ];
+    let outcome = oracle_checked(
+        &events,
+        Parallelism::Async { workers: 1, max_epoch_lag: 4 },
+        "down/up churn on an idle shard",
+    );
+    assert_eq!(outcome.metrics.admitted, 1);
+    let (reused, revalidations, refreshes) = staleness_counters(&outcome);
+    assert_eq!(refreshes, 0, "an unchanged class key must validate, not rebuild");
+    assert!(revalidations >= 1, "the churned shard's reuse goes through revalidation");
+    assert!(reused >= 1);
+}
+
+/// Indexed placement composes with validation: representatives change as
+/// classes split and merge between speculation and apply, and a missing
+/// or expired entry falls back to a fresh build — bit-identical to the
+/// sequential indexed oracle either way.
+#[test]
+fn indexed_speculation_matches_the_indexed_oracle() {
+    let events = [
+        arrive(0.0, 0, ModelId::ResNet50),
+        arrive(1.0, 1, ModelId::MobileNet),
+        FleetEvent::ShardThrottle { at: 5.0, shard: 1, factor: 0.6 },
+        arrive(10.0, 2, ModelId::AlexNet),
+        FleetEvent::Depart { at: 30.0, request: RequestId::new(0) },
+        arrive(40.0, 3, ModelId::Vgg16),
+    ];
+    let parallelism = Parallelism::Async { workers: 2, max_epoch_lag: 2 };
+    let candidate = run(&events, parallelism, true);
+    let reference = run(&events, Parallelism::Sequential, true);
+    assert_identical(&reference, &candidate, "indexed speculation");
+    assert_eq!(candidate.metrics.admitted, 4, "{:?}", candidate.metrics);
+}

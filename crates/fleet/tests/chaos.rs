@@ -2,7 +2,9 @@
 //! replay under injected faults.
 //!
 //! Three load-bearing guarantees of the fault-tolerance layer, checked
-//! across seeds × load shapes × fault schedules:
+//! across seeds × load shapes × fault schedules (the matrix, bit-compare,
+//! and replay check come from the shared conformance harness in
+//! `tests/common/mod.rs`):
 //!
 //! 1. **Accounting.** Every admitted instance ends in exactly one
 //!    terminal state — departed, still live (evacuated instances stay
@@ -16,12 +18,13 @@
 //! 3. **Replay.** A chaos run records to a version-3 trace that parses
 //!    back and replays bit-identically under both executors.
 
+mod common;
+
+use common::{assert_identical, assert_replay_identical, base_faults, quick_manager, Scenario};
 use proptest::prelude::*;
-use rankmap_core::manager::ManagerConfig;
 use rankmap_core::oracle::AnalyticalOracle;
 use rankmap_fleet::{
-    generate, ArrivalProcess, FaultSpec, FleetConfig, FleetOutcome, FleetRuntime, LoadSpec,
-    Parallelism, Trace, TraceMeta,
+    generate, FaultSpec, FleetConfig, FleetOutcome, FleetRuntime, LoadSpec, Parallelism,
 };
 use rankmap_platform::Platform;
 
@@ -29,7 +32,7 @@ const SHARDS: usize = 3;
 
 fn config(parallelism: Parallelism) -> FleetConfig {
     FleetConfig {
-        manager: ManagerConfig { mcts_iterations: 40, warm_iterations: 20, ..Default::default() },
+        manager: quick_manager(),
         max_per_shard: 3,
         rebalance_threshold: 0.6,
         rebalance_margin: 0.02,
@@ -44,37 +47,18 @@ fn config(parallelism: Parallelism) -> FleetConfig {
 }
 
 fn chaotic_load(seed: u64, process_idx: usize, fault_seed: u64) -> LoadSpec {
-    let process = match process_idx {
-        0 => ArrivalProcess::Poisson { rate: 1.0 / 12.0 },
-        1 => ArrivalProcess::OnOff {
-            burst_rate: 0.2,
-            idle_rate: 0.01,
-            mean_burst: 30.0,
-            mean_idle: 60.0,
-        },
-        _ => ArrivalProcess::Diurnal { mean_rate: 1.0 / 10.0, amplitude: 0.8, period: 120.0 },
-    };
-    LoadSpec {
-        horizon: 240.0,
-        process,
-        mean_lifetime: 90.0,
-        priority_churn_rate: 1.0 / 80.0,
-        seed,
-        // An aggressive fault layer: outages every ~150 s per shard plus
-        // correlated joins and throttle episodes, so most runs see real
-        // failures inside the horizon.
-        faults: Some(FaultSpec {
-            shards: SHARDS,
-            mtbf: 150.0,
-            mttr: 40.0,
+    // An aggressive fault layer: outages every ~150 s per shard plus
+    // correlated joins and throttle episodes, so most runs see real
+    // failures inside the horizon.
+    Scenario::new(seed, process_idx)
+        .rates(1.0 / 12.0, 0.2, 1.0 / 10.0)
+        .faults(FaultSpec {
             correlation: 0.3,
-            throttle_rate: 1.0 / 120.0,
             mean_throttle: 50.0,
             seed: fault_seed,
-            ..Default::default()
-        }),
-        ..Default::default()
-    }
+            ..base_faults(SHARDS)
+        })
+        .load()
 }
 
 fn run(platform: &Platform, spec: &LoadSpec, parallelism: Parallelism) -> FleetOutcome {
@@ -82,38 +66,6 @@ fn run(platform: &Platform, spec: &LoadSpec, parallelism: Parallelism) -> FleetO
     let events = generate(spec);
     FleetRuntime::homogeneous(platform, &oracle, SHARDS, config(parallelism))
         .execute(&events, spec.horizon)
-}
-
-fn assert_identical(reference: &FleetOutcome, candidate: &FleetOutcome, label: &str) {
-    assert_eq!(candidate.placements, reference.placements, "{label}: placement log diverged");
-    assert_eq!(candidate.metrics, reference.metrics, "{label}: metrics diverged");
-    assert_eq!(candidate.timelines, reference.timelines, "{label}: timelines diverged");
-    for (a, b) in reference.timelines.iter().flatten().zip(candidate.timelines.iter().flatten())
-    {
-        for (x, y) in a.potentials.iter().zip(&b.potentials) {
-            assert_eq!(x.to_bits(), y.to_bits(), "{label}: potential bits diverged");
-        }
-        for (x, y) in a.throughputs.iter().zip(&b.throughputs) {
-            assert_eq!(x.to_bits(), y.to_bits(), "{label}: throughput bits diverged");
-        }
-        assert_eq!(
-            a.migration_stall.to_bits(),
-            b.migration_stall.to_bits(),
-            "{label}: stall bits diverged"
-        );
-    }
-    for (a, b) in reference.placements.iter().zip(&candidate.placements) {
-        assert_eq!(
-            a.predicted_delta.to_bits(),
-            b.predicted_delta.to_bits(),
-            "{label}: predicted-delta bits diverged"
-        );
-    }
-    assert_eq!(
-        reference.metrics.evacuation_stall_seconds.to_bits(),
-        candidate.metrics.evacuation_stall_seconds.to_bits(),
-        "{label}: evacuation stall bits diverged"
-    );
 }
 
 proptest! {
@@ -159,25 +111,14 @@ proptest! {
 
         // 3. Replay: the chaos stream survives a v3 trace round-trip and
         // replays bit-identically under the parallel executor.
-        let events = generate(&spec);
-        let trace = Trace::new(
-            TraceMeta::new(SHARDS, spec.horizon, spec.seed, "chaos-replay"),
-            events,
-        );
-        let jsonl = trace.to_jsonl();
-        if reference.metrics.failures_injected + reference.metrics.throttle_events > 0 {
-            prop_assert!(
-                jsonl.lines().next().unwrap().contains("\"rankmap_fleet_trace\":3"),
-                "a faulted stream must be recorded as a version-3 trace"
-            );
-        }
-        let parsed = Trace::from_jsonl(&jsonl).expect("chaos trace parses");
-        prop_assert_eq!(&parsed, &trace, "fault events must survive JSONL exactly");
         let oracle = AnalyticalOracle::new(&platform);
-        let replayed =
-            FleetRuntime::homogeneous(&platform, &oracle, SHARDS, config(Parallelism::Threads(4)))
-                .execute_trace(&parsed);
-        assert_identical(&reference, &replayed, &format!("replay seed {seed}"));
+        assert_replay_identical(
+            &spec,
+            SHARDS,
+            &format!("chaos-replay seed {seed}"),
+            &reference,
+            FleetRuntime::homogeneous(&platform, &oracle, SHARDS, config(Parallelism::Threads(4))),
+        );
     }
 }
 
@@ -212,11 +153,7 @@ fn evacuation_favors_high_priority_tiers() {
         &oracle,
         2,
         FleetConfig {
-            manager: ManagerConfig {
-                mcts_iterations: 40,
-                warm_iterations: 20,
-                ..Default::default()
-            },
+            manager: quick_manager(),
             // The survivor has room and no floor: every victim of the
             // outage can be absorbed, so evacuation must happen.
             max_per_shard: 8,

@@ -12,13 +12,17 @@
 //! so probing one representative and broadcasting its score cannot
 //! change any argmax downstream; the health BTree's first element *is*
 //! the scan's `min_by(total_cmp)` answer (see `rankmap_fleet::index`).
+//! The scenario matrix, bit-compare, and replay check come from the
+//! shared conformance harness (`tests/common/mod.rs`).
 
+mod common;
+
+use common::{assert_identical, assert_replay_identical, base_faults, quick_manager, Scenario};
 use proptest::prelude::*;
-use rankmap_core::manager::ManagerConfig;
 use rankmap_core::oracle::AnalyticalOracle;
 use rankmap_fleet::{
-    generate, ArrivalProcess, FaultSpec, FleetConfig, FleetOutcome, FleetRuntime, FleetSpec,
-    LoadSpec, Parallelism, Popularity, ShardSpec, Trace, TraceMeta,
+    generate, FaultSpec, FleetConfig, FleetOutcome, FleetRuntime, FleetSpec, LoadSpec,
+    Parallelism, ShardSpec,
 };
 use rankmap_platform::Platform;
 
@@ -26,7 +30,7 @@ const SHARDS: usize = 4;
 
 fn config(indexed: bool, parallelism: Parallelism) -> FleetConfig {
     FleetConfig {
-        manager: ManagerConfig { mcts_iterations: 40, warm_iterations: 20, ..Default::default() },
+        manager: quick_manager(),
         max_per_shard: 3,
         // Exercise every index consumer: rebalancing (health reads),
         // the overload guard, and retries.
@@ -41,33 +45,12 @@ fn config(indexed: bool, parallelism: Parallelism) -> FleetConfig {
 }
 
 fn load(seed: u64, process_idx: usize, faults: bool, zipf: bool) -> LoadSpec {
-    let process = match process_idx {
-        0 => ArrivalProcess::Poisson { rate: 1.0 / 16.0 },
-        1 => ArrivalProcess::OnOff {
-            burst_rate: 0.25,
-            idle_rate: 0.01,
-            mean_burst: 30.0,
-            mean_idle: 60.0,
-        },
-        _ => ArrivalProcess::Diurnal { mean_rate: 1.0 / 14.0, amplitude: 0.8, period: 120.0 },
-    };
-    LoadSpec {
-        horizon: 240.0,
-        process,
-        mean_lifetime: 90.0,
-        priority_churn_rate: 1.0 / 80.0,
-        seed,
-        faults: faults.then(|| FaultSpec {
-            shards: SHARDS,
-            mtbf: 150.0,
-            mttr: 40.0,
-            correlation: 0.4,
-            throttle_rate: 1.0 / 120.0,
-            ..Default::default()
-        }),
-        popularity: if zipf { Popularity::Zipf { exponent: 1.0 } } else { Popularity::Uniform },
-        ..Default::default()
+    let mut scenario =
+        Scenario::new(seed, process_idx).rates(1.0 / 16.0, 0.25, 1.0 / 14.0).zipf(zipf);
+    if faults {
+        scenario = scenario.faults(FaultSpec { correlation: 0.4, ..base_faults(SHARDS) });
     }
+    scenario.load()
 }
 
 fn run(spec: &LoadSpec, indexed: bool, parallelism: Parallelism) -> FleetOutcome {
@@ -76,28 +59,6 @@ fn run(spec: &LoadSpec, indexed: bool, parallelism: Parallelism) -> FleetOutcome
     let events = generate(spec);
     FleetRuntime::homogeneous(&platform, &oracle, SHARDS, config(indexed, parallelism))
         .execute(&events, spec.horizon)
-}
-
-fn assert_identical(reference: &FleetOutcome, candidate: &FleetOutcome, label: &str) {
-    assert_eq!(candidate.placements, reference.placements, "{label}: placement log diverged");
-    assert_eq!(candidate.metrics, reference.metrics, "{label}: metrics diverged");
-    assert_eq!(candidate.timelines, reference.timelines, "{label}: timelines diverged");
-    for (a, b) in reference.timelines.iter().flatten().zip(candidate.timelines.iter().flatten())
-    {
-        for (x, y) in a.potentials.iter().zip(&b.potentials) {
-            assert_eq!(x.to_bits(), y.to_bits(), "{label}: potential bits diverged");
-        }
-        for (x, y) in a.throughputs.iter().zip(&b.throughputs) {
-            assert_eq!(x.to_bits(), y.to_bits(), "{label}: throughput bits diverged");
-        }
-    }
-    for (a, b) in reference.placements.iter().zip(&candidate.placements) {
-        assert_eq!(
-            a.predicted_delta.to_bits(),
-            b.predicted_delta.to_bits(),
-            "{label}: predicted-delta bits diverged"
-        );
-    }
 }
 
 proptest! {
@@ -130,21 +91,20 @@ proptest! {
             );
         }
         // Trace replay under the indexed executor stays exact.
-        let trace = Trace::new(
-            TraceMeta::new(SHARDS, spec.horizon, spec.seed, "indexed-replay"),
-            generate(&spec),
-        );
-        let parsed = Trace::from_jsonl(&trace.to_jsonl()).expect("trace parses");
         let platform = Platform::orange_pi_5();
         let oracle = AnalyticalOracle::new(&platform);
-        let replayed = FleetRuntime::homogeneous(
-            &platform,
-            &oracle,
+        assert_replay_identical(
+            &spec,
             SHARDS,
-            config(true, Parallelism::Threads(2)),
-        )
-        .execute_trace(&parsed);
-        assert_identical(&reference, &replayed, &format!("replay seed {seed}"));
+            &format!("indexed-replay seed {seed}"),
+            &reference,
+            FleetRuntime::homogeneous(
+                &platform,
+                &oracle,
+                SHARDS,
+                config(true, Parallelism::Threads(2)),
+            ),
+        );
     }
 }
 

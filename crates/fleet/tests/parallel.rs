@@ -9,20 +9,24 @@
 //! is an execution strategy, never a policy. Work between event barriers
 //! is partitioned by shard and merged in canonical shard order, so no
 //! floating-point operation ever changes its association order (see
-//! `rankmap_fleet::executor`'s determinism argument).
+//! `rankmap_fleet::executor`'s determinism argument). The scenario
+//! matrix, outcome bit-compare, and trace-replay check live in the
+//! shared conformance harness (`tests/common/mod.rs`).
 
+mod common;
+
+use common::{assert_identical, assert_replay_identical, quick_manager, Scenario};
 use proptest::prelude::*;
-use rankmap_core::manager::ManagerConfig;
 use rankmap_core::oracle::AnalyticalOracle;
 use rankmap_fleet::{
-    generate, ArrivalProcess, FleetConfig, FleetOutcome, FleetRuntime, FleetSpec, LoadSpec,
-    Parallelism, ShardSpec, Trace, TraceMeta,
+    generate, FleetConfig, FleetOutcome, FleetRuntime, FleetSpec, LoadSpec, Parallelism,
+    ShardSpec,
 };
 use rankmap_platform::Platform;
 
 fn config(parallelism: Parallelism) -> FleetConfig {
     FleetConfig {
-        manager: ManagerConfig { mcts_iterations: 40, warm_iterations: 20, ..Default::default() },
+        manager: quick_manager(),
         max_per_shard: 3,
         // Rebalance eagerly so migrations (the concurrent two-shard
         // apply) are part of what the property covers.
@@ -34,26 +38,7 @@ fn config(parallelism: Parallelism) -> FleetConfig {
 }
 
 fn load(seed: u64, process_idx: usize) -> LoadSpec {
-    let process = match process_idx {
-        0 => ArrivalProcess::Poisson { rate: 1.0 / 18.0 },
-        1 => ArrivalProcess::OnOff {
-            burst_rate: 0.2,
-            idle_rate: 0.01,
-            mean_burst: 30.0,
-            mean_idle: 60.0,
-        },
-        _ => ArrivalProcess::Diurnal { mean_rate: 1.0 / 15.0, amplitude: 0.8, period: 120.0 },
-    };
-    LoadSpec {
-        horizon: 240.0,
-        process,
-        mean_lifetime: 90.0,
-        // Priority churn exercises the widest barrier (every shard
-        // re-maps concurrently on a SetPriorities event).
-        priority_churn_rate: 1.0 / 80.0,
-        seed,
-        ..Default::default()
-    }
+    Scenario::new(seed, process_idx).load()
 }
 
 fn run(platform: &Platform, spec: &LoadSpec, parallelism: Parallelism) -> FleetOutcome {
@@ -61,35 +46,6 @@ fn run(platform: &Platform, spec: &LoadSpec, parallelism: Parallelism) -> FleetO
     let events = generate(spec);
     FleetRuntime::homogeneous(platform, &oracle, 3, config(parallelism))
         .execute(&events, spec.horizon)
-}
-
-fn assert_identical(reference: &FleetOutcome, candidate: &FleetOutcome, label: &str) {
-    assert_eq!(candidate.placements, reference.placements, "{label}: placement log diverged");
-    assert_eq!(candidate.metrics, reference.metrics, "{label}: metrics diverged");
-    assert_eq!(candidate.timelines, reference.timelines, "{label}: timelines diverged");
-    // Belt-and-braces bit comparison of the float payloads: `==` treats
-    // 0.0 and -0.0 as equal, bit patterns do not.
-    for (a, b) in reference.timelines.iter().flatten().zip(candidate.timelines.iter().flatten())
-    {
-        for (x, y) in a.potentials.iter().zip(&b.potentials) {
-            assert_eq!(x.to_bits(), y.to_bits(), "{label}: potential bits diverged");
-        }
-        for (x, y) in a.throughputs.iter().zip(&b.throughputs) {
-            assert_eq!(x.to_bits(), y.to_bits(), "{label}: throughput bits diverged");
-        }
-        assert_eq!(
-            a.migration_stall.to_bits(),
-            b.migration_stall.to_bits(),
-            "{label}: stall bits diverged"
-        );
-    }
-    for (a, b) in reference.placements.iter().zip(&candidate.placements) {
-        assert_eq!(
-            a.predicted_delta.to_bits(),
-            b.predicted_delta.to_bits(),
-            "{label}: predicted-delta bits diverged"
-        );
-    }
 }
 
 proptest! {
@@ -116,17 +72,14 @@ proptest! {
         }
         // Trace replay under the parallel executor: record the stream,
         // parse it back, and run it Threads(4) — still bit-identical.
-        let events = generate(&spec);
-        let trace = Trace::new(
-            TraceMeta::new(3, spec.horizon, spec.seed, "parallel-replay"),
-            events,
-        );
-        let parsed = Trace::from_jsonl(&trace.to_jsonl()).expect("trace parses");
         let oracle = AnalyticalOracle::new(&platform);
-        let replayed =
-            FleetRuntime::homogeneous(&platform, &oracle, 3, config(Parallelism::Threads(4)))
-                .execute_trace(&parsed);
-        assert_identical(&reference, &replayed, &format!("replay seed {seed}"));
+        assert_replay_identical(
+            &spec,
+            3,
+            &format!("parallel-replay seed {seed}"),
+            &reference,
+            FleetRuntime::homogeneous(&platform, &oracle, 3, config(Parallelism::Threads(4))),
+        );
     }
 }
 

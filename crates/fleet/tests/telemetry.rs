@@ -2,30 +2,31 @@
 //! disabled, every deterministic output of a fleet run — the placement
 //! log, `FleetMetrics`, and every per-shard timeline — must be
 //! **bit-identical**, across seeds × load shapes × fault schedules ×
-//! `Parallelism::Threads(n)`. This is the companion property to
-//! `tests/parallel.rs`: threading is an execution strategy, telemetry is
-//! an observation strategy, and neither may be a policy.
+//! executors (`Threads(n)` *and* the epoch-log `Async` executor). This
+//! is the companion property to `tests/parallel.rs`: threading is an
+//! execution strategy, telemetry is an observation strategy, and neither
+//! may be a policy. The scenario matrix and bit-compare come from the
+//! shared conformance harness (`tests/common/mod.rs`).
 //!
 //! The suite also sanity-checks the snapshot itself: counters that must
-//! agree with the deterministic metrics, flight-recorder causality, and
-//! byte-stable exports on replay.
+//! agree with the deterministic metrics, the epoch-log ride-alongs
+//! (per-shard staleness gauges, revalidation counters), flight-recorder
+//! causality, and byte-stable exports on replay.
 
+mod common;
+
+use common::{assert_identical, base_faults, quick_manager, Scenario};
 use proptest::prelude::*;
-use rankmap_core::manager::ManagerConfig;
 use rankmap_core::oracle::AnalyticalOracle;
 use rankmap_fleet::{
-    generate, ArrivalProcess, FaultSpec, FleetConfig, FleetOutcome, FleetRuntime,
-    LoadSpec, Parallelism, TelemetrySpec,
+    generate, FaultSpec, FleetConfig, FleetOutcome, FleetRuntime, LoadSpec, Parallelism,
+    TelemetrySpec,
 };
 use rankmap_platform::Platform;
 
 fn config(parallelism: Parallelism, telemetry: TelemetrySpec) -> FleetConfig {
     FleetConfig {
-        manager: ManagerConfig {
-            mcts_iterations: 40,
-            warm_iterations: 20,
-            ..Default::default()
-        },
+        manager: quick_manager(),
         max_per_shard: 3,
         // Eager rebalancing and the overload guard keep every
         // instrumented path (migrations, sheds, health scans) in play.
@@ -40,36 +41,11 @@ fn config(parallelism: Parallelism, telemetry: TelemetrySpec) -> FleetConfig {
 }
 
 fn load(seed: u64, process_idx: usize, faults: bool) -> LoadSpec {
-    let process = match process_idx {
-        0 => ArrivalProcess::Poisson { rate: 1.0 / 18.0 },
-        1 => ArrivalProcess::OnOff {
-            burst_rate: 0.2,
-            idle_rate: 0.01,
-            mean_burst: 30.0,
-            mean_idle: 60.0,
-        },
-        _ => ArrivalProcess::Diurnal {
-            mean_rate: 1.0 / 15.0,
-            amplitude: 0.8,
-            period: 120.0,
-        },
-    };
-    LoadSpec {
-        horizon: 240.0,
-        process,
-        mean_lifetime: 90.0,
-        priority_churn_rate: 1.0 / 80.0,
-        seed,
-        faults: faults.then(|| FaultSpec {
-            shards: 3,
-            mtbf: 150.0,
-            mttr: 40.0,
-            throttle_rate: 1.0 / 120.0,
-            seed: seed ^ 0x5EED,
-            ..Default::default()
-        }),
-        ..Default::default()
+    let mut scenario = Scenario::new(seed, process_idx);
+    if faults {
+        scenario = scenario.faults(FaultSpec { seed: seed ^ 0x5EED, ..base_faults(3) });
     }
+    scenario.load()
 }
 
 fn run(spec: &LoadSpec, parallelism: Parallelism, telemetry: TelemetrySpec) -> FleetOutcome {
@@ -80,43 +56,14 @@ fn run(spec: &LoadSpec, parallelism: Parallelism, telemetry: TelemetrySpec) -> F
         .execute(&events, spec.horizon)
 }
 
-/// The deterministic outputs, compared to the bit (the `tests/parallel.rs`
-/// helper, minus anything telemetry-related).
-fn assert_identical(reference: &FleetOutcome, candidate: &FleetOutcome, label: &str) {
-    assert_eq!(candidate.placements, reference.placements, "{label}: placement log diverged");
-    assert_eq!(candidate.metrics, reference.metrics, "{label}: metrics diverged");
-    assert_eq!(candidate.timelines, reference.timelines, "{label}: timelines diverged");
-    for (a, b) in reference.timelines.iter().flatten().zip(candidate.timelines.iter().flatten())
-    {
-        for (x, y) in a.potentials.iter().zip(&b.potentials) {
-            assert_eq!(x.to_bits(), y.to_bits(), "{label}: potential bits diverged");
-        }
-        for (x, y) in a.throughputs.iter().zip(&b.throughputs) {
-            assert_eq!(x.to_bits(), y.to_bits(), "{label}: throughput bits diverged");
-        }
-        assert_eq!(
-            a.migration_stall.to_bits(),
-            b.migration_stall.to_bits(),
-            "{label}: stall bits diverged"
-        );
-    }
-    for (a, b) in reference.placements.iter().zip(&candidate.placements) {
-        assert_eq!(
-            a.predicted_delta.to_bits(),
-            b.predicted_delta.to_bits(),
-            "{label}: predicted-delta bits diverged"
-        );
-    }
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
     /// The headline property: telemetry on (even with wall-clock stage
     /// timing) never changes a decision — bit-identical placements,
     /// metrics, and timelines versus the telemetry-off reference, under
-    /// both the sequential and the threaded executor, with and without
-    /// fault injection.
+    /// the sequential, threaded, and epoch-log async executors, with and
+    /// without fault injection.
     #[test]
     fn telemetry_never_changes_a_decision(
         seed in 0u64..64,
@@ -127,11 +74,14 @@ proptest! {
         let reference = run(&spec, Parallelism::Sequential, TelemetrySpec::default());
         prop_assert!(reference.metrics.offered > 0);
         prop_assert!(reference.telemetry.is_none(), "disabled telemetry must cost nothing");
+        let async4 = Parallelism::Async { workers: 4, max_epoch_lag: 3 };
         for (label, parallelism, telemetry) in [
             ("seq+on", Parallelism::Sequential, TelemetrySpec::on()),
             ("seq+wall", Parallelism::Sequential, TelemetrySpec::on().with_wall_clock()),
             ("thr4+on", Parallelism::Threads(4), TelemetrySpec::on()),
             ("thr4+off", Parallelism::Threads(4), TelemetrySpec::default()),
+            ("async4+on", async4, TelemetrySpec::on()),
+            ("async4+off", async4, TelemetrySpec::default()),
         ] {
             let candidate = run(&spec, parallelism, telemetry);
             assert_identical(&reference, &candidate, &format!("{label} seed {seed}"));
@@ -202,6 +152,51 @@ fn snapshot_counters_agree_with_metrics_and_exports_replay_byte_stable() {
         replay_snap.flight_jsonl(),
         "flight-recorder export must be byte-stable across replays"
     );
+}
+
+/// The epoch-log ride-alongs: under `Parallelism::Async` the snapshot
+/// carries the speculation accounting — batches, probes built ahead,
+/// reuse/revalidation/refresh counters that reconcile, the `speculate`
+/// stage, and a per-shard `fleet_shard_epoch_lag` gauge — and none of it
+/// exists under the barrier executors, where no speculation runs.
+#[test]
+fn epoch_log_staleness_telemetry_rides_along() {
+    let spec = load(21, 0, true);
+    let outcome = run(
+        &spec,
+        Parallelism::Async { workers: 2, max_epoch_lag: 4 },
+        TelemetrySpec::on(),
+    );
+    let snap = outcome.telemetry.as_ref().expect("telemetry enabled");
+    let c = |k: &str| snap.registry.counter(k);
+    assert!(c("fleet_spec_batches_total") > 0, "async runs must speculate");
+    assert!(c("fleet_spec_probes_total") > 0);
+    assert!(c("fleet_stage_entered_total{stage=\"speculate\"}") > 0);
+    // Every speculated probe that reached a decision was either reused
+    // (possibly after revalidation) or refreshed; revalidations and
+    // refreshes are mutually exclusive per probe, so neither can exceed
+    // what was consulted.
+    let reused = c("fleet_spec_probes_reused_total");
+    let refreshed = c("fleet_staleness_refreshes_total");
+    assert!(reused > 0, "a 240 s run must reuse some speculated probes");
+    assert!(
+        c("fleet_staleness_revalidations_total") <= reused + refreshed,
+        "revalidations count a subset of consulted probes"
+    );
+    // The per-shard staleness gauge is sampled for every shard.
+    for s in 0..3 {
+        let key = format!("fleet_shard_epoch_lag{{shard=\"{s}\"}}");
+        assert!(
+            snap.registry.gauge(&key).is_some(),
+            "missing epoch-lag gauge for shard {s}"
+        );
+    }
+    // Barrier executors never speculate: the ride-along stays silent.
+    let barrier = run(&spec, Parallelism::Threads(2), TelemetrySpec::on());
+    let bsnap = barrier.telemetry.as_ref().expect("telemetry enabled");
+    assert_eq!(bsnap.registry.counter("fleet_spec_batches_total"), 0);
+    assert_eq!(bsnap.registry.counter("fleet_staleness_revalidations_total"), 0);
+    assert_eq!(bsnap.registry.counter("fleet_staleness_refreshes_total"), 0);
 }
 
 /// Flight-recorder causality: every `evacuate`/`shed` record of an
