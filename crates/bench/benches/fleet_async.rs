@@ -1,26 +1,36 @@
 //! Barrier vs barrier-free control plane: the per-event barrier executor
 //! (`Parallelism::Threads`) A/B'd against the epoch-log executor
-//! (`Parallelism::Async`) at 128 and 512 shards under **fixed offered
-//! load**, written to `BENCH_fleet.json` at the workspace root.
+//! (`Parallelism::Async`) — with the apply side serial and with the
+//! out-of-order apply-lane scheduler (`apply_lanes: true`) — at 128 and
+//! 512 shards under **fixed offered load**, written to
+//! `BENCH_fleet.json` at the workspace root.
 //!
-//! The contract mirrors `fleet_massive`'s: the two arms must produce
-//! **bit-identical** placements and metrics (speculation is an execution
-//! strategy, never a policy — asserted here before anything is recorded,
-//! and property-tested in `crates/fleet/tests/async_exec.rs`); only the
-//! wall clock may differ. The headline figure is events/sec per arm:
-//! the epoch log amortizes the probe fan over a `max_epoch_lag + 1`
-//! event lookahead window and reuses every speculative probe whose
-//! apply-time validation passes, instead of paying one full fan-out
-//! barrier per event.
+//! The contract mirrors `fleet_massive`'s: all arms must produce
+//! **bit-identical** placements and metrics (speculation and lane
+//! scheduling are execution strategies, never policies — asserted here
+//! before anything is recorded, and property-tested in
+//! `crates/fleet/tests/async_exec.rs`); only the wall clock may differ.
+//! The headline figure is events/sec per arm: the epoch log amortizes
+//! the probe fan over a `max_epoch_lag + 1` event lookahead window and
+//! reuses every speculative probe whose apply-time validation passes,
+//! and the lane arm additionally prepares single-shard applies
+//! concurrently between fences. Each arm also reports its
+//! **speculation-waste ratio** — wasted probes over consulted probes
+//! (`fleet_spec_probes_wasted_total` against reuses + waste) — the price
+//! of running ahead. Multi-core speedup is host-dependent: on a
+//! single-core runner the lane arm measures pure scheduling overhead,
+//! so `host_threads` rides along in the section.
 //!
 //! `RANKMAP_BENCH_SMOKE=1` shrinks the horizon and skips the 512-shard
-//! tier so CI keeps this bench compiling *and running*.
+//! tier so CI keeps this bench compiling *and running* — including the
+//! `apply_lanes` arm.
 
 use rankmap_core::json::{obj, Json};
 use rankmap_core::manager::ManagerConfig;
 use rankmap_core::oracle::AnalyticalOracle;
 use rankmap_fleet::{
     FleetConfig, FleetOutcome, FleetRuntime, LoadSpec, LoadStream, Parallelism, Popularity,
+    TelemetrySpec,
 };
 use rankmap_platform::Platform;
 use std::time::Instant;
@@ -29,12 +39,12 @@ fn smoke() -> bool {
     std::env::var_os("RANKMAP_BENCH_SMOKE").is_some()
 }
 
-/// The epoch log's staleness bound for the barrier-free arm: a deep
+/// The epoch log's staleness bound for the barrier-free arms: a deep
 /// window so speculation batches are large, far below the executor's
 /// internal lookahead clamp.
 const MAX_EPOCH_LAG: u64 = 32;
 
-/// Fixed offered load for both fleet sizes and both arms: ~5 arrivals/s
+/// Fixed offered load for both fleet sizes and all arms: ~5 arrivals/s
 /// of Zipf-skewed traffic with short residencies, plus enough priority
 /// churn to exercise the speculation flush.
 fn load_spec() -> LoadSpec {
@@ -50,8 +60,12 @@ fn load_spec() -> LoadSpec {
     }
 }
 
-/// Small search budgets, identical in both arms: the system under test
+/// Small search budgets, identical in all arms: the system under test
 /// is the control plane's event loop, not the per-board mapper.
+/// Telemetry rides along in every arm — the deterministic registry is
+/// where the speculation-waste counters live, and enabled-vs-disabled
+/// telemetry is bit-identical by contract (tested in
+/// `crates/fleet/tests/telemetry.rs`), so it cannot tilt the A/B.
 fn fleet_config(parallelism: Parallelism) -> FleetConfig {
     FleetConfig {
         manager: ManagerConfig {
@@ -62,6 +76,7 @@ fn fleet_config(parallelism: Parallelism) -> FleetConfig {
         },
         max_per_shard: 3,
         sample_dt: 250.0,
+        telemetry: TelemetrySpec::on(),
         parallelism,
         ..Default::default()
     }
@@ -72,6 +87,23 @@ struct Run {
     events: usize,
     wall_s: f64,
     events_per_s: f64,
+}
+
+impl Run {
+    /// Wasted speculative probes over all consulted speculation — the
+    /// fraction of run-ahead work that bought nothing (expired entries,
+    /// masked shards, `SetPriorities` flushes). 0 for the barrier arm,
+    /// which never speculates.
+    fn waste_ratio(&self) -> f64 {
+        let snap = self.outcome.telemetry.as_ref().expect("telemetry enabled");
+        let wasted = snap.registry.counter("fleet_spec_probes_wasted_total") as f64;
+        let reused = snap.registry.counter("fleet_spec_probes_reused_total") as f64;
+        if wasted + reused == 0.0 {
+            0.0
+        } else {
+            wasted / (wasted + reused)
+        }
+    }
 }
 
 fn run(platform: &Platform, shards: usize, parallelism: Parallelism) -> Run {
@@ -104,6 +136,7 @@ fn row(shards: usize, arm: &str, r: &Run) -> Json {
             "placement_p99_us",
             Json::Num(r.outcome.placement_latency.p99.as_secs_f64() * 1e6),
         ),
+        ("speculation_waste_ratio", Json::Num(r.waste_ratio())),
     ])
 }
 
@@ -111,7 +144,7 @@ fn print_run(label: &str, r: &Run) {
     let m = &r.outcome.metrics;
     println!(
         "  {label}: {} events ({} offered, {} admitted) in {:.1}s — {:.0} events/s, \
-         placement p50 {:?} p99 {:?}",
+         placement p50 {:?} p99 {:?}, waste {:.3}",
         r.events,
         m.offered,
         m.admitted,
@@ -119,7 +152,20 @@ fn print_run(label: &str, r: &Run) {
         r.events_per_s,
         r.outcome.placement_latency.p50,
         r.outcome.placement_latency.p99,
+        r.waste_ratio(),
     );
+}
+
+/// Asserts the deterministic outcome of `candidate` is bit-identical to
+/// the barrier reference before any figure of that arm is recorded.
+fn assert_bit_identical(shards: usize, arm: &str, reference: &Run, candidate: &Run) {
+    assert_eq!(
+        candidate.outcome.metrics, reference.outcome.metrics,
+        "the {arm} arm changed a decision at {shards} shards — \
+         barrier-free execution must be bit-identical to the barrier"
+    );
+    assert_eq!(candidate.outcome.placements, reference.outcome.placements);
+    assert_eq!(candidate.outcome.timelines, reference.outcome.timelines);
 }
 
 fn main() {
@@ -127,7 +173,9 @@ fn main() {
     let spec = load_spec();
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let barrier = Parallelism::Threads(workers);
-    let epoch_log = Parallelism::Async { workers, max_epoch_lag: MAX_EPOCH_LAG };
+    let epoch_log =
+        Parallelism::Async { workers, max_epoch_lag: MAX_EPOCH_LAG, apply_lanes: false };
+    let lanes = Parallelism::Async { workers, max_epoch_lag: MAX_EPOCH_LAG, apply_lanes: true };
     println!(
         "fleet_async: Zipf load at {:.1}/s over {:.0}s, {workers} workers, \
          lag bound {MAX_EPOCH_LAG} ({} mode)",
@@ -139,35 +187,37 @@ fn main() {
     let tiers: &[usize] = if smoke() { &[128] } else { &[128, 512] };
     let mut rows = Vec::new();
     let mut speedup_128 = 0.0;
+    let mut lanes_speedup_128 = 0.0;
     for &shards in tiers {
         let b = run(&platform, shards, barrier);
-        print_run(&format!("{shards} shards, barrier  "), &b);
+        print_run(&format!("{shards} shards, barrier    "), &b);
         let e = run(&platform, shards, epoch_log);
-        print_run(&format!("{shards} shards, epoch log"), &e);
+        print_run(&format!("{shards} shards, epoch log  "), &e);
+        let l = run(&platform, shards, lanes);
+        print_run(&format!("{shards} shards, apply lanes"), &l);
         // Bit-identity comes before any figure is recorded: a control
         // plane that trades determinism for throughput has no headline.
-        assert_eq!(
-            e.outcome.metrics, b.outcome.metrics,
-            "the epoch log changed a decision at {shards} shards — \
-             barrier-free execution must be bit-identical to the barrier"
-        );
-        assert_eq!(e.outcome.placements, b.outcome.placements);
-        assert_eq!(e.outcome.timelines, b.outcome.timelines);
+        assert_bit_identical(shards, "epoch_log", &b, &e);
+        assert_bit_identical(shards, "apply_lanes", &b, &l);
         let speedup = e.events_per_s / b.events_per_s;
+        let lanes_speedup = l.events_per_s / b.events_per_s;
         if shards == 128 {
             speedup_128 = speedup;
+            lanes_speedup_128 = lanes_speedup;
         }
         println!(
-            "  epoch-log/barrier events/s at {shards} shards = {speedup:.2}x ({})",
-            if speedup > 1.0 { "barrier-free wins" } else { "BARRIER FASTER" }
+            "  events/s over barrier at {shards} shards: epoch log {speedup:.2}x, \
+             apply lanes {lanes_speedup:.2}x (host-dependent — see host_threads)"
         );
         rows.push(row(shards, "barrier", &b));
         rows.push(row(shards, "epoch_log", &e));
+        rows.push(row(shards, "apply_lanes", &l));
     }
 
     let report = obj([
         ("smoke", Json::Bool(smoke())),
         ("workers", Json::Num(workers as f64)),
+        ("host_threads", Json::Num(workers as f64)),
         ("max_epoch_lag", Json::Num(MAX_EPOCH_LAG as f64)),
         (
             "offered_load",
@@ -181,6 +231,7 @@ fn main() {
         ),
         ("runs", Json::Arr(rows)),
         ("epoch_log_over_barrier_events_per_s_128", Json::Num(speedup_128)),
+        ("apply_lanes_over_barrier_events_per_s_128", Json::Num(lanes_speedup_128)),
         ("ab_decisions_bit_identical", Json::Bool(true)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");

@@ -190,6 +190,10 @@ fn main() {
 
     let report = obj([
         ("smoke", Json::Bool(smoke())),
+        (
+            "host_threads",
+            Json::Num(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64),
+        ),
         ("shards", Json::Num(SHARDS as f64)),
         (
             "outage",

@@ -192,6 +192,10 @@ fn main() {
     let report = obj([
         ("smoke", Json::Bool(smoke())),
         (
+            "host_threads",
+            Json::Num(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64),
+        ),
+        (
             "fleet",
             obj([
                 ("orange_pi_5_shards", Json::Num(4.0)),

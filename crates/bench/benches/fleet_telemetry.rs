@@ -144,6 +144,10 @@ fn main() {
 
     let report = obj([
         ("smoke", Json::Bool(smoke())),
+        (
+            "host_threads",
+            Json::Num(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64),
+        ),
         ("shards", Json::Num(8.0)),
         (
             "offered_load",

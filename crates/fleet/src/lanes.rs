@@ -1,0 +1,185 @@
+//! Per-shard apply lanes for the epoch-log executor: the batch data
+//! structure behind `Parallelism::Async { apply_lanes: true, .. }`.
+//!
+//! The commutativity rule is ownership: an apply that touches exactly
+//! one shard's runtime session — a pinned admission, a departure of an
+//! active instance, a derate — commutes with any apply that touches a
+//! *different* shard, because shard sessions share no mutable state and
+//! every cross-shard decision input (probe fans, rebalance scans, the
+//! overload guard) is re-read at a fence. Such events enqueue a
+//! [`LaneOp`] on their shard's lane instead of applying at the cursor.
+//! Everything else is a **fence** that drains the batch and resequences:
+//!
+//! * admissions (their probe fan must score committed shard state, and
+//!   the winner's instance-identity pin needs an empty batch),
+//! * `SetPriorities` broadcasts, `ShardDown` evacuations, `ShardUp`
+//!   revivals (cross-shard by construction),
+//! * a second op landing on a busy shard (one pending op per lane),
+//! * the lookahead-window refill (speculation stamps shard epochs),
+//! * and the end of the stream.
+//!
+//! Draining is out-of-order *prepare*, in-order *commit*: every pending
+//! op's expensive apply work runs concurrently as a pure
+//! [`rankmap_core::runtime::RuntimeSession::prepare_apply`] computation
+//! stamped with the shard's epoch, then a serial walk retires the ops in
+//! strict log order, running each position's deferred checks (rebalance
+//! → overload guard → telemetry sample) right after its op commits. If a
+//! check mutates a shard that still has a later prepared op, the epoch
+//! stamp no longer matches at that op's commit — the preparation is
+//! discarded and the event applies directly at its position instead.
+//! Parallelism therefore changes *when work is computed*, never *what is
+//! decided*: the committed state sequence is bit-identical to the serial
+//! cursor's (`apply_lanes: false`), which stays available as the oracle.
+
+use rankmap_core::runtime::InstanceId;
+use rankmap_models::ModelId;
+
+use crate::load::RequestId;
+
+/// The pending out-of-order applies of the current lane batch: at most
+/// one op per shard (`busy` enforces it), retired together at the next
+/// fence by `FleetExecutor::flush_lanes`.
+///
+/// A disabled batch (barrier modes, `apply_lanes: false`) stays
+/// permanently empty; callers branch on [`LaneBatch::enabled`] and fall
+/// through to the serial cursor path.
+pub(crate) struct LaneBatch {
+    enabled: bool,
+    ops: Vec<LaneOp>,
+    busy: Vec<bool>,
+}
+
+impl LaneBatch {
+    pub(crate) fn new(enabled: bool, shards: usize) -> Self {
+        Self { enabled, ops: Vec::new(), busy: vec![false; shards] }
+    }
+
+    /// Whether the executor runs the lane scheduler at all.
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Whether `shard` already owns a pending op (a second one must
+    /// fence first — lane order within a shard is log order).
+    pub(crate) fn busy(&self, shard: usize) -> bool {
+        self.busy[shard]
+    }
+
+    /// Enqueues a pinned admission (the winning shard `s` was chosen at
+    /// the cursor; the instance identity was pinned via
+    /// `Shard::next_instance_id` against a drained batch).
+    pub(crate) fn push_admit(&mut self, t: f64, request: RequestId, model: ModelId, shard: usize) {
+        self.push(LaneOp { t, kind: LaneKind::Admit { request, model, shard } });
+    }
+
+    /// Enqueues the departure of an instance observed `Active` on
+    /// `shard` at the cursor (commit re-reads the disposition).
+    pub(crate) fn push_depart(
+        &mut self,
+        t: f64,
+        request: RequestId,
+        shard: usize,
+        instance: InstanceId,
+    ) {
+        self.push(LaneOp { t, kind: LaneKind::Depart { request, shard, instance } });
+    }
+
+    /// Enqueues a derate (`set_throttle`) for `shard`.
+    pub(crate) fn push_throttle(&mut self, t: f64, shard: usize, factor: f64) {
+        self.push(LaneOp { t, kind: LaneKind::Throttle { shard, factor } });
+    }
+
+    /// Enqueues a position that owns no shard work but whose deferred
+    /// checks (rebalance / overload guard / sample) must still run at
+    /// its place in the log walk. Only meaningful in a non-empty batch —
+    /// `FleetExecutor::lane_checkpoint` runs the checks inline otherwise.
+    pub(crate) fn push_checkpoint(&mut self, t: f64) {
+        debug_assert!(!self.ops.is_empty(), "an empty batch runs its checks inline");
+        self.ops.push(LaneOp { t, kind: LaneKind::Checkpoint });
+    }
+
+    fn push(&mut self, op: LaneOp) {
+        debug_assert!(self.enabled, "lane ops require the lane scheduler");
+        if let Some(s) = op.shard() {
+            debug_assert!(!self.busy[s], "one pending op per shard lane");
+            self.busy[s] = true;
+        }
+        self.ops.push(op);
+    }
+
+    /// Drains the batch for a flush, clearing the busy flags.
+    pub(crate) fn take(&mut self) -> Vec<LaneOp> {
+        self.busy.fill(false);
+        std::mem::take(&mut self.ops)
+    }
+}
+
+/// One log position captured in the batch, in log order.
+pub(crate) struct LaneOp {
+    /// The event's timestamp (deferred checks run at this time).
+    pub(crate) t: f64,
+    pub(crate) kind: LaneKind,
+}
+
+impl LaneOp {
+    /// The shard whose lane this op occupies (`None` for checkpoints).
+    pub(crate) fn shard(&self) -> Option<usize> {
+        match &self.kind {
+            LaneKind::Admit { shard, .. }
+            | LaneKind::Depart { shard, .. }
+            | LaneKind::Throttle { shard, .. } => Some(*shard),
+            LaneKind::Checkpoint => None,
+        }
+    }
+}
+
+pub(crate) enum LaneKind {
+    /// An admission whose winner was decided (and instance identity
+    /// pinned) at the cursor; only the apply is deferred.
+    Admit { request: RequestId, model: ModelId, shard: usize },
+    /// A departure observed `Active { shard, instance }` at the cursor;
+    /// commit re-reads the disposition in case a deferred check migrated
+    /// or shed the instance in between.
+    Depart { request: RequestId, shard: usize, instance: InstanceId },
+    /// A derate decided effective at the cursor (`!down`, factor
+    /// changed); same-shard ordering is guaranteed by the busy fence.
+    Throttle { shard: usize, factor: f64 },
+    /// No shard work — the position only carries its deferred checks.
+    Checkpoint,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_tracks_busy_lanes_and_drains_clean() {
+        let mut batch = LaneBatch::new(true, 3);
+        assert!(batch.enabled());
+        assert!(batch.is_empty());
+        batch.push_admit(1.0, RequestId::new(1), ModelId::AlexNet, 0);
+        batch.push_throttle(2.0, 2, 0.5);
+        batch.push_checkpoint(3.0);
+        assert!(batch.busy(0) && !batch.busy(1) && batch.busy(2));
+        assert!(!batch.is_empty());
+        let ops = batch.take();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].shard(), Some(0));
+        assert_eq!(ops[1].shard(), Some(2));
+        assert_eq!(ops[2].shard(), None);
+        assert!(batch.is_empty());
+        assert!(!batch.busy(0) && !batch.busy(2), "take clears the lanes");
+    }
+
+    #[test]
+    fn disabled_batch_stays_inert() {
+        let batch = LaneBatch::new(false, 4);
+        assert!(!batch.enabled());
+        assert!(batch.is_empty());
+        assert!(!batch.busy(3));
+    }
+}

@@ -29,9 +29,10 @@
 //!   concurrently: [`FleetConfig::parallelism`] selects
 //!   [`Parallelism::Threads`]`(n)` (global event barriers; the default
 //!   sizes to the host's cores),
-//!   [`Parallelism::Async`]` { workers, max_epoch_lag }` (the
-//!   barrier-free epoch log: bounded-staleness speculative scoring,
-//!   validated at apply time), or the [`Parallelism::Sequential`]
+//!   [`Parallelism::Async`]` { workers, max_epoch_lag, apply_lanes }`
+//!   (the barrier-free epoch log: bounded-staleness speculative scoring
+//!   validated at apply time, optionally retiring applies through
+//!   out-of-order per-shard lanes), or the [`Parallelism::Sequential`]
 //!   reference — all produce bit-identical placements, timelines,
 //!   metrics, and trace replays (property-tested in `tests/parallel.rs`
 //!   and `tests/async_exec.rs`).
@@ -90,6 +91,7 @@
 pub mod executor;
 mod faults;
 mod index;
+mod lanes;
 pub mod load;
 pub mod metrics;
 mod placement;
@@ -101,7 +103,7 @@ mod speculate;
 pub mod telemetry;
 pub mod trace;
 
-pub use executor::{FleetConfig, Parallelism};
+pub use executor::{FleetConfig, FleetConfigError, Parallelism, LOOKAHEAD_BOUND};
 pub use load::{
     generate, ArrivalProcess, FaultSpec, FlashSpec, FleetEvent, LoadSpec, LoadStream,
     Popularity, RequestId, TenantSpec,

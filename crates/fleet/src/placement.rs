@@ -368,7 +368,11 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                     let (shard, cell) = pair;
                     if Some(s) == exclude || rep_mask.as_ref().is_some_and(|mask| !mask[s])
                     {
-                        return (None, SpecStat::default());
+                        // A filed entry for a shard this admission skips
+                        // (excluded source, or masked out after the index
+                        // refresh) is speculation that bought nothing.
+                        let wasted = cell.take().is_some();
+                        return (None, SpecStat { wasted, ..SpecStat::default() });
                     }
                     match cell.take() {
                         // Nothing speculated for this shard (flushed, or
@@ -395,6 +399,7 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                                     SpecStat {
                                         revalidated: lag <= max_lag,
                                         refreshed: true,
+                                        wasted: true,
                                         ..stat
                                     },
                                 )
@@ -415,8 +420,8 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                 self.telemetry.finish(build);
                 // Serial merge of the fan's observability: counters plus
                 // the per-shard lag gauges the sampler exports.
-                let (mut reused, mut revalidations, mut refreshes, mut built) =
-                    (0u64, 0u64, 0u64, 0u64);
+                let (mut reused, mut revalidations, mut refreshes, mut built, mut wasted) =
+                    (0u64, 0u64, 0u64, 0u64, 0u64);
                 let mut probes = Vec::with_capacity(validated.len());
                 for (s, (probe, stat)) in validated.into_iter().enumerate() {
                     if stat.consulted {
@@ -425,6 +430,7 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                     reused += u64::from(stat.reused);
                     revalidations += u64::from(stat.revalidated);
                     refreshes += u64::from(stat.refreshed);
+                    wasted += u64::from(stat.wasted);
                     built += u64::from(probe.is_some() && !stat.reused);
                     probes.push(probe);
                 }
@@ -432,6 +438,7 @@ impl<'p, O: ThroughputOracle> FleetExecutor<'p, O> {
                 self.telemetry.count("fleet_spec_probes_reused_total", reused);
                 self.telemetry.count("fleet_staleness_revalidations_total", revalidations);
                 self.telemetry.count("fleet_staleness_refreshes_total", refreshes);
+                self.telemetry.count("fleet_spec_probes_wasted_total", wasted);
                 probes
             }
         };

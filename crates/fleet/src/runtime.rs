@@ -47,12 +47,14 @@
 //! epoch-sequenced lookahead window of the event log
 //! ([`crate::Parallelism::Async`]: arrivals are speculatively scored
 //! against bounded-staleness shard snapshots and every speculative probe
-//! is validated at apply time). Results merge in canonical shard order,
-//! so the outcome is bit-identical to
-//! [`crate::Parallelism::Sequential`] at any width and staleness bound
-//! (see the executor docs for the determinism argument, and
-//! `crates/fleet/tests/{parallel,async_exec}.rs` for the property
-//! tests).
+//! is validated at apply time; with `apply_lanes: true` the apply side
+//! also retires out-of-order through per-shard lanes — prepared
+//! concurrently, committed in log order, see `docs/fleet.md`). Results
+//! merge in canonical shard order, so the outcome is bit-identical to
+//! [`crate::Parallelism::Sequential`] at any width, staleness bound,
+//! and lane setting (see the executor docs for the determinism
+//! argument, and `crates/fleet/tests/{parallel,async_exec}.rs` for the
+//! property tests).
 //!
 //! The fleet also survives **board failures** (see [`crate::FaultSpec`]
 //! and `docs/fleet.md`): a `ShardDown` event triages the failing shard's
@@ -71,7 +73,7 @@
 //! its warm-started search (plan cache and all) once the instance lands,
 //! so per-shard mapping quality is exactly the PR 2 serving runtime's.
 
-use crate::executor::{FleetConfig, FleetExecutor};
+use crate::executor::{FleetConfig, FleetConfigError, FleetExecutor};
 use crate::load::FleetEvent;
 use crate::metrics::{FleetMetrics, LatencyStats, PlacementRecord};
 use crate::spec::FleetSpec;
@@ -156,8 +158,37 @@ impl<'p, O: ThroughputOracle> FleetRuntime<'p, O> {
     /// let outcome = fleet.execute(&events, 60.0);
     /// assert_eq!(outcome.metrics.admitted, 2);
     /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is rejected by
+    /// [`FleetConfig::validate`] (e.g. an [`crate::Parallelism::Async`]
+    /// `max_epoch_lag` beyond [`crate::LOOKAHEAD_BOUND`]); use
+    /// [`FleetRuntime::try_new`] for the `Result` surface.
     pub fn new(spec: &FleetSpec<'p, O>, config: FleetConfig) -> Self {
-        Self { executor: FleetExecutor::new(spec, config) }
+        match Self::try_new(spec, config) {
+            Ok(fleet) => fleet,
+            Err(err) => panic!("invalid fleet config: {err}"),
+        }
+    }
+
+    /// [`FleetRuntime::new`] with configuration errors surfaced as a
+    /// [`FleetConfigError`] instead of a panic — the counterpart of
+    /// [`FleetSpec::try_new`](crate::FleetSpec::try_new) for the
+    /// executor-level knobs.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`FleetConfig::validate`] rejects — currently an
+    /// [`crate::Parallelism::Async`] `max_epoch_lag` above
+    /// [`crate::LOOKAHEAD_BOUND`], which the bounded lookahead window
+    /// could never realize.
+    pub fn try_new(
+        spec: &FleetSpec<'p, O>,
+        config: FleetConfig,
+    ) -> Result<Self, FleetConfigError> {
+        config.validate()?;
+        Ok(Self { executor: FleetExecutor::new(spec, config) })
     }
 
     /// Builds a homogeneous fleet: `shards` copies of the same platform

@@ -63,6 +63,13 @@ pub(crate) struct SpecStat {
     /// The entry expired (failed validation or exceeded the lag bound)
     /// and the probe was rebuilt against the fresh snapshot.
     pub(crate) refreshed: bool,
+    /// Speculative work that bought nothing: an entry existed but its
+    /// probe was never reused — it expired (`refreshed`), or admission
+    /// skipped the shard entirely (down, at capacity, or masked out as a
+    /// non-representative after the index refresh). Feeds
+    /// `fleet_spec_probes_wasted_total`, the denominator-side of the
+    /// speculation waste ratio the `fleet_async` bench reports.
+    pub(crate) wasted: bool,
 }
 
 /// The executor-owned store of speculative probes: one entry per
@@ -88,11 +95,20 @@ impl SpeculationCache {
         self.entries.remove(request)
     }
 
-    /// Drops every entry. Called when a `SetPriorities` event applies:
-    /// the priority mode is a `build_probe` input the class key cannot
-    /// see, so no pre-rotation probe may survive it.
-    pub(crate) fn flush(&mut self) {
+    /// Drops every entry, returning how many filed per-shard entries
+    /// were discarded unconsumed. Called when a `SetPriorities` event
+    /// applies: the priority mode is a `build_probe` input the class key
+    /// cannot see, so no pre-rotation probe may survive it. The count
+    /// feeds `fleet_spec_probes_wasted_total` — a flush is pure
+    /// speculation waste.
+    pub(crate) fn flush(&mut self) -> u64 {
+        let dropped = self
+            .entries
+            .values()
+            .map(|cells| cells.iter().filter(|c| c.is_some()).count() as u64)
+            .sum();
         self.entries.clear();
+        dropped
     }
 }
 
@@ -112,8 +128,12 @@ mod tests {
         assert_eq!(taken.len(), 2);
         assert!(taken[0].as_ref().is_some_and(|e| e.epoch == 3));
         assert!(cache.take(&request).is_none(), "consumed exactly once");
-        cache.insert(request, vec![None]);
-        cache.flush();
+        cache.insert(
+            request,
+            vec![None, Some(SpecEntry { probe: None, epoch: 0, class_key: None })],
+        );
+        assert_eq!(cache.flush(), 1, "flush reports the filed entries it wasted");
         assert!(cache.take(&request).is_none(), "flush drops everything");
+        assert_eq!(cache.flush(), 0, "an empty cache wastes nothing");
     }
 }

@@ -51,6 +51,12 @@ pub mod stage {
     pub const INDEX_REFILE: &str = "index_refile";
     /// The epoch log's speculative scoring fan over a lookahead window.
     pub const SPECULATE: &str = "speculate";
+    /// The apply-lane scheduler's parallel prepare fan (per-shard remap +
+    /// migration decision, computed without mutating the shards).
+    pub const APPLY_PREPARE: &str = "apply_prepare";
+    /// The apply-lane scheduler's serial commit walk (installing prepared
+    /// applies in log order, running the deferred per-position checks).
+    pub const APPLY_COMMIT: &str = "apply_commit";
 }
 
 /// The fully static counter key of a stage — a `match` rather than
@@ -65,6 +71,8 @@ fn entered_key(stage_name: &'static str) -> &'static str {
         stage::EVACUATION => "fleet_stage_entered_total{stage=\"evacuation\"}",
         stage::INDEX_REFILE => "fleet_stage_entered_total{stage=\"index_refile\"}",
         stage::SPECULATE => "fleet_stage_entered_total{stage=\"speculate\"}",
+        stage::APPLY_PREPARE => "fleet_stage_entered_total{stage=\"apply_prepare\"}",
+        stage::APPLY_COMMIT => "fleet_stage_entered_total{stage=\"apply_commit\"}",
         _ => "fleet_stage_entered_total{stage=\"other\"}",
     }
 }
@@ -186,6 +194,14 @@ impl FleetTelemetry {
     pub(crate) fn count(&mut self, key: &'static str, n: u64) {
         if self.spec.enabled && n > 0 {
             self.registry.counter_add(key, n);
+        }
+    }
+
+    /// Sets a (static-keyed) gauge — e.g. `fleet_lane_occupancy`, the
+    /// distinct shards retiring applies in the last drained lane batch.
+    pub(crate) fn gauge(&mut self, key: &'static str, value: f64) {
+        if self.spec.enabled {
+            self.registry.gauge_set(key, value);
         }
     }
 
@@ -356,6 +372,8 @@ mod tests {
             stage::EVACUATION,
             stage::INDEX_REFILE,
             stage::SPECULATE,
+            stage::APPLY_PREPARE,
+            stage::APPLY_COMMIT,
         ];
         let keys: std::collections::BTreeSet<&str> =
             stages.iter().map(|s| entered_key(s)).collect();

@@ -1,10 +1,11 @@
 //! Determinism of the barrier-free epoch-log executor:
-//! `Parallelism::Async { workers, max_epoch_lag }` must produce
-//! placements, metrics, and per-shard timelines **bit-identical** to
-//! `Parallelism::Sequential` — for *any* worker count and *any*
-//! staleness bound — across seeds, load shapes, fault schedules, and
-//! Zipf-skewed popularity, and recorded traces must replay bit-for-bit
-//! *under the epoch-log executor*.
+//! `Parallelism::Async { workers, max_epoch_lag, apply_lanes }` must
+//! produce placements, metrics, and per-shard timelines **bit-identical**
+//! to `Parallelism::Sequential` — for *any* worker count, *any*
+//! staleness bound, and with the out-of-order apply-lane scheduler on or
+//! off — across seeds, load shapes, fault schedules, and Zipf-skewed
+//! popularity, and recorded traces must replay bit-for-bit *under the
+//! epoch-log executor*.
 //!
 //! This is the load-bearing guarantee of the epoch log: speculation is
 //! an execution strategy, never a policy. Probes scored against a
@@ -24,8 +25,8 @@ use common::{assert_identical, assert_replay_identical, base_faults, quick_manag
 use proptest::prelude::*;
 use rankmap_core::oracle::AnalyticalOracle;
 use rankmap_fleet::{
-    generate, FaultSpec, FleetConfig, FleetOutcome, FleetRuntime, FleetSpec, LoadSpec,
-    Parallelism, ShardSpec,
+    generate, FaultSpec, FleetConfig, FleetConfigError, FleetOutcome, FleetRuntime, FleetSpec,
+    LoadSpec, Parallelism, ShardSpec, LOOKAHEAD_BOUND,
 };
 use rankmap_platform::Platform;
 
@@ -68,9 +69,10 @@ proptest! {
     /// The headline property: the epoch-log executor reproduces the
     /// sequential reference byte for byte for every worker count ×
     /// staleness bound — `max_epoch_lag: 0` (the degenerate barrier
-    /// schedule) through deep lookahead windows — across seeds, load
-    /// shapes, fault layers, and popularity skew, and the recorded
-    /// trace replays bit-for-bit under the epoch-log executor itself.
+    /// schedule) through deep lookahead windows — with the apply-lane
+    /// scheduler on or off, across seeds, load shapes, fault layers, and
+    /// popularity skew, and the recorded trace replays bit-for-bit under
+    /// the epoch-log executor itself.
     #[test]
     fn async_reproduces_sequential_bit_for_bit(
         seed in 0u64..64,
@@ -79,17 +81,18 @@ proptest! {
         zipf in any::<bool>(),
         workers in (0usize..3).prop_map(|i| [1usize, 2, 4][i]),
         max_epoch_lag in (0usize..5).prop_map(|i| [0u64, 1, 2, 5, 16][i]),
+        apply_lanes in any::<bool>(),
     ) {
         let platform = Platform::orange_pi_5();
         let spec = load(seed, process_idx, faults, zipf);
         let reference = run(&platform, &spec, Parallelism::Sequential);
         prop_assert!(reference.metrics.offered > 0);
-        let parallelism = Parallelism::Async { workers, max_epoch_lag };
+        let parallelism = Parallelism::Async { workers, max_epoch_lag, apply_lanes };
         let candidate = run(&platform, &spec, parallelism);
         assert_identical(
             &reference,
             &candidate,
-            &format!("Async{{{workers},{max_epoch_lag}}} seed {seed}"),
+            &format!("Async{{{workers},{max_epoch_lag},lanes:{apply_lanes}}} seed {seed}"),
         );
         // Trace replay under the epoch-log executor: record the stream
         // (fault traffic upgrades the header to v3), parse it back, and
@@ -105,24 +108,57 @@ proptest! {
     }
 }
 
-/// An effectively unbounded staleness bound is still safe: the lookahead
-/// window is clamped internally, and validation never trusts a stale
-/// probe whose class key stopped matching, so even `max_epoch_lag:
-/// u64::MAX` reproduces the reference exactly.
+/// The deepest admissible staleness bound is still safe: at
+/// `max_epoch_lag: LOOKAHEAD_BOUND` (the largest value construction
+/// accepts) the window buffers its full clamp, and validation never
+/// trusts a stale probe whose class key stopped matching — the reference
+/// is reproduced exactly, lanes on or off.
 #[test]
-fn unbounded_lag_is_still_bit_identical() {
+fn lag_at_the_lookahead_bound_is_still_bit_identical() {
     let platform = Platform::orange_pi_5();
-    for seed in [2u64, 19] {
+    for (seed, apply_lanes) in [(2u64, false), (19, true)] {
         let spec = load(seed, seed as usize % 3, true, false);
         let reference = run(&platform, &spec, Parallelism::Sequential);
         assert!(reference.metrics.offered > 0);
         let candidate = run(
             &platform,
             &spec,
-            Parallelism::Async { workers: 4, max_epoch_lag: u64::MAX },
+            Parallelism::Async { workers: 4, max_epoch_lag: LOOKAHEAD_BOUND, apply_lanes },
         );
-        assert_identical(&reference, &candidate, &format!("Async{{4,MAX}} seed {seed}"));
+        assert_identical(
+            &reference,
+            &candidate,
+            &format!("Async{{4,BOUND,lanes:{apply_lanes}}} seed {seed}"),
+        );
     }
+}
+
+/// A staleness bound beyond the lookahead clamp could never be exercised
+/// — the window simply cannot lag that far — so construction rejects it
+/// loudly instead of capping it silently.
+#[test]
+fn lag_beyond_the_lookahead_bound_is_rejected_at_construction() {
+    let config = FleetConfig {
+        parallelism: Parallelism::Async {
+            workers: 4,
+            max_epoch_lag: u64::MAX,
+            apply_lanes: false,
+        },
+        ..Default::default()
+    };
+    let err = config.validate().unwrap_err();
+    assert!(matches!(
+        err,
+        FleetConfigError::MaxEpochLagBeyondLookahead { max_epoch_lag: u64::MAX }
+    ));
+    let platform = Platform::orange_pi_5();
+    let oracle = AnalyticalOracle::new(&platform);
+    let spec = FleetSpec::homogeneous(&platform, &oracle, SHARDS);
+    let refused = FleetRuntime::try_new(&spec, config);
+    assert!(
+        refused.is_err(),
+        "fleet construction must surface the config error, not cap the lag"
+    );
 }
 
 /// Full-scan placement (`indexed_placement: false`) composes with the
@@ -145,8 +181,15 @@ fn unindexed_async_matches_sequential() {
     };
     let reference = run(Parallelism::Sequential);
     assert!(reference.metrics.offered > 0);
-    let candidate = run(Parallelism::Async { workers: 4, max_epoch_lag: 3 });
-    assert_identical(&reference, &candidate, "unindexed Async{4,3}");
+    for apply_lanes in [false, true] {
+        let candidate =
+            run(Parallelism::Async { workers: 4, max_epoch_lag: 3, apply_lanes });
+        assert_identical(
+            &reference,
+            &candidate,
+            &format!("unindexed Async{{4,3,lanes:{apply_lanes}}}"),
+        );
+    }
 }
 
 /// The mixed-fleet variant: two platform groups (two fused-scoring
@@ -173,12 +216,12 @@ fn mixed_fleet_async_matches_sequential() {
     };
     let reference = fleet(Parallelism::Sequential);
     assert!(reference.metrics.offered > 0);
-    for (workers, max_epoch_lag) in [(2usize, 1u64), (4, 8)] {
-        let candidate = fleet(Parallelism::Async { workers, max_epoch_lag });
+    for (workers, max_epoch_lag, apply_lanes) in [(2usize, 1u64, false), (4, 8, true)] {
+        let candidate = fleet(Parallelism::Async { workers, max_epoch_lag, apply_lanes });
         assert_identical(
             &reference,
             &candidate,
-            &format!("mixed Async{{{workers},{max_epoch_lag}}}"),
+            &format!("mixed Async{{{workers},{max_epoch_lag},lanes:{apply_lanes}}}"),
         );
     }
 }
@@ -202,6 +245,13 @@ fn non_fused_scoring_is_speculation_invariant() {
         .execute(&events, spec.horizon)
     };
     let reference = run(Parallelism::Sequential);
-    let candidate = run(Parallelism::Async { workers: 4, max_epoch_lag: 4 });
-    assert_identical(&reference, &candidate, "non-fused Async{4,4}");
+    for apply_lanes in [false, true] {
+        let candidate =
+            run(Parallelism::Async { workers: 4, max_epoch_lag: 4, apply_lanes });
+        assert_identical(
+            &reference,
+            &candidate,
+            &format!("non-fused Async{{4,4,lanes:{apply_lanes}}}"),
+        );
+    }
 }

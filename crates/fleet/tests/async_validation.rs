@@ -17,6 +17,7 @@ mod common;
 
 use common::{assert_identical, quick_manager};
 use rankmap_core::oracle::AnalyticalOracle;
+use rankmap_core::priority::PriorityMode;
 use rankmap_fleet::{
     FleetConfig, FleetEvent, FleetOutcome, FleetRuntime, Parallelism, PlacementOutcome,
     RequestId, TelemetrySpec,
@@ -86,6 +87,99 @@ fn placed_shard(outcome: &FleetOutcome, id: u64) -> usize {
         .expect("request admitted")
 }
 
+/// A rebalance migration racing a pending apply lane: the lane batch
+/// holds departures on two shards; committing the first frees the only
+/// viable destination, so the deferred rebalance check migrates an
+/// instance *off the second op's shard* — bumping its epoch between
+/// prepare and commit. The stale preparation must be discarded and the
+/// departure re-applied directly, **including the speculative remap's
+/// plan-cache footprint**: a leaked cache entry (or LRU touch, or
+/// counter bump) from the discarded prepare would steer a later remap
+/// and silently fork the run from the sequential oracle.
+#[test]
+fn rebalance_mid_batch_discards_the_stale_lane_preparation() {
+    let platform = Platform::orange_pi_5();
+    let oracle = AnalyticalOracle::new(&platform);
+    // Five arrivals onto 3 shards (max_per_shard = 2) leave one shard
+    // with a single instance — the future migration destination must end
+    // *empty*, because a loaded destination loses more than a derated
+    // source heals and the destination filter would veto the move.
+    let mut events = vec![
+        arrive(0.0, 0, ModelId::AlexNet),
+        arrive(1.0, 1, ModelId::AlexNet),
+        arrive(2.0, 2, ModelId::AlexNet),
+        arrive(3.0, 3, ModelId::AlexNet),
+        arrive(4.0, 4, ModelId::AlexNet),
+    ];
+    let config = |parallelism| FleetConfig {
+        manager: quick_manager(),
+        max_per_shard: 2,
+        admission_floor: 0.0,
+        // Between the 2-live shards' healthy mean (~0.57) and the
+        // derated one's (~0.11): only the throttled shard ever reads as
+        // collapsed.
+        rebalance_threshold: 0.3,
+        // Shedding without a remap only partially heals a derated shard
+        // here; a negative margin forces the shed through anyway — the
+        // destination filter still vetoes loaded destinations, so the
+        // migration waits for the emptied shard.
+        rebalance_margin: -1.0,
+        telemetry: TelemetrySpec::on(),
+        parallelism,
+        ..Default::default()
+    };
+    let run = |events: &[FleetEvent], parallelism| {
+        FleetRuntime::homogeneous(&platform, &oracle, SHARDS, config(parallelism))
+            .execute(events, HORIZON)
+    };
+    // Discovery pass (arrivals only): learn which shard got one instance
+    // (`solo`, the eventual destination) and pick a two-instance shard to
+    // derate (`duo`, the eventual source). Later events can't reorder
+    // these placements, so the discovered ids stay valid.
+    let probe = run(&events, Parallelism::Sequential);
+    let on_shard = |shard: usize, outcome: &FleetOutcome| -> Vec<u64> {
+        outcome
+            .placements
+            .iter()
+            .filter_map(|r| match r.outcome {
+                PlacementOutcome::Admitted { shard: s } if s == shard => Some(r.request.ordinal()),
+                _ => None,
+            })
+            .collect()
+    };
+    let residents: Vec<Vec<u64>> = (0..SHARDS).map(|s| on_shard(s, &probe)).collect();
+    let solo = residents.iter().position(|r| r.len() == 1).expect("one shard holds 1 instance");
+    let duo = residents.iter().position(|r| r.len() == 2).expect("one shard holds 2 instances");
+    // Collapse `duo`, fence the derate in with a priority broadcast
+    // (Dynamic ranks over identical models stay uniform, so nothing else
+    // changes), then the racing pair: empty `solo` — the deferred
+    // rebalance check after that commit migrates `duo`'s first instance
+    // into it, bumping `duo`'s epoch — while the next lane op is a
+    // departure of `duo`'s *second* instance, prepared against the
+    // pre-migration epoch.
+    events.push(FleetEvent::ShardThrottle { at: 10.0, shard: duo, factor: 0.2 });
+    events.push(FleetEvent::SetPriorities { at: 12.0, mode: PriorityMode::Dynamic });
+    events.push(FleetEvent::Depart { at: 20.0, request: RequestId::new(residents[solo][0]) });
+    events.push(FleetEvent::Depart { at: 21.0, request: RequestId::new(residents[duo][1]) });
+
+    let reference = run(&events, Parallelism::Sequential);
+    assert!(reference.metrics.migrations >= 1, "the race needs a migration: {:?}", reference.metrics);
+    for (workers, max_epoch_lag) in [(1usize, 16u64), (2, 16), (4, 32)] {
+        let lanes =
+            run(&events, Parallelism::Async { workers, max_epoch_lag, apply_lanes: true });
+        assert_identical(
+            &reference,
+            &lanes,
+            &format!("rebalance vs lane Async{{{workers},{max_epoch_lag},lanes:on}}"),
+        );
+        let snap = lanes.telemetry.as_ref().expect("telemetry enabled");
+        assert!(
+            snap.registry.counter("fleet_lane_discards_total") >= 1,
+            "the stale preparation must be discarded, not committed"
+        );
+    }
+}
+
 /// A competing admission inside the window: B's probe of A's shard was
 /// scored before A landed there, so at apply time the epoch moved and
 /// the class key (live set) no longer matches — the fallback re-probe
@@ -95,7 +189,7 @@ fn competing_arrival_staleness_falls_back_to_a_fresh_probe() {
     let events = [arrive(0.0, 0, ModelId::ResNet50), arrive(1.0, 1, ModelId::MobileNet)];
     let outcome = oracle_checked(
         &events,
-        Parallelism::Async { workers: 1, max_epoch_lag: 1 },
+        Parallelism::Async { workers: 1, max_epoch_lag: 1, apply_lanes: false },
         "competing arrival",
     );
     assert_eq!(outcome.metrics.admitted, 2, "{:?}", outcome.metrics);
@@ -123,7 +217,7 @@ fn departure_staleness_invalidates_the_speculated_probe() {
     ];
     let outcome = oracle_checked(
         &events,
-        Parallelism::Async { workers: 1, max_epoch_lag: 1 },
+        Parallelism::Async { workers: 1, max_epoch_lag: 1, apply_lanes: true },
         "departure between speculation and apply",
     );
     assert_eq!(outcome.metrics.admitted, 2);
@@ -143,7 +237,7 @@ fn derate_staleness_forces_a_fresh_probe() {
     ];
     let outcome = oracle_checked(
         &events,
-        Parallelism::Async { workers: 1, max_epoch_lag: 1 },
+        Parallelism::Async { workers: 1, max_epoch_lag: 1, apply_lanes: true },
         "derate between speculation and apply",
     );
     assert_eq!(outcome.metrics.admitted, 1);
@@ -163,7 +257,7 @@ fn shard_down_staleness_steers_the_arrival_to_a_survivor() {
         [FleetEvent::ShardDown { at: 5.0, shard: 0 }, arrive(10.0, 0, ModelId::ResNet50)];
     let outcome = oracle_checked(
         &events,
-        Parallelism::Async { workers: 1, max_epoch_lag: 1 },
+        Parallelism::Async { workers: 1, max_epoch_lag: 1, apply_lanes: false },
         "outage between speculation and apply",
     );
     assert_eq!(outcome.metrics.admitted, 1);
@@ -192,7 +286,7 @@ fn staleness_beyond_the_bound_is_recomputed_fresh() {
     ];
     let outcome = oracle_checked(
         &events,
-        Parallelism::Async { workers: 1, max_epoch_lag: 1 },
+        Parallelism::Async { workers: 1, max_epoch_lag: 1, apply_lanes: true },
         "lag beyond the bound",
     );
     assert_eq!(outcome.metrics.admitted, 2);
@@ -218,7 +312,7 @@ fn churn_back_to_the_same_state_revalidates_without_a_refresh() {
     ];
     let outcome = oracle_checked(
         &events,
-        Parallelism::Async { workers: 1, max_epoch_lag: 4 },
+        Parallelism::Async { workers: 1, max_epoch_lag: 4, apply_lanes: false },
         "down/up churn on an idle shard",
     );
     assert_eq!(outcome.metrics.admitted, 1);
@@ -242,9 +336,69 @@ fn indexed_speculation_matches_the_indexed_oracle() {
         FleetEvent::Depart { at: 30.0, request: RequestId::new(0) },
         arrive(40.0, 3, ModelId::Vgg16),
     ];
-    let parallelism = Parallelism::Async { workers: 2, max_epoch_lag: 2 };
+    let parallelism = Parallelism::Async { workers: 2, max_epoch_lag: 2, apply_lanes: true };
     let candidate = run(&events, parallelism, true);
     let reference = run(&events, Parallelism::Sequential, true);
     assert_identical(&reference, &candidate, "indexed speculation");
     assert_eq!(candidate.metrics.admitted, 4, "{:?}", candidate.metrics);
+}
+
+/// The retry-before-event tie rule races the lookahead window: a backoff
+/// retry lands at exactly the timestamp of a stream event *inside the
+/// speculated window*. The ordered walk takes the retry first (it was
+/// offered strictly earlier), its fresh probe fan fences the apply
+/// lanes, and only then does the equal-time event apply — any deviation
+/// (event first, or a stale probe surviving the retry's re-probe) would
+/// shift admissions and break the bit-compare against the sequential
+/// oracle.
+#[test]
+fn retry_at_an_equal_timestamp_orders_before_the_event() {
+    // One single-slot shard: A occupies it, B rejects and schedules a
+    // retry at exactly t=10 — the same instant A departs and C arrives.
+    // Sequential semantics: the retry fires first (B's slot request
+    // predates both), still finds the shard full (A departs only at the
+    // event *after* the retry), and finalizes as rejected; A's departure
+    // then frees the slot; C admits. The epoch log must reproduce that
+    // exact interleaving at every worker count and lag, lanes on or off.
+    let platform = Platform::orange_pi_5();
+    let oracle = AnalyticalOracle::new(&platform);
+    let events = [
+        arrive(0.0, 0, ModelId::ResNet50),
+        arrive(1.0, 1, ModelId::MobileNet),
+        FleetEvent::Depart { at: 10.0, request: RequestId::new(0) },
+        arrive(11.0, 2, ModelId::AlexNet),
+    ];
+    let config = |parallelism| FleetConfig {
+        manager: quick_manager(),
+        max_per_shard: 1,
+        admission_floor: 0.0,
+        retry_limit: 1,
+        retry_backoff: 9.0,
+        telemetry: TelemetrySpec::on(),
+        parallelism,
+        ..Default::default()
+    };
+    let run = |parallelism| {
+        FleetRuntime::homogeneous(&platform, &oracle, 1, config(parallelism))
+            .execute(&events, HORIZON)
+    };
+    let reference = run(Parallelism::Sequential);
+    assert_eq!(reference.metrics.retries, 1, "{:?}", reference.metrics);
+    assert_eq!(
+        reference.metrics.admitted, 2,
+        "B's equal-time retry must fire before A's departure frees the slot: {:?}",
+        reference.metrics
+    );
+    assert_eq!(reference.metrics.rejected, 1, "{:?}", reference.metrics);
+    for apply_lanes in [false, true] {
+        for (workers, max_epoch_lag) in [(1usize, 1u64), (2, 4), (4, 16)] {
+            let candidate =
+                run(Parallelism::Async { workers, max_epoch_lag, apply_lanes });
+            assert_identical(
+                &reference,
+                &candidate,
+                &format!("retry tie Async{{{workers},{max_epoch_lag},lanes:{apply_lanes}}}"),
+            );
+        }
+    }
 }

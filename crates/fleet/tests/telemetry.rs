@@ -74,7 +74,8 @@ proptest! {
         let reference = run(&spec, Parallelism::Sequential, TelemetrySpec::default());
         prop_assert!(reference.metrics.offered > 0);
         prop_assert!(reference.telemetry.is_none(), "disabled telemetry must cost nothing");
-        let async4 = Parallelism::Async { workers: 4, max_epoch_lag: 3 };
+        let async4 = Parallelism::Async { workers: 4, max_epoch_lag: 3, apply_lanes: false };
+        let lanes4 = Parallelism::Async { workers: 4, max_epoch_lag: 3, apply_lanes: true };
         for (label, parallelism, telemetry) in [
             ("seq+on", Parallelism::Sequential, TelemetrySpec::on()),
             ("seq+wall", Parallelism::Sequential, TelemetrySpec::on().with_wall_clock()),
@@ -82,6 +83,8 @@ proptest! {
             ("thr4+off", Parallelism::Threads(4), TelemetrySpec::default()),
             ("async4+on", async4, TelemetrySpec::on()),
             ("async4+off", async4, TelemetrySpec::default()),
+            ("lanes4+on", lanes4, TelemetrySpec::on()),
+            ("lanes4+off", lanes4, TelemetrySpec::default()),
         ] {
             let candidate = run(&spec, parallelism, telemetry);
             assert_identical(&reference, &candidate, &format!("{label} seed {seed}"));
@@ -164,7 +167,7 @@ fn epoch_log_staleness_telemetry_rides_along() {
     let spec = load(21, 0, true);
     let outcome = run(
         &spec,
-        Parallelism::Async { workers: 2, max_epoch_lag: 4 },
+        Parallelism::Async { workers: 2, max_epoch_lag: 4, apply_lanes: false },
         TelemetrySpec::on(),
     );
     let snap = outcome.telemetry.as_ref().expect("telemetry enabled");
@@ -197,6 +200,55 @@ fn epoch_log_staleness_telemetry_rides_along() {
     assert_eq!(bsnap.registry.counter("fleet_spec_batches_total"), 0);
     assert_eq!(bsnap.registry.counter("fleet_staleness_revalidations_total"), 0);
     assert_eq!(bsnap.registry.counter("fleet_staleness_refreshes_total"), 0);
+}
+
+/// The apply-lane ride-alongs: with `apply_lanes: true` the snapshot
+/// carries the lane accounting — batch/op counters, the occupancy gauge,
+/// the split apply stages — and the speculation-waste counter reconciles
+/// with what the validator refreshed and the `SetPriorities` flushes
+/// dropped. With lanes off, the lane families stay silent.
+#[test]
+fn apply_lane_telemetry_rides_along() {
+    let spec = load(21, 0, true);
+    let outcome = run(
+        &spec,
+        Parallelism::Async { workers: 2, max_epoch_lag: 4, apply_lanes: true },
+        TelemetrySpec::on(),
+    );
+    let snap = outcome.telemetry.as_ref().expect("telemetry enabled");
+    let c = |k: &str| snap.registry.counter(k);
+    assert!(c("fleet_lane_batches_total") > 0, "lane runs must batch applies");
+    assert!(c("fleet_lane_ops_total") > 0, "lane batches must carry shard ops");
+    assert!(
+        c("fleet_stage_entered_total{stage=\"apply_prepare\"}") > 0,
+        "the out-of-order prepare stage must be entered"
+    );
+    assert!(
+        c("fleet_stage_entered_total{stage=\"apply_commit\"}") > 0,
+        "the in-order commit stage must be entered"
+    );
+    assert!(
+        snap.registry.gauge("fleet_lane_occupancy").is_some(),
+        "lane flushes must publish the occupancy gauge"
+    );
+    // Waste accounting: every wasted probe was either refreshed by the
+    // validator, masked/skipped at admission, or dropped by a flush — so
+    // waste at least covers the refreshes.
+    assert!(
+        c("fleet_spec_probes_wasted_total") >= c("fleet_staleness_refreshes_total"),
+        "refreshed probes are wasted speculation"
+    );
+    // Lanes off: the same stream publishes no lane families.
+    let serial_apply = run(
+        &spec,
+        Parallelism::Async { workers: 2, max_epoch_lag: 4, apply_lanes: false },
+        TelemetrySpec::on(),
+    );
+    let ssnap = serial_apply.telemetry.as_ref().expect("telemetry enabled");
+    assert_eq!(ssnap.registry.counter("fleet_lane_batches_total"), 0);
+    assert_eq!(ssnap.registry.counter("fleet_lane_ops_total"), 0);
+    assert_eq!(ssnap.registry.counter("fleet_lane_discards_total"), 0);
+    assert!(ssnap.registry.gauge("fleet_lane_occupancy").is_none());
 }
 
 /// Flight-recorder causality: every `evacuate`/`shed` record of an
